@@ -1,0 +1,189 @@
+//! Crossover analysis: where the cost/delay orderings between the networks
+//! flip as `N` and the data width `w` change.
+//!
+//! The paper compares leading terms only ("who wins asymptotically"). A
+//! reproduction can do better: with exact counts, the *finite-N crossover
+//! points* fall out, and several are surprising:
+//!
+//! - with wide data words, Batcher is **cheaper** than BNB at small `N`
+//!   (the BNB replicates data slices per nested stage);
+//! - by the paper's own Table 2 polynomials, Koppelman's SRPN is **faster**
+//!   than the BNB network up to `N = 64`;
+//! - the `O(N²)` cellular array is cheaper than every multistage network
+//!   at tiny `N`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::formulas;
+use crate::ratio;
+
+/// A crossover point: the smallest `m` from which `winner_above` wins.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Crossover {
+    /// What is being compared (human-readable).
+    pub metric: String,
+    /// The smallest `m = log2 N` at which the asymptotic winner first wins.
+    pub m_star: usize,
+    /// Who wins for `m >= m_star`.
+    pub winner_above: String,
+}
+
+/// Finds the smallest `m ∈ [2, limit]` from which `pred(m)` holds for every
+/// larger `m` up to `limit`. Returns `None` if the predicate never
+/// stabilizes to true.
+pub fn stable_threshold(limit: usize, pred: impl Fn(usize) -> bool) -> Option<usize> {
+    let mut m_star = None;
+    for m in 2..=limit {
+        if pred(m) {
+            m_star.get_or_insert(m);
+        } else {
+            m_star = None;
+        }
+    }
+    m_star
+}
+
+/// The BNB-vs-Batcher hardware crossover at data width `w`: smallest `m`
+/// from which BNB's exact total hardware is cheaper.
+pub fn bnb_batcher_hardware(w: usize) -> Option<Crossover> {
+    stable_threshold(30, |m| ratio::hardware_ratio(m, w) < 1.0).map(|m_star| Crossover {
+        metric: format!("total hardware units, w = {w}"),
+        m_star,
+        winner_above: "BNB".into(),
+    })
+}
+
+/// The BNB-vs-Koppelman delay crossover (paper Table 2 polynomials).
+pub fn bnb_koppelman_delay() -> Option<Crossover> {
+    stable_threshold(30, |m| {
+        formulas::table2_poly::bnb(m) < formulas::table2_poly::koppelman(m)
+    })
+    .map(|m_star| Crossover {
+        metric: "Table 2 delay polynomial".into(),
+        m_star,
+        winner_above: "BNB".into(),
+    })
+}
+
+/// The Koppelman-vs-Batcher delay crossover: despite Koppelman's larger
+/// leading term, its polynomial is smaller up to `m = 12`.
+pub fn koppelman_batcher_delay() -> Option<Crossover> {
+    stable_threshold(30, |m| {
+        formulas::table2_poly::koppelman(m) > formulas::table2_poly::batcher(m)
+    })
+    .map(|m_star| Crossover {
+        metric: "Table 2 delay polynomial".into(),
+        m_star,
+        winner_above: "Batcher".into(),
+    })
+}
+
+/// The BNB-vs-cellular-array hardware crossover: smallest `m` from which
+/// `O(N log³N)` beats `O(N²)` in exact units.
+pub fn bnb_cellular_hardware() -> Option<Crossover> {
+    use bnb_baselines::cellular::CellularArray;
+    use bnb_core::cost::HardwareCost;
+    stable_threshold(20, |m| {
+        HardwareCost::bnb_counted(m, 0).total_units()
+            < CellularArray::new(1 << m).cost().total_units()
+    })
+    .map(|m_star| Crossover {
+        metric: "total hardware units vs O(N^2) cellular array".into(),
+        m_star,
+        winner_above: "BNB".into(),
+    })
+}
+
+/// All crossover findings as a rendered list for the report.
+pub fn summary() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "Crossover findings (exact models):");
+    for (label, c) in [
+        ("BNB vs Batcher hardware, w=0", bnb_batcher_hardware(0)),
+        ("BNB vs Batcher hardware, w=16", bnb_batcher_hardware(16)),
+        ("BNB vs Batcher hardware, w=32", bnb_batcher_hardware(32)),
+        ("BNB vs Koppelman delay", bnb_koppelman_delay()),
+        ("Koppelman vs Batcher delay", koppelman_batcher_delay()),
+        ("BNB vs cellular array hardware", bnb_cellular_hardware()),
+    ] {
+        match c {
+            Some(c) => {
+                let _ = writeln!(
+                    out,
+                    "  {label}: {} wins from N = {} on ({})",
+                    c.winner_above,
+                    1usize << c.m_star,
+                    c.metric
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  {label}: no stable crossover below the scan limit");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrow_words_have_no_crossover_bnb_always_wins() {
+        let c = bnb_batcher_hardware(0).expect("BNB wins somewhere");
+        assert_eq!(c.m_star, 2, "BNB wins from N = 4 at w = 0");
+    }
+
+    #[test]
+    fn wide_words_push_the_crossover_out() {
+        let c16 = bnb_batcher_hardware(16).expect("crossover exists");
+        assert_eq!(c16.m_star, 6, "w = 16 crossover at N = 64");
+        let c32 = bnb_batcher_hardware(32).expect("crossover exists");
+        assert!(
+            c32.m_star >= c16.m_star,
+            "wider words can only delay the win"
+        );
+    }
+
+    #[test]
+    fn koppelman_delay_crossovers() {
+        assert_eq!(
+            bnb_koppelman_delay().unwrap().m_star,
+            7,
+            "BNB beats Koppelman from N = 128"
+        );
+        assert_eq!(
+            koppelman_batcher_delay().unwrap().m_star,
+            13,
+            "Batcher only beats Koppelman from N = 8192"
+        );
+    }
+
+    #[test]
+    fn cellular_is_competitive_only_at_tiny_n() {
+        let c = bnb_cellular_hardware().unwrap();
+        assert!(c.m_star >= 4, "quadratic must win at the smallest sizes");
+        assert!(c.m_star <= 8, "and must lose quickly");
+    }
+
+    #[test]
+    fn stable_threshold_semantics() {
+        // Predicate true from 5 on.
+        assert_eq!(stable_threshold(10, |m| m >= 5), Some(5));
+        // True only at the limit still counts (holds for all larger m scanned).
+        assert_eq!(stable_threshold(10, |m| m % 2 == 0), Some(10));
+        // False at the limit -> no stable threshold.
+        assert_eq!(stable_threshold(10, |m| m % 2 == 1), None);
+        // Always true.
+        assert_eq!(stable_threshold(10, |_| true), Some(2));
+    }
+
+    #[test]
+    fn summary_lists_every_comparison() {
+        let s = summary();
+        assert!(s.contains("BNB vs Batcher hardware, w=16"));
+        assert!(s.contains("Koppelman vs Batcher delay"));
+        assert!(s.contains("cellular array"));
+    }
+}

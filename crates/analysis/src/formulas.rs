@@ -1,0 +1,177 @@
+//! The paper's closed-form complexity expressions, eqs. (6)–(12), as pure
+//! functions of `m = log N` and the data width `w`.
+//!
+//! Everything here is an independent transcription of §5 — deliberately
+//! *not* derived from the constructed networks — so that tests comparing
+//! these formulas against structure-enumerated counts are meaningful
+//! cross-checks.
+
+use bnb_core::cost::HardwareCost;
+use bnb_core::delay::PropagationDelay;
+
+/// eq. (6): exact BNB hardware cost.
+///
+/// Delegates to [`HardwareCost::bnb_closed_form`], which implements the
+/// polynomial with exact integer arithmetic.
+pub fn bnb_cost(m: usize, w: usize) -> HardwareCost {
+    HardwareCost::bnb_closed_form(m, w)
+}
+
+/// eq. (9): exact BNB propagation delay.
+pub fn bnb_delay(m: usize) -> PropagationDelay {
+    PropagationDelay::bnb_closed_form(m)
+}
+
+/// eq. (10): Batcher comparison-element count,
+/// `N/4·log²N − N/4·log N + N − 1`.
+pub fn batcher_comparators(m: usize) -> u64 {
+    let n = 1u64 << m;
+    let mu = m as u64;
+    n / 4 * mu * mu - n / 4 * mu + n - 1
+}
+
+/// eq. (11): Batcher hardware cost for `log N`-bit addresses and `w`-bit
+/// data: every comparison element carries `log N + w` switch slices and
+/// `log N` function slices.
+pub fn batcher_cost(m: usize, w: usize) -> HardwareCost {
+    let ce = batcher_comparators(m);
+    HardwareCost {
+        switches: ce * (m + w) as u64,
+        function_nodes: ce * m as u64,
+        adder_slices: 0,
+    }
+}
+
+/// eq. (12): Batcher propagation delay,
+/// `(1/2·log³N + 1/2·log²N)·D_FN + (1/2·log²N + 1/2·log N)·D_SW`.
+pub fn batcher_delay(m: usize) -> PropagationDelay {
+    let mu = m as u64;
+    let stages = mu * (mu + 1) / 2;
+    PropagationDelay {
+        switch_units: stages,
+        fn_units: stages * mu,
+    }
+}
+
+/// Table 1, Koppelman row: `N/4·log³N` switches, `N/2·log²N` function
+/// slices, `N·log²N` adder slices (leading terms).
+pub fn koppelman_cost(m: usize) -> HardwareCost {
+    let n = 1u64 << m;
+    let mu = m as u64;
+    HardwareCost {
+        switches: n / 4 * mu * mu * mu,
+        function_nodes: n / 2 * mu * mu,
+        adder_slices: n * mu * mu,
+    }
+}
+
+/// Table 2 polynomials at unit weights (`D_SW = D_FN = 1`), one per row.
+pub mod table2_poly {
+    /// Batcher: `1/2·log³N + 1/2·log²N + 1/2·log²N + 1/2·log N`.
+    pub fn batcher(m: usize) -> f64 {
+        let mf = m as f64;
+        0.5 * mf.powi(3) + mf.powi(2) + 0.5 * mf
+    }
+
+    /// Koppelman: `2/3·log³N − log²N + 1/3·log N + 1`.
+    pub fn koppelman(m: usize) -> f64 {
+        let mf = m as f64;
+        2.0 / 3.0 * mf.powi(3) - mf.powi(2) + mf / 3.0 + 1.0
+    }
+
+    /// BNB (this paper): `1/3·log³N + 3/2·log²N − 5/6·log N`.
+    pub fn bnb(m: usize) -> f64 {
+        let mf = m as f64;
+        mf.powi(3) / 3.0 + 1.5 * mf.powi(2) - 5.0 / 6.0 * mf
+    }
+}
+
+/// Table 1 leading terms at unit weights, one per row, in the paper's
+/// column order (switches, function slices, adder slices).
+pub mod table1_leading {
+    /// Batcher: `(N/4·log³N, N/4·log³N, 0)`.
+    pub fn batcher(m: usize) -> (f64, f64, f64) {
+        let n = (1u64 << m) as f64;
+        let c = n / 4.0 * (m as f64).powi(3);
+        (c, c, 0.0)
+    }
+
+    /// Koppelman: `(N/4·log³N, N/2·log²N, N·log²N)`.
+    pub fn koppelman(m: usize) -> (f64, f64, f64) {
+        let n = (1u64 << m) as f64;
+        let mf = m as f64;
+        (n / 4.0 * mf.powi(3), n / 2.0 * mf.powi(2), n * mf.powi(2))
+    }
+
+    /// BNB: `(N/6·log³N, N/2·log²N, 0)`.
+    pub fn bnb(m: usize) -> (f64, f64, f64) {
+        let n = (1u64 << m) as f64;
+        let mf = m as f64;
+        (n / 6.0 * mf.powi(3), n / 2.0 * mf.powi(2), 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnb_baselines::batcher::BatcherNetwork;
+    use bnb_baselines::koppelman::KoppelmanModel;
+
+    /// The closed forms match the constructed networks — the evaluation's
+    /// central cross-check.
+    #[test]
+    fn formulas_match_constructed_networks() {
+        for m in 1..=9 {
+            for w in [0usize, 8, 32] {
+                assert_eq!(
+                    bnb_cost(m, w),
+                    bnb_core::cost::HardwareCost::bnb_counted(m, w)
+                );
+                let bat = BatcherNetwork::new(m);
+                assert_eq!(batcher_comparators(m), bat.comparator_count() as u64);
+                assert_eq!(batcher_cost(m, w), bat.cost(w));
+                assert_eq!(batcher_delay(m), bat.delay());
+            }
+            assert_eq!(
+                bnb_delay(m),
+                bnb_core::delay::PropagationDelay::bnb_structural(m)
+            );
+            assert_eq!(koppelman_cost(m), KoppelmanModel::new(m).cost());
+        }
+    }
+
+    /// Table 2 polynomials equal the unit-weight totals of the component
+    /// delays where both exist.
+    #[test]
+    fn table2_polynomials_are_consistent() {
+        for m in 1..=12 {
+            assert!((table2_poly::batcher(m) - batcher_delay(m).total_units() as f64).abs() < 1e-9);
+            assert!((table2_poly::bnb(m) - bnb_delay(m).total_units() as f64).abs() < 1e-9);
+            assert!((table2_poly::koppelman(m) - KoppelmanModel::table2(m)).abs() < 1e-9);
+        }
+    }
+
+    /// Table 1 leading terms dominate the exact counts as N grows.
+    #[test]
+    fn leading_terms_converge_to_exact() {
+        let m = 18;
+        let (sw, fnodes, _) = table1_leading::bnb(m);
+        let exact = bnb_cost(m, 0);
+        assert!((sw / exact.switches as f64 - 1.0).abs() < 0.25);
+        assert!((fnodes / exact.function_nodes as f64 - 1.0).abs() < 0.25);
+
+        let (sw, fnodes, _) = table1_leading::batcher(m);
+        let exact = batcher_cost(m, 0);
+        assert!((sw / exact.switches as f64 - 1.0).abs() < 0.25);
+        assert!((fnodes / exact.function_nodes as f64 - 1.0).abs() < 0.25);
+    }
+
+    /// Paper spot values: m = 3 gives 19 comparison elements.
+    #[test]
+    fn spot_values() {
+        assert_eq!(batcher_comparators(3), 19);
+        assert_eq!(bnb_cost(3, 0).switches, 56);
+        assert_eq!(bnb_delay(3).total_units(), 20);
+        assert!((table2_poly::bnb(3) - 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,26 @@
+//! Reproduction of the BNB paper's analytical evaluation (§5).
+//!
+//! The paper's evaluation consists of closed-form hardware and delay
+//! complexities (eqs. (6)–(12)) summarized in two tables:
+//!
+//! - **Table 1** — hardware complexity leading terms (2×2 switches,
+//!   function slices, adder slices) for Batcher's network, Koppelman's
+//!   SRPN, and the BNB network → [`tables::table1`].
+//! - **Table 2** — propagation-delay polynomials for the same three
+//!   networks → [`tables::table2`].
+//!
+//! This crate regenerates both, two ways each: from the paper's closed
+//! forms ([`formulas`]) and from *constructed* networks (exact counts via
+//! `bnb-core` / `bnb-baselines`). [`ratio`] quantifies the paper's headline
+//! claims — BNB needs ~1/3 of Batcher's hardware and ~2/3 of its delay —
+//! and [`report`] assembles everything into the text that backs
+//! EXPERIMENTS.md.
+
+pub mod crossover;
+pub mod formulas;
+pub mod gate_tables;
+pub mod ratio;
+pub mod report;
+pub mod tables;
+
+pub use tables::{table1, table2, Table};

@@ -1,0 +1,190 @@
+//! Quantifying the paper's headline claims (§5.3, Conclusion):
+//!
+//! - hardware: "the network needs about **one third** of the hardware of
+//!   the Batcher's network" — the ratio of the leading switch terms is
+//!   `(N/6·log³N) / (N/4·log³N + N/4·log³N) = 1/3`;
+//! - delay: "the routing delay time is **two thirds** of that of the
+//!   Batcher's network" — `(1/3·log³N) / (1/2·log³N) = 2/3`.
+//!
+//! [`hardware_ratio`] / [`delay_ratio`] evaluate the exact finite-`N`
+//! ratios from the closed forms (which the `formulas` tests prove equal to
+//! the constructed networks), and the `_per_line` variants evaluate the
+//! `N`-normalized polynomials in `f64` so convergence can be checked at
+//! arbitrarily large `m`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::formulas;
+
+/// One point of the ratio sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatioPoint {
+    /// `log2 N`.
+    pub m: usize,
+    /// Exact BNB/Batcher ratio of total hardware units (unit weights).
+    pub hardware: f64,
+    /// Exact BNB/Batcher ratio of total delay units (unit weights).
+    pub delay: f64,
+}
+
+/// Exact BNB/Batcher hardware ratio at `m` and data width `w`, total units
+/// with unit weights (closed forms, valid for `m ≤ 40`).
+pub fn hardware_ratio(m: usize, w: usize) -> f64 {
+    let bnb = formulas::bnb_cost(m, w).total_units() as f64;
+    let bat = formulas::batcher_cost(m, w).total_units() as f64;
+    bnb / bat
+}
+
+/// Exact BNB/Batcher delay ratio at `m`, total units with unit weights.
+pub fn delay_ratio(m: usize) -> f64 {
+    let bnb = formulas::bnb_delay(m).total_units() as f64;
+    let bat = formulas::batcher_delay(m).total_units() as f64;
+    bnb / bat
+}
+
+/// BNB hardware units per input line as an `f64` polynomial in `m`
+/// (the `N`-normalized eq. (6), dropping the `−1/N` term).
+pub fn bnb_hardware_per_line(m: f64, w: f64) -> f64 {
+    m * (m + 1.0) * (2.0 * m + 1.0) / 12.0 + w * m * (m + 1.0) / 4.0 + m * m / 2.0 - m + 1.0
+}
+
+/// Batcher hardware units per input line as an `f64` polynomial in `m`
+/// (the `N`-normalized eqs. (10)–(11), dropping the `−1/N` term).
+pub fn batcher_hardware_per_line(m: f64, w: f64) -> f64 {
+    ((m * m - m) / 4.0 + 1.0) * (2.0 * m + w)
+}
+
+/// Hardware ratio for arbitrarily large `m` via the per-line polynomials.
+pub fn hardware_ratio_per_line(m: f64, w: f64) -> f64 {
+    bnb_hardware_per_line(m, w) / batcher_hardware_per_line(m, w)
+}
+
+/// Delay ratio for arbitrarily large `m` via the delay polynomials.
+pub fn delay_ratio_per_line(m: f64) -> f64 {
+    let bnb = m * (m - 1.0) * (m + 4.0) / 3.0 + m * (m + 1.0) / 2.0;
+    let bat = m * (m + 1.0) / 2.0 * (m + 1.0);
+    bnb / bat
+}
+
+/// Sweeps the two exact ratios over `ms` (hardware at data width `w`).
+pub fn sweep(ms: &[usize], w: usize) -> Vec<RatioPoint> {
+    ms.iter()
+        .map(|&m| RatioPoint {
+            m,
+            hardware: hardware_ratio(m, w),
+            delay: delay_ratio(m),
+        })
+        .collect()
+}
+
+/// Asymptotic hardware ratio from the leading terms: exactly 1/3.
+pub fn asymptotic_hardware_ratio() -> f64 {
+    // (N/6·log³N) / (N/4·log³N switches + N/4·log³N function slices).
+    (1.0 / 6.0) / 0.5
+}
+
+/// Asymptotic delay ratio from the leading terms: exactly 2/3.
+pub fn asymptotic_delay_ratio() -> f64 {
+    (1.0 / 3.0) / 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Claim C4: convergence to 1/3 and 2/3 at very large m.
+    #[test]
+    fn ratios_converge_to_paper_claims() {
+        let hw = hardware_ratio_per_line(3000.0, 0.0);
+        assert!(
+            (hw - asymptotic_hardware_ratio()).abs() < 2e-3,
+            "hardware -> 1/3, got {hw}"
+        );
+        let d = delay_ratio_per_line(3000.0);
+        assert!(
+            (d - asymptotic_delay_ratio()).abs() < 2e-3,
+            "delay -> 2/3, got {d}"
+        );
+    }
+
+    /// The per-line polynomials agree with the exact integer formulas in
+    /// the range where both are defined.
+    #[test]
+    fn per_line_polynomials_match_exact_formulas() {
+        // The per-line polynomials drop the −1/N terms, so agreement starts
+        // at moderate m where those terms are negligible.
+        for m in 5..=30usize {
+            for w in [0usize, 8] {
+                let exact = hardware_ratio(m, w);
+                let poly = hardware_ratio_per_line(m as f64, w as f64);
+                assert!(
+                    (exact - poly).abs() < 0.01,
+                    "m = {m}, w = {w}: exact {exact} vs poly {poly}"
+                );
+            }
+            let exact = delay_ratio(m);
+            let poly = delay_ratio_per_line(m as f64);
+            assert!((exact - poly).abs() < 1e-9, "m = {m}: {exact} vs {poly}");
+        }
+    }
+
+    #[test]
+    fn ratio_improves_with_scale() {
+        let small = hardware_ratio(3, 0);
+        let large = hardware_ratio(20, 0);
+        assert!(
+            large < small,
+            "hardware ratio must shrink: {small} -> {large}"
+        );
+        let dsmall = delay_ratio(3);
+        let dlarge = delay_ratio(20);
+        assert!(
+            dlarge < dsmall,
+            "delay ratio must shrink: {dsmall} -> {dlarge}"
+        );
+    }
+
+    #[test]
+    fn bnb_wins_at_all_practical_sizes_for_narrow_words() {
+        // "Who wins": with address-only words (w = 0) BNB uses less
+        // hardware and less delay than Batcher at every size from N = 4.
+        for m in 2..=30 {
+            assert!(hardware_ratio(m, 0) < 1.0, "hardware, m = {m}");
+            assert!(delay_ratio(m) < 1.0, "delay, m = {m}");
+        }
+    }
+
+    #[test]
+    fn wide_words_move_the_hardware_crossover_to_n64() {
+        // A finding the paper does not state: with w = 16 data bits the
+        // data slices (which BNB replicates per nested stage) dominate at
+        // small N, so Batcher is cheaper up to N = 32 and BNB wins from
+        // N = 64 on.
+        for m in 2..=5 {
+            assert!(
+                hardware_ratio(m, 16) > 1.0,
+                "Batcher should win at m = {m}, w = 16"
+            );
+        }
+        for m in 6..=30 {
+            assert!(
+                hardware_ratio(m, 16) < 1.0,
+                "BNB should win at m = {m}, w = 16"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_m() {
+        let pts = sweep(&[3, 5, 8], 8);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[1].m, 5);
+        assert!(pts[2].hardware > 0.0 && pts[2].delay > 0.0);
+    }
+
+    #[test]
+    fn asymptotes_are_exact_fractions() {
+        assert!((asymptotic_hardware_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((asymptotic_delay_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

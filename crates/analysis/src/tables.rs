@@ -1,0 +1,395 @@
+//! Regeneration of the paper's Table 1 and Table 2.
+//!
+//! The paper prints leading-term formulas; we print, for each network and
+//! each `N`, both the paper's leading terms and the **exact counts from the
+//! constructed networks**, so the tables double as evidence that the
+//! implementations realize the claimed complexities.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use bnb_baselines::batcher::BatcherNetwork;
+use bnb_baselines::koppelman::KoppelmanModel;
+use bnb_core::cost::HardwareCost;
+use bnb_core::delay::PropagationDelay;
+use serde::{Deserialize, Serialize};
+
+use crate::formulas::{table1_leading, table2_poly};
+
+/// A rendered table: headers plus string rows.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Renders as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}", self.title);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(out, "|{}|", vec!["---"; self.headers.len()].join("|"));
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+}
+
+impl Table {
+    /// Renders as RFC-4180-style CSV (header row first; fields containing
+    /// commas or quotes are quoted).
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| field(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| field(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Renders as a LaTeX `tabular` environment with a caption comment.
+    pub fn to_latex(&self) -> String {
+        fn escape(s: &str) -> String {
+            s.replace('\\', r"\textbackslash{}")
+                .replace('&', r"\&")
+                .replace('%', r"\%")
+                .replace('#', r"\#")
+                .replace('_', r"\_")
+                .replace('^', r"\^{}")
+                .replace('~', r"\~{}")
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "% {}", escape(&self.title));
+        let _ = writeln!(
+            out,
+            r"\begin{{tabular}}{{{}}}",
+            "l".repeat(self.headers.len())
+        );
+        let _ = writeln!(
+            out,
+            r"{} \\ \hline",
+            self.headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(" & ")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                r"{} \\",
+                row.iter()
+                    .map(|c| escape(c))
+                    .collect::<Vec<_>>()
+                    .join(" & ")
+            );
+        }
+        let _ = writeln!(out, r"\end{{tabular}}");
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+fn fmt_cost(c: HardwareCost) -> (String, String, String) {
+    (
+        c.switches.to_string(),
+        c.function_nodes.to_string(),
+        if c.adder_slices == 0 {
+            "—".to_string()
+        } else {
+            c.adder_slices.to_string()
+        },
+    )
+}
+
+/// Paper **Table 1** — hardware complexities of the three networks, for
+/// each `m` in `ms` at data width `w`. Each network gets two rows per `m`:
+/// the paper's leading terms and the exact count from the constructed
+/// network (exact counts for Koppelman are the model's leading terms, the
+/// only figures the paper provides).
+pub fn table1(ms: &[usize], w: usize) -> Table {
+    let mut rows = Vec::new();
+    for &m in ms {
+        let n = 1usize << m;
+        let lead = table1_leading::batcher(m);
+        rows.push(vec![
+            n.to_string(),
+            "Batcher".into(),
+            "leading".into(),
+            format!("{:.0}", lead.0),
+            format!("{:.0}", lead.1),
+            "—".into(),
+        ]);
+        let (s, f, a) = fmt_cost(BatcherNetwork::new(m).cost(w));
+        rows.push(vec![
+            n.to_string(),
+            "Batcher".into(),
+            "exact".into(),
+            s,
+            f,
+            a,
+        ]);
+
+        let lead = table1_leading::koppelman(m);
+        rows.push(vec![
+            n.to_string(),
+            "Koppelman [11]".into(),
+            "leading".into(),
+            format!("{:.0}", lead.0),
+            format!("{:.0}", lead.1),
+            format!("{:.0}", lead.2),
+        ]);
+        let (s, f, a) = fmt_cost(KoppelmanModel::new(m).cost());
+        rows.push(vec![
+            n.to_string(),
+            "Koppelman [11]".into(),
+            "model".into(),
+            s,
+            f,
+            a,
+        ]);
+
+        let lead = table1_leading::bnb(m);
+        rows.push(vec![
+            n.to_string(),
+            "BNB (this paper)".into(),
+            "leading".into(),
+            format!("{:.0}", lead.0),
+            format!("{:.0}", lead.1),
+            "—".into(),
+        ]);
+        let (s, f, a) = fmt_cost(HardwareCost::bnb_counted(m, w));
+        rows.push(vec![
+            n.to_string(),
+            "BNB (this paper)".into(),
+            "exact".into(),
+            s,
+            f,
+            a,
+        ]);
+    }
+    Table {
+        title: format!("Table 1 — hardware complexities (w = {w} data bits)"),
+        headers: vec![
+            "N".into(),
+            "network".into(),
+            "kind".into(),
+            "2x2 switches".into(),
+            "function slices".into(),
+            "adder slices".into(),
+        ],
+        rows,
+    }
+}
+
+/// Paper **Table 2** — propagation delays at unit weights
+/// (`D_SW = D_FN = 1`): the paper's polynomial next to the
+/// structure-measured delay of the constructed networks.
+pub fn table2(ms: &[usize]) -> Table {
+    let mut rows = Vec::new();
+    for &m in ms {
+        let n = 1usize << m;
+        let bat = BatcherNetwork::new(m).delay();
+        rows.push(vec![
+            n.to_string(),
+            "Batcher".into(),
+            format!("{:.1}", table2_poly::batcher(m)),
+            bat.total_units().to_string(),
+        ]);
+        rows.push(vec![
+            n.to_string(),
+            "Koppelman [11]".into(),
+            format!("{:.1}", table2_poly::koppelman(m)),
+            "model only".into(),
+        ]);
+        let bnb = PropagationDelay::bnb_structural(m);
+        rows.push(vec![
+            n.to_string(),
+            "BNB (this paper)".into(),
+            format!("{:.1}", table2_poly::bnb(m)),
+            bnb.total_units().to_string(),
+        ]);
+    }
+    Table {
+        title: "Table 2 — propagation delay (unit weights)".into(),
+        headers: vec![
+            "N".into(),
+            "network".into(),
+            "paper polynomial".into(),
+            "measured (structural)".into(),
+        ],
+        rows,
+    }
+}
+
+/// A data-width sweep of the exact BNB-vs-Batcher total hardware: one row
+/// per `(N, w)` pair with the winner — the table behind the wide-word
+/// crossover finding (EXPERIMENTS.md).
+pub fn table1_w_sweep(ms: &[usize], ws: &[usize]) -> Table {
+    let mut rows = Vec::new();
+    for &m in ms {
+        for &w in ws {
+            let bnb = HardwareCost::bnb_counted(m, w).total_units();
+            let bat = BatcherNetwork::new(m).cost(w).total_units();
+            let winner = if bnb < bat { "BNB" } else { "Batcher" };
+            rows.push(vec![
+                (1usize << m).to_string(),
+                w.to_string(),
+                bnb.to_string(),
+                bat.to_string(),
+                format!("{:.3}", bnb as f64 / bat as f64),
+                winner.to_string(),
+            ]);
+        }
+    }
+    Table {
+        title: "Exact total hardware vs data width (unit weights)".into(),
+        headers: vec![
+            "N".into(),
+            "w".into(),
+            "BNB units".into(),
+            "Batcher units".into(),
+            "ratio".into(),
+            "winner".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn w_sweep_shows_the_crossover() {
+        let t = table1_w_sweep(&[3, 6], &[0, 16]);
+        assert_eq!(t.rows.len(), 4);
+        let winner_of = |n: &str, w: &str| {
+            t.rows
+                .iter()
+                .find(|r| r[0] == n && r[1] == w)
+                .map(|r| r[5].clone())
+                .expect("row exists")
+        };
+        assert_eq!(winner_of("8", "0"), "BNB");
+        assert_eq!(winner_of("8", "16"), "Batcher");
+        assert_eq!(winner_of("64", "16"), "BNB");
+    }
+
+    #[test]
+    fn table1_has_six_rows_per_size() {
+        let t = table1(&[3, 4], 8);
+        assert_eq!(t.rows.len(), 12);
+        assert_eq!(t.headers.len(), 6);
+        let md = t.to_markdown();
+        assert!(md.contains("Table 1"));
+        assert!(md.contains("BNB (this paper)"));
+        assert!(md.contains("| 8 |"));
+    }
+
+    #[test]
+    fn table1_exact_rows_match_formulas() {
+        let t = table1(&[5], 0);
+        // Row 5 is BNB exact; column 3 is switches.
+        let bnb_exact = &t.rows[5];
+        assert_eq!(bnb_exact[2], "exact");
+        assert_eq!(
+            bnb_exact[3],
+            HardwareCost::bnb_counted(5, 0).switches.to_string()
+        );
+    }
+
+    #[test]
+    fn table2_polynomials_equal_measured_for_bnb_and_batcher() {
+        let t = table2(&[3, 6, 10]);
+        for row in &t.rows {
+            if row[1] != "Koppelman [11]" {
+                let poly: f64 = row[2].parse().unwrap();
+                let measured: f64 = row[3].parse().unwrap();
+                assert!(
+                    (poly - measured).abs() < 1e-6,
+                    "{}: polynomial {poly} != measured {measured}",
+                    row[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn csv_render_quotes_when_needed() {
+        let t = Table {
+            title: "t".into(),
+            headers: vec!["a".into(), "b,с".into()],
+            rows: vec![vec!["plain".into(), "has \"quote\"".into()]],
+        };
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "a,\"b,с\"");
+        assert_eq!(lines.next().unwrap(), "plain,\"has \"\"quote\"\"\"");
+    }
+
+    #[test]
+    fn csv_of_table2_parses_back() {
+        let t = table2(&[3]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 1 + t.rows.len());
+        assert!(csv.starts_with("N,network,"));
+    }
+
+    #[test]
+    fn latex_render_escapes_specials() {
+        let t = Table {
+            title: "100% & more".into(),
+            headers: vec!["a_b".into()],
+            rows: vec![vec!["x^2".into()]],
+        };
+        let tex = t.to_latex();
+        assert!(tex.contains(r"% 100\% \& more"));
+        assert!(tex.contains(r"a\_b"));
+        assert!(tex.contains(r"x\^{}2"));
+        assert!(tex.contains(r"\begin{tabular}{l}"));
+        assert!(tex.trim_end().ends_with(r"\end{tabular}"));
+    }
+
+    #[test]
+    fn markdown_render_is_well_formed() {
+        let t = table2(&[4]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().filter(|l| l.starts_with('|')).collect();
+        // header + separator + 3 rows
+        assert_eq!(lines.len(), 5);
+        assert!(lines.iter().all(|l| l.matches('|').count() == 5));
+        assert_eq!(md, t.to_string());
+    }
+}

@@ -1,0 +1,382 @@
+//! Batcher's odd–even merge sorting network (Batcher 1968, paper ref \[9\]).
+//!
+//! A sorting network routes any permutation by sorting on destination
+//! addresses with a fixed schedule of compare/exchange elements, so it
+//! doubles as a self-routing permutation network — the paper's primary
+//! comparison target. The construction is the classic recursive odd–even
+//! merge; the comparator count matches paper eq. (10) exactly and the stage
+//! depth is `log N (log N + 1)/2`.
+
+use bnb_core::cost::HardwareCost;
+use bnb_core::delay::PropagationDelay;
+use bnb_core::error::RouteError;
+use bnb_topology::connection::require_power_of_two;
+use bnb_topology::record::Record;
+use serde::{Deserialize, Serialize};
+
+/// One compare/exchange element: sorts `(lines[low], lines[high])` so the
+/// smaller key exits on `low`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Comparator {
+    /// Line receiving the minimum.
+    pub low: usize,
+    /// Line receiving the maximum.
+    pub high: usize,
+}
+
+/// Batcher's `N = 2^m`-input odd–even merge sorting network.
+///
+/// # Example
+///
+/// ```
+/// use bnb_baselines::batcher::BatcherNetwork;
+/// use bnb_topology::perm::Permutation;
+/// use bnb_topology::record::{records_for_permutation, all_delivered};
+///
+/// let net = BatcherNetwork::with_inputs(8)?;
+/// let p = Permutation::try_from(vec![4, 6, 1, 7, 0, 3, 5, 2])?;
+/// let out = net.route(&records_for_permutation(&p))?;
+/// assert!(all_delivered(&out));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatcherNetwork {
+    m: usize,
+    /// Comparators grouped into parallel stages (no two comparators in a
+    /// stage touch the same line).
+    stages: Vec<Vec<Comparator>>,
+}
+
+impl BatcherNetwork {
+    /// Builds the network for `2^m` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1, "sorting network needs at least 2 inputs");
+        let n = 1usize << m;
+        let mut comparators = Vec::new();
+        sort(0, n, &mut comparators);
+        let stages = schedule(n, &comparators);
+        BatcherNetwork { m, stages }
+    }
+
+    /// Builds the network for `n` inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n` is not a power of two or is less than 2.
+    pub fn with_inputs(n: usize) -> Result<Self, RouteError> {
+        let m = require_power_of_two(n)?;
+        if m == 0 {
+            return Err(RouteError::WidthMismatch {
+                expected: 2,
+                actual: n,
+            });
+        }
+        Ok(Self::new(m))
+    }
+
+    /// `log2` of the network width.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Network width.
+    pub fn inputs(&self) -> usize {
+        1 << self.m
+    }
+
+    /// The comparator schedule, stage by stage.
+    pub fn stages(&self) -> &[Vec<Comparator>] {
+        &self.stages
+    }
+
+    /// Total compare/exchange elements — paper eq. (10):
+    /// `N/4·log²N − N/4·log N + N − 1`.
+    pub fn comparator_count(&self) -> usize {
+        self.stages.iter().map(Vec::len).sum()
+    }
+
+    /// Number of parallel stages: `log N (log N + 1)/2`.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Routes records by sorting on destination address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::WidthMismatch`] or
+    /// [`RouteError::DestinationTooWide`] on malformed input. Duplicate
+    /// destinations are *not* an error for a sorting network — the records
+    /// still come out sorted — but then `out[j].dest() == j` no longer
+    /// holds.
+    pub fn route(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
+        let n = self.inputs();
+        if records.len() != n {
+            return Err(RouteError::WidthMismatch {
+                expected: n,
+                actual: records.len(),
+            });
+        }
+        for r in records {
+            if r.dest() >= n {
+                return Err(RouteError::DestinationTooWide { dest: r.dest(), n });
+            }
+        }
+        let mut lines = records.to_vec();
+        for stage in &self.stages {
+            for c in stage {
+                if lines[c.low].dest() > lines[c.high].dest() {
+                    lines.swap(c.low, c.high);
+                }
+            }
+        }
+        Ok(lines)
+    }
+
+    /// Sorts an arbitrary slice with the comparator schedule — the generic
+    /// sorting-network view (used by property tests against the 0–1
+    /// principle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items.len()` differs from the network width.
+    pub fn sort_slice<T: Ord + Copy>(&self, items: &mut [T]) {
+        assert_eq!(
+            items.len(),
+            self.inputs(),
+            "item count must match network width"
+        );
+        for stage in &self.stages {
+            for c in stage {
+                if items[c.low] > items[c.high] {
+                    items.swap(c.low, c.high);
+                }
+            }
+        }
+    }
+
+    /// Hardware cost under the paper's model, eq. (11): each comparison
+    /// element carries `log N + w` switch slices and `log N` function
+    /// slices.
+    pub fn cost(&self, w: usize) -> HardwareCost {
+        let ce = self.comparator_count() as u64;
+        HardwareCost {
+            switches: ce * (self.m + w) as u64,
+            function_nodes: ce * self.m as u64,
+            adder_slices: 0,
+        }
+    }
+
+    /// Propagation delay under the paper's model, eq. (12): each of the
+    /// `log N(log N + 1)/2` stages costs one `D_SW` plus `log N` `D_FN`
+    /// (the bit-serial address comparison).
+    pub fn delay(&self) -> PropagationDelay {
+        let stages = self.stage_count() as u64;
+        PropagationDelay {
+            switch_units: stages,
+            fn_units: stages * self.m as u64,
+        }
+    }
+
+    /// Table 2 combined polynomial with unit weights:
+    /// `1/2·log³N + 1/2·log²N` (`D_FN` part) `+ 1/2·log²N + 1/2·log N`
+    /// (`D_SW` part).
+    pub fn table2(m: usize) -> f64 {
+        let mf = m as f64;
+        0.5 * mf.powi(3) + 0.5 * mf.powi(2) + 0.5 * mf.powi(2) + 0.5 * mf
+    }
+}
+
+/// Paper eq. (10) as a closed form.
+pub fn comparator_count_closed_form(m: usize) -> u64 {
+    let n = 1u64 << m;
+    let mu = m as u64;
+    (n / 4) * mu * mu - (n / 4) * mu + n - 1
+}
+
+fn sort(lo: usize, n: usize, out: &mut Vec<Comparator>) {
+    if n > 1 {
+        let mid = n / 2;
+        sort(lo, mid, out);
+        sort(lo + mid, mid, out);
+        merge(lo, n, 1, out);
+    }
+}
+
+/// Odd–even merge of the `n` lines starting at `lo`, comparing lines `r`
+/// apart (Batcher's recursive construction).
+fn merge(lo: usize, n: usize, r: usize, out: &mut Vec<Comparator>) {
+    let step = r * 2;
+    if step < n {
+        merge(lo, n, step, out);
+        merge(lo + r, n, step, out);
+        let mut i = lo + r;
+        while i + r < lo + n {
+            out.push(Comparator {
+                low: i,
+                high: i + r,
+            });
+            i += step;
+        }
+    } else {
+        out.push(Comparator {
+            low: lo,
+            high: lo + r,
+        });
+    }
+}
+
+/// Greedy ASAP scheduling of comparators into parallel stages, preserving
+/// the dependency order of the generated sequence.
+fn schedule(n: usize, comparators: &[Comparator]) -> Vec<Vec<Comparator>> {
+    let mut ready = vec![0usize; n]; // earliest stage each line is free
+    let mut stages: Vec<Vec<Comparator>> = Vec::new();
+    for &c in comparators {
+        let stage = ready[c.low].max(ready[c.high]);
+        if stage == stages.len() {
+            stages.push(Vec::new());
+        }
+        stages[stage].push(c);
+        ready[c.low] = stage + 1;
+        ready[c.high] = stage + 1;
+    }
+    stages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnb_topology::perm::Permutation;
+    use bnb_topology::record::{all_delivered, records_for_permutation};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// eq. (10): constructed comparator count equals the closed form.
+    #[test]
+    fn comparator_count_matches_eq10() {
+        for m in 1..=10 {
+            let net = BatcherNetwork::new(m);
+            assert_eq!(
+                net.comparator_count() as u64,
+                comparator_count_closed_form(m),
+                "m = {m}"
+            );
+        }
+    }
+
+    /// Stage depth is log N (log N + 1) / 2.
+    #[test]
+    fn stage_count_is_m_m_plus_1_over_2() {
+        for m in 1..=10 {
+            let net = BatcherNetwork::new(m);
+            assert_eq!(net.stage_count(), m * (m + 1) / 2, "m = {m}");
+        }
+    }
+
+    /// Stages are truly parallel: no line is touched twice per stage.
+    #[test]
+    fn stages_are_conflict_free() {
+        let net = BatcherNetwork::new(6);
+        for (s, stage) in net.stages().iter().enumerate() {
+            let mut used = vec![false; net.inputs()];
+            for c in stage {
+                assert!(!used[c.low] && !used[c.high], "stage {s} reuses a line");
+                used[c.low] = true;
+                used[c.high] = true;
+            }
+        }
+    }
+
+    /// All 40 320 permutations of 8 inputs are routed.
+    #[test]
+    fn routes_all_permutations_n8() {
+        let net = BatcherNetwork::new(3);
+        for k in 0..40_320 {
+            let p = Permutation::nth_lexicographic(8, k);
+            let out = net.route(&records_for_permutation(&p)).unwrap();
+            assert!(all_delivered(&out), "perm {p}");
+        }
+    }
+
+    /// The 0–1 principle: since the BNB tests validated balanced vectors,
+    /// here we validate the sorting network on random u64 multisets.
+    #[test]
+    fn sorts_arbitrary_multisets() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for m in [2usize, 4, 6] {
+            let net = BatcherNetwork::new(m);
+            let n = 1 << m;
+            for _ in 0..20 {
+                let mut items: Vec<u64> = (0..n).map(|_| rng.random_range(0..10)).collect();
+                let mut expected = items.clone();
+                expected.sort_unstable();
+                net.sort_slice(&mut items);
+                assert_eq!(items, expected);
+            }
+        }
+    }
+
+    /// Duplicate destinations are sorted, not errored.
+    #[test]
+    fn duplicates_sort_without_error() {
+        let net = BatcherNetwork::new(2);
+        let records = vec![
+            Record::new(3, 0),
+            Record::new(1, 1),
+            Record::new(1, 2),
+            Record::new(0, 3),
+        ];
+        let out = net.route(&records).unwrap();
+        let dests: Vec<usize> = out.iter().map(Record::dest).collect();
+        assert_eq!(dests, vec![0, 1, 1, 3]);
+    }
+
+    #[test]
+    fn route_validates_structure() {
+        let net = BatcherNetwork::new(2);
+        assert!(matches!(
+            net.route(&[Record::new(0, 0)]),
+            Err(RouteError::WidthMismatch {
+                expected: 4,
+                actual: 1
+            })
+        ));
+        let wide = vec![
+            Record::new(4, 0),
+            Record::new(1, 0),
+            Record::new(2, 0),
+            Record::new(3, 0),
+        ];
+        assert!(matches!(
+            net.route(&wide),
+            Err(RouteError::DestinationTooWide { .. })
+        ));
+    }
+
+    /// eq. (11)/(12) spot checks.
+    #[test]
+    fn cost_and_delay_match_paper_model() {
+        let net = BatcherNetwork::new(3);
+        let ce = net.comparator_count() as u64; // 19 for N = 8
+        assert_eq!(ce, 19);
+        let c = net.cost(5);
+        assert_eq!(c.switches, ce * 8);
+        assert_eq!(c.function_nodes, ce * 3);
+        let d = net.delay();
+        assert_eq!(d.switch_units, 6);
+        assert_eq!(d.fn_units, 18);
+        // Table 2 polynomial at unit weights equals the component model.
+        assert_eq!(BatcherNetwork::table2(3), (6 + 18) as f64);
+    }
+
+    #[test]
+    fn with_inputs_validates() {
+        assert!(BatcherNetwork::with_inputs(16).is_ok());
+        assert!(BatcherNetwork::with_inputs(3).is_err());
+        assert!(BatcherNetwork::with_inputs(1).is_err());
+    }
+}

@@ -1,0 +1,580 @@
+//! The Benes rearrangeable network with Waksman's looping algorithm
+//! (paper refs \[5, 6\]).
+//!
+//! The Benes network routes all `N!` permutations with only
+//! `(2·log N − 1)·N/2` switches — far cheaper than any self-routing
+//! permutation network — but setting its switches requires a **global**
+//! routing computation over the whole permutation (the looping algorithm).
+//! The paper's §1 argues this setup cost is "rather costly than the network
+//! itself"; the routing-time benches quantify that claim against the BNB
+//! network's local, constant-time-per-switch decisions.
+
+use bnb_core::error::RouteError;
+use bnb_topology::connection::require_power_of_two;
+use bnb_topology::perm::Permutation;
+use bnb_topology::record::Record;
+use serde::{Deserialize, Serialize};
+
+/// Switch settings for one Benes network, computed by the looping
+/// algorithm.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenesRouting {
+    n: usize,
+    /// Input-stage switch settings: `true` = cross.
+    first: Vec<bool>,
+    /// Output-stage switch settings: `true` = cross.
+    last: Vec<bool>,
+    upper: Option<Box<BenesRouting>>,
+    lower: Option<Box<BenesRouting>>,
+    /// Terminal assignments performed while computing this routing
+    /// (including recursion) — the global work the looping algorithm does.
+    steps: usize,
+}
+
+impl BenesRouting {
+    /// Total looping-algorithm steps (terminal assignments) spent computing
+    /// this routing, including recursion.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// `true` if this routing respects the Waksman reduction: the last
+    /// output-stage switch of every recursion level is set straight (so
+    /// the physical switch can be removed and replaced by wires).
+    pub fn is_waksman_reduced(&self) -> bool {
+        if self.n == 2 {
+            return true; // the 2-input base network keeps its one switch
+        }
+        self.last.last().is_none_or(|&cross| !cross)
+            && self
+                .upper
+                .as_deref()
+                .is_some_and(BenesRouting::is_waksman_reduced)
+            && self
+                .lower
+                .as_deref()
+                .is_some_and(BenesRouting::is_waksman_reduced)
+    }
+
+    /// Switches set to cross across all levels (a routing-density metric).
+    pub fn cross_count(&self) -> usize {
+        let own = self.first.iter().chain(&self.last).filter(|&&c| c).count();
+        own + self.upper.as_deref().map_or(0, BenesRouting::cross_count)
+            + self.lower.as_deref().map_or(0, BenesRouting::cross_count)
+    }
+}
+
+/// An `N = 2^m`-input Benes network.
+///
+/// # Example
+///
+/// ```
+/// use bnb_baselines::benes::BenesNetwork;
+/// use bnb_topology::perm::Permutation;
+/// use bnb_topology::record::{records_for_permutation, all_delivered};
+///
+/// let net = BenesNetwork::with_inputs(8)?;
+/// let p = Permutation::try_from(vec![3, 7, 4, 0, 6, 2, 5, 1])?;
+/// let routing = net.route_permutation(&p)?;          // global computation
+/// let out = net.apply(&routing, &records_for_permutation(&p))?;
+/// assert!(all_delivered(&out));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenesNetwork {
+    m: usize,
+}
+
+impl BenesNetwork {
+    /// A Benes network with `2^m` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1, "network needs at least 2 inputs");
+        BenesNetwork { m }
+    }
+
+    /// A Benes network with `n` inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n` is not a power of two or is less than 2.
+    pub fn with_inputs(n: usize) -> Result<Self, RouteError> {
+        let m = require_power_of_two(n)?;
+        if m == 0 {
+            return Err(RouteError::WidthMismatch {
+                expected: 2,
+                actual: n,
+            });
+        }
+        Ok(Self::new(m))
+    }
+
+    /// `log2` of the network width.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Network width.
+    pub fn inputs(&self) -> usize {
+        1 << self.m
+    }
+
+    /// Number of switch stages: `2·log N − 1`.
+    pub fn stage_count(&self) -> usize {
+        2 * self.m - 1
+    }
+
+    /// Total 2×2 switches: `(2·log N − 1)·N/2`.
+    pub fn switch_count(&self) -> usize {
+        self.stage_count() * self.inputs() / 2
+    }
+
+    /// Total 2×2 switches after Waksman's reduction (one output switch
+    /// removed per recursion node): `N·log N − N + 1`.
+    pub fn waksman_switch_count(&self) -> usize {
+        let n = self.inputs();
+        n * self.m - n + 1
+    }
+
+    /// Computes switch settings realizing `perm` with the looping
+    /// algorithm. This is the *global* routing computation self-routing
+    /// networks avoid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::WidthMismatch`] if `perm.len()` differs from
+    /// the network width.
+    pub fn route_permutation(&self, perm: &Permutation) -> Result<BenesRouting, RouteError> {
+        let n = self.inputs();
+        if perm.len() != n {
+            return Err(RouteError::WidthMismatch {
+                expected: n,
+                actual: perm.len(),
+            });
+        }
+        Ok(loop_route(perm, false))
+    }
+
+    /// Like [`BenesNetwork::route_permutation`], but produces a
+    /// Waksman-reduced setting: the last output-stage switch of every
+    /// recursion level is forced straight, so `N/2 − 1` switches (one per
+    /// recursion node of size ≥ 4) can be deleted from the hardware
+    /// (Waksman 1968, paper ref \[5\]). The
+    /// resulting routing satisfies
+    /// [`BenesRouting::is_waksman_reduced`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::WidthMismatch`] if `perm.len()` differs from
+    /// the network width.
+    pub fn route_permutation_waksman(
+        &self,
+        perm: &Permutation,
+    ) -> Result<BenesRouting, RouteError> {
+        let n = self.inputs();
+        if perm.len() != n {
+            return Err(RouteError::WidthMismatch {
+                expected: n,
+                actual: perm.len(),
+            });
+        }
+        Ok(loop_route(perm, true))
+    }
+
+    /// Pushes records through the network under precomputed settings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::WidthMismatch`] if the record count or the
+    /// routing's width differs from the network width.
+    pub fn apply(
+        &self,
+        routing: &BenesRouting,
+        records: &[Record],
+    ) -> Result<Vec<Record>, RouteError> {
+        let n = self.inputs();
+        if records.len() != n {
+            return Err(RouteError::WidthMismatch {
+                expected: n,
+                actual: records.len(),
+            });
+        }
+        if routing.n != n {
+            return Err(RouteError::WidthMismatch {
+                expected: n,
+                actual: routing.n,
+            });
+        }
+        Ok(apply_rec(routing, records.to_vec()))
+    }
+
+    /// Convenience: compute the routing for the permutation implied by the
+    /// records' destinations and apply it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::WidthMismatch`],
+    /// [`RouteError::DestinationTooWide`] or
+    /// [`RouteError::DuplicateDestination`] on malformed input.
+    pub fn route(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
+        let n = self.inputs();
+        if records.len() != n {
+            return Err(RouteError::WidthMismatch {
+                expected: n,
+                actual: records.len(),
+            });
+        }
+        let mut images = Vec::with_capacity(n);
+        for r in records {
+            if r.dest() >= n {
+                return Err(RouteError::DestinationTooWide { dest: r.dest(), n });
+            }
+            images.push(r.dest());
+        }
+        let perm = Permutation::try_from(images).map_err(|e| match e {
+            bnb_topology::TopologyError::DuplicateImage {
+                value,
+                first_index,
+                second_index,
+            } => RouteError::DuplicateDestination {
+                dest: value,
+                first_input: first_index,
+                second_input: second_index,
+            },
+            other => RouteError::Topology(other),
+        })?;
+        let routing = self.route_permutation(&perm)?;
+        self.apply(&routing, records)
+    }
+}
+
+/// One terminal of the looping algorithm's constraint graph.
+#[derive(Debug, Clone, Copy)]
+enum Terminal {
+    In(usize),
+    Out(usize),
+}
+
+/// The looping algorithm (Waksman 1968 / Opferman–Tsao-Wu): assign every
+/// input/output terminal to the upper (0) or lower (1) subnetwork so that
+/// paired terminals differ and connected terminals agree, then recurse on
+/// the two sub-permutations. With `waksman = true`, the chain is seeded so
+/// the last output-stage switch stays straight and can be removed from the
+/// hardware.
+fn loop_route(perm: &Permutation, waksman: bool) -> BenesRouting {
+    let n = perm.len();
+    if n == 2 {
+        return BenesRouting {
+            n,
+            first: vec![perm.apply(0) == 1],
+            last: vec![],
+            upper: None,
+            lower: None,
+            steps: 1,
+        };
+    }
+    let inv = perm.inverse();
+    let mut in_sub = vec![u8::MAX; n]; // subnetwork of each input terminal
+    let mut out_sub = vec![u8::MAX; n];
+    let mut steps = 0usize;
+    let mut worklist: Vec<(Terminal, u8)> = Vec::new();
+    let mut propagate =
+        |seed: (Terminal, u8), in_sub: &mut Vec<u8>, out_sub: &mut Vec<u8>, steps: &mut usize| {
+            worklist.push(seed);
+            while let Some((t, s)) = worklist.pop() {
+                match t {
+                    Terminal::In(i) => {
+                        if in_sub[i] != u8::MAX {
+                            debug_assert_eq!(in_sub[i], s, "inconsistent looping constraint");
+                            continue;
+                        }
+                        in_sub[i] = s;
+                        *steps += 1;
+                        // Connected output keeps the subnetwork; paired input
+                        // takes the opposite one.
+                        worklist.push((Terminal::Out(perm.apply(i)), s));
+                        worklist.push((Terminal::In(i ^ 1), s ^ 1));
+                    }
+                    Terminal::Out(o) => {
+                        if out_sub[o] != u8::MAX {
+                            debug_assert_eq!(out_sub[o], s, "inconsistent looping constraint");
+                            continue;
+                        }
+                        out_sub[o] = s;
+                        *steps += 1;
+                        worklist.push((Terminal::In(inv.apply(o)), s));
+                        worklist.push((Terminal::Out(o ^ 1), s ^ 1));
+                    }
+                }
+            }
+        };
+    if waksman {
+        // Fix the removed output switch: output n−2 via upper, n−1 via
+        // lower — i.e. straight wiring where the switch used to be.
+        propagate(
+            (Terminal::Out(n - 1), 1),
+            &mut in_sub,
+            &mut out_sub,
+            &mut steps,
+        );
+    }
+    #[allow(clippy::needless_range_loop)] // start indexes terminal state
+    for start in 0..n {
+        if in_sub[start] == u8::MAX {
+            propagate(
+                (Terminal::In(start), 0),
+                &mut in_sub,
+                &mut out_sub,
+                &mut steps,
+            );
+        }
+    }
+    // Build the two sub-permutations: the subnet-s input at input switch t
+    // enters sub-network port t and must exit at the port of its output
+    // switch.
+    let half = n / 2;
+    let mut upper_images = vec![0usize; half];
+    let mut lower_images = vec![0usize; half];
+    #[allow(clippy::needless_range_loop)] // input indexes both perm and in_sub
+    for input in 0..n {
+        let output = perm.apply(input);
+        let (t_in, t_out) = (input / 2, output / 2);
+        if in_sub[input] == 0 {
+            upper_images[t_in] = t_out;
+        } else {
+            lower_images[t_in] = t_out;
+        }
+    }
+    let upper_perm = Permutation::try_from(upper_images).expect("looping yields a bijection");
+    let lower_perm = Permutation::try_from(lower_images).expect("looping yields a bijection");
+    let upper = loop_route(&upper_perm, waksman);
+    let lower = loop_route(&lower_perm, waksman);
+    steps += upper.steps + lower.steps;
+    let first = (0..half).map(|t| in_sub[2 * t] == 1).collect();
+    let last = (0..half).map(|t| out_sub[2 * t] == 1).collect();
+    BenesRouting {
+        n,
+        first,
+        last,
+        upper: Some(Box::new(upper)),
+        lower: Some(Box::new(lower)),
+        steps,
+    }
+}
+
+fn apply_rec(routing: &BenesRouting, lines: Vec<Record>) -> Vec<Record> {
+    let n = lines.len();
+    debug_assert_eq!(n, routing.n);
+    if n == 2 {
+        let mut lines = lines;
+        if routing.first[0] {
+            lines.swap(0, 1);
+        }
+        return lines;
+    }
+    let half = n / 2;
+    let mut upper_in = Vec::with_capacity(half);
+    let mut lower_in = Vec::with_capacity(half);
+    for t in 0..half {
+        let (a, b) = (lines[2 * t], lines[2 * t + 1]);
+        if routing.first[t] {
+            upper_in.push(b);
+            lower_in.push(a);
+        } else {
+            upper_in.push(a);
+            lower_in.push(b);
+        }
+    }
+    let upper_out = apply_rec(routing.upper.as_ref().expect("inner routing"), upper_in);
+    let lower_out = apply_rec(routing.lower.as_ref().expect("inner routing"), lower_in);
+    let mut out = Vec::with_capacity(n);
+    for t in 0..half {
+        if routing.last[t] {
+            out.push(lower_out[t]);
+            out.push(upper_out[t]);
+        } else {
+            out.push(upper_out[t]);
+            out.push(lower_out[t]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnb_topology::record::{all_delivered, records_for_permutation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn routes_all_permutations_n4_and_n8() {
+        for (n, total) in [(4usize, 24u64), (8, 40_320)] {
+            let net = BenesNetwork::with_inputs(n).unwrap();
+            for k in 0..total {
+                let p = Permutation::nth_lexicographic(n, k);
+                let out = net.route(&records_for_permutation(&p)).unwrap();
+                assert!(all_delivered(&out), "N={n} perm {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn routes_random_large_permutations() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for m in [4usize, 7, 10] {
+            let net = BenesNetwork::new(m);
+            let n = 1 << m;
+            for _ in 0..10 {
+                let p = Permutation::random(n, &mut rng);
+                let out = net.route(&records_for_permutation(&p)).unwrap();
+                assert!(all_delivered(&out), "m = {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn switch_count_matches_closed_form() {
+        for m in 1..=10usize {
+            let net = BenesNetwork::new(m);
+            assert_eq!(net.switch_count(), (2 * m - 1) * (1 << (m - 1)));
+            assert_eq!(net.stage_count(), 2 * m - 1);
+        }
+    }
+
+    #[test]
+    fn looping_steps_grow_superlinearly() {
+        // Global routing work is Θ(N log N): every terminal is assigned at
+        // every recursion level.
+        let mut rng = StdRng::seed_from_u64(12);
+        let p_small = Permutation::random(16, &mut rng);
+        let p_large = Permutation::random(256, &mut rng);
+        let net_small = BenesNetwork::new(4);
+        let net_large = BenesNetwork::new(8);
+        let steps_small = net_small.route_permutation(&p_small).unwrap().steps();
+        let steps_large = net_large.route_permutation(&p_large).unwrap().steps();
+        assert!(
+            steps_large > 16 * steps_small / 2,
+            "steps must scale with N log N"
+        );
+    }
+
+    #[test]
+    fn duplicate_destinations_rejected() {
+        let net = BenesNetwork::new(2);
+        let records = vec![
+            Record::new(0, 0),
+            Record::new(0, 1),
+            Record::new(2, 2),
+            Record::new(3, 3),
+        ];
+        assert!(matches!(
+            net.route(&records),
+            Err(RouteError::DuplicateDestination { dest: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn apply_checks_widths() {
+        let net = BenesNetwork::new(2);
+        let p = Permutation::identity(4);
+        let routing = net.route_permutation(&p).unwrap();
+        assert!(net.apply(&routing, &[Record::new(0, 0)]).is_err());
+        let other = BenesNetwork::new(3);
+        assert!(other
+            .apply(
+                &routing,
+                &records_for_permutation(&Permutation::identity(8))
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn waksman_reduction_routes_all_n8_permutations() {
+        let net = BenesNetwork::new(3);
+        for k in 0..40_320u64 {
+            let p = Permutation::nth_lexicographic(8, k);
+            let routing = net.route_permutation_waksman(&p).unwrap();
+            assert!(routing.is_waksman_reduced(), "perm {p} not reduced");
+            let out = net.apply(&routing, &records_for_permutation(&p)).unwrap();
+            assert!(all_delivered(&out), "perm {p} mis-routed under Waksman");
+        }
+    }
+
+    #[test]
+    fn waksman_reduction_routes_random_large_permutations() {
+        let mut rng = StdRng::seed_from_u64(44);
+        for m in [4usize, 6, 9] {
+            let net = BenesNetwork::new(m);
+            let n = 1 << m;
+            for _ in 0..10 {
+                let p = Permutation::random(n, &mut rng);
+                let routing = net.route_permutation_waksman(&p).unwrap();
+                assert!(routing.is_waksman_reduced(), "m = {m}");
+                let out = net.apply(&routing, &records_for_permutation(&p)).unwrap();
+                assert!(all_delivered(&out), "m = {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn waksman_switch_count_closed_form() {
+        for m in 1..=10usize {
+            let net = BenesNetwork::new(m);
+            let n = 1usize << m;
+            assert_eq!(net.waksman_switch_count(), n * m - n + 1);
+            // The reduction removes exactly N/2 − 1 switches (one per
+            // recursion node of size >= 4).
+            assert_eq!(net.switch_count() - net.waksman_switch_count(), n / 2 - 1);
+        }
+    }
+
+    #[test]
+    fn plain_routing_is_not_necessarily_reduced() {
+        // The unconstrained looping algorithm sometimes crosses the last
+        // output switch; find one such permutation to prove the reduction
+        // is a real constraint.
+        let net = BenesNetwork::new(3);
+        let mut found = false;
+        for k in 0..5000u64 {
+            let p = Permutation::nth_lexicographic(8, k * 8);
+            if !net.route_permutation(&p).unwrap().is_waksman_reduced() {
+                found = true;
+                break;
+            }
+        }
+        assert!(
+            found,
+            "some plain routing should cross the reducible switch"
+        );
+    }
+
+    #[test]
+    fn cross_count_is_zero_for_identity_waksman() {
+        // Identity under the Waksman seeding: everything straight.
+        let net = BenesNetwork::new(3);
+        let routing = net
+            .route_permutation_waksman(&Permutation::identity(8))
+            .unwrap();
+        let out = net
+            .apply(
+                &routing,
+                &records_for_permutation(&Permutation::identity(8)),
+            )
+            .unwrap();
+        assert!(all_delivered(&out));
+        assert_eq!(routing.cross_count(), 0);
+    }
+
+    #[test]
+    fn n2_network_is_a_single_switch() {
+        let net = BenesNetwork::new(1);
+        let swap = Permutation::try_from(vec![1, 0]).unwrap();
+        let out = net.route(&records_for_permutation(&swap)).unwrap();
+        assert!(all_delivered(&out));
+        assert_eq!(net.switch_count(), 1);
+    }
+}

@@ -1,0 +1,236 @@
+//! Batcher's bitonic sorting network — an extra `O(N log²N)`-comparator
+//! reference point with the same asymptotics as the odd–even merge network
+//! but a higher constant (`N/4·log²N + N/4·log N` comparators), included to
+//! show the Table 1 comparison is not an artifact of one particular sorting
+//! network.
+
+use bnb_core::cost::HardwareCost;
+use bnb_core::delay::PropagationDelay;
+use bnb_core::error::RouteError;
+use bnb_topology::connection::require_power_of_two;
+use bnb_topology::record::Record;
+
+use crate::batcher::Comparator;
+
+/// Batcher's `N = 2^m`-input bitonic sorting network.
+///
+/// # Example
+///
+/// ```
+/// use bnb_baselines::bitonic::BitonicNetwork;
+/// use bnb_topology::perm::Permutation;
+/// use bnb_topology::record::{records_for_permutation, all_delivered};
+///
+/// let net = BitonicNetwork::with_inputs(8)?;
+/// let p = Permutation::try_from(vec![7, 0, 3, 5, 1, 6, 2, 4])?;
+/// assert!(all_delivered(&net.route(&records_for_permutation(&p))?));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitonicNetwork {
+    m: usize,
+    stages: Vec<Vec<Comparator>>,
+}
+
+impl BitonicNetwork {
+    /// Builds the network for `2^m` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1, "sorting network needs at least 2 inputs");
+        let n = 1usize << m;
+        // The iterative bitonic construction: phase k merges bitonic runs of
+        // length 2^{k+1}; sub-phase j compares lines 2^j apart. Stages are
+        // naturally parallel.
+        let mut stages = Vec::new();
+        for k in 0..m {
+            for j in (0..=k).rev() {
+                let dist = 1usize << j;
+                let mut stage = Vec::with_capacity(n / 2);
+                for i in 0..n {
+                    let partner = i ^ dist;
+                    if partner > i {
+                        // Sort ascending when bit (k+1) of i is 0.
+                        let ascending = i & (1 << (k + 1)) == 0 || k + 1 >= m;
+                        if ascending {
+                            stage.push(Comparator {
+                                low: i,
+                                high: partner,
+                            });
+                        } else {
+                            stage.push(Comparator {
+                                low: partner,
+                                high: i,
+                            });
+                        }
+                    }
+                }
+                stages.push(stage);
+            }
+        }
+        BitonicNetwork { m, stages }
+    }
+
+    /// Builds the network for `n` inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n` is not a power of two or is less than 2.
+    pub fn with_inputs(n: usize) -> Result<Self, RouteError> {
+        let m = require_power_of_two(n)?;
+        if m == 0 {
+            return Err(RouteError::WidthMismatch {
+                expected: 2,
+                actual: n,
+            });
+        }
+        Ok(Self::new(m))
+    }
+
+    /// `log2` of the network width.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Network width.
+    pub fn inputs(&self) -> usize {
+        1 << self.m
+    }
+
+    /// The comparator schedule, stage by stage.
+    pub fn stages(&self) -> &[Vec<Comparator>] {
+        &self.stages
+    }
+
+    /// Total comparators: `N/4 · log N · (log N + 1)` (every one of the
+    /// `log N(log N+1)/2` stages is a full column of `N/2`).
+    pub fn comparator_count(&self) -> usize {
+        self.stages.iter().map(Vec::len).sum()
+    }
+
+    /// Number of parallel stages: `log N (log N + 1)/2`, the same depth as
+    /// odd–even merge.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Routes records by sorting on destination address.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::batcher::BatcherNetwork::route`].
+    pub fn route(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
+        let n = self.inputs();
+        if records.len() != n {
+            return Err(RouteError::WidthMismatch {
+                expected: n,
+                actual: records.len(),
+            });
+        }
+        for r in records {
+            if r.dest() >= n {
+                return Err(RouteError::DestinationTooWide { dest: r.dest(), n });
+            }
+        }
+        let mut lines = records.to_vec();
+        for stage in &self.stages {
+            for c in stage {
+                if lines[c.low].dest() > lines[c.high].dest() {
+                    lines.swap(c.low, c.high);
+                }
+            }
+        }
+        Ok(lines)
+    }
+
+    /// Hardware cost under the paper's comparison-element model (same per-CE
+    /// slices as eq. (11)).
+    pub fn cost(&self, w: usize) -> HardwareCost {
+        let ce = self.comparator_count() as u64;
+        HardwareCost {
+            switches: ce * (self.m + w) as u64,
+            function_nodes: ce * self.m as u64,
+            adder_slices: 0,
+        }
+    }
+
+    /// Propagation delay under the paper's model (same per-stage terms as
+    /// eq. (12); identical depth to odd–even merge).
+    pub fn delay(&self) -> PropagationDelay {
+        let stages = self.stage_count() as u64;
+        PropagationDelay {
+            switch_units: stages,
+            fn_units: stages * self.m as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnb_topology::perm::Permutation;
+    use bnb_topology::record::{all_delivered, records_for_permutation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn comparator_count_is_full_columns() {
+        for m in 1..=8u64 {
+            let net = BitonicNetwork::new(m as usize);
+            let n = 1u64 << m;
+            assert_eq!(
+                net.comparator_count() as u64,
+                n / 2 * m * (m + 1) / 2,
+                "m = {m}"
+            );
+            assert_eq!(net.stage_count() as u64, m * (m + 1) / 2);
+        }
+    }
+
+    #[test]
+    fn routes_all_permutations_n8() {
+        let net = BitonicNetwork::new(3);
+        for k in 0..40_320 {
+            let p = Permutation::nth_lexicographic(8, k);
+            let out = net.route(&records_for_permutation(&p)).unwrap();
+            assert!(all_delivered(&out), "perm {p}");
+        }
+    }
+
+    #[test]
+    fn routes_random_permutations_large() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for m in [4usize, 6, 9] {
+            let net = BitonicNetwork::new(m);
+            let n = 1 << m;
+            for _ in 0..10 {
+                let p = Permutation::random(n, &mut rng);
+                let out = net.route(&records_for_permutation(&p)).unwrap();
+                assert!(all_delivered(&out), "m = {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn costs_more_than_odd_even_merge() {
+        use crate::batcher::BatcherNetwork;
+        for m in 2..=8 {
+            let bitonic = BitonicNetwork::new(m);
+            let oem = BatcherNetwork::new(m);
+            assert!(
+                bitonic.comparator_count() > oem.comparator_count(),
+                "bitonic must be the more expensive sorter (m = {m})"
+            );
+            assert_eq!(bitonic.stage_count(), oem.stage_count());
+        }
+    }
+
+    #[test]
+    fn validates_input() {
+        let net = BitonicNetwork::new(2);
+        assert!(net.route(&[Record::new(0, 0)]).is_err());
+        assert!(BitonicNetwork::with_inputs(5).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Cellular interconnection array (paper refs \[3, 4\]: Kautz et al. 1968,
+//! Oruç & Prakash 1984) — the second `O(N²)` design §1 rules out.
+//!
+//! A cellular array realizes permutations with a regular grid of identical
+//! cells and purely local control. We model it as the odd–even
+//! transposition array: `N` columns of compare/exchange cells between
+//! adjacent lines (alternating even/odd pairings), which sorts any input —
+//! hence routes any permutation — with `N·(N−1)/2 ≈ N²/2` cells and `N`
+//! columns of delay. Against the BNB network it trades `O(N²)` hardware
+//! and `O(N)` delay for perfect layout regularity (nearest-neighbour wiring
+//! only).
+
+use bnb_core::cost::HardwareCost;
+use bnb_core::delay::PropagationDelay;
+use bnb_core::error::RouteError;
+use bnb_topology::record::Record;
+use serde::{Deserialize, Serialize};
+
+/// An `n`-input cellular (odd–even transposition) array. Any `n ≥ 2`, not
+/// restricted to powers of two.
+///
+/// # Example
+///
+/// ```
+/// use bnb_baselines::cellular::CellularArray;
+/// use bnb_topology::perm::Permutation;
+/// use bnb_topology::record::{records_for_permutation, all_delivered};
+///
+/// let arr = CellularArray::new(6);
+/// let p = Permutation::try_from(vec![3, 5, 0, 2, 4, 1])?;
+/// assert!(all_delivered(&arr.route(&records_for_permutation(&p))?));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellularArray {
+    n: usize,
+}
+
+impl CellularArray {
+    /// An `n`-line array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "cellular array needs at least 2 lines");
+        CellularArray { n }
+    }
+
+    /// Line count.
+    pub fn inputs(&self) -> usize {
+        self.n
+    }
+
+    /// Number of columns (time steps): `n`.
+    pub fn column_count(&self) -> usize {
+        self.n
+    }
+
+    /// Total compare/exchange cells: alternating columns of `⌊n/2⌋` and
+    /// `⌊(n−1)/2⌋` cells over `n` columns.
+    pub fn cell_count(&self) -> usize {
+        let even_cols = self.n.div_ceil(2);
+        let odd_cols = self.n / 2;
+        even_cols * (self.n / 2) + odd_cols * ((self.n - 1) / 2)
+    }
+
+    /// Routes records by odd–even transposition sort on destinations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::WidthMismatch`] or
+    /// [`RouteError::DestinationTooWide`] on malformed input.
+    pub fn route(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
+        if records.len() != self.n {
+            return Err(RouteError::WidthMismatch {
+                expected: self.n,
+                actual: records.len(),
+            });
+        }
+        for r in records {
+            if r.dest() >= self.n {
+                return Err(RouteError::DestinationTooWide {
+                    dest: r.dest(),
+                    n: self.n,
+                });
+            }
+        }
+        let mut lines = records.to_vec();
+        for col in 0..self.n {
+            let start = col % 2;
+            let mut i = start;
+            while i + 1 < self.n {
+                if lines[i].dest() > lines[i + 1].dest() {
+                    lines.swap(i, i + 1);
+                }
+                i += 2;
+            }
+        }
+        Ok(lines)
+    }
+
+    /// Hardware cost: one switch plus one comparison function slice per
+    /// cell (unit model, address-only).
+    pub fn cost(&self) -> HardwareCost {
+        let cells = self.cell_count() as u64;
+        HardwareCost {
+            switches: cells,
+            function_nodes: cells,
+            adder_slices: 0,
+        }
+    }
+
+    /// Propagation delay: `n` columns, each one switch plus one compare.
+    pub fn delay(&self) -> PropagationDelay {
+        PropagationDelay {
+            switch_units: self.n as u64,
+            fn_units: self.n as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnb_topology::perm::Permutation;
+    use bnb_topology::record::{all_delivered, records_for_permutation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn routes_all_permutations_n6_and_n8() {
+        for n in [6usize, 8] {
+            let arr = CellularArray::new(n);
+            let total: u64 = (1..=n as u64).product();
+            for k in 0..total {
+                let p = Permutation::nth_lexicographic(n, k);
+                let out = arr.route(&records_for_permutation(&p)).unwrap();
+                assert!(all_delivered(&out), "n={n} perm {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn routes_random_non_power_of_two_sizes() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for n in [5usize, 13, 100] {
+            let arr = CellularArray::new(n);
+            for _ in 0..10 {
+                let p = Permutation::random(n, &mut rng);
+                let out = arr.route(&records_for_permutation(&p)).unwrap();
+                assert!(all_delivered(&out), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn cell_count_is_quadratic() {
+        // n(n-1)/2 cells exactly.
+        for n in 2..=50usize {
+            assert_eq!(
+                CellularArray::new(n).cell_count(),
+                n * (n - 1) / 2,
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn delay_is_linear() {
+        let arr = CellularArray::new(32);
+        assert_eq!(arr.delay().switch_units, 32);
+        assert_eq!(arr.column_count(), 32);
+    }
+
+    #[test]
+    fn bnb_beats_cellular_asymptotically_but_not_at_n4() {
+        // The cellular array is actually *cheaper* at tiny sizes — the
+        // quadratic only loses once N outgrows log³N.
+        use bnb_core::cost::HardwareCost as HC;
+        let small_cell = CellularArray::new(4).cost().total_units();
+        let small_bnb = HC::bnb_counted(2, 0).total_units();
+        assert!(small_cell < small_bnb, "{small_cell} vs {small_bnb}");
+        let big_cell = CellularArray::new(1 << 10).cost().total_units();
+        let big_bnb = HC::bnb_counted(10, 0).total_units();
+        assert!(big_bnb < big_cell, "{big_bnb} vs {big_cell}");
+    }
+
+    #[test]
+    fn validates_input() {
+        let arr = CellularArray::new(4);
+        assert!(arr.route(&[Record::new(0, 0)]).is_err());
+        let wide = vec![
+            Record::new(4, 0),
+            Record::new(1, 0),
+            Record::new(2, 0),
+            Record::new(3, 0),
+        ];
+        assert!(arr.route(&wide).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 lines")]
+    fn rejects_single_line() {
+        let _ = CellularArray::new(1);
+    }
+}

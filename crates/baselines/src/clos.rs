@@ -1,0 +1,418 @@
+//! Symmetric three-stage Clos network with edge-coloring routing.
+//!
+//! The Koppelman–Oruç SRPN (paper ref \[11\]) is derived from a Clos-class
+//! network (the "complementary Benes network"); this module provides the
+//! plain rearrangeable Clos `C(n, n, r)` itself as a substrate and
+//! comparison point:
+//!
+//! - `r` input crossbars of size `n × n`, `n` middle crossbars of size
+//!   `r × r`, `r` output crossbars of size `n × n` (`N = n·r` terminals);
+//! - rearrangeably nonblocking with exactly `m = n` middle switches
+//!   (Slepian–Duguid): routing a permutation is an `n`-edge-coloring of
+//!   the `r × r` bipartite demand multigraph, computed here by recursive
+//!   Euler splitting (requires `n` to be a power of two);
+//! - like Benes, this is **global** routing: the coloring needs the whole
+//!   permutation before any record moves.
+
+use bnb_core::cost::HardwareCost;
+use bnb_core::error::RouteError;
+use bnb_topology::perm::Permutation;
+use bnb_topology::record::Record;
+use serde::{Deserialize, Serialize};
+
+/// A symmetric rearrangeable Clos network `C(n, n, r)` with `N = n·r`
+/// terminals.
+///
+/// # Example
+///
+/// ```
+/// use bnb_baselines::clos::ClosNetwork;
+/// use bnb_topology::perm::Permutation;
+/// use bnb_topology::record::{records_for_permutation, all_delivered};
+///
+/// let net = ClosNetwork::new(4, 3)?; // N = 12
+/// let p = Permutation::try_from(vec![7, 0, 10, 2, 9, 4, 11, 1, 3, 8, 5, 6])?;
+/// assert!(all_delivered(&net.route(&records_for_permutation(&p))?));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClosNetwork {
+    /// Ports per edge switch (= middle-switch count); a power of two.
+    n: usize,
+    /// Edge switches per side.
+    r: usize,
+}
+
+/// A computed Clos routing: the middle switch assigned to every input.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClosRouting {
+    /// `middle[i]` is the middle-switch (color) carrying global input `i`.
+    pub middle: Vec<usize>,
+}
+
+impl ClosNetwork {
+    /// A Clos network with `r` edge switches of `n` ports each.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n` is not a power of two (the Euler-split
+    /// colorer requires it) or if `n` or `r` is zero.
+    pub fn new(n: usize, r: usize) -> Result<Self, RouteError> {
+        if n == 0 || r == 0 || !n.is_power_of_two() {
+            return Err(RouteError::Topology(
+                bnb_topology::TopologyError::NotPowerOfTwo { size: n.max(1) },
+            ));
+        }
+        Ok(ClosNetwork { n, r })
+    }
+
+    /// Ports per edge switch.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Edge switches per side.
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Terminal count `N = n·r`.
+    pub fn inputs(&self) -> usize {
+        self.n * self.r
+    }
+
+    /// Crosspoints: `2·r·n² + n·r²`.
+    pub fn crosspoint_count(&self) -> usize {
+        2 * self.r * self.n * self.n + self.n * self.r * self.r
+    }
+
+    /// Hardware cost (crosspoints as switches).
+    pub fn cost(&self) -> HardwareCost {
+        HardwareCost {
+            switches: self.crosspoint_count() as u64,
+            function_nodes: 0,
+            adder_slices: 0,
+        }
+    }
+
+    /// Computes a middle-switch assignment realizing `perm` by recursive
+    /// Euler splitting of the demand multigraph — the global routing
+    /// computation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::WidthMismatch`] if `perm.len() != N`.
+    pub fn route_permutation(&self, perm: &Permutation) -> Result<ClosRouting, RouteError> {
+        let nn = self.inputs();
+        if perm.len() != nn {
+            return Err(RouteError::WidthMismatch {
+                expected: nn,
+                actual: perm.len(),
+            });
+        }
+        // Edge list of the bipartite demand multigraph: one edge per global
+        // input, from its input switch to its output switch.
+        let edges: Vec<(usize, usize)> = (0..nn)
+            .map(|i| (i / self.n, perm.apply(i) / self.n))
+            .collect();
+        let ids: Vec<usize> = (0..nn).collect();
+        let mut middle = vec![usize::MAX; nn];
+        self.color(&edges, &ids, 0, self.n, &mut middle);
+        debug_assert!(middle.iter().all(|&c| c < self.n));
+        Ok(ClosRouting { middle })
+    }
+
+    /// Recursively splits the multigraph with edge set `ids` (every vertex
+    /// degree = `width`) into halves until single colors remain.
+    fn color(
+        &self,
+        edges: &[(usize, usize)],
+        ids: &[usize],
+        base: usize,
+        width: usize,
+        middle: &mut [usize],
+    ) {
+        if width == 1 {
+            for &id in ids {
+                middle[id] = base;
+            }
+            return;
+        }
+        // Euler split: walk circuits of the (even-degree) multigraph,
+        // alternating edges between the two halves.
+        let r = self.r;
+        // adjacency: per input-switch vertex (0..r) and output-switch
+        // vertex (r..2r), the incident edge positions in `ids`.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); 2 * r];
+        for (pos, &id) in ids.iter().enumerate() {
+            let (a, b) = edges[id];
+            adj[a].push(pos);
+            adj[r + b].push(pos);
+        }
+        let mut used = vec![false; ids.len()];
+        let mut cursor = vec![0usize; 2 * r];
+        let mut half_a = Vec::with_capacity(ids.len() / 2);
+        let mut half_b = Vec::with_capacity(ids.len() / 2);
+        for start in 0..2 * r {
+            loop {
+                // Find an unused edge at `start` to begin a circuit.
+                while cursor[start] < adj[start].len() && used[adj[start][cursor[start]]] {
+                    cursor[start] += 1;
+                }
+                if cursor[start] >= adj[start].len() {
+                    break;
+                }
+                // Walk the circuit, alternating halves.
+                let mut v = start;
+                let mut take_a = true;
+                loop {
+                    while cursor[v] < adj[v].len() && used[adj[v][cursor[v]]] {
+                        cursor[v] += 1;
+                    }
+                    if cursor[v] >= adj[v].len() {
+                        break; // circuit closed (returned to a saturated vertex)
+                    }
+                    let pos = adj[v][cursor[v]];
+                    used[pos] = true;
+                    if take_a {
+                        half_a.push(ids[pos]);
+                    } else {
+                        half_b.push(ids[pos]);
+                    }
+                    take_a = !take_a;
+                    let (a, b) = edges[ids[pos]];
+                    // Move to the other endpoint of the edge.
+                    v = if v < r { r + b } else { a };
+                }
+            }
+        }
+        debug_assert_eq!(half_a.len(), half_b.len(), "Euler split must halve evenly");
+        self.color(edges, &half_a, base, width / 2, middle);
+        self.color(edges, &half_b, base + width / 2, width / 2, middle);
+    }
+
+    /// Pushes records through the three crossbar stages under a routing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::WidthMismatch`] on size mismatches, or
+    /// [`RouteError::DuplicateDestination`] if the routing sends two
+    /// records through the same middle-switch port (an invalid coloring —
+    /// cannot happen for colorings produced by
+    /// [`ClosNetwork::route_permutation`]).
+    pub fn apply(
+        &self,
+        routing: &ClosRouting,
+        records: &[Record],
+    ) -> Result<Vec<Record>, RouteError> {
+        let nn = self.inputs();
+        if records.len() != nn || routing.middle.len() != nn {
+            return Err(RouteError::WidthMismatch {
+                expected: nn,
+                actual: records.len().min(routing.middle.len()),
+            });
+        }
+        // Middle switch c, port a (from input switch a): at most one record.
+        let mut mid: Vec<Vec<Option<Record>>> = vec![vec![None; self.r]; self.n];
+        for (i, r) in records.iter().enumerate() {
+            let a = i / self.n;
+            let c = routing.middle[i];
+            if let Some(prev) = mid[c][a] {
+                return Err(RouteError::DuplicateDestination {
+                    dest: prev.dest(),
+                    first_input: a,
+                    second_input: i,
+                });
+            }
+            mid[c][a] = Some(*r);
+        }
+        // Middle crossbars route to output switches; output crossbars to
+        // local ports.
+        let mut out = vec![Record::new(0, 0); nn];
+        let mut seen = vec![false; nn];
+        for row in mid.iter() {
+            for slot in row.iter().flatten() {
+                let dest = slot.dest();
+                if seen[dest] {
+                    return Err(RouteError::DuplicateDestination {
+                        dest,
+                        first_input: 0,
+                        second_input: 0,
+                    });
+                }
+                seen[dest] = true;
+                out[dest] = *slot;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Convenience: derive the permutation from the records' destinations,
+    /// color it, and apply it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::WidthMismatch`],
+    /// [`RouteError::DestinationTooWide`] or
+    /// [`RouteError::DuplicateDestination`] on malformed input.
+    pub fn route(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
+        let nn = self.inputs();
+        if records.len() != nn {
+            return Err(RouteError::WidthMismatch {
+                expected: nn,
+                actual: records.len(),
+            });
+        }
+        let mut images = Vec::with_capacity(nn);
+        for r in records {
+            if r.dest() >= nn {
+                return Err(RouteError::DestinationTooWide {
+                    dest: r.dest(),
+                    n: nn,
+                });
+            }
+            images.push(r.dest());
+        }
+        let perm = Permutation::try_from(images).map_err(|e| match e {
+            bnb_topology::TopologyError::DuplicateImage {
+                value,
+                first_index,
+                second_index,
+            } => RouteError::DuplicateDestination {
+                dest: value,
+                first_input: first_index,
+                second_input: second_index,
+            },
+            other => RouteError::Topology(other),
+        })?;
+        let routing = self.route_permutation(&perm)?;
+        self.apply(&routing, records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnb_topology::record::{all_delivered, records_for_permutation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn routes_all_permutations_small() {
+        // C(2, 2): N = 4 (a Benes-like shape); exhaustive.
+        let net = ClosNetwork::new(2, 2).unwrap();
+        for k in 0..24 {
+            let p = Permutation::nth_lexicographic(4, k);
+            let out = net.route(&records_for_permutation(&p)).unwrap();
+            assert!(all_delivered(&out), "perm {p}");
+        }
+        // C(4, 2): N = 8; exhaustive over all 40 320.
+        let net = ClosNetwork::new(4, 2).unwrap();
+        for k in 0..40_320 {
+            let p = Permutation::nth_lexicographic(8, k);
+            let out = net.route(&records_for_permutation(&p)).unwrap();
+            assert!(all_delivered(&out), "perm {p}");
+        }
+    }
+
+    #[test]
+    fn routes_random_rectangular_configs() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for (n, r) in [(2usize, 7usize), (4, 5), (8, 8), (16, 3), (32, 9)] {
+            let net = ClosNetwork::new(n, r).unwrap();
+            let nn = net.inputs();
+            for _ in 0..10 {
+                let p = Permutation::random(nn, &mut rng);
+                let out = net.route(&records_for_permutation(&p)).unwrap();
+                assert!(all_delivered(&out), "C({n},{r})");
+            }
+        }
+    }
+
+    #[test]
+    fn coloring_is_a_proper_edge_coloring() {
+        // No two inputs of one input switch — and no two records for one
+        // output switch — may share a middle switch.
+        let mut rng = StdRng::seed_from_u64(10);
+        let net = ClosNetwork::new(8, 6).unwrap();
+        let p = Permutation::random(48, &mut rng);
+        let routing = net.route_permutation(&p).unwrap();
+        for sw in 0..6 {
+            let mut seen_in = [false; 8];
+            for port in 0..8 {
+                let c = routing.middle[sw * 8 + port];
+                assert!(!seen_in[c], "input switch {sw} reuses middle {c}");
+                seen_in[c] = true;
+            }
+        }
+        for out_sw in 0..6 {
+            let mut seen_out = [false; 8];
+            for i in 0..48 {
+                if p.apply(i) / 8 == out_sw {
+                    let c = routing.middle[i];
+                    assert!(!seen_out[c], "output switch {out_sw} reuses middle {c}");
+                    seen_out[c] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coloring_is_perfectly_balanced() {
+        // Euler splitting halves degrees exactly, so every middle switch
+        // carries exactly r records (one per input switch, one per output
+        // switch).
+        let mut rng = StdRng::seed_from_u64(77);
+        for (n, r) in [(4usize, 4usize), (8, 5), (16, 7)] {
+            let net = ClosNetwork::new(n, r).unwrap();
+            let p = Permutation::random(n * r, &mut rng);
+            let routing = net.route_permutation(&p).unwrap();
+            let mut load = vec![0usize; n];
+            for &c in &routing.middle {
+                load[c] += 1;
+            }
+            assert!(load.iter().all(|&l| l == r), "C({n},{r}): load {load:?}");
+        }
+    }
+
+    #[test]
+    fn crosspoints_match_closed_form() {
+        let net = ClosNetwork::new(4, 4).unwrap(); // N = 16
+        assert_eq!(net.crosspoint_count(), 2 * 4 * 16 + 4 * 16);
+        // Square Clos at n = r = sqrt(N) beats the N^2 crossbar.
+        let full = 16 * 16;
+        assert!(net.crosspoint_count() < full);
+        assert_eq!(net.cost().switches as usize, net.crosspoint_count());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(ClosNetwork::new(3, 4).is_err(), "n must be a power of two");
+        assert!(ClosNetwork::new(0, 4).is_err());
+        assert!(ClosNetwork::new(4, 0).is_err());
+    }
+
+    #[test]
+    fn validates_traffic() {
+        let net = ClosNetwork::new(2, 2).unwrap();
+        assert!(net.route(&[Record::new(0, 0)]).is_err());
+        let dup = vec![
+            Record::new(1, 0),
+            Record::new(1, 1),
+            Record::new(2, 2),
+            Record::new(3, 3),
+        ];
+        assert!(matches!(
+            net.route(&dup),
+            Err(RouteError::DuplicateDestination { .. })
+        ));
+    }
+
+    #[test]
+    fn n1_degenerates_to_single_crossbar() {
+        let net = ClosNetwork::new(1, 5).unwrap();
+        let p = Permutation::try_from(vec![4, 2, 0, 1, 3]).unwrap();
+        let out = net.route(&records_for_permutation(&p)).unwrap();
+        assert!(all_delivered(&out));
+    }
+}

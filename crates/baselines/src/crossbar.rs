@@ -1,0 +1,201 @@
+//! The `N × N` crossbar — the trivial non-blocking switch the paper's §1
+//! rules out on cost grounds: `O(N²)` crosspoints against the BNB's
+//! `O(N·log³N)` switch slices.
+//!
+//! Unlike the multistage networks, the crossbar natively supports *partial*
+//! mappings (idle inputs), so it is also the reference implementation the
+//! partial-traffic simulator tests compare against.
+
+use bnb_core::cost::HardwareCost;
+use bnb_core::delay::PropagationDelay;
+use bnb_core::error::RouteError;
+use bnb_topology::record::Record;
+use serde::{Deserialize, Serialize};
+
+/// An `n × n` crossbar (any `n ≥ 1`, not restricted to powers of two).
+///
+/// # Example
+///
+/// ```
+/// use bnb_baselines::crossbar::Crossbar;
+/// use bnb_topology::record::Record;
+///
+/// let xbar = Crossbar::new(4);
+/// let out = xbar.route_partial(&[
+///     Some(Record::new(2, 7)),
+///     None,
+///     Some(Record::new(0, 9)),
+///     None,
+/// ])?;
+/// assert_eq!(out[2], Some(Record::new(2, 7)));
+/// assert_eq!(out[0], Some(Record::new(0, 9)));
+/// assert_eq!(out[1], None);
+/// # Ok::<(), bnb_core::RouteError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Crossbar {
+    n: usize,
+}
+
+impl Crossbar {
+    /// An `n × n` crossbar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "crossbar needs at least one port");
+        Crossbar { n }
+    }
+
+    /// Port count.
+    pub fn inputs(&self) -> usize {
+        self.n
+    }
+
+    /// Crosspoint count: `n²`.
+    pub fn crosspoint_count(&self) -> usize {
+        self.n * self.n
+    }
+
+    /// Routes a full permutation of records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::WidthMismatch`],
+    /// [`RouteError::DestinationTooWide`] or
+    /// [`RouteError::DuplicateDestination`] on malformed input.
+    pub fn route(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
+        if records.len() != self.n {
+            return Err(RouteError::WidthMismatch {
+                expected: self.n,
+                actual: records.len(),
+            });
+        }
+        let partial: Vec<Option<Record>> = records.iter().copied().map(Some).collect();
+        let out = self.route_partial(&partial)?;
+        Ok(out
+            .into_iter()
+            .map(|o| o.expect("full input fills every output"))
+            .collect())
+    }
+
+    /// Routes a partial mapping: idle inputs are `None`, unclaimed outputs
+    /// come back `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::WidthMismatch`],
+    /// [`RouteError::DestinationTooWide`] or
+    /// [`RouteError::DuplicateDestination`] (two records claiming one
+    /// output port).
+    pub fn route_partial(
+        &self,
+        records: &[Option<Record>],
+    ) -> Result<Vec<Option<Record>>, RouteError> {
+        if records.len() != self.n {
+            return Err(RouteError::WidthMismatch {
+                expected: self.n,
+                actual: records.len(),
+            });
+        }
+        let mut out: Vec<Option<Record>> = vec![None; self.n];
+        let mut owner = vec![usize::MAX; self.n];
+        for (i, slot) in records.iter().enumerate() {
+            let Some(r) = slot else { continue };
+            if r.dest() >= self.n {
+                return Err(RouteError::DestinationTooWide {
+                    dest: r.dest(),
+                    n: self.n,
+                });
+            }
+            if owner[r.dest()] != usize::MAX {
+                return Err(RouteError::DuplicateDestination {
+                    dest: r.dest(),
+                    first_input: owner[r.dest()],
+                    second_input: i,
+                });
+            }
+            owner[r.dest()] = i;
+            out[r.dest()] = Some(*r);
+        }
+        Ok(out)
+    }
+
+    /// Hardware cost: `n²` crosspoints, modeled as switches.
+    pub fn cost(&self) -> HardwareCost {
+        HardwareCost {
+            switches: (self.n * self.n) as u64,
+            function_nodes: 0,
+            adder_slices: 0,
+        }
+    }
+
+    /// Propagation delay: a single switch traversal.
+    pub fn delay(&self) -> PropagationDelay {
+        PropagationDelay {
+            switch_units: 1,
+            fn_units: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnb_topology::perm::Permutation;
+    use bnb_topology::record::{all_delivered, records_for_permutation};
+
+    #[test]
+    fn routes_any_permutation() {
+        let xbar = Crossbar::new(8);
+        for k in [0u64, 1, 1000, 40_319] {
+            let p = Permutation::nth_lexicographic(8, k);
+            let out = xbar.route(&records_for_permutation(&p)).unwrap();
+            assert!(all_delivered(&out));
+        }
+    }
+
+    #[test]
+    fn supports_non_power_of_two_sizes() {
+        let xbar = Crossbar::new(5);
+        let p = Permutation::try_from(vec![4, 3, 2, 1, 0]).unwrap();
+        let out = xbar.route(&records_for_permutation(&p)).unwrap();
+        assert!(all_delivered(&out));
+    }
+
+    #[test]
+    fn partial_mapping_leaves_gaps() {
+        let xbar = Crossbar::new(3);
+        let out = xbar
+            .route_partial(&[None, Some(Record::new(0, 5)), None])
+            .unwrap();
+        assert_eq!(out, vec![Some(Record::new(0, 5)), None, None]);
+    }
+
+    #[test]
+    fn output_conflicts_are_rejected() {
+        let xbar = Crossbar::new(3);
+        let err = xbar
+            .route_partial(&[Some(Record::new(1, 0)), Some(Record::new(1, 1)), None])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RouteError::DuplicateDestination { dest: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn cost_is_quadratic() {
+        assert_eq!(Crossbar::new(16).crosspoint_count(), 256);
+        assert_eq!(Crossbar::new(16).cost().switches, 256);
+        assert_eq!(Crossbar::new(16).delay().total_units(), 1);
+    }
+
+    #[test]
+    fn validates_width_and_destination() {
+        let xbar = Crossbar::new(2);
+        assert!(xbar.route(&[Record::new(0, 0)]).is_err());
+        assert!(xbar.route(&[Record::new(5, 0), Record::new(1, 0)]).is_err());
+    }
+}

@@ -1,0 +1,253 @@
+//! The Koppelman–Oruç self-routing permutation network (paper ref \[11\]).
+//!
+//! The original 1989 design derives from a complementary Benes (Clos)
+//! network with modified input-stage switches; it self-routes all
+//! permutations using **ranking circuits** (trees of adders computing, for
+//! each record, its rank among records with the same current bit) feeding a
+//! cube network. The BNB paper compares against it only through its
+//! complexity rows in Tables 1 and 2:
+//!
+//! | quantity | leading terms |
+//! |---|---|
+//! | 2×2 switches | `N/4·log³N` |
+//! | function slices | `N/2·log²N` |
+//! | adder slices | `N·log²N` |
+//! | delay | `2/3·log³N − log²N + 1/3·log N + 1` |
+//!
+//! **Substitution note** (see DESIGN.md): the full 1989 design is not
+//! reproducible from the BNB paper alone, so this module provides (a) the
+//! exact analytical model above — everything Tables 1–2 need — and (b) a
+//! *behavioural stand-in* that routes permutations the way Koppelman's
+//! network does architecturally: per address bit, a ranking tree computes
+//! each record's destination-preserving rank, and a positional network
+//! places records by rank (stable radix partition). It routes all
+//! permutations and exposes the rank-tree depth, so the "local splitters vs
+//! global ranking" ablation (A1) can be measured on working code.
+
+use bnb_core::cost::HardwareCost;
+use bnb_core::error::RouteError;
+use bnb_topology::connection::require_power_of_two;
+use bnb_topology::record::Record;
+use serde::{Deserialize, Serialize};
+
+/// Analytical model and behavioural stand-in for the Koppelman–Oruç SRPN.
+///
+/// # Example
+///
+/// ```
+/// use bnb_baselines::koppelman::KoppelmanModel;
+/// use bnb_topology::perm::Permutation;
+/// use bnb_topology::record::{records_for_permutation, all_delivered};
+///
+/// let net = KoppelmanModel::with_inputs(8)?;
+/// let p = Permutation::try_from(vec![5, 1, 7, 3, 0, 6, 2, 4])?;
+/// assert!(all_delivered(&net.route(&records_for_permutation(&p))?));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KoppelmanModel {
+    m: usize,
+}
+
+impl KoppelmanModel {
+    /// A model for `2^m` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1, "network needs at least 2 inputs");
+        KoppelmanModel { m }
+    }
+
+    /// A model for `n` inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n` is not a power of two or is less than 2.
+    pub fn with_inputs(n: usize) -> Result<Self, RouteError> {
+        let m = require_power_of_two(n)?;
+        if m == 0 {
+            return Err(RouteError::WidthMismatch {
+                expected: 2,
+                actual: n,
+            });
+        }
+        Ok(Self::new(m))
+    }
+
+    /// `log2` of the network width.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Network width.
+    pub fn inputs(&self) -> usize {
+        1 << self.m
+    }
+
+    /// Table 1 leading-term hardware model: `N/4·log³N` switches,
+    /// `N/2·log²N` function slices, `N·log²N` adder slices.
+    pub fn cost(&self) -> HardwareCost {
+        let n = 1u64 << self.m;
+        let mu = self.m as u64;
+        HardwareCost {
+            switches: n / 4 * mu * mu * mu,
+            function_nodes: n / 2 * mu * mu,
+            adder_slices: n * mu * mu,
+        }
+    }
+
+    /// Table 2 delay polynomial with unit weights:
+    /// `2/3·log³N − log²N + 1/3·log N + 1`.
+    pub fn table2(m: usize) -> f64 {
+        let mf = m as f64;
+        2.0 / 3.0 * mf.powi(3) - mf.powi(2) + mf / 3.0 + 1.0
+    }
+
+    /// Behavioural stand-in routing: per address bit (LSB first), a ranking
+    /// tree assigns each record its stable-partition rank and the records
+    /// are placed by rank — an LSD radix sort, which is what rank-based
+    /// bit-sorting realizes. Routes every permutation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::WidthMismatch`],
+    /// [`RouteError::DestinationTooWide`] or
+    /// [`RouteError::DuplicateDestination`] on malformed input.
+    pub fn route(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
+        Ok(self.route_counted(records)?.0)
+    }
+
+    /// Like [`KoppelmanModel::route`], also returning the total ranking
+    /// adder-node operations performed — the "global information" work the
+    /// BNB's local arbiters avoid (ablation A1).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KoppelmanModel::route`].
+    pub fn route_counted(&self, records: &[Record]) -> Result<(Vec<Record>, usize), RouteError> {
+        let n = self.inputs();
+        if records.len() != n {
+            return Err(RouteError::WidthMismatch {
+                expected: n,
+                actual: records.len(),
+            });
+        }
+        let mut seen = vec![usize::MAX; n];
+        for (i, r) in records.iter().enumerate() {
+            if r.dest() >= n {
+                return Err(RouteError::DestinationTooWide { dest: r.dest(), n });
+            }
+            if seen[r.dest()] != usize::MAX {
+                return Err(RouteError::DuplicateDestination {
+                    dest: r.dest(),
+                    first_input: seen[r.dest()],
+                    second_input: i,
+                });
+            }
+            seen[r.dest()] = i;
+        }
+        let mut lines = records.to_vec();
+        let mut rank_ops = 0usize;
+        for bit in 0..self.m {
+            // Ranking tree: prefix counts of zeros/ones. A hardware ranking
+            // tree performs N−1 adder-node operations per sweep (up) and
+            // N−1 on the way down; we count both.
+            rank_ops += 2 * (n - 1);
+            let zeros = lines.iter().filter(|r| r.dest() >> bit & 1 == 0).count();
+            let mut next = vec![Record::new(0, 0); n];
+            let mut zero_rank = 0usize;
+            let mut one_rank = 0usize;
+            for &r in &lines {
+                if r.dest() >> bit & 1 == 0 {
+                    next[zero_rank] = r;
+                    zero_rank += 1;
+                } else {
+                    next[zeros + one_rank] = r;
+                    one_rank += 1;
+                }
+            }
+            lines = next;
+        }
+        Ok((lines, rank_ops))
+    }
+
+    /// Per-stage ranking-tree sweep depth in adder-node levels: `2·log N`
+    /// up-and-down, each level adding `log N`-bit numbers (contrast with
+    /// the BNB arbiter's one-gate nodes) — the source of the `2/3·log³N`
+    /// leading delay term.
+    pub fn rank_tree_depth(&self) -> usize {
+        2 * self.m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnb_topology::perm::Permutation;
+    use bnb_topology::record::{all_delivered, records_for_permutation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn routes_all_permutations_n8() {
+        let net = KoppelmanModel::new(3);
+        for k in 0..40_320 {
+            let p = Permutation::nth_lexicographic(8, k);
+            let out = net.route(&records_for_permutation(&p)).unwrap();
+            assert!(all_delivered(&out), "perm {p}");
+        }
+    }
+
+    #[test]
+    fn routes_random_large() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for m in [5usize, 8] {
+            let net = KoppelmanModel::new(m);
+            let p = Permutation::random(1 << m, &mut rng);
+            let out = net.route(&records_for_permutation(&p)).unwrap();
+            assert!(all_delivered(&out));
+        }
+    }
+
+    #[test]
+    fn cost_matches_table1_rows() {
+        let net = KoppelmanModel::new(4); // N = 16
+        let c = net.cost();
+        assert_eq!(c.switches, 16 / 4 * 64);
+        assert_eq!(c.function_nodes, 16 / 2 * 16);
+        assert_eq!(c.adder_slices, 16 * 16);
+    }
+
+    #[test]
+    fn table2_polynomial_spot_check() {
+        // m = 3: 2/3·27 − 9 + 1 + 1 = 11.
+        assert!((KoppelmanModel::table2(3) - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_ops_scale_with_n_log_n() {
+        let net = KoppelmanModel::new(4);
+        let p = Permutation::identity(16);
+        let (_, ops) = net.route_counted(&records_for_permutation(&p)).unwrap();
+        assert_eq!(ops, 4 * 2 * 15); // m stages × 2(N−1)
+        assert_eq!(net.rank_tree_depth(), 8);
+    }
+
+    #[test]
+    fn validates_input() {
+        let net = KoppelmanModel::new(2);
+        assert!(net.route(&[Record::new(0, 0)]).is_err());
+        let dup = vec![
+            Record::new(2, 0),
+            Record::new(2, 1),
+            Record::new(1, 2),
+            Record::new(0, 3),
+        ];
+        assert!(matches!(
+            net.route(&dup),
+            Err(RouteError::DuplicateDestination { dest: 2, .. })
+        ));
+    }
+}

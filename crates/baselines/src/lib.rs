@@ -1,0 +1,48 @@
+//! Comparison networks for the BNB reproduction (paper §1 and §5.3).
+//!
+//! The paper positions the BNB network against several alternatives; all of
+//! them are implemented here from scratch:
+//!
+//! - [`batcher`] — Batcher's odd–even merge sorting network \[9\]: the
+//!   classic hardware-sorting permutation network the paper's Tables 1–2
+//!   compare against (eqs. (10)–(12)).
+//! - [`bitonic`] — Batcher's bitonic sorter, same asymptotics, included as
+//!   an extra reference point.
+//! - [`benes`] — the Benes network with Waksman's looping algorithm
+//!   \[5, 6\]: routes all permutations but needs a *global* routing
+//!   computation, the costly alternative that motivates self-routing.
+//! - [`koppelman`] — the Koppelman–Oruç self-routing permutation network
+//!   \[11\]: its exact Table 1/2 complexity model, plus a behavioural
+//!   rank-based stand-in (ranking adder tree + positional concentrator)
+//!   that routes all permutations with the same delay shape.
+//! - [`crossbar`] — the `O(N²)` crossbar: trivially non-blocking, the
+//!   hardware-cost upper bound of §1.
+//! - [`cellular`] — the cellular interconnection array \[3, 4\]: the other
+//!   `O(N²)` design §1 rules out, modelled as an odd–even transposition
+//!   array with purely nearest-neighbour wiring.
+//! - [`omega`] — the omega network: destination-tag self-routing but
+//!   blocking, demonstrating why cheap multistage networks alone are not
+//!   permutation networks.
+
+pub mod batcher;
+pub mod batcher_gates;
+pub mod benes;
+pub mod benes_self;
+pub mod bitonic;
+pub mod cellular;
+pub mod clos;
+pub mod crossbar;
+pub mod koppelman;
+pub mod omega;
+pub mod registry;
+pub mod zero_one;
+
+pub use batcher::BatcherNetwork;
+pub use benes::BenesNetwork;
+pub use bitonic::BitonicNetwork;
+pub use cellular::CellularArray;
+pub use clos::ClosNetwork;
+pub use crossbar::Crossbar;
+pub use koppelman::KoppelmanModel;
+pub use omega::OmegaNetwork;
+pub use registry::all_networks;

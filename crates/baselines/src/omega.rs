@@ -1,0 +1,236 @@
+//! The omega network — shuffle-exchange destination-tag routing.
+//!
+//! Like the plain baseline network, the omega network self-routes by
+//! destination tags but is **blocking**: it realizes only a fraction of the
+//! `N!` permutations. It is included as the second member of the
+//! "cheap but blocking" family the BNB network improves upon, and because
+//! self-routing subclasses of Benes/shuffle-exchange networks (paper refs
+//! \[7, 8\]) are defined in terms of omega-realizable permutations.
+
+use std::error::Error;
+use std::fmt;
+
+use bnb_core::error::RouteError;
+use bnb_topology::bitops::shuffle;
+use bnb_topology::connection::require_power_of_two;
+use bnb_topology::perm::Permutation;
+use bnb_topology::record::{records_for_permutation, Record};
+
+/// A destination-tag conflict in an omega-network switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OmegaBlocked {
+    /// Stage of the conflict.
+    pub stage: usize,
+    /// Switch index within the stage.
+    pub switch: usize,
+}
+
+impl fmt::Display for OmegaBlocked {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "omega conflict at stage {}, switch {}",
+            self.stage, self.switch
+        )
+    }
+}
+
+impl Error for OmegaBlocked {}
+
+/// An `N = 2^m`-input omega network: `m` stages of `N/2` switches, each
+/// preceded by a perfect shuffle.
+///
+/// # Example
+///
+/// ```
+/// use bnb_baselines::omega::OmegaNetwork;
+/// use bnb_topology::perm::Permutation;
+///
+/// let net = OmegaNetwork::with_inputs(8)?;
+/// // The identity is omega-realizable…
+/// assert!(net.is_admissible(&Permutation::identity(8)));
+/// // …but the network is blocking overall.
+/// assert!(net.count_admissible() < 40_320);
+/// # Ok::<(), bnb_core::RouteError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OmegaNetwork {
+    m: usize,
+}
+
+impl OmegaNetwork {
+    /// An omega network with `2^m` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1, "network needs at least 2 inputs");
+        OmegaNetwork { m }
+    }
+
+    /// An omega network with `n` inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n` is not a power of two or is less than 2.
+    pub fn with_inputs(n: usize) -> Result<Self, RouteError> {
+        let m = require_power_of_two(n)?;
+        if m == 0 {
+            return Err(RouteError::WidthMismatch {
+                expected: 2,
+                actual: n,
+            });
+        }
+        Ok(Self::new(m))
+    }
+
+    /// `log2` of the network width.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Network width.
+    pub fn inputs(&self) -> usize {
+        1 << self.m
+    }
+
+    /// Attempts to route `records` by destination tags: at stage `i` a
+    /// packet for destination `d` takes the switch output equal to bit
+    /// `m−1−i` of `d` (MSB first).
+    ///
+    /// # Errors
+    ///
+    /// The outer error reports malformed input
+    /// ([`RouteError::WidthMismatch`] /
+    /// [`RouteError::DestinationTooWide`]); the inner `Err` is an
+    /// [`OmegaBlocked`] conflict.
+    #[allow(clippy::type_complexity)]
+    pub fn route(
+        &self,
+        records: &[Record],
+    ) -> Result<Result<Vec<Record>, OmegaBlocked>, RouteError> {
+        let n = self.inputs();
+        if records.len() != n {
+            return Err(RouteError::WidthMismatch {
+                expected: n,
+                actual: records.len(),
+            });
+        }
+        for r in records {
+            if r.dest() >= n {
+                return Err(RouteError::DestinationTooWide { dest: r.dest(), n });
+            }
+        }
+        let mut lines = records.to_vec();
+        for stage in 0..self.m {
+            // Perfect shuffle in front of every switch column.
+            let mut shuffled = vec![Record::new(0, 0); n];
+            for (j, &r) in lines.iter().enumerate() {
+                shuffled[shuffle(self.m, self.m, j)] = r;
+            }
+            lines = shuffled;
+            let bit = self.m - 1 - stage;
+            let mut next = vec![Record::new(0, 0); n];
+            for sw in 0..n / 2 {
+                let upper = lines[2 * sw];
+                let lower = lines[2 * sw + 1];
+                let want_upper = upper.dest() >> bit & 1 == 1;
+                let want_lower = lower.dest() >> bit & 1 == 1;
+                if want_upper == want_lower {
+                    return Ok(Err(OmegaBlocked { stage, switch: sw }));
+                }
+                if want_upper {
+                    next[2 * sw] = lower;
+                    next[2 * sw + 1] = upper;
+                } else {
+                    next[2 * sw] = upper;
+                    next[2 * sw + 1] = lower;
+                }
+            }
+            lines = next;
+        }
+        Ok(Ok(lines))
+    }
+
+    /// `true` if `perm` is omega-realizable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len()` differs from the network width.
+    pub fn is_admissible(&self, perm: &Permutation) -> bool {
+        self.route(&records_for_permutation(perm))
+            .expect("well-formed by construction")
+            .is_ok()
+    }
+
+    /// Counts omega-realizable permutations by enumeration (tiny networks
+    /// only).
+    pub fn count_admissible(&self) -> u64 {
+        let n = self.inputs();
+        let total: u64 = (1..=n as u64).product();
+        (0..total)
+            .filter(|&k| self.is_admissible(&Permutation::nth_lexicographic(n, k)))
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnb_topology::record::all_delivered;
+
+    #[test]
+    fn identity_is_omega_realizable() {
+        for m in 1..=5 {
+            let net = OmegaNetwork::new(m);
+            assert!(net.is_admissible(&Permutation::identity(1 << m)), "m = {m}");
+        }
+    }
+
+    #[test]
+    fn successful_routes_deliver() {
+        let net = OmegaNetwork::new(3);
+        let mut ok = 0;
+        for k in 0..40_320 {
+            let p = Permutation::nth_lexicographic(8, k);
+            if let Ok(out) = net.route(&records_for_permutation(&p)).unwrap() {
+                assert!(all_delivered(&out), "perm {p}");
+                ok += 1;
+            }
+        }
+        assert!(ok > 0);
+        assert!(ok < 40_320, "omega must be blocking");
+    }
+
+    #[test]
+    fn admissible_count_is_switch_settings() {
+        // As with the baseline network, each of the 2^(m·N/2) switch
+        // settings realizes a distinct permutation.
+        let net = OmegaNetwork::new(2);
+        assert_eq!(net.count_admissible(), 16);
+    }
+
+    #[test]
+    fn blocked_error_names_the_switch() {
+        let net = OmegaNetwork::new(2);
+        let mut found = false;
+        for k in 0..24 {
+            let p = Permutation::nth_lexicographic(4, k);
+            if let Err(b) = net.route(&records_for_permutation(&p)).unwrap() {
+                assert!(b.stage < 2);
+                assert!(b.to_string().contains("conflict"));
+                found = true;
+                break;
+            }
+        }
+        assert!(found);
+    }
+
+    #[test]
+    fn validates_input() {
+        let net = OmegaNetwork::new(2);
+        assert!(net.route(&[Record::new(0, 0)]).is_err());
+        assert!(OmegaNetwork::with_inputs(6).is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! [`PermutationNetwork`] implementations for every baseline and a
+//! registry that builds the whole fleet at a given width — the generic
+//! sweep harness used by tests, the report and the CLI `compare` command.
+
+use bnb_core::error::RouteError;
+use bnb_core::fabric::PermutationNetwork;
+use bnb_core::network::BnbNetwork;
+use bnb_topology::record::Record;
+
+use crate::batcher::BatcherNetwork;
+use crate::benes::BenesNetwork;
+use crate::bitonic::BitonicNetwork;
+use crate::cellular::CellularArray;
+use crate::clos::ClosNetwork;
+use crate::crossbar::Crossbar;
+use crate::koppelman::KoppelmanModel;
+
+impl PermutationNetwork for BatcherNetwork {
+    fn inputs(&self) -> usize {
+        BatcherNetwork::inputs(self)
+    }
+
+    fn route_records(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
+        self.route(records)
+    }
+
+    fn name(&self) -> &'static str {
+        "Batcher odd-even"
+    }
+
+    fn is_self_routing(&self) -> bool {
+        true // sorting networks self-route by compare/exchange
+    }
+}
+
+impl PermutationNetwork for BitonicNetwork {
+    fn inputs(&self) -> usize {
+        BitonicNetwork::inputs(self)
+    }
+
+    fn route_records(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
+        self.route(records)
+    }
+
+    fn name(&self) -> &'static str {
+        "bitonic"
+    }
+
+    fn is_self_routing(&self) -> bool {
+        true
+    }
+}
+
+impl PermutationNetwork for BenesNetwork {
+    fn inputs(&self) -> usize {
+        BenesNetwork::inputs(self)
+    }
+
+    fn route_records(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
+        self.route(records)
+    }
+
+    fn name(&self) -> &'static str {
+        "Benes + Waksman looping"
+    }
+
+    fn is_self_routing(&self) -> bool {
+        false // global looping algorithm
+    }
+}
+
+impl PermutationNetwork for KoppelmanModel {
+    fn inputs(&self) -> usize {
+        KoppelmanModel::inputs(self)
+    }
+
+    fn route_records(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
+        self.route(records)
+    }
+
+    fn name(&self) -> &'static str {
+        "Koppelman-Oruc SRPN (model)"
+    }
+
+    fn is_self_routing(&self) -> bool {
+        true
+    }
+}
+
+impl PermutationNetwork for Crossbar {
+    fn inputs(&self) -> usize {
+        Crossbar::inputs(self)
+    }
+
+    fn route_records(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
+        self.route(records)
+    }
+
+    fn name(&self) -> &'static str {
+        "crossbar"
+    }
+
+    fn is_self_routing(&self) -> bool {
+        true
+    }
+}
+
+impl PermutationNetwork for CellularArray {
+    fn inputs(&self) -> usize {
+        CellularArray::inputs(self)
+    }
+
+    fn route_records(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
+        self.route(records)
+    }
+
+    fn name(&self) -> &'static str {
+        "cellular array"
+    }
+
+    fn is_self_routing(&self) -> bool {
+        true
+    }
+}
+
+impl PermutationNetwork for ClosNetwork {
+    fn inputs(&self) -> usize {
+        ClosNetwork::inputs(self)
+    }
+
+    fn route_records(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
+        self.route(records)
+    }
+
+    fn name(&self) -> &'static str {
+        "Clos (edge coloring)"
+    }
+
+    fn is_self_routing(&self) -> bool {
+        false // global edge-coloring computation
+    }
+}
+
+/// Builds every permutation-capable network at `2^m` inputs.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn all_networks(m: usize) -> Vec<Box<dyn PermutationNetwork>> {
+    assert!(m >= 1, "networks need at least 2 inputs");
+    let n = 1usize << m;
+    vec![
+        Box::new(BnbNetwork::builder(m).data_width(64).build()),
+        Box::new(BatcherNetwork::new(m)),
+        Box::new(BitonicNetwork::new(m)),
+        Box::new(BenesNetwork::new(m)),
+        Box::new(KoppelmanModel::new(m)),
+        Box::new(Crossbar::new(n)),
+        Box::new(CellularArray::new(n)),
+        Box::new(ClosNetwork::new(1 << (m / 2), 1 << (m - m / 2)).expect("power of two")),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnb_topology::perm::Permutation;
+    use bnb_topology::record::{all_delivered, records_for_permutation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn the_whole_fleet_agrees_on_random_permutations() {
+        let mut rng = StdRng::seed_from_u64(2026);
+        for m in [2usize, 4, 6] {
+            let fleet = all_networks(m);
+            assert_eq!(fleet.len(), 8);
+            let n = 1usize << m;
+            for _ in 0..5 {
+                let p = Permutation::random(n, &mut rng);
+                let recs = records_for_permutation(&p);
+                let reference = fleet[0].route_records(&recs).unwrap();
+                assert!(all_delivered(&reference));
+                for net in &fleet[1..] {
+                    let out = net.route_records(&recs).unwrap();
+                    assert_eq!(out, reference, "{} disagrees at m = {m}", net.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_routing_flags_match_the_paper_taxonomy() {
+        let fleet = all_networks(3);
+        let by_name = |name: &str| {
+            fleet
+                .iter()
+                .find(|n| n.name().contains(name))
+                .unwrap_or_else(|| panic!("{name} in fleet"))
+        };
+        assert!(by_name("BNB").is_self_routing());
+        assert!(!by_name("Benes").is_self_routing());
+        assert!(!by_name("Clos").is_self_routing());
+        assert!(by_name("Batcher").is_self_routing());
+    }
+
+    #[test]
+    fn fleet_widths_are_consistent() {
+        for net in all_networks(5) {
+            assert_eq!(net.inputs(), 32, "{}", net.name());
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! **Ablation A1** — localized bit information (the paper's key idea, §5.3)
+//! vs global information.
+//!
+//! The BNB splitter decides every switch from a 1-bit XOR tree (one gate
+//! per node); the Koppelman-style alternative ranks records with trees of
+//! `log N`-bit adders. This bench prints the modelled function-unit delays
+//! side by side and measures the software cost of one splitter decision vs
+//! one ranking pass at equal widths.
+
+use bnb_analysis::report::ablation_local_vs_global;
+use bnb_baselines::koppelman::KoppelmanModel;
+use bnb_core::splitter;
+use bnb_topology::perm::Permutation;
+use bnb_topology::record::records_for_permutation;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "\n{}",
+        ablation_local_vs_global(&[3, 4, 5, 6, 8, 10]).to_markdown()
+    );
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut g = c.benchmark_group("ablation_local_vs_global");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for m in [6usize, 8, 10] {
+        let n = 1usize << m;
+        let p = Permutation::random(n, &mut rng);
+        // Local: one full-width splitter decision (arbiter sweep + XORs).
+        let bits: Vec<bool> = (0..n).map(|i| p.apply(i) % 2 == 1).collect();
+        g.bench_with_input(
+            BenchmarkId::new("local_splitter_controls", n),
+            &bits,
+            |b, bits| {
+                b.iter(|| black_box(splitter::controls(bits)));
+            },
+        );
+        // Global: one full ranking pass over the same width.
+        let recs = records_for_permutation(&p);
+        let kop = KoppelmanModel::new(m);
+        g.bench_with_input(
+            BenchmarkId::new("global_rank_route", n),
+            &recs,
+            |b, recs| {
+                b.iter(|| black_box(kop.route_counted(recs).expect("routes")));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

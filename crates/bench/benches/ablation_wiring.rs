@@ -1,0 +1,51 @@
+//! **Ablation A2** — the GBN unshuffle wiring is load-bearing.
+//!
+//! Replacing the paper's `2^k`-unshuffle inter-stage wiring with identity
+//! or shuffle wiring leaves the hardware cost identical but destroys the
+//! radix-sort invariant. The bench prints delivery rates per wiring and
+//! times the (identical-cost) route under each wiring to show the delay is
+//! unchanged — only correctness differs.
+
+use bnb_analysis::report::ablation_wiring_summary;
+use bnb_core::network::{BnbNetwork, RoutePolicy, WiringMode};
+use bnb_topology::perm::Permutation;
+use bnb_topology::record::records_for_permutation;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", ablation_wiring_summary(6, 200, 11));
+
+    let mut rng = StdRng::seed_from_u64(6);
+    let n = 256usize;
+    let perm = Permutation::random(n, &mut rng);
+    let recs = records_for_permutation(&perm);
+    let mut g = c.benchmark_group("ablation_wiring");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for mode in [
+        WiringMode::Unshuffle,
+        WiringMode::Identity,
+        WiringMode::Shuffle,
+    ] {
+        let net = BnbNetwork::builder(8)
+            .data_width(32)
+            .policy(RoutePolicy::Permissive)
+            .wiring(mode)
+            .build();
+        g.bench_with_input(
+            BenchmarkId::new(format!("{mode:?}"), n),
+            &recs,
+            |b, recs| {
+                b.iter(|| black_box(net.route(recs).expect("structurally valid")));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Scalar vs bit-sliced bit-sorter throughput: the paper's one-bit control
+//! logic vectorizes across 64 instances per machine word, so the 64-lane
+//! BSN should approach a ~64× per-instance speedup over the scalar path.
+
+use bnb_core::bitslice::BitSorter64;
+use bnb_core::bsn::BitSorter;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut g = c.benchmark_group("bitslice_throughput");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for k in [4usize, 7, 10] {
+        let n = 1usize << k;
+        let scalar = BitSorter::new(k);
+        let vector = BitSorter64::new(k);
+        let bits: Vec<bool> = (0..n).map(|j| j % 2 == 0).collect();
+        let lanes: Vec<u64> = (0..n).map(|_| rng.random::<u64>()).collect();
+
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(
+            BenchmarkId::new("scalar_1_instance", n),
+            &bits,
+            |b, bits| {
+                b.iter(|| black_box(scalar.route_permissive(bits).expect("width ok")));
+            },
+        );
+        g.throughput(Throughput::Elements(64));
+        g.bench_with_input(
+            BenchmarkId::new("bitsliced_64_instances", n),
+            &lanes,
+            |b, lanes| {
+                b.iter(|| black_box(vector.route(lanes).expect("width ok")));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

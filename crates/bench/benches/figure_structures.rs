@@ -1,0 +1,80 @@
+//! **Figures 1–5** — regenerates the paper's structural figures from the
+//! constructed objects (printed once), then benchmarks structure
+//! construction and rendering: GBN topology, splitter/BSN netlist
+//! generation, and the full gate-level BNB network build.
+
+use bnb_core::network::BnbNetwork;
+use bnb_core::render::{render_network, render_profile, render_splitter};
+use bnb_gates::components::{bit_sorter, bnb_network};
+use bnb_gates::netlist::{Net, Netlist};
+use bnb_topology::gbn::Gbn;
+use bnb_topology::render::{render_gbn_ascii, render_gbn_dot};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn print_figures() {
+    println!("\n--- Fig. 1: B(3, SB) ---");
+    print!("{}", render_gbn_ascii(&Gbn::new(3)));
+    println!("--- Fig. 2: BNB slice structure ---");
+    print!(
+        "{}",
+        render_network(&BnbNetwork::builder(3).data_width(0).build())
+    );
+    println!("--- Fig. 3: profile ---");
+    print!("{}", render_profile(3));
+    println!("--- Fig. 4: splitter ---");
+    print!("{}", render_splitter(3));
+    println!("--- Fig. 5 lives in the gates crate; see example figure_gallery ---\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_figures();
+    let mut g = c.benchmark_group("figure_structures");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for m in [3usize, 6, 9] {
+        g.bench_with_input(
+            BenchmarkId::new("gbn_ascii_render", 1usize << m),
+            &m,
+            |b, &m| {
+                let gbn = Gbn::new(m);
+                b.iter(|| black_box(render_gbn_ascii(&gbn)));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("gbn_dot_render", 1usize << m),
+            &m,
+            |b, &m| {
+                let gbn = Gbn::new(m);
+                b.iter(|| black_box(render_gbn_dot(&gbn)));
+            },
+        );
+    }
+    for m in [3usize, 4, 5] {
+        g.bench_with_input(
+            BenchmarkId::new("bnb_netlist_build", 1usize << m),
+            &m,
+            |b, &m| {
+                b.iter(|| black_box(bnb_network(m, 0)));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("bsn_netlist_build", 1usize << m),
+            &m,
+            |b, &m| {
+                b.iter(|| {
+                    let mut nl = Netlist::new();
+                    let ins: Vec<Net> = (0..(1usize << m))
+                        .map(|j| nl.input(format!("s{j}")))
+                        .collect();
+                    black_box(bit_sorter(&mut nl, &ins))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

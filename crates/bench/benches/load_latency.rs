@@ -1,0 +1,66 @@
+//! Load–latency curves of the input-queued switch over the BNB fabric —
+//! the system-level "figure" the paper's §1 bandwidth motivation implies.
+//!
+//! Prints the measured curves (reproducing the classic ≈0.59 FIFO
+//! head-of-line saturation and VOQ's superiority), then benchmarks the
+//! per-round cost of the scheduler + fabric under light and saturated
+//! load.
+
+use bnb_core::network::BnbNetwork;
+use bnb_sim::loadsweep::{saturation_throughput, sweep};
+use bnb_sim::scheduler::{QueueDiscipline, VoqSwitch};
+use bnb_topology::record::Record;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn print_curves() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let loads = [0.1, 0.3, 0.5, 0.6, 0.7, 0.9];
+    for d in [QueueDiscipline::Fifo, QueueDiscipline::Voq] {
+        println!("\n{d:?} (N = 16, 2000 rounds): offered -> delivered (mean delay)");
+        for p in sweep(4, d, &loads, 2000, &mut rng).expect("valid traffic") {
+            println!(
+                "  {:.2} -> {:.3} ({:.1} rounds)",
+                p.offered, p.delivered, p.mean_delay
+            );
+        }
+        let sat = saturation_throughput(4, d, 2000, &mut rng).expect("valid traffic");
+        println!("  saturation throughput: {sat:.3}");
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_curves();
+    let mut g = c.benchmark_group("load_latency");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (label, load) in [("light", 0.2f64), ("saturated", 1.0)] {
+        for d in [QueueDiscipline::Fifo, QueueDiscipline::Voq] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{d:?}_{label}"), 16usize),
+                &load,
+                |b, &load| {
+                    let mut rng = StdRng::seed_from_u64(7);
+                    let mut sw = VoqSwitch::new(BnbNetwork::new(4), d);
+                    b.iter(|| {
+                        for input in 0..16 {
+                            if rng.random_bool(load) {
+                                sw.offer(input, Record::new(rng.random_range(0..16), 0))
+                                    .expect("valid");
+                            }
+                        }
+                        black_box(sw.step().expect("fabric ok"))
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! System-level throughput: the pipelined BNB fabric delivering streams of
+//! permutation batches (the "high communication bandwidth" use case of
+//! paper §1).
+//!
+//! Measures end-to-end batches/second for random traffic and the classic
+//! parallel-processing alignment workloads.
+
+use bnb_core::network::BnbNetwork;
+use bnb_sim::pipeline::PipelinedFabric;
+use bnb_sim::workload::{random_batches, Workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut g = c.benchmark_group("pipeline_throughput");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for m in [5usize, 7, 9] {
+        let n = 1usize << m;
+        let fabric = PipelinedFabric::new(BnbNetwork::builder(m).data_width(32).build());
+        let batches = random_batches(n, 32, &mut rng);
+        g.throughput(Throughput::Elements((32 * n) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("random_stream", n),
+            &batches,
+            |b, batches| {
+                b.iter(|| black_box(fabric.run(batches).expect("valid batches")));
+            },
+        );
+    }
+    // The alignment workload mix at N = 256.
+    let fabric = PipelinedFabric::new(BnbNetwork::builder(8).data_width(32).build());
+    let mix: Vec<_> = Workload::all_for(256)
+        .iter()
+        .map(|w| w.permutation(256))
+        .collect();
+    g.throughput(Throughput::Elements((mix.len() * 256) as u64));
+    g.bench_with_input(
+        BenchmarkId::new("alignment_mix", 256usize),
+        &mix,
+        |b, mix| {
+            b.iter(|| black_box(fabric.run(mix).expect("valid batches")));
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

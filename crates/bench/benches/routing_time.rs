@@ -1,0 +1,106 @@
+//! **Claim C5** — self-routing vs global routing (paper §1): the Benes
+//! network needs a global `O(N log N)` looping computation per permutation
+//! before any data moves, while the BNB network's switches set themselves.
+//!
+//! This bench measures software routing time per permutation for the BNB
+//! network, Batcher's sorter, the Koppelman stand-in (all self-routing) and
+//! Benes+Waksman (global), across N = 16 … 4096. The *shape* to look for:
+//! Benes pays an extra setup term that the self-routers do not.
+
+use bnb_baselines::batcher::BatcherNetwork;
+use bnb_baselines::benes::BenesNetwork;
+use bnb_baselines::cellular::CellularArray;
+use bnb_baselines::clos::ClosNetwork;
+use bnb_baselines::koppelman::KoppelmanModel;
+use bnb_core::network::BnbNetwork;
+use bnb_core::router::Router;
+use bnb_topology::perm::Permutation;
+use bnb_topology::record::records_for_permutation;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1991);
+    let mut g = c.benchmark_group("routing_time");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for m in [4usize, 6, 8, 10, 12] {
+        let n = 1usize << m;
+        let perm = Permutation::random(n, &mut rng);
+        let recs = records_for_permutation(&perm);
+
+        let bnb = BnbNetwork::builder(m).data_width(32).build();
+        g.bench_with_input(BenchmarkId::new("bnb_self_route", n), &recs, |b, recs| {
+            b.iter(|| black_box(bnb.route(recs).expect("routes")));
+        });
+
+        // The allocation-free router over the same network.
+        let mut router = Router::new(bnb);
+        let mut buf = recs.clone();
+        g.bench_with_input(BenchmarkId::new("bnb_router_reuse", n), &recs, |b, recs| {
+            b.iter(|| {
+                buf.copy_from_slice(recs);
+                router.route_in_place(&mut buf).expect("routes");
+                black_box(buf[0])
+            });
+        });
+
+        let bat = BatcherNetwork::new(m);
+        g.bench_with_input(
+            BenchmarkId::new("batcher_sort_route", n),
+            &recs,
+            |b, recs| {
+                b.iter(|| black_box(bat.route(recs).expect("routes")));
+            },
+        );
+
+        let kop = KoppelmanModel::new(m);
+        g.bench_with_input(
+            BenchmarkId::new("koppelman_rank_route", n),
+            &recs,
+            |b, recs| {
+                b.iter(|| black_box(kop.route(recs).expect("routes")));
+            },
+        );
+
+        let ben = BenesNetwork::new(m);
+        g.bench_with_input(
+            BenchmarkId::new("benes_global_route", n),
+            &recs,
+            |b, recs| {
+                b.iter(|| black_box(ben.route(recs).expect("routes")));
+            },
+        );
+        // The global setup alone (what self-routing eliminates):
+        g.bench_with_input(
+            BenchmarkId::new("benes_looping_only", n),
+            &perm,
+            |b, perm| {
+                b.iter(|| black_box(ben.route_permutation(perm).expect("routes")));
+            },
+        );
+
+        // The O(N^2) designs ruled out in §1, for scale.
+        if m <= 10 {
+            let cell = CellularArray::new(n);
+            g.bench_with_input(BenchmarkId::new("cellular_array", n), &recs, |b, recs| {
+                b.iter(|| black_box(cell.route(recs).expect("routes")));
+            });
+        }
+        let clos = ClosNetwork::new(1 << (m / 2), 1 << (m - m / 2)).expect("power of two");
+        g.bench_with_input(
+            BenchmarkId::new("clos_edge_coloring", n),
+            &recs,
+            |b, recs| {
+                b.iter(|| black_box(clos.route(recs).expect("routes")));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! **Table 1** — hardware complexities of Batcher, Koppelman and BNB.
+//!
+//! Prints the regenerated table (paper leading terms next to exact counts
+//! from the constructed networks), then benchmarks the cost-accounting
+//! paths themselves: structure enumeration vs closed form.
+
+use bnb_analysis::tables::table1;
+use bnb_baselines::batcher::BatcherNetwork;
+use bnb_core::cost::HardwareCost;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn print_table() {
+    println!("\n{}", table1(&[3, 4, 5, 6, 8, 10], 8).to_markdown());
+    println!(
+        "hardware ratio BNB/Batcher at N=1024, w=0: {:.4} (paper leading-term claim: 1/3)\n",
+        bnb_analysis::ratio::hardware_ratio(10, 0)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut g = c.benchmark_group("table1_hardware");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for m in [6usize, 10, 14] {
+        g.bench_with_input(BenchmarkId::new("bnb_counted", 1usize << m), &m, |b, &m| {
+            b.iter(|| black_box(HardwareCost::bnb_counted(m, 8)));
+        });
+        g.bench_with_input(
+            BenchmarkId::new("bnb_closed_form", 1usize << m),
+            &m,
+            |b, &m| {
+                b.iter(|| black_box(HardwareCost::bnb_closed_form(m, 8)));
+            },
+        );
+    }
+    for m in [4usize, 6, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("batcher_construct_and_count", 1usize << m),
+            &m,
+            |b, &m| {
+                b.iter(|| black_box(BatcherNetwork::new(m).comparator_count()));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! **Table 2** — propagation delay of the three networks.
+//!
+//! Prints the regenerated table (paper polynomials next to structural
+//! measurements), adds an independent gate-level critical-path measurement
+//! of the full BNB netlist for small N, then benchmarks the delay-analysis
+//! machinery.
+
+use bnb_analysis::tables::table2;
+use bnb_core::delay::PropagationDelay;
+use bnb_gates::components::bnb_network;
+use bnb_gates::delay::{critical_path, DelayModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn print_table() {
+    println!("\n{}", table2(&[3, 4, 5, 6, 8, 10]).to_markdown());
+    println!("gate-level critical path of the full BNB netlist (unit gate delays):");
+    for m in 1..=5usize {
+        let net = bnb_network(m, 0);
+        let cp = critical_path(net.netlist(), &DelayModel::unit()).expect("has outputs");
+        println!(
+            "  N = {:>2}: {:>5.0} gate levels over {} logic gates",
+            1usize << m,
+            cp.delay,
+            net.netlist().census().logic_gates()
+        );
+    }
+    println!(
+        "delay ratio BNB/Batcher at N=1024: {:.4} (paper leading-term claim: 2/3)\n",
+        bnb_analysis::ratio::delay_ratio(10)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut g = c.benchmark_group("table2_delay");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for m in [8usize, 12, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("bnb_structural", 1usize << m),
+            &m,
+            |b, &m| {
+                b.iter(|| black_box(PropagationDelay::bnb_structural(m)));
+            },
+        );
+    }
+    for m in [3usize, 4, 5] {
+        let net = bnb_network(m, 0);
+        g.bench_with_input(
+            BenchmarkId::new("gate_critical_path", 1usize << m),
+            &m,
+            |b, _| {
+                b.iter(|| black_box(critical_path(net.netlist(), &DelayModel::unit())));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,3 @@
+//! Benchmark-only crate: see the `benches/` directory. Each bench prints
+//! the table or figure it regenerates before timing the underlying
+//! operations, so `cargo bench` output doubles as the paper's evaluation.

@@ -1,0 +1,579 @@
+//! Implementation of the `bnb` command-line tool.
+//!
+//! All commands are pure functions from parsed arguments to output text,
+//! so the entire CLI is unit-testable without spawning processes. The
+//! thin `main` in `main.rs` only parses `std::env::args` and prints.
+//!
+//! ```text
+//! bnb route --inputs 8 --perm 6,2,7,0,4,1,3,5 [--trace]
+//! bnb tables [--sizes 3,4,5,6,8,10] [--data-width 8]
+//! bnb figures
+//! bnb ratios [--sizes 3,5,8,10,14,20] [--data-width 0]
+//! bnb crossover
+//! bnb verilog --component bnb|batcher|splitter|bsn [--inputs 8]
+//!             [--data-width 0] [--optimize]
+//! bnb report
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use bnb_analysis::report;
+use bnb_analysis::{table1, table2};
+use bnb_core::network::BnbNetwork;
+use bnb_gates::export::to_verilog;
+use bnb_gates::netlist::{Net, Netlist};
+use bnb_gates::optimize::optimize;
+use bnb_topology::perm::Permutation;
+use bnb_topology::record::{all_delivered, records_for_permutation};
+
+/// A user error: bad flags, malformed values, unknown command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Flag accessor over raw arguments.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn value(&self, name: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn present(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    fn usize_or(&self, name: &str, default: usize) -> Result<usize, CliError> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("{name} expects an integer, got {v}"))),
+        }
+    }
+
+    fn usize_list_or(&self, name: &str, default: &[usize]) -> Result<Vec<usize>, CliError> {
+        match self.value(name) {
+            None => Ok(default.to_vec()),
+            Some(v) => v
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .map_err(|_| err(format!("{name} expects integers, got {s}")))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "bnb — BNB self-routing permutation network (Lee & Lu, ICDCS 1991)\n\
+     \n\
+     usage: bnb <command> [flags]\n\
+     \n\
+     commands:\n\
+       route      route a permutation (--inputs N --perm a,b,c,... [--trace])\n\
+       tables     regenerate the paper's Tables 1 and 2 ([--sizes 3,4,..] [--data-width 8])\n\
+       figures    regenerate the paper's Figs. 1-4 structures\n\
+       ratios     BNB/Batcher hardware and delay ratios ([--sizes ..] [--data-width 0])\n\
+       crossover  finite-N crossover findings\n\
+       verilog    emit structural Verilog (--component bnb|batcher|splitter|bsn\n\
+                  [--inputs 8] [--data-width 0] [--optimize])\n\
+       compare    route one permutation through every network\n\
+                  ([--inputs 8] [--perm a,b,c,...])\n\
+       sweep      load-latency curve of the input-queued switch\n\
+                  ([--inputs 16] [--discipline fifo|voq] [--rounds 2000])\n\
+       diagnose   route possibly-invalid traffic with conflict detection\n\
+                  (--inputs N --dests a,b,c,...)\n\
+       report     the full evaluation report\n\
+       help       this text\n"
+        .to_string()
+}
+
+/// Dispatches a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing bad usage; never panics on user input.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Ok(usage());
+    };
+    let flags = Flags { args: &args[1..] };
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(usage()),
+        "route" => cmd_route(&flags),
+        "tables" => cmd_tables(&flags),
+        "figures" => Ok(cmd_figures()),
+        "ratios" => cmd_ratios(&flags),
+        "crossover" => Ok(bnb_analysis::crossover::summary()),
+        "verilog" => cmd_verilog(&flags),
+        "compare" => cmd_compare(&flags),
+        "sweep" => cmd_sweep(&flags),
+        "diagnose" => cmd_diagnose(&flags),
+        "report" => Ok(report::full_report()),
+        other => Err(err(format!("unknown command '{other}'; try 'bnb help'"))),
+    }
+}
+
+fn cmd_route(flags: &Flags) -> Result<String, CliError> {
+    let n = flags.usize_or("--inputs", 8)?;
+    if !n.is_power_of_two() || n < 2 {
+        return Err(err(format!(
+            "--inputs must be a power of two >= 2, got {n}"
+        )));
+    }
+    let perm = match flags.value("--perm") {
+        Some(spec) => {
+            let images: Vec<usize> = spec
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .map_err(|_| err(format!("bad permutation entry '{s}'")))
+                })
+                .collect::<Result<_, _>>()?;
+            Permutation::try_from(images).map_err(|e| err(format!("invalid permutation: {e}")))?
+        }
+        None => {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+            Permutation::random(n, &mut rng)
+        }
+    };
+    if perm.len() != n {
+        return Err(err(format!(
+            "permutation has {} entries, expected {n}",
+            perm.len()
+        )));
+    }
+    let net = BnbNetwork::with_inputs(n).map_err(|e| err(e.to_string()))?;
+    let records = records_for_permutation(&perm);
+    let mut out = String::new();
+    if flags.present("--trace") {
+        let (outputs, trace) = net
+            .route_traced(&records)
+            .map_err(|e| err(format!("routing failed: {e}")))?;
+        out.push_str(&trace.render());
+        out.push_str(&format!(
+            "\ncolumns: {}   exchanges: {}   delivered: {}\n",
+            trace.column_count(),
+            trace.exchange_count(),
+            all_delivered(&outputs)
+        ));
+    } else {
+        let outputs = net
+            .route(&records)
+            .map_err(|e| err(format!("routing failed: {e}")))?;
+        out.push_str(&format!("permutation {perm}\n"));
+        for (j, r) in outputs.iter().enumerate() {
+            out.push_str(&format!("output {j}: from input {}\n", r.data()));
+        }
+        out.push_str(&format!("delivered: {}\n", all_delivered(&outputs)));
+    }
+    Ok(out)
+}
+
+fn cmd_tables(flags: &Flags) -> Result<String, CliError> {
+    let sizes = flags.usize_list_or("--sizes", &[3, 4, 5, 6, 8, 10])?;
+    let w = flags.usize_or("--data-width", 8)?;
+    if sizes.iter().any(|&m| m == 0 || m > 20) {
+        return Err(err("--sizes entries must be 1..=20 (they are log2 N)"));
+    }
+    Ok(format!(
+        "{}\n{}",
+        table1(&sizes, w).to_markdown(),
+        table2(&sizes).to_markdown()
+    ))
+}
+
+fn cmd_figures() -> String {
+    use bnb_core::render::{render_network, render_profile, render_splitter};
+    use bnb_topology::gbn::Gbn;
+    use bnb_topology::render::render_gbn_ascii;
+    let mut out = String::new();
+    out.push_str("== Fig. 1 ==\n");
+    out.push_str(&render_gbn_ascii(&Gbn::new(3)));
+    out.push_str("\n== Fig. 2 ==\n");
+    out.push_str(&render_network(
+        &BnbNetwork::builder(3).data_width(0).build(),
+    ));
+    out.push_str("\n== Fig. 3 ==\n");
+    out.push_str(&render_profile(3));
+    out.push_str("\n== Fig. 4 ==\n");
+    out.push_str(&render_splitter(3));
+    out
+}
+
+fn cmd_ratios(flags: &Flags) -> Result<String, CliError> {
+    let sizes = flags.usize_list_or("--sizes", &[3, 5, 8, 10, 14, 20])?;
+    let w = flags.usize_or("--data-width", 0)?;
+    if sizes.iter().any(|&m| m == 0 || m > 30) {
+        return Err(err("--sizes entries must be 1..=30 (they are log2 N)"));
+    }
+    Ok(report::ratio_table(&sizes, w).to_markdown())
+}
+
+fn cmd_verilog(flags: &Flags) -> Result<String, CliError> {
+    let m_inputs = flags.usize_or("--inputs", 8)?;
+    if !m_inputs.is_power_of_two() || !(2..=64).contains(&m_inputs) {
+        return Err(err(
+            "--inputs must be a power of two in 2..=64 for Verilog export",
+        ));
+    }
+    let m = m_inputs.trailing_zeros() as usize;
+    let w = flags.usize_or("--data-width", 0)?;
+    if w > 63 {
+        return Err(err("--data-width must be <= 63"));
+    }
+    let component = flags.value("--component").unwrap_or("bnb");
+    let (netlist, name) = match component {
+        "bnb" => (
+            bnb_gates::components::bnb_network(m, w).netlist().clone(),
+            format!("bnb_n{m_inputs}"),
+        ),
+        "batcher" => (
+            bnb_baselines::batcher_gates::batcher_netlist(m, w)
+                .netlist()
+                .clone(),
+            format!("batcher_n{m_inputs}"),
+        ),
+        "splitter" => {
+            let mut nl = Netlist::new();
+            let ins: Vec<Net> = (0..m_inputs).map(|j| nl.input(format!("s{j}"))).collect();
+            let sp = bnb_gates::components::splitter(&mut nl, &ins);
+            for (j, &o) in sp.outputs.iter().enumerate() {
+                nl.output(format!("o{j}"), o);
+            }
+            (nl, format!("splitter_n{m_inputs}"))
+        }
+        "bsn" => {
+            let mut nl = Netlist::new();
+            let ins: Vec<Net> = (0..m_inputs).map(|j| nl.input(format!("s{j}"))).collect();
+            let outs = bnb_gates::components::bit_sorter(&mut nl, &ins);
+            for (j, &o) in outs.iter().enumerate() {
+                nl.output(format!("o{j}"), o);
+            }
+            (nl, format!("bsn_n{m_inputs}"))
+        }
+        other => return Err(err(format!("unknown --component '{other}'"))),
+    };
+    let netlist = if flags.present("--optimize") {
+        let (opt, stats) = optimize(&netlist);
+        let mut header = format!(
+            "// optimized: {} -> {} gates ({:.1}% removed)\n",
+            stats.original_gates,
+            stats.optimized_gates,
+            stats.reduction() * 100.0
+        );
+        header.push_str(&to_verilog(&opt, &name));
+        return Ok(header);
+    } else {
+        netlist
+    };
+    Ok(to_verilog(&netlist, &name))
+}
+
+fn cmd_compare(flags: &Flags) -> Result<String, CliError> {
+    let n = flags.usize_or("--inputs", 8)?;
+    if !n.is_power_of_two() || !(2..=4096).contains(&n) {
+        return Err(err("--inputs must be a power of two in 2..=4096"));
+    }
+    let m = n.trailing_zeros() as usize;
+    let perm = match flags.value("--perm") {
+        Some(spec) => {
+            let images: Vec<usize> = spec
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .map_err(|_| err(format!("bad permutation entry '{s}'")))
+                })
+                .collect::<Result<_, _>>()?;
+            Permutation::try_from(images).map_err(|e| err(format!("invalid permutation: {e}")))?
+        }
+        None => {
+            use rand::SeedableRng;
+            Permutation::random(n, &mut rand::rngs::StdRng::seed_from_u64(1))
+        }
+    };
+    if perm.len() != n {
+        return Err(err(format!(
+            "permutation has {} entries, expected {n}",
+            perm.len()
+        )));
+    }
+    let recs = records_for_permutation(&perm);
+    let mut out = format!("permutation {perm} through every network:\n");
+    for net in bnb_baselines::all_networks(m) {
+        let verdict = match net.route_records(&recs) {
+            Ok(delivered) if all_delivered(&delivered) => "delivered".to_string(),
+            Ok(_) => "ROUTED BUT MISDELIVERED".to_string(),
+            Err(e) => format!("error: {e}"),
+        };
+        let kind = if net.is_self_routing() {
+            "self-routing"
+        } else {
+            "global"
+        };
+        out.push_str(&format!("  {:<28} [{kind:>12}] {verdict}\n", net.name()));
+    }
+    Ok(out)
+}
+
+fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
+    use bnb_sim::loadsweep::sweep;
+    use bnb_sim::scheduler::QueueDiscipline;
+    use rand::SeedableRng;
+    let n = flags.usize_or("--inputs", 16)?;
+    if !n.is_power_of_two() || !(2..=1024).contains(&n) {
+        return Err(err("--inputs must be a power of two in 2..=1024"));
+    }
+    let m = n.trailing_zeros() as usize;
+    let rounds = flags.usize_or("--rounds", 2000)?;
+    let discipline = match flags.value("--discipline").unwrap_or("voq") {
+        "fifo" => QueueDiscipline::Fifo,
+        "voq" => QueueDiscipline::Voq,
+        other => return Err(err(format!("unknown --discipline '{other}'"))),
+    };
+    let loads = [0.1, 0.3, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let pts = sweep(m, discipline, &loads, rounds, &mut rng)
+        .map_err(|e| err(format!("simulation failed: {e}")))?;
+    let mut out = format!(
+        "{discipline:?} input-queued switch over the BNB fabric, N = {n}, {rounds} rounds\n"
+    );
+    out.push_str("offered  delivered  mean_delay  backlog\n");
+    for p in pts {
+        out.push_str(&format!(
+            "{:>7.2}  {:>9.3}  {:>10.1}  {:>7}\n",
+            p.offered, p.delivered, p.mean_delay, p.final_backlog
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_diagnose(flags: &Flags) -> Result<String, CliError> {
+    use bnb_topology::record::Record;
+    let n = flags.usize_or("--inputs", 8)?;
+    if !n.is_power_of_two() || n < 2 {
+        return Err(err("--inputs must be a power of two >= 2"));
+    }
+    let m = n.trailing_zeros() as usize;
+    let Some(spec) = flags.value("--dests") else {
+        return Err(err(
+            "diagnose requires --dests a,b,c,... (one destination per input)",
+        ));
+    };
+    let dests: Vec<usize> = spec
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| err(format!("bad destination '{s}'")))
+        })
+        .collect::<Result<_, _>>()?;
+    if dests.len() != n {
+        return Err(err(format!(
+            "expected {n} destinations, got {}",
+            dests.len()
+        )));
+    }
+    let records: Vec<Record> = dests
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| Record::new(d, i as u64))
+        .collect();
+    let net = BnbNetwork::builder(m).data_width(64).build();
+    let d = net
+        .route_diagnosed(&records)
+        .map_err(|e| err(e.to_string()))?;
+    let mut out = String::new();
+    if d.is_clean() {
+        out.push_str("clean: all records delivered, no assumption violations\n");
+    } else {
+        for site in &d.unbalanced {
+            out.push_str(&format!(
+                "violated splitter: main stage {}, internal stage {}, lines {}..{}\n",
+                site.main_stage,
+                site.internal_stage,
+                site.first_line,
+                site.first_line + 1
+            ));
+        }
+        out.push_str(&format!("misdelivered outputs: {:?}\n", d.misdelivered));
+    }
+    for (j, r) in d.outputs.iter().enumerate() {
+        out.push_str(&format!(
+            "output {j}: from input {} (wanted {})\n",
+            r.data(),
+            r.dest()
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(args: &[&str]) -> Result<String, CliError> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&v)
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let out = run_str(&[]).unwrap();
+        assert!(out.contains("usage: bnb"));
+        assert_eq!(run_str(&["help"]).unwrap(), out);
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let e = run_str(&["frobnicate"]).unwrap_err();
+        assert!(e.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn route_with_explicit_permutation() {
+        let out = run_str(&["route", "--inputs", "4", "--perm", "2,0,3,1"]).unwrap();
+        assert!(out.contains("delivered: true"));
+        assert!(out.contains("output 0: from input 1"));
+    }
+
+    #[test]
+    fn route_with_trace() {
+        let out = run_str(&["route", "--inputs", "4", "--perm", "2,0,3,1", "--trace"]).unwrap();
+        assert!(out.contains("col 0.0"));
+        assert!(out.contains("columns: 3"));
+    }
+
+    #[test]
+    fn route_validates_input() {
+        assert!(run_str(&["route", "--inputs", "5"]).is_err());
+        assert!(run_str(&["route", "--inputs", "4", "--perm", "1,1,2,3"]).is_err());
+        assert!(run_str(&["route", "--inputs", "4", "--perm", "0,1"]).is_err());
+        assert!(run_str(&["route", "--inputs", "4", "--perm", "a,b,c,d"]).is_err());
+    }
+
+    #[test]
+    fn route_defaults_to_seeded_random() {
+        let a = run_str(&["route"]).unwrap();
+        let b = run_str(&["route"]).unwrap();
+        assert_eq!(a, b, "default route must be deterministic");
+        assert!(a.contains("delivered: true"));
+    }
+
+    #[test]
+    fn tables_render() {
+        let out = run_str(&["tables", "--sizes", "3,4", "--data-width", "0"]).unwrap();
+        assert!(out.contains("Table 1"));
+        assert!(out.contains("Table 2"));
+        assert!(run_str(&["tables", "--sizes", "0"]).is_err());
+        assert!(run_str(&["tables", "--sizes", "x"]).is_err());
+    }
+
+    #[test]
+    fn figures_render() {
+        let out = run_str(&["figures"]).unwrap();
+        assert!(out.contains("Fig. 1"));
+        assert!(out.contains("sp(3)"));
+    }
+
+    #[test]
+    fn ratios_render() {
+        let out = run_str(&["ratios", "--sizes", "3,5"]).unwrap();
+        assert!(out.contains("hardware ratio"));
+    }
+
+    #[test]
+    fn crossover_renders() {
+        let out = run_str(&["crossover"]).unwrap();
+        assert!(out.contains("Crossover findings"));
+    }
+
+    #[test]
+    fn verilog_for_each_component() {
+        for component in ["bnb", "batcher", "splitter", "bsn"] {
+            let out = run_str(&["verilog", "--component", component, "--inputs", "4"]).unwrap();
+            assert!(out.contains("module"), "{component}");
+            assert!(out.contains("endmodule"), "{component}");
+        }
+    }
+
+    #[test]
+    fn verilog_optimize_flag_reports_stats() {
+        let out = run_str(&[
+            "verilog",
+            "--component",
+            "bsn",
+            "--inputs",
+            "8",
+            "--optimize",
+        ])
+        .unwrap();
+        assert!(out.starts_with("// optimized:"));
+        assert!(out.contains("endmodule"));
+    }
+
+    #[test]
+    fn compare_routes_through_the_fleet() {
+        let out = run_str(&["compare", "--inputs", "8"]).unwrap();
+        assert!(out.contains("BNB"));
+        assert!(out.contains("Benes"));
+        assert!(out.matches("delivered").count() >= 8);
+        assert!(!out.contains("MISDELIVERED"));
+        assert!(run_str(&["compare", "--inputs", "3"]).is_err());
+    }
+
+    #[test]
+    fn sweep_prints_curve() {
+        let out = run_str(&["sweep", "--inputs", "8", "--rounds", "50"]).unwrap();
+        assert!(out.contains("offered"));
+        assert!(out.lines().count() >= 10);
+        assert!(run_str(&["sweep", "--inputs", "7"]).is_err());
+        assert!(run_str(&["sweep", "--discipline", "lifo"]).is_err());
+    }
+
+    #[test]
+    fn diagnose_reports_conflicts() {
+        // Duplicate destination 1 at inputs 0 and 2.
+        let out = run_str(&["diagnose", "--inputs", "4", "--dests", "1,0,1,3"]).unwrap();
+        assert!(out.contains("violated splitter"));
+        assert!(out.contains("misdelivered"));
+        // A clean permutation.
+        let out = run_str(&["diagnose", "--inputs", "4", "--dests", "2,0,3,1"]).unwrap();
+        assert!(out.starts_with("clean:"));
+        // Missing flag.
+        assert!(run_str(&["diagnose", "--inputs", "4"]).is_err());
+        assert!(run_str(&["diagnose", "--inputs", "4", "--dests", "1,2"]).is_err());
+    }
+
+    #[test]
+    fn verilog_validates_flags() {
+        assert!(run_str(&["verilog", "--inputs", "3"]).is_err());
+        assert!(run_str(&["verilog", "--component", "nope"]).is_err());
+        assert!(run_str(&["verilog", "--data-width", "99"]).is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! The tree arbiter `A(p)` (Definition 6), behavioural model.
+//!
+//! The arbiter is a complete binary tree over the `2^p` one-bit inputs of a
+//! splitter. In the **up-sweep** every node sends the XOR of its two
+//! children's values to its parent; in the **down-sweep** a node whose
+//! up-value is 0 (a *type-1* node) generates flags itself — 0 to the upper
+//! child, 1 to the lower — while a node whose up-value is 1 (*type-2*)
+//! forwards the flag received from its parent to both children. The root
+//! echoes its own up-value as its incoming flag (paper §4, steps 1–4).
+//!
+//! The effect (Theorem 3): unmatched type-2 switch pairs are paired up by
+//! the tree, half of them receiving flag 0 and half flag 1, so ones are
+//! split evenly between even and odd splitter outputs.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of one arbiter sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArbiterSweep {
+    /// One flag per 2×2 switch (per adjacent input pair). The switch
+    /// control is `inputs[2t] ⊕ flags[t]`.
+    pub flags: Vec<bool>,
+    /// Number of function nodes traversed on the longest up-then-down path:
+    /// `2·p` for `p ≥ 2`, `0` for `p = 1` (A(1) is wiring only).
+    pub sweep_depth: usize,
+    /// Total function nodes in this arbiter: `2^p − 1` for `p ≥ 2`, else 0.
+    pub node_count: usize,
+}
+
+/// Runs the arbiter `A(p)` over `2^p` input bits and returns the per-switch
+/// flags plus depth/size accounting.
+///
+/// # Panics
+///
+/// Panics if `bits.len()` is not a power of two or is less than 2.
+///
+/// # Example
+///
+/// ```
+/// use bnb_core::arbiter::arbiter_sweep;
+///
+/// // Two type-2 pairs: (0,1) and (1,0). They meet at the root, which
+/// // pairs them: one pair gets flag 0, the other flag 1.
+/// let sweep = arbiter_sweep(&[false, true, true, false]);
+/// assert_eq!(sweep.flags.len(), 2);
+/// assert_ne!(sweep.flags[0], sweep.flags[1]);
+/// ```
+pub fn arbiter_sweep(bits: &[bool]) -> ArbiterSweep {
+    let n = bits.len();
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "arbiter needs 2^p >= 2 inputs"
+    );
+    let p = n.trailing_zeros() as usize;
+    if n == 2 {
+        // A(1): the input bit itself sets the switch; flag is 0.
+        return ArbiterSweep {
+            flags: vec![false],
+            sweep_depth: 0,
+            node_count: 0,
+        };
+    }
+    // Up-sweep: level 0 = inputs; level l has 2^{p-l} up-values.
+    let mut levels: Vec<Vec<bool>> = Vec::with_capacity(p + 1);
+    levels.push(bits.to_vec());
+    for l in 1..=p {
+        let below = &levels[l - 1];
+        levels.push(
+            (0..below.len() / 2)
+                .map(|t| below[2 * t] ^ below[2 * t + 1])
+                .collect(),
+        );
+    }
+    // Down-sweep: flags entering each node, root echoes its own up-value.
+    let mut down = vec![levels[p][0]];
+    for l in (1..=p).rev() {
+        let mut below = Vec::with_capacity(down.len() * 2);
+        for (t, &zd) in down.iter().enumerate() {
+            if levels[l][t] {
+                // type-2 node: forward the parent flag to both children
+                below.push(zd);
+                below.push(zd);
+            } else {
+                // type-1 node: generate 0 (upper) and 1 (lower)
+                below.push(false);
+                below.push(true);
+            }
+        }
+        down = below;
+    }
+    debug_assert_eq!(down.len(), n);
+    let flags = (0..n / 2).map(|t| down[2 * t]).collect();
+    ArbiterSweep {
+        flags,
+        sweep_depth: 2 * p,
+        node_count: n - 1,
+    }
+}
+
+/// Number of function nodes in an `A(p)` arbiter: `2^p − 1` for `p ≥ 2`;
+/// `A(1)` is wiring and contributes 0 (paper §5.1).
+pub fn node_count(p: usize) -> usize {
+    if p < 2 {
+        0
+    } else {
+        (1 << p) - 1
+    }
+}
+
+/// Longest up-then-down function-node path through `A(p)`: `2p` for
+/// `p ≥ 2`, else 0 (paper §5.2, eq. (8) counts `2·l` per splitter level).
+pub fn sweep_depth(p: usize) -> usize {
+    if p < 2 {
+        0
+    } else {
+        2 * p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ones(v: &[bool]) -> usize {
+        v.iter().filter(|&&b| b).count()
+    }
+
+    /// Count how the flags distribute over type-2 pairs: they must be
+    /// half 0 and half 1 whenever the number of type-2 pairs is even.
+    #[test]
+    fn type2_pairs_receive_balanced_flags() {
+        for p in 2..=5usize {
+            let n = 1 << p;
+            // Exhaust all patterns for small p, sample parity-even patterns.
+            for pattern in 0..(1u64 << n.min(16)) {
+                let bits: Vec<bool> = (0..n).map(|j| pattern >> j & 1 == 1).collect();
+                if !ones(&bits).is_multiple_of(2) {
+                    continue;
+                }
+                let sweep = arbiter_sweep(&bits);
+                let mut flag0 = 0usize;
+                let mut flag1 = 0usize;
+                for t in 0..n / 2 {
+                    if bits[2 * t] != bits[2 * t + 1] {
+                        if sweep.flags[t] {
+                            flag1 += 1;
+                        } else {
+                            flag0 += 1;
+                        }
+                    }
+                }
+                assert_eq!(flag0, flag1, "p={p}, pattern={pattern:b}");
+                if n > 16 {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a1_is_wiring_only() {
+        let sweep = arbiter_sweep(&[true, false]);
+        assert_eq!(sweep.flags, vec![false]);
+        assert_eq!(sweep.node_count, 0);
+        assert_eq!(sweep.sweep_depth, 0);
+    }
+
+    #[test]
+    fn node_count_matches_tree_size() {
+        assert_eq!(node_count(1), 0);
+        assert_eq!(node_count(2), 3);
+        assert_eq!(node_count(3), 7);
+        assert_eq!(node_count(4), 15);
+        let sweep = arbiter_sweep(&[false; 8]);
+        assert_eq!(sweep.node_count, node_count(3));
+    }
+
+    #[test]
+    fn sweep_depth_is_two_p() {
+        assert_eq!(sweep_depth(1), 0);
+        assert_eq!(sweep_depth(2), 4);
+        assert_eq!(sweep_depth(5), 10);
+    }
+
+    #[test]
+    fn all_type1_pairs_generate_own_flags() {
+        // (1,1) and (0,0) pairs: every node is type-1, all switch flags are
+        // the generated upper-child flags = 0.
+        let sweep = arbiter_sweep(&[true, true, false, false]);
+        assert_eq!(sweep.flags, vec![false, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arbiter needs 2^p >= 2 inputs")]
+    fn rejects_non_power_of_two() {
+        let _ = arbiter_sweep(&[true, false, true]);
+    }
+}

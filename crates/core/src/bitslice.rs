@@ -1,0 +1,249 @@
+//! Bit-sliced (64-lane) bit-sorter network.
+//!
+//! The paper's whole point is that splitter control is *one-bit logic*:
+//! XORs up a tree, AND/OR flags down, XOR at the switch. One-bit logic
+//! vectorizes for free — pack 64 independent BSN instances into the 64 bit
+//! lanes of a `u64` per line and the entire network, arbiters included,
+//! runs branchlessly on whole words:
+//!
+//! - up-sweep: `zu = a ^ b` per tree node (one XOR for 64 instances);
+//! - down-sweep: `y1 = zu & zd`, `y2 = !zu | zd`;
+//! - switch: `control = s ⊕ flag`, and a masked swap
+//!   `even = (a & !c) | (b & c)` routes all 64 instances at once.
+//!
+//! [`BitSorter64`] is property-tested lane-for-lane against the scalar
+//! [`crate::bsn::BitSorter`] and benchmarked in `bnb-bench` (it is the
+//! "hardware-shaped" software implementation of the paper's design).
+
+use bnb_topology::bitops::unshuffle;
+use bnb_topology::connection::require_power_of_two;
+
+use crate::error::RouteError;
+
+/// A 64-lane bit-sorter network over `2^k` lines: `lanes[j]` carries the
+/// bit of line `j` for 64 independent instances (bit `i` = instance `i`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitSorter64 {
+    k: usize,
+}
+
+impl BitSorter64 {
+    /// A 64-lane BSN over `2^k` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "bit-sorter needs at least 2 lines");
+        BitSorter64 { k }
+    }
+
+    /// A 64-lane BSN over `n` lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n` is not a power of two or is less than 2.
+    pub fn with_inputs(n: usize) -> Result<Self, RouteError> {
+        let k = require_power_of_two(n)?;
+        if k == 0 {
+            return Err(RouteError::WidthMismatch {
+                expected: 2,
+                actual: n,
+            });
+        }
+        Ok(BitSorter64 { k })
+    }
+
+    /// Line count.
+    pub fn inputs(&self) -> usize {
+        1 << self.k
+    }
+
+    /// Routes 64 instances at once. Instance `i` of the output satisfies
+    /// Theorem 1 whenever instance `i` of the input is balanced; the other
+    /// lanes get hardware (permissive) semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::WidthMismatch`] if `lanes.len()` differs from
+    /// the line count.
+    pub fn route(&self, lanes: &[u64]) -> Result<Vec<u64>, RouteError> {
+        let n = self.inputs();
+        if lanes.len() != n {
+            return Err(RouteError::WidthMismatch {
+                expected: n,
+                actual: lanes.len(),
+            });
+        }
+        let k = self.k;
+        let mut lines = lanes.to_vec();
+        let mut scratch = vec![0u64; n];
+        let mut up = vec![0u64; n]; // up-sweep levels, reused per splitter
+        let mut down = vec![0u64; n];
+        for stage in 0..k {
+            let size = 1usize << (k - stage);
+            for start in (0..n).step_by(size) {
+                split64(&lines[start..start + size], &mut up, &mut down);
+                // `down` now holds per-pair controls in its first size/2
+                // slots; apply the masked swaps.
+                for t in 0..size / 2 {
+                    let c = down[t];
+                    let a = lines[start + 2 * t];
+                    let b = lines[start + 2 * t + 1];
+                    lines[start + 2 * t] = (a & !c) | (b & c);
+                    lines[start + 2 * t + 1] = (b & !c) | (a & c);
+                }
+            }
+            if stage + 1 < k {
+                for (j, &v) in lines.iter().enumerate() {
+                    scratch[unshuffle(k - stage, k, j)] = v;
+                }
+                lines.copy_from_slice(&scratch);
+            }
+        }
+        Ok(lines)
+    }
+}
+
+/// Computes the 64-lane splitter controls for `bits` (one `u64` per line)
+/// into `down[0..bits.len()/2]`, using `up` as scratch.
+fn split64(bits: &[u64], up: &mut [u64], down: &mut [u64]) {
+    let n = bits.len();
+    if n == 2 {
+        // sp(1): control = s(0) per lane.
+        down[0] = bits[0];
+        return;
+    }
+    let p = n.trailing_zeros() as usize;
+    // Up-sweep: level l (1..=p) stored at offset n − (n >> (l−1)).
+    for t in 0..n / 2 {
+        up[t] = bits[2 * t] ^ bits[2 * t + 1];
+    }
+    let mut level_start = 0usize;
+    let mut level_len = n / 2;
+    let mut write = n / 2;
+    for _ in 2..=p {
+        for t in 0..level_len / 2 {
+            up[write + t] = up[level_start + 2 * t] ^ up[level_start + 2 * t + 1];
+        }
+        level_start += level_len;
+        level_len /= 2;
+        write += level_len;
+        debug_assert_eq!(write - level_len, level_start);
+    }
+    // Down-sweep, expanding in place inside `down`.
+    let root = up[level_start]; // the single root zu
+    down[0] = root;
+    let mut zu_start = level_start;
+    let mut len = 1usize;
+    for _ in (1..=p).rev() {
+        for t in (0..len).rev() {
+            let zd = down[t];
+            let zu = up[zu_start + t];
+            // type-2 (zu=1): forward zd to both; type-1 (zu=0): 0 / 1.
+            let y1 = zu & zd;
+            let y2 = !zu | zd;
+            down[2 * t] = y1;
+            down[2 * t + 1] = y2;
+        }
+        len *= 2;
+        if len < n {
+            zu_start -= len;
+        }
+    }
+    // Controls: c_t = s(2t) ^ flag(2t), compacted in place.
+    for t in 0..n / 2 {
+        down[t] = bits[2 * t] ^ down[2 * t];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bsn::BitSorter;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn pack(lane_inputs: &[Vec<bool>]) -> Vec<u64> {
+        let n = lane_inputs[0].len();
+        (0..n)
+            .map(|j| {
+                lane_inputs
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (i, v)| acc | (u64::from(v[j]) << i))
+            })
+            .collect()
+    }
+
+    fn unpack(lanes: &[u64], i: usize) -> Vec<bool> {
+        lanes.iter().map(|&v| v >> i & 1 == 1).collect()
+    }
+
+    #[test]
+    fn lanes_match_scalar_bsn_on_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for k in [1usize, 2, 3, 5, 7] {
+            let n = 1usize << k;
+            let scalar = BitSorter::new(k);
+            let vector = BitSorter64::new(k);
+            let lane_inputs: Vec<Vec<bool>> = (0..64)
+                .map(|_| (0..n).map(|_| rng.random_bool(0.5)).collect())
+                .collect();
+            let out = vector.route(&pack(&lane_inputs)).unwrap();
+            for (i, input) in lane_inputs.iter().enumerate() {
+                let expected = scalar.route_permissive(input).unwrap();
+                assert_eq!(unpack(&out, i), expected, "k = {k}, lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_lanes_sort_to_interleaved() {
+        use rand::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(32);
+        let k = 6usize;
+        let n = 1usize << k;
+        let vector = BitSorter64::new(k);
+        let lane_inputs: Vec<Vec<bool>> = (0..64)
+            .map(|_| {
+                let mut bits: Vec<bool> = (0..n).map(|j| j % 2 == 0).collect();
+                bits.shuffle(&mut rng);
+                bits
+            })
+            .collect();
+        let out = vector.route(&pack(&lane_inputs)).unwrap();
+        for i in 0..64 {
+            let lane = unpack(&out, i);
+            assert!(
+                lane.iter().enumerate().all(|(j, &b)| b == (j % 2 == 1)),
+                "lane {i} not interleaved"
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_agreement_at_k2() {
+        let scalar = BitSorter::new(2);
+        let vector = BitSorter64::new(2);
+        // All 16 patterns fit in 16 lanes simultaneously.
+        let lane_inputs: Vec<Vec<bool>> = (0..16u32)
+            .map(|p| (0..4).map(|j| p >> j & 1 == 1).collect())
+            .collect();
+        let out = vector.route(&pack(&lane_inputs)).unwrap();
+        for (i, input) in lane_inputs.iter().enumerate() {
+            assert_eq!(
+                unpack(&out, i),
+                scalar.route_permissive(input).unwrap(),
+                "lane {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn width_is_validated() {
+        let v = BitSorter64::new(3);
+        assert!(v.route(&[0; 4]).is_err());
+        assert!(BitSorter64::with_inputs(6).is_err());
+    }
+}

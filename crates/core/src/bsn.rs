@@ -1,0 +1,287 @@
+//! The bit-sorter network (BSN) of Definition 4 and Theorem 1.
+//!
+//! A `2^k`-input BSN is a generalized baseline network whose switching boxes
+//! are splitters: stage `l` holds `2^l` splitters `sp(k−l)`. If exactly half
+//! of the input bits are 1, the outputs satisfy `out[j] = j mod 2` — all
+//! zeros on even lines, all ones on odd lines (Theorem 1). The subsequent
+//! unshuffle of the *enclosing* network then sends the zeros to the upper
+//! half and the ones to the lower half.
+
+use bnb_topology::bitops::unshuffle;
+use bnb_topology::connection::require_power_of_two;
+use bnb_topology::gbn::Gbn;
+
+use crate::error::RouteError;
+use crate::splitter::{check_balanced, split, SplitterSite};
+
+/// A `2^k`-input bit-sorter network.
+///
+/// # Example
+///
+/// ```
+/// use bnb_core::bsn::BitSorter;
+///
+/// let bsn = BitSorter::with_inputs(8)?;
+/// let out = bsn.route(&[true, false, true, false, false, true, false, true])?;
+/// assert_eq!(out, vec![false, true, false, true, false, true, false, true]);
+/// # Ok::<(), bnb_core::RouteError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitSorter {
+    k: usize,
+}
+
+impl BitSorter {
+    /// A BSN over `2^k` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "bit-sorter needs at least 2 lines");
+        BitSorter { k }
+    }
+
+    /// A BSN over `n` lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n` is not a power of two or is less than 2.
+    pub fn with_inputs(n: usize) -> Result<Self, RouteError> {
+        let k = require_power_of_two(n)?;
+        if k == 0 {
+            return Err(RouteError::WidthMismatch {
+                expected: 2,
+                actual: n,
+            });
+        }
+        Ok(BitSorter { k })
+    }
+
+    /// `log2` of the line count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of lines.
+    pub fn inputs(&self) -> usize {
+        1 << self.k
+    }
+
+    /// The underlying GBN topology.
+    pub fn gbn(&self) -> Gbn {
+        Gbn::new(self.k)
+    }
+
+    /// Routes a balanced bit vector to the interleaved `0101…` pattern
+    /// (Theorem 1), validating the splitter balance assumption at every
+    /// stage.
+    ///
+    /// # Errors
+    ///
+    /// - [`RouteError::WidthMismatch`] if `bits.len()` differs from the
+    ///   network width.
+    /// - [`RouteError::UnbalancedSplitter`] if any splitter receives an
+    ///   unbalanced input — which happens at stage 0 already unless exactly
+    ///   half of the bits are 1.
+    pub fn route(&self, bits: &[bool]) -> Result<Vec<bool>, RouteError> {
+        self.route_inner(bits, true)
+    }
+
+    /// Routes without balance validation — hardware semantics: unbalanced
+    /// inputs are still routed, just without the Theorem 1 guarantee.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::WidthMismatch`] if the width is wrong.
+    pub fn route_permissive(&self, bits: &[bool]) -> Result<Vec<bool>, RouteError> {
+        self.route_inner(bits, false)
+    }
+
+    fn route_inner(&self, bits: &[bool], strict: bool) -> Result<Vec<bool>, RouteError> {
+        let n = self.inputs();
+        if bits.len() != n {
+            return Err(RouteError::WidthMismatch {
+                expected: n,
+                actual: bits.len(),
+            });
+        }
+        let k = self.k;
+        let mut lines = bits.to_vec();
+        for stage in 0..k {
+            let size = 1usize << (k - stage);
+            let mut next = Vec::with_capacity(n);
+            for start in (0..n).step_by(size) {
+                let span = &lines[start..start + size];
+                if strict {
+                    check_balanced(
+                        span,
+                        SplitterSite {
+                            main_stage: 0,
+                            internal_stage: stage,
+                            first_line: start,
+                        },
+                    )?;
+                }
+                next.extend(split(span).outputs);
+            }
+            if stage + 1 < k {
+                let mut wired = vec![false; n];
+                for (j, &b) in next.iter().enumerate() {
+                    wired[unshuffle(k - stage, k, j)] = b;
+                }
+                lines = wired;
+            } else {
+                lines = next;
+            }
+        }
+        Ok(lines)
+    }
+
+    /// Total splitters in the network: stage `l` has `2^l` of them, so
+    /// `2^k − 1` in total.
+    pub fn splitter_count(&self) -> usize {
+        (1 << self.k) - 1
+    }
+
+    /// Total arbiter function nodes across all splitters — the
+    /// `P·log(P/2) − P/2 + 1` of paper eq. (4).
+    pub fn arbiter_node_count(&self) -> usize {
+        (0..self.k)
+            .map(|l| (1usize << l) * crate::arbiter::node_count(self.k - l))
+            .sum()
+    }
+
+    /// Total 2×2 switches in the splitters: `k · 2^{k−1}` (one column of
+    /// `2^{k−1}` switches per stage) — matches eq. (3) for one slice.
+    pub fn switch_count(&self) -> usize {
+        self.k * (1 << (self.k - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_interleaved(out: &[bool]) -> bool {
+        out.iter().enumerate().all(|(j, &b)| b == (j % 2 == 1))
+    }
+
+    /// Theorem 1, exhaustively for k = 1..4: every balanced input becomes
+    /// `0101…`.
+    #[test]
+    fn theorem_1_exhaustive() {
+        for k in 1..=4usize {
+            let bsn = BitSorter::new(k);
+            let n = 1 << k;
+            for pattern in 0..(1u32 << n) {
+                if pattern.count_ones() as usize != n / 2 {
+                    continue;
+                }
+                let bits: Vec<bool> = (0..n).map(|j| pattern >> j & 1 == 1).collect();
+                let out = bsn.route(&bits).unwrap();
+                assert!(
+                    is_interleaved(&out),
+                    "BSN({k}) failed on {pattern:b}: {out:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unbalanced_input_is_rejected_with_site() {
+        let bsn = BitSorter::new(3);
+        let err = bsn.route(&[true; 8]).unwrap_err();
+        match err {
+            RouteError::UnbalancedSplitter {
+                internal_stage,
+                width,
+                ones,
+                ..
+            } => {
+                // All-ones has even parity, so stage 0 passes (8 ones is
+                // even); the failure surfaces at the sp(1) stage.
+                assert_eq!(width, 2);
+                assert_eq!(ones, 2);
+                assert!(internal_stage > 0);
+            }
+            other => panic!("expected UnbalancedSplitter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn odd_parity_rejected_at_first_stage() {
+        let bsn = BitSorter::new(3);
+        let mut bits = [false; 8];
+        bits[0] = true;
+        bits[1] = true;
+        bits[2] = true;
+        let err = bsn.route(&bits).unwrap_err();
+        assert!(matches!(
+            err,
+            RouteError::UnbalancedSplitter {
+                internal_stage: 0,
+                ones: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn permissive_mode_routes_anything() {
+        let bsn = BitSorter::new(3);
+        let out = bsn.route_permissive(&[true; 8]).unwrap();
+        assert_eq!(out.iter().filter(|&&b| b).count(), 8, "bits conserved");
+    }
+
+    #[test]
+    fn width_mismatch_is_detected() {
+        let bsn = BitSorter::new(3);
+        let err = bsn.route(&[true, false]).unwrap_err();
+        assert_eq!(
+            err,
+            RouteError::WidthMismatch {
+                expected: 8,
+                actual: 2
+            }
+        );
+    }
+
+    #[test]
+    fn counts_match_paper_formulas() {
+        for k in 1..=10usize {
+            let bsn = BitSorter::new(k);
+            let p = 1u64 << k;
+            // eq. (4): arbiter nodes = P log(P/2) − P/2 + 1.
+            let expected = p as i64 * (k as i64 - 1) - p as i64 / 2 + 1;
+            assert_eq!(bsn.arbiter_node_count() as i64, expected.max(0), "k = {k}");
+            // eq. (3): switches per slice = (P/2)·log P.
+            assert_eq!(bsn.switch_count() as u64, (p / 2) * k as u64);
+            assert_eq!(bsn.splitter_count() as u64, p - 1);
+        }
+    }
+
+    #[test]
+    fn with_inputs_validates() {
+        assert!(BitSorter::with_inputs(8).is_ok());
+        assert!(BitSorter::with_inputs(6).is_err());
+        assert!(BitSorter::with_inputs(1).is_err());
+    }
+
+    #[test]
+    fn large_random_balanced_inputs_sort() {
+        use rand::seq::SliceRandom;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for k in [5usize, 8, 10] {
+            let bsn = BitSorter::new(k);
+            let n = 1 << k;
+            let mut bits: Vec<bool> = (0..n).map(|j| j % 2 == 0).collect();
+            for _ in 0..10 {
+                bits.shuffle(&mut rng);
+                let out = bsn.route(&bits).unwrap();
+                assert!(is_interleaved(&out), "BSN({k}) failed");
+            }
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Hardware-cost accounting (paper §5.1, eqs. (1)–(6)).
+//!
+//! Costs are expressed in the paper's abstract units: 2×2 switches
+//! (`C_SW`), one-bit arbiter function nodes (`C_FN`), and — for the
+//! Koppelman comparison row of Table 1 — adder slices. Every count is
+//! available two ways:
+//!
+//! - **counted**: enumerate the constructed structure box by box
+//!   ([`HardwareCost::bnb_counted`]);
+//! - **closed form**: the paper's polynomial, eq. (6)
+//!   ([`HardwareCost::bnb_closed_form`]).
+//!
+//! Their equality for all `m`, `w` is a property test — a strong check that
+//! the implementation builds exactly the structure the paper analyzed.
+//!
+//! Note the paper's slice-count subtlety (eq. (2)): a `P`-input nested
+//! network carries `log P + w` slices, not `m + w` — address bits already
+//! consumed by earlier main stages are dropped, since the sub-network a
+//! record sits in encodes them positionally.
+
+use std::ops::Add;
+
+use serde::{Deserialize, Serialize};
+
+use crate::arbiter;
+
+/// A hardware budget in the paper's abstract units.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HardwareCost {
+    /// 2×2 switches (`C_SW` units).
+    pub switches: u64,
+    /// Arbiter function nodes / one-bit function slices (`C_FN` units).
+    pub function_nodes: u64,
+    /// Adder slices (only nonzero for the Koppelman network of Table 1).
+    pub adder_slices: u64,
+}
+
+impl HardwareCost {
+    /// Collapses to a single scalar with unit weights — used when a single
+    /// comparable number is needed.
+    pub fn total_units(&self) -> u64 {
+        self.switches + self.function_nodes + self.adder_slices
+    }
+
+    /// Weighted total: `switches·c_sw + function_nodes·c_fn +
+    /// adder_slices·c_add`.
+    pub fn weighted(&self, c_sw: f64, c_fn: f64, c_add: f64) -> f64 {
+        self.switches as f64 * c_sw
+            + self.function_nodes as f64 * c_fn
+            + self.adder_slices as f64 * c_add
+    }
+
+    /// Exact BNB cost, **counted** by enumerating every nested network,
+    /// slice, splitter and arbiter of a `2^m`-input, `w`-data-bit network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn bnb_counted(m: usize, w: usize) -> HardwareCost {
+        assert!(m >= 1, "network needs at least 2 inputs");
+        let mut switches: u64 = 0;
+        let mut function_nodes: u64 = 0;
+        for main_stage in 0..m {
+            let k = m - main_stage; // nested networks have 2^k lines
+            let nested_count = 1u64 << main_stage;
+            let slices = (k + w) as u64; // log P + w slices (eq. (2))
+                                         // Switches per slice of one nested network: k internal stages of
+                                         // 2^{k-1} switches each (eq. (3)).
+            let per_slice = (k as u64) * (1u64 << (k - 1));
+            switches += nested_count * slices * per_slice;
+            // Arbiter nodes of the BSN slice: stage j has 2^j splitters
+            // sp(k-j), each with an A(k-j) of 2^{k-j} − 1 nodes (A(1) = 0).
+            let mut nodes: u64 = 0;
+            for j in 0..k {
+                nodes += (1u64 << j) * arbiter::node_count(k - j) as u64;
+            }
+            function_nodes += nested_count * nodes;
+        }
+        HardwareCost {
+            switches,
+            function_nodes,
+            adder_slices: 0,
+        }
+    }
+
+    /// Exact BNB cost from the paper's closed form, eq. (6):
+    ///
+    /// ```text
+    /// C_BNB(N) = (N/6·log³N + N/4·log²N + N/12·log N
+    ///             + N·w/4·(log²N + log N)) · C_SW
+    ///          + (N/2·log²N − N·log N + N − 1) · C_FN
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn bnb_closed_form(m: usize, w: usize) -> HardwareCost {
+        assert!(m >= 1, "network needs at least 2 inputs");
+        let n = 1u128 << m;
+        let mu = m as u128;
+        let wu = w as u128;
+        // N/6·m³ + N/4·m² + N/12·m  ==  (N/12)·m(m+1)(2m+1), exactly.
+        let addr_switches = n * mu * (mu + 1) * (2 * mu + 1) / 12;
+        // N·w/4·(m² + m)  ==  (N·w/4)·m(m+1); m(m+1) is even and N ≥ 2.
+        let data_switches = n * wu * mu * (mu + 1) / 4;
+        let fn_nodes = {
+            let n = n as i128;
+            let mu = mu as i128;
+            u128::try_from(n * mu * mu / 2 - n * mu + n - 1).expect("count is non-negative")
+        };
+        HardwareCost {
+            switches: u64::try_from(addr_switches + data_switches).expect("cost fits u64"),
+            function_nodes: u64::try_from(fn_nodes).expect("cost fits u64"),
+            adder_slices: 0,
+        }
+    }
+
+    /// Cost of one `P = 2^p`-input nested network with `w` data bits —
+    /// the paper's eq. (5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn nested_network(p: usize, w: usize) -> HardwareCost {
+        assert!(p >= 1, "nested network needs at least 2 inputs");
+        let pl = 1u64 << p;
+        let switches = (pl / 2) * p as u64 * (p + w) as u64;
+        // P·log(P/2) − P/2 + 1, with the p = 1 case (A(1) = wiring) giving 0.
+        let function_nodes = if p >= 2 {
+            pl * (p as u64 - 1) - pl / 2 + 1
+        } else {
+            0
+        };
+        HardwareCost {
+            switches,
+            function_nodes,
+            adder_slices: 0,
+        }
+    }
+
+    /// Table 1 leading terms for the BNB network: `N/6·log³N` switches and
+    /// `N/2·log²N` function slices, as `f64`s.
+    pub fn bnb_leading_terms(m: usize) -> (f64, f64) {
+        let n = (1u64 << m) as f64;
+        let mf = m as f64;
+        (n / 6.0 * mf.powi(3), n / 2.0 * mf.powi(2))
+    }
+}
+
+impl Add for HardwareCost {
+    type Output = HardwareCost;
+
+    fn add(self, rhs: HardwareCost) -> HardwareCost {
+        HardwareCost {
+            switches: self.switches + rhs.switches,
+            function_nodes: self.function_nodes + rhs.function_nodes,
+            adder_slices: self.adder_slices + rhs.adder_slices,
+        }
+    }
+}
+
+impl std::iter::Sum for HardwareCost {
+    fn sum<I: Iterator<Item = HardwareCost>>(iter: I) -> HardwareCost {
+        iter.fold(HardwareCost::default(), Add::add)
+    }
+}
+
+impl std::fmt::Display for HardwareCost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} switches + {} function nodes",
+            self.switches, self.function_nodes
+        )?;
+        if self.adder_slices > 0 {
+            write!(f, " + {} adder slices", self.adder_slices)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The central validation: structure-enumerated counts equal the
+    /// paper's eq. (6) for every m and several data widths.
+    #[test]
+    fn counted_equals_closed_form() {
+        for m in 1..=14 {
+            for w in [0usize, 1, 8, 16, 32] {
+                assert_eq!(
+                    HardwareCost::bnb_counted(m, w),
+                    HardwareCost::bnb_closed_form(m, w),
+                    "m = {m}, w = {w}"
+                );
+            }
+        }
+    }
+
+    /// Recurrence (1): C_BNB(N) = 2·C_BNB(N/2) + C_NB(N)… with the caveat
+    /// that the nested-network cost of eq. (5) already uses log P + w
+    /// slices, so the recurrence telescopes the counted structure exactly.
+    #[test]
+    fn recurrence_equation_1_holds() {
+        for m in 2..=10 {
+            for w in [0usize, 8] {
+                let whole = HardwareCost::bnb_counted(m, w);
+                let half = HardwareCost::bnb_counted(m - 1, w);
+                let nested = HardwareCost::nested_network(m, w);
+                assert_eq!(
+                    whole,
+                    HardwareCost {
+                        switches: 2 * half.switches + nested.switches,
+                        function_nodes: 2 * half.function_nodes + nested.function_nodes,
+                        adder_slices: 0,
+                    },
+                    "m = {m}, w = {w}"
+                );
+            }
+        }
+    }
+
+    /// Spot-check eq. (6) by hand for m = 3, w = 0:
+    /// switches = (8/12)·3·4·7 = 56; fn = 8·9/2 − 24 + 8 − 1 = 19.
+    #[test]
+    fn closed_form_spot_check_m3() {
+        let c = HardwareCost::bnb_closed_form(3, 0);
+        assert_eq!(c.switches, 56);
+        assert_eq!(c.function_nodes, 19);
+    }
+
+    /// m = 1: a single sp(1) = one switch, no arbiter nodes.
+    #[test]
+    fn smallest_network_is_one_switch() {
+        let c = HardwareCost::bnb_counted(1, 0);
+        assert_eq!(c.switches, 1);
+        assert_eq!(c.function_nodes, 0);
+        assert_eq!(c, HardwareCost::bnb_closed_form(1, 0));
+    }
+
+    #[test]
+    fn nested_network_matches_eq5() {
+        // P = 8, w = 2: switches = 4·3·5 = 60; fn = 8·2 − 4 + 1 = 13.
+        let c = HardwareCost::nested_network(3, 2);
+        assert_eq!(c.switches, 60);
+        assert_eq!(c.function_nodes, 13);
+    }
+
+    #[test]
+    fn leading_terms_dominate_at_large_n() {
+        let (sw_lead, fn_lead) = HardwareCost::bnb_leading_terms(16);
+        let exact = HardwareCost::bnb_closed_form(16, 0);
+        // The leading terms are within 30% of the exact counts at N = 65536.
+        assert!((sw_lead / exact.switches as f64 - 1.0).abs() < 0.3);
+        assert!((fn_lead / exact.function_nodes as f64 - 1.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn arithmetic_and_display() {
+        let a = HardwareCost {
+            switches: 1,
+            function_nodes: 2,
+            adder_slices: 0,
+        };
+        let b = HardwareCost {
+            switches: 10,
+            function_nodes: 20,
+            adder_slices: 5,
+        };
+        let s = a + b;
+        assert_eq!(s.switches, 11);
+        assert_eq!(s.total_units(), 11 + 22 + 5);
+        assert_eq!(s.weighted(1.0, 1.0, 1.0), 38.0);
+        assert!(s.to_string().contains("11 switches"));
+        assert!(s.to_string().contains("adder slices"));
+        let summed: HardwareCost = [a, b].into_iter().sum();
+        assert_eq!(summed, s);
+    }
+
+    #[test]
+    fn data_width_adds_switch_slices_only() {
+        let narrow = HardwareCost::bnb_counted(5, 0);
+        let wide = HardwareCost::bnb_counted(5, 16);
+        assert!(wide.switches > narrow.switches);
+        assert_eq!(wide.function_nodes, narrow.function_nodes);
+    }
+}

@@ -1,0 +1,151 @@
+//! Propagation-delay accounting (paper §5.2, eqs. (7)–(9)).
+//!
+//! Delay is expressed in the paper's abstract units: `D_SW` per 2×2 switch
+//! column and `D_FN` per arbiter function node on the up/down sweep. As with
+//! cost, each quantity is available both **structurally** (walk the network,
+//! add up what a signal traverses) and as the paper's **closed form**, and
+//! the two are property-tested equal.
+
+use serde::{Deserialize, Serialize};
+
+use crate::arbiter;
+
+/// A propagation delay split into the paper's two unit kinds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PropagationDelay {
+    /// Switch columns traversed (`D_SW` units).
+    pub switch_units: u64,
+    /// Function-node levels traversed (`D_FN` units).
+    pub fn_units: u64,
+}
+
+impl PropagationDelay {
+    /// Weighted total delay `switch_units·d_sw + fn_units·d_fn`.
+    pub fn weighted(&self, d_sw: f64, d_fn: f64) -> f64 {
+        self.switch_units as f64 * d_sw + self.fn_units as f64 * d_fn
+    }
+
+    /// Unit-weight total (the Table 2 convention: `D_SW = D_FN = 1`).
+    pub fn total_units(&self) -> u64 {
+        self.switch_units + self.fn_units
+    }
+
+    /// BNB delay, **structurally**: walk the main stages; each nested
+    /// network of `2^k` lines contributes `k` switch columns (eq. (7)) and,
+    /// per internal splitter level `sp(l)` with `l ≥ 2`, an up-and-down
+    /// arbiter sweep of `2l` node delays (eq. (8)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn bnb_structural(m: usize) -> PropagationDelay {
+        assert!(m >= 1, "network needs at least 2 inputs");
+        let mut switch_units = 0u64;
+        let mut fn_units = 0u64;
+        for main_stage in 0..m {
+            let k = m - main_stage;
+            switch_units += k as u64;
+            for internal in 0..k {
+                fn_units += arbiter::sweep_depth(k - internal) as u64;
+            }
+        }
+        PropagationDelay {
+            switch_units,
+            fn_units,
+        }
+    }
+
+    /// BNB delay from the paper's closed form, eq. (9):
+    ///
+    /// ```text
+    /// D_BNB = (1/3·log³N + log²N − 4/3·log N) · D_FN
+    ///       + (1/2·log²N + 1/2·log N) · D_SW
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn bnb_closed_form(m: usize) -> PropagationDelay {
+        assert!(m >= 1, "network needs at least 2 inputs");
+        let mu = m as u64;
+        // m³/3 + m² − 4m/3 == m(m−1)(m+4)/3, exactly divisible.
+        let fn_units = mu * (mu - 1) * (mu + 4) / 3;
+        let switch_units = mu * (mu + 1) / 2;
+        PropagationDelay {
+            switch_units,
+            fn_units,
+        }
+    }
+
+    /// Table 2 combined polynomial for the BNB network with unit weights:
+    /// `1/3·log³N + 3/2·log²N − 5/6·log N`, as an `f64`.
+    pub fn bnb_table2(m: usize) -> f64 {
+        let mf = m as f64;
+        mf.powi(3) / 3.0 + 1.5 * mf.powi(2) - 5.0 / 6.0 * mf
+    }
+}
+
+impl std::fmt::Display for PropagationDelay {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}·D_SW + {}·D_FN", self.switch_units, self.fn_units)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Structural walk equals the paper's eq. (9) for every m.
+    #[test]
+    fn structural_equals_closed_form() {
+        for m in 1..=20 {
+            assert_eq!(
+                PropagationDelay::bnb_structural(m),
+                PropagationDelay::bnb_closed_form(m),
+                "m = {m}"
+            );
+        }
+    }
+
+    /// eq. (7): switch columns = m(m+1)/2.
+    #[test]
+    fn switch_columns_match_eq7() {
+        for m in 1..=12u64 {
+            let d = PropagationDelay::bnb_structural(m as usize);
+            assert_eq!(d.switch_units, m * (m + 1) / 2);
+        }
+    }
+
+    /// eq. (8) spot checks: m = 2 → 4 FN units; m = 3 → 14.
+    #[test]
+    fn fn_units_spot_checks() {
+        assert_eq!(PropagationDelay::bnb_structural(1).fn_units, 0);
+        assert_eq!(PropagationDelay::bnb_structural(2).fn_units, 4);
+        assert_eq!(PropagationDelay::bnb_structural(3).fn_units, 14);
+    }
+
+    /// The Table 2 polynomial equals the unit-weight total of eq. (9).
+    #[test]
+    fn table2_polynomial_matches_components() {
+        for m in 1..=16 {
+            let d = PropagationDelay::bnb_closed_form(m);
+            let poly = PropagationDelay::bnb_table2(m);
+            assert!(
+                (poly - d.total_units() as f64).abs() < 1e-6,
+                "m = {m}: {poly} vs {}",
+                d.total_units()
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_combines_units() {
+        let d = PropagationDelay {
+            switch_units: 3,
+            fn_units: 14,
+        };
+        assert_eq!(d.weighted(2.0, 1.0), 20.0);
+        assert_eq!(d.total_units(), 17);
+        assert_eq!(d.to_string(), "3·D_SW + 14·D_FN");
+    }
+}

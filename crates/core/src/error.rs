@@ -1,0 +1,151 @@
+//! Routing errors.
+
+use std::error::Error;
+use std::fmt;
+
+use bnb_topology::TopologyError;
+
+/// Errors raised while routing records through a BNB network or one of its
+/// components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RouteError {
+    /// The number of input records differs from the network width.
+    WidthMismatch {
+        /// Network width `N`.
+        expected: usize,
+        /// Records provided.
+        actual: usize,
+    },
+    /// A record's destination does not fit in the network's `m` address
+    /// bits.
+    DestinationTooWide {
+        /// The offending destination.
+        dest: usize,
+        /// Network width `N`.
+        n: usize,
+    },
+    /// A record's data word does not fit in the network's `w` data bits.
+    DataTooWide {
+        /// The offending data word.
+        data: u64,
+        /// Configured data width.
+        w: usize,
+    },
+    /// Two records share a destination, so the input is not a permutation
+    /// (detected under [`RoutePolicy::Strict`]).
+    ///
+    /// [`RoutePolicy::Strict`]: crate::network::RoutePolicy::Strict
+    DuplicateDestination {
+        /// The shared destination address.
+        dest: usize,
+        /// Input line of the first record with this destination.
+        first_input: usize,
+        /// Input line of the second record with this destination.
+        second_input: usize,
+    },
+    /// A splitter received an unbalanced bit vector — an odd number of ones
+    /// for `sp(p≥2)`, or two equal bits for `sp(1)` — violating the paper's
+    /// §4 assumption. Reported instead of silently mis-routing.
+    UnbalancedSplitter {
+        /// Main-network stage (for a full-network route) or 0.
+        main_stage: usize,
+        /// Internal stage of the nested network / bit-sorter.
+        internal_stage: usize,
+        /// First line of the splitter's span.
+        first_line: usize,
+        /// Number of lines in the splitter.
+        width: usize,
+        /// Number of one-bits observed.
+        ones: usize,
+    },
+    /// An underlying topology error (size not a power of two, ...).
+    Topology(TopologyError),
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::WidthMismatch { expected, actual } => {
+                write!(f, "network has {expected} inputs but {actual} records were provided")
+            }
+            RouteError::DestinationTooWide { dest, n } => {
+                write!(f, "destination {dest} does not fit a {n}-output network")
+            }
+            RouteError::DataTooWide { data, w } => {
+                write!(f, "data {data:#x} does not fit in {w} bits")
+            }
+            RouteError::DuplicateDestination { dest, first_input, second_input } => write!(
+                f,
+                "inputs {first_input} and {second_input} both target destination {dest}: not a permutation"
+            ),
+            RouteError::UnbalancedSplitter {
+                main_stage,
+                internal_stage,
+                first_line,
+                width,
+                ones,
+            } => write!(
+                f,
+                "splitter at main stage {main_stage}, internal stage {internal_stage}, lines {first_line}..{} received {ones} ones over {width} lines: input violates the even-split assumption",
+                first_line + width
+            ),
+            RouteError::Topology(e) => write!(f, "topology error: {e}"),
+        }
+    }
+}
+
+impl Error for RouteError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RouteError::Topology(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopologyError> for RouteError {
+    fn from(e: TopologyError) -> Self {
+        RouteError::Topology(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_carry_diagnostics() {
+        let e = RouteError::UnbalancedSplitter {
+            main_stage: 1,
+            internal_stage: 0,
+            first_line: 4,
+            width: 4,
+            ones: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("main stage 1"));
+        assert!(s.contains("lines 4..8"));
+        assert!(s.contains("3 ones"));
+
+        let e = RouteError::DuplicateDestination {
+            dest: 2,
+            first_input: 0,
+            second_input: 3,
+        };
+        assert!(e.to_string().contains("not a permutation"));
+    }
+
+    #[test]
+    fn topology_errors_convert() {
+        let e: RouteError = TopologyError::NotPowerOfTwo { size: 12 }.into();
+        assert!(matches!(e, RouteError::Topology(_)));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RouteError>();
+    }
+}

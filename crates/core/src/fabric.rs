@@ -1,0 +1,88 @@
+//! The [`PermutationNetwork`] trait: one object-safe interface over every
+//! permutation-capable network in this workspace (the BNB network and all
+//! baselines), so comparisons, registries and generic harnesses don't need
+//! to know which design they are driving.
+
+use bnb_topology::record::Record;
+
+use crate::error::RouteError;
+use crate::network::BnbNetwork;
+
+/// An `N`-input network that can deliver a full permutation of records in
+/// one pass.
+///
+/// Implementations exist for [`BnbNetwork`] here and for every baseline in
+/// `bnb-baselines` (Batcher, bitonic, Benes, Koppelman, crossbar, cellular
+/// array, Clos). The trait is object-safe so heterogeneous collections of
+/// networks can be swept generically.
+///
+/// # Example
+///
+/// ```
+/// use bnb_core::fabric::PermutationNetwork;
+/// use bnb_core::network::BnbNetwork;
+/// use bnb_topology::perm::Permutation;
+/// use bnb_topology::record::{records_for_permutation, all_delivered};
+///
+/// let net: Box<dyn PermutationNetwork> = Box::new(BnbNetwork::with_inputs(8)?);
+/// let p = Permutation::try_from(vec![4, 0, 7, 1, 6, 2, 5, 3])?;
+/// let out = net.route_records(&records_for_permutation(&p))?;
+/// assert!(all_delivered(&out));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub trait PermutationNetwork {
+    /// Network width `N`.
+    fn inputs(&self) -> usize;
+
+    /// Routes one record per input; on success `out[j].dest() == j`.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific [`RouteError`]s for malformed input; a
+    /// permutation network never fails on a *valid* permutation.
+    fn route_records(&self, records: &[Record]) -> Result<Vec<Record>, RouteError>;
+
+    /// Human-readable design name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Whether switch settings are derived locally (self-routing) or by a
+    /// global algorithm.
+    fn is_self_routing(&self) -> bool;
+}
+
+impl PermutationNetwork for BnbNetwork {
+    fn inputs(&self) -> usize {
+        BnbNetwork::inputs(self)
+    }
+
+    fn route_records(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
+        self.route(records)
+    }
+
+    fn name(&self) -> &'static str {
+        "BNB"
+    }
+
+    fn is_self_routing(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnb_topology::perm::Permutation;
+    use bnb_topology::record::{all_delivered, records_for_permutation};
+
+    #[test]
+    fn bnb_is_usable_through_the_trait_object() {
+        let net: Box<dyn PermutationNetwork> =
+            Box::new(BnbNetwork::builder(3).data_width(32).build());
+        assert_eq!(net.inputs(), 8);
+        assert_eq!(net.name(), "BNB");
+        assert!(net.is_self_routing());
+        let p = Permutation::try_from(vec![2, 5, 0, 7, 4, 1, 6, 3]).unwrap();
+        let out = net.route_records(&records_for_permutation(&p)).unwrap();
+        assert!(all_delivered(&out));
+    }
+}

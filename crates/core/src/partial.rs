@@ -1,0 +1,302 @@
+//! Partial-permutation routing on the BNB network.
+//!
+//! The paper's network assumes a *full* permutation — every splitter needs
+//! a balanced bit vector, which idle inputs would break. The classic fix
+//! (and the one a real fabric adapter uses) is **destination completion**:
+//! idle inputs are loaned the unused destination addresses, the completed
+//! full permutation self-routes, and the loaned records are blanked at the
+//! outputs. This extension implements that adapter on top of
+//! [`BnbNetwork::route`].
+
+use bnb_topology::record::Record;
+use serde::{Deserialize, Serialize};
+
+use crate::error::RouteError;
+use crate::network::BnbNetwork;
+
+/// Result of a partial route: per-output slots plus fill statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialRouteOutcome {
+    /// One slot per output line; `None` where no real record was destined.
+    pub outputs: Vec<Option<Record>>,
+    /// Real records routed.
+    pub active: usize,
+    /// Filler records the adapter had to inject.
+    pub fillers: usize,
+}
+
+impl BnbNetwork {
+    /// Routes a *partial* mapping: idle inputs are `None`; active inputs
+    /// must have distinct in-range destinations. Internally the idle
+    /// inputs are assigned the unused destinations (in ascending order),
+    /// the full permutation is self-routed, and filler deliveries are
+    /// blanked.
+    ///
+    /// # Errors
+    ///
+    /// - [`RouteError::WidthMismatch`] if the slot count differs from the
+    ///   network width.
+    /// - [`RouteError::DestinationTooWide`] for an out-of-range active
+    ///   destination. (Payload width is *not* checked: the adapter routes
+    ///   positional index tags, so payloads of any width ride along.)
+    /// - [`RouteError::DuplicateDestination`] if two active records share
+    ///   a destination (reported with their input line numbers).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bnb_core::network::BnbNetwork;
+    /// use bnb_topology::record::Record;
+    ///
+    /// let net = BnbNetwork::with_inputs(8)?;
+    /// let mut slots = vec![None; 8];
+    /// slots[1] = Some(Record::new(6, 0xAA));
+    /// slots[4] = Some(Record::new(0, 0xBB));
+    /// let out = net.route_partial(&slots)?;
+    /// assert_eq!(out.outputs[6], Some(Record::new(6, 0xAA)));
+    /// assert_eq!(out.outputs[0], Some(Record::new(0, 0xBB)));
+    /// assert_eq!(out.active, 2);
+    /// assert_eq!(out.fillers, 6);
+    /// # Ok::<(), bnb_core::RouteError>(())
+    /// ```
+    pub fn route_partial(
+        &self,
+        slots: &[Option<Record>],
+    ) -> Result<PartialRouteOutcome, RouteError> {
+        let n = self.inputs();
+        if slots.len() != n {
+            return Err(RouteError::WidthMismatch {
+                expected: n,
+                actual: slots.len(),
+            });
+        }
+        // Validate actives and find the unused destinations.
+        let mut owner = vec![usize::MAX; n];
+        for (i, slot) in slots.iter().enumerate() {
+            let Some(r) = slot else { continue };
+            if r.dest() >= n {
+                return Err(RouteError::DestinationTooWide { dest: r.dest(), n });
+            }
+            if owner[r.dest()] != usize::MAX {
+                return Err(RouteError::DuplicateDestination {
+                    dest: r.dest(),
+                    first_input: owner[r.dest()],
+                    second_input: i,
+                });
+            }
+            owner[r.dest()] = i;
+        }
+        let mut unused = (0..n).filter(|&d| owner[d] == usize::MAX);
+        // Complete: idle input lines borrow the unused destinations. The
+        // inner route works on (dest, input-index) pairs so the original
+        // payloads never need to fit the filler records.
+        let mut filler_count = 0usize;
+        let completed: Vec<Record> = slots
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| match slot {
+                Some(r) => Record::new(r.dest(), i as u64),
+                None => {
+                    filler_count += 1;
+                    let d = unused
+                        .next()
+                        .expect("counts match: one unused per idle input");
+                    Record::new(d, i as u64)
+                }
+            })
+            .collect();
+        let routed = self.route_indices(&completed)?;
+        let outputs = routed
+            .iter()
+            .map(|r| {
+                let src = r.data() as usize;
+                slots[src]
+            })
+            .collect();
+        Ok(PartialRouteOutcome {
+            outputs,
+            active: n - filler_count,
+            fillers: filler_count,
+        })
+    }
+
+    /// Routes records whose data field is an input index (always fits),
+    /// bypassing the data-width check but keeping all other validation.
+    fn route_indices(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
+        // Index payloads need log2(N) <= 64 bits, which always holds; use a
+        // width-64 sibling network with the same routing structure.
+        let wide = BnbNetwork::builder(self.m())
+            .data_width(64)
+            .policy(self.policy())
+            .wiring(self.wiring())
+            .build();
+        wide.route(records)
+    }
+
+    /// The permutation this network realizes for the given destination
+    /// assignment — a convenience that routes index-tagged records and
+    /// reads off where each input surfaced.
+    ///
+    /// For a valid permutation input this is the permutation itself;
+    /// under a broken [`crate::network::WiringMode`] it reveals what the
+    /// network actually did (used by the ablation analysis).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BnbNetwork::route`].
+    pub fn realized_mapping(&self, dests: &[usize]) -> Result<Vec<usize>, RouteError> {
+        let n = self.inputs();
+        if dests.len() != n {
+            return Err(RouteError::WidthMismatch {
+                expected: n,
+                actual: dests.len(),
+            });
+        }
+        let records: Vec<Record> = dests
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| Record::new(d, i as u64))
+            .collect();
+        let out = self.route_indices(&records)?;
+        let mut mapping = vec![0usize; n];
+        for (j, r) in out.iter().enumerate() {
+            mapping[r.data() as usize] = j;
+        }
+        Ok(mapping)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnb_topology::perm::Permutation;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn full_slots_behave_like_route() {
+        let net = BnbNetwork::new(3);
+        let p = Permutation::try_from(vec![4, 2, 7, 1, 0, 6, 3, 5]).unwrap();
+        let slots: Vec<Option<Record>> = (0..8)
+            .map(|i| Some(Record::new(p.apply(i), i as u64)))
+            .collect();
+        let out = net.route_partial(&slots).unwrap();
+        assert_eq!(out.active, 8);
+        assert_eq!(out.fillers, 0);
+        for (j, slot) in out.outputs.iter().enumerate() {
+            let r = slot.expect("full traffic fills all outputs");
+            assert_eq!(r.dest(), j);
+        }
+    }
+
+    #[test]
+    fn empty_slots_deliver_nothing() {
+        let net = BnbNetwork::new(3);
+        let out = net.route_partial(&[None; 8]).unwrap();
+        assert_eq!(out.active, 0);
+        assert_eq!(out.fillers, 8);
+        assert!(out.outputs.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn random_partial_traffic_agrees_with_crossbar_semantics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for m in [3usize, 5, 7] {
+            let n = 1usize << m;
+            let net = BnbNetwork::new(m);
+            for _ in 0..10 {
+                // Random injective partial mapping.
+                let perm = Permutation::random(n, &mut rng);
+                let slots: Vec<Option<Record>> = (0..n)
+                    .map(|i| {
+                        if rng.random_bool(0.5) {
+                            Some(Record::new(perm.apply(i), i as u64))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                let out = net.route_partial(&slots).unwrap();
+                let active = slots.iter().flatten().count();
+                assert_eq!(out.active, active);
+                for (j, slot) in out.outputs.iter().enumerate() {
+                    match slot {
+                        Some(r) => assert_eq!(r.dest(), j),
+                        None => {
+                            // No active record targeted j.
+                            assert!(slots.iter().flatten().all(|r| r.dest() != j));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_duplicates_are_rejected_with_input_lines() {
+        let net = BnbNetwork::new(2);
+        let slots = vec![Some(Record::new(1, 0)), None, Some(Record::new(1, 2)), None];
+        match net.route_partial(&slots).unwrap_err() {
+            RouteError::DuplicateDestination {
+                dest,
+                first_input,
+                second_input,
+            } => {
+                assert_eq!((dest, first_input, second_input), (1, 0, 2));
+            }
+            other => panic!("expected duplicate detection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_validates_width_and_ranges() {
+        let net = BnbNetwork::new(2);
+        assert!(matches!(
+            net.route_partial(&[None]),
+            Err(RouteError::WidthMismatch {
+                expected: 4,
+                actual: 1
+            })
+        ));
+        let slots = vec![Some(Record::new(9, 0)), None, None, None];
+        assert!(matches!(
+            net.route_partial(&slots),
+            Err(RouteError::DestinationTooWide { dest: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn wide_payloads_survive_partial_routing() {
+        // The adapter routes index tags, so payloads wider than the
+        // network's own w still work.
+        let net = BnbNetwork::builder(3).data_width(8).build();
+        let mut slots = vec![None; 8];
+        slots[0] = Some(Record::new(5, u64::MAX));
+        let out = net.route_partial(&slots).unwrap();
+        assert_eq!(out.outputs[5], Some(Record::new(5, u64::MAX)));
+    }
+
+    #[test]
+    fn realized_mapping_reads_back_the_permutation() {
+        let net = BnbNetwork::new(4);
+        let p = Permutation::random(16, &mut StdRng::seed_from_u64(3));
+        let mapping = net.realized_mapping(p.as_slice()).unwrap();
+        assert_eq!(mapping, p.as_slice());
+    }
+
+    #[test]
+    fn realized_mapping_exposes_broken_wiring() {
+        use crate::network::{RoutePolicy, WiringMode};
+        let net = BnbNetwork::builder(3)
+            .policy(RoutePolicy::Permissive)
+            .wiring(WiringMode::Identity)
+            .build();
+        let p = Permutation::try_from(vec![3, 6, 1, 4, 7, 2, 5, 0]).unwrap();
+        let mapping = net.realized_mapping(p.as_slice()).unwrap();
+        assert_ne!(
+            mapping,
+            p.as_slice(),
+            "identity wiring must misroute this permutation"
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Renderers regenerating the paper's structural figures from constructed
+//! objects: Fig. 2 (the BNB network), Fig. 3 (the nested-network profile)
+//! and Fig. 4 (the splitter).
+
+use std::fmt::Write as _;
+
+use bnb_topology::gbn::{BoxId, Gbn};
+
+use crate::network::BnbNetwork;
+
+/// Renders the content of paper Fig. 2: the slice structure of
+/// `B(m, B_k^q(i, SB_k))` — which slice of each nested network is the
+/// bit-sorter, and what every other slice is.
+pub fn render_network(net: &BnbNetwork) -> String {
+    let m = net.m();
+    let q = net.q();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "BNB network B({m}, B_k^{q}(i, SB_k)) — {} inputs, q = {q} slices ({} address + {} data)",
+        net.inputs(),
+        m,
+        net.w()
+    );
+    for i in 0..m {
+        let k = m - i;
+        let _ = writeln!(
+            out,
+            "main stage-{i}: {} nested network(s) of {} lines, {} internal stages",
+            1usize << i,
+            1usize << k,
+            k
+        );
+        for slice in 0..q {
+            let role = if slice == i {
+                "bit-sorter network (splitters sp(·)) — drives all slices"
+            } else if slice < m {
+                "switch slice sw(·) for address bit (follows BSN)"
+            } else {
+                "switch slice sw(·) for data bit (follows BSN)"
+            };
+            let _ = writeln!(out, "    slice-{slice}: {role}");
+        }
+    }
+    out
+}
+
+/// Renders the content of paper Fig. 3: the tiling of nested networks
+/// `NB(i, l)` over the main network, with line spans.
+pub fn render_profile(m: usize) -> String {
+    let gbn = Gbn::new(m);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Profile of the {}-input BNB network (1-bit slice):",
+        gbn.inputs()
+    );
+    for stage in 0..m {
+        let _ = write!(out, "stage-{stage}: ");
+        for index in 0..gbn.boxes_in_stage(stage) {
+            let id = BoxId { stage, index };
+            let first = gbn.line_of(id, 0);
+            let last = first + gbn.box_size(stage) - 1;
+            let _ = write!(out, "[{id} {first}..{last}] ");
+        }
+        let _ = writeln!(out);
+        if stage + 1 < m {
+            let _ = writeln!(out, "         --- {} ---", gbn.connection_after(stage));
+        }
+    }
+    out
+}
+
+/// Renders the content of paper Fig. 4: the splitter `sp(p)` as its arbiter
+/// tree levels plus switch bank.
+///
+/// # Panics
+///
+/// Panics if `p == 0`.
+pub fn render_splitter(p: usize) -> String {
+    assert!(p >= 1, "splitter needs at least 2 lines");
+    let n = 1usize << p;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "sp({p}): {n}-input splitter = A({p}) arbiter + sw({p}) switch bank"
+    );
+    if p == 1 {
+        let _ = writeln!(out, "  A(1) is wiring only: the input bit sets the switch");
+    } else {
+        for level in 1..=p {
+            let nodes = 1usize << (p - level);
+            let _ = writeln!(
+                out,
+                "  arbiter level {level}: {nodes} function node(s) (z_u = x1⊕x2 up; flags down)"
+            );
+        }
+        let _ = writeln!(out, "  root echoes its own z_u as its incoming flag");
+    }
+    let _ = writeln!(
+        out,
+        "  switch bank: {} sw(1) switches, control_t = s(2t) ⊕ flag_t",
+        n / 2
+    );
+    let _ = writeln!(
+        out,
+        "  even outputs -> upper sp({}), odd outputs -> lower sp({})",
+        p.saturating_sub(1),
+        p.saturating_sub(1)
+    );
+    out
+}
+
+/// Renders a route trace as a switch-state diagram: one column of
+/// characters per switch column, `=` for a straight switch and `X` for an
+/// exchange, one row per switch (pair of lines).
+///
+/// ```text
+/// sw0 | = X = ...
+/// sw1 | X = = ...
+/// ```
+pub fn render_switch_diagram(trace: &crate::trace::RouteTrace) -> String {
+    let mut out = String::new();
+    let switches = trace.columns.first().map_or(0, |c| c.controls.len());
+    let _ = write!(out, "      ");
+    for c in &trace.columns {
+        let _ = write!(out, "{}.{} ", c.main_stage, c.internal_stage);
+    }
+    let _ = writeln!(out);
+    for sw in 0..switches {
+        let _ = write!(out, "sw{sw:<3}|");
+        for c in &trace.columns {
+            let mark = if c.controls[sw] { 'X' } else { '=' };
+            let _ = write!(out, "  {mark} ");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_diagram_shows_states_per_column() {
+        use bnb_topology::perm::Permutation;
+        use bnb_topology::record::records_for_permutation;
+        let net = BnbNetwork::new(2);
+        let p = Permutation::try_from(vec![3, 1, 0, 2]).unwrap();
+        let (_, trace) = net.route_traced(&records_for_permutation(&p)).unwrap();
+        let art = render_switch_diagram(&trace);
+        assert!(art.contains("sw0"));
+        assert!(art.contains("sw1"));
+        // 3 columns for m = 2.
+        assert!(art.contains("0.0"));
+        assert!(art.contains("1.0"));
+        let marks = art.matches('X').count() + art.matches('=').count();
+        assert_eq!(marks, 2 * 3, "one mark per switch per column");
+        // Marks agree with the trace's exchange count.
+        assert_eq!(art.matches('X').count(), trace.exchange_count());
+    }
+
+    #[test]
+    fn network_render_marks_bsn_slice_diagonally() {
+        let net = BnbNetwork::builder(3).data_width(0).build();
+        let s = render_network(&net);
+        // Fig. 2: slice i of main stage i is the BSN.
+        assert!(s.contains("main stage-0"));
+        assert!(s.contains("main stage-2"));
+        // Each stage declares exactly one bit-sorter slice.
+        assert_eq!(s.matches("bit-sorter network").count(), 3);
+    }
+
+    #[test]
+    fn profile_lists_all_nested_networks() {
+        let s = render_profile(3);
+        for (stage, count) in [(0usize, 1usize), (1, 2), (2, 4)] {
+            for index in 0..count {
+                assert!(
+                    s.contains(&format!("NB({stage},{index})")),
+                    "missing NB({stage},{index})"
+                );
+            }
+        }
+        assert!(s.contains("2^3-unshuffle"));
+    }
+
+    #[test]
+    fn splitter_render_shows_tree_and_switches() {
+        let s = render_splitter(3);
+        assert!(s.contains("arbiter level 1: 4 function node(s)"));
+        assert!(s.contains("arbiter level 3: 1 function node(s)"));
+        assert!(s.contains("4 sw(1) switches"));
+        let s1 = render_splitter(1);
+        assert!(s1.contains("wiring only"));
+    }
+}

@@ -1,0 +1,248 @@
+//! Allocation-free batch routing.
+//!
+//! [`crate::network::BnbNetwork::route`] allocates fresh line buffers per
+//! call — fine for tests, wasteful for a switch fabric routing millions of
+//! batches. [`Router`] owns the scratch buffers and routes in place with a
+//! double-buffer swap, producing bit-identical results (property-tested
+//! against the allocating path).
+
+use bnb_topology::bitops::paper_bit;
+use bnb_topology::record::Record;
+
+use crate::error::RouteError;
+use crate::network::{BnbNetwork, RoutePolicy, WiringMode};
+use crate::splitter::{check_balanced, controls_into, SplitterSite};
+
+/// A reusable router bound to one network configuration.
+///
+/// # Example
+///
+/// ```
+/// use bnb_core::network::BnbNetwork;
+/// use bnb_core::router::Router;
+/// use bnb_topology::perm::Permutation;
+/// use bnb_topology::record::{records_for_permutation, all_delivered};
+///
+/// let mut router = Router::new(BnbNetwork::with_inputs(8)?);
+/// let p = Permutation::try_from(vec![6, 3, 0, 5, 2, 7, 4, 1])?;
+/// let mut lines = records_for_permutation(&p);
+/// router.route_in_place(&mut lines)?;
+/// assert!(all_delivered(&lines));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Router {
+    network: BnbNetwork,
+    scratch: Vec<Record>,
+    bits: Vec<bool>,
+    flags: Vec<bool>,
+    up: Vec<bool>,
+    seen: Vec<usize>,
+}
+
+impl Router {
+    /// A router for `network`, with scratch buffers sized to its width.
+    pub fn new(network: BnbNetwork) -> Self {
+        let n = network.inputs();
+        Router {
+            network,
+            scratch: vec![Record::new(0, 0); n],
+            bits: Vec::with_capacity(n),
+            flags: Vec::with_capacity(n),
+            up: Vec::with_capacity(2 * n),
+            seen: vec![usize::MAX; n],
+        }
+    }
+
+    /// The bound network.
+    pub fn network(&self) -> &BnbNetwork {
+        &self.network
+    }
+
+    /// Routes `lines` in place: on return, `lines[j]` is the record
+    /// delivered to output `j`.
+    ///
+    /// # Errors
+    ///
+    /// Identical contract to [`BnbNetwork::route`].
+    pub fn route_in_place(&mut self, lines: &mut [Record]) -> Result<(), RouteError> {
+        let n = self.network.inputs();
+        let m = self.network.m();
+        if lines.len() != n {
+            return Err(RouteError::WidthMismatch {
+                expected: n,
+                actual: lines.len(),
+            });
+        }
+        let w = self.network.w();
+        for r in lines.iter() {
+            if r.dest() >= n {
+                return Err(RouteError::DestinationTooWide { dest: r.dest(), n });
+            }
+            if w < 64 && r.data() >> w != 0 {
+                return Err(RouteError::DataTooWide { data: r.data(), w });
+            }
+        }
+        let strict = matches!(self.network.policy(), RoutePolicy::Strict);
+        if strict {
+            self.seen.iter_mut().for_each(|s| *s = usize::MAX);
+            for (i, r) in lines.iter().enumerate() {
+                if self.seen[r.dest()] != usize::MAX {
+                    return Err(RouteError::DuplicateDestination {
+                        dest: r.dest(),
+                        first_input: self.seen[r.dest()],
+                        second_input: i,
+                    });
+                }
+                self.seen[r.dest()] = i;
+            }
+        }
+        for main_stage in 0..m {
+            let k = m - main_stage;
+            for internal in 0..k {
+                let box_size = 1usize << (k - internal);
+                for start in (0..n).step_by(box_size) {
+                    self.bits.clear();
+                    self.bits.extend(
+                        lines[start..start + box_size]
+                            .iter()
+                            .map(|r| paper_bit(m, r.dest(), main_stage)),
+                    );
+                    if strict {
+                        check_balanced(
+                            &self.bits,
+                            SplitterSite {
+                                main_stage,
+                                internal_stage: internal,
+                                first_line: start,
+                            },
+                        )?;
+                    }
+                    controls_into(&self.bits, &mut self.up, &mut self.flags);
+                    for (t, &c) in self.flags.iter().enumerate() {
+                        if c {
+                            lines.swap(start + 2 * t, start + 2 * t + 1);
+                        }
+                    }
+                }
+                // Wiring into the scratch buffer, then copy back (the swap
+                // is logical: scratch is reused every column).
+                let last_internal = internal + 1 == k;
+                if !last_internal {
+                    #[allow(clippy::needless_range_loop)] // index j is the wiring domain
+                    for j in 0..n {
+                        let base = j & !(box_size - 1);
+                        let local = j & (box_size - 1);
+                        let span_log = box_size.trailing_zeros() as usize;
+                        let dst = base
+                            | match self.network.wiring() {
+                                WiringMode::Unshuffle => {
+                                    bnb_topology::bitops::unshuffle(span_log, span_log, local)
+                                }
+                                WiringMode::Identity => local,
+                                WiringMode::Shuffle => {
+                                    bnb_topology::bitops::shuffle(span_log, span_log, local)
+                                }
+                            };
+                        self.scratch[dst] = lines[j];
+                    }
+                    lines.copy_from_slice(&self.scratch);
+                } else if main_stage + 1 < m {
+                    #[allow(clippy::needless_range_loop)] // index j is the wiring domain
+                    for j in 0..n {
+                        let dst = match self.network.wiring() {
+                            WiringMode::Unshuffle => bnb_topology::bitops::unshuffle(k, m, j),
+                            WiringMode::Identity => j,
+                            WiringMode::Shuffle => bnb_topology::bitops::shuffle(k, m, j),
+                        };
+                        self.scratch[dst] = lines[j];
+                    }
+                    lines.copy_from_slice(&self.scratch);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnb_topology::perm::Permutation;
+    use bnb_topology::record::{all_delivered, records_for_permutation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_allocating_route_on_random_permutations() {
+        let mut rng = StdRng::seed_from_u64(60);
+        for m in [1usize, 3, 5, 8] {
+            let net = BnbNetwork::builder(m).data_width(32).build();
+            let mut router = Router::new(net);
+            let n = 1usize << m;
+            for _ in 0..20 {
+                let p = Permutation::random(n, &mut rng);
+                let records = records_for_permutation(&p);
+                let expected = net.route(&records).unwrap();
+                let mut lines = records;
+                router.route_in_place(&mut lines).unwrap();
+                assert_eq!(lines, expected, "m = {m}");
+                assert!(all_delivered(&lines));
+            }
+        }
+    }
+
+    #[test]
+    fn router_is_reusable_across_batches() {
+        let mut router = Router::new(BnbNetwork::new(4));
+        let mut rng = StdRng::seed_from_u64(61);
+        for _ in 0..50 {
+            let mut lines = records_for_permutation(&Permutation::random(16, &mut rng));
+            router.route_in_place(&mut lines).unwrap();
+            assert!(all_delivered(&lines));
+        }
+    }
+
+    #[test]
+    fn validation_matches_network_contract() {
+        let mut router = Router::new(BnbNetwork::new(2));
+        let mut short = vec![Record::new(0, 0)];
+        assert!(matches!(
+            router.route_in_place(&mut short),
+            Err(RouteError::WidthMismatch {
+                expected: 4,
+                actual: 1
+            })
+        ));
+        let mut dup = vec![
+            Record::new(1, 0),
+            Record::new(1, 1),
+            Record::new(2, 2),
+            Record::new(3, 3),
+        ];
+        assert!(matches!(
+            router.route_in_place(&mut dup),
+            Err(RouteError::DuplicateDestination { dest: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn permissive_router_matches_permissive_network() {
+        use rand::RngExt;
+        let net = BnbNetwork::builder(3)
+            .policy(RoutePolicy::Permissive)
+            .data_width(8)
+            .build();
+        let mut router = Router::new(net);
+        let mut rng = StdRng::seed_from_u64(62);
+        for _ in 0..30 {
+            let records: Vec<Record> = (0..8)
+                .map(|_| Record::new(rng.random_range(0..8), rng.random_range(0..256)))
+                .collect();
+            let expected = net.route(&records).unwrap();
+            let mut lines = records;
+            router.route_in_place(&mut lines).unwrap();
+            assert_eq!(lines, expected);
+        }
+    }
+}

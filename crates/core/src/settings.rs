@@ -1,0 +1,164 @@
+//! Switch-setting enumeration: what the BNB *topology* can realize when
+//! the arbiters are bypassed and the `m(m+1)/2 · N/2` switches are set
+//! arbitrarily.
+//!
+//! Theorem 2 says the arbiters find a correct setting for every
+//! permutation; this module quantifies the other direction — how much
+//! *redundancy* the topology carries. At `N = 4` there are `2^6 = 64`
+//! settings realizing all `4! = 24` permutations, so some permutations own
+//! multiple settings: the network is strictly richer than a minimal
+//! rearrangeable fabric (which is why a blocking-free local strategy can
+//! exist at all).
+
+use std::collections::HashMap;
+
+use bnb_topology::bitops::unshuffle;
+use bnb_topology::perm::Permutation;
+
+/// The exact column layout of the flattened BNB network: for each switch
+/// column, `(main_stage, internal_stage)`.
+pub fn column_layout(m: usize) -> Vec<(usize, usize)> {
+    let mut cols = Vec::new();
+    for main_stage in 0..m {
+        for internal in 0..(m - main_stage) {
+            cols.push((main_stage, internal));
+        }
+    }
+    cols
+}
+
+/// Total switches in the flattened 1-bit-slice network:
+/// `m(m+1)/2 · N/2`.
+pub fn switch_count(m: usize) -> usize {
+    let n = 1usize << m;
+    m * (m + 1) / 2 * (n / 2)
+}
+
+/// Applies one explicit switch-setting vector (one bool per switch, column
+/// major, top to bottom) and returns the realized permutation
+/// (input line → output line).
+///
+/// # Panics
+///
+/// Panics if `settings.len() != switch_count(m)`.
+pub fn realize(m: usize, settings: &[bool]) -> Permutation {
+    let n = 1usize << m;
+    assert_eq!(settings.len(), switch_count(m), "one bool per switch");
+    let mut lines: Vec<usize> = (0..n).collect(); // lines[j] = source of line j
+    let mut cursor = 0usize;
+    for (main_stage, internal) in column_layout(m) {
+        let k = m - main_stage;
+        for t in 0..n / 2 {
+            if settings[cursor + t] {
+                lines.swap(2 * t, 2 * t + 1);
+            }
+        }
+        cursor += n / 2;
+        let box_size = 1usize << (k - internal);
+        let last_internal = internal + 1 == k;
+        let mut wired = vec![0usize; n];
+        if !last_internal {
+            let span_log = box_size.trailing_zeros() as usize;
+            for (j, &src) in lines.iter().enumerate() {
+                let base = j & !(box_size - 1);
+                let local = j & (box_size - 1);
+                wired[base | unshuffle(span_log, span_log, local)] = src;
+            }
+            lines = wired;
+        } else if main_stage + 1 < m {
+            for (j, &src) in lines.iter().enumerate() {
+                wired[unshuffle(k, m, j)] = src;
+            }
+            lines = wired;
+        }
+    }
+    // lines[j] = source input of output j; the realized permutation maps
+    // source -> output.
+    let mut images = vec![0usize; n];
+    for (j, &src) in lines.iter().enumerate() {
+        images[src] = j;
+    }
+    Permutation::try_from(images).expect("switch settings realize a bijection")
+}
+
+/// Enumerates every setting of a tiny network and returns, per realized
+/// permutation, how many settings produce it.
+///
+/// # Panics
+///
+/// Panics if the setting space exceeds `2^24` (m ≥ 3 is already 2^24 at
+/// N = 8 — allowed; m ≥ 4 is not).
+pub fn realization_census(m: usize) -> HashMap<Vec<usize>, u64> {
+    let bits = switch_count(m);
+    assert!(bits <= 24, "setting space too large to enumerate");
+    let mut census: HashMap<Vec<usize>, u64> = HashMap::new();
+    for pattern in 0..(1u64 << bits) {
+        let settings: Vec<bool> = (0..bits).map(|b| pattern >> b & 1 == 1).collect();
+        let p = realize(m, &settings);
+        *census.entry(p.as_slice().to_vec()).or_insert(0) += 1;
+    }
+    census
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnb_topology::record::{all_delivered, records_for_permutation};
+
+    use crate::network::BnbNetwork;
+
+    #[test]
+    fn layout_and_switch_count_match_eq7() {
+        for m in 1..=6 {
+            assert_eq!(column_layout(m).len(), m * (m + 1) / 2);
+            assert_eq!(switch_count(m), m * (m + 1) / 2 * (1 << (m - 1)));
+        }
+    }
+
+    #[test]
+    fn the_topology_realizes_every_permutation_at_n4() {
+        // Rearrangeability of the raw topology, independent of arbiters:
+        // the 64 settings cover all 24 permutations.
+        let census = realization_census(2);
+        assert_eq!(census.len(), 24, "all 4! permutations must be realizable");
+        let total: u64 = census.values().sum();
+        assert_eq!(total, 64);
+        // Redundancy exists but is not uniform: settings per permutation
+        // range over more than one value... verify min >= 1 and max > 1.
+        let max = census.values().max().copied().unwrap();
+        assert!(max > 1, "64 settings over 24 permutations must collide");
+    }
+
+    #[test]
+    fn arbiter_chosen_settings_realize_the_offered_permutation() {
+        // Extract the arbiter's switch choices from a trace and replay
+        // them through `realize`: the raw topology with those settings
+        // must produce the same permutation.
+        let m = 3usize;
+        let net = BnbNetwork::new(m);
+        for k in [0u64, 123, 4567, 40_319] {
+            let p = Permutation::nth_lexicographic(8, k);
+            let (out, trace) = net.route_traced(&records_for_permutation(&p)).unwrap();
+            assert!(all_delivered(&out));
+            let settings: Vec<bool> = trace
+                .columns
+                .iter()
+                .flat_map(|c| c.controls.iter().copied())
+                .collect();
+            let realized = realize(m, &settings);
+            assert_eq!(realized, p, "replayed settings must realize {p}");
+        }
+    }
+
+    #[test]
+    fn all_straight_settings_realize_a_fixed_wiring_permutation() {
+        // With every switch straight, the network realizes the composition
+        // of its fixed wirings — input 0 always maps to output 0.
+        let m = 3usize;
+        let settings = vec![false; switch_count(m)];
+        let p = realize(m, &settings);
+        assert_eq!(p.apply(0), 0);
+        // And it is consistent: realizing twice gives the same answer.
+        assert_eq!(realize(m, &settings), p);
+    }
+}

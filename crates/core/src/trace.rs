@@ -1,0 +1,160 @@
+//! Per-column routing traces.
+//!
+//! A BNB route traverses `m(m+1)/2` switch columns (paper eq. (7)). The
+//! trace records, for every column, the switch controls chosen by the
+//! arbiters and the line contents *after* the column's switches and wiring —
+//! enough to replay, render, or audit a route.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use bnb_topology::record::Record;
+use serde::{Deserialize, Serialize};
+
+/// State after one switch column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnSnapshot {
+    /// Main-network stage this column belongs to.
+    pub main_stage: usize,
+    /// Internal stage within the nested networks of that main stage.
+    pub internal_stage: usize,
+    /// One control per 2×2 switch, top to bottom: `false` = straight,
+    /// `true` = exchange.
+    pub controls: Vec<bool>,
+    /// Line contents after the column's switches *and* the following
+    /// wiring.
+    pub lines: Vec<Record>,
+}
+
+/// A complete route trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteTrace {
+    /// `log2` of the network width.
+    pub m: usize,
+    /// The input records.
+    pub inputs: Vec<Record>,
+    /// One snapshot per switch column, in traversal order.
+    pub columns: Vec<ColumnSnapshot>,
+}
+
+impl RouteTrace {
+    /// The outputs (line contents after the last column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace has no columns (never produced by the router).
+    pub fn outputs(&self) -> &[Record] {
+        &self
+            .columns
+            .last()
+            .expect("route traverses at least one column")
+            .lines
+    }
+
+    /// Number of switch columns traversed — must equal `m(m+1)/2`
+    /// (paper eq. (7)).
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Total exchanges performed (switches set to cross).
+    pub fn exchange_count(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|c| c.controls.iter().filter(|&&b| b).count())
+            .sum()
+    }
+
+    /// Exchanges per column, in traversal order — a routing-activity
+    /// profile (identity traffic exercises few switches, reversals many).
+    pub fn exchange_histogram(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .map(|c| c.controls.iter().filter(|&&b| b).count())
+            .collect()
+    }
+
+    /// Fraction of all switch settings that are exchanges, `0.0..=1.0`.
+    pub fn exchange_rate(&self) -> f64 {
+        let switches: usize = self.columns.iter().map(|c| c.controls.len()).sum();
+        if switches == 0 {
+            0.0
+        } else {
+            self.exchange_count() as f64 / switches as f64
+        }
+    }
+
+    /// Renders the trace as a destination matrix: one row per column,
+    /// showing each line's current destination address.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = format!("{}", (1usize << self.m) - 1).len().max(2);
+        let _ = write!(out, "in      :");
+        for r in &self.inputs {
+            let _ = write!(out, " {:>width$}", r.dest());
+        }
+        let _ = writeln!(out);
+        for c in &self.columns {
+            let _ = write!(out, "col {}.{} :", c.main_stage, c.internal_stage);
+            for r in &c.lines {
+                let _ = write!(out, " {:>width$}", r.dest());
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+impl fmt::Display for RouteTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_trace() -> RouteTrace {
+        RouteTrace {
+            m: 1,
+            inputs: vec![Record::new(1, 0), Record::new(0, 1)],
+            columns: vec![ColumnSnapshot {
+                main_stage: 0,
+                internal_stage: 0,
+                controls: vec![true],
+                lines: vec![Record::new(0, 1), Record::new(1, 0)],
+            }],
+        }
+    }
+
+    #[test]
+    fn outputs_come_from_last_column() {
+        let t = tiny_trace();
+        assert_eq!(t.outputs()[0], Record::new(0, 1));
+        assert_eq!(t.column_count(), 1);
+        assert_eq!(t.exchange_count(), 1);
+    }
+
+    #[test]
+    fn histogram_and_rate_agree_with_count() {
+        let t = tiny_trace();
+        assert_eq!(t.exchange_histogram(), vec![1]);
+        assert!((t.exchange_rate() - 1.0).abs() < 1e-12);
+        let empty = RouteTrace {
+            m: 1,
+            inputs: vec![],
+            columns: vec![],
+        };
+        assert_eq!(empty.exchange_rate(), 0.0);
+    }
+
+    #[test]
+    fn render_shows_destinations_per_column() {
+        let t = tiny_trace();
+        let s = t.render();
+        assert!(s.contains("in      :  1  0"));
+        assert!(s.contains("col 0.0 :  0  1"));
+        assert_eq!(s, t.to_string());
+    }
+}

@@ -1,0 +1,667 @@
+//! Netlist builders for the BNB network's hardware components.
+//!
+//! Everything the paper describes as hardware is generated here as real
+//! gates:
+//!
+//! - [`function_node`] — the arbiter node of Fig. 5:
+//!   `z_u = x1 ⊕ x2`, `y1 = z_u · z_d`, `y2 = z̄_u + z_d`.
+//! - [`arbiter`] — the tree arbiter `A(p)` of Definition 6 (up-sweep of
+//!   XORs, down-sweep of flags, root echo).
+//! - [`splitter_controls`] / [`splitter`] — the splitter `sp(p)` of Fig. 4:
+//!   arbiter plus a bank of 2×2 switches set by `s ⊕ f`.
+//! - [`bit_sorter`] — the bit-sorter network (Definition 4): a GBN of
+//!   splitters.
+//! - [`bnb_network`] — the complete `N`-input, `q = m + w` bit BNB network
+//!   of Definition 5 as one combinational circuit, with [`BnbNetlist::route`]
+//!   to push records through it.
+//!
+//! The generated circuits are cross-checked against the behavioural
+//! simulator in `bnb-core`; they are also what the gate-depth measurements
+//! in EXPERIMENTS.md run on.
+
+use std::error::Error;
+use std::fmt;
+
+use bnb_topology::bitops::unshuffle;
+use bnb_topology::record::Record;
+
+use crate::error::GateError;
+use crate::netlist::{Net, Netlist};
+
+/// The three outputs of one arbiter function node (paper Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FunctionNodeOutputs {
+    /// Up-signal to the parent: `x1 ⊕ x2`.
+    pub zu: Net,
+    /// Flag to the upper child: 0 if this node generates flags itself
+    /// (`z_u = 0`), otherwise the parent flag `z_d`.
+    pub y1: Net,
+    /// Flag to the lower child: 1 if this node generates flags itself,
+    /// otherwise `z_d`.
+    pub y2: Net,
+}
+
+/// Emits one arbiter function node (Fig. 5).
+///
+/// Truth behaviour: for a type-1 pair (`x1 = x2`, so `z_u = 0`) the node
+/// *generates* flags `y1 = 0`, `y2 = 1` regardless of `z_d`; for a type-2
+/// pair (`z_u = 1`) it *forwards* the parent flag to both children.
+pub fn function_node(nl: &mut Netlist, x1: Net, x2: Net, zd: Net) -> FunctionNodeOutputs {
+    let zu = nl.xor(x1, x2);
+    let y1 = nl.and(zu, zd);
+    let nzu = nl.not(zu);
+    let y2 = nl.or(nzu, zd);
+    FunctionNodeOutputs { zu, y1, y2 }
+}
+
+/// Emits the tree arbiter `A(p)` over `2^p` one-bit inputs and returns one
+/// flag per 2×2 switch (i.e. per adjacent input pair).
+///
+/// The switch-setting rule (paper §4, step 5) then uses
+/// `control_t = s(2t) ⊕ flag_t`.
+///
+/// `A(1)` is pure wiring (no function nodes): the returned flag is the
+/// constant 0, so `control = s(0)` — exactly the paper's "the input bit
+/// itself is the switch setting signal".
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` is not a power of two or is less than 2.
+pub fn arbiter(nl: &mut Netlist, inputs: &[Net]) -> Vec<Net> {
+    let n = inputs.len();
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "arbiter needs 2^p >= 2 inputs"
+    );
+    if n == 2 {
+        // A(1): wiring only.
+        let zero = nl.constant(false);
+        return vec![zero];
+    }
+    let p = n.trailing_zeros() as usize;
+    // Up-sweep: zu[l][t] for levels l = 1..=p (level 0 is the raw inputs).
+    let mut zu_levels: Vec<Vec<Net>> = Vec::with_capacity(p + 1);
+    zu_levels.push(inputs.to_vec());
+    for l in 1..=p {
+        let below = &zu_levels[l - 1];
+        let mut level = Vec::with_capacity(below.len() / 2);
+        for t in 0..below.len() / 2 {
+            level.push(nl.xor(below[2 * t], below[2 * t + 1]));
+        }
+        zu_levels.push(level);
+    }
+    // Down-sweep: the root's incoming flag is its own zu (paper step 4).
+    // zd[l][t] is the flag entering node (l, t).
+    let root_zu = zu_levels[p][0];
+    let mut zd_level = vec![root_zu];
+    for l in (1..=p).rev() {
+        let mut below = Vec::with_capacity(zd_level.len() * 2);
+        for (t, &zd_in) in zd_level.iter().enumerate() {
+            let zu = zu_levels[l][t];
+            // y1 = zu & zd; y2 = !zu | zd  (Fig. 5).
+            let y1 = nl.and(zu, zd_in);
+            let nzu = nl.not(zu);
+            let y2 = nl.or(nzu, zd_in);
+            below.push(y1);
+            below.push(y2);
+        }
+        zd_level = below;
+    }
+    // zd_level now holds one flag per level-0 position pair? No: after
+    // processing level 1 it holds 2 * (#level-1 nodes) = n/2 * 2 = n flags —
+    // one per raw input. The switch flag is the flag of the *upper* input.
+    debug_assert_eq!(zd_level.len(), n);
+    (0..n / 2).map(|t| zd_level[2 * t]).collect()
+}
+
+/// Emits the control signals of a splitter `sp(p)`:
+/// `control_t = s(2t) ⊕ flag_t`, one per 2×2 switch.
+///
+/// `control = 0` routes straight (`s(2t) → even output`), `control = 1`
+/// exchanges.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` is not a power of two or is less than 2.
+pub fn splitter_controls(nl: &mut Netlist, inputs: &[Net]) -> Vec<Net> {
+    let flags = arbiter(nl, inputs);
+    flags
+        .iter()
+        .enumerate()
+        .map(|(t, &f)| nl.xor(inputs[2 * t], f))
+        .collect()
+}
+
+/// Outputs of a standalone splitter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitterOutputs {
+    /// One control per 2×2 switch (shared with the other slices of a nested
+    /// network).
+    pub controls: Vec<Net>,
+    /// The routed one-bit outputs.
+    pub outputs: Vec<Net>,
+}
+
+/// Emits a complete splitter `sp(p)` (Fig. 4): arbiter plus switch bank,
+/// routing its own one-bit inputs.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` is not a power of two or is less than 2.
+pub fn splitter(nl: &mut Netlist, inputs: &[Net]) -> SplitterOutputs {
+    let controls = splitter_controls(nl, inputs);
+    let mut outputs = Vec::with_capacity(inputs.len());
+    for (t, &c) in controls.iter().enumerate() {
+        let (a, b) = (inputs[2 * t], inputs[2 * t + 1]);
+        outputs.push(nl.mux(c, a, b));
+        outputs.push(nl.mux(c, b, a));
+    }
+    SplitterOutputs { controls, outputs }
+}
+
+/// Routes a bank of full words through 2×2 switches driven by `controls`:
+/// lines `2t` and `2t+1` are exchanged when `controls[t]` is 1. Every bit
+/// of the word gets its own pair of muxes — this is how the non-BSN slices
+/// of a nested network "follow the routing of the bit-sorter network".
+///
+/// # Panics
+///
+/// Panics if `lines.len() != 2 * controls.len()`.
+pub fn switch_bank(nl: &mut Netlist, controls: &[Net], lines: &[Vec<Net>]) -> Vec<Vec<Net>> {
+    assert_eq!(lines.len(), 2 * controls.len(), "one control per line pair");
+    let mut out = Vec::with_capacity(lines.len());
+    for (t, &c) in controls.iter().enumerate() {
+        let (up, lo) = (&lines[2 * t], &lines[2 * t + 1]);
+        assert_eq!(up.len(), lo.len(), "word widths must match");
+        let even: Vec<Net> = up.iter().zip(lo).map(|(&a, &b)| nl.mux(c, a, b)).collect();
+        let odd: Vec<Net> = up.iter().zip(lo).map(|(&a, &b)| nl.mux(c, b, a)).collect();
+        out.push(even);
+        out.push(odd);
+    }
+    out
+}
+
+/// Emits a `2^k`-input bit-sorter network (Definition 4) over one-bit
+/// inputs and returns the routed outputs.
+///
+/// Per Theorem 1, if exactly half the inputs are 1 the outputs satisfy
+/// `out[j] = j mod 2`.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` is not a power of two or is less than 2.
+pub fn bit_sorter(nl: &mut Netlist, inputs: &[Net]) -> Vec<Net> {
+    let n = inputs.len();
+    assert!(n >= 2 && n.is_power_of_two(), "BSN needs 2^k >= 2 inputs");
+    let k = n.trailing_zeros() as usize;
+    let mut lines = inputs.to_vec();
+    for stage in 0..k {
+        let size = 1usize << (k - stage);
+        let mut next = Vec::with_capacity(n);
+        for b in 0..(1usize << stage) {
+            let span = &lines[b * size..(b + 1) * size];
+            next.extend(splitter(nl, span).outputs);
+        }
+        if stage + 1 < k {
+            let mut wired = vec![next[0]; n];
+            for (j, &net) in next.iter().enumerate() {
+                wired[unshuffle(k - stage, k, j)] = net;
+            }
+            lines = wired;
+        } else {
+            lines = next;
+        }
+    }
+    lines
+}
+
+/// Error from routing records through a [`BnbNetlist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BnbNetlistError {
+    /// Wrong number of input records.
+    RecordCount {
+        /// Expected record count (N).
+        expected: usize,
+        /// Provided record count.
+        actual: usize,
+    },
+    /// A record's destination does not fit in `m` bits.
+    DestinationTooWide {
+        /// The offending destination.
+        dest: usize,
+        /// The network width.
+        n: usize,
+    },
+    /// A record's data does not fit in `w` bits.
+    DataTooWide {
+        /// The offending data word.
+        data: u64,
+        /// Data width in bits.
+        w: usize,
+    },
+    /// Internal evaluation error (should not occur for a well-formed
+    /// netlist).
+    Gate(GateError),
+}
+
+impl fmt::Display for BnbNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BnbNetlistError::RecordCount { expected, actual } => {
+                write!(f, "expected {expected} records, got {actual}")
+            }
+            BnbNetlistError::DestinationTooWide { dest, n } => {
+                write!(f, "destination {dest} does not fit a {n}-output network")
+            }
+            BnbNetlistError::DataTooWide { data, w } => {
+                write!(f, "data {data:#x} does not fit in {w} bits")
+            }
+            BnbNetlistError::Gate(e) => write!(f, "netlist evaluation failed: {e}"),
+        }
+    }
+}
+
+impl Error for BnbNetlistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BnbNetlistError::Gate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GateError> for BnbNetlistError {
+    fn from(e: GateError) -> Self {
+        BnbNetlistError::Gate(e)
+    }
+}
+
+/// A complete gate-level BNB network (Definition 5) plus its word geometry.
+///
+/// # Example
+///
+/// ```
+/// use bnb_gates::components::bnb_network;
+/// use bnb_topology::record::Record;
+///
+/// let net = bnb_network(2, 4); // N = 4, 4 data bits
+/// let recs = vec![
+///     Record::new(2, 0xA), Record::new(0, 0xB),
+///     Record::new(3, 0xC), Record::new(1, 0xD),
+/// ];
+/// let out = net.route(&recs)?;
+/// assert_eq!(out[0], Record::new(0, 0xB));
+/// assert_eq!(out[3], Record::new(3, 0xC));
+/// # Ok::<(), bnb_gates::components::BnbNetlistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BnbNetlist {
+    netlist: Netlist,
+    m: usize,
+    w: usize,
+}
+
+impl BnbNetlist {
+    /// `log2` of the network width.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Data word width in bits.
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// Network width `N = 2^m`.
+    pub fn inputs(&self) -> usize {
+        1 << self.m
+    }
+
+    /// The underlying netlist (for census / delay analysis).
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Routes one record per input line through the gate-level network.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BnbNetlistError`] if the record count or any record's
+    /// width is wrong. Note the circuit itself never errors: feeding it a
+    /// non-permutation simply mis-routes, exactly like the hardware would.
+    pub fn route(&self, records: &[Record]) -> Result<Vec<Record>, BnbNetlistError> {
+        let n = self.inputs();
+        if records.len() != n {
+            return Err(BnbNetlistError::RecordCount {
+                expected: n,
+                actual: records.len(),
+            });
+        }
+        let mut bits = Vec::with_capacity(n * (self.m + self.w));
+        for r in records {
+            if r.dest() >= n {
+                return Err(BnbNetlistError::DestinationTooWide { dest: r.dest(), n });
+            }
+            if self.w < 64 && r.data() >> self.w != 0 {
+                return Err(BnbNetlistError::DataTooWide {
+                    data: r.data(),
+                    w: self.w,
+                });
+            }
+            // Address bits MSB-first (paper slice order), then data LSB-first.
+            #[allow(clippy::needless_range_loop)] // k is the MSB-first bit position
+            for k in 0..self.m {
+                bits.push((r.dest() >> (self.m - 1 - k)) & 1 == 1);
+            }
+            for t in 0..self.w {
+                bits.push((r.data() >> t) & 1 == 1);
+            }
+        }
+        let out_bits = self.netlist.eval(&bits)?;
+        let q = self.m + self.w;
+        let mut out = Vec::with_capacity(n);
+        for j in 0..n {
+            let word = &out_bits[j * q..(j + 1) * q];
+            let mut dest = 0usize;
+            #[allow(clippy::needless_range_loop)] // k is the MSB-first bit position
+            for k in 0..self.m {
+                dest = (dest << 1) | usize::from(word[k]);
+            }
+            let mut data = 0u64;
+            for t in 0..self.w {
+                if word[self.m + t] {
+                    data |= 1 << t;
+                }
+            }
+            out.push(Record::new(dest, data));
+        }
+        Ok(out)
+    }
+}
+
+/// Builds the complete gate-level BNB network `B(m, B_k^q(i, SB_k))` with
+/// `N = 2^m` inputs and `w` data bits per word (`q = m + w` slices).
+///
+/// Main stage `i` consists of `2^i` nested networks of `2^{m-i}` lines; the
+/// nested network's slice `i` is a bit-sorter network whose splitter
+/// controls drive the switches of *all* `q` slices; unshuffle wiring (free
+/// of gates) joins internal stages and main stages.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `w > 63`.
+pub fn bnb_network(m: usize, w: usize) -> BnbNetlist {
+    assert!(m >= 1, "network needs at least 2 inputs");
+    assert!(w <= 63, "data width is limited to 63 bits");
+    let n = 1usize << m;
+    let q = m + w;
+    let mut nl = Netlist::new();
+    // lines[j] = the q nets of the word currently on line j.
+    let mut lines: Vec<Vec<Net>> = (0..n)
+        .map(|j| {
+            (0..q)
+                .map(|b| {
+                    if b < m {
+                        nl.input(format!("in{j}.a{b}"))
+                    } else {
+                        nl.input(format!("in{j}.d{}", b - m))
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    for main_stage in 0..m {
+        let nested_size_log = m - main_stage;
+        let nested_size = 1usize << nested_size_log;
+        // Each nested network runs nested_size_log internal stages.
+        for internal in 0..nested_size_log {
+            let box_size = 1usize << (nested_size_log - internal);
+            let mut next: Vec<Vec<Net>> = Vec::with_capacity(n);
+            for box_start in (0..n).step_by(box_size) {
+                let span = &lines[box_start..box_start + box_size];
+                // The BSN slice for this main stage is address bit
+                // `main_stage` (paper: slice i of NB(i, l)).
+                let slice_bits: Vec<Net> = span.iter().map(|word| word[main_stage]).collect();
+                let controls = splitter_controls(&mut nl, &slice_bits);
+                next.extend(switch_bank(&mut nl, &controls, span));
+            }
+            if internal + 1 < nested_size_log {
+                // Internal GBN wiring within each nested network:
+                // U_{k-j}^{k} applied to the local index.
+                let k = nested_size_log;
+                let mut wired = vec![Vec::new(); n];
+                for (j, word) in next.into_iter().enumerate() {
+                    let base = j & !(nested_size - 1);
+                    let local = j & (nested_size - 1);
+                    wired[base | unshuffle(k - internal, k, local)] = word;
+                }
+                lines = wired;
+            } else {
+                lines = next;
+            }
+        }
+        if main_stage + 1 < m {
+            // Main GBN wiring: U_{m-i}^m on the global index.
+            let mut wired = vec![Vec::new(); n];
+            for (j, word) in lines.into_iter().enumerate() {
+                wired[unshuffle(m - main_stage, m, j)] = word;
+            }
+            lines = wired;
+        }
+    }
+
+    for (j, word) in lines.iter().enumerate() {
+        for (b, &net) in word.iter().enumerate() {
+            if b < m {
+                nl.output(format!("out{j}.a{b}"), net);
+            } else {
+                nl.output(format!("out{j}.d{}", b - m), net);
+            }
+        }
+    }
+    BnbNetlist { netlist: nl, m, w }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnb_topology::perm::Permutation;
+    use bnb_topology::record::{all_delivered, records_for_permutation};
+
+    /// Exhaustive truth table of the Fig. 5 function node.
+    #[test]
+    fn function_node_truth_table() {
+        let mut nl = Netlist::new();
+        let x1 = nl.input("x1");
+        let x2 = nl.input("x2");
+        let zd = nl.input("zd");
+        let node = function_node(&mut nl, x1, x2, zd);
+        nl.output("zu", node.zu);
+        nl.output("y1", node.y1);
+        nl.output("y2", node.y2);
+        for bits in 0..8u8 {
+            let (v1, v2, vd) = (bits & 4 != 0, bits & 2 != 0, bits & 1 != 0);
+            let out = nl.eval(&[v1, v2, vd]).unwrap();
+            let zu = v1 ^ v2;
+            let (y1, y2) = if zu { (vd, vd) } else { (false, true) };
+            assert_eq!(out, vec![zu, y1, y2], "inputs ({v1},{v2},{vd})");
+        }
+    }
+
+    /// Every even-weight input to a splitter must be split evenly onto even
+    /// and odd outputs (Theorem 3), exhaustively for p = 2 and 3.
+    #[test]
+    fn splitter_splits_even_weight_inputs_evenly() {
+        for p in [2usize, 3] {
+            let n = 1 << p;
+            let mut nl = Netlist::new();
+            let ins: Vec<Net> = (0..n).map(|j| nl.input(format!("s{j}"))).collect();
+            let sp = splitter(&mut nl, &ins);
+            for (j, &o) in sp.outputs.iter().enumerate() {
+                nl.output(format!("o{j}"), o);
+            }
+            for pattern in 0..(1u32 << n) {
+                if pattern.count_ones() % 2 != 0 {
+                    continue; // paper assumption: even number of ones
+                }
+                let input: Vec<bool> = (0..n).map(|j| pattern >> j & 1 == 1).collect();
+                let out = nl.eval(&input).unwrap();
+                let even_ones = out.iter().step_by(2).filter(|&&b| b).count();
+                let odd_ones = out.iter().skip(1).step_by(2).filter(|&&b| b).count();
+                assert_eq!(
+                    even_ones, odd_ones,
+                    "sp({p}) failed M_e = M_o for input {pattern:0n$b}"
+                );
+                // And it is a routing: multiset of bits preserved.
+                let in_ones = input.iter().filter(|&&b| b).count();
+                assert_eq!(even_ones + odd_ones, in_ones);
+            }
+        }
+    }
+
+    /// sp(1) sends 0 up and 1 down (Definition 3, p = 1 case).
+    #[test]
+    fn splitter_size_two_sorts_its_pair() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let sp = splitter(&mut nl, &[a, b]);
+        nl.output("o0", sp.outputs[0]);
+        nl.output("o1", sp.outputs[1]);
+        assert_eq!(nl.eval(&[false, true]).unwrap(), vec![false, true]);
+        assert_eq!(nl.eval(&[true, false]).unwrap(), vec![false, true]);
+    }
+
+    /// Theorem 1 at the gate level: a balanced input emerges as 0101…,
+    /// exhaustively for k = 2 and 3.
+    #[test]
+    fn bit_sorter_realizes_theorem_1() {
+        for k in [2usize, 3] {
+            let n = 1 << k;
+            let mut nl = Netlist::new();
+            let ins: Vec<Net> = (0..n).map(|j| nl.input(format!("s{j}"))).collect();
+            let outs = bit_sorter(&mut nl, &ins);
+            for (j, &o) in outs.iter().enumerate() {
+                nl.output(format!("o{j}"), o);
+            }
+            for pattern in 0..(1u32 << n) {
+                if pattern.count_ones() as usize != n / 2 {
+                    continue; // Theorem 1 assumes exactly half ones
+                }
+                let input: Vec<bool> = (0..n).map(|j| pattern >> j & 1 == 1).collect();
+                let out = nl.eval(&input).unwrap();
+                for (j, &bit) in out.iter().enumerate() {
+                    assert_eq!(bit, j % 2 == 1, "BSN({k}) input {pattern:b} output {j}");
+                }
+            }
+        }
+    }
+
+    /// Theorem 2 at the gate level: the full BNB netlist self-routes every
+    /// permutation of 4 inputs, and a random sample of 8-input permutations.
+    #[test]
+    fn bnb_netlist_routes_permutations() {
+        let net = bnb_network(2, 3);
+        for k in 0..24 {
+            let p = Permutation::nth_lexicographic(4, k);
+            let out = net.route(&records_for_permutation(&p)).unwrap();
+            assert!(all_delivered(&out), "perm {p} mis-routed at gate level");
+            // Data words must travel with their addresses.
+            for (j, r) in out.iter().enumerate() {
+                assert_eq!(r.data(), p.inverse().apply(j) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn bnb_netlist_routes_eight_inputs() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let net = bnb_network(3, 5);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let p = Permutation::random(8, &mut rng);
+            let out = net.route(&records_for_permutation(&p)).unwrap();
+            assert!(all_delivered(&out), "perm {p} mis-routed at gate level");
+        }
+    }
+
+    #[test]
+    fn bnb_netlist_validates_inputs() {
+        let net = bnb_network(2, 2);
+        let too_few = vec![Record::new(0, 0)];
+        assert!(matches!(
+            net.route(&too_few),
+            Err(BnbNetlistError::RecordCount {
+                expected: 4,
+                actual: 1
+            })
+        ));
+        let wide_dest = vec![
+            Record::new(9, 0),
+            Record::new(1, 0),
+            Record::new(2, 0),
+            Record::new(3, 0),
+        ];
+        assert!(matches!(
+            net.route(&wide_dest),
+            Err(BnbNetlistError::DestinationTooWide { dest: 9, .. })
+        ));
+        let wide_data = vec![
+            Record::new(0, 0xFF),
+            Record::new(1, 0),
+            Record::new(2, 0),
+            Record::new(3, 0),
+        ];
+        assert!(matches!(
+            net.route(&wide_data),
+            Err(BnbNetlistError::DataTooWide { data: 0xFF, .. })
+        ));
+    }
+
+    #[test]
+    fn arbiter_of_two_inputs_is_wiring_only() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let flags = arbiter(&mut nl, &[a, b]);
+        assert_eq!(flags.len(), 1);
+        // No logic gates were emitted — A(1) is wiring (plus one constant).
+        assert_eq!(nl.census().logic_gates(), 0);
+    }
+
+    #[test]
+    fn switch_bank_exchanges_words() {
+        let mut nl = Netlist::new();
+        let c = nl.input("c");
+        let a0 = nl.input("a0");
+        let a1 = nl.input("a1");
+        let b0 = nl.input("b0");
+        let b1 = nl.input("b1");
+        let out = switch_bank(&mut nl, &[c], &[vec![a0, a1], vec![b0, b1]]);
+        for (j, word) in out.iter().enumerate() {
+            for (b, &net) in word.iter().enumerate() {
+                nl.output(format!("o{j}.{b}"), net);
+            }
+        }
+        // c = 0: straight.
+        assert_eq!(
+            nl.eval(&[false, true, false, false, true]).unwrap(),
+            vec![true, false, false, true]
+        );
+        // c = 1: exchanged.
+        assert_eq!(
+            nl.eval(&[true, true, false, false, true]).unwrap(),
+            vec![false, true, true, false]
+        );
+    }
+
+    #[test]
+    fn gate_counts_grow_with_network_size() {
+        let small = bnb_network(2, 0).netlist().census().logic_gates();
+        let large = bnb_network(3, 0).netlist().census().logic_gates();
+        assert!(large > 2 * small, "gate count must grow superlinearly");
+    }
+}

@@ -1,0 +1,219 @@
+//! Arrival-time and critical-path analysis of a netlist.
+//!
+//! The paper expresses delay in abstract `D_SW` / `D_FN` units; this module
+//! measures the *gate-level* depth of the same circuits so the two models
+//! can be compared. The delay model assigns a delay to every gate kind;
+//! [`DelayModel::unit`] counts plain logic depth.
+
+use serde::{Deserialize, Serialize};
+
+use crate::netlist::{GateKind, Net, Netlist};
+
+/// Per-gate-kind delay assignment (arbitrary time units).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayModel {
+    /// Delay of a NOT gate.
+    pub not: f64,
+    /// Delay of an AND gate.
+    pub and: f64,
+    /// Delay of an OR gate.
+    pub or: f64,
+    /// Delay of an XOR gate.
+    pub xor: f64,
+    /// Delay of a 2:1 mux.
+    pub mux: f64,
+}
+
+impl DelayModel {
+    /// Unit delay for every logic gate — measures logic depth.
+    pub fn unit() -> Self {
+        DelayModel {
+            not: 1.0,
+            and: 1.0,
+            or: 1.0,
+            xor: 1.0,
+            mux: 1.0,
+        }
+    }
+
+    /// A typical CMOS-flavoured model: XOR and MUX cost twice a NAND-class
+    /// gate. Used to show the Table 2 comparison is robust to the gate
+    /// technology assumption.
+    pub fn cmos() -> Self {
+        DelayModel {
+            not: 0.5,
+            and: 1.0,
+            or: 1.0,
+            xor: 2.0,
+            mux: 2.0,
+        }
+    }
+
+    fn of(&self, kind: &GateKind) -> f64 {
+        match kind {
+            GateKind::Input | GateKind::Const(_) => 0.0,
+            GateKind::Not(_) => self.not,
+            GateKind::And(..) => self.and,
+            GateKind::Or(..) => self.or,
+            GateKind::Xor(..) => self.xor,
+            GateKind::Mux { .. } => self.mux,
+        }
+    }
+}
+
+impl Default for DelayModel {
+    /// The unit-delay model.
+    fn default() -> Self {
+        DelayModel::unit()
+    }
+}
+
+/// Result of a critical-path analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CriticalPath {
+    /// Total delay from inputs to the slowest declared output.
+    pub delay: f64,
+    /// The output name whose cone is slowest.
+    pub output: String,
+    /// The nets along the slowest path, input first.
+    pub path: Vec<Net>,
+}
+
+/// Computes the arrival time of every net under `model`.
+pub fn arrival_times(netlist: &Netlist, model: &DelayModel) -> Vec<f64> {
+    let n = netlist.net_count();
+    let mut arrival = vec![0.0f64; n];
+    for i in 0..n {
+        let net = Net(i as u32);
+        let kind = netlist.gate(net);
+        let fan = kind.fanin();
+        let worst = fan.iter().map(|f| arrival[f.index()]).fold(0.0, f64::max);
+        arrival[i] = worst + model.of(&kind);
+    }
+    arrival
+}
+
+/// Finds the critical (slowest) path to any declared output.
+///
+/// Returns `None` when the netlist has no outputs.
+pub fn critical_path(netlist: &Netlist, model: &DelayModel) -> Option<CriticalPath> {
+    let arrival = arrival_times(netlist, model);
+    let (name, out_net) = netlist
+        .outputs()
+        .iter()
+        .max_by(|a, b| {
+            arrival[a.1.index()]
+                .partial_cmp(&arrival[b.1.index()])
+                .expect("delays are finite")
+        })?
+        .clone();
+    // Backtrack: at each gate follow the fan-in with the largest arrival.
+    let mut path = vec![out_net];
+    let mut cur = out_net;
+    loop {
+        let fan = netlist.gate(cur).fanin();
+        let Some(&next) = fan.iter().max_by(|a, b| {
+            arrival[a.index()]
+                .partial_cmp(&arrival[b.index()])
+                .expect("finite")
+        }) else {
+            break;
+        };
+        path.push(next);
+        cur = next;
+    }
+    path.reverse();
+    Some(CriticalPath {
+        delay: arrival[out_net.index()],
+        output: name,
+        path,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(depth: usize) -> Netlist {
+        let mut nl = Netlist::new();
+        let mut cur = nl.input("a");
+        for _ in 0..depth {
+            cur = nl.not(cur);
+        }
+        nl.output("out", cur);
+        nl
+    }
+
+    #[test]
+    fn unit_delay_equals_logic_depth() {
+        let nl = chain(5);
+        let cp = critical_path(&nl, &DelayModel::unit()).unwrap();
+        assert_eq!(cp.delay, 5.0);
+        assert_eq!(cp.path.len(), 6); // input + 5 gates
+        assert_eq!(cp.output, "out");
+    }
+
+    #[test]
+    fn inputs_and_constants_have_zero_delay() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let c = nl.constant(true);
+        nl.output("a", a);
+        nl.output("c", c);
+        let arr = arrival_times(&nl, &DelayModel::unit());
+        assert_eq!(arr, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn critical_path_picks_slowest_output() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let short = nl.not(a);
+        let mid = nl.not(short);
+        let long = nl.not(mid);
+        nl.output("short", short);
+        nl.output("long", long);
+        let cp = critical_path(&nl, &DelayModel::unit()).unwrap();
+        assert_eq!(cp.output, "long");
+        assert_eq!(cp.delay, 3.0);
+    }
+
+    #[test]
+    fn critical_path_follows_slowest_fanin() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let slow = nl.not(a);
+        let slower = nl.not(slow);
+        let fast = b;
+        let join = nl.and(slower, fast);
+        nl.output("j", join);
+        let cp = critical_path(&nl, &DelayModel::unit()).unwrap();
+        assert_eq!(cp.delay, 3.0);
+        // path: a -> slow -> slower -> join
+        assert_eq!(cp.path, vec![a, slow, slower, join]);
+    }
+
+    #[test]
+    fn cmos_model_weights_xor_heavier() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let x = nl.xor(a, b);
+        nl.output("x", x);
+        let cp = critical_path(&nl, &DelayModel::cmos()).unwrap();
+        assert_eq!(cp.delay, 2.0);
+    }
+
+    #[test]
+    fn no_outputs_yields_none() {
+        let mut nl = Netlist::new();
+        let _ = nl.input("a");
+        assert!(critical_path(&nl, &DelayModel::unit()).is_none());
+    }
+
+    #[test]
+    fn default_model_is_unit() {
+        assert_eq!(DelayModel::default(), DelayModel::unit());
+    }
+}

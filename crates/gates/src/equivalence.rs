@@ -1,0 +1,223 @@
+//! Combinational equivalence checking between two netlists.
+//!
+//! Used to certify the optimizer and to compare independently-built
+//! implementations of the same component (e.g. a hand-minimized splitter
+//! against the generated one). Exhaustive up to 20 inputs; beyond that, a
+//! deterministic pseudo-random stimulus sweep (self-seeded xorshift, no
+//! external RNG dependency).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GateError;
+use crate::netlist::Netlist;
+
+/// Result of an equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EquivVerdict {
+    /// No distinguishing input was found.
+    Equivalent,
+    /// The two netlists differ in interface (input/output counts).
+    InterfaceMismatch {
+        /// `(inputs, outputs)` of the first netlist.
+        a: (usize, usize),
+        /// `(inputs, outputs)` of the second.
+        b: (usize, usize),
+    },
+    /// A distinguishing stimulus.
+    Mismatch {
+        /// The input vector exposing the difference.
+        inputs: Vec<bool>,
+        /// First netlist's outputs.
+        a: Vec<bool>,
+        /// Second netlist's outputs.
+        b: Vec<bool>,
+    },
+}
+
+impl EquivVerdict {
+    /// `true` for [`EquivVerdict::Equivalent`].
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, EquivVerdict::Equivalent)
+    }
+}
+
+fn interfaces_match(a: &Netlist, b: &Netlist) -> Option<EquivVerdict> {
+    if a.input_count() != b.input_count() || a.output_count() != b.output_count() {
+        return Some(EquivVerdict::InterfaceMismatch {
+            a: (a.input_count(), a.output_count()),
+            b: (b.input_count(), b.output_count()),
+        });
+    }
+    None
+}
+
+fn compare_on(a: &Netlist, b: &Netlist, bits: &[bool]) -> Result<Option<EquivVerdict>, GateError> {
+    let ra = a.eval(bits)?;
+    let rb = b.eval(bits)?;
+    if ra != rb {
+        return Ok(Some(EquivVerdict::Mismatch {
+            inputs: bits.to_vec(),
+            a: ra,
+            b: rb,
+        }));
+    }
+    Ok(None)
+}
+
+/// Exhaustive equivalence check over all `2^inputs` stimulus vectors.
+///
+/// # Errors
+///
+/// Propagates [`GateError`]s from evaluation (e.g. a netlist without
+/// outputs).
+///
+/// # Panics
+///
+/// Panics if the netlists have more than 20 inputs — use
+/// [`check_random`] instead.
+pub fn check_exhaustive(a: &Netlist, b: &Netlist) -> Result<EquivVerdict, GateError> {
+    if let Some(v) = interfaces_match(a, b) {
+        return Ok(v);
+    }
+    let n = a.input_count();
+    assert!(
+        n <= 20,
+        "exhaustive check limited to 20 inputs; use check_random"
+    );
+    for pattern in 0..(1u64 << n) {
+        let bits: Vec<bool> = (0..n).map(|j| pattern >> j & 1 == 1).collect();
+        if let Some(v) = compare_on(a, b, &bits)? {
+            return Ok(v);
+        }
+    }
+    Ok(EquivVerdict::Equivalent)
+}
+
+/// Randomized equivalence check: `trials` deterministic pseudo-random
+/// stimulus vectors derived from `seed`. A returned
+/// [`EquivVerdict::Equivalent`] means "no difference found", not a proof.
+///
+/// # Errors
+///
+/// Propagates [`GateError`]s from evaluation.
+pub fn check_random(
+    a: &Netlist,
+    b: &Netlist,
+    trials: usize,
+    seed: u64,
+) -> Result<EquivVerdict, GateError> {
+    if let Some(v) = interfaces_match(a, b) {
+        return Ok(v);
+    }
+    let n = a.input_count();
+    let mut state = seed | 1;
+    let mut next = move || {
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    for _ in 0..trials {
+        let bits: Vec<bool> = (0..n).map(|_| next() & 1 == 1).collect();
+        if let Some(v) = compare_on(a, b, &bits)? {
+            return Ok(v);
+        }
+    }
+    Ok(EquivVerdict::Equivalent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::{bit_sorter, bnb_network};
+    use crate::netlist::Net;
+    use crate::optimize::optimize;
+
+    fn bsn_netlist(k: usize) -> Netlist {
+        let n = 1usize << k;
+        let mut nl = Netlist::new();
+        let ins: Vec<Net> = (0..n).map(|j| nl.input(format!("s{j}"))).collect();
+        let outs = bit_sorter(&mut nl, &ins);
+        for (j, &o) in outs.iter().enumerate() {
+            nl.output(format!("o{j}"), o);
+        }
+        nl
+    }
+
+    #[test]
+    fn optimizer_output_is_certified_equivalent() {
+        for k in [2usize, 3, 4] {
+            let nl = bsn_netlist(k);
+            let (opt, _) = optimize(&nl);
+            assert!(
+                check_exhaustive(&nl, &opt).unwrap().is_equivalent(),
+                "BSN({k}) optimization must be exhaustive-equivalent"
+            );
+        }
+    }
+
+    #[test]
+    fn a_seeded_bug_is_caught_with_a_witness() {
+        let good = bsn_netlist(3);
+        // An extra output: interface mismatch.
+        let with_extra = {
+            let mut nl = bsn_netlist(3);
+            let (name0, net0) = nl.outputs()[0].clone();
+            let inv = nl.not(net0);
+            nl.output(format!("{name0}_x"), inv);
+            nl
+        };
+        assert!(matches!(
+            check_exhaustive(&good, &with_extra).unwrap(),
+            EquivVerdict::InterfaceMismatch { .. }
+        ));
+        // Functional mismatch: compare the BSN against constant-false
+        // outputs.
+        let mut zeros = Netlist::new();
+        for j in 0..8 {
+            let _ = zeros.input(format!("s{j}"));
+        }
+        let f = zeros.constant(false);
+        for j in 0..8 {
+            zeros.output(format!("o{j}"), f);
+        }
+        match check_exhaustive(&good, &zeros).unwrap() {
+            EquivVerdict::Mismatch { inputs, a, b } => {
+                assert_eq!(inputs.len(), 8);
+                assert_ne!(a, b);
+                assert!(b.iter().all(|&x| !x));
+            }
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn random_check_agrees_with_exhaustive_on_the_bnb() {
+        let net = bnb_network(2, 1);
+        let (opt, _) = optimize(net.netlist());
+        assert!(check_random(net.netlist(), &opt, 200, 42)
+            .unwrap()
+            .is_equivalent());
+        assert!(check_exhaustive(net.netlist(), &opt)
+            .unwrap()
+            .is_equivalent());
+    }
+
+    #[test]
+    fn random_check_finds_gross_differences_quickly() {
+        let a = bsn_netlist(2);
+        let mut b = Netlist::new();
+        for j in 0..4 {
+            let _ = b.input(format!("s{j}"));
+        }
+        let t = b.constant(true);
+        for j in 0..4 {
+            b.output(format!("o{j}"), t);
+        }
+        assert!(matches!(
+            check_random(&a, &b, 50, 7).unwrap(),
+            EquivVerdict::Mismatch { .. }
+        ));
+    }
+}

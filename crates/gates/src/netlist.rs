@@ -1,0 +1,441 @@
+//! An append-only combinational netlist.
+//!
+//! Gates may only reference nets created earlier, so the netlist is acyclic
+//! by construction and a single forward pass evaluates it. This is exactly
+//! the class of circuits the paper's hardware lives in: the BNB network is
+//! purely combinational (arbiters + switches), with no feedback.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GateError;
+
+/// Handle to a net (the output wire of one gate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Net(pub(crate) u32);
+
+impl Net {
+    /// The raw index of this net in construction order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The boolean function computed by a gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum GateKind {
+    /// A primary input (value supplied at evaluation time).
+    Input,
+    /// A constant.
+    Const(bool),
+    /// Logical NOT of one net.
+    Not(Net),
+    /// Logical AND of two nets.
+    And(Net, Net),
+    /// Logical OR of two nets.
+    Or(Net, Net),
+    /// Logical XOR of two nets.
+    Xor(Net, Net),
+    /// Two-way multiplexer: `sel ? b : a`.
+    Mux {
+        /// Select line.
+        sel: Net,
+        /// Output when `sel` is false.
+        a: Net,
+        /// Output when `sel` is true.
+        b: Net,
+    },
+}
+
+impl GateKind {
+    /// The fan-in nets of this gate, in a fixed order.
+    pub fn fanin(&self) -> Vec<Net> {
+        match *self {
+            GateKind::Input | GateKind::Const(_) => vec![],
+            GateKind::Not(a) => vec![a],
+            GateKind::And(a, b) | GateKind::Or(a, b) | GateKind::Xor(a, b) => vec![a, b],
+            GateKind::Mux { sel, a, b } => vec![sel, a, b],
+        }
+    }
+}
+
+/// Per-gate-kind census of a netlist, used for area accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GateCensus {
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Constant drivers.
+    pub consts: usize,
+    /// NOT gates.
+    pub nots: usize,
+    /// AND gates.
+    pub ands: usize,
+    /// OR gates.
+    pub ors: usize,
+    /// XOR gates.
+    pub xors: usize,
+    /// 2:1 multiplexers.
+    pub muxes: usize,
+}
+
+impl GateCensus {
+    /// Total logic gates, excluding inputs and constants.
+    pub fn logic_gates(&self) -> usize {
+        self.nots + self.ands + self.ors + self.xors + self.muxes
+    }
+}
+
+impl fmt::Display for GateCensus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} gates (not={}, and={}, or={}, xor={}, mux={}) over {} inputs",
+            self.logic_gates(),
+            self.nots,
+            self.ands,
+            self.ors,
+            self.xors,
+            self.muxes,
+            self.inputs
+        )
+    }
+}
+
+/// A combinational circuit under construction or evaluation.
+///
+/// # Example
+///
+/// ```
+/// use bnb_gates::netlist::Netlist;
+///
+/// let mut nl = Netlist::new();
+/// let a = nl.input("a");
+/// let b = nl.input("b");
+/// let x = nl.xor(a, b);
+/// nl.output("sum", x);
+/// assert_eq!(nl.eval(&[true, false])?, vec![true]);
+/// # Ok::<(), bnb_gates::GateError>(())
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Netlist {
+    gates: Vec<GateKind>,
+    input_order: Vec<Net>,
+    input_names: Vec<String>,
+    outputs: Vec<(String, Net)>,
+}
+
+impl Netlist {
+    /// An empty netlist.
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    fn push(&mut self, kind: GateKind) -> Net {
+        let id = Net(u32::try_from(self.gates.len()).expect("netlist exceeds u32 nets"));
+        self.gates.push(kind);
+        id
+    }
+
+    /// Declares a primary input. Inputs are fed to [`Netlist::eval`] in
+    /// declaration order.
+    pub fn input(&mut self, name: impl Into<String>) -> Net {
+        let id = self.push(GateKind::Input);
+        self.input_order.push(id);
+        self.input_names.push(name.into());
+        id
+    }
+
+    /// A constant driver.
+    pub fn constant(&mut self, value: bool) -> Net {
+        self.push(GateKind::Const(value))
+    }
+
+    /// NOT gate.
+    pub fn not(&mut self, a: Net) -> Net {
+        self.push(GateKind::Not(a))
+    }
+
+    /// AND gate.
+    pub fn and(&mut self, a: Net, b: Net) -> Net {
+        self.push(GateKind::And(a, b))
+    }
+
+    /// OR gate.
+    pub fn or(&mut self, a: Net, b: Net) -> Net {
+        self.push(GateKind::Or(a, b))
+    }
+
+    /// XOR gate.
+    pub fn xor(&mut self, a: Net, b: Net) -> Net {
+        self.push(GateKind::Xor(a, b))
+    }
+
+    /// 2:1 mux: output is `a` when `sel` is false, `b` when true.
+    pub fn mux(&mut self, sel: Net, a: Net, b: Net) -> Net {
+        self.push(GateKind::Mux { sel, a, b })
+    }
+
+    /// Declares a named output. Outputs are returned from
+    /// [`Netlist::eval`] in declaration order.
+    pub fn output(&mut self, name: impl Into<String>, net: Net) {
+        self.outputs.push((name.into(), net));
+    }
+
+    /// Number of declared primary inputs.
+    pub fn input_count(&self) -> usize {
+        self.input_order.len()
+    }
+
+    /// Number of declared outputs.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Total nets (gates + inputs + constants).
+    pub fn net_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The gate driving `net`.
+    pub fn gate(&self, net: Net) -> GateKind {
+        self.gates[net.index()]
+    }
+
+    /// Iterator over every net handle, in construction (topological) order.
+    pub fn nets(&self) -> impl Iterator<Item = Net> + '_ {
+        (0..self.gates.len()).map(|i| Net(i as u32))
+    }
+
+    /// Declared output names and nets, in order.
+    pub fn outputs(&self) -> &[(String, Net)] {
+        &self.outputs
+    }
+
+    /// Declared input names, in order.
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// Census of gate kinds.
+    pub fn census(&self) -> GateCensus {
+        let mut c = GateCensus::default();
+        for g in &self.gates {
+            match g {
+                GateKind::Input => c.inputs += 1,
+                GateKind::Const(_) => c.consts += 1,
+                GateKind::Not(_) => c.nots += 1,
+                GateKind::And(..) => c.ands += 1,
+                GateKind::Or(..) => c.ors += 1,
+                GateKind::Xor(..) => c.xors += 1,
+                GateKind::Mux { .. } => c.muxes += 1,
+            }
+        }
+        c
+    }
+
+    /// Evaluates every net in one forward pass and returns the values of the
+    /// declared outputs in declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::InputCountMismatch`] if `inputs.len()` differs
+    /// from the declared input count, or [`GateError::NoOutputs`] if no
+    /// output was declared.
+    pub fn eval(&self, inputs: &[bool]) -> Result<Vec<bool>, GateError> {
+        Ok(self.eval_all(inputs)?.1)
+    }
+
+    /// Like [`Netlist::eval`] but also returns the value of every net, for
+    /// waveform-style debugging and delay cross-checks.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Netlist::eval`].
+    pub fn eval_all(&self, inputs: &[bool]) -> Result<(Vec<bool>, Vec<bool>), GateError> {
+        if inputs.len() != self.input_order.len() {
+            return Err(GateError::InputCountMismatch {
+                expected: self.input_order.len(),
+                actual: inputs.len(),
+            });
+        }
+        if self.outputs.is_empty() {
+            return Err(GateError::NoOutputs);
+        }
+        let mut values = vec![false; self.gates.len()];
+        let mut next_input = 0usize;
+        for (i, g) in self.gates.iter().enumerate() {
+            values[i] = match *g {
+                GateKind::Input => {
+                    let v = inputs[next_input];
+                    next_input += 1;
+                    v
+                }
+                GateKind::Const(v) => v,
+                GateKind::Not(a) => !values[a.index()],
+                GateKind::And(a, b) => values[a.index()] && values[b.index()],
+                GateKind::Or(a, b) => values[a.index()] || values[b.index()],
+                GateKind::Xor(a, b) => values[a.index()] ^ values[b.index()],
+                GateKind::Mux { sel, a, b } => {
+                    if values[sel.index()] {
+                        values[b.index()]
+                    } else {
+                        values[a.index()]
+                    }
+                }
+            };
+        }
+        let outs = self
+            .outputs
+            .iter()
+            .map(|(_, n)| values[n.index()])
+            .collect();
+        Ok((values, outs))
+    }
+
+    /// Evaluates and returns outputs as a name → value map.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Netlist::eval`].
+    pub fn eval_named(&self, inputs: &[bool]) -> Result<HashMap<String, bool>, GateError> {
+        let outs = self.eval(inputs)?;
+        Ok(self
+            .outputs
+            .iter()
+            .zip(outs)
+            .map(|((name, _), v)| (name.clone(), v))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_netlist_has_no_nets() {
+        let nl = Netlist::new();
+        assert_eq!(nl.net_count(), 0);
+        assert_eq!(nl.input_count(), 0);
+    }
+
+    #[test]
+    fn basic_gates_compute_boolean_functions() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let and = nl.and(a, b);
+        let or = nl.or(a, b);
+        let xor = nl.xor(a, b);
+        let not = nl.not(a);
+        nl.output("and", and);
+        nl.output("or", or);
+        nl.output("xor", xor);
+        nl.output("not", not);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let out = nl.eval(&[va, vb]).unwrap();
+            assert_eq!(out, vec![va && vb, va || vb, va ^ vb, !va]);
+        }
+    }
+
+    #[test]
+    fn mux_selects_between_inputs() {
+        let mut nl = Netlist::new();
+        let s = nl.input("s");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let m = nl.mux(s, a, b);
+        nl.output("m", m);
+        assert_eq!(nl.eval(&[false, true, false]).unwrap(), vec![true]); // sel=0 -> a
+        assert_eq!(nl.eval(&[true, true, false]).unwrap(), vec![false]); // sel=1 -> b
+    }
+
+    #[test]
+    fn constants_drive_fixed_values() {
+        let mut nl = Netlist::new();
+        let t = nl.constant(true);
+        let f = nl.constant(false);
+        let o = nl.or(t, f);
+        nl.output("o", o);
+        assert_eq!(nl.eval(&[]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn eval_checks_input_count() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        nl.output("a", a);
+        assert_eq!(
+            nl.eval(&[]).unwrap_err(),
+            GateError::InputCountMismatch {
+                expected: 1,
+                actual: 0
+            }
+        );
+    }
+
+    #[test]
+    fn eval_requires_outputs() {
+        let mut nl = Netlist::new();
+        let _ = nl.input("a");
+        assert_eq!(nl.eval(&[true]).unwrap_err(), GateError::NoOutputs);
+    }
+
+    #[test]
+    fn census_counts_gates() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let x = nl.xor(a, b);
+        let y = nl.and(x, a);
+        let z = nl.not(y);
+        nl.output("z", z);
+        let c = nl.census();
+        assert_eq!(c.inputs, 2);
+        assert_eq!(c.xors, 1);
+        assert_eq!(c.ands, 1);
+        assert_eq!(c.nots, 1);
+        assert_eq!(c.logic_gates(), 3);
+        assert!(c.to_string().contains("3 gates"));
+    }
+
+    #[test]
+    fn eval_named_maps_outputs() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let n = nl.not(a);
+        nl.output("na", n);
+        let m = nl.eval_named(&[false]).unwrap();
+        assert!(m["na"]);
+    }
+
+    #[test]
+    fn fanin_lists_dependencies() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let m = nl.mux(a, b, a);
+        assert_eq!(nl.gate(m).fanin(), vec![a, b, a]);
+        assert_eq!(nl.gate(a).fanin(), Vec::<Net>::new());
+    }
+
+    #[test]
+    fn eval_all_exposes_every_net() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let n = nl.not(a);
+        nl.output("n", n);
+        let (values, outs) = nl.eval_all(&[true]).unwrap();
+        assert_eq!(values, vec![true, false]);
+        assert_eq!(outs, vec![false]);
+    }
+}

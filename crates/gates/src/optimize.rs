@@ -1,0 +1,435 @@
+//! Netlist optimization: constant folding, algebraic simplification and
+//! dead-gate elimination.
+//!
+//! The component builders favour regularity over minimality — e.g. every
+//! splitter emits uniform arbiter nodes even where a flag is unused, and
+//! `A(1)` contributes a constant-zero flag that turns the control XOR into
+//! a wire. This pass recovers the minimal circuit, which serves two
+//! purposes: it quantifies how much slack the regular design leaves (an
+//! area the paper's §5 model cannot see), and it provides a second,
+//! independent implementation whose outputs must match the unoptimized
+//! netlist bit for bit (an equivalence-checking test target).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::netlist::{GateKind, Net, Netlist};
+
+/// What happened during one optimization run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OptimizeStats {
+    /// Logic gates before.
+    pub original_gates: usize,
+    /// Logic gates after.
+    pub optimized_gates: usize,
+    /// Gates removed by constant folding / algebraic identities.
+    pub folded: usize,
+    /// Gates removed because no output depends on them.
+    pub dead_removed: usize,
+}
+
+impl OptimizeStats {
+    /// Fraction of logic gates eliminated.
+    pub fn reduction(&self) -> f64 {
+        if self.original_gates == 0 {
+            0.0
+        } else {
+            1.0 - self.optimized_gates as f64 / self.original_gates as f64
+        }
+    }
+}
+
+/// The value a net resolves to after simplification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Resolved {
+    /// A compile-time constant.
+    Const(bool),
+    /// An (optionally inverted) reference to a net in the new netlist.
+    Wire(Net, bool),
+}
+
+/// Optimizes a netlist: folds constants, applies the standard identities
+/// (`x∧0 = 0`, `x∧1 = x`, `x⊕0 = x`, `x⊕1 = ¬x`, `mux` with constant or
+/// equal arms, `¬¬x = x`, `x op x` …) and drops gates no output needs.
+/// Inputs are always preserved, in order, so the evaluation interface is
+/// unchanged.
+///
+/// Returns the new netlist and the statistics.
+pub fn optimize(nl: &Netlist) -> (Netlist, OptimizeStats) {
+    let n = nl.net_count();
+    // Pass 1: resolve every net to a constant or a canonical (net, inverted)
+    // pair, building the new netlist lazily.
+    let mut out = Netlist::new();
+    let mut resolved: Vec<Resolved> = Vec::with_capacity(n);
+    // Cache of emitted NOT gates so x and ¬x are shared.
+    let mut not_cache: HashMap<Net, Net> = HashMap::new();
+    let mut input_iter = nl.input_names().iter();
+    let mut folded = 0usize;
+
+    // Materialize a Resolved as a concrete net in the output netlist.
+    fn materialize(out: &mut Netlist, not_cache: &mut HashMap<Net, Net>, r: Resolved) -> Net {
+        match r {
+            Resolved::Const(v) => out.constant(v),
+            Resolved::Wire(net, false) => net,
+            Resolved::Wire(net, true) => {
+                if let Some(&inv) = not_cache.get(&net) {
+                    inv
+                } else {
+                    let inv = out.not(net);
+                    not_cache.insert(net, inv);
+                    inv
+                }
+            }
+        }
+    }
+
+    for idx in 0..n {
+        let kind = nl.gate(Net(idx as u32));
+        let res = match kind {
+            GateKind::Input => {
+                let name = input_iter.next().expect("input names match input gates");
+                Resolved::Wire(out.input(name.clone()), false)
+            }
+            GateKind::Const(v) => Resolved::Const(v),
+            GateKind::Not(a) => match resolved[a.index()] {
+                Resolved::Const(v) => Resolved::Const(!v),
+                Resolved::Wire(w, inv) => Resolved::Wire(w, !inv),
+            },
+            GateKind::And(a, b) | GateKind::Or(a, b) => {
+                let is_and = matches!(kind, GateKind::And(..));
+                let ra = resolved[a.index()];
+                let rb = resolved[b.index()];
+                // Normalize constants to the left.
+                let (rc, rx) = match (ra, rb) {
+                    (Resolved::Const(_), _) => (Some(ra), rb),
+                    (_, Resolved::Const(_)) => (Some(rb), ra),
+                    _ => (None, ra),
+                };
+                if let Some(Resolved::Const(c)) = rc {
+                    let absorbing = if is_and { !c } else { c };
+                    if absorbing {
+                        Resolved::Const(!is_and)
+                    } else {
+                        // identity element: result is the other operand
+                        if matches!(ra, Resolved::Const(_)) {
+                            rb
+                        } else {
+                            ra
+                        }
+                    }
+                } else if ra == rb {
+                    rx // x ∧ x = x ∨ x = x
+                } else if let (Resolved::Wire(wa, ia), Resolved::Wire(wb, ib)) = (ra, rb) {
+                    if wa == wb && ia != ib {
+                        // x ∧ ¬x = 0;  x ∨ ¬x = 1
+                        Resolved::Const(!is_and)
+                    } else {
+                        let na = materialize(&mut out, &mut not_cache, ra);
+                        let nb = materialize(&mut out, &mut not_cache, rb);
+                        let g = if is_and {
+                            out.and(na, nb)
+                        } else {
+                            out.or(na, nb)
+                        };
+                        Resolved::Wire(g, false)
+                    }
+                } else {
+                    unreachable!("constant cases handled above")
+                }
+            }
+            GateKind::Xor(a, b) => {
+                let ra = resolved[a.index()];
+                let rb = resolved[b.index()];
+                match (ra, rb) {
+                    (Resolved::Const(x), Resolved::Const(y)) => Resolved::Const(x ^ y),
+                    (Resolved::Const(c), w) | (w, Resolved::Const(c)) => {
+                        if let Resolved::Wire(net, inv) = w {
+                            Resolved::Wire(net, inv ^ c)
+                        } else {
+                            unreachable!("both-const handled above")
+                        }
+                    }
+                    (Resolved::Wire(wa, ia), Resolved::Wire(wb, ib)) => {
+                        if wa == wb {
+                            Resolved::Const(ia ^ ib)
+                        } else {
+                            let na = materialize(&mut out, &mut not_cache, ra);
+                            let nb = materialize(&mut out, &mut not_cache, rb);
+                            Resolved::Wire(out.xor(na, nb), false)
+                        }
+                    }
+                }
+            }
+            GateKind::Mux { sel, a, b } => {
+                let rs = resolved[sel.index()];
+                let ra = resolved[a.index()];
+                let rb = resolved[b.index()];
+                match rs {
+                    Resolved::Const(false) => ra,
+                    Resolved::Const(true) => rb,
+                    Resolved::Wire(..) if ra == rb => ra,
+                    Resolved::Wire(..) => {
+                        // mux(s, 0, 1) = s; mux(s, 1, 0) = ¬s
+                        if let (Resolved::Const(ca), Resolved::Const(cb)) = (ra, rb) {
+                            if !ca && cb {
+                                rs
+                            } else if ca && !cb {
+                                if let Resolved::Wire(w, i) = rs {
+                                    Resolved::Wire(w, !i)
+                                } else {
+                                    unreachable!("rs is a wire in this arm")
+                                }
+                            } else {
+                                unreachable!("equal consts handled by ra == rb")
+                            }
+                        } else {
+                            let ns = materialize(&mut out, &mut not_cache, rs);
+                            let na = materialize(&mut out, &mut not_cache, ra);
+                            let nb = materialize(&mut out, &mut not_cache, rb);
+                            Resolved::Wire(out.mux(ns, na, nb), false)
+                        }
+                    }
+                }
+            }
+        };
+        resolved.push(res);
+        if !matches!(kind, GateKind::Input | GateKind::Const(_))
+            && matches!(res, Resolved::Const(_))
+        {
+            folded += 1;
+        }
+    }
+
+    // Outputs, resolving aliases (may add NOT/Const gates).
+    for (name, net) in nl.outputs() {
+        let r = resolved[net.index()];
+        let concrete = materialize(&mut out, &mut not_cache, r);
+        out.output(name.clone(), concrete);
+    }
+
+    // Pass 2: dead-gate elimination by rebuilding from the live cone.
+    let pruned = prune_dead(&out);
+    let original_gates = nl.census().logic_gates();
+    let intermediate_gates = out.census().logic_gates();
+    let optimized_gates = pruned.census().logic_gates();
+    let stats = OptimizeStats {
+        original_gates,
+        optimized_gates,
+        folded,
+        dead_removed: intermediate_gates - optimized_gates,
+    };
+    (pruned, stats)
+}
+
+/// Rebuilds a netlist keeping only gates in the fan-in cone of an output
+/// (inputs are always kept, preserving the evaluation interface).
+fn prune_dead(nl: &Netlist) -> Netlist {
+    let n = nl.net_count();
+    let mut live = vec![false; n];
+    let mut stack: Vec<Net> = nl.outputs().iter().map(|(_, net)| *net).collect();
+    while let Some(net) = stack.pop() {
+        if live[net.index()] {
+            continue;
+        }
+        live[net.index()] = true;
+        stack.extend(nl.gate(net).fanin());
+    }
+    let mut out = Netlist::new();
+    let mut remap: Vec<Option<Net>> = vec![None; n];
+    let mut input_iter = nl.input_names().iter();
+    for idx in 0..n {
+        let net = Net(idx as u32);
+        let kind = nl.gate(net);
+        if let GateKind::Input = kind {
+            // Inputs survive unconditionally to keep eval() positional.
+            let name = input_iter.next().expect("input names align");
+            remap[idx] = Some(out.input(name.clone()));
+            continue;
+        }
+        if !live[idx] {
+            continue;
+        }
+        let mapped = |n: Net, remap: &[Option<Net>]| {
+            remap[n.index()].expect("fan-in of a live gate is live")
+        };
+        remap[idx] = Some(match kind {
+            GateKind::Input => unreachable!("handled above"),
+            GateKind::Const(v) => out.constant(v),
+            GateKind::Not(a) => {
+                let a = mapped(a, &remap);
+                out.not(a)
+            }
+            GateKind::And(a, b) => {
+                let (a, b) = (mapped(a, &remap), mapped(b, &remap));
+                out.and(a, b)
+            }
+            GateKind::Or(a, b) => {
+                let (a, b) = (mapped(a, &remap), mapped(b, &remap));
+                out.or(a, b)
+            }
+            GateKind::Xor(a, b) => {
+                let (a, b) = (mapped(a, &remap), mapped(b, &remap));
+                out.xor(a, b)
+            }
+            GateKind::Mux { sel, a, b } => {
+                let (s, a, b) = (mapped(sel, &remap), mapped(a, &remap), mapped(b, &remap));
+                out.mux(s, a, b)
+            }
+        });
+    }
+    for (name, net) in nl.outputs() {
+        out.output(name.clone(), remap[net.index()].expect("outputs are live"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::{bit_sorter, bnb_network, splitter};
+
+    /// Exhaustive equivalence on a hand-built circuit full of foldable
+    /// patterns.
+    #[test]
+    fn folds_constants_and_identities() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let t = nl.constant(true);
+        let f = nl.constant(false);
+        let and_t = nl.and(a, t); // = a
+        let and_f = nl.and(a, f); // = 0
+        let or_f = nl.or(b, f); // = b
+        let xor_t = nl.xor(a, t); // = ¬a
+        let nn = nl.not(xor_t); // = a
+        let mux_c = nl.mux(f, a, b); // = a
+        let x_and_x = nl.and(a, a); // = a
+        let x_or_notx = {
+            let na = nl.not(a);
+            nl.or(a, na) // = 1
+        };
+        for (i, net) in [and_t, and_f, or_f, xor_t, nn, mux_c, x_and_x, x_or_notx]
+            .into_iter()
+            .enumerate()
+        {
+            nl.output(format!("o{i}"), net);
+        }
+        let (opt, stats) = optimize(&nl);
+        // Everything folds to wires/constants except the one real inverter
+        // needed for the ¬a output.
+        assert_eq!(opt.census().logic_gates(), 1);
+        assert!(stats.reduction() > 0.8, "{stats:?}");
+        for bits in 0..4u8 {
+            let input = [bits & 1 == 1, bits & 2 != 0];
+            assert_eq!(
+                nl.eval(&input).unwrap(),
+                opt.eval(&input).unwrap(),
+                "bits {bits:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn dead_gates_are_removed() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let _dead = nl.xor(a, b); // no output uses this
+        let live = nl.and(a, b);
+        nl.output("live", live);
+        let (opt, stats) = optimize(&nl);
+        assert_eq!(opt.census().logic_gates(), 1);
+        assert_eq!(stats.original_gates, 2);
+        assert_eq!(stats.optimized_gates, 1);
+    }
+
+    #[test]
+    fn splitter_optimization_preserves_behaviour_exhaustively() {
+        for p in [1usize, 2, 3] {
+            let n = 1usize << p;
+            let mut nl = Netlist::new();
+            let ins: Vec<Net> = (0..n).map(|j| nl.input(format!("s{j}"))).collect();
+            let sp = splitter(&mut nl, &ins);
+            for (j, &o) in sp.outputs.iter().enumerate() {
+                nl.output(format!("o{j}"), o);
+            }
+            let (opt, stats) = optimize(&nl);
+            assert!(stats.optimized_gates <= stats.original_gates);
+            for pattern in 0..(1u32 << n) {
+                let bits: Vec<bool> = (0..n).map(|j| pattern >> j & 1 == 1).collect();
+                assert_eq!(
+                    nl.eval(&bits).unwrap(),
+                    opt.eval(&bits).unwrap(),
+                    "sp({p}) pattern {pattern:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bsn_optimization_equivalence_exhaustive() {
+        let n = 8usize;
+        let mut nl = Netlist::new();
+        let ins: Vec<Net> = (0..n).map(|j| nl.input(format!("s{j}"))).collect();
+        let outs = bit_sorter(&mut nl, &ins);
+        for (j, &o) in outs.iter().enumerate() {
+            nl.output(format!("o{j}"), o);
+        }
+        let (opt, stats) = optimize(&nl);
+        assert!(
+            stats.optimized_gates < stats.original_gates,
+            "BSN has removable slack"
+        );
+        for pattern in 0..256u32 {
+            let bits: Vec<bool> = (0..n).map(|j| pattern >> j & 1 == 1).collect();
+            assert_eq!(nl.eval(&bits).unwrap(), opt.eval(&bits).unwrap());
+        }
+    }
+
+    #[test]
+    fn full_bnb_optimization_equivalence() {
+        use bnb_topology::perm::Permutation;
+        use bnb_topology::record::records_for_permutation;
+        let net = bnb_network(2, 2);
+        let (opt, stats) = optimize(net.netlist());
+        assert!(stats.optimized_gates < stats.original_gates);
+        for k in 0..24u64 {
+            let p = Permutation::nth_lexicographic(4, k);
+            let recs = records_for_permutation(&p);
+            // Encode manually, exactly as BnbNetlist::route does.
+            let mut bits = Vec::new();
+            for r in &recs {
+                for b in (0..2).rev() {
+                    bits.push(r.dest() >> b & 1 == 1);
+                }
+                for t in 0..2 {
+                    bits.push(r.data() >> t & 1 == 1);
+                }
+            }
+            assert_eq!(
+                net.netlist().eval(&bits).unwrap(),
+                opt.eval(&bits).unwrap(),
+                "perm {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimization_is_idempotent() {
+        let net = bnb_network(2, 1);
+        let (opt1, _) = optimize(net.netlist());
+        let (opt2, stats2) = optimize(&opt1);
+        assert_eq!(
+            opt1.census().logic_gates(),
+            opt2.census().logic_gates(),
+            "second pass must find nothing: {stats2:?}"
+        );
+    }
+
+    #[test]
+    fn stats_reduction_handles_empty() {
+        let s = OptimizeStats::default();
+        assert_eq!(s.reduction(), 0.0);
+    }
+}

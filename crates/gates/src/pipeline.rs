@@ -1,0 +1,437 @@
+//! Cycle-accurate pipelined BNB hardware: the combinational network of
+//! [`crate::components::bnb_network`] cut into one netlist per switch
+//! column, with a register bank between columns.
+//!
+//! This is the synchronous circuit a hardware team would actually build:
+//! a new word batch can be clocked in every cycle, each batch advances one
+//! column per cycle, and a batch's outputs appear `m(m+1)/2` cycles after
+//! injection (paper eq. (7)). The gate-level pipeline is cross-checked
+//! against both the flat combinational netlist and the behavioural timing
+//! model in `bnb-sim`.
+
+use bnb_topology::bitops::unshuffle;
+use bnb_topology::record::Record;
+
+use crate::components::{splitter_controls, switch_bank, BnbNetlistError};
+use crate::netlist::{Net, Netlist};
+
+/// One register-bounded switch column of the pipelined BNB network.
+#[derive(Debug, Clone)]
+pub struct ColumnCircuit {
+    /// Main-network stage this column belongs to.
+    pub main_stage: usize,
+    /// Internal stage within the nested networks.
+    pub internal_stage: usize,
+    /// Combinational logic of the column: `N·q` inputs to `N·q` outputs,
+    /// wiring to the next column already applied.
+    pub netlist: Netlist,
+}
+
+/// A clocked, fully pipelined gate-level BNB network.
+///
+/// # Example
+///
+/// ```
+/// use bnb_gates::pipeline::PipelinedBnb;
+/// use bnb_topology::record::Record;
+///
+/// let mut pipe = PipelinedBnb::new(2, 2);
+/// assert_eq!(pipe.depth(), 3);
+/// let batch = vec![
+///     Record::new(2, 0), Record::new(0, 1),
+///     Record::new(3, 2), Record::new(1, 3),
+/// ];
+/// let mut out = None;
+/// for cycle in 0.. {
+///     let injected = if cycle == 0 { Some(batch.as_slice()) } else { None };
+///     out = pipe.clock(injected)?;
+///     if out.is_some() { break; }
+/// }
+/// assert_eq!(out.unwrap()[2], Record::new(2, 0));
+/// # Ok::<(), bnb_gates::components::BnbNetlistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelinedBnb {
+    m: usize,
+    w: usize,
+    columns: Vec<ColumnCircuit>,
+    /// `registers[s]` holds the bits sitting after column `s`, or `None`
+    /// when that pipeline slot is empty (bubbles).
+    registers: Vec<Option<Vec<bool>>>,
+}
+
+impl PipelinedBnb {
+    /// Builds the pipelined network for `2^m` inputs and `w` data bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `w > 63`.
+    pub fn new(m: usize, w: usize) -> Self {
+        assert!(m >= 1, "network needs at least 2 inputs");
+        assert!(w <= 63, "data width is limited to 63 bits");
+        let n = 1usize << m;
+        let q = m + w;
+        let mut columns = Vec::new();
+        for main_stage in 0..m {
+            let k = m - main_stage;
+            for internal in 0..k {
+                let mut nl = Netlist::new();
+                let lines: Vec<Vec<Net>> = (0..n)
+                    .map(|j| (0..q).map(|b| nl.input(format!("l{j}.b{b}"))).collect())
+                    .collect();
+                let box_size = 1usize << (k - internal);
+                let mut next: Vec<Vec<Net>> = Vec::with_capacity(n);
+                for start in (0..n).step_by(box_size) {
+                    let span = &lines[start..start + box_size];
+                    let bits: Vec<Net> = span.iter().map(|word| word[main_stage]).collect();
+                    let controls = splitter_controls(&mut nl, &bits);
+                    next.extend(switch_bank(&mut nl, &controls, span));
+                }
+                // Apply the wiring that follows this column, so register s
+                // feeds column s+1 positionally.
+                let wired: Vec<Vec<Net>> = if internal + 1 < k {
+                    let nested = 1usize << k;
+                    let mut wired = vec![Vec::new(); n];
+                    for (j, word) in next.into_iter().enumerate() {
+                        let base = j & !(nested - 1);
+                        let local = j & (nested - 1);
+                        wired[base | unshuffle(k - internal, k, local)] = word;
+                    }
+                    wired
+                } else if main_stage + 1 < m {
+                    let mut wired = vec![Vec::new(); n];
+                    for (j, word) in next.into_iter().enumerate() {
+                        wired[unshuffle(k, m, j)] = word;
+                    }
+                    wired
+                } else {
+                    next
+                };
+                for (j, word) in wired.iter().enumerate() {
+                    for (b, &net) in word.iter().enumerate() {
+                        nl.output(format!("o{j}.b{b}"), net);
+                    }
+                }
+                columns.push(ColumnCircuit {
+                    main_stage,
+                    internal_stage: internal,
+                    netlist: nl,
+                });
+            }
+        }
+        let depth = columns.len();
+        PipelinedBnb {
+            m,
+            w,
+            columns,
+            registers: vec![None; depth],
+        }
+    }
+
+    /// `log2` of the network width.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Network width.
+    pub fn inputs(&self) -> usize {
+        1 << self.m
+    }
+
+    /// Pipeline depth in cycles: `m(m+1)/2` columns.
+    pub fn depth(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The per-column circuits (for inspection / export).
+    pub fn columns(&self) -> &[ColumnCircuit] {
+        &self.columns
+    }
+
+    /// Per-column gate censuses — the area budget of each pipeline stage.
+    /// Early columns host the big arbiters (large splitters), late columns
+    /// are mux-only, which is exactly the profile paper eq. (8) predicts
+    /// for delay.
+    pub fn column_census(&self) -> Vec<crate::netlist::GateCensus> {
+        self.columns.iter().map(|c| c.netlist.census()).collect()
+    }
+
+    /// Batches currently in flight.
+    pub fn occupancy(&self) -> usize {
+        self.registers.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Drops all in-flight batches.
+    pub fn flush(&mut self) {
+        for r in &mut self.registers {
+            *r = None;
+        }
+    }
+
+    fn encode(&self, records: &[Record]) -> Result<Vec<bool>, BnbNetlistError> {
+        let n = self.inputs();
+        if records.len() != n {
+            return Err(BnbNetlistError::RecordCount {
+                expected: n,
+                actual: records.len(),
+            });
+        }
+        let mut bits = Vec::with_capacity(n * (self.m + self.w));
+        for r in records {
+            if r.dest() >= n {
+                return Err(BnbNetlistError::DestinationTooWide { dest: r.dest(), n });
+            }
+            if self.w < 64 && r.data() >> self.w != 0 {
+                return Err(BnbNetlistError::DataTooWide {
+                    data: r.data(),
+                    w: self.w,
+                });
+            }
+            #[allow(clippy::needless_range_loop)] // k is the MSB-first bit position
+            for k in 0..self.m {
+                bits.push((r.dest() >> (self.m - 1 - k)) & 1 == 1);
+            }
+            for t in 0..self.w {
+                bits.push((r.data() >> t) & 1 == 1);
+            }
+        }
+        Ok(bits)
+    }
+
+    fn decode(&self, bits: &[bool]) -> Vec<Record> {
+        let n = self.inputs();
+        let q = self.m + self.w;
+        (0..n)
+            .map(|j| {
+                let word = &bits[j * q..(j + 1) * q];
+                let mut dest = 0usize;
+                #[allow(clippy::needless_range_loop)] // k is the MSB-first bit position
+                for k in 0..self.m {
+                    dest = (dest << 1) | usize::from(word[k]);
+                }
+                let mut data = 0u64;
+                for t in 0..self.w {
+                    if word[self.m + t] {
+                        data |= 1 << t;
+                    }
+                }
+                Record::new(dest, data)
+            })
+            .collect()
+    }
+
+    /// Advances one clock cycle: optionally injects a new batch at the
+    /// first column, shifts every in-flight batch one column forward, and
+    /// returns the batch (if any) that drained from the last register.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BnbNetlistError`] if the injected batch is malformed;
+    /// the pipeline state is unchanged in that case.
+    pub fn clock(
+        &mut self,
+        inject: Option<&[Record]>,
+    ) -> Result<Option<Vec<Record>>, BnbNetlistError> {
+        let encoded = inject.map(|records| self.encode(records)).transpose()?;
+        let depth = self.columns.len();
+        // Register s holds the bits that have completed column s. On the
+        // clock edge, register depth-1 drains, every register s-1 moves
+        // through column s into register s, and the injected batch moves
+        // through column 0 into register 0.
+        let drained = self.registers[depth - 1].take();
+        for s in (1..depth).rev() {
+            let moved = self.registers[s - 1].take();
+            self.registers[s] = moved.map(|bits| {
+                self.columns[s]
+                    .netlist
+                    .eval(&bits)
+                    .expect("well-formed column netlist")
+            });
+        }
+        self.registers[0] = encoded.map(|bits| {
+            self.columns[0]
+                .netlist
+                .eval(&bits)
+                .expect("well-formed column netlist")
+        });
+        Ok(drained.map(|bits| self.decode(&bits)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnb_topology::perm::Permutation;
+    use bnb_topology::record::{all_delivered, records_for_permutation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn depth_matches_eq7() {
+        for m in 1..=4usize {
+            assert_eq!(PipelinedBnb::new(m, 0).depth(), m * (m + 1) / 2);
+        }
+    }
+
+    #[test]
+    fn single_batch_emerges_after_depth_cycles() {
+        let mut pipe = PipelinedBnb::new(3, 4);
+        let p = Permutation::try_from(vec![5, 1, 7, 2, 0, 6, 4, 3]).unwrap();
+        let batch = records_for_permutation(&p);
+        let mut outputs = Vec::new();
+        for cycle in 0..20 {
+            let inject = if cycle == 0 {
+                Some(batch.as_slice())
+            } else {
+                None
+            };
+            if let Some(out) = pipe.clock(inject).unwrap() {
+                outputs.push((cycle, out));
+            }
+        }
+        assert_eq!(outputs.len(), 1);
+        let (cycle, out) = &outputs[0];
+        assert_eq!(*cycle, pipe.depth(), "latency must be the column count");
+        assert!(all_delivered(out));
+    }
+
+    #[test]
+    fn back_to_back_batches_emerge_every_cycle() {
+        let mut pipe = PipelinedBnb::new(2, 3);
+        let mut rng = StdRng::seed_from_u64(50);
+        let batches: Vec<Vec<Record>> = (0..6)
+            .map(|_| records_for_permutation(&Permutation::random(4, &mut rng)))
+            .collect();
+        let mut drained = Vec::new();
+        for cycle in 0..(6 + pipe.depth() + 2) {
+            let inject = batches.get(cycle).map(Vec::as_slice);
+            if let Some(out) = pipe.clock(inject).unwrap() {
+                drained.push((cycle, out));
+            }
+        }
+        assert_eq!(drained.len(), 6);
+        // One batch per cycle at steady state, in order.
+        for (i, (cycle, out)) in drained.iter().enumerate() {
+            assert_eq!(*cycle, i + pipe.depth());
+            assert!(all_delivered(out), "batch {i}");
+            // FIFO order: batch i's payloads match the i-th offered batch.
+            let mut expected: Vec<u64> = batches[i].iter().map(Record::data).collect();
+            expected.sort_unstable();
+            let mut got: Vec<u64> = out.iter().map(Record::data).collect();
+            got.sort_unstable();
+            assert_eq!(got, expected, "batch {i} contents");
+        }
+    }
+
+    #[test]
+    fn bubbles_flow_through() {
+        let mut pipe = PipelinedBnb::new(2, 3);
+        let p = Permutation::identity(4);
+        let batch = records_for_permutation(&p);
+        // Inject, wait, inject again with a gap.
+        let mut outputs = 0;
+        for cycle in 0..12 {
+            let inject = if cycle == 0 || cycle == 4 {
+                Some(batch.as_slice())
+            } else {
+                None
+            };
+            if pipe.clock(inject).unwrap().is_some() {
+                outputs += 1;
+            }
+        }
+        assert_eq!(outputs, 2);
+        assert_eq!(pipe.occupancy(), 0);
+    }
+
+    #[test]
+    fn pipeline_agrees_with_flat_netlist() {
+        use crate::components::bnb_network;
+        let flat = bnb_network(3, 3);
+        let mut pipe = PipelinedBnb::new(3, 3);
+        let mut rng = StdRng::seed_from_u64(51);
+        for _ in 0..10 {
+            let p = Permutation::random(8, &mut rng);
+            let batch = records_for_permutation(&p);
+            let expected = flat.route(&batch).unwrap();
+            pipe.flush();
+            let mut got = None;
+            for cycle in 0..=pipe.depth() {
+                let inject = if cycle == 0 {
+                    Some(batch.as_slice())
+                } else {
+                    None
+                };
+                got = pipe.clock(inject).unwrap();
+            }
+            assert_eq!(got.unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn malformed_injection_leaves_state_unchanged() {
+        let mut pipe = PipelinedBnb::new(2, 2);
+        let bad = vec![Record::new(9, 0); 4];
+        assert!(pipe.clock(Some(&bad)).is_err());
+        assert_eq!(pipe.occupancy(), 0);
+        let short = vec![Record::new(0, 0)];
+        assert!(matches!(
+            pipe.clock(Some(&short)),
+            Err(BnbNetlistError::RecordCount {
+                expected: 4,
+                actual: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn column_censuses_sum_to_the_flat_netlist() {
+        use crate::components::bnb_network;
+        for (m, w) in [(2usize, 0usize), (3, 2)] {
+            let pipe = PipelinedBnb::new(m, w);
+            let flat = bnb_network(m, w);
+            let flat_census = flat.netlist().census();
+            let cols = pipe.column_census();
+            let sum =
+                |f: fn(&crate::netlist::GateCensus) -> usize| -> usize { cols.iter().map(f).sum() };
+            assert_eq!(sum(|c| c.muxes), flat_census.muxes, "m={m},w={w}");
+            assert_eq!(sum(|c| c.xors), flat_census.xors);
+            assert_eq!(sum(|c| c.ands), flat_census.ands);
+            assert_eq!(sum(|c| c.ors), flat_census.ors);
+            assert_eq!(sum(|c| c.nots), flat_census.nots);
+        }
+    }
+
+    #[test]
+    fn early_columns_carry_the_arbiter_weight() {
+        // Column (0,0) hosts the sp(m) arbiter — the largest; the final
+        // column hosts only sp(1)'s (no arbiter gates at all).
+        let pipe = PipelinedBnb::new(4, 0);
+        let cols = pipe.column_census();
+        let arbiter_gates = |c: &crate::netlist::GateCensus| c.xors + c.ands + c.ors + c.nots;
+        assert!(arbiter_gates(&cols[0]) > 0);
+        let last = cols.last().unwrap();
+        // sp(1) columns: controls are wires (constant flag), so the only
+        // logic is the switch muxes plus the control XOR with a constant…
+        // which the builder still emits as an XOR per switch.
+        assert!(
+            arbiter_gates(last) <= pipe.inputs(),
+            "final column is near-mux-only"
+        );
+        assert!(arbiter_gates(&cols[0]) > arbiter_gates(last));
+    }
+
+    #[test]
+    fn columns_expose_structure() {
+        let pipe = PipelinedBnb::new(3, 0);
+        let cols = pipe.columns();
+        assert_eq!(cols.len(), 6);
+        assert_eq!((cols[0].main_stage, cols[0].internal_stage), (0, 0));
+        assert_eq!((cols[5].main_stage, cols[5].internal_stage), (2, 0));
+        // Every column is N*q in, N*q out.
+        for c in cols {
+            assert_eq!(c.netlist.input_count(), 8 * 3);
+            assert_eq!(c.netlist.output_count(), 8 * 3);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Assumption-violation injection and detection (system S24).
+//!
+//! The paper's routing guarantee rests on an input assumption (§4): the
+//! inputs are a permutation, so every splitter sees a balanced bit vector.
+//! This module injects violations — duplicate destinations, out-of-range
+//! addresses — and classifies how the network reacts under the strict and
+//! permissive policies, demonstrating that the library never *silently*
+//! mis-routes when asked to validate.
+
+use bnb_core::error::RouteError;
+use bnb_core::network::{BnbNetwork, RoutePolicy};
+use bnb_topology::perm::Permutation;
+use bnb_topology::record::{records_for_permutation, Record};
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// A fault to inject into otherwise-valid permutation traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Fault {
+    /// Overwrite input `line`'s destination with input `(line+1) % n`'s —
+    /// creating a duplicate and leaving one destination unserved.
+    DuplicateDestination {
+        /// The input line to corrupt.
+        line: usize,
+    },
+    /// Set input `line`'s destination out of range (`n`).
+    OutOfRangeDestination {
+        /// The input line to corrupt.
+        line: usize,
+    },
+}
+
+/// How a routing attempt on faulty traffic ended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Outcome {
+    /// The fault was caught before any routing (input validation).
+    DetectedAtInput(String),
+    /// The fault was caught mid-route by a splitter balance check.
+    DetectedAtSplitter {
+        /// Main-network stage of the detecting splitter.
+        main_stage: usize,
+        /// Internal stage of the detecting splitter.
+        internal_stage: usize,
+    },
+    /// The network routed the traffic; `misdelivered` records did not land
+    /// on their destination (permissive hardware semantics).
+    Routed {
+        /// Records whose output line differs from their destination.
+        misdelivered: usize,
+    },
+}
+
+/// Applies a fault to a record vector.
+///
+/// # Panics
+///
+/// Panics if the fault's `line` is out of range.
+pub fn inject(records: &mut [Record], fault: Fault) {
+    let n = records.len();
+    match fault {
+        Fault::DuplicateDestination { line } => {
+            assert!(line < n, "fault line out of range");
+            let other = records[(line + 1) % n];
+            records[line] = Record::new(other.dest(), records[line].data());
+        }
+        Fault::OutOfRangeDestination { line } => {
+            assert!(line < n, "fault line out of range");
+            records[line] = Record::new(n, records[line].data());
+        }
+    }
+}
+
+/// Routes faulty traffic and classifies the outcome.
+pub fn classify(network: &BnbNetwork, records: &[Record]) -> Outcome {
+    match network.route(records) {
+        Ok(out) => Outcome::Routed {
+            misdelivered: out
+                .iter()
+                .enumerate()
+                .filter(|(j, r)| r.dest() != *j)
+                .count(),
+        },
+        Err(RouteError::UnbalancedSplitter {
+            main_stage,
+            internal_stage,
+            ..
+        }) => Outcome::DetectedAtSplitter {
+            main_stage,
+            internal_stage,
+        },
+        Err(e) => Outcome::DetectedAtInput(e.to_string()),
+    }
+}
+
+/// Runs a fault-injection campaign: for `trials` random permutations,
+/// inject a duplicate-destination fault at a random line and classify under
+/// both policies. Returns `(strict_detected, permissive_misroutes)`.
+pub fn campaign<R: Rng + ?Sized>(m: usize, trials: usize, rng: &mut R) -> (usize, usize) {
+    let n = 1usize << m;
+    let strict = BnbNetwork::builder(m)
+        .data_width(32)
+        .policy(RoutePolicy::Strict)
+        .build();
+    let permissive = BnbNetwork::builder(m)
+        .data_width(32)
+        .policy(RoutePolicy::Permissive)
+        .build();
+    let mut strict_detected = 0usize;
+    let mut permissive_misroutes = 0usize;
+    for _ in 0..trials {
+        let p = Permutation::random(n, rng);
+        let mut records = records_for_permutation(&p);
+        inject(
+            &mut records,
+            Fault::DuplicateDestination {
+                line: rng.random_range(0..n),
+            },
+        );
+        match classify(&strict, &records) {
+            Outcome::DetectedAtInput(_) | Outcome::DetectedAtSplitter { .. } => {
+                strict_detected += 1;
+            }
+            Outcome::Routed { .. } => {}
+        }
+        if let Outcome::Routed { misdelivered } = classify(&permissive, &records) {
+            permissive_misroutes += misdelivered.min(1);
+        }
+    }
+    (strict_detected, permissive_misroutes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn duplicate_fault_is_always_detected_in_strict_mode() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let (detected, _) = campaign(4, 50, &mut rng);
+        assert_eq!(detected, 50, "strict mode must catch every duplicate");
+    }
+
+    #[test]
+    fn permissive_mode_misroutes_instead_of_failing() {
+        let net = BnbNetwork::builder(3)
+            .policy(RoutePolicy::Permissive)
+            .build();
+        let p = Permutation::identity(8);
+        let mut records = records_for_permutation(&p);
+        inject(&mut records, Fault::DuplicateDestination { line: 0 });
+        match classify(&net, &records) {
+            Outcome::Routed { misdelivered } => assert!(misdelivered >= 1),
+            other => panic!("permissive mode must route, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_detected_under_both_policies() {
+        for policy in [RoutePolicy::Strict, RoutePolicy::Permissive] {
+            let net = BnbNetwork::builder(3).policy(policy).build();
+            let mut records = records_for_permutation(&Permutation::identity(8));
+            inject(&mut records, Fault::OutOfRangeDestination { line: 3 });
+            match classify(&net, &records) {
+                Outcome::DetectedAtInput(msg) => assert!(msg.contains("does not fit")),
+                other => panic!("expected input detection, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn valid_traffic_routes_cleanly() {
+        let net = BnbNetwork::builder(3).data_width(32).build();
+        let records = records_for_permutation(&Permutation::identity(8));
+        assert_eq!(
+            classify(&net, &records),
+            Outcome::Routed { misdelivered: 0 }
+        );
+    }
+
+    #[test]
+    fn inject_duplicate_actually_duplicates() {
+        let mut records = records_for_permutation(&Permutation::identity(4));
+        inject(&mut records, Fault::DuplicateDestination { line: 2 });
+        assert_eq!(records[2].dest(), records[3].dest());
+    }
+}

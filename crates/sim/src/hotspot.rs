@@ -1,0 +1,155 @@
+//! Hot-spot traffic analysis: how throughput degrades when a fraction of
+//! all cells targets a single output.
+//!
+//! A permutation network serializes at a contended output no matter how
+//! good the fabric is — the classic hot-spot observation (Pfister & Norton
+//! 1985). This module measures the degradation on the real
+//! scheduler+fabric stack: with hot-spot fraction `h`, the hot output can
+//! serve only one cell per round, so sustainable per-input throughput is
+//! bounded by the non-hot offer plus an equal share of the hot service,
+//! `(1−h) + 1/N` — which the measurements track from below.
+
+use bnb_core::error::RouteError;
+use bnb_core::network::BnbNetwork;
+use bnb_topology::record::Record;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::scheduler::{QueueDiscipline, VoqSwitch};
+
+/// One measured hot-spot point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HotspotPoint {
+    /// Fraction of cells aimed at the hot output.
+    pub fraction: f64,
+    /// Delivered throughput per input per round (under saturation offers).
+    pub delivered: f64,
+    /// The analytic upper bound `(1−h) + 1/N` per input.
+    pub bound: f64,
+}
+
+/// Measures saturated throughput with hot-spot fraction `fraction` of all
+/// cells destined to output 0 (the rest uniform).
+///
+/// # Errors
+///
+/// Propagates fabric errors (none occur for validated traffic).
+///
+/// # Panics
+///
+/// Panics if `fraction` is not within `0.0..=1.0`.
+pub fn measure<R: Rng + ?Sized>(
+    m: usize,
+    discipline: QueueDiscipline,
+    fraction: f64,
+    rounds: usize,
+    rng: &mut R,
+) -> Result<HotspotPoint, RouteError> {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
+    let n = 1usize << m;
+    let mut sw = VoqSwitch::new(BnbNetwork::new(m), discipline);
+    let mut delivered_before = 0usize;
+    let mut total = 0usize;
+    for _ in 0..rounds {
+        for input in 0..n {
+            let dest = if rng.random_bool(fraction) {
+                0
+            } else {
+                rng.random_range(0..n)
+            };
+            sw.offer(input, Record::new(dest, 0))?;
+        }
+        sw.step()?;
+        total += sw.delivered().len() - delivered_before;
+        delivered_before = sw.delivered().len();
+    }
+    let nf = n as f64;
+    Ok(HotspotPoint {
+        fraction,
+        delivered: total as f64 / (rounds as f64 * nf),
+        bound: ((1.0 - fraction) + 1.0 / nf).min(1.0),
+    })
+}
+
+/// Sweeps hot-spot fractions.
+///
+/// # Errors
+///
+/// Propagates fabric errors from [`measure`].
+pub fn sweep<R: Rng + ?Sized>(
+    m: usize,
+    discipline: QueueDiscipline,
+    fractions: &[f64],
+    rounds: usize,
+    rng: &mut R,
+) -> Result<Vec<HotspotPoint>, RouteError> {
+    fractions
+        .iter()
+        .map(|&f| measure(m, discipline, f, rounds, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn throughput_respects_the_hot_spot_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for f in [0.0, 0.2, 0.5, 1.0] {
+            let p = measure(4, QueueDiscipline::Voq, f, 600, &mut rng).unwrap();
+            assert!(
+                p.delivered <= p.bound * 1.15,
+                "fraction {f}: delivered {} exceeds bound {} (+15% slack)",
+                p.delivered,
+                p.bound
+            );
+        }
+    }
+
+    #[test]
+    fn full_hot_spot_serializes_to_one_per_round() {
+        // Everything to output 0: exactly one cell per round can leave.
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = measure(3, QueueDiscipline::Voq, 1.0, 300, &mut rng).unwrap();
+        assert!((p.delivered - 1.0 / 8.0).abs() < 0.01, "{p:?}");
+        assert!((p.bound - 1.0 / 8.0).abs() < 1e-12, "{p:?}");
+    }
+
+    #[test]
+    fn degradation_is_monotone_in_the_fraction() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = sweep(
+            4,
+            QueueDiscipline::Voq,
+            &[0.0, 0.3, 0.7, 1.0],
+            500,
+            &mut rng,
+        )
+        .unwrap();
+        for w in pts.windows(2) {
+            assert!(
+                w[1].delivered <= w[0].delivered + 0.03,
+                "throughput must not improve with a hotter spot: {w:?}"
+            );
+        }
+        // No hot spot beats heavy hot spot clearly.
+        assert!(pts[0].delivered > 2.0 * pts[3].delivered);
+    }
+
+    #[test]
+    fn fifo_suffers_at_least_as_much_as_voq() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let voq = measure(4, QueueDiscipline::Voq, 0.3, 500, &mut rng).unwrap();
+        let fifo = measure(4, QueueDiscipline::Fifo, 0.3, 500, &mut rng).unwrap();
+        assert!(
+            fifo.delivered <= voq.delivered + 0.02,
+            "fifo {fifo:?} vs voq {voq:?}"
+        );
+    }
+}

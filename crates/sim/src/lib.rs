@@ -1,0 +1,31 @@
+//! Cycle-level simulation substrate for the BNB fabric.
+//!
+//! The paper motivates permutation networks as bandwidth providers for
+//! switching systems and parallel processors (§1, refs \[1, 2\]). This
+//! crate turns the combinational router of `bnb-core` into a *system*:
+//!
+//! - [`workload`] — the classic parallel-processing permutation workloads
+//!   (matrix transpose, bit reversal, perfect shuffle, Lawrie's strided
+//!   vector access) plus random and partial traffic generators.
+//! - [`pipeline`] — a registered-stage timing model: one batch of `N`
+//!   records per cycle enters the fabric, each switch column is one
+//!   pipeline stage, so latency is `m(m+1)/2` cycles and steady-state
+//!   throughput is one permutation per cycle.
+//! - [`scheduler`] — an input-queued switch around the fabric: FIFO and
+//!   virtual-output-queue disciplines decompose arbitrary (bursty,
+//!   many-to-one) traffic into permutation rounds, quantifying HOL
+//!   blocking and scheduling efficiency against the congestion bound.
+//! - [`faults`] — assumption-violation injection (duplicate destinations,
+//!   out-of-range addresses) and classification of how the network reacts
+//!   under strict vs permissive policies.
+
+pub mod faults;
+pub mod hotspot;
+pub mod loadsweep;
+pub mod pipeline;
+pub mod scheduler;
+pub mod workload;
+
+pub use pipeline::{PipelineStats, PipelinedFabric};
+pub use scheduler::{QueueDiscipline, ScheduleStats, VoqSwitch};
+pub use workload::Workload;

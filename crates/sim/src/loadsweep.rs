@@ -1,0 +1,196 @@
+//! Open-loop load sweeps: offered load vs throughput and queueing delay.
+//!
+//! The switch built around the BNB fabric in [`crate::scheduler`] is an
+//! input-queued switch, so it inherits the classic input-queueing results:
+//! with FIFO queues and uniform traffic, head-of-line blocking saturates
+//! throughput near `2 − √2 ≈ 0.586` (Karol/Hluchyj/Morgan 1987), while
+//! virtual output queues push saturation toward 1. This module measures
+//! those curves *on the actual fabric* — every delivered cell crossed a
+//! real self-routed BNB pass — which both stress-tests the network under
+//! sustained random traffic and reproduces a known result as an end-to-end
+//! sanity check of the whole stack.
+
+use bnb_core::error::RouteError;
+use bnb_core::network::BnbNetwork;
+use bnb_topology::record::Record;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::scheduler::{QueueDiscipline, VoqSwitch};
+
+/// One measured point of a load sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadPoint {
+    /// Offered load per input per round (arrival probability).
+    pub offered: f64,
+    /// Delivered throughput per input per round.
+    pub delivered: f64,
+    /// Mean queueing + fabric delay of delivered cells, in rounds.
+    pub mean_delay: f64,
+    /// Cells still queued when the measurement window closed.
+    pub final_backlog: usize,
+}
+
+/// Runs an open-loop experiment: for `rounds` rounds, every input receives
+/// a cell with probability `offered` (uniform random destination), and the
+/// switch serves one fabric round. Returns the measured point.
+///
+/// # Errors
+///
+/// Propagates fabric errors (none occur for validated uniform traffic).
+///
+/// # Panics
+///
+/// Panics if `offered` is not within `0.0..=1.0`.
+pub fn measure<R: Rng + ?Sized>(
+    m: usize,
+    discipline: QueueDiscipline,
+    offered: f64,
+    rounds: usize,
+    rng: &mut R,
+) -> Result<LoadPoint, RouteError> {
+    assert!(
+        (0.0..=1.0).contains(&offered),
+        "offered load must be in [0, 1]"
+    );
+    let n = 1usize << m;
+    let mut sw = VoqSwitch::new(BnbNetwork::new(m), discipline);
+    let mut enqueue_round: Vec<usize> = Vec::new();
+    let mut seen_delivered = 0usize;
+    let mut total_delay = 0f64;
+    let mut delivered_cells = 0usize;
+    for round in 0..rounds {
+        for input in 0..n {
+            if rng.random_bool(offered) {
+                let id = enqueue_round.len() as u64;
+                enqueue_round.push(round);
+                sw.offer(input, Record::new(rng.random_range(0..n), id))?;
+            }
+        }
+        sw.step()?;
+        let delivered = sw.delivered();
+        for cell in &delivered[seen_delivered..] {
+            let born = enqueue_round[cell.data() as usize];
+            total_delay += (round - born) as f64 + 1.0;
+            delivered_cells += 1;
+        }
+        seen_delivered = delivered.len();
+    }
+    Ok(LoadPoint {
+        offered,
+        delivered: delivered_cells as f64 / (rounds as f64 * n as f64),
+        mean_delay: if delivered_cells == 0 {
+            0.0
+        } else {
+            total_delay / delivered_cells as f64
+        },
+        final_backlog: sw.backlog(),
+    })
+}
+
+/// Sweeps a list of offered loads.
+///
+/// # Errors
+///
+/// Propagates fabric errors from [`measure`].
+pub fn sweep<R: Rng + ?Sized>(
+    m: usize,
+    discipline: QueueDiscipline,
+    loads: &[f64],
+    rounds: usize,
+    rng: &mut R,
+) -> Result<Vec<LoadPoint>, RouteError> {
+    loads
+        .iter()
+        .map(|&l| measure(m, discipline, l, rounds, rng))
+        .collect()
+}
+
+/// Estimates the saturation throughput: the delivered rate under
+/// overload (offered = 1.0).
+///
+/// # Errors
+///
+/// Propagates fabric errors from [`measure`].
+pub fn saturation_throughput<R: Rng + ?Sized>(
+    m: usize,
+    discipline: QueueDiscipline,
+    rounds: usize,
+    rng: &mut R,
+) -> Result<f64, RouteError> {
+    Ok(measure(m, discipline, 1.0, rounds, rng)?.delivered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn light_load_is_delivered_with_small_delay() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for d in [QueueDiscipline::Fifo, QueueDiscipline::Voq] {
+            let p = measure(4, d, 0.1, 800, &mut rng).unwrap();
+            assert!(
+                (p.delivered - 0.1).abs() < 0.02,
+                "{d:?}: light load must pass through, got {}",
+                p.delivered
+            );
+            assert!(
+                p.mean_delay < 3.0,
+                "{d:?}: delay {} too high at light load",
+                p.mean_delay
+            );
+        }
+    }
+
+    #[test]
+    fn fifo_saturates_near_the_karol_bound() {
+        // Theory: 2 − √2 ≈ 0.586 for N → ∞ under uniform traffic; finite N
+        // is a little higher (0.632 at N = 8, 0.61 at N = 16). Accept a
+        // generous band around it.
+        let mut rng = StdRng::seed_from_u64(2);
+        let sat = saturation_throughput(4, QueueDiscipline::Fifo, 1500, &mut rng).unwrap();
+        assert!(
+            (0.55..0.68).contains(&sat),
+            "FIFO saturation should sit near 2-sqrt(2): got {sat}"
+        );
+    }
+
+    #[test]
+    fn voq_saturation_beats_fifo() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let fifo = saturation_throughput(4, QueueDiscipline::Fifo, 1000, &mut rng).unwrap();
+        let voq = saturation_throughput(4, QueueDiscipline::Voq, 1000, &mut rng).unwrap();
+        assert!(
+            voq > fifo + 0.1,
+            "VOQ ({voq}) must clearly out-saturate FIFO ({fifo})"
+        );
+        assert!(
+            voq > 0.8,
+            "greedy VOQ matching should exceed 80% on uniform traffic"
+        );
+    }
+
+    #[test]
+    fn delay_grows_with_load_below_saturation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pts = sweep(4, QueueDiscipline::Voq, &[0.2, 0.5, 0.8], 800, &mut rng).unwrap();
+        assert!(
+            pts[0].mean_delay < pts[2].mean_delay,
+            "delay must grow with load: {pts:?}"
+        );
+        // Below saturation, throughput tracks offered load.
+        for p in &pts {
+            assert!((p.delivered - p.offered).abs() < 0.05, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn overload_builds_backlog() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = measure(3, QueueDiscipline::Fifo, 1.0, 400, &mut rng).unwrap();
+        assert!(p.final_backlog > 100, "overload must leave a queue: {p:?}");
+    }
+}

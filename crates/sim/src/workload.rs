@@ -1,0 +1,245 @@
+//! Permutation workloads from the parallel-processing literature.
+//!
+//! These are the access patterns an interconnection network in an array
+//! processor must realize (paper §1; Lawrie \[2\]): matrix transpose for
+//! block algorithms, bit reversal for FFTs, perfect shuffle for
+//! shuffle-exchange algorithms, and `p`-ordered vector access with stride.
+
+use bnb_topology::bitops::{bit_reverse, log2_exact, shuffle};
+use bnb_topology::perm::Permutation;
+use bnb_topology::record::Record;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// A named permutation workload over `n = 2^m` lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Workload {
+    /// The identity (no data movement; baseline for overhead).
+    Identity,
+    /// Matrix transpose of a `√n × √n` element grid stored row-major:
+    /// element `(r, c)` moves to `(c, r)`. Requires even `m`.
+    Transpose,
+    /// FFT bit-reversal reordering.
+    BitReversal,
+    /// Perfect-shuffle reordering (one left rotation of the index bits).
+    PerfectShuffle,
+    /// Lawrie's strided vector access: `i → (stride·i + offset) mod n`.
+    /// A permutation iff `stride` is odd (coprime with `2^m`).
+    Stride {
+        /// Multiplicative stride (must be odd).
+        stride: usize,
+        /// Additive offset.
+        offset: usize,
+    },
+    /// Full reversal `i → n−1−i` (worst case for locality).
+    Reversal,
+}
+
+impl Workload {
+    /// Materializes the workload as a [`Permutation`] on `n` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two, if `Transpose` is requested
+    /// with odd `log2 n`, or if `Stride` has an even stride.
+    pub fn permutation(&self, n: usize) -> Permutation {
+        let m = log2_exact(n);
+        match *self {
+            Workload::Identity => Permutation::identity(n),
+            Workload::Transpose => {
+                assert!(
+                    m.is_multiple_of(2),
+                    "transpose needs a square grid (even log2 n)"
+                );
+                let side = 1usize << (m / 2);
+                Permutation::from_fn(n, |i| {
+                    let (r, c) = (i / side, i % side);
+                    c * side + r
+                })
+                .expect("transpose is a bijection")
+            }
+            Workload::BitReversal => {
+                Permutation::from_fn(n, |i| bit_reverse(m, i)).expect("bijection")
+            }
+            Workload::PerfectShuffle => {
+                Permutation::from_fn(n, |i| shuffle(m, m, i)).expect("bijection")
+            }
+            Workload::Stride { stride, offset } => {
+                assert!(
+                    stride % 2 == 1,
+                    "stride must be odd to be a permutation mod 2^m"
+                );
+                Permutation::from_fn(n, |i| (stride.wrapping_mul(i) + offset) % n)
+                    .expect("odd stride is a bijection mod 2^m")
+            }
+            Workload::Reversal => Permutation::from_fn(n, |i| n - 1 - i).expect("bijection"),
+        }
+    }
+
+    /// The workload's records: input `i` carries data `i`.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Workload::permutation`].
+    pub fn records(&self, n: usize) -> Vec<Record> {
+        bnb_topology::record::records_for_permutation(&self.permutation(n))
+    }
+
+    /// All workloads applicable at width `n`.
+    pub fn all_for(n: usize) -> Vec<Workload> {
+        let m = log2_exact(n);
+        let mut v = vec![
+            Workload::Identity,
+            Workload::BitReversal,
+            Workload::PerfectShuffle,
+            Workload::Stride {
+                stride: 3,
+                offset: 1,
+            },
+            Workload::Stride {
+                stride: n / 2 + 1,
+                offset: 0,
+            },
+            Workload::Reversal,
+        ];
+        if m.is_multiple_of(2) {
+            v.push(Workload::Transpose);
+        }
+        v
+    }
+}
+
+/// A batch of random permutation traffic: `count` uniformly random
+/// permutations of `n` lines.
+pub fn random_batches<R: Rng + ?Sized>(n: usize, count: usize, rng: &mut R) -> Vec<Permutation> {
+    (0..count).map(|_| Permutation::random(n, rng)).collect()
+}
+
+/// Partial traffic at load factor `rho`: each input is active with
+/// probability `rho`; active inputs receive distinct random destinations.
+/// Returns one `Option<Record>` per input.
+///
+/// # Panics
+///
+/// Panics if `rho` is not within `0.0..=1.0`.
+pub fn partial_traffic<R: Rng + ?Sized>(n: usize, rho: f64, rng: &mut R) -> Vec<Option<Record>> {
+    assert!((0.0..=1.0).contains(&rho), "load factor must be in [0, 1]");
+    let mut dests: Vec<usize> = (0..n).collect();
+    dests.shuffle(rng);
+    let mut next_dest = 0usize;
+    (0..n)
+        .map(|i| {
+            if rng.random_bool(rho) {
+                let d = dests[next_dest];
+                next_dest += 1;
+                Some(Record::new(d, i as u64))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn transpose_moves_rows_to_columns() {
+        let p = Workload::Transpose.permutation(16);
+        // 4x4 grid: element (1, 2) = index 6 goes to (2, 1) = index 9.
+        assert_eq!(p.apply(6), 9);
+        assert!(p.compose(&p).is_identity(), "transpose is an involution");
+    }
+
+    #[test]
+    #[should_panic(expected = "square grid")]
+    fn transpose_requires_even_m() {
+        let _ = Workload::Transpose.permutation(8);
+    }
+
+    #[test]
+    fn bit_reversal_and_reversal_are_involutions() {
+        for wl in [Workload::BitReversal, Workload::Reversal] {
+            let p = wl.permutation(32);
+            assert!(p.compose(&p).is_identity(), "{wl:?}");
+        }
+    }
+
+    #[test]
+    fn stride_generates_permutations_for_odd_strides() {
+        for stride in [1usize, 3, 5, 7, 31] {
+            let p = Workload::Stride { stride, offset: 4 }.permutation(32);
+            assert_eq!(p.len(), 32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be odd")]
+    fn even_stride_is_rejected() {
+        let _ = Workload::Stride {
+            stride: 2,
+            offset: 0,
+        }
+        .permutation(16);
+    }
+
+    #[test]
+    fn perfect_shuffle_rotates_bits_left() {
+        let p = Workload::PerfectShuffle.permutation(8);
+        assert_eq!(p.apply(0b100), 0b001);
+        assert_eq!(p.apply(0b011), 0b110);
+    }
+
+    #[test]
+    fn all_for_skips_transpose_on_odd_m() {
+        assert!(Workload::all_for(8)
+            .iter()
+            .all(|w| *w != Workload::Transpose));
+        assert!(Workload::all_for(16).contains(&Workload::Transpose));
+    }
+
+    #[test]
+    fn records_tag_sources() {
+        let recs = Workload::Reversal.records(4);
+        assert_eq!(recs[0], Record::new(3, 0));
+        assert_eq!(recs[3], Record::new(0, 3));
+    }
+
+    #[test]
+    fn partial_traffic_respects_load_and_uniqueness() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let t = partial_traffic(64, 0.5, &mut rng);
+        let active: Vec<&Record> = t.iter().flatten().collect();
+        assert!(!active.is_empty() && active.len() < 64);
+        let mut dests: Vec<usize> = active.iter().map(|r| r.dest()).collect();
+        dests.sort_unstable();
+        dests.dedup();
+        assert_eq!(dests.len(), active.len(), "destinations must be distinct");
+    }
+
+    #[test]
+    fn partial_traffic_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(partial_traffic(8, 0.0, &mut rng)
+            .iter()
+            .all(Option::is_none));
+        assert!(partial_traffic(8, 1.0, &mut rng)
+            .iter()
+            .all(Option::is_some));
+    }
+
+    #[test]
+    fn random_batches_are_valid() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let batches = random_batches(16, 5, &mut rng);
+        assert_eq!(batches.len(), 5);
+        for b in &batches {
+            assert_eq!(b.len(), 16);
+        }
+    }
+}

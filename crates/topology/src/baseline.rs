@@ -1,0 +1,324 @@
+//! The classic baseline network: a GBN built from plain 2×2 switches with
+//! destination-tag self-routing.
+//!
+//! This is the paper's *starting point* (§2, ref \[12\]), not its
+//! contribution: the plain baseline network is **blocking** — destination-tag
+//! routing fails for most permutations because two packets can demand the
+//! same output of one 2×2 switch. The BNB network exists precisely to fix
+//! this; this module exists to demonstrate the problem and to validate the
+//! shared GBN wiring against an independent implementation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::bitops::paper_bit;
+use crate::error::TopologyError;
+use crate::gbn::Gbn;
+use crate::perm::Permutation;
+use crate::record::{records_for_permutation, Record};
+
+/// A destination-tag routing conflict inside a 2×2 switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Blocked {
+    /// Stage at which the conflict occurred.
+    pub stage: usize,
+    /// Switch index (from the top) within the stage.
+    pub switch: usize,
+    /// Destination of the packet on the upper input.
+    pub upper_dest: usize,
+    /// Destination of the packet on the lower input.
+    pub lower_dest: usize,
+}
+
+impl fmt::Display for Blocked {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "destination-tag conflict at stage {}, switch {}: packets for {} and {} demand the same output",
+            self.stage, self.switch, self.upper_dest, self.lower_dest
+        )
+    }
+}
+
+impl Error for Blocked {}
+
+/// An `N = 2^m`-input baseline network of 2×2 switches.
+///
+/// # Example
+///
+/// ```
+/// use bnb_topology::baseline::BaselineNetwork;
+/// use bnb_topology::perm::Permutation;
+///
+/// let net = BaselineNetwork::with_inputs(8)?;
+/// // The identity is destination-tag routable...
+/// assert!(net.route(&Permutation::identity(8)).is_ok());
+/// // ...but the baseline network is blocking: most permutations are not.
+/// let swap = Permutation::try_from(vec![1, 0, 2, 3, 4, 5, 6, 7])?;
+/// let _ = net.route(&swap); // may or may not block — see `is_admissible`
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineNetwork {
+    gbn: Gbn,
+}
+
+impl BaselineNetwork {
+    /// A baseline network with `2^m` inputs.
+    pub fn new(m: usize) -> Self {
+        BaselineNetwork { gbn: Gbn::new(m) }
+    }
+
+    /// A baseline network with `n` inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NotPowerOfTwo`] if `n` is not a power of two.
+    pub fn with_inputs(n: usize) -> Result<Self, TopologyError> {
+        Ok(BaselineNetwork {
+            gbn: Gbn::with_inputs(n)?,
+        })
+    }
+
+    /// The underlying GBN topology.
+    pub fn gbn(&self) -> &Gbn {
+        &self.gbn
+    }
+
+    /// Number of input lines.
+    pub fn inputs(&self) -> usize {
+        self.gbn.inputs()
+    }
+
+    /// Attempts to route `perm` by destination tags.
+    ///
+    /// At stage `i`, the packet destined for `d` demands the switch output
+    /// whose parity equals paper address bit `i` of `d` (0 = even/upper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Blocked`] describing the first conflicting switch, or —
+    /// wrapped in the outer `Result` — a [`TopologyError::SizeMismatch`] if
+    /// the permutation length differs from the network width.
+    ///
+    /// On success the returned records satisfy `out[j].dest() == j`.
+    #[allow(clippy::type_complexity)]
+    pub fn route(&self, perm: &Permutation) -> Result<Result<Vec<Record>, Blocked>, TopologyError> {
+        let n = self.inputs();
+        if perm.len() != n {
+            return Err(TopologyError::SizeMismatch {
+                expected: n,
+                actual: perm.len(),
+            });
+        }
+        let mut lines = records_for_permutation(perm);
+        let m = self.gbn.m();
+        for stage in 0..m {
+            let mut next = vec![Record::new(0, 0); n];
+            for sw in 0..n / 2 {
+                let upper = lines[2 * sw];
+                let lower = lines[2 * sw + 1];
+                let want_upper = paper_bit(m, upper.dest(), stage);
+                let want_lower = paper_bit(m, lower.dest(), stage);
+                if want_upper == want_lower {
+                    return Ok(Err(Blocked {
+                        stage,
+                        switch: sw,
+                        upper_dest: upper.dest(),
+                        lower_dest: lower.dest(),
+                    }));
+                }
+                // bit 0 -> even (upper) output, bit 1 -> odd (lower) output.
+                if want_upper {
+                    next[2 * sw] = lower;
+                    next[2 * sw + 1] = upper;
+                } else {
+                    next[2 * sw] = upper;
+                    next[2 * sw + 1] = lower;
+                }
+            }
+            if stage + 1 < m {
+                let mut wired = vec![Record::new(0, 0); n];
+                for (j, rec) in next.iter().enumerate() {
+                    wired[self.gbn.next_line(stage, j)] = *rec;
+                }
+                lines = wired;
+            } else {
+                lines = next;
+            }
+        }
+        Ok(Ok(lines))
+    }
+
+    /// `true` if `perm` is destination-tag routable on this network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the permutation length differs from the network width.
+    pub fn is_admissible(&self, perm: &Permutation) -> bool {
+        self.route(perm).expect("size checked by caller").is_ok()
+    }
+
+    /// The unique path of a *single* packet from input `src` to output
+    /// `dst`, as the line index occupied at the entry of every stage plus
+    /// the final output line. A lone packet never blocks — the baseline
+    /// network has full single-path accessibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn trace_path(&self, src: usize, dst: usize) -> Vec<usize> {
+        let n = self.inputs();
+        assert!(src < n && dst < n, "line indices must be < N");
+        let m = self.gbn.m();
+        let mut path = vec![src];
+        let mut line = src;
+        for stage in 0..m {
+            let exit_parity = paper_bit(m, dst, stage);
+            let switch_base = line & !1;
+            let out = switch_base | usize::from(exit_parity);
+            line = if stage + 1 < m {
+                self.gbn.next_line(stage, out)
+            } else {
+                out
+            };
+            path.push(line);
+        }
+        path
+    }
+
+    /// Counts how many of the `n!` permutations are admissible. Intended
+    /// for tiny networks (`n <= 8`) in tests and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n! > u64::MAX` would overflow (n > 20).
+    pub fn count_admissible(&self) -> u64 {
+        let n = self.inputs();
+        let total: u64 = (1..=n as u64).product();
+        (0..total)
+            .filter(|&k| self.is_admissible(&Permutation::nth_lexicographic(n, k)))
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_packets_always_route() {
+        let net = BaselineNetwork::with_inputs(16).unwrap();
+        for src in 0..16 {
+            for dst in 0..16 {
+                let path = net.trace_path(src, dst);
+                assert_eq!(path.len(), 5); // m = 4 stages + source
+                assert_eq!(
+                    *path.last().unwrap(),
+                    dst,
+                    "packet {src}->{dst} misdelivered"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_reversal_is_admissible() {
+        // The baseline network's "natural" permutation: with all switches
+        // straight it realizes the bit-reversal, so destination tags for the
+        // bit-reversal never conflict. (The identity, by contrast, blocks
+        // for m >= 2 — see `identity_blocks_for_m_at_least_2`.)
+        for m in 1..=6 {
+            let net = BaselineNetwork::new(m);
+            let n = net.inputs();
+            let rev = Permutation::from_fn(n, |i| crate::bitops::bit_reverse(m, i)).unwrap();
+            let out = net.route(&rev).unwrap().unwrap();
+            assert!(crate::record::all_delivered(&out));
+        }
+    }
+
+    #[test]
+    fn identity_blocks_for_m_at_least_2() {
+        // Inputs 0 and 1 share a stage-0 switch but both have MSB 0, so both
+        // demand the even output: the plain baseline cannot even route the
+        // identity. This is the motivating deficiency the BNB network fixes.
+        for m in 2..=5 {
+            let net = BaselineNetwork::new(m);
+            let res = net.route(&Permutation::identity(net.inputs())).unwrap();
+            let b = res.unwrap_err();
+            assert_eq!(b.stage, 0);
+            assert_eq!(b.switch, 0);
+            assert_eq!((b.upper_dest, b.lower_dest), (0, 1));
+        }
+    }
+
+    #[test]
+    fn successful_routes_deliver_correctly() {
+        let net = BaselineNetwork::with_inputs(8).unwrap();
+        let mut delivered = 0;
+        for k in 0..40_320 {
+            let p = Permutation::nth_lexicographic(8, k);
+            if let Ok(out) = net.route(&p).unwrap() {
+                delivered += 1;
+                assert!(crate::record::all_delivered(&out), "perm {p} mis-delivered");
+            }
+        }
+        assert!(delivered > 0);
+    }
+
+    #[test]
+    fn baseline_is_blocking() {
+        // The whole point: the plain baseline network cannot route all
+        // permutations. For N = 4 there are 4 switches, so at most
+        // 2^4 = 16 < 24 switch settings — at least 8 permutations block.
+        let net = BaselineNetwork::with_inputs(4).unwrap();
+        let admissible = net.count_admissible();
+        assert!(admissible < 24, "baseline must be blocking");
+        assert!(admissible > 0);
+        // In fact exactly 2^(m*N/2) distinct settings each realize a distinct
+        // permutation here: every setting of the 4 switches yields a
+        // permutation, so exactly 16 are admissible.
+        assert_eq!(admissible, 16);
+    }
+
+    #[test]
+    fn blocked_error_identifies_conflict() {
+        let net = BaselineNetwork::with_inputs(4).unwrap();
+        // Find a blocked permutation and check the error payload.
+        let mut found = false;
+        for k in 0..24 {
+            let p = Permutation::nth_lexicographic(4, k);
+            if let Err(b) = net.route(&p).unwrap() {
+                found = true;
+                assert!(b.stage < 2);
+                assert!(b.switch < 2);
+                let msg = b.to_string();
+                assert!(msg.contains("conflict"));
+                break;
+            }
+        }
+        assert!(found, "some permutation must block on N=4 baseline");
+    }
+
+    #[test]
+    fn route_rejects_wrong_size() {
+        let net = BaselineNetwork::with_inputs(8).unwrap();
+        let err = net.route(&Permutation::identity(4)).unwrap_err();
+        assert_eq!(
+            err,
+            TopologyError::SizeMismatch {
+                expected: 8,
+                actual: 4
+            }
+        );
+    }
+
+    #[test]
+    fn admissible_count_matches_switch_settings_for_n8() {
+        // For the baseline network every switch-setting vector realizes a
+        // distinct permutation, so admissible = 2^(#switches) when
+        // 2^(#switches) <= n!. For N = 8: 12 switches -> 4096.
+        let net = BaselineNetwork::with_inputs(8).unwrap();
+        assert_eq!(net.count_admissible(), 4096);
+    }
+}

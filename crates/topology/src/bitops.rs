@@ -1,0 +1,281 @@
+//! Index/bit transforms underlying baseline-class networks.
+//!
+//! The central operation is the paper's `2^k`-unshuffle (Definition 1): for
+//! an `m`-bit line index `i = (b_{m-1} … b_k  b_{k-1} … b_1 b_0)`,
+//!
+//! ```text
+//! U_k^m(i) = (b_{m-1} … b_k  b_0  b_{k-1} … b_1)
+//! ```
+//!
+//! i.e. the low `k` bits are rotated **right** by one position while the high
+//! `m-k` bits stay put. Between stage `i` and stage `i+1` of a baseline
+//! network the wiring is `U_{m-i}^m`, which keeps the top `i` bits (the
+//! sub-network identifier) fixed and unshuffles within each `2^{m-i}`-line
+//! block — this is what confines traffic to recursively smaller sub-networks.
+//!
+//! The paper indexes address bits MSB-first (`b^0(I)` is the most significant
+//! address bit). [`paper_bit`] translates that convention to machine bit
+//! positions.
+
+/// The `2^k`-unshuffle of the `m`-bit index `i` (paper Definition 1):
+/// rotates the low `k` bits of `i` right by one.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `k > m`, `m > usize::BITS as usize`, or
+/// `i >= 2^m`.
+///
+/// # Example
+///
+/// ```
+/// use bnb_topology::bitops::unshuffle;
+/// // m = 3, k = 3: 011 -> 101 (b0=1 moves to the top of the low field)
+/// assert_eq!(unshuffle(3, 3, 0b011), 0b101);
+/// // k = 2 leaves bit 2 alone: 110 -> 101
+/// assert_eq!(unshuffle(2, 3, 0b110), 0b101);
+/// ```
+pub fn unshuffle(k: usize, m: usize, i: usize) -> usize {
+    check_args(k, m, i);
+    let low_mask = (1usize << k) - 1;
+    let high = i & !low_mask;
+    let low = i & low_mask;
+    let rotated = (low >> 1) | ((low & 1) << (k - 1));
+    high | rotated
+}
+
+/// The `2^k`-shuffle of the `m`-bit index `i`: the inverse of
+/// [`unshuffle`], rotating the low `k` bits left by one.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`unshuffle`].
+///
+/// # Example
+///
+/// ```
+/// use bnb_topology::bitops::{shuffle, unshuffle};
+/// for i in 0..8 {
+///     assert_eq!(shuffle(3, 3, unshuffle(3, 3, i)), i);
+/// }
+/// ```
+pub fn shuffle(k: usize, m: usize, i: usize) -> usize {
+    check_args(k, m, i);
+    let low_mask = (1usize << k) - 1;
+    let high = i & !low_mask;
+    let low = i & low_mask;
+    let rotated = ((low << 1) & low_mask) | (low >> (k - 1));
+    high | rotated
+}
+
+/// Reverses the low `m` bits of `i` (the bit-reversal permutation used by
+/// FFT data layouts and as an adversarial wiring in ablation A2).
+///
+/// # Panics
+///
+/// Panics if `m > usize::BITS as usize` or `i >= 2^m`.
+///
+/// # Example
+///
+/// ```
+/// use bnb_topology::bitops::bit_reverse;
+/// assert_eq!(bit_reverse(3, 0b001), 0b100);
+/// assert_eq!(bit_reverse(3, 0b110), 0b011);
+/// ```
+pub fn bit_reverse(m: usize, i: usize) -> usize {
+    assert!(m <= usize::BITS as usize, "m must fit in usize");
+    assert!(
+        m == usize::BITS as usize || i < (1usize << m),
+        "index must be < 2^m"
+    );
+    let mut out = 0usize;
+    for b in 0..m {
+        if i & (1 << b) != 0 {
+            out |= 1 << (m - 1 - b);
+        }
+    }
+    out
+}
+
+/// The butterfly (cube) exchange on dimension `d`: flips bit `d` of `i`.
+///
+/// # Panics
+///
+/// Panics if `d >= m` or `i >= 2^m`.
+pub fn cube_exchange(d: usize, m: usize, i: usize) -> usize {
+    assert!(d < m, "dimension must be < m");
+    assert!(i < (1usize << m), "index must be < 2^m");
+    i ^ (1 << d)
+}
+
+/// Paper address bit `k` of `addr`, where bit 0 is the **most significant**
+/// of `m` address bits (the paper's `b^k_{i,j}(I)` convention, §3.2).
+///
+/// # Panics
+///
+/// Panics if `k >= m` or `addr >= 2^m`.
+///
+/// # Example
+///
+/// ```
+/// use bnb_topology::bitops::paper_bit;
+/// // addr 0b110 with m = 3: paper bit 0 (MSB) is 1, bit 2 (LSB) is 0.
+/// assert_eq!(paper_bit(3, 0b110, 0), true);
+/// assert_eq!(paper_bit(3, 0b110, 2), false);
+/// ```
+pub fn paper_bit(m: usize, addr: usize, k: usize) -> bool {
+    assert!(k < m, "paper bit index must be < m");
+    assert!(addr < (1usize << m), "address must be < 2^m");
+    (addr >> (m - 1 - k)) & 1 == 1
+}
+
+/// Base-2 logarithm of a power of two.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+pub fn log2_exact(n: usize) -> usize {
+    assert!(n.is_power_of_two(), "{n} is not a power of two");
+    n.trailing_zeros() as usize
+}
+
+fn check_args(k: usize, m: usize, i: usize) {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(k <= m, "k must be <= m");
+    assert!(m <= usize::BITS as usize, "m must fit in usize");
+    assert!(
+        m == usize::BITS as usize || i < (1usize << m),
+        "index must be < 2^m"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perm::Permutation;
+
+    #[test]
+    fn unshuffle_matches_paper_definition() {
+        // Paper: U_k^m(b_{m-1}..b_k b_{k-1}..b_0) = (b_{m-1}..b_k b_0 b_{k-1}..b_1).
+        // m = 4, k = 3, i = 0b1_011: high bit 1 kept; low 011 -> 101.
+        assert_eq!(unshuffle(3, 4, 0b1011), 0b1101);
+        // k = m = 4: 0001 -> 1000 (even/odd split: odd lines go to top half? no:
+        // b0 becomes the MSB of the rotated field).
+        assert_eq!(unshuffle(4, 4, 0b0001), 0b1000);
+        assert_eq!(unshuffle(4, 4, 0b0010), 0b0001);
+    }
+
+    #[test]
+    fn unshuffle_is_a_permutation_for_all_k() {
+        for m in 1..=6 {
+            for k in 1..=m {
+                let images: Vec<usize> = (0..(1 << m)).map(|i| unshuffle(k, m, i)).collect();
+                assert!(
+                    Permutation::try_from(images).is_ok(),
+                    "U_{k}^{m} must be a bijection"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_inverts_unshuffle() {
+        for m in 1..=6 {
+            for k in 1..=m {
+                for i in 0..(1usize << m) {
+                    assert_eq!(shuffle(k, m, unshuffle(k, m, i)), i);
+                    assert_eq!(unshuffle(k, m, shuffle(k, m, i)), i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unshuffle_preserves_high_bits() {
+        // U_{m-i}^m must keep the top i bits fixed: sub-network confinement.
+        let m = 5;
+        for stage in 0..m {
+            let k = m - stage;
+            for i in 0..(1usize << m) {
+                let j = unshuffle(k, m, i);
+                assert_eq!(i >> k, j >> k, "top bits must be preserved");
+            }
+        }
+    }
+
+    #[test]
+    fn full_unshuffle_sends_even_to_top_half() {
+        // Even-indexed lines land in the top half, odd in the bottom half:
+        // this is what routes bit-sorted outputs into the two sub-networks.
+        let m = 4;
+        for i in 0..(1usize << m) {
+            let j = unshuffle(m, m, i);
+            if i % 2 == 0 {
+                assert!(j < (1 << (m - 1)), "even line {i} must go to top half");
+            } else {
+                assert!(j >= (1 << (m - 1)), "odd line {i} must go to bottom half");
+            }
+        }
+    }
+
+    #[test]
+    fn unshuffle_k1_is_identity() {
+        for i in 0..16 {
+            assert_eq!(unshuffle(1, 4, i), i);
+        }
+    }
+
+    #[test]
+    fn bit_reverse_is_involution() {
+        for m in 1..=8 {
+            for i in 0..(1usize << m) {
+                assert_eq!(bit_reverse(m, bit_reverse(m, i)), i);
+            }
+        }
+    }
+
+    #[test]
+    fn cube_exchange_flips_one_bit() {
+        assert_eq!(cube_exchange(0, 3, 0b010), 0b011);
+        assert_eq!(cube_exchange(2, 3, 0b010), 0b110);
+        // involution
+        for d in 0..3 {
+            for i in 0..8 {
+                assert_eq!(cube_exchange(d, 3, cube_exchange(d, 3, i)), i);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_bit_is_msb_first() {
+        let addr = 0b0110;
+        assert!(!paper_bit(4, addr, 0));
+        assert!(paper_bit(4, addr, 1));
+        assert!(paper_bit(4, addr, 2));
+        assert!(!paper_bit(4, addr, 3));
+    }
+
+    #[test]
+    fn log2_exact_works_on_powers() {
+        assert_eq!(log2_exact(1), 0);
+        assert_eq!(log2_exact(2), 1);
+        assert_eq!(log2_exact(1024), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn log2_exact_rejects_non_powers() {
+        let _ = log2_exact(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn unshuffle_rejects_k_zero() {
+        let _ = unshuffle(0, 3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "index must be < 2^m")]
+    fn unshuffle_rejects_large_index() {
+        let _ = unshuffle(2, 3, 8);
+    }
+}

@@ -1,0 +1,263 @@
+//! Inter-stage wiring patterns as first-class values.
+//!
+//! A [`Connection`] maps output line `j` of one stage to an input line of
+//! the next. Baseline-class networks are entirely described by which
+//! connection sits between consecutive stages; making the pattern a value
+//! lets the BNB core swap wirings for the ablation experiment A2
+//! (replace unshuffle by identity/shuffle and watch routing break).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitops::{bit_reverse, cube_exchange, log2_exact, shuffle, unshuffle};
+use crate::error::TopologyError;
+use crate::perm::Permutation;
+
+/// A wiring pattern between two columns of `2^m` lines.
+///
+/// # Example
+///
+/// ```
+/// use bnb_topology::connection::Connection;
+///
+/// let c = Connection::Unshuffle { k: 3 };
+/// assert_eq!(c.apply(3, 0b011), 0b101);
+/// assert!(c.inverse().compose_check(3, &c));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Connection {
+    /// Straight-through wiring.
+    Identity,
+    /// The `2^k`-unshuffle `U_k^m` of Definition 1 (rotate low `k` bits
+    /// right). The baseline network uses `k = m - i` after stage `i`.
+    Unshuffle {
+        /// Width of the rotated low-bit field.
+        k: usize,
+    },
+    /// The `2^k`-shuffle (rotate low `k` bits left); inverse of `Unshuffle`.
+    Shuffle {
+        /// Width of the rotated low-bit field.
+        k: usize,
+    },
+    /// Full bit reversal of the `m`-bit line index.
+    BitReversal,
+    /// Butterfly/cube wiring on dimension `d` (flip bit `d`).
+    Butterfly {
+        /// The flipped bit position.
+        d: usize,
+    },
+    /// An arbitrary fixed permutation of the lines.
+    Fixed(Permutation),
+}
+
+impl Connection {
+    /// Destination line of output `j` in a column of `2^m` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= 2^m`, if a field width exceeds `m`, or if a
+    /// `Fixed` permutation has length other than `2^m`.
+    pub fn apply(&self, m: usize, j: usize) -> usize {
+        let n = 1usize << m;
+        assert!(j < n, "line index must be < 2^m");
+        match self {
+            Connection::Identity => j,
+            Connection::Unshuffle { k } => unshuffle(*k, m, j),
+            Connection::Shuffle { k } => shuffle(*k, m, j),
+            Connection::BitReversal => bit_reverse(m, j),
+            Connection::Butterfly { d } => cube_exchange(*d, m, j),
+            Connection::Fixed(p) => {
+                assert_eq!(p.len(), n, "fixed connection must cover all lines");
+                p.apply(j)
+            }
+        }
+    }
+
+    /// The inverse wiring.
+    pub fn inverse(&self) -> Connection {
+        match self {
+            Connection::Identity => Connection::Identity,
+            Connection::Unshuffle { k } => Connection::Shuffle { k: *k },
+            Connection::Shuffle { k } => Connection::Unshuffle { k: *k },
+            Connection::BitReversal => Connection::BitReversal,
+            Connection::Butterfly { d } => Connection::Butterfly { d: *d },
+            Connection::Fixed(p) => Connection::Fixed(p.inverse()),
+        }
+    }
+
+    /// Materializes the wiring as a [`Permutation`] on `2^m` lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::SizeMismatch`] if a `Fixed` permutation has
+    /// the wrong length.
+    pub fn to_permutation(&self, m: usize) -> Result<Permutation, TopologyError> {
+        let n = 1usize << m;
+        if let Connection::Fixed(p) = self {
+            if p.len() != n {
+                return Err(TopologyError::SizeMismatch {
+                    expected: n,
+                    actual: p.len(),
+                });
+            }
+        }
+        Permutation::from_fn(n, |j| self.apply(m, j))
+    }
+
+    /// `true` if `other` composed with `self` is the identity on `2^m`
+    /// lines — a self-check helper used in doctests and debugging.
+    pub fn compose_check(&self, m: usize, other: &Connection) -> bool {
+        (0..(1usize << m)).all(|j| self.apply(m, other.apply(m, j)) == j)
+    }
+}
+
+impl Default for Connection {
+    /// The identity wiring.
+    fn default() -> Self {
+        Connection::Identity
+    }
+}
+
+impl fmt::Display for Connection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Connection::Identity => write!(f, "identity"),
+            Connection::Unshuffle { k } => write!(f, "2^{k}-unshuffle"),
+            Connection::Shuffle { k } => write!(f, "2^{k}-shuffle"),
+            Connection::BitReversal => write!(f, "bit-reversal"),
+            Connection::Butterfly { d } => write!(f, "butterfly(d={d})"),
+            Connection::Fixed(p) => write!(f, "fixed{p}"),
+        }
+    }
+}
+
+impl From<Permutation> for Connection {
+    fn from(p: Permutation) -> Self {
+        Connection::Fixed(p)
+    }
+}
+
+/// The baseline inter-stage wiring after stage `i` of an `m`-stage network:
+/// `U_{m-i}^m` (paper §2).
+///
+/// # Panics
+///
+/// Panics if `i >= m`.
+pub fn baseline_connection(m: usize, i: usize) -> Connection {
+    assert!(i < m, "stage must be < m");
+    Connection::Unshuffle { k: m - i }
+}
+
+/// The omega-network wiring: a full `2^m`-shuffle before every stage.
+pub fn omega_connection(m: usize) -> Connection {
+    Connection::Shuffle { k: m }
+}
+
+/// Sanity check used by constructors: `n` must be a power of two, and
+/// returns `log2(n)`.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::NotPowerOfTwo`] otherwise.
+pub fn require_power_of_two(n: usize) -> Result<usize, TopologyError> {
+    if !n.is_power_of_two() {
+        return Err(TopologyError::NotPowerOfTwo { size: n });
+    }
+    Ok(log2_exact(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_is_a_bijection() {
+        let m = 4;
+        let conns = [
+            Connection::Identity,
+            Connection::Unshuffle { k: 3 },
+            Connection::Shuffle { k: 2 },
+            Connection::BitReversal,
+            Connection::Butterfly { d: 1 },
+            Connection::Fixed(Permutation::transposition(16, 2, 9)),
+        ];
+        for c in &conns {
+            assert!(c.to_permutation(m).is_ok(), "{c} must be a bijection");
+        }
+    }
+
+    #[test]
+    fn inverse_really_inverts() {
+        let m = 4;
+        let conns = [
+            Connection::Identity,
+            Connection::Unshuffle { k: 4 },
+            Connection::Shuffle { k: 3 },
+            Connection::BitReversal,
+            Connection::Butterfly { d: 2 },
+            Connection::Fixed(Permutation::try_from(vec![1, 2, 3, 0]).unwrap()),
+        ];
+        for c in &conns {
+            let m_eff = if matches!(c, Connection::Fixed(_)) {
+                2
+            } else {
+                m
+            };
+            assert!(c.inverse().compose_check(m_eff, c), "{c} inverse failed");
+        }
+    }
+
+    #[test]
+    fn baseline_connection_shrinks_with_stage() {
+        assert_eq!(baseline_connection(4, 0), Connection::Unshuffle { k: 4 });
+        assert_eq!(baseline_connection(4, 3), Connection::Unshuffle { k: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "stage must be < m")]
+    fn baseline_connection_rejects_large_stage() {
+        let _ = baseline_connection(3, 3);
+    }
+
+    #[test]
+    fn fixed_connection_size_is_checked() {
+        let c = Connection::Fixed(Permutation::identity(4));
+        let err = c.to_permutation(3).unwrap_err();
+        assert_eq!(
+            err,
+            TopologyError::SizeMismatch {
+                expected: 8,
+                actual: 4
+            }
+        );
+    }
+
+    #[test]
+    fn require_power_of_two_accepts_and_rejects() {
+        assert_eq!(require_power_of_two(8), Ok(3));
+        assert_eq!(
+            require_power_of_two(12),
+            Err(TopologyError::NotPowerOfTwo { size: 12 })
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(Connection::Unshuffle { k: 3 }.to_string(), "2^3-unshuffle");
+        assert_eq!(Connection::Identity.to_string(), "identity");
+    }
+
+    #[test]
+    fn omega_connection_is_full_shuffle() {
+        let c = omega_connection(3);
+        // shuffle: rotate low 3 bits left: 100 -> 001
+        assert_eq!(c.apply(3, 0b100), 0b001);
+    }
+
+    #[test]
+    fn default_is_identity() {
+        assert_eq!(Connection::default(), Connection::Identity);
+    }
+}

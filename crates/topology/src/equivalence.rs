@@ -1,0 +1,132 @@
+//! Functional-equivalence utilities for multistage networks.
+//!
+//! Wu & Feng (paper ref \[12\], "On a class of multistage interconnection
+//! networks") showed that the baseline, omega, flip and related networks
+//! are *topologically equivalent*: each realizes the same set of
+//! permutations up to fixed relabelings of the input and output terminals.
+//! This module provides the machinery to verify such claims
+//! computationally: collect a network's admissible set, and test whether
+//! two sets are related by given terminal relabelings. The integration
+//! tests use it to confirm `omega = baseline ∘ bit-reversal` at N = 8 —
+//! the classic result, reproduced from our own implementations.
+
+use std::collections::HashSet;
+
+use crate::perm::Permutation;
+
+/// The set of permutations a (blocking) network admits, as one-line
+/// vectors — produced by exhaustively enumerating all `n!` candidates.
+/// Feasible for `n ≤ 8`.
+pub fn admissible_set<F>(n: usize, mut admits: F) -> HashSet<Vec<usize>>
+where
+    F: FnMut(&Permutation) -> bool,
+{
+    let total: u64 = (1..=n as u64).product();
+    (0..total)
+        .filter_map(|k| {
+            let p = Permutation::nth_lexicographic(n, k);
+            admits(&p).then(|| p.as_slice().to_vec())
+        })
+        .collect()
+}
+
+/// `true` if `target = { sigma ∘ p ∘ pi : p ∈ source }` — i.e. the two
+/// admissible sets are identical after relabeling inputs by `pi` and
+/// outputs by `sigma`.
+///
+/// # Panics
+///
+/// Panics if the relabelings' lengths disagree with the sets' element
+/// lengths.
+pub fn related_by_relabeling(
+    source: &HashSet<Vec<usize>>,
+    target: &HashSet<Vec<usize>>,
+    pi: &Permutation,
+    sigma: &Permutation,
+) -> bool {
+    if source.len() != target.len() {
+        return false;
+    }
+    source.iter().all(|p| {
+        assert_eq!(p.len(), pi.len(), "relabeling length mismatch");
+        let mapped: Vec<usize> = (0..p.len()).map(|x| sigma.apply(p[pi.apply(x)])).collect();
+        target.contains(&mapped)
+    })
+}
+
+/// Searches a list of candidate relabelings for a pair `(pi, sigma)`
+/// relating `source` to `target`; returns the first match's indices into
+/// `candidates`.
+pub fn find_relabeling(
+    source: &HashSet<Vec<usize>>,
+    target: &HashSet<Vec<usize>>,
+    candidates: &[Permutation],
+) -> Option<(usize, usize)> {
+    for (i, pi) in candidates.iter().enumerate() {
+        for (j, sigma) in candidates.iter().enumerate() {
+            if related_by_relabeling(source, target, pi, sigma) {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::BaselineNetwork;
+    use crate::bitops::bit_reverse;
+
+    #[test]
+    fn admissible_set_counts_switch_settings() {
+        let net = BaselineNetwork::with_inputs(4).unwrap();
+        let set = admissible_set(4, |p| net.is_admissible(p));
+        assert_eq!(set.len(), 16);
+    }
+
+    #[test]
+    fn a_set_is_related_to_itself_by_identity() {
+        let net = BaselineNetwork::with_inputs(4).unwrap();
+        let set = admissible_set(4, |p| net.is_admissible(p));
+        let id = Permutation::identity(4);
+        assert!(related_by_relabeling(&set, &set, &id, &id));
+    }
+
+    #[test]
+    fn relabeling_by_bit_reversal_changes_the_baseline_set() {
+        // Baseline relabeled on inputs by bit-reversal is NOT the baseline
+        // set itself (it is the omega set — checked in the integration
+        // test that has access to the omega implementation).
+        let net = BaselineNetwork::with_inputs(8).unwrap();
+        let set = admissible_set(8, |p| net.is_admissible(p));
+        let rev = Permutation::from_fn(8, |i| bit_reverse(3, i)).unwrap();
+        let id = Permutation::identity(8);
+        assert!(!related_by_relabeling(&set, &set, &rev, &id));
+    }
+
+    #[test]
+    fn size_mismatch_is_never_related() {
+        let a: HashSet<Vec<usize>> = [vec![0, 1]].into_iter().collect();
+        let b: HashSet<Vec<usize>> = HashSet::new();
+        let id = Permutation::identity(2);
+        assert!(!related_by_relabeling(&a, &b, &id, &id));
+    }
+
+    #[test]
+    fn find_relabeling_returns_indices() {
+        let net = BaselineNetwork::with_inputs(4).unwrap();
+        let set = admissible_set(4, |p| net.is_admissible(p));
+        // The (0,1) transposition is a network automorphism (both lines
+        // share a switch at each end), so it relates the set to itself,
+        // as does the identity; the search finds *some* pair.
+        let cands = vec![
+            Permutation::transposition(4, 0, 1),
+            Permutation::identity(4),
+        ];
+        assert!(find_relabeling(&set, &set, &cands).is_some());
+        // An impossible target finds nothing.
+        let empty = HashSet::new();
+        assert_eq!(find_relabeling(&set, &empty, &cands), None);
+    }
+}

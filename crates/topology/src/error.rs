@@ -1,0 +1,123 @@
+//! Error types for topology construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing or validating topological objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// The mapping is not a bijection on `0..len`: `value` appears at least
+    /// twice (first at `first_index`, again at `second_index`).
+    DuplicateImage {
+        /// The repeated image value.
+        value: usize,
+        /// Index of the first occurrence.
+        first_index: usize,
+        /// Index of the repeated occurrence.
+        second_index: usize,
+    },
+    /// The mapping contains `value` at `index`, which is outside `0..len`.
+    ImageOutOfRange {
+        /// The out-of-range image value.
+        value: usize,
+        /// Index at which it occurs.
+        index: usize,
+        /// The domain size.
+        len: usize,
+    },
+    /// A size that must be a power of two was not.
+    NotPowerOfTwo {
+        /// The offending size.
+        size: usize,
+    },
+    /// A stage or line index was outside the network bounds.
+    IndexOutOfBounds {
+        /// Human-readable name of the index ("stage", "line", ...).
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive upper bound.
+        bound: usize,
+    },
+    /// Two sizes that must agree (e.g. permutation length vs network width)
+    /// did not.
+    SizeMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was provided.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TopologyError::DuplicateImage { value, first_index, second_index } => write!(
+                f,
+                "mapping is not a permutation: value {value} appears at indices {first_index} and {second_index}"
+            ),
+            TopologyError::ImageOutOfRange { value, index, len } => write!(
+                f,
+                "mapping is not a permutation: value {value} at index {index} is outside 0..{len}"
+            ),
+            TopologyError::NotPowerOfTwo { size } => {
+                write!(f, "size {size} is not a power of two")
+            }
+            TopologyError::IndexOutOfBounds { what, index, bound } => {
+                write!(f, "{what} index {index} is out of bounds (must be < {bound})")
+            }
+            TopologyError::SizeMismatch { expected, actual } => {
+                write!(f, "size mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = TopologyError::DuplicateImage {
+            value: 3,
+            first_index: 0,
+            second_index: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("value 3"));
+        assert!(s.contains("indices 0 and 2"));
+
+        let e = TopologyError::ImageOutOfRange {
+            value: 9,
+            index: 1,
+            len: 8,
+        };
+        assert!(e.to_string().contains("outside 0..8"));
+
+        let e = TopologyError::NotPowerOfTwo { size: 12 };
+        assert!(e.to_string().contains("12"));
+
+        let e = TopologyError::IndexOutOfBounds {
+            what: "stage",
+            index: 5,
+            bound: 3,
+        };
+        assert!(e.to_string().contains("stage index 5"));
+
+        let e = TopologyError::SizeMismatch {
+            expected: 8,
+            actual: 4,
+        };
+        assert!(e.to_string().contains("expected 8"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TopologyError>();
+    }
+}

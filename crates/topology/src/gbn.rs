@@ -1,0 +1,343 @@
+//! The Generalized Baseline Network (GBN) topology of Definition 2.
+//!
+//! An `N = 2^m`-input GBN has `m` stages; stage `i` holds `2^i` switching
+//! boxes of size `2^{m-i} × 2^{m-i}`, and the wiring between stage `i` and
+//! stage `i+1` is the `2^{m-i}`-unshuffle `U_{m-i}^m`. The switching boxes
+//! are left abstract here — the BNB core instantiates them as nested
+//! networks or splitters, the plain baseline network as 2×2 switches.
+//!
+//! [`Gbn`] is a *pure topology descriptor*: it answers structural questions
+//! (which box does line `j` of stage `i` belong to? where does output `j`
+//! go?) and never allocates per-line state, so it is cheap to construct for
+//! any `m`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::connection::{baseline_connection, require_power_of_two, Connection};
+use crate::error::TopologyError;
+
+/// Position of a switching box inside a GBN: stage and index from the top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BoxId {
+    /// Stage (column) of the main network, `0..m`.
+    pub stage: usize,
+    /// Index of the box from the top of its stage, `0..2^stage`.
+    pub index: usize,
+}
+
+impl fmt::Display for BoxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NB({},{})", self.stage, self.index)
+    }
+}
+
+/// Topology descriptor for an `N = 2^m`-input Generalized Baseline Network.
+///
+/// # Example
+///
+/// ```
+/// use bnb_topology::gbn::Gbn;
+///
+/// let g = Gbn::with_inputs(8)?; // the B(3, SB) of paper Fig. 1
+/// assert_eq!(g.stages(), 3);
+/// assert_eq!(g.boxes_in_stage(0), 1);  // one SB(3)
+/// assert_eq!(g.boxes_in_stage(1), 2);  // two SB(2)'s
+/// assert_eq!(g.box_size(1), 4);
+/// # Ok::<(), bnb_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Gbn {
+    m: usize,
+}
+
+impl Gbn {
+    /// A GBN with `2^m` inputs and `m` stages.
+    pub fn new(m: usize) -> Self {
+        Gbn { m }
+    }
+
+    /// A GBN with `n` inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NotPowerOfTwo`] if `n` is not a power of two.
+    pub fn with_inputs(n: usize) -> Result<Self, TopologyError> {
+        Ok(Gbn {
+            m: require_power_of_two(n)?,
+        })
+    }
+
+    /// `log2` of the input count.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of input (and output) lines, `N = 2^m`.
+    pub fn inputs(&self) -> usize {
+        1 << self.m
+    }
+
+    /// Number of stages (`m`).
+    pub fn stages(&self) -> usize {
+        self.m
+    }
+
+    /// Number of switching boxes in stage `i` (`2^i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= m`.
+    pub fn boxes_in_stage(&self, i: usize) -> usize {
+        assert!(i < self.m, "stage must be < m");
+        1 << i
+    }
+
+    /// Line count of each box in stage `i` (`2^{m-i}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= m`.
+    pub fn box_size(&self, i: usize) -> usize {
+        assert!(i < self.m, "stage must be < m");
+        1 << (self.m - i)
+    }
+
+    /// `log2` of the box size in stage `i` (`m - i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= m`.
+    pub fn box_size_log(&self, i: usize) -> usize {
+        assert!(i < self.m, "stage must be < m");
+        self.m - i
+    }
+
+    /// The box that line `j` of stage `i` belongs to, together with the
+    /// line's local index within the box.
+    ///
+    /// Lines are numbered top-to-bottom; box `b` of stage `i` owns the
+    /// contiguous lines `b·2^{m-i} .. (b+1)·2^{m-i}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= m` or `j >= 2^m`.
+    pub fn locate(&self, i: usize, j: usize) -> (BoxId, usize) {
+        assert!(i < self.m, "stage must be < m");
+        assert!(j < self.inputs(), "line must be < N");
+        let size_log = self.m - i;
+        (
+            BoxId {
+                stage: i,
+                index: j >> size_log,
+            },
+            j & ((1 << size_log) - 1),
+        )
+    }
+
+    /// The global line index of local line `local` of box `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or `local >= box size`.
+    pub fn line_of(&self, id: BoxId, local: usize) -> usize {
+        assert!(id.stage < self.m, "stage must be < m");
+        assert!(
+            id.index < self.boxes_in_stage(id.stage),
+            "box index out of range"
+        );
+        let size_log = self.m - id.stage;
+        assert!(local < (1 << size_log), "local line out of range");
+        (id.index << size_log) | local
+    }
+
+    /// The wiring between stage `i` and stage `i+1`: `U_{m-i}^m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= m - 1` (there is no wiring after the last stage).
+    pub fn connection_after(&self, i: usize) -> Connection {
+        assert!(i + 1 < self.m, "no inter-stage wiring after the last stage");
+        baseline_connection(self.m, i)
+    }
+
+    /// Where output line `j` of stage `i` enters stage `i+1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= m - 1` or `j >= 2^m`.
+    pub fn next_line(&self, i: usize, j: usize) -> usize {
+        self.connection_after(i).apply(self.m, j)
+    }
+
+    /// The two child boxes of `id` in the next stage. Box `NB(i,l)` feeds
+    /// `NB(i+1, 2l)` (its even outputs) and `NB(i+1, 2l+1)` (its odd
+    /// outputs) — the recursion of paper §3.3.
+    ///
+    /// Returns `None` for boxes in the last stage.
+    pub fn children(&self, id: BoxId) -> Option<(BoxId, BoxId)> {
+        if id.stage + 1 >= self.m {
+            return None;
+        }
+        Some((
+            BoxId {
+                stage: id.stage + 1,
+                index: 2 * id.index,
+            },
+            BoxId {
+                stage: id.stage + 1,
+                index: 2 * id.index + 1,
+            },
+        ))
+    }
+
+    /// Iterator over every box in the network, stage-major, top-to-bottom.
+    pub fn boxes(&self) -> impl Iterator<Item = BoxId> + '_ {
+        (0..self.m).flat_map(move |stage| {
+            (0..self.boxes_in_stage(stage)).map(move |index| BoxId { stage, index })
+        })
+    }
+
+    /// Total number of switching boxes (`2^m - 1`).
+    pub fn box_count(&self) -> usize {
+        (1 << self.m) - 1
+    }
+
+    /// Total 2×2 switches if every box is built from 2×2 primitives,
+    /// `sw(k)` containing `2^{k-1}` switches per internal stage × `k`
+    /// stages... for the *flat* baseline instantiation this is simply
+    /// `m · N/2` (each stage is one column of `N/2` switches).
+    pub fn flat_switch_count(&self) -> usize {
+        self.m * (self.inputs() / 2)
+    }
+
+    /// Verifies the defining structural property: the wiring after stage `i`
+    /// sends the even local outputs of each box to its upper child and the
+    /// odd local outputs to its lower child. Used by tests and debug builds.
+    pub fn verify_structure(&self) -> Result<(), TopologyError> {
+        for i in 0..self.m.saturating_sub(1) {
+            for j in 0..self.inputs() {
+                let (src_box, local) = self.locate(i, j);
+                let nj = self.next_line(i, j);
+                let (dst_box, _) = self.locate(i + 1, nj);
+                let (upper, lower) = self.children(src_box).expect("not last stage");
+                let expected = if local % 2 == 0 { upper } else { lower };
+                if dst_box != expected {
+                    return Err(TopologyError::IndexOutOfBounds {
+                        what: "misrouted line",
+                        index: j,
+                        bound: self.inputs(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Gbn {
+    /// The paper's notation, e.g. `B(3, SB)` for 8 inputs.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B({}, SB)", self.m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_input_gbn_matches_fig1() {
+        // Fig. 1: B(3, SB) — stage 0 has 1 SB(3), stage 1 has 2 SB(2)'s,
+        // stage 2 has 4 SB(1)'s.
+        let g = Gbn::with_inputs(8).unwrap();
+        assert_eq!(g.stages(), 3);
+        assert_eq!(g.boxes_in_stage(0), 1);
+        assert_eq!(g.box_size(0), 8);
+        assert_eq!(g.boxes_in_stage(1), 2);
+        assert_eq!(g.box_size(1), 4);
+        assert_eq!(g.boxes_in_stage(2), 4);
+        assert_eq!(g.box_size(2), 2);
+        assert_eq!(g.box_count(), 7);
+    }
+
+    #[test]
+    fn with_inputs_rejects_non_powers() {
+        assert!(Gbn::with_inputs(12).is_err());
+        assert!(Gbn::with_inputs(16).is_ok());
+    }
+
+    #[test]
+    fn locate_and_line_of_roundtrip() {
+        let g = Gbn::new(4);
+        for i in 0..g.stages() {
+            for j in 0..g.inputs() {
+                let (id, local) = g.locate(i, j);
+                assert_eq!(g.line_of(id, local), j);
+            }
+        }
+    }
+
+    #[test]
+    fn structure_verifies_for_many_sizes() {
+        for m in 1..=8 {
+            Gbn::new(m).verify_structure().unwrap();
+        }
+    }
+
+    #[test]
+    fn children_follow_even_odd_split() {
+        let g = Gbn::new(3);
+        let root = BoxId { stage: 0, index: 0 };
+        let (u, l) = g.children(root).unwrap();
+        assert_eq!(u, BoxId { stage: 1, index: 0 });
+        assert_eq!(l, BoxId { stage: 1, index: 1 });
+        // last stage has no children
+        assert!(g.children(BoxId { stage: 2, index: 0 }).is_none());
+    }
+
+    #[test]
+    fn even_outputs_reach_upper_child() {
+        let g = Gbn::new(3);
+        // Box NB(0,0) local output 0 (even) must land in NB(1,0).
+        let j = g.line_of(BoxId { stage: 0, index: 0 }, 0);
+        let nj = g.next_line(0, j);
+        let (dst, _) = g.locate(1, nj);
+        assert_eq!(dst, BoxId { stage: 1, index: 0 });
+        // local output 1 (odd) must land in NB(1,1).
+        let j = g.line_of(BoxId { stage: 0, index: 0 }, 1);
+        let nj = g.next_line(0, j);
+        let (dst, _) = g.locate(1, nj);
+        assert_eq!(dst, BoxId { stage: 1, index: 1 });
+    }
+
+    #[test]
+    fn boxes_iterator_counts_all() {
+        let g = Gbn::new(4);
+        assert_eq!(g.boxes().count(), g.box_count());
+        // First box is the root, last is the bottom box of the last stage.
+        let all: Vec<BoxId> = g.boxes().collect();
+        assert_eq!(all[0], BoxId { stage: 0, index: 0 });
+        assert_eq!(*all.last().unwrap(), BoxId { stage: 3, index: 7 });
+    }
+
+    #[test]
+    fn flat_switch_count_is_m_times_half_n() {
+        let g = Gbn::new(5);
+        assert_eq!(g.flat_switch_count(), 5 * 16);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Gbn::new(3).to_string(), "B(3, SB)");
+        assert_eq!(BoxId { stage: 1, index: 0 }.to_string(), "NB(1,0)");
+    }
+
+    #[test]
+    #[should_panic(expected = "no inter-stage wiring")]
+    fn connection_after_last_stage_panics() {
+        let g = Gbn::new(3);
+        let _ = g.connection_after(2);
+    }
+}

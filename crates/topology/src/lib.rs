@@ -1,0 +1,53 @@
+//! Interconnection-topology substrate for the BNB self-routing permutation
+//! network reproduction (Lee & Lu, ICDCS 1991).
+//!
+//! This crate contains everything about *where wires go*, independent of any
+//! switching logic:
+//!
+//! - [`perm::Permutation`] — validated permutations of `0..n`, the objects a
+//!   permutation network routes.
+//! - [`bitops`] — the paper's `2^k`-unshuffle `U_k^m` (Definition 1) and the
+//!   related shuffle / bit-reversal index transforms.
+//! - [`connection::Connection`] — inter-stage wiring patterns as first-class
+//!   values that can be applied, inverted and converted to permutations.
+//! - [`gbn::Gbn`] — the Generalized Baseline Network topology of
+//!   Definition 2: `2^i` switching boxes of size `2^{m-i}` in stage `i`, with
+//!   `2^{m-i}`-unshuffle wiring between stages.
+//! - [`baseline::BaselineNetwork`] — the classic baseline network
+//!   (a GBN built from 2×2 switches) with destination-tag routing, used to
+//!   demonstrate that the *plain* baseline network is blocking and therefore
+//!   not a permutation network on its own.
+//! - [`record::Record`] — the `(address, data)` words that flow through every
+//!   network in this workspace.
+//! - [`render`] — ASCII and Graphviz renderers used to regenerate the
+//!   structural figures of the paper (Figs. 1–3).
+//!
+//! # Example
+//!
+//! ```
+//! use bnb_topology::perm::Permutation;
+//! use bnb_topology::bitops::unshuffle;
+//!
+//! // U_3^3 on 8 lines: rotate the low 3 bits right by one.
+//! let wiring: Vec<usize> = (0..8).map(|j| unshuffle(3, 3, j)).collect();
+//! let p = Permutation::try_from(wiring).expect("unshuffle is a bijection");
+//! assert_eq!(p.apply(1), 4); // 001 -> 100
+//! ```
+
+pub mod baseline;
+pub mod bitops;
+pub mod connection;
+pub mod equivalence;
+pub mod error;
+pub mod gbn;
+pub mod paths;
+pub mod perm;
+pub mod record;
+pub mod render;
+
+pub use baseline::BaselineNetwork;
+pub use connection::Connection;
+pub use error::TopologyError;
+pub use gbn::Gbn;
+pub use perm::Permutation;
+pub use record::Record;

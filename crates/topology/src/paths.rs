@@ -1,0 +1,198 @@
+//! Path counting in layered 2×2-switch networks.
+//!
+//! Destination-tag self-routing (and hence the whole GBN/baseline family)
+//! rests on the **banyan property**: exactly one path connects every
+//! input/output pair, so local decisions can never "choose the wrong way".
+//! Rearrangeable networks like Benes instead offer `2^{log N − 1}` paths
+//! per pair, which is why they need a global algorithm to pick among them.
+//! This module counts paths exactly by dynamic programming over a
+//! [`LayeredNetwork`] description and verifies both facts on our own
+//! wirings.
+
+use serde::{Deserialize, Serialize};
+
+use crate::connection::Connection;
+use crate::error::TopologyError;
+
+/// A multistage network of 2×2-switch columns described purely by its
+/// wiring: an optional pre-wiring in front of the first column and one
+/// wiring between each pair of consecutive columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayeredNetwork {
+    m: usize,
+    pre: Connection,
+    between: Vec<Connection>,
+}
+
+impl LayeredNetwork {
+    /// A network over `2^m` lines with `between.len() + 1` switch columns.
+    pub fn new(m: usize, pre: Connection, between: Vec<Connection>) -> Self {
+        assert!(m >= 1, "need at least 2 lines");
+        LayeredNetwork { m, pre, between }
+    }
+
+    /// The baseline network: no pre-wiring, `U_{m-i}^m` after column `i`.
+    pub fn baseline(m: usize) -> Self {
+        let between = (0..m.saturating_sub(1))
+            .map(|i| Connection::Unshuffle { k: m - i })
+            .collect();
+        Self::new(m, Connection::Identity, between)
+    }
+
+    /// The omega network: a full shuffle in front of every column.
+    pub fn omega(m: usize) -> Self {
+        let between = vec![Connection::Shuffle { k: m }; m.saturating_sub(1)];
+        Self::new(m, Connection::Shuffle { k: m }, between)
+    }
+
+    /// The Benes network: a baseline first half mirrored by a shuffle
+    /// second half, `2m − 1` columns in total.
+    pub fn benes(m: usize) -> Self {
+        let mut between: Vec<Connection> = (0..m.saturating_sub(1))
+            .map(|i| Connection::Unshuffle { k: m - i })
+            .collect();
+        between.extend((0..m.saturating_sub(1)).map(|j| Connection::Shuffle { k: j + 2 }));
+        Self::new(m, Connection::Identity, between)
+    }
+
+    /// Line count.
+    pub fn inputs(&self) -> usize {
+        1 << self.m
+    }
+
+    /// Switch-column count.
+    pub fn columns(&self) -> usize {
+        self.between.len() + 1
+    }
+
+    /// Number of distinct switch-setting paths from `src` to each output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::IndexOutOfBounds`] if `src` is out of
+    /// range.
+    pub fn paths_from(&self, src: usize) -> Result<Vec<u64>, TopologyError> {
+        let n = self.inputs();
+        if src >= n {
+            return Err(TopologyError::IndexOutOfBounds {
+                what: "input line",
+                index: src,
+                bound: n,
+            });
+        }
+        let mut ways = vec![0u64; n];
+        ways[self.pre.apply(self.m, src)] = 1;
+        for col in 0..self.columns() {
+            let mut out = vec![0u64; n];
+            for t in 0..n / 2 {
+                let through = ways[2 * t] + ways[2 * t + 1];
+                out[2 * t] = through;
+                out[2 * t + 1] = through;
+            }
+            if col < self.between.len() {
+                let mut wired = vec![0u64; n];
+                for (j, &w) in out.iter().enumerate() {
+                    wired[self.between[col].apply(self.m, j)] = w;
+                }
+                ways = wired;
+            } else {
+                ways = out;
+            }
+        }
+        Ok(ways)
+    }
+
+    /// The full `N × N` path-count matrix (`matrix[i][o]`).
+    ///
+    /// # Panics
+    ///
+    /// Never panics; inputs are enumerated internally.
+    pub fn path_matrix(&self) -> Vec<Vec<u64>> {
+        (0..self.inputs())
+            .map(|src| self.paths_from(src).expect("src < n by construction"))
+            .collect()
+    }
+
+    /// `true` if every input/output pair is connected by exactly one path
+    /// — the banyan property underlying destination-tag self-routing.
+    pub fn is_banyan(&self) -> bool {
+        self.path_matrix()
+            .iter()
+            .all(|row| row.iter().all(|&w| w == 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_and_omega_are_banyan() {
+        for m in 1..=6 {
+            assert!(LayeredNetwork::baseline(m).is_banyan(), "baseline m = {m}");
+            assert!(LayeredNetwork::omega(m).is_banyan(), "omega m = {m}");
+        }
+    }
+
+    #[test]
+    fn benes_has_two_to_the_m_minus_1_paths() {
+        for m in 1..=6 {
+            let net = LayeredNetwork::benes(m);
+            assert_eq!(net.columns(), 2 * m - 1);
+            let expected = 1u64 << (m - 1);
+            for row in net.path_matrix() {
+                for w in row {
+                    assert_eq!(w, expected, "m = {m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identity_wiring_partitions_reachability() {
+        // With identity wirings, a packet can never leave its switch pair:
+        // two outputs reachable per input, the rest zero — precisely why
+        // the ablation A2 wiring misroutes.
+        let net = LayeredNetwork::new(3, Connection::Identity, vec![Connection::Identity; 2]);
+        let rows = net.path_matrix();
+        for (i, row) in rows.iter().enumerate() {
+            for (o, &w) in row.iter().enumerate() {
+                if o >> 1 == i >> 1 {
+                    assert!(w > 0, "{i} -> {o} must be reachable");
+                } else {
+                    assert_eq!(w, 0, "{i} -> {o} must be unreachable");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn total_paths_are_conserved() {
+        // Each column doubles the total path count (every switch has two
+        // settings per incoming path): sum over outputs = 2^columns.
+        let net = LayeredNetwork::baseline(4);
+        let total: u64 = net.paths_from(5).unwrap().iter().sum();
+        assert_eq!(total, 1 << net.columns());
+    }
+
+    #[test]
+    fn out_of_range_src_is_rejected() {
+        let net = LayeredNetwork::baseline(2);
+        assert!(net.paths_from(4).is_err());
+    }
+
+    #[test]
+    fn gbn_wiring_matches_the_gbn_module() {
+        // The baseline LayeredNetwork and the Gbn topology agree on where
+        // each line goes between stages.
+        use crate::gbn::Gbn;
+        let m = 4;
+        let net = LayeredNetwork::baseline(m);
+        let gbn = Gbn::new(m);
+        for stage in 0..m - 1 {
+            for j in 0..(1usize << m) {
+                assert_eq!(net.between[stage].apply(m, j), gbn.next_line(stage, j));
+            }
+        }
+    }
+}

@@ -1,0 +1,589 @@
+//! Validated permutations of `0..n`.
+//!
+//! A permutation network routes *permutations*: bijections from its input
+//! lines onto its output lines. [`Permutation`] is the workspace-wide
+//! representation of such a bijection, with the invariant (every value in
+//! `0..n` appears exactly once) enforced at construction.
+
+use std::fmt;
+use std::ops::Index;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::TopologyError;
+
+/// A permutation of `0..n`, stored in one-line notation.
+///
+/// `p.apply(i)` is the image of `i`; in network terms, the packet entering
+/// input `i` is destined for output `p.apply(i)`.
+///
+/// # Example
+///
+/// ```
+/// use bnb_topology::perm::Permutation;
+///
+/// let p = Permutation::try_from(vec![2, 0, 3, 1])?;
+/// assert_eq!(p.apply(0), 2);
+/// assert_eq!(p.inverse().apply(2), 0);
+/// assert!(p.compose(&p.inverse()).is_identity());
+/// # Ok::<(), bnb_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(try_from = "Vec<usize>", into = "Vec<usize>")]
+pub struct Permutation {
+    images: Vec<usize>,
+}
+
+impl Permutation {
+    /// The identity permutation on `0..n`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bnb_topology::perm::Permutation;
+    /// assert!(Permutation::identity(8).is_identity());
+    /// ```
+    pub fn identity(n: usize) -> Self {
+        Permutation {
+            images: (0..n).collect(),
+        }
+    }
+
+    /// A permutation swapping `a` and `b` and fixing everything else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is not less than `n`.
+    pub fn transposition(n: usize, a: usize, b: usize) -> Self {
+        assert!(a < n && b < n, "transposition indices must be < n");
+        let mut images: Vec<usize> = (0..n).collect();
+        images.swap(a, b);
+        Permutation { images }
+    }
+
+    /// Builds the permutation `i -> f(i)` on `0..n`, validating bijectivity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::ImageOutOfRange`] or
+    /// [`TopologyError::DuplicateImage`] if `f` is not a bijection on `0..n`.
+    pub fn from_fn<F: FnMut(usize) -> usize>(n: usize, f: F) -> Result<Self, TopologyError> {
+        Self::try_from((0..n).map(f).collect::<Vec<_>>())
+    }
+
+    /// A uniformly random permutation of `0..n` (Fisher–Yates).
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let mut images: Vec<usize> = (0..n).collect();
+        images.shuffle(rng);
+        Permutation { images }
+    }
+
+    /// The `k`-th permutation of `0..n` in lexicographic order,
+    /// `0 <= k < n!`. Useful for exhaustively enumerating all `n!`
+    /// permutations (Theorem 2 tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= n!` (for `n` small enough that `n!` fits in `u64`).
+    pub fn nth_lexicographic(n: usize, mut k: u64) -> Self {
+        let mut factorials = vec![1u64; n + 1];
+        for i in 1..=n {
+            factorials[i] = factorials[i - 1] * i as u64;
+        }
+        assert!(k < factorials[n], "k must be < n!");
+        let mut pool: Vec<usize> = (0..n).collect();
+        let mut images = Vec::with_capacity(n);
+        for i in (1..=n).rev() {
+            let f = factorials[i - 1];
+            let idx = (k / f) as usize;
+            k %= f;
+            images.push(pool.remove(idx));
+        }
+        Permutation { images }
+    }
+
+    /// Number of elements the permutation acts on.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// `true` if the permutation acts on the empty set.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// The image of `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn apply(&self, i: usize) -> usize {
+        self.images[i]
+    }
+
+    /// The images in one-line notation, as a slice.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.images
+    }
+
+    /// The inverse permutation: `self.inverse().apply(self.apply(i)) == i`.
+    pub fn inverse(&self) -> Self {
+        let mut inv = vec![0usize; self.images.len()];
+        for (i, &v) in self.images.iter().enumerate() {
+            inv[v] = i;
+        }
+        Permutation { images: inv }
+    }
+
+    /// Function composition `self ∘ other`: first apply `other`, then `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two permutations have different lengths.
+    pub fn compose(&self, other: &Permutation) -> Self {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "composed permutations must have equal length"
+        );
+        let images = (0..self.len())
+            .map(|i| self.images[other.images[i]])
+            .collect();
+        Permutation { images }
+    }
+
+    /// `true` if every element maps to itself.
+    pub fn is_identity(&self) -> bool {
+        self.images.iter().enumerate().all(|(i, &v)| i == v)
+    }
+
+    /// The cycle decomposition, each cycle starting at its smallest element,
+    /// cycles ordered by their smallest element. Fixed points appear as
+    /// singleton cycles.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bnb_topology::perm::Permutation;
+    /// let p = Permutation::try_from(vec![1, 0, 2, 4, 3])?;
+    /// assert_eq!(p.cycles(), vec![vec![0, 1], vec![2], vec![3, 4]]);
+    /// # Ok::<(), bnb_topology::TopologyError>(())
+    /// ```
+    pub fn cycles(&self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut seen = vec![false; n];
+        let mut cycles = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut cycle = vec![start];
+            seen[start] = true;
+            let mut cur = self.images[start];
+            while cur != start {
+                seen[cur] = true;
+                cycle.push(cur);
+                cur = self.images[cur];
+            }
+            cycles.push(cycle);
+        }
+        cycles
+    }
+
+    /// The sign of the permutation: `+1` for even, `-1` for odd.
+    pub fn sign(&self) -> i8 {
+        let transpositions: usize = self.cycles().iter().map(|c| c.len() - 1).sum();
+        if transpositions.is_multiple_of(2) {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Applies the permutation to a slice of items, returning a new vector
+    /// `out` with `out[self.apply(i)] = items[i]` — i.e. item `i` is
+    /// *delivered to* position `apply(i)`, matching network semantics where
+    /// `apply(i)` is the destination of input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items.len() != self.len()`.
+    pub fn route<T: Clone>(&self, items: &[T]) -> Vec<T> {
+        assert_eq!(
+            items.len(),
+            self.len(),
+            "item count must match permutation length"
+        );
+        let mut out: Vec<Option<T>> = vec![None; items.len()];
+        for (i, item) in items.iter().enumerate() {
+            out[self.images[i]] = Some(item.clone());
+        }
+        out.into_iter()
+            .map(|o| o.expect("bijection fills every slot"))
+            .collect()
+    }
+
+    /// Iterator over the images in one-line notation.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, usize>> {
+        self.images.iter().copied()
+    }
+
+    /// Builds a permutation from disjoint cycles over `0..n`; elements not
+    /// mentioned are fixed points.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a cycle element is out of range or appears
+    /// twice.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bnb_topology::perm::Permutation;
+    /// let p = Permutation::from_cycles(5, &[vec![0, 2, 4], vec![1, 3]])?;
+    /// assert_eq!(p.apply(0), 2);
+    /// assert_eq!(p.apply(4), 0);
+    /// assert_eq!(p.apply(3), 1);
+    /// # Ok::<(), bnb_topology::TopologyError>(())
+    /// ```
+    pub fn from_cycles(n: usize, cycles: &[Vec<usize>]) -> Result<Self, TopologyError> {
+        let mut images: Vec<usize> = (0..n).collect();
+        let mut seen = vec![false; n];
+        for cycle in cycles {
+            for (idx, &e) in cycle.iter().enumerate() {
+                if e >= n {
+                    return Err(TopologyError::ImageOutOfRange {
+                        value: e,
+                        index: idx,
+                        len: n,
+                    });
+                }
+                if seen[e] {
+                    return Err(TopologyError::DuplicateImage {
+                        value: e,
+                        first_index: 0,
+                        second_index: idx,
+                    });
+                }
+                seen[e] = true;
+                images[e] = cycle[(idx + 1) % cycle.len()];
+            }
+        }
+        Ok(Permutation { images })
+    }
+
+    /// The `e`-th power of the permutation under composition (`e = 0` is
+    /// the identity).
+    pub fn pow(&self, mut e: u64) -> Self {
+        let mut result = Permutation::identity(self.len());
+        let mut base = self.clone();
+        while e > 0 {
+            if e & 1 == 1 {
+                result = base.compose(&result);
+            }
+            base = base.compose(&base);
+            e >>= 1;
+        }
+        result
+    }
+
+    /// The order of the permutation: the least `e ≥ 1` with `pᵉ = id`
+    /// (the LCM of the cycle lengths).
+    pub fn order(&self) -> u64 {
+        fn gcd(a: u64, b: u64) -> u64 {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        self.cycles()
+            .iter()
+            .map(|c| c.len() as u64)
+            .fold(1u64, |acc, l| acc / gcd(acc, l) * l)
+    }
+
+    /// `true` if `p² = id` (every cycle has length ≤ 2) — the transpose,
+    /// reversal and bit-complement workloads are all involutions.
+    pub fn is_involution(&self) -> bool {
+        self.compose(self).is_identity()
+    }
+
+    /// The conjugate `q ∘ self ∘ q⁻¹` — the same cycle structure acting on
+    /// relabeled elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn conjugate_by(&self, q: &Permutation) -> Self {
+        q.compose(self).compose(&q.inverse())
+    }
+}
+
+impl TryFrom<Vec<usize>> for Permutation {
+    type Error = TopologyError;
+
+    /// Validates that `images` is a bijection on `0..images.len()`.
+    fn try_from(images: Vec<usize>) -> Result<Self, Self::Error> {
+        let n = images.len();
+        let mut first_seen: Vec<Option<usize>> = vec![None; n];
+        for (i, &v) in images.iter().enumerate() {
+            if v >= n {
+                return Err(TopologyError::ImageOutOfRange {
+                    value: v,
+                    index: i,
+                    len: n,
+                });
+            }
+            if let Some(first) = first_seen[v] {
+                return Err(TopologyError::DuplicateImage {
+                    value: v,
+                    first_index: first,
+                    second_index: i,
+                });
+            }
+            first_seen[v] = Some(i);
+        }
+        Ok(Permutation { images })
+    }
+}
+
+impl From<Permutation> for Vec<usize> {
+    fn from(p: Permutation) -> Self {
+        p.images
+    }
+}
+
+impl Index<usize> for Permutation {
+    type Output = usize;
+
+    fn index(&self, i: usize) -> &usize {
+        &self.images[i]
+    }
+}
+
+impl<'a> IntoIterator for &'a Permutation {
+    type Item = usize;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, usize>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl fmt::Display for Permutation {
+    /// One-line notation, e.g. `(2 0 3 1)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.images.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_maps_each_to_itself() {
+        let p = Permutation::identity(5);
+        for i in 0..5 {
+            assert_eq!(p.apply(i), i);
+        }
+        assert!(p.is_identity());
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn empty_permutation_is_identity() {
+        let p = Permutation::identity(0);
+        assert!(p.is_empty());
+        assert!(p.is_identity());
+    }
+
+    #[test]
+    fn try_from_rejects_duplicates() {
+        let err = Permutation::try_from(vec![0, 1, 1, 3]).unwrap_err();
+        assert_eq!(
+            err,
+            TopologyError::DuplicateImage {
+                value: 1,
+                first_index: 1,
+                second_index: 2
+            }
+        );
+    }
+
+    #[test]
+    fn try_from_rejects_out_of_range() {
+        let err = Permutation::try_from(vec![0, 4, 2, 3]).unwrap_err();
+        assert_eq!(
+            err,
+            TopologyError::ImageOutOfRange {
+                value: 4,
+                index: 1,
+                len: 4
+            }
+        );
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = Permutation::try_from(vec![3, 1, 4, 0, 2]).unwrap();
+        assert!(p.compose(&p.inverse()).is_identity());
+        assert!(p.inverse().compose(&p).is_identity());
+    }
+
+    #[test]
+    fn compose_applies_right_then_left() {
+        // other = (1 2 0), self = (2 0 1); self∘other maps 0 -> other 1 -> self 0... wait:
+        // compose(other)(i) = self(other(i)). other(0)=1, self(1)=0 => 0.
+        let other = Permutation::try_from(vec![1, 2, 0]).unwrap();
+        let this = Permutation::try_from(vec![2, 0, 1]).unwrap();
+        let c = this.compose(&other);
+        assert!(c.is_identity());
+    }
+
+    #[test]
+    fn transposition_swaps_exactly_two() {
+        let p = Permutation::transposition(6, 1, 4);
+        assert_eq!(p.apply(1), 4);
+        assert_eq!(p.apply(4), 1);
+        assert_eq!(p.apply(0), 0);
+        assert_eq!(p.sign(), -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "transposition indices")]
+    fn transposition_panics_out_of_range() {
+        let _ = Permutation::transposition(4, 1, 4);
+    }
+
+    #[test]
+    fn cycles_of_known_permutation() {
+        let p = Permutation::try_from(vec![1, 0, 2, 4, 3]).unwrap();
+        assert_eq!(p.cycles(), vec![vec![0, 1], vec![2], vec![3, 4]]);
+        assert_eq!(p.sign(), 1); // two transpositions
+    }
+
+    #[test]
+    fn sign_of_identity_is_positive() {
+        assert_eq!(Permutation::identity(7).sign(), 1);
+    }
+
+    #[test]
+    fn route_delivers_to_destinations() {
+        let p = Permutation::try_from(vec![2, 0, 1]).unwrap();
+        let routed = p.route(&["a", "b", "c"]);
+        // input 0 goes to output 2, etc.
+        assert_eq!(routed, vec!["b", "c", "a"]);
+    }
+
+    #[test]
+    fn nth_lexicographic_enumerates_all() {
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..24 {
+            let p = Permutation::nth_lexicographic(4, k);
+            seen.insert(p.as_slice().to_vec());
+        }
+        assert_eq!(seen.len(), 24);
+        // k = 0 is the identity; k = n!-1 is the reversal.
+        assert!(Permutation::nth_lexicographic(4, 0).is_identity());
+        assert_eq!(
+            Permutation::nth_lexicographic(4, 23).as_slice(),
+            &[3, 2, 1, 0]
+        );
+    }
+
+    #[test]
+    fn random_is_valid_and_deterministic_per_seed() {
+        let mut rng1 = StdRng::seed_from_u64(42);
+        let mut rng2 = StdRng::seed_from_u64(42);
+        let p1 = Permutation::random(64, &mut rng1);
+        let p2 = Permutation::random(64, &mut rng2);
+        assert_eq!(p1, p2);
+        assert!(Permutation::try_from(p1.as_slice().to_vec()).is_ok());
+    }
+
+    #[test]
+    fn display_uses_one_line_notation() {
+        let p = Permutation::try_from(vec![2, 0, 1]).unwrap();
+        assert_eq!(p.to_string(), "(2 0 1)");
+    }
+
+    #[test]
+    fn from_fn_builds_bit_complement() {
+        let p = Permutation::from_fn(8, |i| i ^ 0b111).unwrap();
+        assert_eq!(p.apply(0), 7);
+        assert_eq!(p.apply(5), 2);
+        assert!(p.compose(&p).is_identity());
+    }
+
+    #[test]
+    fn index_operator_matches_apply() {
+        let p = Permutation::try_from(vec![1, 2, 0]).unwrap();
+        assert_eq!(p[0], p.apply(0));
+    }
+
+    #[test]
+    fn from_cycles_builds_and_validates() {
+        let p = Permutation::from_cycles(6, &[vec![0, 1, 2], vec![4, 5]]).unwrap();
+        assert_eq!(p.apply(2), 0);
+        assert_eq!(p.apply(3), 3);
+        assert_eq!(p.apply(5), 4);
+        assert!(Permutation::from_cycles(4, &[vec![0, 4]]).is_err());
+        assert!(Permutation::from_cycles(4, &[vec![0, 1], vec![1, 2]]).is_err());
+        assert!(Permutation::from_cycles(3, &[]).unwrap().is_identity());
+    }
+
+    #[test]
+    fn pow_and_order_agree() {
+        let p = Permutation::from_cycles(7, &[vec![0, 1, 2], vec![3, 4]]).unwrap();
+        assert_eq!(p.order(), 6);
+        assert!(p.pow(6).is_identity());
+        assert!(!p.pow(3).is_identity());
+        assert_eq!(p.pow(0), Permutation::identity(7));
+        assert_eq!(p.pow(1), p);
+        // pow(a+b) = pow(a) ∘ pow(b)
+        assert_eq!(p.pow(5), p.pow(2).compose(&p.pow(3)));
+    }
+
+    #[test]
+    fn involutions_are_detected() {
+        assert!(Permutation::transposition(6, 1, 4).is_involution());
+        assert!(Permutation::identity(4).is_involution());
+        let three_cycle = Permutation::from_cycles(3, &[vec![0, 1, 2]]).unwrap();
+        assert!(!three_cycle.is_involution());
+    }
+
+    #[test]
+    fn conjugation_preserves_cycle_structure() {
+        let p = Permutation::from_cycles(5, &[vec![0, 1, 2]]).unwrap();
+        let q = Permutation::try_from(vec![4, 3, 2, 1, 0]).unwrap();
+        let c = p.conjugate_by(&q);
+        let mut a: Vec<usize> = p.cycles().iter().map(Vec::len).collect();
+        let mut b: Vec<usize> = c.cycles().iter().map(Vec::len).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(c.order(), p.order());
+    }
+
+    #[test]
+    fn iteration_yields_one_line_images() {
+        let p = Permutation::try_from(vec![1, 2, 0]).unwrap();
+        let v: Vec<usize> = p.iter().collect();
+        assert_eq!(v, vec![1, 2, 0]);
+        let w: Vec<usize> = (&p).into_iter().collect();
+        assert_eq!(w, v);
+    }
+}

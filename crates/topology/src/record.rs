@@ -1,0 +1,186 @@
+//! The `(address, data)` words that flow through every network in this
+//! workspace.
+//!
+//! Paper §3.2: each input word has `q = m + w` bits — an `m`-bit destination
+//! address (paper bit 0 = MSB) followed by a `w`-bit data word. [`Record`]
+//! models that word with the address kept as a `usize` and up to 64 data
+//! bits; the networks route records and the tests then check that every
+//! record arrived at `dest`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitops::paper_bit;
+
+/// One routable word: destination address plus data payload.
+///
+/// Records order by destination address (then data), which is exactly the
+/// order a sorting network must realize to deliver them.
+///
+/// # Example
+///
+/// ```
+/// use bnb_topology::record::Record;
+///
+/// let r = Record::new(5, 0xBEEF);
+/// assert_eq!(r.dest(), 5);
+/// assert_eq!(r.data(), 0xBEEF);
+/// // paper bit 0 is the MSB of a 3-bit address: 5 = 0b101.
+/// assert!(r.address_bit(3, 0));
+/// assert!(!r.address_bit(3, 1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Record {
+    dest: usize,
+    data: u64,
+}
+
+impl Record {
+    /// A record destined for output `dest` carrying `data`.
+    pub fn new(dest: usize, data: u64) -> Self {
+        Record { dest, data }
+    }
+
+    /// The destination output line.
+    pub fn dest(&self) -> usize {
+        self.dest
+    }
+
+    /// The data payload.
+    pub fn data(&self) -> u64 {
+        self.data
+    }
+
+    /// Paper address bit `k` (bit 0 = MSB of the `m`-bit address).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= m` or the destination does not fit in `m` bits.
+    pub fn address_bit(&self, m: usize, k: usize) -> bool {
+        paper_bit(m, self.dest, k)
+    }
+}
+
+impl PartialOrd for Record {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Record {
+    /// Orders by destination, then by data — the delivery order.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dest.cmp(&other.dest).then(self.data.cmp(&other.data))
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}←{:#x}", self.dest, self.data)
+    }
+}
+
+impl From<(usize, u64)> for Record {
+    fn from((dest, data): (usize, u64)) -> Self {
+        Record::new(dest, data)
+    }
+}
+
+/// Builds the input record vector for a permutation: input `i` carries a
+/// record destined for `perm.apply(i)`, with `data = i` so tests can check
+/// *which* record arrived, not just *that* one arrived.
+///
+/// # Example
+///
+/// ```
+/// use bnb_topology::perm::Permutation;
+/// use bnb_topology::record::records_for_permutation;
+///
+/// let p = Permutation::try_from(vec![1, 0])?;
+/// let recs = records_for_permutation(&p);
+/// assert_eq!(recs[0].dest(), 1);
+/// assert_eq!(recs[0].data(), 0);
+/// # Ok::<(), bnb_topology::TopologyError>(())
+/// ```
+pub fn records_for_permutation(perm: &crate::perm::Permutation) -> Vec<Record> {
+    (0..perm.len())
+        .map(|i| Record::new(perm.apply(i), i as u64))
+        .collect()
+}
+
+/// Checks that `outputs[j].dest() == j` for all `j` — every record landed on
+/// its destination line. This is the success criterion shared by all
+/// permutation-network tests.
+pub fn all_delivered(outputs: &[Record]) -> bool {
+    outputs.iter().enumerate().all(|(j, r)| r.dest() == j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perm::Permutation;
+
+    #[test]
+    fn accessors_return_constructor_values() {
+        let r = Record::new(3, 99);
+        assert_eq!(r.dest(), 3);
+        assert_eq!(r.data(), 99);
+    }
+
+    #[test]
+    fn ordering_is_by_destination_then_data() {
+        let a = Record::new(1, 50);
+        let b = Record::new(2, 0);
+        let c = Record::new(1, 60);
+        assert!(a < b);
+        assert!(a < c);
+        assert!(c < b);
+    }
+
+    #[test]
+    fn address_bit_uses_paper_convention() {
+        let r = Record::new(0b011, 0);
+        assert!(!r.address_bit(3, 0)); // MSB
+        assert!(r.address_bit(3, 1));
+        assert!(r.address_bit(3, 2)); // LSB
+    }
+
+    #[test]
+    fn records_for_permutation_tags_data_with_source() {
+        let p = Permutation::try_from(vec![2, 0, 1]).unwrap();
+        let recs = records_for_permutation(&p);
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.data(), i as u64);
+            assert_eq!(r.dest(), p.apply(i));
+        }
+    }
+
+    #[test]
+    fn all_delivered_detects_misrouting() {
+        let good = vec![Record::new(0, 9), Record::new(1, 8)];
+        let bad = vec![Record::new(1, 9), Record::new(0, 8)];
+        assert!(all_delivered(&good));
+        assert!(!all_delivered(&bad));
+    }
+
+    #[test]
+    fn sorting_records_realizes_delivery_order() {
+        let p = Permutation::try_from(vec![3, 1, 0, 2]).unwrap();
+        let mut recs = records_for_permutation(&p);
+        recs.sort();
+        assert!(all_delivered(&recs));
+    }
+
+    #[test]
+    fn display_shows_dest_and_data() {
+        assert_eq!(Record::new(2, 255).to_string(), "2←0xff");
+    }
+
+    #[test]
+    fn from_tuple_conversion() {
+        let r: Record = (4, 7).into();
+        assert_eq!(r, Record::new(4, 7));
+    }
+}

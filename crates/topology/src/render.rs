@@ -1,0 +1,175 @@
+//! Text renderers for the structural figures of the paper.
+//!
+//! These regenerate Fig. 1 (the recursive GBN structure) and the wiring
+//! diagrams as ASCII art and Graphviz DOT. The renderers draw from the
+//! *constructed* topology objects, so the output is evidence of what the
+//! code actually builds, not a hand-drawn picture.
+
+use std::fmt::Write as _;
+
+use crate::connection::Connection;
+use crate::gbn::Gbn;
+
+/// Renders the stage/box structure of a GBN as ASCII art — the content of
+/// paper Fig. 1 for `m = 3`.
+///
+/// Each column is one stage; each cell names the switching box exactly as
+/// the paper does (`SB(k)` is a `2^k × 2^k` box).
+///
+/// # Example
+///
+/// ```
+/// use bnb_topology::gbn::Gbn;
+/// use bnb_topology::render::render_gbn_ascii;
+///
+/// let art = render_gbn_ascii(&Gbn::new(3));
+/// assert!(art.contains("SB(3)"));
+/// assert!(art.contains("2^3-unshuffle"));
+/// ```
+pub fn render_gbn_ascii(gbn: &Gbn) -> String {
+    let m = gbn.m();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} — {}-input generalized baseline network",
+        gbn,
+        gbn.inputs()
+    );
+    let _ = writeln!(out);
+    for stage in 0..m {
+        let boxes = gbn.boxes_in_stage(stage);
+        let k = gbn.box_size_log(stage);
+        let _ = writeln!(
+            out,
+            "stage-{stage}: {boxes} x SB({k})  [{0} lines each]",
+            1usize << k
+        );
+        for b in 0..boxes {
+            let first = gbn.line_of(crate::gbn::BoxId { stage, index: b }, 0);
+            let last = first + gbn.box_size(stage) - 1;
+            let _ = writeln!(out, "  NB({stage},{b})  lines {first}..={last}");
+        }
+        if stage + 1 < m {
+            let conn = gbn.connection_after(stage);
+            let _ = writeln!(out, "  --- {conn} ---");
+        }
+    }
+    out
+}
+
+/// Renders a GBN as a Graphviz digraph: one node per switching box, one
+/// edge per line between consecutive stages, plus input/output terminals.
+pub fn render_gbn_dot(gbn: &Gbn) -> String {
+    let m = gbn.m();
+    let n = gbn.inputs();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph gbn {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=box];");
+    for id in gbn.boxes() {
+        let k = gbn.box_size_log(id.stage);
+        let _ = writeln!(
+            out,
+            "  \"s{}b{}\" [label=\"{} : SB({})\"];",
+            id.stage, id.index, id, k
+        );
+    }
+    for j in 0..n {
+        let _ = writeln!(out, "  \"in{j}\" [shape=plaintext, label=\"I({j})\"];");
+        let (id, _) = gbn.locate(0, j);
+        let _ = writeln!(out, "  \"in{j}\" -> \"s{}b{}\";", id.stage, id.index);
+        let _ = writeln!(out, "  \"out{j}\" [shape=plaintext, label=\"O({j})\"];");
+        let (id, _) = gbn.locate(m - 1, j);
+        let _ = writeln!(out, "  \"s{}b{}\" -> \"out{j}\";", id.stage, id.index);
+    }
+    for stage in 0..m.saturating_sub(1) {
+        for j in 0..n {
+            let (src, _) = gbn.locate(stage, j);
+            let nj = gbn.next_line(stage, j);
+            let (dst, _) = gbn.locate(stage + 1, nj);
+            let _ = writeln!(
+                out,
+                "  \"s{}b{}\" -> \"s{}b{}\" [label=\"{j}~{nj}\"];",
+                src.stage, src.index, dst.stage, dst.index
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a wiring pattern as a two-row mapping table for `2^m` lines.
+///
+/// # Example
+///
+/// ```
+/// use bnb_topology::connection::Connection;
+/// use bnb_topology::render::render_wiring;
+///
+/// let t = render_wiring(&Connection::Unshuffle { k: 3 }, 3);
+/// assert!(t.starts_with("2^3-unshuffle"));
+/// ```
+pub fn render_wiring(conn: &Connection, m: usize) -> String {
+    let n = 1usize << m;
+    let mut out = String::new();
+    let _ = writeln!(out, "{conn} on {n} lines:");
+    let width = format!("{}", n - 1).len().max(2);
+    let _ = write!(out, "  from:");
+    for j in 0..n {
+        let _ = write!(out, " {j:>width$}");
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "  to:  ");
+    for j in 0..n {
+        let _ = write!(out, " {:>width$}", conn.apply(m, j));
+    }
+    let _ = writeln!(out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_render_of_fig1_structure() {
+        let art = render_gbn_ascii(&Gbn::new(3));
+        // Fig. 1 content: one SB(3), two SB(2), four SB(1).
+        assert!(art.contains("stage-0: 1 x SB(3)"));
+        assert!(art.contains("stage-1: 2 x SB(2)"));
+        assert!(art.contains("stage-2: 4 x SB(1)"));
+        assert!(art.contains("NB(1,1)"));
+        assert!(art.contains("2^3-unshuffle"));
+        assert!(art.contains("2^2-unshuffle"));
+    }
+
+    #[test]
+    fn dot_render_contains_all_boxes_and_edges() {
+        let g = Gbn::new(3);
+        let dot = render_gbn_dot(&g);
+        assert!(dot.starts_with("digraph gbn {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for id in g.boxes() {
+            assert!(dot.contains(&format!("s{}b{}", id.stage, id.index)));
+        }
+        // 8 inputs + 8 outputs + 2 stages x 8 wires
+        assert_eq!(dot.matches("->").count(), 8 + 8 + 16);
+    }
+
+    #[test]
+    fn wiring_table_shows_mapping() {
+        let t = render_wiring(&Connection::Unshuffle { k: 2 }, 2);
+        assert!(t.contains("from:"));
+        assert!(t.contains("to:"));
+        // U_2^2: 0->0, 1->2, 2->1, 3->3
+        assert!(t.contains(" 0  2  1  3"));
+    }
+
+    #[test]
+    fn render_single_stage_network() {
+        // m = 1: no inter-stage wiring, must not panic.
+        let art = render_gbn_ascii(&Gbn::new(1));
+        assert!(art.contains("stage-0: 1 x SB(1)"));
+        assert!(!art.contains("unshuffle"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Regenerates the paper's structural figures from the constructed
+//! objects:
+//!
+//! - Fig. 1 — the 8-input generalized baseline network `B(3, SB)`;
+//! - Fig. 2 — the BNB network `B(3, B_k^3(i, SB_k))` slice structure;
+//! - Fig. 3 — the nested-network profile `NB(i, l)`;
+//! - Fig. 4 — the 8-input splitter `sp(3)`;
+//! - Fig. 5 — the arbiter function node (exhaustive truth table from the
+//!   gate-level netlist).
+//!
+//! Run with: `cargo run --example figure_gallery`
+
+use bnb::core::network::BnbNetwork;
+use bnb::core::render::{render_network, render_profile, render_splitter};
+use bnb::gates::components::function_node;
+use bnb::gates::netlist::Netlist;
+use bnb::topology::connection::Connection;
+use bnb::topology::gbn::Gbn;
+use bnb::topology::render::{render_gbn_ascii, render_gbn_dot, render_wiring};
+
+fn main() {
+    println!("==== Fig. 1 — 8-input generalized baseline network ====\n");
+    let gbn = Gbn::new(3);
+    print!("{}", render_gbn_ascii(&gbn));
+    println!("\nwiring detail:");
+    print!("{}", render_wiring(&Connection::Unshuffle { k: 3 }, 3));
+    print!("{}", render_wiring(&Connection::Unshuffle { k: 2 }, 3));
+
+    println!("\n==== Fig. 2 — BNB network B(3, B_k^3(i, SB_k)) ====\n");
+    let net = BnbNetwork::builder(3).data_width(0).build();
+    print!("{}", render_network(&net));
+
+    println!("\n==== Fig. 3 — profile of the BNB network ====\n");
+    print!("{}", render_profile(3));
+
+    println!("\n==== Fig. 4 — 8-input splitter sp(3) ====\n");
+    print!("{}", render_splitter(3));
+
+    println!("\n==== Fig. 5 — function node truth table (gate level) ====\n");
+    let mut nl = Netlist::new();
+    let x1 = nl.input("x1");
+    let x2 = nl.input("x2");
+    let zd = nl.input("zd");
+    let node = function_node(&mut nl, x1, x2, zd);
+    nl.output("zu", node.zu);
+    nl.output("y1", node.y1);
+    nl.output("y2", node.y2);
+    println!("x1 x2 zd | zu y1 y2   (type-1: zu=0 generates 0/1; type-2: forwards zd)");
+    for bits in 0..8u8 {
+        let inputs = [bits & 4 != 0, bits & 2 != 0, bits & 1 != 0];
+        let out = nl.eval(&inputs).expect("3 inputs, 3 outputs");
+        println!(
+            " {}  {}  {} |  {}  {}  {}",
+            u8::from(inputs[0]),
+            u8::from(inputs[1]),
+            u8::from(inputs[2]),
+            u8::from(out[0]),
+            u8::from(out[1]),
+            u8::from(out[2])
+        );
+    }
+
+    println!("\n==== bonus: Fig. 1 as Graphviz DOT ====\n");
+    print!("{}", render_gbn_dot(&gbn));
+}

@@ -1,0 +1,20 @@
+//! Regenerates the paper's evaluation (§5): Table 1 (hardware), Table 2
+//! (delay), and the headline 1/3-hardware / 2/3-delay ratios, from both the
+//! closed forms and the constructed networks.
+//!
+//! Run with: `cargo run --example hardware_comparison`
+
+use bnb::analysis::report::{ablation_local_vs_global, ablation_wiring_summary, ratio_table};
+use bnb::analysis::{table1, table2};
+
+fn main() {
+    let ms = [3usize, 4, 5, 6, 8, 10];
+
+    println!("{}", table1(&ms, 8).to_markdown());
+    println!("{}", table2(&ms).to_markdown());
+    println!("{}", ratio_table(&[3, 5, 8, 10, 14, 20], 0).to_markdown());
+    println!("{}", ablation_local_vs_global(&ms).to_markdown());
+    println!("{}", ablation_wiring_summary(5, 100, 11));
+
+    println!("paper claims (leading terms): hardware ratio -> 1/3, delay ratio -> 2/3");
+}

@@ -1,0 +1,40 @@
+//! Quickstart: build a BNB network, self-route a permutation, inspect the
+//! per-column trace, and print the paper's complexity figures for the
+//! constructed network.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use bnb::core::network::BnbNetwork;
+use bnb::topology::perm::Permutation;
+use bnb::topology::record::{all_delivered, records_for_permutation};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An 8-input BNB network (m = 3): three main stages of nested
+    // networks, 6 switch columns in total.
+    let net = BnbNetwork::with_inputs(8)?;
+
+    // Any permutation of 0..8 self-routes; no global routing computation.
+    let perm = Permutation::try_from(vec![6, 2, 7, 0, 4, 1, 3, 5])?;
+    println!("offered permutation: {perm}");
+
+    let (outputs, trace) = net.route_traced(&records_for_permutation(&perm))?;
+    assert!(all_delivered(&outputs));
+
+    println!("\nper-column destination trace (column i.j = main stage i, internal stage j):");
+    print!("{trace}");
+    println!(
+        "\nswitch columns traversed: {} (= m(m+1)/2)",
+        trace.column_count()
+    );
+    println!("exchange settings chosen: {}", trace.exchange_count());
+
+    println!("\noutputs (line <- record):");
+    for (j, r) in outputs.iter().enumerate() {
+        println!("  output {j}: {r} (came from input {})", r.data());
+    }
+
+    // The paper's §5 complexity model, counted on this very network.
+    println!("\nhardware (eq. 6):  {}", net.cost());
+    println!("delay    (eq. 9):  {}", net.delay());
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Bursty traffic over a permutation network: an input-queued 16-port
+//! switch decomposes arbitrary (many-to-one, bursty) traffic into
+//! permutation rounds and drains them through the BNB fabric.
+//!
+//! Demonstrates head-of-line blocking with plain FIFOs versus virtual
+//! output queues, against the congestion lower bound.
+//!
+//! Run with: `cargo run --example traffic_scheduler`
+
+use bnb::core::network::BnbNetwork;
+use bnb::sim::scheduler::{QueueDiscipline, VoqSwitch};
+use bnb::topology::record::Record;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const M: usize = 4; // 16-port switch
+    let n = 1usize << M;
+
+    // A bursty trace: hot output 3 gets 25% of all records.
+    let mut rng = StdRng::seed_from_u64(7);
+    let trace: Vec<(usize, Record)> = (0..300u64)
+        .map(|k| {
+            let input = rng.random_range(0..n);
+            let dest = if rng.random_bool(0.25) {
+                3
+            } else {
+                rng.random_range(0..n)
+            };
+            (input, Record::new(dest, k))
+        })
+        .collect();
+
+    for discipline in [QueueDiscipline::Fifo, QueueDiscipline::Voq] {
+        let mut sw = VoqSwitch::new(BnbNetwork::with_inputs(n)?, discipline);
+        for &(input, record) in &trace {
+            sw.offer(input, record)?;
+        }
+        let bound = sw.lower_bound();
+        let stats = sw.run_to_completion(100_000)?;
+        println!(
+            "{discipline:?}: drained {} records in {} rounds (congestion bound {}, efficiency {:.2})",
+            stats.delivered,
+            stats.rounds,
+            bound,
+            stats.efficiency()
+        );
+    }
+
+    println!("\nevery round above was a real pass through the self-routing BNB fabric");
+    println!("(partial permutations completed with filler destinations, paper §4 assumption)");
+    Ok(())
+}

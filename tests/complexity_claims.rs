@@ -1,0 +1,161 @@
+//! The paper's quantitative claims (§5, Tables 1–2) verified end-to-end:
+//! closed forms vs constructed structures vs runtime traces.
+
+use bnb::analysis::formulas;
+use bnb::analysis::ratio;
+use bnb::core::cost::HardwareCost;
+use bnb::core::delay::PropagationDelay;
+use bnb::core::network::BnbNetwork;
+use bnb::topology::perm::Permutation;
+use bnb::topology::record::records_for_permutation;
+
+/// eq. (6): the closed form equals the structure-enumerated count for a
+/// grid of (m, w).
+#[test]
+fn eq6_closed_form_equals_counted() {
+    for m in 1..=16 {
+        for w in [0usize, 1, 4, 8, 16, 32, 64] {
+            assert_eq!(
+                HardwareCost::bnb_closed_form(m, w),
+                HardwareCost::bnb_counted(m, w),
+                "m = {m}, w = {w}"
+            );
+        }
+    }
+}
+
+/// eq. (7): the *runtime* column count of a real route equals m(m+1)/2.
+#[test]
+fn eq7_runtime_column_count() {
+    for m in 1..=7usize {
+        let net = BnbNetwork::new(m);
+        let p = Permutation::identity(1 << m);
+        let (_, trace) = net.route_traced(&records_for_permutation(&p)).unwrap();
+        assert_eq!(trace.column_count(), m * (m + 1) / 2, "m = {m}");
+        assert_eq!(
+            trace.column_count() as u64,
+            PropagationDelay::bnb_structural(m).switch_units
+        );
+    }
+}
+
+/// eqs. (8)–(9): structural delay equals the paper's polynomial.
+#[test]
+fn eq9_delay_polynomial() {
+    for m in 1..=24 {
+        assert_eq!(
+            PropagationDelay::bnb_structural(m),
+            PropagationDelay::bnb_closed_form(m),
+            "m = {m}"
+        );
+    }
+}
+
+/// eqs. (10)–(12): Batcher formulas match the constructed comparator
+/// network.
+#[test]
+fn batcher_equations() {
+    use bnb::baselines::batcher::BatcherNetwork;
+    for m in 1..=9 {
+        let net = BatcherNetwork::new(m);
+        assert_eq!(
+            net.comparator_count() as u64,
+            formulas::batcher_comparators(m)
+        );
+        for w in [0usize, 8] {
+            assert_eq!(net.cost(w), formulas::batcher_cost(m, w));
+        }
+        assert_eq!(net.delay(), formulas::batcher_delay(m));
+    }
+}
+
+/// Table 1's headline: BNB needs about 1/3 of Batcher's hardware (leading
+/// terms), and the exact ratio decreases monotonically toward it.
+#[test]
+fn table1_hardware_ratio_claim() {
+    assert!((ratio::asymptotic_hardware_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    let mut prev = f64::MAX;
+    for m in 3..=30 {
+        let r = ratio::hardware_ratio(m, 0);
+        assert!(r < prev, "ratio must decrease: m = {m}");
+        assert!(r > 1.0 / 3.0, "ratio approaches 1/3 from above: m = {m}");
+        prev = r;
+    }
+    assert!(ratio::hardware_ratio_per_line(2000.0, 0.0) - 1.0 / 3.0 < 1e-3);
+}
+
+/// Table 2's headline: BNB delay is about 2/3 of Batcher's.
+#[test]
+fn table2_delay_ratio_claim() {
+    assert!((ratio::asymptotic_delay_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    for m in 3..=30 {
+        let r = ratio::delay_ratio(m);
+        assert!(r < 1.0, "BNB must be faster at m = {m}");
+    }
+    assert!((ratio::delay_ratio_per_line(2000.0) - 2.0 / 3.0).abs() < 1e-3);
+}
+
+/// The Koppelman comparison rows: BNB beats Koppelman's delay at every
+/// size (Table 2), and needs fewer switches (N/6 vs N/4 log³N) with no
+/// adder slices (Table 1).
+#[test]
+fn koppelman_comparison() {
+    use bnb::analysis::formulas::table2_poly;
+    // Delay: the paper claims a smaller delay than Koppelman's, which the
+    // leading terms support (1/3 < 2/3 per log³N) — but evaluating the
+    // paper's own Table 2 polynomials shows Koppelman is actually *faster*
+    // up to N = 64; BNB wins from N = 128 on. A finding of this
+    // reproduction (see EXPERIMENTS.md).
+    for m in 2..=6 {
+        assert!(
+            table2_poly::bnb(m) > table2_poly::koppelman(m),
+            "Koppelman's polynomial is lower at m = {m}"
+        );
+    }
+    for m in 7..=24 {
+        assert!(
+            table2_poly::bnb(m) < table2_poly::koppelman(m),
+            "BNB delay must beat Koppelman at m = {m}"
+        );
+    }
+    // Hardware: the Koppelman figures are leading terms only, so compare
+    // leading against leading: N/6·log³N < N/4·log³N switches, and BNB
+    // needs no adder slices at all.
+    for m in 2..=20 {
+        let (kop_sw, _, kop_add) = formulas::table1_leading::koppelman(m);
+        let (bnb_sw, _, bnb_add) = formulas::table1_leading::bnb(m);
+        assert!(bnb_sw < kop_sw, "m = {m}");
+        assert_eq!(bnb_add, 0.0);
+        assert!(kop_add > 0.0);
+        assert_eq!(formulas::bnb_cost(m, 0).adder_slices, 0);
+        assert!(formulas::koppelman_cost(m).adder_slices > 0);
+    }
+    // Batcher vs Koppelman delay: the paper says Koppelman has "a longer
+    // delay time" than Batcher — by the leading term (2/3 > 1/2) that is
+    // the asymptotic truth, but the polynomials actually cross at m = 13:
+    // Koppelman is *faster* for every practical size below N = 8192.
+    for m in 2..=12 {
+        assert!(
+            table2_poly::koppelman(m) < table2_poly::batcher(m),
+            "m = {m}"
+        );
+    }
+    for m in 13..=24 {
+        assert!(
+            table2_poly::koppelman(m) > table2_poly::batcher(m),
+            "m = {m}"
+        );
+    }
+}
+
+/// The reproduction's crossover finding: with w = 16 data bits, Batcher is
+/// cheaper below N = 64 and BNB above.
+#[test]
+fn wide_word_crossover_at_n64() {
+    for m in 2..=5 {
+        assert!(ratio::hardware_ratio(m, 16) > 1.0, "m = {m}");
+    }
+    for m in 6..=24 {
+        assert!(ratio::hardware_ratio(m, 16) < 1.0, "m = {m}");
+    }
+}

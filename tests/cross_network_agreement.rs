@@ -1,0 +1,108 @@
+//! All six permutation-capable networks — BNB, Batcher, bitonic, Benes,
+//! Koppelman and crossbar — must realize the same permutations and deliver
+//! identical outputs; the blocking networks (baseline, omega) must admit
+//! strictly fewer.
+
+use bnb::baselines::batcher::BatcherNetwork;
+use bnb::baselines::benes::BenesNetwork;
+use bnb::baselines::bitonic::BitonicNetwork;
+use bnb::baselines::crossbar::Crossbar;
+use bnb::baselines::koppelman::KoppelmanModel;
+use bnb::baselines::omega::OmegaNetwork;
+use bnb::core::network::BnbNetwork;
+use bnb::sim::workload::Workload;
+use bnb::topology::baseline::BaselineNetwork;
+use bnb::topology::perm::Permutation;
+use bnb::topology::record::{all_delivered, records_for_permutation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn all_outputs_agree(n_log: usize, p: &Permutation) {
+    let recs = records_for_permutation(p);
+    let bnb_out = BnbNetwork::builder(n_log)
+        .data_width(32)
+        .build()
+        .route(&recs)
+        .expect("bnb routes");
+    let bat_out = BatcherNetwork::new(n_log)
+        .route(&recs)
+        .expect("batcher routes");
+    let bit_out = BitonicNetwork::new(n_log)
+        .route(&recs)
+        .expect("bitonic routes");
+    let ben_out = BenesNetwork::new(n_log).route(&recs).expect("benes routes");
+    let kop_out = KoppelmanModel::new(n_log)
+        .route(&recs)
+        .expect("koppelman routes");
+    let xb_out = Crossbar::new(1 << n_log)
+        .route(&recs)
+        .expect("crossbar routes");
+    assert!(all_delivered(&bnb_out));
+    assert_eq!(bnb_out, bat_out);
+    assert_eq!(bnb_out, bit_out);
+    assert_eq!(bnb_out, ben_out);
+    assert_eq!(bnb_out, kop_out);
+    assert_eq!(bnb_out, xb_out);
+}
+
+#[test]
+fn agreement_on_random_permutations() {
+    let mut rng = StdRng::seed_from_u64(77);
+    for m in [2usize, 3, 5, 7] {
+        for _ in 0..10 {
+            let p = Permutation::random(1 << m, &mut rng);
+            all_outputs_agree(m, &p);
+        }
+    }
+}
+
+#[test]
+fn agreement_on_classic_workloads() {
+    for m in [4usize, 6] {
+        let n = 1usize << m;
+        for w in Workload::all_for(n) {
+            all_outputs_agree(m, &w.permutation(n));
+        }
+    }
+}
+
+#[test]
+fn blocking_networks_admit_strictly_fewer() {
+    // N = 8: 40 320 permutations; baseline and omega admit exactly
+    // 2^12 = 4096 (one per switch-setting vector); the BNB admits all.
+    let baseline = BaselineNetwork::with_inputs(8).unwrap();
+    let omega = OmegaNetwork::with_inputs(8).unwrap();
+    assert_eq!(baseline.count_admissible(), 4096);
+    assert_eq!(omega.count_admissible(), 4096);
+    // Spot-check: a permutation omega blocks but BNB routes.
+    let bnb = BnbNetwork::new(3);
+    let mut blocked_but_routed = 0;
+    for k in (0..40_320u64).step_by(997) {
+        let p = Permutation::nth_lexicographic(8, k);
+        if !omega.is_admissible(&p) {
+            let out = bnb.route(&records_for_permutation(&p)).unwrap();
+            assert!(all_delivered(&out));
+            blocked_but_routed += 1;
+        }
+    }
+    assert!(
+        blocked_but_routed > 0,
+        "some sampled permutation must block omega"
+    );
+}
+
+#[test]
+fn benes_and_bnb_agree_under_repeated_routing() {
+    // Routing the same permutation twice must be deterministic everywhere.
+    let p = Permutation::try_from(vec![5, 0, 3, 6, 1, 7, 2, 4]).unwrap();
+    let recs = records_for_permutation(&p);
+    let bnb = BnbNetwork::new(3);
+    let a = bnb.route(&recs).unwrap();
+    let b = bnb.route(&recs).unwrap();
+    assert_eq!(a, b);
+    let ben = BenesNetwork::new(3);
+    let ra = ben.route(&recs).unwrap();
+    let rb = ben.route(&recs).unwrap();
+    assert_eq!(ra, rb);
+    assert_eq!(a, ra);
+}

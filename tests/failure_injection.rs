@@ -1,0 +1,144 @@
+//! End-to-end failure injection: the library must detect assumption
+//! violations under the strict policy and degrade like hardware (conserve
+//! records, never panic) under the permissive policy.
+
+use bnb::core::error::RouteError;
+use bnb::core::network::{BnbNetwork, RoutePolicy};
+use bnb::sim::faults::{campaign, classify, inject, Fault, Outcome};
+use bnb::sim::workload::partial_traffic;
+use bnb::topology::perm::Permutation;
+use bnb::topology::record::{records_for_permutation, Record};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+#[test]
+fn strict_policy_detects_every_duplicate_in_large_campaign() {
+    let mut rng = StdRng::seed_from_u64(31337);
+    for m in [3usize, 5, 7] {
+        let trials = 100;
+        let (detected, _) = campaign(m, trials, &mut rng);
+        assert_eq!(
+            detected, trials,
+            "m = {m}: every duplicate must be detected"
+        );
+    }
+}
+
+#[test]
+fn permissive_policy_always_conserves_records() {
+    // Arbitrary garbage destinations: the permissive network must still
+    // output exactly the input multiset (hardware moves records, never
+    // creates or destroys them).
+    let mut rng = StdRng::seed_from_u64(99);
+    let net = BnbNetwork::builder(5)
+        .data_width(16)
+        .policy(RoutePolicy::Permissive)
+        .build();
+    for _ in 0..50 {
+        let recs: Vec<Record> = (0..32)
+            .map(|i| Record::new(rng.random_range(0..32), i as u64))
+            .collect();
+        let out = net.route(&recs).unwrap();
+        let mut in_sorted = recs.clone();
+        let mut out_sorted = out.clone();
+        in_sorted.sort();
+        out_sorted.sort();
+        assert_eq!(in_sorted, out_sorted);
+    }
+}
+
+#[test]
+fn strict_policy_reports_the_earliest_violation_site() {
+    // A duplicated destination pair placed in the same half produces an
+    // unbalanced splitter no later than stage 0's BSN; the duplicate check
+    // fires first, so relax it via a hand-built unbalanced case: use the
+    // permissive duplicate path on the BSN level through route() of a
+    // strict network — the DuplicateDestination error must name both lines.
+    let net = BnbNetwork::new(3);
+    let mut recs = records_for_permutation(&Permutation::identity(8));
+    recs[5] = Record::new(2, 5);
+    match net.route(&recs).unwrap_err() {
+        RouteError::DuplicateDestination {
+            dest,
+            first_input,
+            second_input,
+        } => {
+            assert_eq!(dest, 2);
+            assert_eq!(first_input, 2);
+            assert_eq!(second_input, 5);
+        }
+        other => panic!("expected duplicate detection, got {other:?}"),
+    }
+}
+
+#[test]
+fn out_of_range_faults_never_reach_the_fabric() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for policy in [RoutePolicy::Strict, RoutePolicy::Permissive] {
+        let net = BnbNetwork::builder(4).policy(policy).build();
+        let mut recs = records_for_permutation(&Permutation::random(16, &mut rng));
+        inject(&mut recs, Fault::OutOfRangeDestination { line: 9 });
+        match classify(&net, &recs) {
+            Outcome::DetectedAtInput(msg) => assert!(msg.contains("16-output")),
+            other => panic!("{policy:?}: expected input rejection, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn partial_traffic_is_rejected_by_multistage_but_served_by_crossbar() {
+    // The BNB network requires full permutations (its splitters need
+    // balance); partial traffic must be rejected up front, while the
+    // crossbar serves it.
+    use bnb::baselines::crossbar::Crossbar;
+    let mut rng = StdRng::seed_from_u64(55);
+    let traffic = partial_traffic(16, 0.4, &mut rng);
+    let xbar = Crossbar::new(16);
+    let served = xbar.route_partial(&traffic).unwrap();
+    let active = traffic.iter().flatten().count();
+    assert_eq!(served.iter().flatten().count(), active);
+
+    // Filling idle slots with duplicate destination 0 (a naive adapter)
+    // is caught by the strict BNB network.
+    let net = BnbNetwork::builder(4).data_width(32).build();
+    let filled: Vec<Record> = traffic
+        .iter()
+        .map(|o| o.unwrap_or(Record::new(0, 0)))
+        .collect();
+    assert!(matches!(
+        net.route(&filled),
+        Err(RouteError::DuplicateDestination { .. })
+    ));
+}
+
+#[test]
+fn misrouting_under_permissive_duplicates_is_bounded() {
+    // With exactly one duplicated destination, at most a handful of
+    // records can end up misdelivered — the rest of the traffic is
+    // unaffected. Quantify that blast radius.
+    let mut rng = StdRng::seed_from_u64(123);
+    let net = BnbNetwork::builder(6)
+        .data_width(32)
+        .policy(RoutePolicy::Permissive)
+        .build();
+    let n = 64usize;
+    let mut worst = 0usize;
+    for _ in 0..30 {
+        let p = Permutation::random(n, &mut rng);
+        let mut recs = records_for_permutation(&p);
+        inject(
+            &mut recs,
+            Fault::DuplicateDestination {
+                line: rng.random_range(0..n),
+            },
+        );
+        if let Outcome::Routed { misdelivered } = classify(&net, &recs) {
+            worst = worst.max(misdelivered);
+        }
+    }
+    assert!(worst >= 1, "a duplicate must disturb at least one record");
+    assert!(
+        worst <= n / 2,
+        "a single duplicate should not scramble more than half the fabric (worst = {worst})"
+    );
+}

@@ -1,0 +1,142 @@
+//! Cross-validation of the two BNB implementations: the gate-level netlist
+//! (`bnb-gates`) and the behavioural simulator (`bnb-core`) must route
+//! every input identically — including invalid inputs under the permissive
+//! policy, since real hardware routes whatever arrives.
+
+use bnb::core::bsn::BitSorter;
+use bnb::core::network::{BnbNetwork, RoutePolicy};
+use bnb::gates::components::{bit_sorter, bnb_network, splitter};
+use bnb::gates::delay::{critical_path, DelayModel};
+use bnb::gates::netlist::{Net, Netlist};
+use bnb::topology::perm::Permutation;
+use bnb::topology::record::{records_for_permutation, Record};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+#[test]
+fn full_network_equivalence_exhaustive_n4() {
+    let gate = bnb_network(2, 4);
+    let beh = BnbNetwork::builder(2).data_width(4).build();
+    for k in 0..24 {
+        let p = Permutation::nth_lexicographic(4, k);
+        let recs = records_for_permutation(&p);
+        let g = gate.route(&recs).unwrap();
+        let b = beh.route(&recs).unwrap();
+        assert_eq!(g, b, "perm {p}: gate and behavioural outputs differ");
+    }
+}
+
+#[test]
+fn full_network_equivalence_sampled_n8_n16() {
+    let mut rng = StdRng::seed_from_u64(404);
+    for m in [3usize, 4] {
+        let gate = bnb_network(m, 6);
+        let beh = BnbNetwork::builder(m).data_width(6).build();
+        let n = 1usize << m;
+        for _ in 0..40 {
+            let p = Permutation::random(n, &mut rng);
+            let recs: Vec<Record> = (0..n)
+                .map(|i| Record::new(p.apply(i), rng.random_range(0..64)))
+                .collect();
+            let g = gate.route(&recs).unwrap();
+            let b = beh.route(&recs).unwrap();
+            assert_eq!(g, b, "m = {m}");
+        }
+    }
+}
+
+#[test]
+fn equivalence_on_invalid_inputs_permissive() {
+    // Hardware semantics: non-permutation inputs mis-route, but both
+    // implementations must mis-route the *same way*.
+    let mut rng = StdRng::seed_from_u64(505);
+    let gate = bnb_network(3, 4);
+    let beh = BnbNetwork::builder(3)
+        .data_width(4)
+        .policy(RoutePolicy::Permissive)
+        .build();
+    for _ in 0..40 {
+        let recs: Vec<Record> = (0..8)
+            .map(|_| Record::new(rng.random_range(0..8), rng.random_range(0..16)))
+            .collect();
+        let g = gate.route(&recs).unwrap();
+        let b = beh.route(&recs).unwrap();
+        assert_eq!(g, b, "inputs {recs:?}");
+    }
+}
+
+#[test]
+fn bit_sorter_equivalence_exhaustive() {
+    for k in [2usize, 3] {
+        let n = 1usize << k;
+        let mut nl = Netlist::new();
+        let ins: Vec<Net> = (0..n).map(|j| nl.input(format!("s{j}"))).collect();
+        let outs = bit_sorter(&mut nl, &ins);
+        for (j, &o) in outs.iter().enumerate() {
+            nl.output(format!("o{j}"), o);
+        }
+        let beh = BitSorter::new(k);
+        for pattern in 0..(1u32 << n) {
+            let bits: Vec<bool> = (0..n).map(|j| pattern >> j & 1 == 1).collect();
+            let g = nl.eval(&bits).unwrap();
+            let b = beh.route_permissive(&bits).unwrap();
+            assert_eq!(g, b, "BSN({k}) pattern {pattern:b}");
+        }
+    }
+}
+
+#[test]
+fn splitter_equivalence_exhaustive() {
+    for p in [1usize, 2, 3] {
+        let n = 1usize << p;
+        let mut nl = Netlist::new();
+        let ins: Vec<Net> = (0..n).map(|j| nl.input(format!("s{j}"))).collect();
+        let sp = splitter(&mut nl, &ins);
+        for (j, &o) in sp.outputs.iter().enumerate() {
+            nl.output(format!("o{j}"), o);
+        }
+        for pattern in 0..(1u32 << n) {
+            let bits: Vec<bool> = (0..n).map(|j| pattern >> j & 1 == 1).collect();
+            let g = nl.eval(&bits).unwrap();
+            let b = bnb::core::splitter::split(&bits).outputs;
+            assert_eq!(g, b, "sp({p}) pattern {pattern:b}");
+        }
+    }
+}
+
+#[test]
+fn gate_depth_grows_like_the_delay_model() {
+    // The gate-level critical path must grow superlinearly in m, tracking
+    // the D_FN-dominated eq. (9) shape (cubic in m), and must be strictly
+    // monotone.
+    let mut depths = Vec::new();
+    for m in 1..=4usize {
+        let net = bnb_network(m, 0);
+        let cp = critical_path(net.netlist(), &DelayModel::unit()).unwrap();
+        depths.push(cp.delay);
+    }
+    for w in depths.windows(2) {
+        assert!(w[1] > w[0], "depth must increase with m: {depths:?}");
+    }
+    // Growth between m=3 and m=4 must exceed linear scaling (4/3).
+    assert!(
+        depths[3] / depths[2] > 4.0 / 3.0,
+        "superlinear growth expected: {depths:?}"
+    );
+}
+
+#[test]
+fn gate_census_matches_switch_count_model() {
+    // Every 2x2 switch in the behavioural model is 2q muxes at gate level
+    // (q bits x 2 outputs). With w = 0 and q = m... per main stage i the
+    // nested networks carry all q = m slices in the netlist (it does not
+    // drop used address bits), so:
+    //   muxes = sum_i (m-i) columns * N/2 switches * 2m mux/switch.
+    for m in 1..=4usize {
+        let n = 1usize << m;
+        let net = bnb_network(m, 0);
+        let census = net.netlist().census();
+        let columns: usize = (1..=m).sum();
+        assert_eq!(census.muxes, columns * (n / 2) * 2 * m, "m = {m}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests of the netlist substrate on *random circuits* —
+//! not just the hand-built components: evaluation determinism, optimizer
+//! equivalence, and delay monotonicity.
+
+use bnb::gates::delay::{arrival_times, critical_path, DelayModel};
+use bnb::gates::netlist::{Net, Netlist};
+use bnb::gates::optimize::optimize;
+use proptest::prelude::*;
+
+/// A recipe for one random gate: kind selector plus fan-in choices.
+#[derive(Debug, Clone)]
+struct GateRecipe {
+    kind: u8,
+    a: usize,
+    b: usize,
+    c: usize,
+}
+
+fn gate_recipe() -> impl Strategy<Value = GateRecipe> {
+    (0u8..6, any::<usize>(), any::<usize>(), any::<usize>())
+        .prop_map(|(kind, a, b, c)| GateRecipe { kind, a, b, c })
+}
+
+/// Builds a random combinational netlist from recipes. Fan-ins always
+/// reference existing nets, so the construction is valid by construction.
+fn build(n_inputs: usize, recipes: &[GateRecipe]) -> Netlist {
+    let mut nl = Netlist::new();
+    let mut nets: Vec<Net> = (0..n_inputs).map(|i| nl.input(format!("i{i}"))).collect();
+    // A couple of constants to give the folder something to chew on.
+    nets.push(nl.constant(false));
+    nets.push(nl.constant(true));
+    for r in recipes {
+        let pick = |sel: usize, nets: &[Net]| nets[sel % nets.len()];
+        let a = pick(r.a, &nets);
+        let b = pick(r.b, &nets);
+        let c = pick(r.c, &nets);
+        let g = match r.kind {
+            0 => nl.not(a),
+            1 => nl.and(a, b),
+            2 => nl.or(a, b),
+            3 => nl.xor(a, b),
+            4 => nl.mux(a, b, c),
+            _ => nl.constant(r.a % 2 == 0),
+        };
+        nets.push(g);
+    }
+    // Expose a spread of nets as outputs (always at least one).
+    let count = nets.len();
+    for (i, net) in nets.iter().enumerate() {
+        if i % 3 == 0 || i + 1 == count {
+            nl.output(format!("o{i}"), *net);
+        }
+    }
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The optimizer preserves input/output behaviour on random circuits
+    /// and random stimulus.
+    #[test]
+    fn optimizer_preserves_behaviour(
+        n_inputs in 1usize..6,
+        recipes in proptest::collection::vec(gate_recipe(), 1..60),
+        stimulus in proptest::collection::vec(any::<u64>(), 4),
+    ) {
+        let nl = build(n_inputs, &recipes);
+        let (opt, stats) = optimize(&nl);
+        prop_assert!(stats.optimized_gates <= stats.original_gates);
+        for s in &stimulus {
+            let bits: Vec<bool> = (0..n_inputs).map(|i| s >> i & 1 == 1).collect();
+            prop_assert_eq!(nl.eval(&bits).unwrap(), opt.eval(&bits).unwrap());
+        }
+    }
+
+    /// Optimization never lengthens the unit-delay critical path.
+    #[test]
+    fn optimizer_never_slows_the_circuit(
+        n_inputs in 1usize..5,
+        recipes in proptest::collection::vec(gate_recipe(), 1..40),
+    ) {
+        let nl = build(n_inputs, &recipes);
+        let (opt, _) = optimize(&nl);
+        let before = critical_path(&nl, &DelayModel::unit()).unwrap().delay;
+        let after = critical_path(&opt, &DelayModel::unit()).unwrap().delay;
+        prop_assert!(after <= before, "optimizer slowed {before} -> {after}");
+    }
+
+    /// Evaluation is deterministic and arrival times upper-bound every
+    /// net's logical depth (sanity of the delay analysis).
+    #[test]
+    fn evaluation_and_delay_sanity(
+        n_inputs in 1usize..5,
+        recipes in proptest::collection::vec(gate_recipe(), 1..40),
+        s in any::<u64>(),
+    ) {
+        let nl = build(n_inputs, &recipes);
+        let bits: Vec<bool> = (0..n_inputs).map(|i| s >> i & 1 == 1).collect();
+        prop_assert_eq!(nl.eval(&bits).unwrap(), nl.eval(&bits).unwrap());
+        let arr = arrival_times(&nl, &DelayModel::unit());
+        // Arrival of any net >= arrival of each of its fan-ins.
+        for net in nl.nets() {
+            for f in nl.gate(net).fanin() {
+                prop_assert!(arr[net.index()] >= arr[f.index()]);
+            }
+        }
+    }
+
+    /// The optimizer is idempotent on random circuits.
+    #[test]
+    fn optimizer_is_idempotent(
+        n_inputs in 1usize..5,
+        recipes in proptest::collection::vec(gate_recipe(), 1..40),
+    ) {
+        let nl = build(n_inputs, &recipes);
+        let (opt1, _) = optimize(&nl);
+        let (opt2, _) = optimize(&opt1);
+        prop_assert_eq!(opt1.census().logic_gates(), opt2.census().logic_gates());
+    }
+}
+
+/// Verilog export of random circuits is structurally sane: every declared
+/// wire appears, and gate counts line up.
+#[test]
+fn verilog_export_of_random_circuits_is_wellformed() {
+    use bnb::gates::export::to_verilog;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(2);
+    for round in 0..20 {
+        let recipes: Vec<GateRecipe> = (0..rng.random_range(1..50))
+            .map(|_| GateRecipe {
+                kind: rng.random_range(0..6),
+                a: rng.random_range(0..1000),
+                b: rng.random_range(0..1000),
+                c: rng.random_range(0..1000),
+            })
+            .collect();
+        let nl = build(3, &recipes);
+        let v = to_verilog(&nl, &format!("rand{round}"));
+        assert!(v.starts_with(&format!("module rand{round} (")));
+        assert!(v.trim_end().ends_with("endmodule"));
+        let census = nl.census();
+        // One primitive instantiation line per non-mux logic gate.
+        let prim_lines = v
+            .lines()
+            .filter(|l| {
+                let t = l.trim_start();
+                t.starts_with("and g")
+                    || t.starts_with("or g")
+                    || t.starts_with("xor g")
+                    || t.starts_with("not g")
+            })
+            .count();
+        assert_eq!(
+            prim_lines,
+            census.nots + census.ands + census.ors + census.xors
+        );
+    }
+}

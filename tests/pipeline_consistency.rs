@@ -1,0 +1,66 @@
+//! The three pipeline views must agree: the behavioural timing model
+//! (`bnb-sim`), the clocked gate-level pipeline (`bnb-gates`) and the
+//! combinational router (`bnb-core`) all describe the same machine.
+
+use bnb::core::network::BnbNetwork;
+use bnb::gates::pipeline::PipelinedBnb;
+use bnb::sim::pipeline::PipelinedFabric;
+use bnb::sim::workload::random_batches;
+use bnb::topology::perm::Permutation;
+use bnb::topology::record::{all_delivered, records_for_permutation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn depths_agree_across_all_three_views() {
+    for m in 1..=4usize {
+        let behavioural = PipelinedFabric::new(BnbNetwork::builder(m).data_width(8).build());
+        let gate = PipelinedBnb::new(m, 8);
+        assert_eq!(behavioural.depth(), gate.depth(), "m = {m}");
+        assert_eq!(gate.depth(), m * (m + 1) / 2);
+    }
+}
+
+#[test]
+fn gate_pipeline_stream_matches_behavioural_results() {
+    let m = 3usize;
+    let w = 6usize;
+    let mut rng = StdRng::seed_from_u64(99);
+    let batches: Vec<Vec<_>> = (0..5)
+        .map(|_| records_for_permutation(&Permutation::random(8, &mut rng)))
+        .collect();
+
+    // Behavioural reference results.
+    let net = BnbNetwork::builder(m).data_width(w).build();
+    let expected: Vec<Vec<_>> = batches.iter().map(|b| net.route(b).unwrap()).collect();
+
+    // Stream through the clocked gate-level pipeline.
+    let mut pipe = PipelinedBnb::new(m, w);
+    let mut drained = Vec::new();
+    for cycle in 0..(batches.len() + pipe.depth() + 1) {
+        let inject = batches.get(cycle).map(Vec::as_slice);
+        if let Some(out) = pipe.clock(inject).unwrap() {
+            drained.push(out);
+        }
+    }
+    assert_eq!(drained.len(), batches.len());
+    for (i, (got, want)) in drained.iter().zip(&expected).enumerate() {
+        assert_eq!(got, want, "batch {i}");
+        assert!(all_delivered(got));
+    }
+}
+
+#[test]
+fn behavioural_fabric_stats_match_gate_pipeline_timing() {
+    let m = 3usize;
+    let mut rng = StdRng::seed_from_u64(7);
+    let fabric = PipelinedFabric::new(BnbNetwork::builder(m).data_width(16).build());
+    let batches = random_batches(8, 10, &mut rng);
+    let stats = fabric.run(&batches).unwrap();
+    // The gate pipeline drains batch i at cycle i + depth; the last batch
+    // therefore completes at cycle (count - 1) + depth, i.e. after
+    // count + depth cycles total — exactly the behavioural model's count.
+    assert_eq!(stats.cycles, batches.len() + fabric.depth());
+    assert_eq!(stats.latency, fabric.depth());
+    assert_eq!(stats.completed, batches.len());
+}

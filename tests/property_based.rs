@@ -1,0 +1,217 @@
+//! Property-based tests (proptest) over the core invariants.
+
+use bnb::baselines::batcher::BatcherNetwork;
+use bnb::baselines::benes::BenesNetwork;
+use bnb::core::bsn::BitSorter;
+use bnb::core::network::BnbNetwork;
+use bnb::core::splitter::split;
+use bnb::topology::bitops::{shuffle, unshuffle};
+use bnb::topology::perm::Permutation;
+use bnb::topology::record::{all_delivered, records_for_permutation};
+use proptest::prelude::*;
+
+proptest! {
+    /// Theorem 2 as a property: any permutation of any power-of-two size
+    /// up to 256 self-routes.
+    #[test]
+    fn bnb_routes_any_permutation(m in 1usize..=8, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = Permutation::random(1 << m, &mut rng);
+        let net = BnbNetwork::new(m);
+        let out = net.route(&records_for_permutation(&p)).unwrap();
+        prop_assert!(all_delivered(&out));
+    }
+
+    /// Splitter invariant (Theorem 3): any even-weight bit vector is split
+    /// with M_e = M_o, for any power-of-two width up to 256.
+    #[test]
+    fn splitter_even_split(bits in proptest::collection::vec(any::<bool>(), 4..=256)) {
+        // Truncate to a power of two and fix parity by flipping bit 0.
+        let pow = bits.len().next_power_of_two() / 2;
+        let mut bits = bits[..pow.max(4)].to_vec();
+        let ones = bits.iter().filter(|&&b| b).count();
+        if ones % 2 == 1 {
+            bits[0] = !bits[0];
+        }
+        let out = split(&bits);
+        let even = out.outputs.iter().step_by(2).filter(|&&b| b).count();
+        let odd = out.outputs.iter().skip(1).step_by(2).filter(|&&b| b).count();
+        prop_assert_eq!(even, odd);
+        // Conservation: the output is a permutation of the input.
+        let in_ones = bits.iter().filter(|&&b| b).count();
+        prop_assert_eq!(even + odd, in_ones);
+    }
+
+    /// Theorem 1 as a property: any balanced vector sorts to 0101… .
+    #[test]
+    fn bsn_sorts_balanced_vectors(k in 1usize..=9, seed in any::<u64>()) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 1usize << k;
+        let mut bits: Vec<bool> = (0..n).map(|j| j % 2 == 0).collect();
+        bits.shuffle(&mut rng);
+        let out = BitSorter::new(k).route(&bits).unwrap();
+        prop_assert!(out.iter().enumerate().all(|(j, &b)| b == (j % 2 == 1)));
+    }
+
+    /// Unshuffle/shuffle are inverse bijections for every k ≤ m ≤ 12.
+    #[test]
+    fn unshuffle_bijectivity(m in 1usize..=12, k_off in 0usize..12, i_seed in any::<u64>()) {
+        let k = 1 + k_off % m;
+        let i = (i_seed as usize) % (1 << m);
+        prop_assert_eq!(shuffle(k, m, unshuffle(k, m, i)), i);
+        // High bits above k are untouched.
+        prop_assert_eq!(unshuffle(k, m, i) >> k, i >> k);
+    }
+
+    /// Batcher sorts arbitrary u16 multisets (not just permutations).
+    #[test]
+    fn batcher_sorts_multisets(mut items in proptest::collection::vec(any::<u16>(), 1..=6)) {
+        // Pad to the next power of two.
+        let n = items.len().next_power_of_two().max(2);
+        items.resize(n, u16::MAX);
+        let net = BatcherNetwork::with_inputs(n).unwrap();
+        let mut sorted = items.clone();
+        net.sort_slice(&mut sorted);
+        let mut expected = items;
+        expected.sort_unstable();
+        prop_assert_eq!(sorted, expected);
+    }
+
+    /// Benes + Waksman routes any permutation, reduced or not.
+    #[test]
+    fn benes_routes_any_permutation(m in 1usize..=7, seed in any::<u64>(), reduced: bool) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = Permutation::random(1 << m, &mut rng);
+        let net = BenesNetwork::new(m);
+        let routing = if reduced {
+            let r = net.route_permutation_waksman(&p).unwrap();
+            prop_assert!(r.is_waksman_reduced());
+            r
+        } else {
+            net.route_permutation(&p).unwrap()
+        };
+        let out = net.apply(&routing, &records_for_permutation(&p)).unwrap();
+        prop_assert!(all_delivered(&out));
+    }
+
+    /// The Clos network routes any permutation for any (power-of-two n, r)
+    /// geometry.
+    #[test]
+    fn clos_routes_any_permutation(
+        n_log in 0usize..=4,
+        r in 1usize..=9,
+        seed in any::<u64>(),
+    ) {
+        use bnb::baselines::clos::ClosNetwork;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = ClosNetwork::new(1 << n_log, r).unwrap();
+        let p = Permutation::random(net.inputs(), &mut rng);
+        let out = net.route(&records_for_permutation(&p)).unwrap();
+        prop_assert!(all_delivered(&out));
+    }
+
+    /// The cellular array routes any permutation of any size >= 2.
+    #[test]
+    fn cellular_routes_any_permutation(n in 2usize..=64, seed in any::<u64>()) {
+        use bnb::baselines::cellular::CellularArray;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let arr = CellularArray::new(n);
+        let p = Permutation::random(n, &mut rng);
+        let out = arr.route(&records_for_permutation(&p)).unwrap();
+        prop_assert!(all_delivered(&out));
+    }
+
+    /// Partial routing delivers exactly the active records, wherever the
+    /// idle inputs are.
+    #[test]
+    fn partial_routing_delivers_actives(m in 1usize..=6, seed in any::<u64>()) {
+        use bnb::topology::record::Record;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 1usize << m;
+        let p = Permutation::random(n, &mut rng);
+        let slots: Vec<Option<Record>> = (0..n)
+            .map(|i| rng.random_bool(0.6).then(|| Record::new(p.apply(i), i as u64)))
+            .collect();
+        let net = BnbNetwork::new(m);
+        let out = net.route_partial(&slots).unwrap();
+        for (j, slot) in out.outputs.iter().enumerate() {
+            match slot {
+                Some(r) => prop_assert_eq!(r.dest(), j),
+                None => prop_assert!(slots.iter().flatten().all(|r| r.dest() != j)),
+            }
+        }
+        prop_assert_eq!(out.active + out.fillers, n);
+    }
+
+    /// Permutation algebra laws.
+    #[test]
+    fn permutation_laws(m in 1usize..=6, s1 in any::<u64>(), s2 in any::<u64>()) {
+        use rand::SeedableRng;
+        let n = 1usize << m;
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(s1);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(s2);
+        let a = Permutation::random(n, &mut r1);
+        let b = Permutation::random(n, &mut r2);
+        // (a∘b)⁻¹ = b⁻¹∘a⁻¹
+        prop_assert_eq!(a.compose(&b).inverse(), b.inverse().compose(&a.inverse()));
+        // sign is a homomorphism
+        prop_assert_eq!(a.compose(&b).sign(), a.sign() * b.sign());
+        // route delivers: routed[a(i)] == items[i]
+        let items: Vec<usize> = (0..n).collect();
+        let routed = a.route(&items);
+        for i in 0..n {
+            prop_assert_eq!(routed[a.apply(i)], items[i]);
+        }
+    }
+
+    /// Every column snapshot of a BNB trace holds the same multiset of
+    /// records — nothing is lost or duplicated mid-network.
+    #[test]
+    fn trace_conserves_records(m in 1usize..=6, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 1usize << m;
+        let p = Permutation::random(n, &mut rng);
+        let recs = records_for_permutation(&p);
+        let net = BnbNetwork::new(m);
+        let (_, trace) = net.route_traced(&recs).unwrap();
+        let mut expected: Vec<_> = recs.clone();
+        expected.sort();
+        for col in &trace.columns {
+            let mut got = col.lines.clone();
+            got.sort();
+            prop_assert_eq!(&got, &expected);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Data payloads ride along unmodified for any width w.
+    #[test]
+    fn payloads_survive_any_width(m in 1usize..=6, w in 0usize..=64, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 1usize << m;
+        let p = Permutation::random(n, &mut rng);
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        let recs: Vec<_> = (0..n)
+            .map(|i| bnb::topology::record::Record::new(p.apply(i), (i as u64 * 0x9E37) & mask))
+            .collect();
+        let net = BnbNetwork::builder(m).data_width(w).build();
+        let out = net.route(&recs).unwrap();
+        for (j, r) in out.iter().enumerate() {
+            prop_assert_eq!(r.dest(), j);
+            let src = p.inverse().apply(j) as u64;
+            prop_assert_eq!(r.data(), (src * 0x9E37) & mask);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Serde round-trips for the public data types: what a downstream user
+//! persists (configurations, traces, reports) must come back intact, and
+//! invalid serialized permutations must be rejected on deserialize.
+
+use bnb::core::cost::HardwareCost;
+use bnb::core::delay::PropagationDelay;
+use bnb::core::network::BnbNetwork;
+use bnb::topology::connection::Connection;
+use bnb::topology::perm::Permutation;
+use bnb::topology::record::{records_for_permutation, Record};
+
+#[test]
+fn permutation_roundtrip_and_validation() {
+    let p = Permutation::try_from(vec![2, 0, 3, 1]).unwrap();
+    let json = serde_json::to_string(&p).unwrap();
+    assert_eq!(json, "[2,0,3,1]", "one-line notation on the wire");
+    let back: Permutation = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, p);
+    // Invalid wire data must be rejected by the TryFrom validation.
+    let bad: Result<Permutation, _> = serde_json::from_str("[0,0,1,2]");
+    assert!(bad.is_err(), "duplicate images must not deserialize");
+    let bad: Result<Permutation, _> = serde_json::from_str("[0,5,1,2]");
+    assert!(bad.is_err(), "out-of-range images must not deserialize");
+}
+
+#[test]
+fn record_roundtrip() {
+    let r = Record::new(5, 0xDEAD_BEEF);
+    let json = serde_json::to_string(&r).unwrap();
+    let back: Record = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, r);
+}
+
+#[test]
+fn cost_and_delay_roundtrip() {
+    let c = HardwareCost::bnb_counted(5, 8);
+    let back: HardwareCost = serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+    assert_eq!(back, c);
+    let d = PropagationDelay::bnb_structural(5);
+    let back: PropagationDelay = serde_json::from_str(&serde_json::to_string(&d).unwrap()).unwrap();
+    assert_eq!(back, d);
+}
+
+#[test]
+fn trace_roundtrip() {
+    let net = BnbNetwork::new(3);
+    let p = Permutation::try_from(vec![6, 2, 7, 0, 4, 1, 3, 5]).unwrap();
+    let (_, trace) = net.route_traced(&records_for_permutation(&p)).unwrap();
+    let json = serde_json::to_string(&trace).unwrap();
+    let back: bnb::core::trace::RouteTrace = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, trace);
+    assert_eq!(back.render(), trace.render());
+}
+
+#[test]
+fn connection_roundtrip() {
+    for c in [
+        Connection::Identity,
+        Connection::Unshuffle { k: 3 },
+        Connection::BitReversal,
+        Connection::Fixed(Permutation::transposition(8, 1, 5)),
+    ] {
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Connection = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}
+
+#[test]
+fn table_roundtrip() {
+    let t = bnb::analysis::table2(&[3, 4]);
+    let back: bnb::analysis::Table =
+        serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+    assert_eq!(back, t);
+    assert_eq!(back.to_markdown(), t.to_markdown());
+}

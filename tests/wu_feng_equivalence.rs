@@ -1,0 +1,51 @@
+//! Computational verification of Wu & Feng's topological-equivalence
+//! result (paper ref \[12\]): the omega network realizes exactly the
+//! baseline network's permutations after relabeling the inputs by
+//! bit-reversal. Both networks are our own independent implementations,
+//! so agreement here is strong evidence the two wirings are right.
+
+use bnb::baselines::omega::OmegaNetwork;
+use bnb::topology::baseline::BaselineNetwork;
+use bnb::topology::bitops::{bit_reverse, shuffle};
+use bnb::topology::equivalence::{admissible_set, find_relabeling, related_by_relabeling};
+use bnb::topology::perm::Permutation;
+
+#[test]
+fn omega_is_baseline_with_bit_reversed_inputs() {
+    for m in [2usize, 3] {
+        let n = 1usize << m;
+        let baseline = BaselineNetwork::with_inputs(n).unwrap();
+        let omega = OmegaNetwork::with_inputs(n).unwrap();
+        let bset = admissible_set(n, |p| baseline.is_admissible(p));
+        let oset = admissible_set(n, |p| omega.is_admissible(p));
+        assert_eq!(bset.len(), oset.len(), "equal admissible counts");
+        let rev = Permutation::from_fn(n, |i| bit_reverse(m, i)).unwrap();
+        let id = Permutation::identity(n);
+        assert!(
+            related_by_relabeling(&bset, &oset, &rev, &id),
+            "N = {n}: omega must equal baseline ∘ bit-reversal"
+        );
+        // And the relation is genuinely needed: identity does not relate
+        // them (m >= 2).
+        assert!(!related_by_relabeling(&bset, &oset, &id, &id), "N = {n}");
+    }
+}
+
+#[test]
+fn the_search_discovers_the_relabeling_unaided() {
+    let n = 8usize;
+    let m = 3usize;
+    let baseline = BaselineNetwork::with_inputs(n).unwrap();
+    let omega = OmegaNetwork::with_inputs(n).unwrap();
+    let bset = admissible_set(n, |p| baseline.is_admissible(p));
+    let oset = admissible_set(n, |p| omega.is_admissible(p));
+    let candidates = vec![
+        Permutation::identity(n),
+        Permutation::from_fn(n, |i| bit_reverse(m, i)).unwrap(),
+        Permutation::from_fn(n, |i| shuffle(m, m, i)).unwrap(),
+    ];
+    let found = find_relabeling(&bset, &oset, &candidates)
+        .expect("Wu-Feng equivalence must be discoverable");
+    // Input relabeling = bit-reversal (index 1), output = identity (0).
+    assert_eq!(found, (1, 0));
+}
