@@ -12,6 +12,8 @@
 //! bnb crossover
 //! bnb verilog --component bnb|batcher|splitter|bsn [--inputs 8]
 //!             [--data-width 0] [--optimize]
+//! bnb engine [--inputs 256] [--workers 4] [--batch 64] [--depth auto|D]
+//!            [--queue 4] [--seed 0] [--pretty]
 //! bnb report
 //! ```
 
@@ -105,6 +107,9 @@ pub fn usage() -> String {
                   ([--inputs 16] [--discipline fifo|voq] [--rounds 2000])\n\
        diagnose   route possibly-invalid traffic with conflict detection\n\
                   (--inputs N --dests a,b,c,...)\n\
+       engine     route random batches through the concurrent engine and\n\
+                  print JSON stats ([--inputs 256] [--workers 4] [--batch 64]\n\
+                  [--depth auto|D] [--queue 4] [--seed 0] [--pretty])\n\
        report     the full evaluation report\n\
        help       this text\n"
         .to_string()
@@ -131,6 +136,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "compare" => cmd_compare(&flags),
         "sweep" => cmd_sweep(&flags),
         "diagnose" => cmd_diagnose(&flags),
+        "engine" => cmd_engine(&flags),
         "report" => Ok(report::full_report()),
         other => Err(err(format!("unknown command '{other}'; try 'bnb help'"))),
     }
@@ -433,6 +439,62 @@ fn cmd_diagnose(flags: &Flags) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_engine(flags: &Flags) -> Result<String, CliError> {
+    use bnb_engine::{Engine, EngineConfig, ShardDepth};
+    use rand::SeedableRng;
+    let n = flags.usize_or("--inputs", 256)?;
+    if !n.is_power_of_two() || !(2..=1 << 20).contains(&n) {
+        return Err(err("--inputs must be a power of two in 2..=1048576"));
+    }
+    let workers = flags.usize_or("--workers", 4)?;
+    if workers == 0 || workers > 256 {
+        return Err(err("--workers must be 1..=256"));
+    }
+    let batches = flags.usize_or("--batch", 64)?;
+    if batches == 0 || batches > 1_000_000 {
+        return Err(err("--batch must be 1..=1000000"));
+    }
+    let queue = flags.usize_or("--queue", 4)?;
+    if queue == 0 {
+        return Err(err("--queue must be >= 1"));
+    }
+    let shard_depth = match flags.value("--depth") {
+        None | Some("auto") => ShardDepth::Auto,
+        Some(v) => ShardDepth::Fixed(
+            v.parse()
+                .map_err(|_| err(format!("--depth expects 'auto' or an integer, got {v}")))?,
+        ),
+    };
+    let seed = flags.usize_or("--seed", 0)? as u64;
+    let net = BnbNetwork::with_inputs(n).map_err(|e| err(e.to_string()))?;
+    let engine = Engine::new(
+        net,
+        EngineConfig {
+            workers,
+            queue_capacity: queue,
+            shard_depth,
+        },
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let stats = engine.run(|h| {
+        for _ in 0..batches {
+            h.submit(records_for_permutation(&Permutation::random(n, &mut rng)));
+            while let Some(batch) = h.try_drain() {
+                debug_assert!(batch.result.is_ok());
+            }
+        }
+        while h.drain().is_some() {}
+        h.stats()
+    });
+    let json = if flags.present("--pretty") {
+        serde_json::to_string_pretty(&stats)
+    } else {
+        serde_json::to_string(&stats)
+    }
+    .map_err(|e| err(format!("stats serialization failed: {e}")))?;
+    Ok(format!("{json}\n"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -568,6 +630,55 @@ mod tests {
         // Missing flag.
         assert!(run_str(&["diagnose", "--inputs", "4"]).is_err());
         assert!(run_str(&["diagnose", "--inputs", "4", "--dests", "1,2"]).is_err());
+    }
+
+    #[test]
+    fn engine_emits_json_stats() {
+        let out = run_str(&[
+            "engine",
+            "--inputs",
+            "64",
+            "--workers",
+            "2",
+            "--batch",
+            "10",
+        ])
+        .unwrap();
+        let stats: bnb_engine::EngineStats = serde_json::from_str(out.trim()).unwrap();
+        assert_eq!(stats.workers, 2);
+        assert_eq!(stats.batches, 10);
+        assert_eq!(stats.records, 640);
+        assert_eq!(stats.errors, 0);
+        assert!(stats.records_per_sec > 0.0);
+    }
+
+    #[test]
+    fn engine_pretty_and_fixed_depth() {
+        let out = run_str(&[
+            "engine",
+            "--inputs",
+            "16",
+            "--workers",
+            "1",
+            "--batch",
+            "3",
+            "--depth",
+            "2",
+            "--pretty",
+        ])
+        .unwrap();
+        assert!(out.contains("\n  \"workers\": 1"), "pretty JSON expected");
+        let stats: bnb_engine::EngineStats = serde_json::from_str(out.trim()).unwrap();
+        assert_eq!(stats.shard_depth, 2);
+    }
+
+    #[test]
+    fn engine_validates_flags() {
+        assert!(run_str(&["engine", "--inputs", "3"]).is_err());
+        assert!(run_str(&["engine", "--workers", "0"]).is_err());
+        assert!(run_str(&["engine", "--batch", "0"]).is_err());
+        assert!(run_str(&["engine", "--queue", "0"]).is_err());
+        assert!(run_str(&["engine", "--depth", "fast"]).is_err());
     }
 
     #[test]

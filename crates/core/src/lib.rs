@@ -29,6 +29,9 @@
 //! - [`diagnose`] — per-splitter conflict detection (the paper's "other
 //!   flags can deal with the conflicts" remark, §4).
 //! - [`router`] — allocation-free batch routing with reusable buffers.
+//! - [`stages`] — the stage-span routing kernel: routes any contiguous
+//!   range of main stages over an aligned subnetwork slice, enabling
+//!   split-and-conquer parallel routing.
 //! - [`bitslice`] — a 64-lane word-parallel BSN (the one-bit control logic
 //!   vectorized).
 //! - [`fabric`] — the [`fabric::PermutationNetwork`] trait unifying this
@@ -63,6 +66,7 @@ pub mod render;
 pub mod router;
 pub mod settings;
 pub mod splitter;
+pub mod stages;
 pub mod trace;
 
 pub use bsn::BitSorter;

@@ -63,6 +63,23 @@ impl BnbNetwork {
         &self,
         slots: &[Option<Record>],
     ) -> Result<PartialRouteOutcome, RouteError> {
+        let completed = self.completed_frame(slots)?;
+        let routed = self.index_sibling().route(&completed)?;
+        Ok(resolve_completed(slots, &routed))
+    }
+
+    /// Validates a partial mapping and completes it into a full frame of
+    /// index-tagged records: active slots keep their destinations, idle
+    /// slots borrow the unused destinations in ascending order, and every
+    /// record's payload is its input line number. Routing the result
+    /// through [`Self::index_sibling`] (directly, or batched through the
+    /// concurrent engine) and passing the output to [`resolve_completed`]
+    /// reproduces [`Self::route_partial`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`Self::route_partial`].
+    pub fn completed_frame(&self, slots: &[Option<Record>]) -> Result<Vec<Record>, RouteError> {
         let n = self.inputs();
         if slots.len() != n {
             return Err(RouteError::WidthMismatch {
@@ -90,47 +107,36 @@ impl BnbNetwork {
         // Complete: idle input lines borrow the unused destinations. The
         // inner route works on (dest, input-index) pairs so the original
         // payloads never need to fit the filler records.
-        let mut filler_count = 0usize;
-        let completed: Vec<Record> = slots
+        Ok(slots
             .iter()
             .enumerate()
             .map(|(i, slot)| match slot {
                 Some(r) => Record::new(r.dest(), i as u64),
                 None => {
-                    filler_count += 1;
                     let d = unused
                         .next()
                         .expect("counts match: one unused per idle input");
                     Record::new(d, i as u64)
                 }
             })
-            .collect();
-        let routed = self.route_indices(&completed)?;
-        let outputs = routed
-            .iter()
-            .map(|r| {
-                let src = r.data() as usize;
-                slots[src]
-            })
-            .collect();
-        Ok(PartialRouteOutcome {
-            outputs,
-            active: n - filler_count,
-            fillers: filler_count,
-        })
+            .collect())
+    }
+
+    /// The width-64 sibling network used to route index-tagged frames:
+    /// same size, policy, and wiring, but payloads up to 64 bits (an input
+    /// index always fits, regardless of this network's own data width).
+    pub fn index_sibling(&self) -> BnbNetwork {
+        BnbNetwork::builder(self.m())
+            .data_width(64)
+            .policy(self.policy())
+            .wiring(self.wiring())
+            .build()
     }
 
     /// Routes records whose data field is an input index (always fits),
     /// bypassing the data-width check but keeping all other validation.
     fn route_indices(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
-        // Index payloads need log2(N) <= 64 bits, which always holds; use a
-        // width-64 sibling network with the same routing structure.
-        let wide = BnbNetwork::builder(self.m())
-            .data_width(64)
-            .policy(self.policy())
-            .wiring(self.wiring())
-            .build();
-        wide.route(records)
+        self.index_sibling().route(records)
     }
 
     /// The permutation this network realizes for the given destination
@@ -163,6 +169,20 @@ impl BnbNetwork {
             mapping[r.data() as usize] = j;
         }
         Ok(mapping)
+    }
+}
+
+/// Reconstructs the partial-route outcome from a routed completed frame:
+/// `routed[j].data()` names the input line delivered to output `j`, so each
+/// output slot is the original record from that line (or `None` for a
+/// filler). Inverse of [`BnbNetwork::completed_frame`] after routing.
+pub fn resolve_completed(slots: &[Option<Record>], routed: &[Record]) -> PartialRouteOutcome {
+    let outputs: Vec<Option<Record>> = routed.iter().map(|r| slots[r.data() as usize]).collect();
+    let active = slots.iter().flatten().count();
+    PartialRouteOutcome {
+        outputs,
+        active,
+        fillers: slots.len() - active,
     }
 }
 

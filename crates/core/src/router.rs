@@ -6,12 +6,11 @@
 //! double-buffer swap, producing bit-identical results (property-tested
 //! against the allocating path).
 
-use bnb_topology::bitops::paper_bit;
 use bnb_topology::record::Record;
 
 use crate::error::RouteError;
-use crate::network::{BnbNetwork, RoutePolicy, WiringMode};
-use crate::splitter::{check_balanced, controls_into, SplitterSite};
+use crate::network::BnbNetwork;
+use crate::stages::{route_span, validate_lines, StageScratch};
 
 /// A reusable router bound to one network configuration.
 ///
@@ -33,10 +32,7 @@ use crate::splitter::{check_balanced, controls_into, SplitterSite};
 #[derive(Debug, Clone)]
 pub struct Router {
     network: BnbNetwork,
-    scratch: Vec<Record>,
-    bits: Vec<bool>,
-    flags: Vec<bool>,
-    up: Vec<bool>,
+    scratch: StageScratch,
     seen: Vec<usize>,
 }
 
@@ -46,10 +42,7 @@ impl Router {
         let n = network.inputs();
         Router {
             network,
-            scratch: vec![Record::new(0, 0); n],
-            bits: Vec::with_capacity(n),
-            flags: Vec::with_capacity(n),
-            up: Vec::with_capacity(2 * n),
+            scratch: StageScratch::with_capacity(n),
             seen: vec![usize::MAX; n],
         }
     }
@@ -66,102 +59,14 @@ impl Router {
     ///
     /// Identical contract to [`BnbNetwork::route`].
     pub fn route_in_place(&mut self, lines: &mut [Record]) -> Result<(), RouteError> {
-        let n = self.network.inputs();
-        let m = self.network.m();
-        if lines.len() != n {
-            return Err(RouteError::WidthMismatch {
-                expected: n,
-                actual: lines.len(),
-            });
-        }
-        let w = self.network.w();
-        for r in lines.iter() {
-            if r.dest() >= n {
-                return Err(RouteError::DestinationTooWide { dest: r.dest(), n });
-            }
-            if w < 64 && r.data() >> w != 0 {
-                return Err(RouteError::DataTooWide { data: r.data(), w });
-            }
-        }
-        let strict = matches!(self.network.policy(), RoutePolicy::Strict);
-        if strict {
-            self.seen.iter_mut().for_each(|s| *s = usize::MAX);
-            for (i, r) in lines.iter().enumerate() {
-                if self.seen[r.dest()] != usize::MAX {
-                    return Err(RouteError::DuplicateDestination {
-                        dest: r.dest(),
-                        first_input: self.seen[r.dest()],
-                        second_input: i,
-                    });
-                }
-                self.seen[r.dest()] = i;
-            }
-        }
-        for main_stage in 0..m {
-            let k = m - main_stage;
-            for internal in 0..k {
-                let box_size = 1usize << (k - internal);
-                for start in (0..n).step_by(box_size) {
-                    self.bits.clear();
-                    self.bits.extend(
-                        lines[start..start + box_size]
-                            .iter()
-                            .map(|r| paper_bit(m, r.dest(), main_stage)),
-                    );
-                    if strict {
-                        check_balanced(
-                            &self.bits,
-                            SplitterSite {
-                                main_stage,
-                                internal_stage: internal,
-                                first_line: start,
-                            },
-                        )?;
-                    }
-                    controls_into(&self.bits, &mut self.up, &mut self.flags);
-                    for (t, &c) in self.flags.iter().enumerate() {
-                        if c {
-                            lines.swap(start + 2 * t, start + 2 * t + 1);
-                        }
-                    }
-                }
-                // Wiring into the scratch buffer, then copy back (the swap
-                // is logical: scratch is reused every column).
-                let last_internal = internal + 1 == k;
-                if !last_internal {
-                    #[allow(clippy::needless_range_loop)] // index j is the wiring domain
-                    for j in 0..n {
-                        let base = j & !(box_size - 1);
-                        let local = j & (box_size - 1);
-                        let span_log = box_size.trailing_zeros() as usize;
-                        let dst = base
-                            | match self.network.wiring() {
-                                WiringMode::Unshuffle => {
-                                    bnb_topology::bitops::unshuffle(span_log, span_log, local)
-                                }
-                                WiringMode::Identity => local,
-                                WiringMode::Shuffle => {
-                                    bnb_topology::bitops::shuffle(span_log, span_log, local)
-                                }
-                            };
-                        self.scratch[dst] = lines[j];
-                    }
-                    lines.copy_from_slice(&self.scratch);
-                } else if main_stage + 1 < m {
-                    #[allow(clippy::needless_range_loop)] // index j is the wiring domain
-                    for j in 0..n {
-                        let dst = match self.network.wiring() {
-                            WiringMode::Unshuffle => bnb_topology::bitops::unshuffle(k, m, j),
-                            WiringMode::Identity => j,
-                            WiringMode::Shuffle => bnb_topology::bitops::shuffle(k, m, j),
-                        };
-                        self.scratch[dst] = lines[j];
-                    }
-                    lines.copy_from_slice(&self.scratch);
-                }
-            }
-        }
-        Ok(())
+        validate_lines(&self.network, lines, &mut self.seen)?;
+        route_span(
+            &self.network,
+            lines,
+            0,
+            0..self.network.m(),
+            &mut self.scratch,
+        )
     }
 }
 
@@ -228,6 +133,7 @@ mod tests {
 
     #[test]
     fn permissive_router_matches_permissive_network() {
+        use crate::network::RoutePolicy;
         use rand::RngExt;
         let net = BnbNetwork::builder(3)
             .policy(RoutePolicy::Permissive)

@@ -1,0 +1,326 @@
+//! Stage-span routing: the reusable kernel behind [`crate::router::Router`]
+//! and the concurrent engine.
+//!
+//! The GBN's main unshuffle after stage `i` partitions traffic into
+//! independent subnetworks: every operation at main stages `>= d` stays
+//! inside an aligned `2^(m-d)`-line slice. [`route_span`] exploits that by
+//! routing any contiguous range of main stages over one such slice, so a
+//! frame can be routed head-first (`0..d`) and its `2^d` disjoint slices
+//! finished (`d..m`) by different workers — with byte-identical results to
+//! the sequential full-frame route, because BNB routing is oblivious data
+//! movement (switch settings depend only on local destination bits, never
+//! on who else is computing).
+//!
+//! All buffers live in a caller-owned [`StageScratch`], so steady-state
+//! routing performs no heap allocation.
+
+use std::ops::Range;
+
+use bnb_topology::bitops::paper_bit;
+use bnb_topology::record::Record;
+
+use crate::error::RouteError;
+use crate::network::{BnbNetwork, RoutePolicy, WiringMode};
+use crate::splitter::{check_balanced, controls_into, SplitterSite};
+
+/// Reusable buffers for [`route_span`]. One per worker; capacity grows to
+/// the largest span routed and then stays put.
+#[derive(Debug, Clone, Default)]
+pub struct StageScratch {
+    lines: Vec<Record>,
+    bits: Vec<bool>,
+    flags: Vec<bool>,
+    up: Vec<bool>,
+}
+
+impl StageScratch {
+    /// Scratch pre-sized for spans up to `n` lines.
+    pub fn with_capacity(n: usize) -> Self {
+        StageScratch {
+            lines: vec![Record::new(0, 0); n],
+            bits: Vec::with_capacity(n),
+            flags: Vec::with_capacity(n),
+            up: Vec::with_capacity(2 * n),
+        }
+    }
+
+    /// Grows the line buffer to hold `n` lines (never shrinks).
+    #[inline]
+    fn ensure(&mut self, n: usize) {
+        if self.lines.len() < n {
+            self.lines.resize(n, Record::new(0, 0));
+        }
+    }
+}
+
+/// Validates one frame against the network contract without allocating:
+/// width, destination range, payload width, and (under
+/// [`RoutePolicy::Strict`]) destination uniqueness. `seen` is caller-owned
+/// scratch, resized to the network width on first use.
+pub fn validate_lines(
+    net: &BnbNetwork,
+    lines: &[Record],
+    seen: &mut Vec<usize>,
+) -> Result<(), RouteError> {
+    let n = net.inputs();
+    if lines.len() != n {
+        return Err(RouteError::WidthMismatch {
+            expected: n,
+            actual: lines.len(),
+        });
+    }
+    let w = net.w();
+    for r in lines {
+        if r.dest() >= n {
+            return Err(RouteError::DestinationTooWide { dest: r.dest(), n });
+        }
+        if w < 64 && r.data() >> w != 0 {
+            return Err(RouteError::DataTooWide { data: r.data(), w });
+        }
+    }
+    if matches!(net.policy(), RoutePolicy::Strict) {
+        seen.clear();
+        seen.resize(n, usize::MAX);
+        for (i, r) in lines.iter().enumerate() {
+            if seen[r.dest()] != usize::MAX {
+                return Err(RouteError::DuplicateDestination {
+                    dest: r.dest(),
+                    first_input: seen[r.dest()],
+                    second_input: i,
+                });
+            }
+            seen[r.dest()] = i;
+        }
+    }
+    Ok(())
+}
+
+/// Routes main stages `stages` of `net` over one aligned subnetwork slice.
+///
+/// `lines` must be the slice of `2^(m - stages.start)` lines beginning at
+/// global line `first_line` (a multiple of the slice length; pass `0` with
+/// a full frame for the whole network). After main stage `i` completes,
+/// every aligned `2^(m - i - 1)`-line half routes independently, so a
+/// caller may split the slice and continue each half concurrently.
+///
+/// No validation is performed here — see [`validate_lines`].
+///
+/// # Errors
+///
+/// [`RouteError::UnbalancedSplitter`] under [`RoutePolicy::Strict`] when
+/// the traffic does not form a permutation (sites are reported in global
+/// line coordinates, identical to the sequential route).
+///
+/// # Panics
+///
+/// In debug builds, panics if the slice length or alignment does not match
+/// `stages.start`, or if `stages.end > m`.
+pub fn route_span(
+    net: &BnbNetwork,
+    lines: &mut [Record],
+    first_line: usize,
+    stages: Range<usize>,
+    scratch: &mut StageScratch,
+) -> Result<(), RouteError> {
+    let m = net.m();
+    let span = lines.len();
+    debug_assert!(stages.end <= m, "stage range {stages:?} exceeds m = {m}");
+    debug_assert_eq!(
+        span,
+        1usize << (m - stages.start),
+        "slice length must match the starting stage"
+    );
+    debug_assert_eq!(first_line % span, 0, "slice must be aligned");
+    let span_log = span.trailing_zeros() as usize;
+    let strict = matches!(net.policy(), RoutePolicy::Strict);
+    scratch.ensure(span);
+    for main_stage in stages {
+        let k = m - main_stage;
+        for internal in 0..k {
+            let box_size = 1usize << (k - internal);
+            for start in (0..span).step_by(box_size) {
+                scratch.bits.clear();
+                scratch.bits.extend(
+                    lines[start..start + box_size]
+                        .iter()
+                        .map(|r| paper_bit(m, r.dest(), main_stage)),
+                );
+                if strict {
+                    check_balanced(
+                        &scratch.bits,
+                        SplitterSite {
+                            main_stage,
+                            internal_stage: internal,
+                            first_line: first_line + start,
+                        },
+                    )?;
+                }
+                controls_into(&scratch.bits, &mut scratch.up, &mut scratch.flags);
+                for (t, &c) in scratch.flags.iter().enumerate() {
+                    if c {
+                        lines.swap(start + 2 * t, start + 2 * t + 1);
+                    }
+                }
+            }
+            // Wiring into the scratch buffer, then copy back (the swap is
+            // logical: scratch is reused every column).
+            let last_internal = internal + 1 == k;
+            if !last_internal {
+                let box_log = box_size.trailing_zeros() as usize;
+                #[allow(clippy::needless_range_loop)] // index j is the wiring domain
+                for j in 0..span {
+                    let base = j & !(box_size - 1);
+                    let local = j & (box_size - 1);
+                    let dst = base
+                        | match net.wiring() {
+                            WiringMode::Unshuffle => {
+                                bnb_topology::bitops::unshuffle(box_log, box_log, local)
+                            }
+                            WiringMode::Identity => local,
+                            WiringMode::Shuffle => {
+                                bnb_topology::bitops::shuffle(box_log, box_log, local)
+                            }
+                        };
+                    scratch.lines[dst] = lines[j];
+                }
+                lines.copy_from_slice(&scratch.lines[..span]);
+            } else if main_stage + 1 < m {
+                // The main unshuffle rotates only the low k index bits, and
+                // k <= span_log for every stage in range, so the aligned
+                // slice is closed under it: the global wiring restricted to
+                // this slice is exactly the local one.
+                #[allow(clippy::needless_range_loop)] // index j is the wiring domain
+                for j in 0..span {
+                    let dst = match net.wiring() {
+                        WiringMode::Unshuffle => bnb_topology::bitops::unshuffle(k, span_log, j),
+                        WiringMode::Identity => j,
+                        WiringMode::Shuffle => bnb_topology::bitops::shuffle(k, span_log, j),
+                    };
+                    scratch.lines[dst] = lines[j];
+                }
+                lines.copy_from_slice(&scratch.lines[..span]);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnb_topology::perm::Permutation;
+    use bnb_topology::record::records_for_permutation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Routing head stages then each aligned slice independently must be
+    /// byte-identical to the sequential full route, for every split depth.
+    #[test]
+    fn split_routing_matches_sequential_at_every_depth() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for m in 1usize..=8 {
+            let n = 1usize << m;
+            let net = BnbNetwork::new(m);
+            let mut scratch = StageScratch::with_capacity(n);
+            for _ in 0..10 {
+                let records = records_for_permutation(&Permutation::random(n, &mut rng));
+                let expected = net.route(&records).unwrap();
+                for depth in 0..=m {
+                    let mut lines = records.clone();
+                    route_span(&net, &mut lines, 0, 0..depth, &mut scratch).unwrap();
+                    let sub = n >> depth;
+                    for (slice_idx, chunk) in lines.chunks_mut(sub).enumerate() {
+                        route_span(&net, chunk, slice_idx * sub, depth..m, &mut scratch).unwrap();
+                    }
+                    assert_eq!(lines, expected, "m = {m}, depth = {depth}");
+                }
+            }
+        }
+    }
+
+    /// The same holds under Permissive policy for arbitrary (garbage)
+    /// destination patterns: routing is oblivious data movement.
+    #[test]
+    fn split_routing_matches_sequential_for_garbage_traffic() {
+        use crate::network::RoutePolicy;
+        use bnb_topology::record::Record;
+        use rand::RngExt;
+        let mut rng = StdRng::seed_from_u64(8);
+        for m in [2usize, 4, 6] {
+            let n = 1usize << m;
+            let net = BnbNetwork::builder(m)
+                .policy(RoutePolicy::Permissive)
+                .build();
+            let mut scratch = StageScratch::with_capacity(n);
+            for _ in 0..10 {
+                let records: Vec<Record> = (0..n)
+                    .map(|i| Record::new(rng.random_range(0..n), i as u64))
+                    .collect();
+                let expected = net.route(&records).unwrap();
+                for depth in [0, 1, m / 2, m] {
+                    let mut lines = records.clone();
+                    route_span(&net, &mut lines, 0, 0..depth, &mut scratch).unwrap();
+                    let sub = n >> depth;
+                    for (slice_idx, chunk) in lines.chunks_mut(sub).enumerate() {
+                        route_span(&net, chunk, slice_idx * sub, depth..m, &mut scratch).unwrap();
+                    }
+                    assert_eq!(lines, expected, "m = {m}, depth = {depth}");
+                }
+            }
+        }
+    }
+
+    /// Strict-policy splitter errors report sites in *global* line
+    /// coordinates even when raised from a non-initial slice.
+    #[test]
+    fn split_routing_reports_global_splitter_sites() {
+        use bnb_topology::record::Record;
+        let net = BnbNetwork::new(3);
+        let mut scratch = StageScratch::with_capacity(8);
+        // An all-zero destination slice sails through the 4-wide box (zero
+        // ones is even) and unbalances the first elementary splitter; route
+        // it as the second depth-1 slice (lines 4..8).
+        let mut slice: Vec<_> = (0..4).map(|i| Record::new(0, i as u64)).collect();
+        let err = route_span(&net, &mut slice, 4, 1..3, &mut scratch).unwrap_err();
+        match err {
+            RouteError::UnbalancedSplitter {
+                main_stage,
+                internal_stage,
+                first_line,
+                ..
+            } => {
+                assert_eq!(main_stage, 1);
+                assert_eq!(internal_stage, 1);
+                assert_eq!(first_line, 4, "site must be globally addressed");
+            }
+            other => panic!("expected unbalanced splitter, got {other:?}"),
+        }
+    }
+
+    /// `validate_lines` agrees with the allocating route's error contract.
+    #[test]
+    fn validate_lines_matches_route_contract() {
+        use bnb_topology::record::Record;
+        let net = BnbNetwork::new(2);
+        let mut seen = Vec::new();
+        let ok: Vec<_> = [2usize, 0, 3, 1]
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| Record::new(d, i as u64))
+            .collect();
+        assert!(validate_lines(&net, &ok, &mut seen).is_ok());
+        assert!(matches!(
+            validate_lines(&net, &ok[..2], &mut seen),
+            Err(RouteError::WidthMismatch { .. })
+        ));
+        let dup: Vec<_> = [1usize, 1, 2, 3]
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| Record::new(d, i as u64))
+            .collect();
+        assert!(matches!(
+            validate_lines(&net, &dup, &mut seen),
+            Err(RouteError::DuplicateDestination { dest: 1, .. })
+        ));
+    }
+}

@@ -1,0 +1,527 @@
+//! The concurrent batched routing engine.
+//!
+//! # Sharding model
+//!
+//! A batch is one full frame of `N = 2^m` records. The owning worker
+//! validates it (same contract as [`bnb_core::router::Router`]), then
+//! routes main stage `0` and splits the frame into its two independent
+//! half-subnetworks — the GBN's unshuffle after stage `i` guarantees all
+//! later switching stays inside each aligned `2^(m-i-1)`-line half (see
+//! [`bnb_core::stages`]). One half is pushed to the hub for any idle
+//! worker; the owner recurses into the other. After `depth` splits the
+//! frame is `2^depth` disjoint slice tasks routing concurrently, each with
+//! the worker's own reusable [`StageScratch`] — zero per-batch allocation
+//! in steady state.
+//!
+//! Because BNB routing is oblivious data movement (every switch setting
+//! depends only on local destination bits), the parallel result is
+//! byte-identical to the sequential route; debug builds assert this on
+//! every batch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::Instant;
+
+use bnb_core::network::BnbNetwork;
+use bnb_core::stages::{route_span, validate_lines, StageScratch};
+use bnb_topology::record::Record;
+
+use crate::hub::{CloseGuard, Hub, Job, JobLatch, SliceTask, Work};
+use crate::stats::{EngineStats, LatencySummary};
+
+pub use crate::hub::RoutedBatch;
+
+/// How deep to split each batch into independent subnetwork slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardDepth {
+    /// `ceil(log2(workers))` splits — one slice per worker, no splitting
+    /// for a single worker.
+    #[default]
+    Auto,
+    /// Exactly this many splits (`2^d` slices), clamped to `m`.
+    Fixed(usize),
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads (minimum 1).
+    pub workers: usize,
+    /// Bounded submission-queue capacity; `submit` blocks when this many
+    /// batches are waiting (minimum 1).
+    pub queue_capacity: usize,
+    /// Intra-batch sharding policy.
+    pub shard_depth: ShardDepth,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 4,
+            shard_depth: ShardDepth::Auto,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A config with `workers` threads and defaults elsewhere.
+    pub fn with_workers(workers: usize) -> Self {
+        EngineConfig {
+            workers,
+            ..Self::default()
+        }
+    }
+}
+
+/// A concurrent batched router for one network configuration.
+///
+/// The engine owns no threads between runs: [`Engine::run`] opens a
+/// [`std::thread::scope`], spawns the worker pool, hands the closure an
+/// [`EngineHandle`] for submit/drain, and joins every worker before
+/// returning — so no `'static` bounds, no detached threads, and worker
+/// panics propagate.
+///
+/// # Example
+///
+/// ```
+/// use bnb_core::network::BnbNetwork;
+/// use bnb_engine::{Engine, EngineConfig};
+/// use bnb_topology::perm::Permutation;
+/// use bnb_topology::record::records_for_permutation;
+///
+/// let net = BnbNetwork::with_inputs(16)?;
+/// let engine = Engine::new(net, EngineConfig::with_workers(2));
+/// let p = Permutation::try_from((0..16).rev().collect::<Vec<_>>())?;
+/// let routed = engine.run(|handle| {
+///     handle.submit(records_for_permutation(&p));
+///     handle.drain().unwrap()
+/// });
+/// assert_eq!(routed.result.unwrap(), net.route(&records_for_permutation(&p))?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Engine {
+    network: BnbNetwork,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// An engine for `network` with the given pool configuration.
+    pub fn new(network: BnbNetwork, config: EngineConfig) -> Self {
+        Engine { network, config }
+    }
+
+    /// The bound network.
+    pub fn network(&self) -> &BnbNetwork {
+        &self.network
+    }
+
+    /// The configuration this engine runs with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The split depth actually used per batch.
+    pub fn effective_depth(&self) -> usize {
+        let m = self.network.m();
+        match self.config.shard_depth {
+            ShardDepth::Auto => auto_depth(self.config.workers, m),
+            ShardDepth::Fixed(d) => d.min(m),
+        }
+    }
+
+    /// Spawns the worker pool, runs `f` with a submit/drain handle, then
+    /// drains remaining work and joins every worker.
+    pub fn run<R>(&self, f: impl FnOnce(&EngineHandle<'_>) -> R) -> R {
+        let workers = self.config.workers.max(1);
+        let depth = self.effective_depth();
+        let hub = Hub::new(self.config.queue_capacity);
+        let busy: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        let started = Instant::now();
+        let network = self.network;
+        thread::scope(|s| {
+            let hub_ref = &hub;
+            for busy_slot in &busy {
+                s.spawn(move || worker_loop(hub_ref, network, depth, busy_slot));
+            }
+            let handle = EngineHandle {
+                hub: &hub,
+                busy: &busy,
+                workers,
+                depth,
+                started,
+            };
+            // Closes the hub even if `f` panics, so the scope can join.
+            let _guard = CloseGuard(&hub);
+            f(&handle)
+        })
+    }
+}
+
+/// Submit/drain interface handed to the [`Engine::run`] closure.
+pub struct EngineHandle<'a> {
+    hub: &'a Hub,
+    busy: &'a [AtomicU64],
+    workers: usize,
+    depth: usize,
+    started: Instant,
+}
+
+impl EngineHandle<'_> {
+    /// Submits one batch (a full frame of records), blocking while the
+    /// bounded queue is full. Returns the batch's sequence number;
+    /// [`Self::drain`] yields results in sequence order.
+    pub fn submit(&self, lines: Vec<Record>) -> u64 {
+        self.hub.submit(lines)
+    }
+
+    /// Blocks for the next routed batch in submission order; `None` once
+    /// every submitted batch has been drained.
+    pub fn drain(&self) -> Option<RoutedBatch> {
+        self.hub.drain()
+    }
+
+    /// Non-blocking [`Self::drain`].
+    pub fn try_drain(&self) -> Option<RoutedBatch> {
+        self.hub.try_drain()
+    }
+
+    /// A snapshot of the engine counters.
+    pub fn stats(&self) -> EngineStats {
+        let elapsed_ns = self.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let secs = (elapsed_ns as f64 / 1e9).max(1e-9);
+        let worker_busy_ns: Vec<u64> = self
+            .busy
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let worker_utilization = worker_busy_ns
+            .iter()
+            .map(|&ns| (ns as f64 / elapsed_ns.max(1) as f64).min(1.0))
+            .collect();
+        self.hub.with_state(|st| EngineStats {
+            workers: self.workers,
+            shard_depth: self.depth,
+            batches: st.batches,
+            records: st.records,
+            errors: st.errors,
+            elapsed_ns,
+            batches_per_sec: st.batches as f64 / secs,
+            records_per_sec: st.records as f64 / secs,
+            latency: LatencySummary::from_histogram(&st.histogram),
+            histogram: st.histogram.clone(),
+            queue_high_water: st.queue_high_water,
+            worker_busy_ns: worker_busy_ns.clone(),
+            worker_utilization,
+        })
+    }
+}
+
+/// One-per-worker routing state, reused across every job and task the
+/// worker touches.
+struct WorkerCtx {
+    scratch: StageScratch,
+    seen: Vec<usize>,
+}
+
+/// `ceil(log2(workers))`, clamped so slices never shrink below one line.
+fn auto_depth(workers: usize, m: usize) -> usize {
+    if workers <= 1 {
+        return 0;
+    }
+    let log = usize::BITS - (workers - 1).leading_zeros();
+    (log as usize).min(m)
+}
+
+fn worker_loop(hub: &Hub, net: BnbNetwork, depth: usize, busy: &AtomicU64) {
+    let mut ctx = WorkerCtx {
+        scratch: StageScratch::with_capacity(net.inputs()),
+        seen: Vec::new(),
+    };
+    while let Some(work) = hub.next_work() {
+        let t0 = Instant::now();
+        match work {
+            Work::Task(task) => run_task(hub, task, &mut ctx),
+            Work::Job(job) => process_job(hub, job, net, depth, &mut ctx),
+        }
+        busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Routes one batch as its owner: validate, split into `2^depth` slice
+/// tasks, help until every slice lands, publish the result.
+fn process_job(hub: &Hub, mut job: Job, net: BnbNetwork, depth: usize, ctx: &mut WorkerCtx) {
+    if let Err(e) = validate_lines(&net, &job.lines, &mut ctx.seen) {
+        hub.finish(job.seq, job.submitted_at, Err(e));
+        return;
+    }
+    #[cfg(debug_assertions)]
+    let reference = net.route(&job.lines);
+
+    let latch = JobLatch::new(1);
+    let root = SliceTask {
+        net,
+        lines: job.lines.as_mut_ptr(),
+        len: job.lines.len(),
+        first_line: 0,
+        start_stage: 0,
+        split_until: depth.min(net.m()),
+        latch: &latch,
+    };
+    run_task(hub, root, ctx);
+    // Help with queued slice work (ours or anyone's) until our batch is
+    // fully routed.
+    while !latch.is_done() {
+        match hub.try_pop_task() {
+            Some(task) => run_task(hub, task, ctx),
+            None => latch.wait_brief(),
+        }
+    }
+    let result = match latch.take_error() {
+        Some(e) => Err(e),
+        None => Ok(job.lines),
+    };
+
+    #[cfg(debug_assertions)]
+    if let (Ok(parallel), Ok(sequential)) = (&result, &reference) {
+        debug_assert_eq!(
+            parallel, sequential,
+            "parallel routing diverged from the sequential reference"
+        );
+    }
+    hub.finish(job.seq, job.submitted_at, result);
+}
+
+/// Routes a slice task: one main stage at a time while splitting is still
+/// wanted (pushing the sibling half to the hub), then the remaining
+/// stages sequentially.
+fn run_task(hub: &Hub, task: SliceTask, ctx: &mut WorkerCtx) {
+    let net = task.net;
+    let m = net.m();
+    let latch = unsafe { &*task.latch };
+    // SAFETY: the owning worker keeps the batch vector alive until the
+    // latch (which we complete below, after the last use) reports done,
+    // and sibling tasks cover disjoint ranges.
+    let mut lines = unsafe { std::slice::from_raw_parts_mut(task.lines, task.len) };
+    // Splits always keep the aligned low half, so our first line never
+    // moves.
+    let first_line = task.first_line;
+    let mut stage = task.start_stage;
+    loop {
+        if stage >= task.split_until || stage >= m || lines.len() < 2 {
+            let tail = route_span(&net, lines, first_line, stage..m, &mut ctx.scratch);
+            match tail {
+                Ok(()) => latch.complete_one(),
+                Err(e) => latch.fail(e),
+            }
+            return;
+        }
+        // Route this main stage over the whole slice, then hand half of
+        // the now-independent subnetworks to any idle worker.
+        if let Err(e) = route_span(&net, lines, first_line, stage..stage + 1, &mut ctx.scratch) {
+            latch.fail(e);
+            return;
+        }
+        stage += 1;
+        let half = lines.len() / 2;
+        let (keep, give) = lines.split_at_mut(half);
+        latch.add_one();
+        hub.push_task(SliceTask {
+            net,
+            lines: give.as_mut_ptr(),
+            len: give.len(),
+            first_line: first_line + half,
+            start_stage: stage,
+            split_until: task.split_until,
+            latch: task.latch,
+        });
+        lines = keep;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnb_core::network::RoutePolicy;
+    use bnb_topology::perm::Permutation;
+    use bnb_topology::record::records_for_permutation;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn auto_depth_tracks_worker_count() {
+        assert_eq!(auto_depth(1, 8), 0);
+        assert_eq!(auto_depth(2, 8), 1);
+        assert_eq!(auto_depth(3, 8), 2);
+        assert_eq!(auto_depth(4, 8), 2);
+        assert_eq!(auto_depth(8, 8), 3);
+        assert_eq!(auto_depth(64, 3), 3); // clamped to m
+    }
+
+    #[test]
+    fn engine_matches_sequential_route() {
+        let mut rng = StdRng::seed_from_u64(100);
+        for m in [1usize, 3, 6] {
+            let n = 1usize << m;
+            let net = BnbNetwork::new(m);
+            for workers in [1usize, 2, 4] {
+                let engine = Engine::new(net, EngineConfig::with_workers(workers));
+                let perms: Vec<_> = (0..8).map(|_| Permutation::random(n, &mut rng)).collect();
+                let expected: Vec<_> = perms
+                    .iter()
+                    .map(|p| net.route(&records_for_permutation(p)).unwrap())
+                    .collect();
+                let routed = engine.run(|h| {
+                    for p in &perms {
+                        h.submit(records_for_permutation(p));
+                    }
+                    (0..perms.len())
+                        .map(|_| h.drain().unwrap())
+                        .collect::<Vec<_>>()
+                });
+                for (i, batch) in routed.iter().enumerate() {
+                    assert_eq!(batch.seq, i as u64, "drain must be in submission order");
+                    assert_eq!(batch.result.as_ref().unwrap(), &expected[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn error_batches_are_reported_not_lost() {
+        let net = BnbNetwork::new(2);
+        let engine = Engine::new(net, EngineConfig::with_workers(2));
+        let good = records_for_permutation(&Permutation::try_from(vec![2, 0, 3, 1]).unwrap());
+        let dup = vec![
+            Record::new(1, 0),
+            Record::new(1, 1),
+            Record::new(2, 2),
+            Record::new(3, 3),
+        ];
+        let (first, second, stats) = engine.run(|h| {
+            h.submit(dup.clone());
+            h.submit(good.clone());
+            (h.drain().unwrap(), h.drain().unwrap(), h.stats())
+        });
+        assert!(matches!(
+            first.result,
+            Err(bnb_core::RouteError::DuplicateDestination { dest: 1, .. })
+        ));
+        assert!(second.result.is_ok());
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.records, 4); // only the good batch counts
+    }
+
+    #[test]
+    fn backpressure_bounds_the_queue() {
+        let net = BnbNetwork::new(4);
+        let config = EngineConfig {
+            workers: 2,
+            queue_capacity: 3,
+            shard_depth: ShardDepth::Auto,
+        };
+        let engine = Engine::new(net, config);
+        let p = Permutation::random(16, &mut StdRng::seed_from_u64(5));
+        let stats = engine.run(|h| {
+            for _ in 0..50 {
+                h.submit(records_for_permutation(&p));
+            }
+            while h.drain().is_some() {}
+            h.stats()
+        });
+        assert_eq!(stats.batches, 50);
+        assert!(
+            stats.queue_high_water <= 3,
+            "queue grew past its bound: {}",
+            stats.queue_high_water
+        );
+        assert!(stats.queue_high_water >= 1);
+    }
+
+    #[test]
+    fn permissive_garbage_traffic_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let net = BnbNetwork::builder(5)
+            .policy(RoutePolicy::Permissive)
+            .build();
+        let engine = Engine::new(
+            net,
+            EngineConfig {
+                workers: 4,
+                queue_capacity: 4,
+                shard_depth: ShardDepth::Fixed(3),
+            },
+        );
+        let batches: Vec<Vec<Record>> = (0..6)
+            .map(|_| {
+                (0..32)
+                    .map(|i| Record::new(rng.random_range(0..32), i as u64))
+                    .collect()
+            })
+            .collect();
+        let expected: Vec<_> = batches.iter().map(|b| net.route(b).unwrap()).collect();
+        let routed = engine.run(|h| {
+            for b in &batches {
+                h.submit(b.clone());
+            }
+            (0..batches.len())
+                .map(|_| h.drain().unwrap())
+                .collect::<Vec<_>>()
+        });
+        for (batch, want) in routed.iter().zip(&expected) {
+            assert_eq!(batch.result.as_ref().unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn stats_are_sane_after_a_run() {
+        let net = BnbNetwork::new(5);
+        let engine = Engine::new(net, EngineConfig::with_workers(3));
+        let p = Permutation::random(32, &mut StdRng::seed_from_u64(7));
+        let stats = engine.run(|h| {
+            for _ in 0..10 {
+                h.submit(records_for_permutation(&p));
+            }
+            while h.drain().is_some() {}
+            h.stats()
+        });
+        assert_eq!(stats.workers, 3);
+        assert_eq!(stats.shard_depth, 2);
+        assert_eq!(stats.batches, 10);
+        assert_eq!(stats.records, 320);
+        assert_eq!(stats.errors, 0);
+        assert_eq!(stats.histogram.count(), 10);
+        assert!(stats.batches_per_sec > 0.0);
+        assert!(stats.records_per_sec > 0.0);
+        assert!(stats.latency.min_ns <= stats.latency.p50_ns);
+        assert!(stats.latency.p50_ns <= stats.latency.p99_ns);
+        assert!(stats.latency.p99_ns <= stats.latency.max_ns);
+        assert_eq!(stats.worker_busy_ns.len(), 3);
+        assert_eq!(stats.worker_utilization.len(), 3);
+        assert!(stats
+            .worker_utilization
+            .iter()
+            .all(|&u| (0.0..=1.0).contains(&u)));
+    }
+
+    #[test]
+    fn try_drain_is_nonblocking_and_ordered() {
+        let net = BnbNetwork::new(3);
+        let engine = Engine::new(net, EngineConfig::with_workers(2));
+        let p = Permutation::try_from(vec![7, 6, 5, 4, 3, 2, 1, 0]).unwrap();
+        engine.run(|h| {
+            assert!(h.try_drain().is_none(), "nothing submitted yet");
+            let a = h.submit(records_for_permutation(&p));
+            let b = h.submit(records_for_permutation(&p));
+            let first = h.drain().unwrap();
+            assert_eq!(first.seq, a);
+            // Blocking drain for the second too, then the queue is empty.
+            let second = h.drain().unwrap();
+            assert_eq!(second.seq, b);
+            assert!(h.try_drain().is_none());
+            assert!(h.drain().is_none());
+        });
+    }
+}

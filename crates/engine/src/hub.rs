@@ -1,0 +1,317 @@
+//! The engine's shared work hub: a bounded batch queue, an unbounded
+//! slice-task queue, and the in-order completion buffer.
+//!
+//! Two kinds of work flow through the hub:
+//!
+//! - **Jobs** — whole submitted batches. The queue is bounded, so
+//!   [`Hub::submit`] blocks when full (backpressure). A worker that pops a
+//!   job becomes its *owner* and is responsible for publishing its result.
+//! - **Slice tasks** — disjoint subnetwork slices of an in-flight batch,
+//!   produced by the recursive split in [`crate::engine`]. The queue is
+//!   unbounded (at most `2^depth` tasks per in-flight job) and always
+//!   served before jobs, so helping never starves an in-flight batch.
+//!
+//! Owners waiting for their slices to land only ever *help with tasks*,
+//! never pop nested jobs — job processing therefore never recurses and the
+//! number of in-flight batches is bounded by `workers + queue capacity`.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use bnb_core::error::RouteError;
+use bnb_core::network::BnbNetwork;
+use bnb_topology::record::Record;
+
+use crate::stats::LatencyHistogram;
+
+/// A submitted batch awaiting an owner.
+pub(crate) struct Job {
+    pub seq: u64,
+    pub lines: Vec<Record>,
+    pub submitted_at: Instant,
+}
+
+/// One routed batch, as returned by [`crate::engine::EngineHandle::drain`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedBatch {
+    /// Submission sequence number (as returned by `submit`).
+    pub seq: u64,
+    /// The routed lines, or the validation/routing error for this batch.
+    pub result: Result<Vec<Record>, RouteError>,
+}
+
+/// Completion latch for one in-flight batch. Lives on the owning worker's
+/// stack; slice tasks hold a raw pointer to it and the owner blocks until
+/// every outstanding slice has landed.
+pub(crate) struct JobLatch {
+    remaining: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+    error: Mutex<Option<RouteError>>,
+}
+
+impl JobLatch {
+    /// A latch with `count` outstanding slices.
+    pub fn new(count: usize) -> Self {
+        JobLatch {
+            remaining: AtomicUsize::new(count),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+            error: Mutex::new(None),
+        }
+    }
+
+    /// Registers one more outstanding slice (called before pushing a split
+    /// half to the hub).
+    pub fn add_one(&self) {
+        self.remaining.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks one slice complete. The `Release` ordering publishes the
+    /// slice's routed lines to the owner's `Acquire` load in
+    /// [`Self::is_done`].
+    pub fn complete_one(&self) {
+        if self.remaining.fetch_sub(1, Ordering::Release) == 1 {
+            let _guard = self.lock.lock().unwrap();
+            self.cv.notify_all();
+        }
+    }
+
+    /// Marks one slice complete with an error; the first error wins.
+    pub fn fail(&self, e: RouteError) {
+        let mut slot = self.error.lock().unwrap();
+        slot.get_or_insert(e);
+        drop(slot);
+        self.complete_one();
+    }
+
+    /// True once every outstanding slice has completed.
+    pub fn is_done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    /// Sleeps briefly unless the latch completes first. The short timeout
+    /// is insurance against the (benign) race between the done-check and
+    /// the notify.
+    pub fn wait_brief(&self) {
+        let guard = self.lock.lock().unwrap();
+        if !self.is_done() {
+            let _ = self
+                .cv
+                .wait_timeout(guard, Duration::from_micros(100))
+                .unwrap();
+        }
+    }
+
+    /// The first recorded slice error, if any.
+    pub fn take_error(&self) -> Option<RouteError> {
+        self.error.lock().unwrap().take()
+    }
+}
+
+/// A disjoint subnetwork slice of an in-flight batch.
+///
+/// The raw pointers are sound to send because (a) sibling tasks cover
+/// disjoint `lines` ranges produced by `split_at_mut`, (b) the owning
+/// worker keeps the batch vector and the latch alive on its stack until
+/// the latch reports every slice done, and (c) `complete_one` is the last
+/// touch of the pointers, with `Release`/`Acquire` ordering handing the
+/// written lines back to the owner.
+pub(crate) struct SliceTask {
+    pub net: BnbNetwork,
+    pub lines: *mut Record,
+    pub len: usize,
+    pub first_line: usize,
+    pub start_stage: usize,
+    pub split_until: usize,
+    pub latch: *const JobLatch,
+}
+
+unsafe impl Send for SliceTask {}
+
+/// Everything guarded by the hub mutex.
+pub(crate) struct HubState {
+    pub jobs: VecDeque<Job>,
+    pub tasks: VecDeque<SliceTask>,
+    completed: BTreeMap<u64, RoutedBatch>,
+    submitted: u64,
+    next_drain: u64,
+    closed: bool,
+    // Stats counters (updated at batch completion).
+    pub batches: u64,
+    pub records: u64,
+    pub errors: u64,
+    pub queue_high_water: usize,
+    pub histogram: LatencyHistogram,
+}
+
+/// The shared coordination hub (one per [`crate::engine::Engine::run`]
+/// scope).
+pub(crate) struct Hub {
+    capacity: usize,
+    state: Mutex<HubState>,
+    /// Workers wait here for jobs, tasks, or close.
+    work_cv: Condvar,
+    /// Submitters wait here for queue space.
+    space_cv: Condvar,
+    /// Drainers wait here for completions.
+    done_cv: Condvar,
+}
+
+impl Hub {
+    pub fn new(capacity: usize) -> Self {
+        Hub {
+            capacity: capacity.max(1),
+            state: Mutex::new(HubState {
+                jobs: VecDeque::new(),
+                tasks: VecDeque::new(),
+                completed: BTreeMap::new(),
+                submitted: 0,
+                next_drain: 0,
+                closed: false,
+                batches: 0,
+                records: 0,
+                errors: 0,
+                queue_high_water: 0,
+                histogram: LatencyHistogram::new(),
+            }),
+            work_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a batch, blocking while the bounded queue is full.
+    /// Returns the batch's sequence number.
+    pub fn submit(&self, lines: Vec<Record>) -> u64 {
+        let mut st = self.state.lock().unwrap();
+        while st.jobs.len() >= self.capacity {
+            st = self.space_cv.wait(st).unwrap();
+        }
+        let seq = st.submitted;
+        st.submitted += 1;
+        st.jobs.push_back(Job {
+            seq,
+            lines,
+            submitted_at: Instant::now(),
+        });
+        st.queue_high_water = st.queue_high_water.max(st.jobs.len());
+        drop(st);
+        self.work_cv.notify_one();
+        seq
+    }
+
+    /// Pops the next routed batch in submission order, blocking while one
+    /// is outstanding. Returns `None` when every submitted batch has been
+    /// drained.
+    pub fn drain(&self) -> Option<RoutedBatch> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            let next = st.next_drain;
+            if let Some(batch) = st.completed.remove(&next) {
+                st.next_drain += 1;
+                return Some(batch);
+            }
+            if st.next_drain == st.submitted {
+                return None;
+            }
+            st = self.done_cv.wait(st).unwrap();
+        }
+    }
+
+    /// Non-blocking [`Self::drain`]: `None` if the next batch in order is
+    /// not finished yet (or nothing is outstanding).
+    pub fn try_drain(&self) -> Option<RoutedBatch> {
+        let mut st = self.state.lock().unwrap();
+        let next = st.next_drain;
+        let batch = st.completed.remove(&next)?;
+        st.next_drain += 1;
+        Some(batch)
+    }
+
+    /// Publishes a finished batch and updates the counters.
+    pub fn finish(&self, seq: u64, submitted_at: Instant, result: Result<Vec<Record>, RouteError>) {
+        let latency_ns = submitted_at.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let mut st = self.state.lock().unwrap();
+        st.batches += 1;
+        match &result {
+            Ok(lines) => st.records += lines.len() as u64,
+            Err(_) => st.errors += 1,
+        }
+        st.histogram.record(latency_ns);
+        st.completed.insert(seq, RoutedBatch { seq, result });
+        drop(st);
+        self.done_cv.notify_all();
+    }
+
+    /// Pushes slice tasks produced by a split and wakes helpers.
+    pub fn push_task(&self, task: SliceTask) {
+        let mut st = self.state.lock().unwrap();
+        st.tasks.push_back(task);
+        drop(st);
+        self.work_cv.notify_one();
+    }
+
+    /// Pops a task if one is queued (used by owners helping while they
+    /// wait on their latch).
+    pub fn try_pop_task(&self) -> Option<SliceTask> {
+        self.state.lock().unwrap().tasks.pop_front()
+    }
+
+    /// Blocks until work (task preferred, then job) or close-with-empty-
+    /// queues. `None` means the worker should exit.
+    pub fn next_work(&self) -> Option<Work> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(t) = st.tasks.pop_front() {
+                return Some(Work::Task(t));
+            }
+            if let Some(j) = st.jobs.pop_front() {
+                drop(st);
+                self.space_cv.notify_one();
+                return Some(Work::Job(j));
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.work_cv.wait(st).unwrap();
+        }
+    }
+
+    /// Closes the hub: workers drain all queued work, then exit. Blocked
+    /// submitters are not expected (close happens after the user closure
+    /// returns).
+    pub fn close(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.closed = true;
+        drop(st);
+        self.work_cv.notify_all();
+        self.space_cv.notify_all();
+        self.done_cv.notify_all();
+    }
+
+    /// Runs `f` with the locked state (stats snapshots).
+    pub fn with_state<R>(&self, f: impl FnOnce(&HubState) -> R) -> R {
+        f(&self.state.lock().unwrap())
+    }
+}
+
+/// One unit of work handed to a worker.
+pub(crate) enum Work {
+    Task(SliceTask),
+    Job(Job),
+}
+
+/// Closes the hub on drop, so worker threads exit even if the user
+/// closure panics (otherwise the surrounding `thread::scope` would never
+/// join).
+pub(crate) struct CloseGuard<'a>(pub &'a Hub);
+
+impl Drop for CloseGuard<'_> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}

@@ -1,0 +1,31 @@
+//! bnb-engine: a concurrent batched routing engine for the BNB network.
+//!
+//! The paper's self-routing property makes the control plane *local*: every
+//! splitter sets its switches from its own inputs. This crate exploits the
+//! structural consequence — after main stage `i`, the GBN's unshuffle
+//! partitions the frame into independent subnetworks — to route disjoint
+//! slices of one batch on different workers, on top of a classic bounded
+//! submit/drain pipeline:
+//!
+//! - [`Engine::run`] spawns a [`std::thread::scope`]d worker pool (no
+//!   external dependencies, no detached threads).
+//! - [`EngineHandle::submit`] enqueues a batch into a **bounded** queue and
+//!   blocks when it is full — backpressure, not unbounded buffering.
+//! - Each batch is recursively split into `2^depth` independent subnetwork
+//!   slices ([`ShardDepth`]), routed concurrently with per-worker reusable
+//!   scratch (zero per-batch allocation in steady state), byte-identical
+//!   to the sequential route.
+//! - [`EngineHandle::drain`] returns routed batches in submission order;
+//!   [`EngineHandle::stats`] snapshots throughput, a fixed-bucket latency
+//!   histogram, queue high-water mark, and per-worker utilization
+//!   ([`EngineStats`], serde-serializable).
+//!
+//! See [`bnb_core::stages`] for the slice-independence argument and
+//! `DESIGN.md` for how this mirrors the paper's arbiter locality.
+
+pub mod engine;
+mod hub;
+pub mod stats;
+
+pub use engine::{Engine, EngineConfig, EngineHandle, RoutedBatch, ShardDepth};
+pub use stats::{EngineStats, LatencyHistogram, LatencySummary, HISTOGRAM_BUCKETS};

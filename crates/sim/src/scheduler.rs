@@ -176,6 +176,28 @@ impl VoqSwitch {
     /// Propagates fabric errors (which cannot occur for traffic validated
     /// by [`VoqSwitch::offer`]).
     pub fn step(&mut self) -> Result<usize, RouteError> {
+        let (slots, picks) = self.plan_round();
+        let outcome = self.network.route_partial(&slots)?;
+        let mut count = 0usize;
+        for delivered in outcome.outputs.iter().flatten() {
+            self.delivered.push(*delivered);
+            count += 1;
+        }
+        self.commit_round(picks);
+        Ok(count)
+    }
+
+    /// Greedily matches queued records to free outputs for one round,
+    /// without touching the queues. Returns the per-input fabric slots and
+    /// the `(input, queue slot)` picks to dequeue once the round is
+    /// committed.
+    ///
+    /// The matching reads only the queue state and the rotating priority —
+    /// never a routing result — so an entire drain can be planned up front
+    /// and the rounds batch-routed afterwards (see
+    /// [`VoqSwitch::run_to_completion_engine`]).
+    #[allow(clippy::type_complexity)]
+    fn plan_round(&self) -> (Vec<Option<Record>>, Vec<Option<(usize, usize)>>) {
         let n = self.network.inputs();
         let mut claimed = vec![false; n];
         let mut slots: Vec<Option<Record>> = vec![None; n];
@@ -212,18 +234,16 @@ impl VoqSwitch {
                 }
             }
         }
-        let outcome = self.network.route_partial(&slots)?;
-        let mut count = 0usize;
-        for delivered in outcome.outputs.iter().flatten() {
-            self.delivered.push(*delivered);
-            count += 1;
-        }
+        (slots, picks)
+    }
+
+    /// Dequeues a planned round's picks and advances the priority pointer.
+    fn commit_round(&mut self, picks: Vec<Option<(usize, usize)>>) {
         for pick in picks.into_iter().flatten() {
             let (input, slot) = pick;
             self.queues[input][slot].pop_front();
         }
-        self.priority = (self.priority + 1) % n;
-        Ok(count)
+        self.priority = (self.priority + 1) % self.network.inputs();
     }
 
     /// Steps until the backlog drains or `max_rounds` is reached.
@@ -241,6 +261,81 @@ impl VoqSwitch {
         }
         Ok(ScheduleStats {
             rounds,
+            delivered,
+            lower_bound,
+        })
+    }
+
+    /// Drains the backlog by batch-routing every round through the
+    /// concurrent [`bnb_engine::Engine`] instead of round-by-round fabric
+    /// calls.
+    ///
+    /// The greedy matching never looks at a routing result, so all rounds
+    /// are planned up front, their destination-completed frames (see
+    /// [`BnbNetwork::completed_frame`]) are pipelined through the engine's
+    /// bounded queue, and deliveries are reconstructed in the same
+    /// per-round output order — byte-identical state and `delivered()`
+    /// sequence to [`VoqSwitch::run_to_completion`].
+    ///
+    /// The engine runs on the network's width-64 index sibling
+    /// ([`BnbNetwork::index_sibling`]), since planned frames carry input
+    /// indices as payloads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fabric errors (which cannot occur for traffic validated
+    /// by [`VoqSwitch::offer`]).
+    pub fn run_to_completion_engine(
+        &mut self,
+        max_rounds: usize,
+        config: bnb_engine::EngineConfig,
+    ) -> Result<ScheduleStats, RouteError> {
+        let lower_bound = self.lower_bound();
+        // Phase 1: plan every round (pure queue-state bookkeeping).
+        let mut planned_slots = Vec::new();
+        while self.backlog() > 0 && planned_slots.len() < max_rounds {
+            let (slots, picks) = self.plan_round();
+            planned_slots.push(slots);
+            self.commit_round(picks);
+        }
+        // Phase 2: one engine run routes all rounds; drain preserves
+        // submission (= round) order.
+        let engine = bnb_engine::Engine::new(self.network.index_sibling(), config);
+        let routed = engine.run(|h| {
+            let mut out = Vec::with_capacity(planned_slots.len());
+            let mut pending = 0usize;
+            for slots in &planned_slots {
+                match self.network.completed_frame(slots) {
+                    Ok(frame) => {
+                        h.submit(frame);
+                        pending += 1;
+                    }
+                    Err(e) => return Err(e),
+                }
+                // Opportunistically collect finished rounds so results
+                // don't pile up while we keep the queue fed.
+                while let Some(batch) = h.try_drain() {
+                    out.push(batch.result);
+                    pending -= 1;
+                }
+            }
+            for _ in 0..pending {
+                let batch = h.drain().expect("every submitted round completes");
+                out.push(batch.result);
+            }
+            Ok(out)
+        })?;
+        // Phase 3: reconstruct deliveries in per-round output order.
+        let mut delivered = 0usize;
+        for (slots, result) in planned_slots.iter().zip(routed) {
+            let outcome = bnb_core::partial::resolve_completed(slots, &result?);
+            for record in outcome.outputs.iter().flatten() {
+                self.delivered.push(*record);
+                delivered += 1;
+            }
+        }
+        Ok(ScheduleStats {
+            rounds: planned_slots.len(),
             delivered,
             lower_bound,
         })
@@ -386,6 +481,49 @@ mod tests {
                 "window {window} starved someone"
             );
         }
+    }
+
+    #[test]
+    fn engine_drain_matches_sequential_drain() {
+        use bnb_engine::EngineConfig;
+        let mut rng = StdRng::seed_from_u64(21);
+        for d in [QueueDiscipline::Fifo, QueueDiscipline::Voq] {
+            for workers in [1usize, 2, 4] {
+                let mut seq = switch(3, d);
+                for k in 0..60u64 {
+                    let input = rng.random_range(0..8);
+                    let r = Record::new(rng.random_range(0..8), k);
+                    seq.offer(input, r).unwrap();
+                }
+                let mut eng = seq.clone();
+                let seq_stats = seq.run_to_completion(1000).unwrap();
+                let eng_stats = eng
+                    .run_to_completion_engine(1000, EngineConfig::with_workers(workers))
+                    .unwrap();
+                assert_eq!(eng_stats, seq_stats, "{d:?} workers={workers}");
+                assert_eq!(
+                    eng.delivered(),
+                    seq.delivered(),
+                    "{d:?} workers={workers}: delivery order must be identical"
+                );
+                assert_eq!(eng.backlog(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_drain_respects_max_rounds() {
+        use bnb_engine::EngineConfig;
+        let mut sw = switch(2, QueueDiscipline::Voq);
+        for i in 0..4 {
+            sw.offer(i, Record::new(0, i as u64)).unwrap(); // all-to-one
+        }
+        let stats = sw
+            .run_to_completion_engine(2, EngineConfig::with_workers(2))
+            .unwrap();
+        assert_eq!(stats.rounds, 2);
+        assert_eq!(stats.delivered, 2);
+        assert_eq!(sw.backlog(), 2);
     }
 
     #[test]

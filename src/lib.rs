@@ -23,6 +23,9 @@
 //!   2/3-delay ratio analysis.
 //! - [`sim`] — cycle-level pipelined fabric simulation, classic
 //!   parallel-processing workloads, and fault injection.
+//! - [`engine`] — a concurrent batched routing engine: bounded submit/
+//!   drain queue, scoped worker pool, and intra-batch subnetwork sharding
+//!   that mirrors the paper's recursive GBN structure.
 //!
 //! # Quickstart
 //!
@@ -49,6 +52,7 @@
 pub use bnb_analysis as analysis;
 pub use bnb_baselines as baselines;
 pub use bnb_core as core;
+pub use bnb_engine as engine;
 pub use bnb_gates as gates;
 pub use bnb_sim as sim;
 pub use bnb_topology as topology;

@@ -1,0 +1,129 @@
+//! Property-based equivalence: the concurrent engine's output must be
+//! byte-identical to the sequential `BnbNetwork::route` for every worker
+//! count and sharding depth — full permutations, partial traffic, and
+//! (under the permissive policy) arbitrary garbage destinations.
+
+use bnb::core::network::{BnbNetwork, RoutePolicy};
+use bnb::core::partial::resolve_completed;
+use bnb::engine::{Engine, EngineConfig, ShardDepth};
+use bnb::topology::perm::Permutation;
+use bnb::topology::record::{records_for_permutation, Record};
+use proptest::prelude::*;
+
+fn engine_for(net: BnbNetwork, workers: usize, depth: ShardDepth) -> Engine {
+    Engine::new(
+        net,
+        EngineConfig {
+            workers,
+            queue_capacity: 3,
+            shard_depth: depth,
+        },
+    )
+}
+
+fn depths() -> [ShardDepth; 4] {
+    [
+        ShardDepth::Auto,
+        ShardDepth::Fixed(0),
+        ShardDepth::Fixed(2),
+        ShardDepth::Fixed(16), // clamped to m internally
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random permutations at every worker count 1..=8 and several shard
+    /// depths route identically to the sequential network.
+    #[test]
+    fn engine_matches_sequential_on_permutations(m in 1usize..=7, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 1usize << m;
+        let net = BnbNetwork::new(m);
+        let batches: Vec<Vec<Record>> = (0..4)
+            .map(|_| records_for_permutation(&Permutation::random(n, &mut rng)))
+            .collect();
+        let expected: Vec<Vec<Record>> = batches
+            .iter()
+            .map(|b| net.route(b).unwrap())
+            .collect();
+        for workers in 1usize..=8 {
+            for depth in depths() {
+                let engine = engine_for(net, workers, depth);
+                let routed = engine.run(|h| {
+                    for b in &batches {
+                        h.submit(b.clone());
+                    }
+                    (0..batches.len()).map(|_| h.drain().unwrap()).collect::<Vec<_>>()
+                });
+                for (i, batch) in routed.iter().enumerate() {
+                    prop_assert_eq!(batch.seq, i as u64);
+                    prop_assert_eq!(
+                        batch.result.as_ref().unwrap(),
+                        &expected[i],
+                        "workers = {}, depth = {:?}", workers, depth
+                    );
+                }
+            }
+        }
+    }
+
+    /// Random *partial* traffic: destination-completed frames routed
+    /// through the engine reconstruct exactly `route_partial`'s outcome,
+    /// at every worker count.
+    #[test]
+    fn engine_matches_route_partial(m in 1usize..=6, seed in any::<u64>()) {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 1usize << m;
+        let net = BnbNetwork::new(m);
+        let perm = Permutation::random(n, &mut rng);
+        let slots: Vec<Option<Record>> = (0..n)
+            .map(|i| {
+                rng.random_bool(0.6)
+                    .then(|| Record::new(perm.apply(i), i as u64))
+            })
+            .collect();
+        let expected = net.route_partial(&slots).unwrap();
+        let frame = net.completed_frame(&slots).unwrap();
+        for workers in 1usize..=8 {
+            let engine = engine_for(net.index_sibling(), workers, ShardDepth::Auto);
+            let routed = engine.run(|h| {
+                h.submit(frame.clone());
+                h.drain().unwrap()
+            });
+            let outcome = resolve_completed(&slots, &routed.result.unwrap());
+            prop_assert_eq!(&outcome, &expected, "workers = {}", workers);
+        }
+    }
+
+    /// Permissive-policy garbage traffic (arbitrary destinations, possibly
+    /// heavily duplicated) still routes byte-identically: BNB routing is
+    /// oblivious data movement, so sharding cannot change the outcome.
+    #[test]
+    fn engine_matches_sequential_on_garbage(m in 1usize..=6, seed in any::<u64>()) {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 1usize << m;
+        let net = BnbNetwork::builder(m).policy(RoutePolicy::Permissive).build();
+        let batch: Vec<Record> = (0..n)
+            .map(|i| Record::new(rng.random_range(0..n), i as u64))
+            .collect();
+        let expected = net.route(&batch).unwrap();
+        for workers in 1usize..=8 {
+            for depth in depths() {
+                let engine = engine_for(net, workers, depth);
+                let routed = engine.run(|h| {
+                    h.submit(batch.clone());
+                    h.drain().unwrap()
+                });
+                prop_assert_eq!(
+                    routed.result.as_ref().unwrap(),
+                    &expected,
+                    "workers = {}, depth = {:?}", workers, depth
+                );
+            }
+        }
+    }
+}

@@ -74,3 +74,49 @@ fn table_roundtrip() {
     assert_eq!(back, t);
     assert_eq!(back.to_markdown(), t.to_markdown());
 }
+
+#[test]
+fn latency_histogram_roundtrip() {
+    use bnb::engine::LatencyHistogram;
+    let mut h = LatencyHistogram::new();
+    for ns in [0u64, 1, 2, 900, 65_536, 1_000_000_000] {
+        h.record(ns);
+    }
+    let json = serde_json::to_string(&h).unwrap();
+    let back: LatencyHistogram = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, h);
+    // Derived views must agree too, not just the raw fields.
+    assert_eq!(back.count(), h.count());
+    assert_eq!(back.min_ns(), h.min_ns());
+    assert_eq!(back.max_ns(), h.max_ns());
+    for q in [0.5, 0.9, 0.99] {
+        assert_eq!(back.quantile(q), h.quantile(q));
+    }
+}
+
+#[test]
+fn engine_stats_roundtrip() {
+    use bnb::core::network::BnbNetwork;
+    use bnb::engine::{Engine, EngineConfig, EngineStats};
+    use bnb::topology::record::records_for_permutation;
+    use rand::SeedableRng;
+
+    // Stats from a real run, so every field is populated.
+    let net = BnbNetwork::new(4);
+    let engine = Engine::new(net, EngineConfig::with_workers(2));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+    let stats = engine.run(|h| {
+        for _ in 0..5 {
+            h.submit(records_for_permutation(&Permutation::random(16, &mut rng)));
+        }
+        while h.drain().is_some() {}
+        h.stats()
+    });
+    let json = serde_json::to_string(&stats).unwrap();
+    let back: EngineStats = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, stats);
+    // Pretty form parses back identically as well.
+    let pretty: EngineStats =
+        serde_json::from_str(&serde_json::to_string_pretty(&stats).unwrap()).unwrap();
+    assert_eq!(pretty, stats);
+}

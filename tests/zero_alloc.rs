@@ -1,0 +1,105 @@
+//! Steady-state allocation audit: after warm-up, the reusable routing
+//! paths (`Router::route_in_place` and the stage-span kernel it wraps)
+//! must not touch the heap at all — the property the concurrent engine
+//! relies on for allocation-free batch routing.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bnb::core::network::BnbNetwork;
+use bnb::core::router::Router;
+use bnb::core::stages::{route_span, validate_lines, StageScratch};
+use bnb::topology::perm::Permutation;
+use bnb::topology::record::{records_for_permutation, Record};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn router_steady_state_performs_no_allocation() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    for m in [3usize, 6, 8] {
+        let n = 1usize << m;
+        let net = BnbNetwork::builder(m).data_width(32).build();
+        let mut router = Router::new(net);
+        let batches: Vec<Vec<Record>> = (0..4)
+            .map(|_| records_for_permutation(&Permutation::random(n, &mut rng)))
+            .collect();
+        let mut buf = batches[0].clone();
+        // Warm-up: first routes may grow the lazily-sized scratch buffers.
+        for batch in &batches {
+            buf.copy_from_slice(batch);
+            router.route_in_place(&mut buf).unwrap();
+        }
+        // Steady state: repeat the same traffic; zero heap traffic allowed.
+        let allocs = allocations_during(|| {
+            for _ in 0..10 {
+                for batch in &batches {
+                    buf.copy_from_slice(batch);
+                    router.route_in_place(&mut buf).unwrap();
+                }
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "m = {m}: route_in_place allocated in steady state"
+        );
+    }
+}
+
+#[test]
+fn stage_span_kernel_is_allocation_free_after_warmup() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+    let m = 7usize;
+    let n = 1usize << m;
+    let net = BnbNetwork::new(m);
+    let mut scratch = StageScratch::with_capacity(n);
+    let mut seen = Vec::new();
+    let records = records_for_permutation(&Permutation::random(n, &mut rng));
+    let mut lines = records.clone();
+    // Warm-up (sizes the validation scratch).
+    validate_lines(&net, &lines, &mut seen).unwrap();
+    route_span(&net, &mut lines, 0, 0..m, &mut scratch).unwrap();
+    // Steady state, including the split-and-conquer pattern the engine
+    // uses: head stages, then each aligned slice separately.
+    let allocs = allocations_during(|| {
+        for depth in [0usize, 1, 2] {
+            lines.copy_from_slice(&records);
+            validate_lines(&net, &lines, &mut seen).unwrap();
+            route_span(&net, &mut lines, 0, 0..depth, &mut scratch).unwrap();
+            let span = n >> depth;
+            for (idx, chunk) in lines.chunks_mut(span).enumerate() {
+                route_span(&net, chunk, idx * span, depth..m, &mut scratch).unwrap();
+            }
+        }
+    });
+    assert_eq!(allocs, 0, "stage kernel allocated in steady state");
+}

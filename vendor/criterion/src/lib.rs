@@ -1,0 +1,268 @@
+//! Minimal offline criterion-compatible benchmark harness.
+//!
+//! The build environment cannot fetch the real `criterion`, so this
+//! stand-in implements the API surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! group configuration (`sample_size`, `warm_up_time`,
+//! `measurement_time`, `throughput`), `bench_with_input`/`bench_function`
+//! with a `Bencher::iter` closure, `BenchmarkId`, and
+//! `Throughput::Elements`.
+//!
+//! Measurement is honest wall-clock timing (warm-up, then timed batches),
+//! reported as mean ns/iter plus derived element throughput. There are no
+//! statistical refinements or HTML reports; measurement windows are
+//! capped (default 500 ms, override via `CRITERION_STUB_MEASURE_MS`) so
+//! full `cargo bench` sweeps stay tractable.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark point: a function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { text: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(text: String) -> Self {
+        BenchmarkId { text }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            name,
+            warm_up: Duration::from_millis(50),
+            measurement: Duration::from_millis(300),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup {
+            name: String::new(),
+            warm_up: Duration::from_millis(50),
+            measurement: Duration::from_millis(300),
+            throughput: None,
+        };
+        group.run_one(&id.into(), f);
+        self
+    }
+}
+
+/// A named group of related benchmark points.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+fn measurement_cap() -> Duration {
+    std::env::var("CRITERION_STUB_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or_else(|| Duration::from_millis(500))
+}
+
+impl BenchmarkGroup {
+    /// Kept for API compatibility; the stub sizes samples by time instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d.min(Duration::from_millis(200));
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d.min(measurement_cap());
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id, |b| f(b, input));
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id, f);
+    }
+
+    fn run_one<F>(&mut self, id: &BenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let label = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{id}", self.name)
+        };
+        if bencher.iters == 0 {
+            println!("{label:<60} (no iterations)");
+            return;
+        }
+        let mean_ns = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+        let mut line = format!(
+            "{label:<60} {mean_ns:>14.1} ns/iter ({} iters)",
+            bencher.iters
+        );
+        if let Some(Throughput::Elements(elems)) = self.throughput {
+            if mean_ns > 0.0 {
+                let per_sec = elems as f64 * 1e9 / mean_ns;
+                line.push_str(&format!("  {per_sec:>14.0} elem/s"));
+            }
+        }
+        println!("{line}");
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: at least one call, up to the warm-up window.
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        // Measurement: timed batches until the window closes.
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        let mut batch = 1u64;
+        while elapsed < self.measurement {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            elapsed += start.elapsed();
+            iters += batch;
+            // Grow batches so timer overhead stays negligible for fast
+            // bodies, while slow bodies keep batch == 1.
+            let per_iter = elapsed.as_nanos() as u64 / iters.max(1);
+            if per_iter < 10_000 {
+                batch = batch.saturating_mul(2).min(1 << 20);
+            }
+        }
+        self.iters = iters;
+        self.elapsed = elapsed;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.warm_up_time(Duration::from_millis(1));
+        g.measurement_time(Duration::from_millis(5));
+        g.throughput(Throughput::Elements(4));
+        let mut ran = 0u64;
+        g.bench_with_input(BenchmarkId::new("count", 4), &4u64, |b, &n| {
+            b.iter(|| {
+                ran += 1;
+                n * 2
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

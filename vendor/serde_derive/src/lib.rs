@@ -1,0 +1,566 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the vendored serde stub — no `syn`/`quote`, the item token stream is
+//! parsed directly and the impls are emitted as source text.
+//!
+//! Supported shapes (exactly what the workspace uses):
+//! - structs with named fields → map of field name → value
+//! - tuple structs: 1 field is transparent (newtype), n fields → sequence
+//! - unit structs → null
+//! - enums with any mix of unit / newtype / tuple / struct variants,
+//!   externally tagged like real serde (`"Unit"`, `{"Variant": …}`)
+//! - container attributes `#[serde(try_from = "T", into = "T")]`
+//!
+//! Generics are not supported (nothing in the workspace derives on a
+//! generic type); attempting it fails with a clear compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+struct Field {
+    name: String,
+}
+
+enum Shape {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+struct Item {
+    name: String,
+    is_enum: bool,
+    shape: Shape,           // for structs
+    variants: Vec<Variant>, // for enums
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = parse_item(input);
+    let code = match mode {
+        Mode::Ser => gen_serialize(&item),
+        Mode::De => gen_deserialize(&item),
+    };
+    code.parse()
+        .expect("serde_derive: generated code must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut try_from = None;
+    let mut into = None;
+
+    skip_attrs(&tokens, &mut i, &mut try_from, &mut into);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let is_enum = match keyword.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => panic!("serde_derive: expected struct or enum, found `{other}`"),
+    };
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by the offline stub");
+    }
+
+    if is_enum {
+        let body = expect_group(&tokens, &mut i, Delimiter::Brace);
+        let variants = parse_variants(body);
+        Item {
+            name,
+            is_enum,
+            shape: Shape::Unit,
+            variants,
+            try_from,
+            into,
+        }
+    } else {
+        let shape = parse_struct_shape(&tokens, &mut i);
+        Item {
+            name,
+            is_enum,
+            shape,
+            variants: Vec::new(),
+            try_from,
+            into,
+        }
+    }
+}
+
+/// Skips leading attributes, capturing `#[serde(try_from/into = "…")]`.
+fn skip_attrs(
+    tokens: &[TokenTree],
+    i: &mut usize,
+    try_from: &mut Option<String>,
+    into: &mut Option<String>,
+) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        let TokenTree::Group(g) = &tokens[*i] else {
+            panic!("serde_derive: malformed attribute");
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                parse_serde_attr(args.stream(), try_from, into);
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Parses `try_from = "T", into = "T"` inside a `#[serde(…)]` attribute.
+fn parse_serde_attr(stream: TokenStream, try_from: &mut Option<String>, into: &mut Option<String>) {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut j = 0;
+    while j < toks.len() {
+        let TokenTree::Ident(key) = &toks[j] else {
+            panic!("serde_derive: unsupported #[serde] attribute syntax");
+        };
+        let key = key.to_string();
+        let is_eq = matches!(&toks.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+        let value = if is_eq {
+            match &toks.get(j + 2) {
+                Some(TokenTree::Literal(lit)) => {
+                    let s = lit.to_string();
+                    j += 3;
+                    s.trim_matches('"').to_string()
+                }
+                _ => panic!("serde_derive: expected string literal in #[serde({key} = …)]"),
+            }
+        } else {
+            panic!("serde_derive: unsupported #[serde({key})] attribute (offline stub)");
+        };
+        match key.as_str() {
+            "try_from" => *try_from = Some(value),
+            "into" => *into = Some(value),
+            other => panic!("serde_derive: unsupported #[serde({other} = …)] (offline stub)"),
+        }
+        if matches!(&toks.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            j += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn expect_group(tokens: &[TokenTree], i: &mut usize, delim: Delimiter) -> TokenStream {
+    match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == delim => {
+            *i += 1;
+            g.stream()
+        }
+        other => panic!("serde_derive: expected {delim:?} group, found {other:?}"),
+    }
+}
+
+fn parse_struct_shape(tokens: &[TokenTree], i: &mut usize) -> Shape {
+    match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = parse_named_fields(g.stream());
+            *i += 1;
+            Shape::Named(fields)
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let arity = count_tuple_fields(g.stream());
+            *i += 1;
+            Shape::Tuple(arity)
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        other => panic!("serde_derive: unexpected struct body {other:?}"),
+    }
+}
+
+/// Parses `name: Type, …` field lists, skipping attributes and visibility.
+/// Commas inside angle brackets (`Vec<(A, B)>`, `HashMap<K, V>`) belong to
+/// the type, tracked with an angle-bracket depth counter.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    let mut ignored = (None, None);
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i, &mut ignored.0, &mut ignored.1);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type_until_comma(&tokens, &mut i);
+        fields.push(Field { name });
+    }
+    fields
+}
+
+/// Advances past one type, stopping after the `,` that ends it (or at EOF).
+fn skip_type_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Counts the comma-separated types of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        // Each call consumes one `vis Type,` chunk.
+        let mut ignored = (None, None);
+        skip_attrs(&tokens, &mut i, &mut ignored.0, &mut ignored.1);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type_until_comma(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    let mut ignored = (None, None);
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i, &mut ignored.0, &mut ignored.1);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                i += 1;
+                Shape::Tuple(arity)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(into_ty) = &item.into {
+        format!(
+            "let __converted: {into_ty} = \
+             ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_content(&__converted)"
+        )
+    } else if item.is_enum {
+        let arms: Vec<String> = item
+            .variants
+            .iter()
+            .map(|v| ser_variant_arm(name, v))
+            .collect();
+        format!("match self {{\n{}\n}}", arms.join("\n"))
+    } else {
+        ser_struct_body(&item.shape)
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}"
+    )
+}
+
+fn ser_struct_body(shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => "::serde::Content::Null".to_string(),
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::to_content(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Serialize::to_content(&self.{idx})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+    }
+}
+
+fn ser_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.shape {
+        Shape::Unit => format!(
+            "{enum_name}::{vname} => \
+             ::serde::Content::Str(::std::string::String::from(\"{vname}\")),"
+        ),
+        Shape::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|idx| format!("__f{idx}")).collect();
+            let inner = if *n == 1 {
+                "::serde::Serialize::to_content(__f0)".to_string()
+            } else {
+                let items: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_content({b})"))
+                    .collect();
+                format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+            };
+            format!(
+                "{enum_name}::{vname}({binds}) => ::serde::Content::Map(::std::vec![\
+                 (::std::string::String::from(\"{vname}\"), {inner})]),",
+                binds = binders.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::to_content({0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {binds} }} => ::serde::Content::Map(::std::vec![\
+                 (::std::string::String::from(\"{vname}\"), \
+                 ::serde::Content::Map(::std::vec![{entries}]))]),",
+                binds = binders.join(", "),
+                entries = entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(from_ty) = &item.try_from {
+        format!(
+            "let __raw: {from_ty} = ::serde::Deserialize::from_content(__content)?;\n\
+             ::core::convert::TryFrom::try_from(__raw)\
+             .map_err(|e| ::serde::Error::custom(::std::format!(\"{{e}}\")))"
+        )
+    } else if item.is_enum {
+        de_enum_body(name, &item.variants)
+    } else {
+        de_struct_body(name, &item.shape)
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(__content: &::serde::Content) \
+         -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}"
+    )
+}
+
+/// Builds a struct-literal (or tuple call) from serialized content bound to
+/// `__content`, for a plain struct.
+fn de_struct_body(name: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => format!("::core::result::Result::Ok({name})"),
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{0}: ::serde::Deserialize::from_content(\
+                         ::serde::__field(__entries, \"{0}\", \"{name}\")?)?,",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "match __content {{\n\
+                 ::serde::Content::Map(__entries) => \
+                 ::core::result::Result::Ok({name} {{ {inits} }}),\n\
+                 _ => ::core::result::Result::Err(::serde::Error::custom(\
+                 \"expected map for struct {name}\")),\n}}",
+                inits = inits.join(" ")
+            )
+        }
+        Shape::Tuple(1) => format!(
+            "::core::result::Result::Ok({name}(\
+             ::serde::Deserialize::from_content(__content)?))"
+        ),
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Deserialize::from_content(&__items[{idx}])?,"))
+                .collect();
+            format!(
+                "match __content {{\n\
+                 ::serde::Content::Seq(__items) if __items.len() == {n} => \
+                 ::core::result::Result::Ok({name}({inits})),\n\
+                 _ => ::core::result::Result::Err(::serde::Error::custom(\
+                 \"expected {n}-element sequence for {name}\")),\n}}",
+                inits = inits.join(" ")
+            )
+        }
+    }
+}
+
+fn de_enum_body(name: &str, variants: &[Variant]) -> String {
+    // Unit variants arrive as a bare string.
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| {
+            format!(
+                "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),",
+                vname = v.name
+            )
+        })
+        .collect();
+    // Payload variants arrive as a single-entry map keyed by variant name.
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.shape, Shape::Unit))
+        .map(|v| de_payload_variant_arm(name, v))
+        .collect();
+    format!(
+        "match __content {{\n\
+         ::serde::Content::Str(__s) => match __s.as_str() {{\n{units}\n\
+         __other => ::core::result::Result::Err(::serde::Error::custom(\
+         ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n}},\n\
+         ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+         let (__tag, __value) = &__entries[0];\n\
+         match __tag.as_str() {{\n{payloads}\n\
+         __other => ::core::result::Result::Err(::serde::Error::custom(\
+         ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n}}\n}},\n\
+         _ => ::core::result::Result::Err(::serde::Error::custom(\
+         \"expected string or single-entry map for enum {name}\")),\n}}",
+        units = unit_arms.join("\n"),
+        payloads = payload_arms.join("\n"),
+    )
+}
+
+fn de_payload_variant_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.shape {
+        Shape::Unit => unreachable!("unit variants handled via the string arm"),
+        Shape::Tuple(1) => format!(
+            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\
+             ::serde::Deserialize::from_content(__value)?)),"
+        ),
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Deserialize::from_content(&__items[{idx}])?,"))
+                .collect();
+            format!(
+                "\"{vname}\" => match __value {{\n\
+                 ::serde::Content::Seq(__items) if __items.len() == {n} => \
+                 ::core::result::Result::Ok({name}::{vname}({inits})),\n\
+                 _ => ::core::result::Result::Err(::serde::Error::custom(\
+                 \"expected {n}-element sequence for {name}::{vname}\")),\n}},",
+                inits = inits.join(" ")
+            )
+        }
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{0}: ::serde::Deserialize::from_content(\
+                         ::serde::__field(__fields, \"{0}\", \"{name}::{vname}\")?)?,",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "\"{vname}\" => match __value {{\n\
+                 ::serde::Content::Map(__fields) => \
+                 ::core::result::Result::Ok({name}::{vname} {{ {inits} }}),\n\
+                 _ => ::core::result::Result::Err(::serde::Error::custom(\
+                 \"expected map for {name}::{vname}\")),\n}},",
+                inits = inits.join(" ")
+            )
+        }
+    }
+}
