@@ -19,6 +19,7 @@
 //! every batch.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
 
@@ -219,10 +220,12 @@ impl EngineHandle<'_> {
 }
 
 /// One-per-worker routing state, reused across every job and task the
-/// worker touches.
+/// worker touches. The latch is rearmed for each job this worker owns, so
+/// even batch coordination allocates nothing in steady state.
 struct WorkerCtx {
     scratch: StageScratch,
     seen: Vec<usize>,
+    latch: Arc<JobLatch>,
 }
 
 /// `ceil(log2(workers))`, clamped so slices never shrink below one line.
@@ -238,6 +241,7 @@ fn worker_loop(hub: &Hub, net: BnbNetwork, depth: usize, busy: &AtomicU64) {
     let mut ctx = WorkerCtx {
         scratch: StageScratch::with_capacity(net.inputs()),
         seen: Vec::new(),
+        latch: Arc::new(JobLatch::new(0)),
     };
     while let Some(work) = hub.next_work() {
         let t0 = Instant::now();
@@ -259,7 +263,9 @@ fn process_job(hub: &Hub, mut job: Job, net: BnbNetwork, depth: usize, ctx: &mut
     #[cfg(debug_assertions)]
     let reference = net.route(&job.lines);
 
-    let latch = JobLatch::new(1);
+    // The latch travels behind an `Arc` so the last helper's completion
+    // can never outlive it; this worker's latch is rearmed per owned job.
+    ctx.latch.reset(1);
     let root = SliceTask {
         net,
         lines: job.lines.as_mut_ptr(),
@@ -267,29 +273,30 @@ fn process_job(hub: &Hub, mut job: Job, net: BnbNetwork, depth: usize, ctx: &mut
         first_line: 0,
         start_stage: 0,
         split_until: depth.min(net.m()),
-        latch: &latch,
+        latch: Arc::clone(&ctx.latch),
     };
     run_task(hub, root, ctx);
     // Help with queued slice work (ours or anyone's) until our batch is
     // fully routed.
-    while !latch.is_done() {
+    while !ctx.latch.is_done() {
         match hub.try_pop_task() {
             Some(task) => run_task(hub, task, ctx),
-            None => latch.wait_brief(),
+            None => ctx.latch.wait_brief(),
         }
     }
-    let result = match latch.take_error() {
+    let result = match ctx.latch.take_error() {
         Some(e) => Err(e),
         None => Ok(job.lines),
     };
 
+    // Error results are comparable too: `JobLatch::fail` keeps the
+    // earliest-scan-site error, which is the one the sequential route
+    // stops at.
     #[cfg(debug_assertions)]
-    if let (Ok(parallel), Ok(sequential)) = (&result, &reference) {
-        debug_assert_eq!(
-            parallel, sequential,
-            "parallel routing diverged from the sequential reference"
-        );
-    }
+    debug_assert_eq!(
+        result, reference,
+        "parallel routing diverged from the sequential reference"
+    );
     hub.finish(job.seq, job.submitted_at, result);
 }
 
@@ -299,7 +306,7 @@ fn process_job(hub: &Hub, mut job: Job, net: BnbNetwork, depth: usize, ctx: &mut
 fn run_task(hub: &Hub, task: SliceTask, ctx: &mut WorkerCtx) {
     let net = task.net;
     let m = net.m();
-    let latch = unsafe { &*task.latch };
+    let latch = &task.latch;
     // SAFETY: the owning worker keeps the batch vector alive until the
     // latch (which we complete below, after the last use) reports done,
     // and sibling tasks cover disjoint ranges.
@@ -334,7 +341,7 @@ fn run_task(hub: &Hub, task: SliceTask, ctx: &mut WorkerCtx) {
             first_line: first_line + half,
             start_stage: stage,
             split_until: task.split_until,
-            latch: task.latch,
+            latch: Arc::clone(&task.latch),
         });
         lines = keep;
     }

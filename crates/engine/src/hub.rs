@@ -18,7 +18,7 @@
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use bnb_core::error::RouteError;
@@ -43,14 +43,39 @@ pub struct RoutedBatch {
     pub result: Result<Vec<Record>, RouteError>,
 }
 
-/// Completion latch for one in-flight batch. Lives on the owning worker's
-/// stack; slice tasks hold a raw pointer to it and the owner blocks until
-/// every outstanding slice has landed.
+/// Completion latch for one in-flight batch.
+///
+/// Shared behind an [`Arc`]: every [`SliceTask`] clones the handle, so the
+/// latch stays alive until the last helper has fully finished its
+/// `complete_one` — no matter how that final decrement races with the
+/// owner observing `is_done` and returning. (A stack-allocated latch would
+/// be freed by the returning owner while the last helper still touches the
+/// notify `Mutex`/`Condvar`.) Each worker keeps one latch and
+/// [`reset`](Self::reset)s it per owned job, so steady state allocates
+/// nothing per batch.
 pub(crate) struct JobLatch {
     remaining: AtomicUsize,
     lock: Mutex<()>,
     cv: Condvar,
     error: Mutex<Option<RouteError>>,
+}
+
+/// The position of a routing error in the sequential route's scan order:
+/// stage-span routing visits `(main_stage, internal_stage, first_line)`
+/// lexicographically, so the least-ranked error across all slices is
+/// exactly the one `BnbNetwork::route` reports.
+fn site_rank(e: &RouteError) -> (usize, usize, usize) {
+    match e {
+        RouteError::UnbalancedSplitter {
+            main_stage,
+            internal_stage,
+            first_line,
+            ..
+        } => (*main_stage, *internal_stage, *first_line),
+        // Other variants are caught by validation before any slice runs;
+        // rank them first defensively.
+        _ => (0, 0, 0),
+    }
 }
 
 impl JobLatch {
@@ -62,6 +87,15 @@ impl JobLatch {
             cv: Condvar::new(),
             error: Mutex::new(None),
         }
+    }
+
+    /// Rearms a drained latch for the owner's next job. Only sound once
+    /// [`Self::is_done`] holds (stale helpers may still *drop* their
+    /// `Arc` clone, but never call methods after their `complete_one`).
+    pub fn reset(&self, count: usize) {
+        debug_assert!(self.is_done(), "resetting a latch with slices in flight");
+        self.remaining.store(count, Ordering::Relaxed);
+        *self.error.lock().unwrap() = None;
     }
 
     /// Registers one more outstanding slice (called before pushing a split
@@ -80,10 +114,16 @@ impl JobLatch {
         }
     }
 
-    /// Marks one slice complete with an error; the first error wins.
+    /// Marks one slice complete with an error. The error at the earliest
+    /// sequential-scan site wins (not the first to *arrive*), so a failed
+    /// batch reports the same site as `BnbNetwork::route` regardless of
+    /// how slices were scheduled.
     pub fn fail(&self, e: RouteError) {
         let mut slot = self.error.lock().unwrap();
-        slot.get_or_insert(e);
+        match slot.as_ref() {
+            Some(prev) if site_rank(prev) <= site_rank(&e) => {}
+            _ => *slot = Some(e),
+        }
         drop(slot);
         self.complete_one();
     }
@@ -114,12 +154,13 @@ impl JobLatch {
 
 /// A disjoint subnetwork slice of an in-flight batch.
 ///
-/// The raw pointers are sound to send because (a) sibling tasks cover
-/// disjoint `lines` ranges produced by `split_at_mut`, (b) the owning
-/// worker keeps the batch vector and the latch alive on its stack until
-/// the latch reports every slice done, and (c) `complete_one` is the last
-/// touch of the pointers, with `Release`/`Acquire` ordering handing the
-/// written lines back to the owner.
+/// The `lines` raw pointer is sound to send because (a) sibling tasks
+/// cover disjoint ranges produced by `split_at_mut`, (b) the owning worker
+/// keeps the batch vector alive until the latch reports every slice done,
+/// and (c) `complete_one` is the last touch of the pointer, with
+/// `Release`/`Acquire` ordering handing the written lines back to the
+/// owner. The latch itself needs no such argument: the `Arc` keeps it
+/// alive for as long as any task (or the owner) holds a handle.
 pub(crate) struct SliceTask {
     pub net: BnbNetwork,
     pub lines: *mut Record,
@@ -127,7 +168,7 @@ pub(crate) struct SliceTask {
     pub first_line: usize,
     pub start_stage: usize,
     pub split_until: usize,
-    pub latch: *const JobLatch,
+    pub latch: Arc<JobLatch>,
 }
 
 unsafe impl Send for SliceTask {}
@@ -313,5 +354,50 @@ pub(crate) struct CloseGuard<'a>(pub &'a Hub);
 impl Drop for CloseGuard<'_> {
     fn drop(&mut self) {
         self.0.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unbalanced_at(main_stage: usize, internal_stage: usize, first_line: usize) -> RouteError {
+        RouteError::UnbalancedSplitter {
+            main_stage,
+            internal_stage,
+            first_line,
+            width: 2,
+            ones: 2,
+        }
+    }
+
+    /// `fail` keeps the earliest sequential-scan site regardless of the
+    /// order slice errors arrive in.
+    #[test]
+    fn fail_keeps_lowest_ranked_site_not_first_arrival() {
+        let latch = JobLatch::new(4);
+        latch.fail(unbalanced_at(2, 0, 0));
+        latch.fail(unbalanced_at(1, 3, 12));
+        latch.fail(unbalanced_at(1, 3, 4));
+        latch.fail(unbalanced_at(1, 3, 4)); // tie: first stays
+        assert!(latch.is_done());
+        assert_eq!(latch.take_error(), Some(unbalanced_at(1, 3, 4)));
+    }
+
+    /// A reset latch behaves like a fresh one (per-worker reuse).
+    #[test]
+    fn reset_rearms_a_drained_latch() {
+        let latch = JobLatch::new(1);
+        latch.fail(unbalanced_at(0, 0, 0));
+        assert!(latch.is_done());
+        latch.reset(2);
+        assert!(!latch.is_done());
+        assert_eq!(latch.take_error(), None, "reset clears the stored error");
+        latch.complete_one();
+        latch.add_one();
+        latch.complete_one();
+        assert!(!latch.is_done());
+        latch.complete_one();
+        assert!(latch.is_done());
     }
 }

@@ -238,12 +238,34 @@ impl VoqSwitch {
     }
 
     /// Dequeues a planned round's picks and advances the priority pointer.
-    fn commit_round(&mut self, picks: Vec<Option<(usize, usize)>>) {
+    ///
+    /// Returns the dequeued records with their queue coordinates, in pick
+    /// order, so a caller that commits rounds ahead of routing them can
+    /// undo the commit if routing later fails (see
+    /// [`Self::uncommit_round`]).
+    fn commit_round(&mut self, picks: Vec<Option<(usize, usize)>>) -> Vec<(usize, usize, Record)> {
+        let mut undo = Vec::new();
         for pick in picks.into_iter().flatten() {
             let (input, slot) = pick;
-            self.queues[input][slot].pop_front();
+            let record = self.queues[input][slot]
+                .pop_front()
+                .expect("planned picks reference queued records");
+            undo.push((input, slot, record));
         }
         self.priority = (self.priority + 1) % self.network.inputs();
+        undo
+    }
+
+    /// Reverses one [`Self::commit_round`]: pushes the dequeued records
+    /// back at their queue fronts and rewinds the priority pointer. Rounds
+    /// must be uncommitted in reverse commit order (successive rounds may
+    /// pop the same queue).
+    fn uncommit_round(&mut self, undo: Vec<(usize, usize, Record)>) {
+        for (input, slot, record) in undo.into_iter().rev() {
+            self.queues[input][slot].push_front(record);
+        }
+        let n = self.network.inputs();
+        self.priority = (self.priority + n - 1) % n;
     }
 
     /// Steps until the backlog drains or `max_rounds` is reached.
@@ -284,25 +306,35 @@ impl VoqSwitch {
     /// # Errors
     ///
     /// Propagates fabric errors (which cannot occur for traffic validated
-    /// by [`VoqSwitch::offer`]).
+    /// by [`VoqSwitch::offer`]). On error the switch state matches
+    /// [`VoqSwitch::run_to_completion`]'s per-round semantics: rounds
+    /// before the failing one are committed and delivered, while the
+    /// failing round and everything planned after it are rolled back, so
+    /// their records remain queued.
     pub fn run_to_completion_engine(
         &mut self,
         max_rounds: usize,
         config: bnb_engine::EngineConfig,
     ) -> Result<ScheduleStats, RouteError> {
         let lower_bound = self.lower_bound();
-        // Phase 1: plan every round (pure queue-state bookkeeping).
+        // Phase 1: plan every round (pure queue-state bookkeeping),
+        // keeping each commit's undo log so unrouted rounds can be rolled
+        // back if a later phase errors.
         let mut planned_slots = Vec::new();
+        let mut undo_log = Vec::new();
         while self.backlog() > 0 && planned_slots.len() < max_rounds {
             let (slots, picks) = self.plan_round();
             planned_slots.push(slots);
-            self.commit_round(picks);
+            undo_log.push(self.commit_round(picks));
         }
         // Phase 2: one engine run routes all rounds; drain preserves
-        // submission (= round) order.
+        // submission (= round) order, so `results[k]` is round `k`. A
+        // frame-construction error ends submission early: it becomes that
+        // round's result and later rounds simply have none.
         let engine = bnb_engine::Engine::new(self.network.index_sibling(), config);
-        let routed = engine.run(|h| {
-            let mut out = Vec::with_capacity(planned_slots.len());
+        let mut results: Vec<Result<Vec<Record>, RouteError>> =
+            Vec::with_capacity(planned_slots.len());
+        engine.run(|h| {
             let mut pending = 0usize;
             for slots in &planned_slots {
                 match self.network.completed_frame(slots) {
@@ -310,32 +342,58 @@ impl VoqSwitch {
                         h.submit(frame);
                         pending += 1;
                     }
-                    Err(e) => return Err(e),
+                    Err(e) => {
+                        for _ in 0..pending {
+                            let batch = h.drain().expect("every submitted round completes");
+                            results.push(batch.result);
+                        }
+                        results.push(Err(e));
+                        return;
+                    }
                 }
                 // Opportunistically collect finished rounds so results
                 // don't pile up while we keep the queue fed.
                 while let Some(batch) = h.try_drain() {
-                    out.push(batch.result);
+                    results.push(batch.result);
                     pending -= 1;
                 }
             }
             for _ in 0..pending {
                 let batch = h.drain().expect("every submitted round completes");
-                out.push(batch.result);
+                results.push(batch.result);
             }
-            Ok(out)
-        })?;
-        // Phase 3: reconstruct deliveries in per-round output order.
+        });
+        // Phase 3: reconstruct deliveries in per-round output order. The
+        // first failed round stops delivery; it and every later planned
+        // round are uncommitted (in reverse order) before propagating.
+        let total = planned_slots.len();
         let mut delivered = 0usize;
-        for (slots, result) in planned_slots.iter().zip(routed) {
-            let outcome = bnb_core::partial::resolve_completed(slots, &result?);
-            for record in outcome.outputs.iter().flatten() {
-                self.delivered.push(*record);
-                delivered += 1;
+        let mut applied = 0usize;
+        let mut error = None;
+        for (slots, result) in planned_slots.iter().zip(results) {
+            match result {
+                Ok(lines) => {
+                    let outcome = bnb_core::partial::resolve_completed(slots, &lines);
+                    for record in outcome.outputs.iter().flatten() {
+                        self.delivered.push(*record);
+                        delivered += 1;
+                    }
+                    applied += 1;
+                }
+                Err(e) => {
+                    error = Some(e);
+                    break;
+                }
             }
         }
+        if let Some(e) = error {
+            for round_undo in undo_log.drain(applied..).rev() {
+                self.uncommit_round(round_undo);
+            }
+            return Err(e);
+        }
         Ok(ScheduleStats {
-            rounds: planned_slots.len(),
+            rounds: total,
             delivered,
             lower_bound,
         })
@@ -524,6 +582,42 @@ mod tests {
         assert_eq!(stats.rounds, 2);
         assert_eq!(stats.delivered, 2);
         assert_eq!(sw.backlog(), 2);
+    }
+
+    /// Committing rounds ahead of routing (as the engine drain does) and
+    /// rolling them back must restore the switch byte-for-byte, so an
+    /// error mid-drain leaves undelivered records queued instead of lost.
+    #[test]
+    fn commit_round_undo_restores_switch_state() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for d in [QueueDiscipline::Fifo, QueueDiscipline::Voq] {
+            let mut sw = switch(3, d);
+            for i in 0..8 {
+                for k in 0..3u64 {
+                    sw.offer(i, Record::new(rng.random_range(0..8), (i as u64) * 10 + k))
+                        .unwrap();
+                }
+            }
+            let reference = sw.clone();
+            let mut undo_log = Vec::new();
+            for _ in 0..3 {
+                let (_slots, picks) = sw.plan_round();
+                undo_log.push(sw.commit_round(picks));
+            }
+            assert!(sw.backlog() < reference.backlog(), "{d:?}: rounds dequeued");
+            for undo in undo_log.into_iter().rev() {
+                sw.uncommit_round(undo);
+            }
+            assert_eq!(sw.priority, reference.priority, "{d:?}");
+            assert_eq!(sw.queues, reference.queues, "{d:?}");
+            // The restored switch drains exactly like the untouched one.
+            let mut restored = sw;
+            let mut pristine = reference;
+            let a = restored.run_to_completion(1000).unwrap();
+            let b = pristine.run_to_completion(1000).unwrap();
+            assert_eq!(a, b, "{d:?}");
+            assert_eq!(restored.delivered(), pristine.delivered(), "{d:?}");
+        }
     }
 
     #[test]
