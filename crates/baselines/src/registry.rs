@@ -20,7 +20,7 @@ impl PermutationNetwork for BatcherNetwork {
         BatcherNetwork::inputs(self)
     }
 
-    fn route_records(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
+    fn route(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
         self.route(records)
     }
 
@@ -38,7 +38,7 @@ impl PermutationNetwork for BitonicNetwork {
         BitonicNetwork::inputs(self)
     }
 
-    fn route_records(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
+    fn route(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
         self.route(records)
     }
 
@@ -56,7 +56,7 @@ impl PermutationNetwork for BenesNetwork {
         BenesNetwork::inputs(self)
     }
 
-    fn route_records(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
+    fn route(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
         self.route(records)
     }
 
@@ -74,7 +74,7 @@ impl PermutationNetwork for KoppelmanModel {
         KoppelmanModel::inputs(self)
     }
 
-    fn route_records(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
+    fn route(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
         self.route(records)
     }
 
@@ -92,7 +92,7 @@ impl PermutationNetwork for Crossbar {
         Crossbar::inputs(self)
     }
 
-    fn route_records(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
+    fn route(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
         self.route(records)
     }
 
@@ -110,7 +110,7 @@ impl PermutationNetwork for CellularArray {
         CellularArray::inputs(self)
     }
 
-    fn route_records(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
+    fn route(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
         self.route(records)
     }
 
@@ -128,7 +128,7 @@ impl PermutationNetwork for ClosNetwork {
         ClosNetwork::inputs(self)
     }
 
-    fn route_records(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
+    fn route(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
         self.route(records)
     }
 
@@ -179,10 +179,10 @@ mod tests {
             for _ in 0..5 {
                 let p = Permutation::random(n, &mut rng);
                 let recs = records_for_permutation(&p);
-                let reference = fleet[0].route_records(&recs).unwrap();
+                let reference = fleet[0].route(&recs).unwrap();
                 assert!(all_delivered(&reference));
                 for net in &fleet[1..] {
-                    let out = net.route_records(&recs).unwrap();
+                    let out = net.route(&recs).unwrap();
                     assert_eq!(out, reference, "{} disagrees at m = {m}", net.name());
                 }
             }

@@ -36,7 +36,10 @@ fn bench(c: &mut Criterion) {
             .collect();
         g.throughput(Throughput::Elements((n * BURST) as u64));
 
-        // Single-threaded baseline: the allocation-free Router.
+        // Single-threaded baseline: the allocation-free Router. Its
+        // default NoopObserver is the "instrumentation disabled" case —
+        // compare against router_observed below to see the cost of a live
+        // Counters sink (and confirm the noop path pays nothing).
         let mut router = Router::new(net);
         let mut buf = batches[0].clone();
         g.bench_with_input(
@@ -47,6 +50,23 @@ fn bench(c: &mut Criterion) {
                     for batch in batches {
                         buf.copy_from_slice(batch);
                         router.route_in_place(&mut buf).expect("routes");
+                    }
+                    black_box(buf[0])
+                });
+            },
+        );
+
+        // Same route with every column/sweep event landing in Counters.
+        let counters = bnb_obs::Counters::new();
+        let mut observed = Router::with_observer(net, &counters);
+        g.bench_with_input(
+            BenchmarkId::new(format!("router_observed/n{n}"), 1usize),
+            &batches,
+            |b, batches| {
+                b.iter(|| {
+                    for batch in batches {
+                        buf.copy_from_slice(batch);
+                        observed.route_in_place(&mut buf).expect("routes");
                     }
                     black_box(buf[0])
                 });

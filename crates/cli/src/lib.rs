@@ -5,7 +5,7 @@
 //! thin `main` in `main.rs` only parses `std::env::args` and prints.
 //!
 //! ```text
-//! bnb route --inputs 8 --perm 6,2,7,0,4,1,3,5 [--trace]
+//! bnb route --inputs 8 --perm 6,2,7,0,4,1,3,5 [--trace] [--metrics text|json]
 //! bnb tables [--sizes 3,4,5,6,8,10] [--data-width 8]
 //! bnb figures
 //! bnb ratios [--sizes 3,5,8,10,14,20] [--data-width 0]
@@ -13,7 +13,7 @@
 //! bnb verilog --component bnb|batcher|splitter|bsn [--inputs 8]
 //!             [--data-width 0] [--optimize]
 //! bnb engine [--inputs 256] [--workers 4] [--batch 64] [--depth auto|D]
-//!            [--queue 4] [--seed 0] [--pretty]
+//!            [--queue 4] [--seed 0] [--pretty] [--metrics text|json]
 //! bnb report
 //! ```
 
@@ -26,23 +26,83 @@ use bnb_core::network::BnbNetwork;
 use bnb_gates::export::to_verilog;
 use bnb_gates::netlist::{Net, Netlist};
 use bnb_gates::optimize::optimize;
+use bnb_obs::Counters;
 use bnb_topology::perm::Permutation;
 use bnb_topology::record::{all_delivered, records_for_permutation};
 
-/// A user error: bad flags, malformed values, unknown command.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CliError(pub String);
+/// A CLI failure: bad flags or usage (no cause), or a library failure
+/// wrapped with its full cause chain — `main` walks
+/// [`source`](Error::source) and prints every level, so a failed route
+/// shows both "routing failed" and the underlying splitter site.
+#[derive(Debug)]
+pub struct CliError {
+    message: String,
+    source: Option<Box<dyn Error + Send + Sync + 'static>>,
+}
 
-impl fmt::Display for CliError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+impl CliError {
+    /// A usage error with no underlying cause.
+    pub fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            source: None,
+        }
+    }
+
+    /// A failure wrapping the library error that caused it.
+    pub fn caused_by(
+        message: impl Into<String>,
+        source: impl Error + Send + Sync + 'static,
+    ) -> Self {
+        CliError {
+            message: message.into(),
+            source: Some(Box::new(source)),
+        }
     }
 }
 
-impl Error for CliError {}
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        self.source.as_deref().map(|e| e as &(dyn Error + 'static))
+    }
+}
 
 fn err(msg: impl Into<String>) -> CliError {
-    CliError(msg.into())
+    CliError::usage(msg)
+}
+
+/// Where `--metrics` output should go, when requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    Text,
+    Json,
+}
+
+fn metrics_flag(flags: &Flags) -> Result<Option<MetricsFormat>, CliError> {
+    match flags.value("--metrics") {
+        None => Ok(None),
+        Some("text") => Ok(Some(MetricsFormat::Text)),
+        Some("json") => Ok(Some(MetricsFormat::Json)),
+        Some(other) => Err(err(format!(
+            "--metrics expects 'text' or 'json', got {other}"
+        ))),
+    }
+}
+
+fn render_metrics(format: MetricsFormat, counters: &Counters) -> Result<String, CliError> {
+    let snapshot = counters.snapshot();
+    match format {
+        MetricsFormat::Text => Ok(bnb_obs::render_text(&snapshot)),
+        MetricsFormat::Json => bnb_obs::render_json(&snapshot)
+            .map(|json| format!("{json}\n"))
+            .map_err(|e| CliError::caused_by("metrics serialization failed", e)),
+    }
 }
 
 /// Flag accessor over raw arguments.
@@ -94,7 +154,8 @@ pub fn usage() -> String {
      usage: bnb <command> [flags]\n\
      \n\
      commands:\n\
-       route      route a permutation (--inputs N --perm a,b,c,... [--trace])\n\
+       route      route a permutation (--inputs N --perm a,b,c,... [--trace]\n\
+                  [--metrics text|json])\n\
        tables     regenerate the paper's Tables 1 and 2 ([--sizes 3,4,..] [--data-width 8])\n\
        figures    regenerate the paper's Figs. 1-4 structures\n\
        ratios     BNB/Batcher hardware and delay ratios ([--sizes ..] [--data-width 0])\n\
@@ -104,12 +165,14 @@ pub fn usage() -> String {
        compare    route one permutation through every network\n\
                   ([--inputs 8] [--perm a,b,c,...])\n\
        sweep      load-latency curve of the input-queued switch\n\
-                  ([--inputs 16] [--discipline fifo|voq] [--rounds 2000])\n\
+                  ([--inputs 16] [--discipline fifo|voq] [--rounds 2000]\n\
+                  [--metrics text|json])\n\
        diagnose   route possibly-invalid traffic with conflict detection\n\
                   (--inputs N --dests a,b,c,...)\n\
        engine     route random batches through the concurrent engine and\n\
                   print JSON stats ([--inputs 256] [--workers 4] [--batch 64]\n\
-                  [--depth auto|D] [--queue 4] [--seed 0] [--pretty])\n\
+                  [--depth auto|D] [--queue 4] [--seed 0] [--pretty]\n\
+                  [--metrics text|json])\n\
        report     the full evaluation report\n\
        help       this text\n"
         .to_string()
@@ -173,13 +236,16 @@ fn cmd_route(flags: &Flags) -> Result<String, CliError> {
             perm.len()
         )));
     }
-    let net = BnbNetwork::with_inputs(n).map_err(|e| err(e.to_string()))?;
+    let metrics = metrics_flag(flags)?;
+    let net = BnbNetwork::builder_for(n)
+        .map_err(|e| CliError::caused_by("network construction failed", e))?
+        .build();
     let records = records_for_permutation(&perm);
     let mut out = String::new();
     if flags.present("--trace") {
         let (outputs, trace) = net
             .route_traced(&records)
-            .map_err(|e| err(format!("routing failed: {e}")))?;
+            .map_err(|e| CliError::caused_by("routing failed", e))?;
         out.push_str(&trace.render());
         out.push_str(&format!(
             "\ncolumns: {}   exchanges: {}   delivered: {}\n",
@@ -190,12 +256,18 @@ fn cmd_route(flags: &Flags) -> Result<String, CliError> {
     } else {
         let outputs = net
             .route(&records)
-            .map_err(|e| err(format!("routing failed: {e}")))?;
+            .map_err(|e| CliError::caused_by("routing failed", e))?;
         out.push_str(&format!("permutation {perm}\n"));
         for (j, r) in outputs.iter().enumerate() {
             out.push_str(&format!("output {j}: from input {}\n", r.data()));
         }
         out.push_str(&format!("delivered: {}\n", all_delivered(&outputs)));
+    }
+    if let Some(format) = metrics {
+        let counters = Counters::new();
+        net.route_observed(&records, &counters)
+            .map_err(|e| CliError::caused_by("routing failed", e))?;
+        out.push_str(&render_metrics(format, &counters)?);
     }
     Ok(out)
 }
@@ -332,7 +404,7 @@ fn cmd_compare(flags: &Flags) -> Result<String, CliError> {
     let recs = records_for_permutation(&perm);
     let mut out = format!("permutation {perm} through every network:\n");
     for net in bnb_baselines::all_networks(m) {
-        let verdict = match net.route_records(&recs) {
+        let verdict = match net.route(&recs) {
             Ok(delivered) if all_delivered(&delivered) => "delivered".to_string(),
             Ok(_) => "ROUTED BUT MISDELIVERED".to_string(),
             Err(e) => format!("error: {e}"),
@@ -348,7 +420,7 @@ fn cmd_compare(flags: &Flags) -> Result<String, CliError> {
 }
 
 fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
-    use bnb_sim::loadsweep::sweep;
+    use bnb_sim::loadsweep::{sweep, sweep_observed};
     use bnb_sim::scheduler::QueueDiscipline;
     use rand::SeedableRng;
     let n = flags.usize_or("--inputs", 16)?;
@@ -362,10 +434,16 @@ fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
         "voq" => QueueDiscipline::Voq,
         other => return Err(err(format!("unknown --discipline '{other}'"))),
     };
+    let metrics = metrics_flag(flags)?;
     let loads = [0.1, 0.3, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
-    let pts = sweep(m, discipline, &loads, rounds, &mut rng)
-        .map_err(|e| err(format!("simulation failed: {e}")))?;
+    let counters = Counters::new();
+    let pts = if metrics.is_some() {
+        sweep_observed(m, discipline, &loads, rounds, &mut rng, &counters)
+    } else {
+        sweep(m, discipline, &loads, rounds, &mut rng)
+    }
+    .map_err(|e| CliError::caused_by("simulation failed", e))?;
     let mut out = format!(
         "{discipline:?} input-queued switch over the BNB fabric, N = {n}, {rounds} rounds\n"
     );
@@ -375,6 +453,9 @@ fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
             "{:>7.2}  {:>9.3}  {:>10.1}  {:>7}\n",
             p.offered, p.delivered, p.mean_delay, p.final_backlog
         ));
+    }
+    if let Some(format) = metrics {
+        out.push_str(&render_metrics(format, &counters)?);
     }
     Ok(out)
 }
@@ -413,7 +494,7 @@ fn cmd_diagnose(flags: &Flags) -> Result<String, CliError> {
     let net = BnbNetwork::builder(m).data_width(64).build();
     let d = net
         .route_diagnosed(&records)
-        .map_err(|e| err(e.to_string()))?;
+        .map_err(|e| CliError::caused_by("diagnosis failed", e))?;
     let mut out = String::new();
     if d.is_clean() {
         out.push_str("clean: all records delivered, no assumption violations\n");
@@ -439,9 +520,31 @@ fn cmd_diagnose(flags: &Flags) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Drives an engine for `cmd_engine`: submit `batches` random
+/// permutations, drain everything, snapshot stats. Generic so the same
+/// driver serves both the bare and the observed engine.
+fn drive_engine<O: bnb_obs::Observer>(
+    engine: &bnb_engine::Engine<O>,
+    n: usize,
+    batches: usize,
+    seed: u64,
+) -> bnb_engine::EngineStats {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    engine.run(|h| {
+        for _ in 0..batches {
+            h.submit(records_for_permutation(&Permutation::random(n, &mut rng)));
+            while let Some(batch) = h.try_drain() {
+                debug_assert!(batch.result.is_ok());
+            }
+        }
+        while h.drain().is_some() {}
+        h.stats()
+    })
+}
+
 fn cmd_engine(flags: &Flags) -> Result<String, CliError> {
     use bnb_engine::{Engine, EngineConfig, ShardDepth};
-    use rand::SeedableRng;
     let n = flags.usize_or("--inputs", 256)?;
     if !n.is_power_of_two() || !(2..=1 << 20).contains(&n) {
         return Err(err("--inputs must be a power of two in 2..=1048576"));
@@ -466,33 +569,37 @@ fn cmd_engine(flags: &Flags) -> Result<String, CliError> {
         ),
     };
     let seed = flags.usize_or("--seed", 0)? as u64;
-    let net = BnbNetwork::with_inputs(n).map_err(|e| err(e.to_string()))?;
-    let engine = Engine::new(
-        net,
-        EngineConfig {
-            workers,
-            queue_capacity: queue,
-            shard_depth,
-        },
-    );
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let stats = engine.run(|h| {
-        for _ in 0..batches {
-            h.submit(records_for_permutation(&Permutation::random(n, &mut rng)));
-            while let Some(batch) = h.try_drain() {
-                debug_assert!(batch.result.is_ok());
-            }
-        }
-        while h.drain().is_some() {}
-        h.stats()
-    });
+    let metrics = metrics_flag(flags)?;
+    let net = BnbNetwork::builder_for(n)
+        .map_err(|e| CliError::caused_by("network construction failed", e))?
+        .build();
+    let config = EngineConfig {
+        workers,
+        queue_capacity: queue,
+        shard_depth,
+    };
+    let counters = Counters::new();
+    let stats = if metrics.is_some() {
+        drive_engine(
+            &Engine::with_observer(net, config, &counters),
+            n,
+            batches,
+            seed,
+        )
+    } else {
+        drive_engine(&Engine::new(net, config), n, batches, seed)
+    };
     let json = if flags.present("--pretty") {
         serde_json::to_string_pretty(&stats)
     } else {
         serde_json::to_string(&stats)
     }
     .map_err(|e| err(format!("stats serialization failed: {e}")))?;
-    Ok(format!("{json}\n"))
+    let mut out = format!("{json}\n");
+    if let Some(format) = metrics {
+        out.push_str(&render_metrics(format, &counters)?);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -679,6 +786,131 @@ mod tests {
         assert!(run_str(&["engine", "--batch", "0"]).is_err());
         assert!(run_str(&["engine", "--queue", "0"]).is_err());
         assert!(run_str(&["engine", "--depth", "fast"]).is_err());
+    }
+
+    #[test]
+    fn cli_error_preserves_cause_chain() {
+        let e = CliError::caused_by(
+            "routing failed",
+            bnb_core::RouteError::WidthMismatch {
+                expected: 8,
+                actual: 3,
+            },
+        );
+        assert_eq!(e.to_string(), "routing failed");
+        let cause = e.source().expect("wrapped errors expose their cause");
+        assert!(cause.to_string().contains('8'), "{cause}");
+        assert!(CliError::usage("bad flag").source().is_none());
+    }
+
+    #[test]
+    fn route_metrics_text_matches_closed_form() {
+        // m = 2: a full route visits m(m+1)/2 = 3 columns.
+        let out = run_str(&[
+            "route",
+            "--inputs",
+            "4",
+            "--perm",
+            "2,0,3,1",
+            "--metrics",
+            "text",
+        ])
+        .unwrap();
+        assert!(out.contains("delivered: true"));
+        assert!(out.contains("columns"));
+        assert!(out
+            .lines()
+            .any(|l| l.starts_with("columns") && l.ends_with('3')));
+    }
+
+    #[test]
+    fn route_metrics_json_parses() {
+        let out = run_str(&[
+            "route",
+            "--inputs",
+            "8",
+            "--perm",
+            "6,2,7,0,4,1,3,5",
+            "--metrics",
+            "json",
+        ])
+        .unwrap();
+        let json_line = out.lines().last().unwrap();
+        let snap: bnb_obs::MetricsSnapshot = serde_json::from_str(json_line).unwrap();
+        assert_eq!(snap.columns, 6, "m=3 routes m(m+1)/2 columns");
+        assert_eq!(snap.conflicts, 0);
+    }
+
+    #[test]
+    fn sweep_metrics_json_reports_rounds() {
+        let out = run_str(&[
+            "sweep",
+            "--inputs",
+            "8",
+            "--rounds",
+            "40",
+            "--metrics",
+            "json",
+        ])
+        .unwrap();
+        let snap: bnb_obs::MetricsSnapshot =
+            serde_json::from_str(out.lines().last().unwrap()).unwrap();
+        assert_eq!(
+            snap.scheduler_rounds,
+            8 * 40,
+            "one event per round per load point"
+        );
+        assert!(snap.records_matched > 0, "sweeps deliver records");
+    }
+
+    #[test]
+    fn engine_metrics_json_emits_both_documents() {
+        let out = run_str(&[
+            "engine",
+            "--inputs",
+            "64",
+            "--workers",
+            "2",
+            "--batch",
+            "10",
+            "--metrics",
+            "json",
+        ])
+        .unwrap();
+        let mut lines = out.lines();
+        let stats: bnb_engine::EngineStats = serde_json::from_str(lines.next().unwrap()).unwrap();
+        let snap: bnb_obs::MetricsSnapshot = serde_json::from_str(lines.next().unwrap()).unwrap();
+        assert_eq!(stats.batches, 10);
+        assert_eq!(snap.batches_submitted, 10);
+        assert_eq!(snap.batches_drained, 10);
+        assert_eq!(snap.batch_errors, 0);
+        assert_eq!(snap.histogram.count(), 10);
+        assert!(!snap.per_stage.is_empty(), "per-stage counters must appear");
+    }
+
+    #[test]
+    fn engine_metrics_text_renders() {
+        let out = run_str(&[
+            "engine",
+            "--inputs",
+            "16",
+            "--workers",
+            "1",
+            "--batch",
+            "2",
+            "--metrics",
+            "text",
+        ])
+        .unwrap();
+        assert!(out.contains("batches_drained"));
+        assert!(out.contains("per-stage"));
+    }
+
+    #[test]
+    fn metrics_flag_validates() {
+        assert!(run_str(&["route", "--metrics", "yaml"]).is_err());
+        assert!(run_str(&["engine", "--metrics", "csv"]).is_err());
+        assert!(run_str(&["sweep", "--metrics", ""]).is_err());
     }
 
     #[test]

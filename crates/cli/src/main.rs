@@ -1,5 +1,6 @@
 //! The `bnb` binary: parse `argv`, dispatch to [`bnb_cli::run`], print.
 
+use std::error::Error;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -11,6 +12,11 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
+            let mut cause = e.source();
+            while let Some(c) = cause {
+                eprintln!("  caused by: {c}");
+                cause = c.source();
+            }
             ExitCode::FAILURE
         }
     }

@@ -10,6 +10,7 @@
 //! assumption held — the on-line conflict detector an application would
 //! attach to the spare flags — plus the resulting misdeliveries.
 
+use bnb_obs::{ConflictEvent, NoopObserver, Observer};
 use bnb_topology::bitops::paper_bit;
 use bnb_topology::record::Record;
 use serde::{Deserialize, Serialize};
@@ -49,6 +50,24 @@ impl BnbNetwork {
     /// [`RouteError::DestinationTooWide`] or [`RouteError::DataTooWide`]
     /// for malformed records.
     pub fn route_diagnosed(&self, records: &[Record]) -> Result<Diagnosis, RouteError> {
+        self.route_diagnosed_observed(records, &NoopObserver)
+    }
+
+    /// [`BnbNetwork::route_diagnosed`] with instrumentation: every
+    /// violated splitter additionally raises a
+    /// [`ConflictEvent`] on `observer` as it is detected, so a live sink
+    /// sees conflicts in traversal order without waiting for the final
+    /// [`Diagnosis`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BnbNetwork::route_diagnosed`].
+    pub fn route_diagnosed_observed<O: Observer>(
+        &self,
+        records: &[Record],
+        observer: &O,
+    ) -> Result<Diagnosis, RouteError> {
+        let observing = observer.enabled();
         let n = self.inputs();
         let m = self.m();
         if records.len() != n {
@@ -85,6 +104,15 @@ impl BnbNetwork {
                         first_line: start,
                     };
                     if check_balanced(&bits, site).is_err() {
+                        if observing {
+                            observer.splitter_conflict(ConflictEvent {
+                                main_stage,
+                                internal_stage: internal,
+                                first_line: start,
+                                width: box_size,
+                                ones: bits.iter().filter(|&&b| b).count(),
+                            });
+                        }
                         unbalanced.push(site);
                     }
                     for (t, &c) in controls(&bits).iter().enumerate() {
@@ -201,6 +229,21 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn observed_diagnosis_reports_each_conflict_once() {
+        use bnb_obs::Counters;
+        let net = BnbNetwork::builder(3).data_width(8).build();
+        let mut recs = records_for_permutation(&Permutation::identity(8));
+        recs[6] = Record::new(1, 6);
+        let counters = Counters::new();
+        let d = net.route_diagnosed_observed(&recs, &counters).unwrap();
+        assert_eq!(
+            counters.snapshot().conflicts,
+            d.unbalanced.len() as u64,
+            "one ConflictEvent per violated splitter"
+        );
     }
 
     #[test]

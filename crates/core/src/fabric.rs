@@ -3,10 +3,13 @@
 //! baselines), so comparisons, registries and generic harnesses don't need
 //! to know which design they are driving.
 
+use std::cell::RefCell;
+
 use bnb_topology::record::Record;
 
 use crate::error::RouteError;
 use crate::network::BnbNetwork;
+use crate::stages::{route_span_observed, validate_lines, StageScratch};
 
 /// An `N`-input network that can deliver a full permutation of records in
 /// one pass.
@@ -24,10 +27,17 @@ use crate::network::BnbNetwork;
 /// use bnb_topology::perm::Permutation;
 /// use bnb_topology::record::{records_for_permutation, all_delivered};
 ///
-/// let net: Box<dyn PermutationNetwork> = Box::new(BnbNetwork::with_inputs(8)?);
+/// let net: Box<dyn PermutationNetwork> =
+///     Box::new(BnbNetwork::builder_for(8)?.build());
 /// let p = Permutation::try_from(vec![4, 0, 7, 1, 6, 2, 5, 3])?;
-/// let out = net.route_records(&records_for_permutation(&p))?;
+/// let out = net.route(&records_for_permutation(&p))?;
 /// assert!(all_delivered(&out));
+///
+/// // Reusing one output buffer across frames avoids the per-route
+/// // allocation in steady-state sweeps:
+/// let mut out_buf = Vec::new();
+/// net.route_into(&records_for_permutation(&p), &mut out_buf)?;
+/// assert!(all_delivered(&out_buf));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub trait PermutationNetwork {
@@ -40,7 +50,37 @@ pub trait PermutationNetwork {
     ///
     /// Implementation-specific [`RouteError`]s for malformed input; a
     /// permutation network never fails on a *valid* permutation.
-    fn route_records(&self, records: &[Record]) -> Result<Vec<Record>, RouteError>;
+    fn route(&self, records: &[Record]) -> Result<Vec<Record>, RouteError>;
+
+    /// Routes into a caller-owned buffer so sweeps can reuse one
+    /// allocation across frames. `out` is cleared first; on success it
+    /// holds the output lines.
+    ///
+    /// The default delegates to [`route`](PermutationNetwork::route) and
+    /// still allocates the intermediate vector; implementations with an
+    /// in-place path (the BNB network) override it to route directly in
+    /// `out`'s storage.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`route`](PermutationNetwork::route). On error the
+    /// contents of `out` are unspecified (but valid).
+    fn route_into(&self, records: &[Record], out: &mut Vec<Record>) -> Result<(), RouteError> {
+        let routed = self.route(records)?;
+        out.clear();
+        out.extend_from_slice(&routed);
+        Ok(())
+    }
+
+    /// Renamed to [`route`](PermutationNetwork::route).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`route`](PermutationNetwork::route).
+    #[deprecated(since = "0.2.0", note = "renamed to `route`")]
+    fn route_records(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
+        self.route(records)
+    }
 
     /// Human-readable design name for reports.
     fn name(&self) -> &'static str;
@@ -50,13 +90,32 @@ pub trait PermutationNetwork {
     fn is_self_routing(&self) -> bool;
 }
 
+thread_local! {
+    /// Scratch for the trait-level in-place route: one set of reusable
+    /// buffers per thread, so `route_into` through `&dyn
+    /// PermutationNetwork` is allocation-free in steady state without the
+    /// trait growing a `&mut self` method.
+    static ROUTE_SCRATCH: RefCell<(StageScratch, Vec<usize>)> =
+        RefCell::new((StageScratch::default(), Vec::new()));
+}
+
 impl PermutationNetwork for BnbNetwork {
     fn inputs(&self) -> usize {
         BnbNetwork::inputs(self)
     }
 
-    fn route_records(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
-        self.route(records)
+    fn route(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
+        BnbNetwork::route(self, records)
+    }
+
+    fn route_into(&self, records: &[Record], out: &mut Vec<Record>) -> Result<(), RouteError> {
+        out.clear();
+        out.extend_from_slice(records);
+        ROUTE_SCRATCH.with(|cell| {
+            let (scratch, seen) = &mut *cell.borrow_mut();
+            validate_lines(self, out, seen)?;
+            route_span_observed(self, out, 0, 0..self.m(), scratch, &bnb_obs::NoopObserver)
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -82,7 +141,50 @@ mod tests {
         assert_eq!(net.name(), "BNB");
         assert!(net.is_self_routing());
         let p = Permutation::try_from(vec![2, 5, 0, 7, 4, 1, 6, 3]).unwrap();
-        let out = net.route_records(&records_for_permutation(&p)).unwrap();
+        let out = net.route(&records_for_permutation(&p)).unwrap();
         assert!(all_delivered(&out));
+    }
+
+    #[test]
+    #[allow(deprecated)] // pins the renamed method's compatibility alias
+    fn route_records_aliases_route() {
+        let net = BnbNetwork::new(3);
+        let p = Permutation::try_from(vec![2, 5, 0, 7, 4, 1, 6, 3]).unwrap();
+        let records = records_for_permutation(&p);
+        assert_eq!(
+            PermutationNetwork::route_records(&net, &records).unwrap(),
+            PermutationNetwork::route(&net, &records).unwrap()
+        );
+    }
+
+    #[test]
+    fn route_into_matches_route_and_reuses_the_buffer() {
+        let net: Box<dyn PermutationNetwork> = Box::new(BnbNetwork::new(3));
+        let mut out = Vec::new();
+        for k in [0u64, 777, 40_319] {
+            let p = Permutation::nth_lexicographic(8, k);
+            let records = records_for_permutation(&p);
+            net.route_into(&records, &mut out).unwrap();
+            assert_eq!(out, net.route(&records).unwrap(), "perm #{k}");
+        }
+        let ptr = out.as_ptr();
+        let p = Permutation::identity(8);
+        net.route_into(&records_for_permutation(&p), &mut out)
+            .unwrap();
+        assert_eq!(
+            out.as_ptr(),
+            ptr,
+            "steady-state reroute must reuse the buffer"
+        );
+    }
+
+    #[test]
+    fn route_into_propagates_errors() {
+        let net = BnbNetwork::new(2);
+        let mut out = Vec::new();
+        assert!(matches!(
+            PermutationNetwork::route_into(&net, &[Record::new(0, 0)], &mut out),
+            Err(RouteError::WidthMismatch { .. })
+        ));
     }
 }

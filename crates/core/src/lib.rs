@@ -28,7 +28,9 @@
 //! - [`partial`] — destination-completion adapter for partial permutations.
 //! - [`diagnose`] — per-splitter conflict detection (the paper's "other
 //!   flags can deal with the conflicts" remark, §4).
-//! - [`router`] — allocation-free batch routing with reusable buffers.
+//! - [`router`] — allocation-free batch routing with reusable buffers,
+//!   generic over a `bnb_obs::Observer` (defaulting to the zero-cost
+//!   `NoopObserver`) for stage-level metrics.
 //! - [`stages`] — the stage-span routing kernel: routes any contiguous
 //!   range of main stages over an aligned subnetwork slice, enabling
 //!   split-and-conquer parallel routing.
@@ -45,7 +47,7 @@
 //! use bnb_topology::perm::Permutation;
 //! use bnb_topology::record::{records_for_permutation, all_delivered};
 //!
-//! let net = BnbNetwork::with_inputs(16)?;
+//! let net = BnbNetwork::builder_for(16)?.build();
 //! let perm = Permutation::try_from(vec![5, 2, 9, 0, 14, 7, 1, 12, 3, 11, 6, 15, 8, 4, 13, 10])?;
 //! let out = net.route(&records_for_permutation(&perm))?;
 //! assert!(all_delivered(&out));
@@ -73,5 +75,7 @@ pub use bsn::BitSorter;
 pub use cost::HardwareCost;
 pub use delay::PropagationDelay;
 pub use error::RouteError;
+pub use fabric::PermutationNetwork;
 pub use network::{BnbNetwork, BnbNetworkBuilder, RoutePolicy, WiringMode};
+pub use router::Router;
 pub use trace::RouteTrace;

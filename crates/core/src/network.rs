@@ -14,6 +14,7 @@
 //! from address-bit-`i` values only (the paper's locality claim), and the
 //! controls are applied to whole records.
 
+use bnb_obs::{NoopObserver, Observer};
 use bnb_topology::bitops::{paper_bit, shuffle, unshuffle};
 use bnb_topology::connection::require_power_of_two;
 use bnb_topology::gbn::Gbn;
@@ -23,7 +24,9 @@ use serde::{Deserialize, Serialize};
 use crate::cost::HardwareCost;
 use crate::delay::PropagationDelay;
 use crate::error::RouteError;
+use crate::router::Router;
 use crate::splitter::{check_balanced, controls, SplitterSite};
+use crate::stages::{route_span_observed, validate_lines, StageScratch};
 use crate::trace::{ColumnSnapshot, RouteTrace};
 
 /// How strictly input is validated before routing.
@@ -50,7 +53,9 @@ pub enum WiringMode {
     Shuffle,
 }
 
-/// Builder for [`BnbNetwork`].
+/// Builder for [`BnbNetwork`] and observed [`Router`]s — the one entry
+/// point for every configuration knob (width, data bits, policy, wiring,
+/// observer).
 ///
 /// # Example
 ///
@@ -64,15 +69,32 @@ pub enum WiringMode {
 /// assert_eq!(net.inputs(), 16);
 /// assert_eq!(net.q(), 4 + 16);
 /// ```
+///
+/// Attaching an observer changes the builder's type parameter, and the
+/// observer lives in the [`Router`] produced by
+/// [`build_router`](BnbNetworkBuilder::build_router) — a [`BnbNetwork`]
+/// itself is pure `Copy` configuration and never carries one, so
+/// `observer(..)` followed by plain `build()` is a compile error rather
+/// than a silently dropped sink:
+///
+/// ```
+/// use bnb_core::network::BnbNetwork;
+/// use bnb_obs::Counters;
+///
+/// let counters = Counters::new();
+/// let router = BnbNetwork::builder(3).observer(&counters).build_router();
+/// assert_eq!(router.network().inputs(), 8);
+/// ```
 #[derive(Debug, Clone)]
-pub struct BnbNetworkBuilder {
+pub struct BnbNetworkBuilder<O: Observer = NoopObserver> {
     m: usize,
     w: usize,
     policy: RoutePolicy,
     wiring: WiringMode,
+    observer: O,
 }
 
-impl BnbNetworkBuilder {
+impl<O: Observer> BnbNetworkBuilder<O> {
     /// Sets the data word width `w` (default 32; up to 64 bits).
     ///
     /// # Panics
@@ -97,14 +119,45 @@ impl BnbNetworkBuilder {
         self
     }
 
-    /// Builds the network.
-    pub fn build(self) -> BnbNetwork {
+    /// Attaches an observer; the built [`Router`] will emit routing events
+    /// to it. Share one sink across routers by passing a reference
+    /// (`&Counters` implements [`Observer`]).
+    pub fn observer<O2: Observer>(self, observer: O2) -> BnbNetworkBuilder<O2> {
+        BnbNetworkBuilder {
+            m: self.m,
+            w: self.w,
+            policy: self.policy,
+            wiring: self.wiring,
+            observer,
+        }
+    }
+
+    fn network(&self) -> BnbNetwork {
         BnbNetwork {
             m: self.m,
             w: self.w,
             policy: self.policy,
             wiring: self.wiring,
         }
+    }
+
+    /// Builds an allocation-free [`Router`] carrying the configured
+    /// observer.
+    pub fn build_router(self) -> Router<O> {
+        let network = self.network();
+        Router::with_observer(network, self.observer)
+    }
+}
+
+impl BnbNetworkBuilder {
+    /// Builds the network configuration.
+    ///
+    /// Only available while no observer is attached ([`BnbNetwork`] is
+    /// `Copy` configuration and cannot carry one) — after
+    /// [`observer`](BnbNetworkBuilder::observer), finish with
+    /// [`build_router`](BnbNetworkBuilder::build_router) instead.
+    pub fn build(self) -> BnbNetwork {
+        self.network()
     }
 }
 
@@ -117,7 +170,7 @@ impl BnbNetworkBuilder {
 /// use bnb_topology::perm::Permutation;
 /// use bnb_topology::record::{records_for_permutation, all_delivered};
 ///
-/// let net = BnbNetwork::with_inputs(8)?;
+/// let net = BnbNetwork::builder_for(8)?.build();
 /// let perm = Permutation::try_from(vec![6, 3, 0, 5, 2, 7, 4, 1])?;
 /// let out = net.route(&records_for_permutation(&perm))?;
 /// assert!(all_delivered(&out));
@@ -154,15 +207,27 @@ impl BnbNetwork {
             w: 32,
             policy: RoutePolicy::default(),
             wiring: WiringMode::default(),
+            observer: NoopObserver,
         }
     }
 
-    /// A network with `n` inputs.
+    /// Starts a builder for an `n`-input network — the fallible
+    /// counterpart of [`BnbNetwork::builder`] for widths not already known
+    /// to be powers of two.
+    ///
+    /// ```
+    /// use bnb_core::network::BnbNetwork;
+    ///
+    /// let net = BnbNetwork::builder_for(16)?.data_width(8).build();
+    /// assert_eq!(net.inputs(), 16);
+    /// assert!(BnbNetwork::builder_for(12).is_err());
+    /// # Ok::<(), bnb_core::RouteError>(())
+    /// ```
     ///
     /// # Errors
     ///
     /// Returns an error if `n` is not a power of two or is less than 2.
-    pub fn with_inputs(n: usize) -> Result<Self, RouteError> {
+    pub fn builder_for(n: usize) -> Result<BnbNetworkBuilder, RouteError> {
         let m = require_power_of_two(n)?;
         if m == 0 {
             return Err(RouteError::WidthMismatch {
@@ -170,7 +235,21 @@ impl BnbNetwork {
                 actual: n,
             });
         }
-        Ok(Self::new(m))
+        Ok(Self::builder(m))
+    }
+
+    /// A network with `n` inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n` is not a power of two or is less than 2.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `BnbNetwork::builder_for(n)?.build()` (or `BnbNetwork::builder(m)` when \
+                the exponent is known) — the builder carries every configuration knob"
+    )]
+    pub fn with_inputs(n: usize) -> Result<Self, RouteError> {
+        Self::builder_for(n).map(BnbNetworkBuilder::build)
     }
 
     /// `log2` of the network width.
@@ -235,6 +314,30 @@ impl BnbNetwork {
     ///   [`RoutePolicy::Strict`].
     pub fn route(&self, records: &[Record]) -> Result<Vec<Record>, RouteError> {
         self.route_impl(records, None)
+    }
+
+    /// Like [`BnbNetwork::route`] but emits routing events (columns,
+    /// arbiter sweeps, conflicts) to `observer`. Results are bit-identical
+    /// to [`BnbNetwork::route`].
+    ///
+    /// For repeated batches prefer an observed [`Router`]
+    /// (`builder(..).observer(..).build_router()`), which reuses its
+    /// scratch buffers across calls.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BnbNetwork::route`].
+    pub fn route_observed<O: Observer>(
+        &self,
+        records: &[Record],
+        observer: &O,
+    ) -> Result<Vec<Record>, RouteError> {
+        let mut lines = records.to_vec();
+        let mut seen = Vec::new();
+        validate_lines(self, &lines, &mut seen)?;
+        let mut scratch = StageScratch::with_capacity(lines.len());
+        route_span_observed(self, &mut lines, 0, 0..self.m, &mut scratch, observer)?;
+        Ok(lines)
     }
 
     /// Like [`BnbNetwork::route`] but also captures a full per-column
@@ -588,10 +691,61 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // pins the deprecated constructor's contract
     fn with_inputs_validates() {
         assert!(BnbNetwork::with_inputs(16).is_ok());
         assert!(BnbNetwork::with_inputs(10).is_err());
         assert!(BnbNetwork::with_inputs(1).is_err());
+    }
+
+    #[test]
+    fn builder_for_validates_width() {
+        assert_eq!(BnbNetwork::builder_for(16).unwrap().build().m(), 4);
+        assert!(BnbNetwork::builder_for(10).is_err());
+        assert!(BnbNetwork::builder_for(1).is_err());
+    }
+
+    #[test]
+    fn route_observed_matches_route() {
+        use bnb_obs::Counters;
+        let net = BnbNetwork::new(4);
+        let p = Permutation::nth_lexicographic(16, 123_456);
+        let records = records_for_permutation(&p);
+        let counters = Counters::new();
+        let observed = net.route_observed(&records, &counters).unwrap();
+        assert_eq!(observed, net.route(&records).unwrap());
+        // eq. (7): one ColumnEvent per switching column.
+        assert_eq!(counters.snapshot().columns, 4 * 5 / 2);
+    }
+
+    #[test]
+    fn builder_router_observes_conflicts() {
+        use bnb_obs::Counters;
+        let counters = Counters::new();
+        let mut router = BnbNetwork::builder(2)
+            .data_width(8)
+            .observer(&counters)
+            .build_router();
+        let mut lines = vec![
+            Record::new(0, 0),
+            Record::new(0, 1),
+            Record::new(1, 2),
+            Record::new(1, 3),
+        ];
+        // Duplicate destinations are rejected by validation (no conflict
+        // event), so drop to a width-2 splitter violation instead: route
+        // permissively and watch the conflict-free counters grow.
+        assert!(router.route_in_place(&mut lines).is_err());
+        let permissive = Counters::new();
+        let mut router = BnbNetwork::builder(2)
+            .data_width(8)
+            .policy(RoutePolicy::Permissive)
+            .observer(&permissive)
+            .build_router();
+        router.route_in_place(&mut lines).unwrap();
+        let snap = permissive.snapshot();
+        assert_eq!(snap.columns, 3, "m = 2 routes m(m+1)/2 = 3 columns");
+        assert!(snap.arbiter_sweeps > 0);
     }
 
     #[test]

@@ -48,7 +48,7 @@ impl BnbNetwork {
     /// use bnb_core::network::BnbNetwork;
     /// use bnb_topology::record::Record;
     ///
-    /// let net = BnbNetwork::with_inputs(8)?;
+    /// let net = BnbNetwork::builder_for(8)?.build();
     /// let mut slots = vec![None; 8];
     /// slots[1] = Some(Record::new(6, 0xAA));
     /// slots[4] = Some(Record::new(0, 0xBB));

@@ -6,50 +6,91 @@
 //! double-buffer swap, producing bit-identical results (property-tested
 //! against the allocating path).
 
+use bnb_obs::{NoopObserver, Observer};
 use bnb_topology::record::Record;
 
 use crate::error::RouteError;
 use crate::network::BnbNetwork;
-use crate::stages::{route_span, validate_lines, StageScratch};
+use crate::stages::{route_span_observed, validate_lines, StageScratch};
 
 /// A reusable router bound to one network configuration.
+///
+/// The `O` type parameter is the attached [`Observer`]; it defaults to
+/// [`NoopObserver`], which costs nothing. Construct observed routers with
+/// [`Router::with_observer`] or the network builder's
+/// `observer(..).build_router()`.
 ///
 /// # Example
 ///
 /// ```
 /// use bnb_core::network::BnbNetwork;
-/// use bnb_core::router::Router;
 /// use bnb_topology::perm::Permutation;
 /// use bnb_topology::record::{records_for_permutation, all_delivered};
 ///
-/// let mut router = Router::new(BnbNetwork::with_inputs(8)?);
+/// let mut router = BnbNetwork::builder_for(8)?.build_router();
 /// let p = Permutation::try_from(vec![6, 3, 0, 5, 2, 7, 4, 1])?;
 /// let mut lines = records_for_permutation(&p);
 /// router.route_in_place(&mut lines)?;
 /// assert!(all_delivered(&lines));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+///
+/// Attaching a metrics sink (shared by reference, so several routers can
+/// feed one sink):
+///
+/// ```
+/// use bnb_core::network::BnbNetwork;
+/// use bnb_obs::Counters;
+/// use bnb_topology::perm::Permutation;
+/// use bnb_topology::record::records_for_permutation;
+///
+/// let counters = Counters::new();
+/// let mut router = BnbNetwork::builder(3)
+///     .observer(&counters)
+///     .build_router();
+/// let p = Permutation::try_from(vec![6, 3, 0, 5, 2, 7, 4, 1])?;
+/// let mut lines = records_for_permutation(&p);
+/// router.route_in_place(&mut lines)?;
+/// // eq. (7): m(m+1)/2 switching columns for m = 3.
+/// assert_eq!(counters.snapshot().columns, 6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Debug, Clone)]
-pub struct Router {
+pub struct Router<O: Observer = NoopObserver> {
     network: BnbNetwork,
     scratch: StageScratch,
     seen: Vec<usize>,
+    observer: O,
 }
 
 impl Router {
-    /// A router for `network`, with scratch buffers sized to its width.
+    /// An unobserved router for `network`, with scratch buffers sized to
+    /// its width.
     pub fn new(network: BnbNetwork) -> Self {
+        Router::with_observer(network, NoopObserver)
+    }
+}
+
+impl<O: Observer> Router<O> {
+    /// A router for `network` emitting routing events to `observer`.
+    pub fn with_observer(network: BnbNetwork, observer: O) -> Self {
         let n = network.inputs();
         Router {
             network,
             scratch: StageScratch::with_capacity(n),
             seen: vec![usize::MAX; n],
+            observer,
         }
     }
 
     /// The bound network.
     pub fn network(&self) -> &BnbNetwork {
         &self.network
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
     }
 
     /// Routes `lines` in place: on return, `lines[j]` is the record
@@ -60,12 +101,13 @@ impl Router {
     /// Identical contract to [`BnbNetwork::route`].
     pub fn route_in_place(&mut self, lines: &mut [Record]) -> Result<(), RouteError> {
         validate_lines(&self.network, lines, &mut self.seen)?;
-        route_span(
+        route_span_observed(
             &self.network,
             lines,
             0,
             0..self.network.m(),
             &mut self.scratch,
+            &self.observer,
         )
     }
 }

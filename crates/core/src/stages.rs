@@ -16,6 +16,7 @@
 
 use std::ops::Range;
 
+use bnb_obs::{ColumnEvent, ConflictEvent, NoopObserver, Observer, SweepEvent};
 use bnb_topology::bitops::paper_bit;
 use bnb_topology::record::Record;
 
@@ -122,6 +123,31 @@ pub fn route_span(
     stages: Range<usize>,
     scratch: &mut StageScratch,
 ) -> Result<(), RouteError> {
+    route_span_observed(net, lines, first_line, stages, scratch, &NoopObserver)
+}
+
+/// [`route_span`] with instrumentation: emits one
+/// [`SweepEvent`] per splitter box, one [`ColumnEvent`] per switching
+/// column (with the exchange tally), and a [`ConflictEvent`] alongside
+/// every [`RouteError::UnbalancedSplitter`].
+///
+/// The observer's [`enabled`](Observer::enabled) result is hoisted out of
+/// the stage loops, so with [`NoopObserver`] this compiles to exactly
+/// [`route_span`] — the noop path stays allocation-free and is covered by
+/// the workspace zero-alloc test.
+///
+/// # Errors / Panics
+///
+/// Identical contract to [`route_span`].
+pub fn route_span_observed<O: Observer>(
+    net: &BnbNetwork,
+    lines: &mut [Record],
+    first_line: usize,
+    stages: Range<usize>,
+    scratch: &mut StageScratch,
+    observer: &O,
+) -> Result<(), RouteError> {
+    let observing = observer.enabled();
     let m = net.m();
     let span = lines.len();
     debug_assert!(stages.end <= m, "stage range {stages:?} exceeds m = {m}");
@@ -138,6 +164,7 @@ pub fn route_span(
         let k = m - main_stage;
         for internal in 0..k {
             let box_size = 1usize << (k - internal);
+            let mut exchanges = 0u64;
             for start in (0..span).step_by(box_size) {
                 scratch.bits.clear();
                 scratch.bits.extend(
@@ -146,21 +173,59 @@ pub fn route_span(
                         .map(|r| paper_bit(m, r.dest(), main_stage)),
                 );
                 if strict {
-                    check_balanced(
+                    if let Err(err) = check_balanced(
                         &scratch.bits,
                         SplitterSite {
                             main_stage,
                             internal_stage: internal,
                             first_line: first_line + start,
                         },
-                    )?;
-                }
-                controls_into(&scratch.bits, &mut scratch.up, &mut scratch.flags);
-                for (t, &c) in scratch.flags.iter().enumerate() {
-                    if c {
-                        lines.swap(start + 2 * t, start + 2 * t + 1);
+                    ) {
+                        if observing {
+                            if let RouteError::UnbalancedSplitter { width, ones, .. } = err {
+                                observer.splitter_conflict(ConflictEvent {
+                                    main_stage,
+                                    internal_stage: internal,
+                                    first_line: first_line + start,
+                                    width,
+                                    ones,
+                                });
+                            }
+                        }
+                        return Err(err);
                     }
                 }
+                controls_into(&scratch.bits, &mut scratch.up, &mut scratch.flags);
+                if observing {
+                    for (t, &c) in scratch.flags.iter().enumerate() {
+                        if c {
+                            lines.swap(start + 2 * t, start + 2 * t + 1);
+                            exchanges += 1;
+                        }
+                    }
+                    observer.arbiter_sweep(SweepEvent {
+                        main_stage,
+                        internal_stage: internal,
+                        first_line: first_line + start,
+                        width: box_size,
+                        depth: k - internal,
+                    });
+                } else {
+                    for (t, &c) in scratch.flags.iter().enumerate() {
+                        if c {
+                            lines.swap(start + 2 * t, start + 2 * t + 1);
+                        }
+                    }
+                }
+            }
+            if observing {
+                observer.column_routed(ColumnEvent {
+                    main_stage,
+                    internal_stage: internal,
+                    first_line,
+                    width: span,
+                    exchanges,
+                });
             }
             // Wiring into the scratch buffer, then copy back (the swap is
             // logical: scratch is reused every column).

@@ -17,6 +17,16 @@
 //! depends only on local destination bits), the parallel result is
 //! byte-identical to the sequential route; debug builds assert this on
 //! every batch.
+//!
+//! # Observability
+//!
+//! The engine is generic over a [`bnb_obs::Observer`] (defaulting to the
+//! zero-cost [`NoopObserver`]). An attached observer sees batch
+//! submissions and completions ([`SubmitEvent`]/[`DrainEvent`]), slice
+//! hand-offs ([`ShardEvent`] on enqueue and on steal), and — through
+//! [`bnb_core::stages::route_span_observed`] — every routed column and
+//! arbiter sweep. Attach with [`Engine::with_observer`]; the noop path
+//! compiles to the same code as before the hooks existed.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -24,11 +34,12 @@ use std::thread;
 use std::time::Instant;
 
 use bnb_core::network::BnbNetwork;
-use bnb_core::stages::{route_span, validate_lines, StageScratch};
+use bnb_core::stages::{route_span_observed, validate_lines, StageScratch};
+use bnb_obs::{DrainEvent, NoopObserver, Observer, ShardEvent, SubmitEvent};
 use bnb_topology::record::Record;
 
 use crate::hub::{CloseGuard, Hub, Job, JobLatch, SliceTask, Work};
-use crate::stats::{EngineStats, LatencySummary};
+use crate::stats::{EngineStats, LatencySummary, WorkerMetrics};
 
 pub use crate::hub::RoutedBatch;
 
@@ -91,7 +102,7 @@ impl EngineConfig {
 /// use bnb_topology::perm::Permutation;
 /// use bnb_topology::record::records_for_permutation;
 ///
-/// let net = BnbNetwork::with_inputs(16)?;
+/// let net = BnbNetwork::builder_for(16)?.build();
 /// let engine = Engine::new(net, EngineConfig::with_workers(2));
 /// let p = Permutation::try_from((0..16).rev().collect::<Vec<_>>())?;
 /// let routed = engine.run(|handle| {
@@ -102,15 +113,30 @@ impl EngineConfig {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone, Copy)]
-pub struct Engine {
+pub struct Engine<O: Observer = NoopObserver> {
     network: BnbNetwork,
     config: EngineConfig,
+    observer: O,
 }
 
 impl Engine {
-    /// An engine for `network` with the given pool configuration.
+    /// An engine for `network` with the given pool configuration and no
+    /// instrumentation.
     pub fn new(network: BnbNetwork, config: EngineConfig) -> Self {
-        Engine { network, config }
+        Engine::with_observer(network, config, NoopObserver)
+    }
+}
+
+impl<O: Observer> Engine<O> {
+    /// An engine whose workers report events to `observer` (typically
+    /// `&bnb_obs::Counters`). All worker threads share the one observer,
+    /// so its hooks must be cheap and contention-free.
+    pub fn with_observer(network: BnbNetwork, config: EngineConfig, observer: O) -> Self {
+        Engine {
+            network,
+            config,
+            observer,
+        }
     }
 
     /// The bound network.
@@ -134,24 +160,27 @@ impl Engine {
 
     /// Spawns the worker pool, runs `f` with a submit/drain handle, then
     /// drains remaining work and joins every worker.
-    pub fn run<R>(&self, f: impl FnOnce(&EngineHandle<'_>) -> R) -> R {
+    pub fn run<R>(&self, f: impl FnOnce(&EngineHandle<'_, O>) -> R) -> R {
         let workers = self.config.workers.max(1);
         let depth = self.effective_depth();
         let hub = Hub::new(self.config.queue_capacity);
-        let busy: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        let counters: Vec<WorkerCounters> =
+            (0..workers).map(|_| WorkerCounters::default()).collect();
         let started = Instant::now();
         let network = self.network;
+        let observer = &self.observer;
         thread::scope(|s| {
             let hub_ref = &hub;
-            for busy_slot in &busy {
-                s.spawn(move || worker_loop(hub_ref, network, depth, busy_slot));
+            for slot in &counters {
+                s.spawn(move || worker_loop(hub_ref, network, depth, slot, observer));
             }
             let handle = EngineHandle {
                 hub: &hub,
-                busy: &busy,
+                counters: &counters,
                 workers,
                 depth,
                 started,
+                observer,
             };
             // Closes the hub even if `f` panics, so the scope can join.
             let _guard = CloseGuard(&hub);
@@ -161,20 +190,26 @@ impl Engine {
 }
 
 /// Submit/drain interface handed to the [`Engine::run`] closure.
-pub struct EngineHandle<'a> {
+pub struct EngineHandle<'a, O: Observer = NoopObserver> {
     hub: &'a Hub,
-    busy: &'a [AtomicU64],
+    counters: &'a [WorkerCounters],
     workers: usize,
     depth: usize,
     started: Instant,
+    observer: &'a O,
 }
 
-impl EngineHandle<'_> {
+impl<O: Observer> EngineHandle<'_, O> {
     /// Submits one batch (a full frame of records), blocking while the
     /// bounded queue is full. Returns the batch's sequence number;
     /// [`Self::drain`] yields results in sequence order.
     pub fn submit(&self, lines: Vec<Record>) -> u64 {
-        self.hub.submit(lines)
+        let records = lines.len();
+        let seq = self.hub.submit(lines);
+        if self.observer.enabled() {
+            self.observer.batch_submitted(SubmitEvent { seq, records });
+        }
+        seq
     }
 
     /// Blocks for the next routed batch in submission order; `None` once
@@ -192,15 +227,23 @@ impl EngineHandle<'_> {
     pub fn stats(&self) -> EngineStats {
         let elapsed_ns = self.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         let secs = (elapsed_ns as f64 / 1e9).max(1e-9);
-        let worker_busy_ns: Vec<u64> = self
-            .busy
+        let worker_metrics: Vec<WorkerMetrics> = self
+            .counters
             .iter()
-            .map(|b| b.load(Ordering::Relaxed))
+            .enumerate()
+            .map(|(worker, c)| {
+                let busy_ns = c.busy_ns.load(Ordering::Relaxed);
+                WorkerMetrics {
+                    worker,
+                    busy_ns,
+                    utilization: (busy_ns as f64 / elapsed_ns.max(1) as f64).min(1.0),
+                    jobs_owned: c.jobs_owned.load(Ordering::Relaxed),
+                    tasks_stolen: c.tasks_stolen.load(Ordering::Relaxed),
+                }
+            })
             .collect();
-        let worker_utilization = worker_busy_ns
-            .iter()
-            .map(|&ns| (ns as f64 / elapsed_ns.max(1) as f64).min(1.0))
-            .collect();
+        let worker_busy_ns: Vec<u64> = worker_metrics.iter().map(|w| w.busy_ns).collect();
+        let worker_utilization: Vec<f64> = worker_metrics.iter().map(|w| w.utilization).collect();
         self.hub.with_state(|st| EngineStats {
             workers: self.workers,
             shard_depth: self.depth,
@@ -213,10 +256,21 @@ impl EngineHandle<'_> {
             latency: LatencySummary::from_histogram(&st.histogram),
             histogram: st.histogram.clone(),
             queue_high_water: st.queue_high_water,
+            task_queue_high_water: st.task_queue_high_water,
             worker_busy_ns: worker_busy_ns.clone(),
             worker_utilization,
+            worker_metrics: worker_metrics.clone(),
         })
     }
+}
+
+/// Per-worker activity counters, read by [`EngineHandle::stats`] while the
+/// worker is still running (hence atomics, relaxed throughout).
+#[derive(Default)]
+struct WorkerCounters {
+    busy_ns: AtomicU64,
+    jobs_owned: AtomicU64,
+    tasks_stolen: AtomicU64,
 }
 
 /// One-per-worker routing state, reused across every job and task the
@@ -237,7 +291,14 @@ fn auto_depth(workers: usize, m: usize) -> usize {
     (log as usize).min(m)
 }
 
-fn worker_loop(hub: &Hub, net: BnbNetwork, depth: usize, busy: &AtomicU64) {
+fn worker_loop<O: Observer>(
+    hub: &Hub,
+    net: BnbNetwork,
+    depth: usize,
+    counters: &WorkerCounters,
+    observer: &O,
+) {
+    let observing = observer.enabled();
     let mut ctx = WorkerCtx {
         scratch: StageScratch::with_capacity(net.inputs()),
         seen: Vec::new(),
@@ -246,18 +307,56 @@ fn worker_loop(hub: &Hub, net: BnbNetwork, depth: usize, busy: &AtomicU64) {
     while let Some(work) = hub.next_work() {
         let t0 = Instant::now();
         match work {
-            Work::Task(task) => run_task(hub, task, &mut ctx),
-            Work::Job(job) => process_job(hub, job, net, depth, &mut ctx),
+            Work::Task(task) => {
+                counters.tasks_stolen.fetch_add(1, Ordering::Relaxed);
+                if observing {
+                    observer.shard_stolen(shard_event(&task));
+                }
+                run_task(hub, task, &mut ctx, observer);
+            }
+            Work::Job(job) => {
+                counters.jobs_owned.fetch_add(1, Ordering::Relaxed);
+                process_job(hub, job, net, depth, &mut ctx, counters, observer);
+            }
         }
-        busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        counters
+            .busy_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// The [`ShardEvent`] describing a queued slice task.
+fn shard_event(task: &SliceTask) -> ShardEvent {
+    ShardEvent {
+        first_line: task.first_line,
+        len: task.len,
+        start_stage: task.start_stage,
     }
 }
 
 /// Routes one batch as its owner: validate, split into `2^depth` slice
 /// tasks, help until every slice lands, publish the result.
-fn process_job(hub: &Hub, mut job: Job, net: BnbNetwork, depth: usize, ctx: &mut WorkerCtx) {
+fn process_job<O: Observer>(
+    hub: &Hub,
+    mut job: Job,
+    net: BnbNetwork,
+    depth: usize,
+    ctx: &mut WorkerCtx,
+    counters: &WorkerCounters,
+    observer: &O,
+) {
+    let observing = observer.enabled();
+    let records = job.lines.len();
     if let Err(e) = validate_lines(&net, &job.lines, &mut ctx.seen) {
-        hub.finish(job.seq, job.submitted_at, Err(e));
+        finish_observed(
+            hub,
+            job.seq,
+            job.submitted_at,
+            Err(e),
+            0,
+            observing,
+            observer,
+        );
         return;
     }
     #[cfg(debug_assertions)]
@@ -275,12 +374,18 @@ fn process_job(hub: &Hub, mut job: Job, net: BnbNetwork, depth: usize, ctx: &mut
         split_until: depth.min(net.m()),
         latch: Arc::clone(&ctx.latch),
     };
-    run_task(hub, root, ctx);
+    run_task(hub, root, ctx, observer);
     // Help with queued slice work (ours or anyone's) until our batch is
     // fully routed.
     while !ctx.latch.is_done() {
         match hub.try_pop_task() {
-            Some(task) => run_task(hub, task, ctx),
+            Some(task) => {
+                counters.tasks_stolen.fetch_add(1, Ordering::Relaxed);
+                if observing {
+                    observer.shard_stolen(shard_event(&task));
+                }
+                run_task(hub, task, ctx, observer);
+            }
             None => ctx.latch.wait_brief(),
         }
     }
@@ -297,13 +402,48 @@ fn process_job(hub: &Hub, mut job: Job, net: BnbNetwork, depth: usize, ctx: &mut
         result, reference,
         "parallel routing diverged from the sequential reference"
     );
-    hub.finish(job.seq, job.submitted_at, result);
+    finish_observed(
+        hub,
+        job.seq,
+        job.submitted_at,
+        result,
+        records,
+        observing,
+        observer,
+    );
+}
+
+/// Publishes a batch result and, when observing, emits the matching
+/// [`DrainEvent`] (the event carries submit-to-publish latency, measured
+/// here because `drain` itself never learns it).
+#[allow(clippy::too_many_arguments)]
+fn finish_observed<O: Observer>(
+    hub: &Hub,
+    seq: u64,
+    submitted_at: Instant,
+    result: Result<Vec<Record>, bnb_core::error::RouteError>,
+    records: usize,
+    observing: bool,
+    observer: &O,
+) {
+    let ok = result.is_ok();
+    hub.finish(seq, submitted_at, result);
+    if observing {
+        let latency_ns = submitted_at.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        observer.batch_drained(DrainEvent {
+            seq,
+            records: if ok { records } else { 0 },
+            latency_ns,
+            ok,
+        });
+    }
 }
 
 /// Routes a slice task: one main stage at a time while splitting is still
 /// wanted (pushing the sibling half to the hub), then the remaining
 /// stages sequentially.
-fn run_task(hub: &Hub, task: SliceTask, ctx: &mut WorkerCtx) {
+fn run_task<O: Observer>(hub: &Hub, task: SliceTask, ctx: &mut WorkerCtx, observer: &O) {
+    let observing = observer.enabled();
     let net = task.net;
     let m = net.m();
     let latch = &task.latch;
@@ -317,7 +457,14 @@ fn run_task(hub: &Hub, task: SliceTask, ctx: &mut WorkerCtx) {
     let mut stage = task.start_stage;
     loop {
         if stage >= task.split_until || stage >= m || lines.len() < 2 {
-            let tail = route_span(&net, lines, first_line, stage..m, &mut ctx.scratch);
+            let tail = route_span_observed(
+                &net,
+                lines,
+                first_line,
+                stage..m,
+                &mut ctx.scratch,
+                observer,
+            );
             match tail {
                 Ok(()) => latch.complete_one(),
                 Err(e) => latch.fail(e),
@@ -326,15 +473,21 @@ fn run_task(hub: &Hub, task: SliceTask, ctx: &mut WorkerCtx) {
         }
         // Route this main stage over the whole slice, then hand half of
         // the now-independent subnetworks to any idle worker.
-        if let Err(e) = route_span(&net, lines, first_line, stage..stage + 1, &mut ctx.scratch) {
+        if let Err(e) = route_span_observed(
+            &net,
+            lines,
+            first_line,
+            stage..stage + 1,
+            &mut ctx.scratch,
+            observer,
+        ) {
             latch.fail(e);
             return;
         }
         stage += 1;
         let half = lines.len() / 2;
         let (keep, give) = lines.split_at_mut(half);
-        latch.add_one();
-        hub.push_task(SliceTask {
+        let sibling = SliceTask {
             net,
             lines: give.as_mut_ptr(),
             len: give.len(),
@@ -342,7 +495,12 @@ fn run_task(hub: &Hub, task: SliceTask, ctx: &mut WorkerCtx) {
             start_stage: stage,
             split_until: task.split_until,
             latch: Arc::clone(&task.latch),
-        });
+        };
+        latch.add_one();
+        if observing {
+            observer.shard_enqueued(shard_event(&sibling));
+        }
+        hub.push_task(sibling);
         lines = keep;
     }
 }
@@ -351,6 +509,7 @@ fn run_task(hub: &Hub, task: SliceTask, ctx: &mut WorkerCtx) {
 mod tests {
     use super::*;
     use bnb_core::network::RoutePolicy;
+    use bnb_obs::Counters;
     use bnb_topology::perm::Permutation;
     use bnb_topology::record::records_for_permutation;
     use rand::rngs::StdRng;
@@ -411,9 +570,11 @@ mod tests {
             h.submit(good.clone());
             (h.drain().unwrap(), h.drain().unwrap(), h.stats())
         });
+        let err = first.result.unwrap_err();
+        assert_eq!(err.seq(), 0, "the failing batch's sequence number");
         assert!(matches!(
-            first.result,
-            Err(bnb_core::RouteError::DuplicateDestination { dest: 1, .. })
+            err.route_error(),
+            bnb_core::RouteError::DuplicateDestination { dest: 1, .. }
         ));
         assert!(second.result.is_ok());
         assert_eq!(stats.batches, 2);
@@ -507,10 +668,72 @@ mod tests {
         assert!(stats.latency.p99_ns <= stats.latency.max_ns);
         assert_eq!(stats.worker_busy_ns.len(), 3);
         assert_eq!(stats.worker_utilization.len(), 3);
+        assert_eq!(stats.worker_metrics.len(), 3);
         assert!(stats
             .worker_utilization
             .iter()
             .all(|&u| (0.0..=1.0).contains(&u)));
+        for (i, w) in stats.worker_metrics.iter().enumerate() {
+            assert_eq!(w.worker, i);
+            assert_eq!(w.busy_ns, stats.worker_busy_ns[i]);
+        }
+        let owned: u64 = stats.worker_metrics.iter().map(|w| w.jobs_owned).sum();
+        assert_eq!(owned, 10, "every batch has exactly one owner");
+    }
+
+    /// With a sharding engine, an attached `Counters` observer sees every
+    /// slice hand-off (each enqueued shard is eventually stolen) and one
+    /// submit/drain pair per batch.
+    #[test]
+    fn observer_sees_engine_events() {
+        let counters = Counters::new();
+        let net = BnbNetwork::new(4);
+        let engine = Engine::with_observer(net, EngineConfig::with_workers(4), &counters);
+        let p = Permutation::random(16, &mut StdRng::seed_from_u64(11));
+        let stats = engine.run(|h| {
+            for _ in 0..5 {
+                h.submit(records_for_permutation(&p));
+            }
+            while h.drain().is_some() {}
+            h.stats()
+        });
+        let snap = counters.snapshot();
+        assert_eq!(snap.batches_submitted, 5);
+        assert_eq!(snap.batches_drained, 5);
+        assert_eq!(snap.batch_errors, 0);
+        assert!(snap.shards_enqueued > 0, "depth 2 must split every batch");
+        assert_eq!(
+            snap.shards_enqueued, snap.shards_stolen,
+            "every queued shard is taken by exactly one worker"
+        );
+        let stolen: u64 = stats.worker_metrics.iter().map(|w| w.tasks_stolen).sum();
+        assert_eq!(stolen, snap.shards_stolen);
+        assert_eq!(snap.histogram.count(), 5, "one latency sample per batch");
+        assert!(stats.task_queue_high_water >= 1);
+    }
+
+    /// With no splitting (one worker, depth 0) the observed column count
+    /// is the closed form `m(m+1)/2` per batch — the engine adds no extra
+    /// span routing.
+    #[test]
+    fn observer_column_counts_match_closed_form_without_splitting() {
+        let counters = Counters::new();
+        let m = 4;
+        let n = 1usize << m;
+        let net = BnbNetwork::new(m);
+        let engine = Engine::with_observer(net, EngineConfig::with_workers(1), &counters);
+        let p = Permutation::random(n, &mut StdRng::seed_from_u64(12));
+        engine.run(|h| {
+            for _ in 0..3 {
+                h.submit(records_for_permutation(&p));
+            }
+            while h.drain().is_some() {}
+        });
+        let snap = counters.snapshot();
+        assert_eq!(snap.columns, 3 * (m as u64 * (m as u64 + 1) / 2));
+        let sweeps_per_route = (n * m - n + 1) as u64;
+        assert_eq!(snap.arbiter_sweeps, 3 * sweeps_per_route);
+        assert_eq!(snap.shards_enqueued, 0, "depth 0 never splits");
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Engine-level errors with a proper `source()` chain.
+
+use std::error::Error;
+use std::fmt;
+
+use bnb_core::error::RouteError;
+
+/// A batch-level engine failure wrapping the underlying [`RouteError`].
+///
+/// Carried by [`crate::RoutedBatch::result`]; walking
+/// [`source`](Error::source) reaches the routing failure, so callers (and
+/// the CLI) can print the full cause chain instead of one flattened
+/// string.
+///
+/// ```
+/// use bnb_core::error::RouteError;
+/// use bnb_engine::EngineError;
+/// use std::error::Error as _;
+///
+/// let err = EngineError::batch(7, RouteError::WidthMismatch { expected: 8, actual: 3 });
+/// assert_eq!(err.to_string(), "batch 7 failed to route");
+/// let cause = err.source().expect("engine errors always have a cause");
+/// assert!(cause.to_string().contains("8 inputs"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// A submitted batch failed validation or routing.
+    Batch {
+        /// The batch's submission sequence number.
+        seq: u64,
+        /// The routing failure.
+        source: RouteError,
+    },
+}
+
+impl EngineError {
+    /// Wraps a routing failure for batch `seq`.
+    pub fn batch(seq: u64, source: RouteError) -> Self {
+        EngineError::Batch { seq, source }
+    }
+
+    /// The failing batch's sequence number.
+    pub fn seq(&self) -> u64 {
+        match self {
+            EngineError::Batch { seq, .. } => *seq,
+        }
+    }
+
+    /// The underlying routing failure.
+    pub fn route_error(&self) -> &RouteError {
+        match self {
+            EngineError::Batch { source, .. } => source,
+        }
+    }
+
+    /// Unwraps into the underlying routing failure.
+    pub fn into_route_error(self) -> RouteError {
+        match self {
+            EngineError::Batch { source, .. } => source,
+        }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Batch { seq, .. } => write!(f, "batch {seq} failed to route"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Batch { source, .. } => Some(source),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_chain_reaches_the_route_error() {
+        let inner = RouteError::UnbalancedSplitter {
+            main_stage: 1,
+            internal_stage: 0,
+            first_line: 4,
+            width: 4,
+            ones: 3,
+        };
+        let err = EngineError::batch(3, inner.clone());
+        assert_eq!(err.seq(), 3);
+        assert_eq!(err.route_error(), &inner);
+        let source = err.source().expect("must expose a source");
+        assert_eq!(source.to_string(), inner.to_string());
+        assert_eq!(err.into_route_error(), inner);
+    }
+
+    #[test]
+    fn chain_is_two_deep_for_topology_causes() {
+        use bnb_topology::TopologyError;
+        let inner: RouteError = TopologyError::NotPowerOfTwo { size: 12 }.into();
+        let err = EngineError::batch(0, inner);
+        let mut depth = 0;
+        let mut cause: &dyn Error = &err;
+        while let Some(next) = cause.source() {
+            cause = next;
+            depth += 1;
+        }
+        assert_eq!(depth, 2, "EngineError -> RouteError -> TopologyError");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EngineError>();
+    }
+}

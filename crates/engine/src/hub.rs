@@ -25,6 +25,7 @@ use bnb_core::error::RouteError;
 use bnb_core::network::BnbNetwork;
 use bnb_topology::record::Record;
 
+use crate::error::EngineError;
 use crate::stats::LatencyHistogram;
 
 /// A submitted batch awaiting an owner.
@@ -39,8 +40,10 @@ pub(crate) struct Job {
 pub struct RoutedBatch {
     /// Submission sequence number (as returned by `submit`).
     pub seq: u64,
-    /// The routed lines, or the validation/routing error for this batch.
-    pub result: Result<Vec<Record>, RouteError>,
+    /// The routed lines, or the validation/routing failure for this batch
+    /// (walk [`std::error::Error::source`] for the underlying
+    /// [`RouteError`]).
+    pub result: Result<Vec<Record>, EngineError>,
 }
 
 /// Completion latch for one in-flight batch.
@@ -186,6 +189,7 @@ pub(crate) struct HubState {
     pub records: u64,
     pub errors: u64,
     pub queue_high_water: usize,
+    pub task_queue_high_water: usize,
     pub histogram: LatencyHistogram,
 }
 
@@ -217,6 +221,7 @@ impl Hub {
                 records: 0,
                 errors: 0,
                 queue_high_water: 0,
+                task_queue_high_water: 0,
                 histogram: LatencyHistogram::new(),
             }),
             work_cv: Condvar::new(),
@@ -273,9 +278,12 @@ impl Hub {
         Some(batch)
     }
 
-    /// Publishes a finished batch and updates the counters.
+    /// Publishes a finished batch and updates the counters. Routing
+    /// failures are wrapped into [`EngineError`] here, so the drained
+    /// batch carries the full batch-level cause chain.
     pub fn finish(&self, seq: u64, submitted_at: Instant, result: Result<Vec<Record>, RouteError>) {
         let latency_ns = submitted_at.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let result = result.map_err(|e| EngineError::batch(seq, e));
         let mut st = self.state.lock().unwrap();
         st.batches += 1;
         match &result {
@@ -292,6 +300,7 @@ impl Hub {
     pub fn push_task(&self, task: SliceTask) {
         let mut st = self.state.lock().unwrap();
         st.tasks.push_back(task);
+        st.task_queue_high_water = st.task_queue_high_water.max(st.tasks.len());
         drop(st);
         self.work_cv.notify_one();
     }

@@ -17,15 +17,23 @@
 //!   to the sequential route.
 //! - [`EngineHandle::drain`] returns routed batches in submission order;
 //!   [`EngineHandle::stats`] snapshots throughput, a fixed-bucket latency
-//!   histogram, queue high-water mark, and per-worker utilization
-//!   ([`EngineStats`], serde-serializable).
+//!   histogram, queue high-water marks, and per-worker activity
+//!   ([`EngineStats`], serde-serializable). Failed batches carry an
+//!   [`EngineError`] whose `source()` chain reaches the underlying
+//!   [`bnb_core::RouteError`].
+//! - The engine is generic over a [`bnb_obs::Observer`] (defaulting to the
+//!   zero-cost noop): [`Engine::with_observer`] streams submit/drain,
+//!   shard hand-off, column and arbiter-sweep events to any sink, e.g. a
+//!   lock-free `bnb_obs::Counters`.
 //!
 //! See [`bnb_core::stages`] for the slice-independence argument and
 //! `DESIGN.md` for how this mirrors the paper's arbiter locality.
 
 pub mod engine;
+pub mod error;
 mod hub;
 pub mod stats;
 
 pub use engine::{Engine, EngineConfig, EngineHandle, RoutedBatch, ShardDepth};
-pub use stats::{EngineStats, LatencyHistogram, LatencySummary, HISTOGRAM_BUCKETS};
+pub use error::EngineError;
+pub use stats::{EngineStats, LatencyHistogram, LatencySummary, WorkerMetrics, HISTOGRAM_BUCKETS};

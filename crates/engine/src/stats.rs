@@ -1,153 +1,29 @@
 //! Engine throughput and latency accounting.
 //!
-//! Latency is tracked in a fixed array of 64 power-of-two nanosecond
+//! The latency histogram types live in `bnb-obs` (shared with the
+//! observability sinks) and are re-exported here for compatibility:
+//! latency is tracked in a fixed array of 64 power-of-two nanosecond
 //! buckets — constant memory, no per-sample allocation, and quantiles in
-//! one pass. Bucket `0` covers `[0, 2)` ns and bucket `i ≥ 1` covers
-//! `[2^i, 2^(i+1))` ns, so the full `u64` nanosecond range is always
-//! representable. Quantiles report the bucket's inclusive upper edge,
-//! clamped to the observed `[min, max]` range, which bounds the error at
-//! one octave while keeping the histogram mergeable and serializable.
+//! one pass.
 
 use serde::{Deserialize, Serialize};
 
-/// Fixed-bucket latency histogram over power-of-two nanosecond ranges.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct LatencyHistogram {
-    /// Sample counts; bucket `i` covers `[2^i, 2^(i+1))` ns (`[0, 2)` for
-    /// `i = 0`).
-    buckets: Vec<u64>,
-    count: u64,
-    min_ns: u64,
-    max_ns: u64,
-    sum_ns: u64,
-}
+pub use bnb_obs::{LatencyHistogram, LatencySummary, HISTOGRAM_BUCKETS};
 
-/// Number of histogram buckets (one per `u64` bit).
-pub const HISTOGRAM_BUCKETS: usize = 64;
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            buckets: vec![0; HISTOGRAM_BUCKETS],
-            count: 0,
-            min_ns: u64::MAX,
-            max_ns: 0,
-            sum_ns: 0,
-        }
-    }
-
-    /// The bucket index for a sample: `floor(log2(ns))`, with `0` and `1`
-    /// ns folded into bucket `0`.
-    #[inline]
-    pub fn bucket_index(ns: u64) -> usize {
-        if ns < 2 {
-            0
-        } else {
-            63 - ns.leading_zeros() as usize
-        }
-    }
-
-    /// Records one latency sample.
-    pub fn record(&mut self, ns: u64) {
-        self.buckets[Self::bucket_index(ns)] += 1;
-        self.count += 1;
-        self.min_ns = self.min_ns.min(ns);
-        self.max_ns = self.max_ns.max(ns);
-        self.sum_ns = self.sum_ns.saturating_add(ns);
-    }
-
-    /// Samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Smallest sample, or `0` when empty.
-    pub fn min_ns(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.min_ns
-        }
-    }
-
-    /// Largest sample, or `0` when empty.
-    pub fn max_ns(&self) -> u64 {
-        self.max_ns
-    }
-
-    /// Mean sample, or `0` when empty.
-    pub fn mean_ns(&self) -> u64 {
-        self.sum_ns.checked_div(self.count).unwrap_or(0)
-    }
-
-    /// The `q`-quantile (e.g. `0.5`, `0.99`) as the covering bucket's
-    /// inclusive upper edge, clamped to the observed range. `0` when empty.
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                let edge = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
-                return edge.clamp(self.min_ns, self.max_ns);
-            }
-        }
-        self.max_ns
-    }
-
-    /// The raw bucket counts (length [`HISTOGRAM_BUCKETS`]).
-    pub fn buckets(&self) -> &[u64] {
-        &self.buckets
-    }
-
-    /// Folds another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
-            *b += o;
-        }
-        self.count += other.count;
-        self.min_ns = self.min_ns.min(other.min_ns);
-        self.max_ns = self.max_ns.max(other.max_ns);
-        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
-    }
-}
-
-/// Headline latency quantiles, precomputed from the histogram.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub struct LatencySummary {
-    /// Smallest per-batch latency observed.
-    pub min_ns: u64,
-    /// Median (bucket upper edge).
-    pub p50_ns: u64,
-    /// 99th percentile (bucket upper edge).
-    pub p99_ns: u64,
-    /// Largest per-batch latency observed.
-    pub max_ns: u64,
-    /// Mean per-batch latency.
-    pub mean_ns: u64,
-}
-
-impl LatencySummary {
-    /// Summarizes a histogram.
-    pub fn from_histogram(h: &LatencyHistogram) -> Self {
-        LatencySummary {
-            min_ns: h.min_ns(),
-            p50_ns: h.quantile(0.50),
-            p99_ns: h.quantile(0.99),
-            max_ns: h.max_ns(),
-            mean_ns: h.mean_ns(),
-        }
-    }
+/// Per-worker activity counters, one entry per pool thread.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WorkerMetrics {
+    /// Worker index within the pool.
+    pub worker: usize,
+    /// Time spent routing (task + batch processing), in ns.
+    pub busy_ns: u64,
+    /// Busy fraction of the engine's wall-clock lifetime.
+    pub utilization: f64,
+    /// Batches this worker owned end-to-end.
+    pub jobs_owned: u64,
+    /// Subnetwork slice tasks this worker took off the shared queue
+    /// (its own batches' or another owner's).
+    pub tasks_stolen: u64,
 }
 
 /// A snapshot of engine counters, taken by
@@ -177,10 +53,15 @@ pub struct EngineStats {
     pub histogram: LatencyHistogram,
     /// Deepest the bounded submission queue ever got.
     pub queue_high_water: usize,
+    /// Deepest the shared slice-task queue ever got.
+    pub task_queue_high_water: usize,
     /// Per-worker time spent routing (task + batch processing), in ns.
     pub worker_busy_ns: Vec<u64>,
     /// Per-worker busy fraction of the engine's wall-clock lifetime.
     pub worker_utilization: Vec<f64>,
+    /// Per-worker activity breakdown (busy time, jobs owned, slice tasks
+    /// taken from the shared queue).
+    pub worker_metrics: Vec<WorkerMetrics>,
 }
 
 #[cfg(test)]
@@ -188,102 +69,27 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bucket_boundaries_are_powers_of_two() {
-        assert_eq!(LatencyHistogram::bucket_index(0), 0);
-        assert_eq!(LatencyHistogram::bucket_index(1), 0);
-        assert_eq!(LatencyHistogram::bucket_index(2), 1);
-        assert_eq!(LatencyHistogram::bucket_index(3), 1);
-        assert_eq!(LatencyHistogram::bucket_index(4), 2);
-        assert_eq!(LatencyHistogram::bucket_index(7), 2);
-        assert_eq!(LatencyHistogram::bucket_index(8), 3);
-        assert_eq!(LatencyHistogram::bucket_index(1 << 20), 20);
-        assert_eq!(LatencyHistogram::bucket_index((1 << 21) - 1), 20);
-        assert_eq!(LatencyHistogram::bucket_index(u64::MAX), 63);
+    fn histogram_types_are_the_obs_types() {
+        // The re-export must stay pointed at bnb-obs so engine stats and
+        // observability sinks share one histogram layout.
+        let mut from_engine: LatencyHistogram = bnb_obs::LatencyHistogram::new();
+        from_engine.record(42);
+        let summary: bnb_obs::LatencySummary = LatencySummary::from_histogram(&from_engine);
+        assert_eq!(summary.min_ns, 42);
+        assert_eq!(HISTOGRAM_BUCKETS, bnb_obs::HISTOGRAM_BUCKETS);
     }
 
     #[test]
-    fn records_land_in_their_buckets() {
-        let mut h = LatencyHistogram::new();
-        for ns in [1u64, 2, 3, 1000, 1024, u64::MAX] {
-            h.record(ns);
-        }
-        assert_eq!(h.count(), 6);
-        assert_eq!(h.buckets()[0], 1); // 1
-        assert_eq!(h.buckets()[1], 2); // 2, 3
-        assert_eq!(h.buckets()[9], 1); // 1000 in [512, 1024)
-        assert_eq!(h.buckets()[10], 1); // 1024
-        assert_eq!(h.buckets()[63], 1); // u64::MAX
-        assert_eq!(h.min_ns(), 1);
-        assert_eq!(h.max_ns(), u64::MAX);
-    }
-
-    #[test]
-    fn empty_histogram_reports_zeros() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.min_ns(), 0);
-        assert_eq!(h.max_ns(), 0);
-        assert_eq!(h.mean_ns(), 0);
-        assert_eq!(h.quantile(0.5), 0);
-        let s = LatencySummary::from_histogram(&h);
-        assert_eq!(s, LatencySummary::default());
-    }
-
-    #[test]
-    fn p99_separates_the_tail() {
-        let mut h = LatencyHistogram::new();
-        // 99 fast samples around 1 µs, one slow outlier around 1 ms.
-        for _ in 0..99 {
-            h.record(1_000);
-        }
-        h.record(1_000_000);
-        // p50 stays in the fast bucket: upper edge of [512, 1024) * 2 - 1.
-        let p50 = h.quantile(0.50);
-        assert!(p50 < 2_048, "p50 = {p50}");
-        // p99 still lands on a fast sample (ceil(0.99 * 100) = 99th).
-        assert!(h.quantile(0.99) < 2_048);
-        // The full quantile catches the outlier, clamped to max.
-        assert_eq!(h.quantile(1.0), 1_000_000);
-    }
-
-    #[test]
-    fn quantiles_clamp_to_observed_range() {
-        let mut h = LatencyHistogram::new();
-        h.record(700);
-        // Single sample: every quantile is exactly it (edges clamp to
-        // [700, 700]).
-        assert_eq!(h.quantile(0.01), 700);
-        assert_eq!(h.quantile(0.50), 700);
-        assert_eq!(h.quantile(0.99), 700);
-    }
-
-    #[test]
-    fn merge_is_additive() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        a.record(10);
-        a.record(100);
-        b.record(1_000);
-        let mut merged = a.clone();
-        merged.merge(&b);
-        assert_eq!(merged.count(), 3);
-        assert_eq!(merged.min_ns(), 10);
-        assert_eq!(merged.max_ns(), 1_000);
-        assert_eq!(
-            merged.buckets().iter().sum::<u64>(),
-            a.buckets().iter().sum::<u64>() + b.buckets().iter().sum::<u64>()
-        );
-    }
-
-    #[test]
-    fn histogram_serde_round_trips() {
-        let mut h = LatencyHistogram::new();
-        for ns in [5u64, 50, 500, 5_000] {
-            h.record(ns);
-        }
-        let json = serde_json::to_string(&h).unwrap();
-        let back: LatencyHistogram = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, h);
-        assert_eq!(back.quantile(0.5), h.quantile(0.5));
+    fn worker_metrics_serde_round_trips() {
+        let w = WorkerMetrics {
+            worker: 1,
+            busy_ns: 12_345,
+            utilization: 0.75,
+            jobs_owned: 10,
+            tasks_stolen: 3,
+        };
+        let json = serde_json::to_string(&w).unwrap();
+        let back: WorkerMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, w);
     }
 }

@@ -1,0 +1,452 @@
+//! [`Counters`]: a lock-free sharded metrics sink implementing
+//! [`Observer`].
+//!
+//! Writers pick a shard by thread (round-robin at first touch, cached in
+//! a thread-local) and bump relaxed atomics; with up to [`SHARDS`]
+//! concurrent writer threads there is no cross-thread cache-line
+//! contention on the counter words. [`Counters::snapshot`] folds all
+//! shards into a serializable [`MetricsSnapshot`]. Snapshots taken while
+//! writers are active are monotone but not a point-in-time cut — fine for
+//! monitoring.
+
+use crate::event::{
+    ColumnEvent, ConflictEvent, DrainEvent, RoundEvent, ShardEvent, SubmitEvent, SweepEvent,
+};
+use crate::histogram::{AtomicHistogram, LatencyHistogram, LatencySummary};
+use crate::observer::Observer;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Writer shards. A power of two; more concurrent writer threads than
+/// this simply share shards (still correct, mildly contended).
+pub const SHARDS: usize = 8;
+
+/// Main stages tracked with a per-stage breakdown (`N = 2^32` inputs —
+/// far past anything constructible). Deeper stages clamp into the last
+/// slot.
+pub const MAX_STAGES: usize = 32;
+
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static INDEX: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    }
+    INDEX.with(|i| *i)
+}
+
+/// One writer shard, padded to its own cache lines.
+#[repr(align(128))]
+#[derive(Debug)]
+struct Shard {
+    columns: AtomicU64,
+    exchanges: AtomicU64,
+    sweeps: AtomicU64,
+    max_sweep_depth: AtomicU64,
+    conflicts: AtomicU64,
+    shards_enqueued: AtomicU64,
+    shards_stolen: AtomicU64,
+    batches_submitted: AtomicU64,
+    batches_drained: AtomicU64,
+    batch_errors: AtomicU64,
+    scheduler_rounds: AtomicU64,
+    records_matched: AtomicU64,
+    max_round_backlog: AtomicU64,
+    stage_columns: [AtomicU64; MAX_STAGES],
+    stage_exchanges: [AtomicU64; MAX_STAGES],
+    stage_sweeps: [AtomicU64; MAX_STAGES],
+    stage_conflicts: [AtomicU64; MAX_STAGES],
+}
+
+impl Shard {
+    fn new() -> Self {
+        let zeroes = || std::array::from_fn(|_| AtomicU64::new(0));
+        Shard {
+            columns: AtomicU64::new(0),
+            exchanges: AtomicU64::new(0),
+            sweeps: AtomicU64::new(0),
+            max_sweep_depth: AtomicU64::new(0),
+            conflicts: AtomicU64::new(0),
+            shards_enqueued: AtomicU64::new(0),
+            shards_stolen: AtomicU64::new(0),
+            batches_submitted: AtomicU64::new(0),
+            batches_drained: AtomicU64::new(0),
+            batch_errors: AtomicU64::new(0),
+            scheduler_rounds: AtomicU64::new(0),
+            records_matched: AtomicU64::new(0),
+            max_round_backlog: AtomicU64::new(0),
+            stage_columns: zeroes(),
+            stage_exchanges: zeroes(),
+            stage_sweeps: zeroes(),
+            stage_conflicts: zeroes(),
+        }
+    }
+}
+
+#[inline]
+fn stage_slot(main_stage: usize) -> usize {
+    main_stage.min(MAX_STAGES - 1)
+}
+
+/// Lock-free sharded counter sink.
+///
+/// Share one `Counters` across every layer of a run (router, engine
+/// workers, scheduler) by reference — `&Counters` implements [`Observer`]
+/// through the blanket reference impl. Batch-drain latencies feed the
+/// embedded [`AtomicHistogram`], so a snapshot carries the same latency
+/// distribution the engine's own stats report.
+#[derive(Debug)]
+pub struct Counters {
+    shards: [Shard; SHARDS],
+    histogram: AtomicHistogram,
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Counters {
+    /// A zeroed sink.
+    pub fn new() -> Self {
+        Counters {
+            shards: std::array::from_fn(|_| Shard::new()),
+            histogram: AtomicHistogram::new(),
+        }
+    }
+
+    #[inline]
+    fn shard(&self) -> &Shard {
+        &self.shards[shard_index()]
+    }
+
+    /// The embedded latency histogram (fed by batch-drain events).
+    pub fn histogram(&self) -> &AtomicHistogram {
+        &self.histogram
+    }
+
+    /// Records one span latency directly (see [`crate::SpanTimer`]).
+    #[inline]
+    pub fn record_latency(&self, ns: u64) {
+        self.histogram.record(ns);
+    }
+
+    fn sum(&self, field: impl Fn(&Shard) -> &AtomicU64) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| field(s).load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn max(&self, field: impl Fn(&Shard) -> &AtomicU64) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| field(s).load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Folds every shard into a serializable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut per_stage = Vec::new();
+        for stage in 0..MAX_STAGES {
+            let metrics = StageMetrics {
+                main_stage: stage,
+                columns: self.sum(|s| &s.stage_columns[stage]),
+                exchanges: self.sum(|s| &s.stage_exchanges[stage]),
+                sweeps: self.sum(|s| &s.stage_sweeps[stage]),
+                conflicts: self.sum(|s| &s.stage_conflicts[stage]),
+            };
+            per_stage.push(metrics);
+        }
+        // Drop trailing all-zero stages so the snapshot stays readable.
+        while per_stage
+            .last()
+            .is_some_and(|m| m.columns == 0 && m.sweeps == 0 && m.conflicts == 0)
+        {
+            per_stage.pop();
+        }
+        let histogram = self.histogram.snapshot();
+        MetricsSnapshot {
+            columns: self.sum(|s| &s.columns),
+            exchanges: self.sum(|s| &s.exchanges),
+            arbiter_sweeps: self.sum(|s| &s.sweeps),
+            max_sweep_depth: self.max(|s| &s.max_sweep_depth),
+            conflicts: self.sum(|s| &s.conflicts),
+            shards_enqueued: self.sum(|s| &s.shards_enqueued),
+            shards_stolen: self.sum(|s| &s.shards_stolen),
+            batches_submitted: self.sum(|s| &s.batches_submitted),
+            batches_drained: self.sum(|s| &s.batches_drained),
+            batch_errors: self.sum(|s| &s.batch_errors),
+            scheduler_rounds: self.sum(|s| &s.scheduler_rounds),
+            records_matched: self.sum(|s| &s.records_matched),
+            max_round_backlog: self.max(|s| &s.max_round_backlog),
+            per_stage,
+            latency: LatencySummary::from_histogram(&histogram),
+            histogram,
+        }
+    }
+}
+
+impl Observer for Counters {
+    #[inline]
+    fn column_routed(&self, event: ColumnEvent) {
+        let shard = self.shard();
+        shard.columns.fetch_add(1, Ordering::Relaxed);
+        shard
+            .exchanges
+            .fetch_add(event.exchanges, Ordering::Relaxed);
+        let slot = stage_slot(event.main_stage);
+        shard.stage_columns[slot].fetch_add(1, Ordering::Relaxed);
+        shard.stage_exchanges[slot].fetch_add(event.exchanges, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn arbiter_sweep(&self, event: SweepEvent) {
+        let shard = self.shard();
+        shard.sweeps.fetch_add(1, Ordering::Relaxed);
+        shard
+            .max_sweep_depth
+            .fetch_max(event.depth as u64, Ordering::Relaxed);
+        shard.stage_sweeps[stage_slot(event.main_stage)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn splitter_conflict(&self, event: ConflictEvent) {
+        let shard = self.shard();
+        shard.conflicts.fetch_add(1, Ordering::Relaxed);
+        shard.stage_conflicts[stage_slot(event.main_stage)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn shard_enqueued(&self, _event: ShardEvent) {
+        self.shard().shards_enqueued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn shard_stolen(&self, _event: ShardEvent) {
+        self.shard().shards_stolen.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn batch_submitted(&self, _event: SubmitEvent) {
+        self.shard()
+            .batches_submitted
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn batch_drained(&self, event: DrainEvent) {
+        let shard = self.shard();
+        shard.batches_drained.fetch_add(1, Ordering::Relaxed);
+        if !event.ok {
+            shard.batch_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.histogram.record(event.latency_ns);
+    }
+
+    #[inline]
+    fn scheduler_round(&self, event: RoundEvent) {
+        let shard = self.shard();
+        shard.scheduler_rounds.fetch_add(1, Ordering::Relaxed);
+        shard
+            .records_matched
+            .fetch_add(event.matched as u64, Ordering::Relaxed);
+        shard
+            .max_round_backlog
+            .fetch_max(event.backlog as u64, Ordering::Relaxed);
+    }
+}
+
+/// Per-main-stage counter totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StageMetrics {
+    /// Main-network stage index.
+    pub main_stage: usize,
+    /// Switching columns routed at this stage.
+    pub columns: u64,
+    /// 2×2 exchanges performed at this stage.
+    pub exchanges: u64,
+    /// Arbiter sweeps completed at this stage.
+    pub sweeps: u64,
+    /// Splitter conflicts detected at this stage.
+    pub conflicts: u64,
+}
+
+/// Aggregated counter totals, serializable for the CLI's `--metrics`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Switching columns routed (eq. (7): `m(m+1)/2` per full frame).
+    pub columns: u64,
+    /// 2×2 switch exchanges performed.
+    pub exchanges: u64,
+    /// Splitter arbiter sweeps completed.
+    pub arbiter_sweeps: u64,
+    /// Deepest arbiter tree swept (the `p` of the widest splitter hit).
+    pub max_sweep_depth: u64,
+    /// Splitter balance violations observed.
+    pub conflicts: u64,
+    /// Engine subnetwork slices published to the work queue.
+    pub shards_enqueued: u64,
+    /// Published slices taken off the queue by workers.
+    pub shards_stolen: u64,
+    /// Batches submitted to the engine.
+    pub batches_submitted: u64,
+    /// Batches fully routed (including failed ones).
+    pub batches_drained: u64,
+    /// Drained batches that failed validation or routing.
+    pub batch_errors: u64,
+    /// Input-queued-switch scheduler rounds run.
+    pub scheduler_rounds: u64,
+    /// Records matched to outputs across all scheduler rounds.
+    pub records_matched: u64,
+    /// Largest post-round backlog observed.
+    pub max_round_backlog: u64,
+    /// Per-main-stage breakdown (trailing all-zero stages trimmed).
+    pub per_stage: Vec<StageMetrics>,
+    /// Latency quantiles over all recorded spans/batch drains.
+    pub latency: LatencySummary,
+    /// Full latency histogram (power-of-two ns buckets).
+    pub histogram: LatencyHistogram,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn column(main_stage: usize, exchanges: u64) -> ColumnEvent {
+        ColumnEvent {
+            main_stage,
+            internal_stage: 0,
+            first_line: 0,
+            width: 8,
+            exchanges,
+        }
+    }
+
+    #[test]
+    fn counters_aggregate_across_events() {
+        let c = Counters::new();
+        c.column_routed(column(0, 3));
+        c.column_routed(column(0, 1));
+        c.column_routed(column(1, 2));
+        c.arbiter_sweep(SweepEvent {
+            main_stage: 0,
+            internal_stage: 0,
+            first_line: 0,
+            width: 8,
+            depth: 3,
+        });
+        c.splitter_conflict(ConflictEvent {
+            main_stage: 1,
+            internal_stage: 0,
+            first_line: 0,
+            width: 4,
+            ones: 3,
+        });
+        let snap = c.snapshot();
+        assert_eq!(snap.columns, 3);
+        assert_eq!(snap.exchanges, 6);
+        assert_eq!(snap.arbiter_sweeps, 1);
+        assert_eq!(snap.max_sweep_depth, 3);
+        assert_eq!(snap.conflicts, 1);
+        assert_eq!(snap.per_stage.len(), 2);
+        assert_eq!(snap.per_stage[0].columns, 2);
+        assert_eq!(snap.per_stage[0].exchanges, 4);
+        assert_eq!(snap.per_stage[1].columns, 1);
+        assert_eq!(snap.per_stage[1].conflicts, 1);
+    }
+
+    #[test]
+    fn batch_events_feed_histogram() {
+        let c = Counters::new();
+        c.batch_submitted(SubmitEvent { seq: 0, records: 8 });
+        c.batch_drained(DrainEvent {
+            seq: 0,
+            records: 8,
+            latency_ns: 1_000,
+            ok: true,
+        });
+        c.batch_drained(DrainEvent {
+            seq: 1,
+            records: 8,
+            latency_ns: 9_000,
+            ok: false,
+        });
+        let snap = c.snapshot();
+        assert_eq!(snap.batches_submitted, 1);
+        assert_eq!(snap.batches_drained, 2);
+        assert_eq!(snap.batch_errors, 1);
+        assert_eq!(snap.histogram.count(), 2);
+        assert_eq!(snap.latency.min_ns, 1_000);
+        assert_eq!(snap.latency.max_ns, 9_000);
+    }
+
+    #[test]
+    fn scheduler_rounds_track_occupancy() {
+        let c = Counters::new();
+        c.scheduler_round(RoundEvent {
+            round: 0,
+            matched: 5,
+            backlog: 11,
+        });
+        c.scheduler_round(RoundEvent {
+            round: 1,
+            matched: 7,
+            backlog: 4,
+        });
+        let snap = c.snapshot();
+        assert_eq!(snap.scheduler_rounds, 2);
+        assert_eq!(snap.records_matched, 12);
+        assert_eq!(snap.max_round_backlog, 11);
+    }
+
+    #[test]
+    fn concurrent_writers_lose_nothing() {
+        let c = Counters::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = &c;
+                scope.spawn(move || {
+                    for _ in 0..1_000 {
+                        c.column_routed(column(0, 1));
+                    }
+                });
+            }
+        });
+        let snap = c.snapshot();
+        assert_eq!(snap.columns, 8_000);
+        assert_eq!(snap.exchanges, 8_000);
+        assert_eq!(snap.per_stage[0].columns, 8_000);
+    }
+
+    #[test]
+    fn deep_stages_clamp_into_last_slot() {
+        let c = Counters::new();
+        c.column_routed(column(MAX_STAGES + 5, 1));
+        let snap = c.snapshot();
+        assert_eq!(snap.per_stage.len(), MAX_STAGES);
+        assert_eq!(snap.per_stage[MAX_STAGES - 1].columns, 1);
+    }
+
+    #[test]
+    fn snapshot_serde_round_trips() {
+        let c = Counters::new();
+        c.column_routed(column(0, 2));
+        c.batch_drained(DrainEvent {
+            seq: 0,
+            records: 4,
+            latency_ns: 128,
+            ok: true,
+        });
+        let snap = c.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn shards_are_cache_line_padded() {
+        assert_eq!(std::mem::align_of::<Shard>(), 128);
+    }
+}

@@ -1,0 +1,143 @@
+//! Typed events emitted by the routing layers.
+//!
+//! Every event is a small `Copy` struct so emitting one is a register
+//! move, never an allocation. Field vocabulary follows the paper:
+//! `main_stage` indexes the GBN's `m` main stages, `internal_stage` the
+//! columns of the nested network at that stage, and `first_line` is the
+//! *global* input-line coordinate of the reporting site — identical to the
+//! coordinates in `RouteError::UnbalancedSplitter` and the route trace.
+
+use serde::{Deserialize, Serialize};
+
+/// One switching column routed over a (slice of a) frame.
+///
+/// A full-frame route of an `N = 2^m` network emits exactly
+/// `m(m+1)/2` of these (eq. (7)); a sharded engine route emits one per
+/// column *per slice*, which still sums to the same per-column totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnEvent {
+    /// Main-network stage (`0..m`).
+    pub main_stage: usize,
+    /// Column within the stage's nested networks (`0..m - main_stage`).
+    pub internal_stage: usize,
+    /// Global line coordinate of the first line this event covers.
+    pub first_line: usize,
+    /// Number of lines covered (the whole frame, or one engine slice).
+    pub width: usize,
+    /// 2×2 switches in this column that exchanged their pair.
+    pub exchanges: u64,
+}
+
+/// One splitter's arbiter tree sweep (Definition 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepEvent {
+    /// Main-network stage.
+    pub main_stage: usize,
+    /// Column within the stage's nested networks.
+    pub internal_stage: usize,
+    /// Global line coordinate of the splitter's first line.
+    pub first_line: usize,
+    /// Splitter width `2^p`.
+    pub width: usize,
+    /// Tree depth `p` swept up and down — the per-splitter term the
+    /// paper's delay model charges in eq. (8).
+    pub depth: usize,
+}
+
+/// A splitter whose §4 balance assumption was violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConflictEvent {
+    /// Main-network stage.
+    pub main_stage: usize,
+    /// Column within the stage's nested networks.
+    pub internal_stage: usize,
+    /// Global line coordinate of the splitter's first line.
+    pub first_line: usize,
+    /// Splitter width.
+    pub width: usize,
+    /// One-bits observed (odd for `width ≥ 4`, `≠ 1` for `width == 2`).
+    pub ones: usize,
+}
+
+/// A subnetwork slice of an in-flight batch handed to the work queue
+/// (`shard_enqueued`) or taken from it by a worker (`shard_stolen`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardEvent {
+    /// Global line coordinate of the slice's first line.
+    pub first_line: usize,
+    /// Lines in the slice.
+    pub len: usize,
+    /// First main stage the slice still has to route.
+    pub start_stage: usize,
+}
+
+/// A batch entering the engine's bounded submission queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubmitEvent {
+    /// Submission sequence number.
+    pub seq: u64,
+    /// Records in the batch.
+    pub records: usize,
+}
+
+/// A batch fully routed (or failed) and ready to drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DrainEvent {
+    /// Submission sequence number.
+    pub seq: u64,
+    /// Records in the batch.
+    pub records: usize,
+    /// Submit-to-completion latency in nanoseconds.
+    pub latency_ns: u64,
+    /// Whether the batch routed successfully.
+    pub ok: bool,
+}
+
+/// One input-queued-switch scheduler round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundEvent {
+    /// Rounds run so far on this switch (this event is round `round`).
+    pub round: u64,
+    /// Records matched to outputs and routed this round (occupancy).
+    pub matched: usize,
+    /// Records still queued after the round.
+    pub backlog: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_small_and_copy() {
+        fn assert_copy<T: Copy + Send + Sync>() {}
+        assert_copy::<ColumnEvent>();
+        assert_copy::<SweepEvent>();
+        assert_copy::<ConflictEvent>();
+        assert_copy::<ShardEvent>();
+        assert_copy::<SubmitEvent>();
+        assert_copy::<DrainEvent>();
+        assert_copy::<RoundEvent>();
+        assert!(std::mem::size_of::<ColumnEvent>() <= 48);
+    }
+
+    #[test]
+    fn events_serde_roundtrip() {
+        let e = ColumnEvent {
+            main_stage: 1,
+            internal_stage: 2,
+            first_line: 8,
+            width: 4,
+            exchanges: 2,
+        };
+        let back: ColumnEvent = serde_json::from_str(&serde_json::to_string(&e).unwrap()).unwrap();
+        assert_eq!(back, e);
+        let r = RoundEvent {
+            round: 7,
+            matched: 3,
+            backlog: 12,
+        };
+        let back: RoundEvent = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,145 @@
+//! Text and JSON renderings of a [`MetricsSnapshot`].
+
+use crate::counters::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// Renders a snapshot as aligned human-readable text.
+///
+/// ```
+/// use bnb_obs::{export, Counters, Observer};
+/// use bnb_obs::event::ColumnEvent;
+///
+/// let counters = Counters::new();
+/// counters.column_routed(ColumnEvent {
+///     main_stage: 0,
+///     internal_stage: 0,
+///     first_line: 0,
+///     width: 4,
+///     exchanges: 1,
+/// });
+/// let text = export::render_text(&counters.snapshot());
+/// assert!(text.contains("columns"));
+/// assert!(text.contains("stage 0"));
+/// ```
+pub fn render_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut line = |name: &str, value: u64| {
+        let _ = writeln!(out, "{name:<22} {value}");
+    };
+    line("columns", snapshot.columns);
+    line("exchanges", snapshot.exchanges);
+    line("arbiter_sweeps", snapshot.arbiter_sweeps);
+    line("max_sweep_depth", snapshot.max_sweep_depth);
+    line("conflicts", snapshot.conflicts);
+    line("shards_enqueued", snapshot.shards_enqueued);
+    line("shards_stolen", snapshot.shards_stolen);
+    line("batches_submitted", snapshot.batches_submitted);
+    line("batches_drained", snapshot.batches_drained);
+    line("batch_errors", snapshot.batch_errors);
+    line("scheduler_rounds", snapshot.scheduler_rounds);
+    line("records_matched", snapshot.records_matched);
+    line("max_round_backlog", snapshot.max_round_backlog);
+    if !snapshot.per_stage.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} {:>10} {:>10} {:>10}",
+            "per-stage", "columns", "exchanges", "sweeps", "conflicts"
+        );
+        for stage in &snapshot.per_stage {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>10} {:>10} {:>10} {:>10}",
+                format!("stage {}", stage.main_stage),
+                stage.columns,
+                stage.exchanges,
+                stage.sweeps,
+                stage.conflicts
+            );
+        }
+    }
+    if snapshot.histogram.count() > 0 {
+        let l = &snapshot.latency;
+        let _ = writeln!(
+            out,
+            "latency_ns             min={} p50={} p99={} max={} mean={} (n={})",
+            l.min_ns,
+            l.p50_ns,
+            l.p99_ns,
+            l.max_ns,
+            l.mean_ns,
+            snapshot.histogram.count()
+        );
+    }
+    out
+}
+
+/// Renders a snapshot as a JSON object.
+pub fn render_json(snapshot: &MetricsSnapshot) -> Result<String, serde_json::Error> {
+    serde_json::to_string(snapshot)
+}
+
+/// Renders a snapshot as pretty-printed JSON.
+pub fn render_json_pretty(snapshot: &MetricsSnapshot) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(snapshot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ColumnEvent, DrainEvent, SweepEvent};
+    use crate::{Counters, Observer};
+
+    fn sample() -> MetricsSnapshot {
+        let c = Counters::new();
+        c.column_routed(ColumnEvent {
+            main_stage: 0,
+            internal_stage: 0,
+            first_line: 0,
+            width: 8,
+            exchanges: 3,
+        });
+        c.arbiter_sweep(SweepEvent {
+            main_stage: 1,
+            internal_stage: 0,
+            first_line: 0,
+            width: 4,
+            depth: 2,
+        });
+        c.batch_drained(DrainEvent {
+            seq: 0,
+            records: 8,
+            latency_ns: 512,
+            ok: true,
+        });
+        c.snapshot()
+    }
+
+    #[test]
+    fn text_lists_totals_stages_and_latency() {
+        let text = render_text(&sample());
+        assert!(text.contains("columns                1"));
+        assert!(text.contains("arbiter_sweeps         1"));
+        assert!(text.contains("stage 0"));
+        assert!(text.contains("stage 1"));
+        assert!(text.contains("latency_ns"));
+        assert!(text.contains("(n=1)"));
+    }
+
+    #[test]
+    fn text_omits_empty_sections() {
+        let text = render_text(&Counters::new().snapshot());
+        assert!(!text.contains("per-stage"));
+        assert!(!text.contains("latency_ns"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let snap = sample();
+        let json = render_json(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        let pretty = render_json_pretty(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&pretty).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,206 @@
+//! The [`Observer`] trait and the zero-cost [`NoopObserver`].
+
+use crate::event::{
+    ColumnEvent, ConflictEvent, DrainEvent, RoundEvent, ShardEvent, SubmitEvent, SweepEvent,
+};
+
+/// Sink for routing-layer events.
+///
+/// Instrumented code is generic over `O: Observer` with [`NoopObserver`]
+/// as the default, and hoists a single [`enabled`](Observer::enabled)
+/// check before any per-event bookkeeping:
+///
+/// ```
+/// use bnb_obs::{NoopObserver, Observer};
+/// use bnb_obs::event::ColumnEvent;
+///
+/// fn route_column<O: Observer>(obs: &O) {
+///     let observing = obs.enabled();
+///     // ... hot loop; only tally `exchanges` when `observing` ...
+///     if observing {
+///         obs.column_routed(ColumnEvent {
+///             main_stage: 0,
+///             internal_stage: 0,
+///             first_line: 0,
+///             width: 8,
+///             exchanges: 3,
+///         });
+///     }
+/// }
+/// route_column(&NoopObserver);
+/// ```
+///
+/// With `NoopObserver` the check is a constant `false`, so the branch and
+/// the event construction fold away — the instrumented binary is the
+/// uninstrumented one.
+///
+/// The trait is object-safe (`&dyn Observer` works for heterogeneous
+/// sinks) and every method takes `&self`, so implementations must handle
+/// their own synchronization; [`crate::Counters`] uses relaxed atomics.
+pub trait Observer: Send + Sync {
+    /// Whether this observer wants events at all. Instrumented paths
+    /// hoist this out of their hot loops; return `false` only if *every*
+    /// event method is a no-op.
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// A switching column was routed over `event.width` lines.
+    #[inline]
+    fn column_routed(&self, event: ColumnEvent) {
+        let _ = event;
+    }
+
+    /// A splitter's arbiter tree completed a sweep of `event.depth`.
+    #[inline]
+    fn arbiter_sweep(&self, event: SweepEvent) {
+        let _ = event;
+    }
+
+    /// A splitter saw an unbalanced request pattern.
+    #[inline]
+    fn splitter_conflict(&self, event: ConflictEvent) {
+        let _ = event;
+    }
+
+    /// An engine worker published a subnetwork slice to the work queue.
+    #[inline]
+    fn shard_enqueued(&self, event: ShardEvent) {
+        let _ = event;
+    }
+
+    /// A worker took a published slice off the queue (possibly its own).
+    #[inline]
+    fn shard_stolen(&self, event: ShardEvent) {
+        let _ = event;
+    }
+
+    /// A batch entered the engine's submission queue.
+    #[inline]
+    fn batch_submitted(&self, event: SubmitEvent) {
+        let _ = event;
+    }
+
+    /// A batch finished routing (successfully or not).
+    #[inline]
+    fn batch_drained(&self, event: DrainEvent) {
+        let _ = event;
+    }
+
+    /// An input-queued switch completed a scheduler round.
+    #[inline]
+    fn scheduler_round(&self, event: RoundEvent) {
+        let _ = event;
+    }
+}
+
+/// The default observer: observes nothing, costs nothing.
+///
+/// `enabled()` is a constant `false` and every event method is an empty
+/// `#[inline]` body, so instrumentation sites compile to nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Forwarding impl so instrumented layers can borrow a shared sink
+/// (e.g. one [`crate::Counters`] across engine workers) without wrappers.
+impl<O: Observer + ?Sized> Observer for &O {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline]
+    fn column_routed(&self, event: ColumnEvent) {
+        (**self).column_routed(event);
+    }
+
+    #[inline]
+    fn arbiter_sweep(&self, event: SweepEvent) {
+        (**self).arbiter_sweep(event);
+    }
+
+    #[inline]
+    fn splitter_conflict(&self, event: ConflictEvent) {
+        (**self).splitter_conflict(event);
+    }
+
+    #[inline]
+    fn shard_enqueued(&self, event: ShardEvent) {
+        (**self).shard_enqueued(event);
+    }
+
+    #[inline]
+    fn shard_stolen(&self, event: ShardEvent) {
+        (**self).shard_stolen(event);
+    }
+
+    #[inline]
+    fn batch_submitted(&self, event: SubmitEvent) {
+        (**self).batch_submitted(event);
+    }
+
+    #[inline]
+    fn batch_drained(&self, event: DrainEvent) {
+        (**self).batch_drained(event);
+    }
+
+    #[inline]
+    fn scheduler_round(&self, event: RoundEvent) {
+        (**self).scheduler_round(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn noop_is_disabled() {
+        assert!(!NoopObserver.enabled());
+        assert!(!Observer::enabled(&&NoopObserver));
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let obs: &dyn Observer = &NoopObserver;
+        assert!(!obs.enabled());
+        obs.column_routed(ColumnEvent {
+            main_stage: 0,
+            internal_stage: 0,
+            first_line: 0,
+            width: 2,
+            exchanges: 0,
+        });
+    }
+
+    #[test]
+    fn reference_forwards_events() {
+        #[derive(Default)]
+        struct Tally(AtomicU64);
+        impl Observer for Tally {
+            fn column_routed(&self, _event: ColumnEvent) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let tally = Tally::default();
+        let by_ref: &Tally = &tally;
+        assert!(by_ref.enabled());
+        by_ref.column_routed(ColumnEvent {
+            main_stage: 0,
+            internal_stage: 0,
+            first_line: 0,
+            width: 2,
+            exchanges: 1,
+        });
+        assert_eq!(tally.0.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! [`SpanTimer`]: a span-style stopwatch feeding latency histograms.
+
+use crate::counters::Counters;
+use crate::histogram::LatencyHistogram;
+use std::time::Instant;
+
+/// Measures one span of work and records it into a histogram.
+///
+/// ```
+/// use bnb_obs::{LatencyHistogram, SpanTimer};
+///
+/// let mut hist = LatencyHistogram::new();
+/// let span = SpanTimer::start();
+/// // ... the work being measured ...
+/// span.record_into(&mut hist);
+/// assert_eq!(hist.count(), 1);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SpanTimer {
+    start: Instant,
+}
+
+impl SpanTimer {
+    /// Starts timing now.
+    #[inline]
+    pub fn start() -> Self {
+        SpanTimer {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since [`start`](SpanTimer::start), saturating
+    /// at `u64::MAX` (≈ 584 years).
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Ends the span into a plain histogram; returns the elapsed ns.
+    #[inline]
+    pub fn record_into(self, histogram: &mut LatencyHistogram) -> u64 {
+        let ns = self.elapsed_ns();
+        histogram.record(ns);
+        ns
+    }
+
+    /// Ends the span into a shared [`Counters`] sink's histogram;
+    /// returns the elapsed ns.
+    #[inline]
+    pub fn record(self, counters: &Counters) -> u64 {
+        let ns = self.elapsed_ns();
+        counters.record_latency(ns);
+        ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_plain_histogram() {
+        let mut hist = LatencyHistogram::new();
+        let span = SpanTimer::start();
+        let ns = span.record_into(&mut hist);
+        assert_eq!(hist.count(), 1);
+        assert!(hist.max_ns() >= hist.min_ns());
+        assert_eq!(hist.buckets()[LatencyHistogram::bucket_index(ns)], 1);
+    }
+
+    #[test]
+    fn span_records_into_counters() {
+        let counters = Counters::new();
+        let span = SpanTimer::start();
+        span.record(&counters);
+        assert_eq!(counters.histogram().count(), 1);
+        assert_eq!(counters.snapshot().histogram.count(), 1);
+    }
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let span = SpanTimer::start();
+        let a = span.elapsed_ns();
+        let b = span.elapsed_ns();
+        assert!(b >= a);
+    }
+}

@@ -12,6 +12,7 @@
 
 use bnb_core::error::RouteError;
 use bnb_core::network::BnbNetwork;
+use bnb_obs::{NoopObserver, Observer};
 use bnb_topology::record::Record;
 use rand::{Rng, RngExt};
 use serde::{Deserialize, Serialize};
@@ -49,6 +50,28 @@ pub fn measure<R: Rng + ?Sized>(
     rounds: usize,
     rng: &mut R,
 ) -> Result<LoadPoint, RouteError> {
+    measure_observed(m, discipline, offered, rounds, rng, &NoopObserver)
+}
+
+/// [`measure`] with an observer receiving one [`bnb_obs::RoundEvent`] per
+/// fabric round (occupancy = the event's `backlog`), plus every column and
+/// sweep event of the underlying routes.
+///
+/// # Errors
+///
+/// Propagates fabric errors (none occur for validated uniform traffic).
+///
+/// # Panics
+///
+/// Panics if `offered` is not within `0.0..=1.0`.
+pub fn measure_observed<R: Rng + ?Sized, O: Observer>(
+    m: usize,
+    discipline: QueueDiscipline,
+    offered: f64,
+    rounds: usize,
+    rng: &mut R,
+    observer: &O,
+) -> Result<LoadPoint, RouteError> {
     assert!(
         (0.0..=1.0).contains(&offered),
         "offered load must be in [0, 1]"
@@ -67,7 +90,7 @@ pub fn measure<R: Rng + ?Sized>(
                 sw.offer(input, Record::new(rng.random_range(0..n), id))?;
             }
         }
-        sw.step()?;
+        sw.step_observed(observer)?;
         let delivered = sw.delivered();
         for cell in &delivered[seen_delivered..] {
             let born = enqueue_round[cell.data() as usize];
@@ -100,9 +123,25 @@ pub fn sweep<R: Rng + ?Sized>(
     rounds: usize,
     rng: &mut R,
 ) -> Result<Vec<LoadPoint>, RouteError> {
+    sweep_observed(m, discipline, loads, rounds, rng, &NoopObserver)
+}
+
+/// [`sweep`] with an observer shared across every measured point.
+///
+/// # Errors
+///
+/// Propagates fabric errors from [`measure`].
+pub fn sweep_observed<R: Rng + ?Sized, O: Observer>(
+    m: usize,
+    discipline: QueueDiscipline,
+    loads: &[f64],
+    rounds: usize,
+    rng: &mut R,
+    observer: &O,
+) -> Result<Vec<LoadPoint>, RouteError> {
     loads
         .iter()
-        .map(|&l| measure(m, discipline, l, rounds, rng))
+        .map(|&l| measure_observed(m, discipline, l, rounds, rng, observer))
         .collect()
 }
 

@@ -20,6 +20,7 @@ use std::collections::VecDeque;
 
 use bnb_core::error::RouteError;
 use bnb_core::network::BnbNetwork;
+use bnb_obs::{NoopObserver, Observer, RoundEvent};
 use bnb_topology::record::Record;
 use serde::{Deserialize, Serialize};
 
@@ -65,7 +66,7 @@ impl ScheduleStats {
 /// use bnb_sim::scheduler::{QueueDiscipline, VoqSwitch};
 /// use bnb_topology::record::Record;
 ///
-/// let mut sw = VoqSwitch::new(BnbNetwork::with_inputs(4)?, QueueDiscipline::Voq);
+/// let mut sw = VoqSwitch::new(BnbNetwork::builder_for(4)?.build(), QueueDiscipline::Voq);
 /// // Two records at input 0, for different outputs.
 /// sw.offer(0, Record::new(2, 10))?;
 /// sw.offer(0, Record::new(1, 11))?;
@@ -84,6 +85,9 @@ pub struct VoqSwitch {
     /// Rotating priority pointer for fairness.
     priority: usize,
     delivered: Vec<Record>,
+    /// Fabric rounds committed over this switch's lifetime (the `round`
+    /// index reported in [`bnb_obs::RoundEvent`]s).
+    rounds_run: u64,
 }
 
 impl VoqSwitch {
@@ -100,6 +104,7 @@ impl VoqSwitch {
             queues: (0..n).map(|_| vec![VecDeque::new(); per_input]).collect(),
             priority: 0,
             delivered: Vec::new(),
+            rounds_run: 0,
         }
     }
 
@@ -176,6 +181,17 @@ impl VoqSwitch {
     /// Propagates fabric errors (which cannot occur for traffic validated
     /// by [`VoqSwitch::offer`]).
     pub fn step(&mut self) -> Result<usize, RouteError> {
+        self.step_observed(&NoopObserver)
+    }
+
+    /// [`VoqSwitch::step`] with an observer: after the round commits, one
+    /// [`RoundEvent`] reports the round index, the matched (= delivered)
+    /// count, and the backlog remaining after the round.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`VoqSwitch::step`].
+    pub fn step_observed<O: Observer>(&mut self, observer: &O) -> Result<usize, RouteError> {
         let (slots, picks) = self.plan_round();
         let outcome = self.network.route_partial(&slots)?;
         let mut count = 0usize;
@@ -183,7 +199,15 @@ impl VoqSwitch {
             self.delivered.push(*delivered);
             count += 1;
         }
+        let round = self.rounds_run;
         self.commit_round(picks);
+        if observer.enabled() {
+            observer.scheduler_round(RoundEvent {
+                round,
+                matched: count,
+                backlog: self.backlog(),
+            });
+        }
         Ok(count)
     }
 
@@ -253,6 +277,7 @@ impl VoqSwitch {
             undo.push((input, slot, record));
         }
         self.priority = (self.priority + 1) % self.network.inputs();
+        self.rounds_run += 1;
         undo
     }
 
@@ -266,6 +291,7 @@ impl VoqSwitch {
         }
         let n = self.network.inputs();
         self.priority = (self.priority + n - 1) % n;
+        self.rounds_run -= 1;
     }
 
     /// Steps until the backlog drains or `max_rounds` is reached.
@@ -274,11 +300,25 @@ impl VoqSwitch {
     ///
     /// Propagates fabric errors from [`VoqSwitch::step`].
     pub fn run_to_completion(&mut self, max_rounds: usize) -> Result<ScheduleStats, RouteError> {
+        self.run_to_completion_observed(max_rounds, &NoopObserver)
+    }
+
+    /// [`VoqSwitch::run_to_completion`] with an observer receiving one
+    /// [`RoundEvent`] per fabric round (see [`VoqSwitch::step_observed`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates fabric errors from [`VoqSwitch::step`].
+    pub fn run_to_completion_observed<O: Observer>(
+        &mut self,
+        max_rounds: usize,
+        observer: &O,
+    ) -> Result<ScheduleStats, RouteError> {
         let lower_bound = self.lower_bound();
         let mut rounds = 0usize;
         let mut delivered = 0usize;
         while self.backlog() > 0 && rounds < max_rounds {
-            delivered += self.step()?;
+            delivered += self.step_observed(observer)?;
             rounds += 1;
         }
         Ok(ScheduleStats {
@@ -316,7 +356,28 @@ impl VoqSwitch {
         max_rounds: usize,
         config: bnb_engine::EngineConfig,
     ) -> Result<ScheduleStats, RouteError> {
+        self.run_to_completion_engine_observed(max_rounds, config, &NoopObserver)
+    }
+
+    /// [`VoqSwitch::run_to_completion_engine`] with an observer. The
+    /// observer is shared with the engine workers (batch submit/drain,
+    /// shard hand-off, column and sweep events), and additionally receives
+    /// the same per-round [`RoundEvent`] stream the sequential
+    /// [`VoqSwitch::run_to_completion_observed`] drain would emit —
+    /// reconstructed from the planned rounds, since the engine drain
+    /// commits all rounds up front.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`VoqSwitch::run_to_completion_engine`].
+    pub fn run_to_completion_engine_observed<O: Observer>(
+        &mut self,
+        max_rounds: usize,
+        config: bnb_engine::EngineConfig,
+        observer: &O,
+    ) -> Result<ScheduleStats, RouteError> {
         let lower_bound = self.lower_bound();
+        let first_round = self.rounds_run;
         // Phase 1: plan every round (pure queue-state bookkeeping),
         // keeping each commit's undo log so unrouted rounds can be rolled
         // back if a later phase errors.
@@ -331,7 +392,8 @@ impl VoqSwitch {
         // submission (= round) order, so `results[k]` is round `k`. A
         // frame-construction error ends submission early: it becomes that
         // round's result and later rounds simply have none.
-        let engine = bnb_engine::Engine::new(self.network.index_sibling(), config);
+        let engine =
+            bnb_engine::Engine::with_observer(self.network.index_sibling(), config, observer);
         let mut results: Vec<Result<Vec<Record>, RouteError>> =
             Vec::with_capacity(planned_slots.len());
         engine.run(|h| {
@@ -345,7 +407,11 @@ impl VoqSwitch {
                     Err(e) => {
                         for _ in 0..pending {
                             let batch = h.drain().expect("every submitted round completes");
-                            results.push(batch.result);
+                            results.push(
+                                batch
+                                    .result
+                                    .map_err(bnb_engine::EngineError::into_route_error),
+                            );
                         }
                         results.push(Err(e));
                         return;
@@ -354,19 +420,42 @@ impl VoqSwitch {
                 // Opportunistically collect finished rounds so results
                 // don't pile up while we keep the queue fed.
                 while let Some(batch) = h.try_drain() {
-                    results.push(batch.result);
+                    results.push(
+                        batch
+                            .result
+                            .map_err(bnb_engine::EngineError::into_route_error),
+                    );
                     pending -= 1;
                 }
             }
             for _ in 0..pending {
                 let batch = h.drain().expect("every submitted round completes");
-                results.push(batch.result);
+                results.push(
+                    batch
+                        .result
+                        .map_err(bnb_engine::EngineError::into_route_error),
+                );
             }
         });
         // Phase 3: reconstruct deliveries in per-round output order. The
         // first failed round stops delivery; it and every later planned
         // round are uncommitted (in reverse order) before propagating.
         let total = planned_slots.len();
+        // Round events are reconstructed to match the sequential drain:
+        // every planned slot delivers, so round `k`'s matched count is its
+        // slot count and its post-round backlog is the committed backlog
+        // plus everything still waiting in later planned rounds.
+        let observing = observer.enabled();
+        let matched_per_round: Vec<usize> = if observing {
+            planned_slots
+                .iter()
+                .map(|s| s.iter().flatten().count())
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut later_matched: usize = matched_per_round.iter().sum();
+        let committed_backlog = self.backlog();
         let mut delivered = 0usize;
         let mut applied = 0usize;
         let mut error = None;
@@ -377,6 +466,14 @@ impl VoqSwitch {
                     for record in outcome.outputs.iter().flatten() {
                         self.delivered.push(*record);
                         delivered += 1;
+                    }
+                    if observing {
+                        later_matched -= matched_per_round[applied];
+                        observer.scheduler_round(RoundEvent {
+                            round: first_round + applied as u64,
+                            matched: matched_per_round[applied],
+                            backlog: committed_backlog + later_matched,
+                        });
                     }
                     applied += 1;
                 }
@@ -567,6 +664,38 @@ mod tests {
                 assert_eq!(eng.backlog(), 0);
             }
         }
+    }
+
+    /// The engine drain's reconstructed round events aggregate exactly
+    /// like the sequential drain's live ones.
+    #[test]
+    fn observed_round_events_match_between_drains() {
+        use bnb_engine::EngineConfig;
+        use bnb_obs::Counters;
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut seq = switch(3, QueueDiscipline::Voq);
+        for k in 0..60u64 {
+            seq.offer(
+                rng.random_range(0..8),
+                Record::new(rng.random_range(0..8), k),
+            )
+            .unwrap();
+        }
+        let mut eng = seq.clone();
+        let seq_counters = Counters::new();
+        let eng_counters = Counters::new();
+        seq.run_to_completion_observed(1000, &seq_counters).unwrap();
+        eng.run_to_completion_engine_observed(1000, EngineConfig::with_workers(2), &eng_counters)
+            .unwrap();
+        let a = seq_counters.snapshot();
+        let b = eng_counters.snapshot();
+        assert_eq!(a.scheduler_rounds, b.scheduler_rounds);
+        assert_eq!(a.records_matched, b.records_matched);
+        assert_eq!(a.max_round_backlog, b.max_round_backlog);
+        assert!(
+            b.batches_drained == b.scheduler_rounds,
+            "the shared sink also sees one engine batch per round"
+        );
     }
 
     #[test]

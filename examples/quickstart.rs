@@ -11,7 +11,7 @@ use bnb::topology::record::{all_delivered, records_for_permutation};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An 8-input BNB network (m = 3): three main stages of nested
     // networks, 6 switch columns in total.
-    let net = BnbNetwork::with_inputs(8)?;
+    let net = BnbNetwork::builder_for(8)?.build();
 
     // Any permutation of 0..8 self-routes; no global routing computation.
     let perm = Permutation::try_from(vec![6, 2, 7, 0, 4, 1, 3, 5])?;

@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     const N: usize = 8;
     let omega = OmegaNetwork::with_inputs(N)?;
     let benes = SelfRoutingBenes::with_inputs(N)?;
-    let bnb = BnbNetwork::with_inputs(N)?;
+    let bnb = BnbNetwork::builder_for(N)?.build();
 
     // 1) Class sizes at N = 8 by exhaustive enumeration (40 320 perms).
     let omega_count = omega.count_admissible();

@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     for discipline in [QueueDiscipline::Fifo, QueueDiscipline::Voq] {
-        let mut sw = VoqSwitch::new(BnbNetwork::with_inputs(n)?, discipline);
+        let mut sw = VoqSwitch::new(BnbNetwork::builder_for(n)?.build(), discipline);
         for &(input, record) in &trace {
             sw.offer(input, record)?;
         }

@@ -26,6 +26,9 @@
 //! - [`engine`] — a concurrent batched routing engine: bounded submit/
 //!   drain queue, scoped worker pool, and intra-batch subnetwork sharding
 //!   that mirrors the paper's recursive GBN structure.
+//! - [`obs`] — zero-cost-when-disabled observability: the [`obs::Observer`]
+//!   event hooks every routing layer emits through, lock-free
+//!   [`obs::Counters`], latency histograms, and text/JSON exporters.
 //!
 //! # Quickstart
 //!
@@ -35,7 +38,7 @@
 //! use bnb::topology::record::{records_for_permutation, all_delivered};
 //!
 //! // A 16-input network; every record self-routes to its destination.
-//! let net = BnbNetwork::with_inputs(16)?;
+//! let net = BnbNetwork::builder_for(16)?.build();
 //! let perm = Permutation::try_from(
 //!     vec![3, 14, 0, 9, 7, 12, 1, 15, 5, 10, 2, 13, 4, 11, 6, 8],
 //! )?;
@@ -54,5 +57,6 @@ pub use bnb_baselines as baselines;
 pub use bnb_core as core;
 pub use bnb_engine as engine;
 pub use bnb_gates as gates;
+pub use bnb_obs as obs;
 pub use bnb_sim as sim;
 pub use bnb_topology as topology;

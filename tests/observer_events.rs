@@ -1,0 +1,116 @@
+//! Observer event counts checked against the paper's closed forms.
+//!
+//! Equation (7) of the paper gives the column count of an `N = 2^m`-input
+//! BNB network: the main stage at index `s` is built from `k = m − s`
+//! internal switching columns, so one full frame crosses
+//! `m + (m−1) + … + 1 = m(m+1)/2` columns. Each splitter box sweeps its
+//! arbiter tree exactly once per frame, and the number of splitter boxes
+//! is `n·m − n + 1`: main stage `s` contributes `n − 2^s` boxes across
+//! its `m − s` internal columns, and `Σ_{s<m} (n − 2^s) = n·m − n + 1`.
+//! A recording observer attached to the real router must reproduce both
+//! counts exactly.
+
+use bnb::core::network::BnbNetwork;
+use bnb::obs::{Counters, MetricsSnapshot};
+use bnb::topology::perm::Permutation;
+use bnb::topology::record::{all_delivered, records_for_permutation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Eq. (7): switching columns crossed by one full frame.
+fn closed_form_columns(m: u64) -> u64 {
+    m * (m + 1) / 2
+}
+
+/// Splitter boxes (= arbiter sweeps) per full frame: `n·m − n + 1`.
+fn closed_form_sweeps(m: u64) -> u64 {
+    let n = 1u64 << m;
+    n * m - n + 1
+}
+
+#[test]
+fn route_observed_matches_closed_forms() {
+    let mut rng = StdRng::seed_from_u64(1991);
+    for m in [2usize, 3, 4] {
+        let n = 1usize << m;
+        let net = BnbNetwork::builder(m).data_width(16).build();
+        let counters = Counters::new();
+        const ROUTES: u64 = 3;
+        for _ in 0..ROUTES {
+            let records = records_for_permutation(&Permutation::random(n, &mut rng));
+            let out = net.route_observed(&records, &counters).unwrap();
+            assert!(all_delivered(&out));
+        }
+        let snap = counters.snapshot();
+        assert_eq!(
+            snap.columns,
+            ROUTES * closed_form_columns(m as u64),
+            "m = {m}: columns must match eq. (7)"
+        );
+        assert_eq!(
+            snap.arbiter_sweeps,
+            ROUTES * closed_form_sweeps(m as u64),
+            "m = {m}: one sweep per splitter box"
+        );
+        assert_eq!(snap.conflicts, 0, "m = {m}: permutations route cleanly");
+    }
+}
+
+#[test]
+fn builder_attached_observer_sees_router_traffic() {
+    let mut rng = StdRng::seed_from_u64(40);
+    let m = 4usize;
+    let n = 1usize << m;
+    let counters = Counters::new();
+    let mut router = BnbNetwork::builder(m)
+        .data_width(32)
+        .observer(&counters)
+        .build_router();
+    const ROUTES: u64 = 5;
+    for _ in 0..ROUTES {
+        let mut lines = records_for_permutation(&Permutation::random(n, &mut rng));
+        router.route_in_place(&mut lines).unwrap();
+        assert!(all_delivered(&lines));
+    }
+    let snap = counters.snapshot();
+    assert_eq!(snap.columns, ROUTES * closed_form_columns(m as u64));
+    assert_eq!(snap.arbiter_sweeps, ROUTES * closed_form_sweeps(m as u64));
+    // Per-stage breakdown: main stage s contributes m − s columns per frame.
+    for stage in &snap.per_stage {
+        assert_eq!(
+            stage.columns,
+            ROUTES * (m - stage.main_stage) as u64,
+            "stage {} column share",
+            stage.main_stage
+        );
+    }
+    assert_eq!(
+        snap.per_stage.len(),
+        m,
+        "all {m} main stages were exercised"
+    );
+}
+
+#[test]
+fn metrics_snapshot_serde_round_trips() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let m = 3usize;
+    let n = 1usize << m;
+    let net = BnbNetwork::builder(m).build();
+    let counters = Counters::new();
+    counters.record_latency(1_500);
+    counters.record_latency(48_000);
+    let records = records_for_permutation(&Permutation::random(n, &mut rng));
+    net.route_observed(&records, &counters).unwrap();
+
+    let snap = counters.snapshot();
+    let json = serde_json::to_string(&snap).unwrap();
+    let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, snap, "serde round trip must be lossless");
+
+    // The exporter's JSON is the same document.
+    let rendered = bnb::obs::render_json(&snap).unwrap();
+    let back: MetricsSnapshot = serde_json::from_str(&rendered).unwrap();
+    assert_eq!(back, snap, "render_json must round trip too");
+    assert_eq!(back.histogram.count(), 2);
+}

@@ -10,7 +10,7 @@ use rand::SeedableRng;
 #[test]
 fn exhaustive_n2_and_n4() {
     for (n, total) in [(2usize, 2u64), (4, 24)] {
-        let net = BnbNetwork::with_inputs(n).unwrap();
+        let net = BnbNetwork::builder_for(n).unwrap().build();
         for k in 0..total {
             let p = Permutation::nth_lexicographic(n, k);
             let out = net.route(&records_for_permutation(&p)).unwrap();
@@ -25,7 +25,7 @@ fn exhaustive_n2_and_n4() {
 
 #[test]
 fn exhaustive_n8_all_40320() {
-    let net = BnbNetwork::with_inputs(8).unwrap();
+    let net = BnbNetwork::builder_for(8).unwrap().build();
     for k in 0..40_320u64 {
         let p = Permutation::nth_lexicographic(8, k);
         let out = net.route(&records_for_permutation(&p)).unwrap();
