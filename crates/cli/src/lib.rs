@@ -14,6 +14,8 @@
 //!             [--data-width 0] [--optimize]
 //! bnb engine [--inputs 256] [--workers 4] [--batch 64] [--depth auto|D]
 //!            [--queue 4] [--seed 0] [--pretty] [--metrics text|json]
+//! bnb faults [--inputs 8] [--faults M.I.E:kind,..] [--trials 200] [--seed 0]
+//!            [--sweep 0,1,2,..] [--frames 50] [--metrics text|json]
 //! bnb report
 //! ```
 
@@ -173,6 +175,10 @@ pub fn usage() -> String {
                   print JSON stats ([--inputs 256] [--workers 4] [--batch 64]\n\
                   [--depth auto|D] [--queue 4] [--seed 0] [--pretty]\n\
                   [--metrics text|json])\n\
+       faults     inject hardware faults and report detection coverage\n\
+                  ([--inputs 8] [--faults M.I.E:kind,..] [--trials 200]\n\
+                  [--seed 0] [--sweep 0,1,2,..] [--frames 50]\n\
+                  [--metrics text|json]; kinds: stuck0 stuck1 arbiter link)\n\
        report     the full evaluation report\n\
        help       this text\n"
         .to_string()
@@ -200,6 +206,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "sweep" => cmd_sweep(&flags),
         "diagnose" => cmd_diagnose(&flags),
         "engine" => cmd_engine(&flags),
+        "faults" => cmd_faults(&flags),
         "report" => Ok(report::full_report()),
         other => Err(err(format!("unknown command '{other}'; try 'bnb help'"))),
     }
@@ -602,6 +609,139 @@ fn cmd_engine(flags: &Flags) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parses one `M.I.E:kind` fault spec (e.g. `1.0.3:stuck1`).
+fn parse_fault_spec(spec: &str) -> Result<bnb_core::HardwareFault, CliError> {
+    use bnb_core::{FaultKind, FaultSite};
+    let bad = || {
+        err(format!(
+            "--faults expects M.I.E:kind (kinds: stuck0 stuck1 arbiter link), got '{spec}'"
+        ))
+    };
+    let (site, kind) = spec.split_once(':').ok_or_else(bad)?;
+    let mut parts = site.split('.');
+    let mut field = || -> Result<usize, CliError> {
+        parts
+            .next()
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(bad)
+    };
+    let (main_stage, internal_stage, element) = (field()?, field()?, field()?);
+    if parts.next().is_some() {
+        return Err(bad());
+    }
+    let kind = match kind.trim() {
+        "stuck0" => FaultKind::StuckStraight,
+        "stuck1" => FaultKind::StuckExchange,
+        "arbiter" => FaultKind::DeadArbiter,
+        "link" => FaultKind::BrokenLink,
+        _ => return Err(bad()),
+    };
+    Ok(bnb_core::HardwareFault {
+        site: FaultSite::new(main_stage, internal_stage, element),
+        kind,
+    })
+}
+
+fn cmd_faults(flags: &Flags) -> Result<String, CliError> {
+    use bnb_core::FaultMap;
+    use bnb_sim::faults::{degraded_sweep, hardware_campaign, random_hardware_campaign};
+    use rand::SeedableRng;
+    let n = flags.usize_or("--inputs", 8)?;
+    if !n.is_power_of_two() || !(4..=1 << 16).contains(&n) {
+        return Err(err("--inputs must be a power of two in 4..=65536"));
+    }
+    let m = n.trailing_zeros() as usize;
+    let trials = flags.usize_or("--trials", 200)?;
+    if trials == 0 || trials > 1_000_000 {
+        return Err(err("--trials must be 1..=1000000"));
+    }
+    let frames = flags.usize_or("--frames", 50)?;
+    if frames == 0 || frames > 1_000_000 {
+        return Err(err("--frames must be 1..=1000000"));
+    }
+    let seed = flags.usize_or("--seed", 0)? as u64;
+    let metrics = metrics_flag(flags)?;
+    let map = match flags.value("--faults") {
+        None => None,
+        Some(list) => {
+            let map: FaultMap = list
+                .split(',')
+                .map(parse_fault_spec)
+                .collect::<Result<_, _>>()?;
+            if !map.in_bounds(m) {
+                return Err(err(format!(
+                    "--faults names an element outside the N = {n} topology"
+                )));
+            }
+            Some(map)
+        }
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let counters = Counters::new();
+    let report = match &map {
+        Some(map) => hardware_campaign(m, map, trials, &mut rng, &counters),
+        None => random_hardware_campaign(m, trials, &mut rng, &counters),
+    };
+    let mut out = format!(
+        "hardware-fault campaign: N = {n}, {} per trial, {} trials\n",
+        match &map {
+            Some(map) => format!("{} pinned fault(s)", map.len()),
+            None => "1 random fault".to_string(),
+        },
+        report.trials,
+    );
+    if let Some(map) = &map {
+        for fault in map.iter() {
+            out.push_str(&format!(
+                "  fault: {} at main stage {}, internal stage {}, element {}\n",
+                fault.kind, fault.site.main_stage, fault.site.internal_stage, fault.site.element
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "  strict:     {} detected, {} routed correctly, {} misdelivered\n",
+        report.strict_detected, report.strict_correct, report.strict_misdelivered
+    ));
+    out.push_str(&format!(
+        "  permissive: {} trials misdelivered ({} records total)\n",
+        report.permissive_misdelivered_trials, report.permissive_misdelivered_records
+    ));
+    if let Some(counts) = flags.value("--sweep") {
+        let counts: Vec<usize> = counts
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| err(format!("--sweep expects integers, got {s}")))
+            })
+            .collect::<Result<_, _>>()?;
+        out.push_str("degraded throughput (permissive, random faults):\n");
+        out.push_str("  faults  delivered_fraction\n");
+        for point in degraded_sweep(m, &counts, frames, &mut rng) {
+            out.push_str(&format!(
+                "  {:>6}  {:>10.4}  ({}/{} records over {} frames)\n",
+                point.faults,
+                point.delivered_fraction,
+                point.delivered,
+                point.records,
+                point.frames
+            ));
+        }
+    }
+    match metrics {
+        Some(MetricsFormat::Json) => {
+            let report_json = serde_json::to_string(&report)
+                .map_err(|e| CliError::caused_by("fault report serialization failed", e))?;
+            let metrics_json = bnb_obs::render_json(&counters.snapshot())
+                .map_err(|e| CliError::caused_by("metrics serialization failed", e))?;
+            out.push_str(&format!("{report_json}\n{metrics_json}\n"));
+        }
+        Some(MetricsFormat::Text) => out.push_str(&render_metrics(MetricsFormat::Text, &counters)?),
+        None => {}
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -918,5 +1058,81 @@ mod tests {
         assert!(run_str(&["verilog", "--inputs", "3"]).is_err());
         assert!(run_str(&["verilog", "--component", "nope"]).is_err());
         assert!(run_str(&["verilog", "--data-width", "99"]).is_err());
+    }
+
+    #[test]
+    fn faults_random_campaign_reports_coverage() {
+        let out = run_str(&["faults", "--inputs", "8", "--trials", "40", "--seed", "7"]).unwrap();
+        assert!(out.contains("hardware-fault campaign: N = 8, 1 random fault"));
+        assert!(out.contains("misdelivered"));
+        assert!(
+            out.contains("0 misdelivered"),
+            "strict must never silently misdeliver:\n{out}"
+        );
+    }
+
+    #[test]
+    fn faults_pinned_fault_and_sweep() {
+        let out = run_str(&[
+            "faults",
+            "--inputs",
+            "8",
+            "--faults",
+            "1.0.0:stuck1",
+            "--trials",
+            "30",
+            "--sweep",
+            "0,2",
+            "--frames",
+            "10",
+        ])
+        .unwrap();
+        assert!(out.contains("1 pinned fault(s)"));
+        assert!(out.contains("stuck-exchange at main stage 1, internal stage 0, element 0"));
+        assert!(out.contains("degraded throughput"));
+        assert!(
+            out.contains("1.0000"),
+            "zero faults delivers everything:\n{out}"
+        );
+    }
+
+    #[test]
+    fn faults_metrics_json_emits_report_then_snapshot() {
+        let out = run_str(&[
+            "faults",
+            "--inputs",
+            "8",
+            "--trials",
+            "25",
+            "--seed",
+            "3",
+            "--metrics",
+            "json",
+        ])
+        .unwrap();
+        let lines: Vec<&str> = out.trim_end().lines().collect();
+        let report: bnb_sim::faults::FaultReport =
+            serde_json::from_str(lines[lines.len() - 2]).expect("penultimate line is FaultReport");
+        assert_eq!(report.m, 3);
+        assert_eq!(report.trials, 25);
+        assert_eq!(report.strict_misdelivered, 0);
+        let snapshot: bnb_obs::MetricsSnapshot =
+            serde_json::from_str(lines[lines.len() - 1]).expect("last line is MetricsSnapshot");
+        assert_eq!(
+            snapshot.hardware_faults, report.strict_detected as u64,
+            "counters must agree with the report"
+        );
+    }
+
+    #[test]
+    fn faults_validates_flags() {
+        assert!(run_str(&["faults", "--inputs", "3"]).is_err());
+        assert!(run_str(&["faults", "--trials", "0"]).is_err());
+        assert!(run_str(&["faults", "--faults", "nonsense"]).is_err());
+        assert!(run_str(&["faults", "--faults", "1.0:stuck1"]).is_err());
+        assert!(run_str(&["faults", "--faults", "0.0.0:melted"]).is_err());
+        assert!(run_str(&["faults", "--inputs", "8", "--faults", "9.0.0:link"]).is_err());
+        assert!(run_str(&["faults", "--sweep", "two"]).is_err());
+        assert!(run_str(&["faults", "--metrics", "xml"]).is_err());
     }
 }

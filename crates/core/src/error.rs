@@ -59,6 +59,29 @@ pub enum RouteError {
         /// Number of one-bits observed.
         ones: usize,
     },
+    /// A splitter produced an unbalanced *output* even though its input
+    /// passed the balance check — impossible for healthy hardware (Theorem
+    /// 3 guarantees an even split), so the element itself is at fault: a
+    /// stuck switch, dead arbiter node, or broken control link injected
+    /// through [`FaultMap`]. Reported under [`RoutePolicy::Strict`]
+    /// instead of silently misdelivering.
+    ///
+    /// [`FaultMap`]: crate::fault::FaultMap
+    /// [`RoutePolicy::Strict`]: crate::network::RoutePolicy::Strict
+    HardwareFault {
+        /// Main-network stage of the faulty splitter.
+        main_stage: usize,
+        /// Internal stage of the nested network / bit-sorter.
+        internal_stage: usize,
+        /// First line of the splitter's span (global coordinates).
+        first_line: usize,
+        /// Number of lines in the splitter.
+        width: usize,
+        /// One-bits observed on even output lines (`M_e`).
+        even_ones: usize,
+        /// One-bits observed on odd output lines (`M_o`).
+        odd_ones: usize,
+    },
     /// An underlying topology error (size not a power of two, ...).
     Topology(TopologyError),
 }
@@ -88,6 +111,18 @@ impl fmt::Display for RouteError {
             } => write!(
                 f,
                 "splitter at main stage {main_stage}, internal stage {internal_stage}, lines {first_line}..{} received {ones} ones over {width} lines: input violates the even-split assumption",
+                first_line + width
+            ),
+            RouteError::HardwareFault {
+                main_stage,
+                internal_stage,
+                first_line,
+                width,
+                even_ones,
+                odd_ones,
+            } => write!(
+                f,
+                "hardware fault at main stage {main_stage}, internal stage {internal_stage}, lines {first_line}..{}: balanced input split into {even_ones} even vs {odd_ones} odd ones over {width} lines, violating M_e = M_o",
                 first_line + width
             ),
             RouteError::Topology(e) => write!(f, "topology error: {e}"),
@@ -134,6 +169,20 @@ mod tests {
             second_input: 3,
         };
         assert!(e.to_string().contains("not a permutation"));
+
+        let e = RouteError::HardwareFault {
+            main_stage: 2,
+            internal_stage: 1,
+            first_line: 8,
+            width: 4,
+            even_ones: 2,
+            odd_ones: 0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("hardware fault"));
+        assert!(s.contains("main stage 2"));
+        assert!(s.contains("lines 8..12"));
+        assert!(s.contains("2 even vs 0 odd"));
     }
 
     #[test]

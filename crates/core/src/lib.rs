@@ -28,6 +28,10 @@
 //! - [`partial`] — destination-completion adapter for partial permutations.
 //! - [`diagnose`] — per-splitter conflict detection (the paper's "other
 //!   flags can deal with the conflicts" remark, §4).
+//! - [`fault`] — hardware fault injection ([`fault::FaultMap`]) and
+//!   degraded-mode routing ([`fault::FaultyFabric`]): stuck switches, dead
+//!   arbiters, and broken links, detected via the Definition 3 balance
+//!   invariant under strict policy.
 //! - [`router`] — allocation-free batch routing with reusable buffers,
 //!   generic over a `bnb_obs::Observer` (defaulting to the zero-cost
 //!   `NoopObserver`) for stage-level metrics.
@@ -62,6 +66,7 @@ pub mod delay;
 pub mod diagnose;
 pub mod error;
 pub mod fabric;
+pub mod fault;
 pub mod network;
 pub mod partial;
 pub mod render;
@@ -76,6 +81,7 @@ pub use cost::HardwareCost;
 pub use delay::PropagationDelay;
 pub use error::RouteError;
 pub use fabric::PermutationNetwork;
+pub use fault::{FaultKind, FaultMap, FaultSite, FaultyFabric, HardwareFault};
 pub use network::{BnbNetwork, BnbNetworkBuilder, RoutePolicy, WiringMode};
 pub use router::Router;
 pub use trace::RouteTrace;

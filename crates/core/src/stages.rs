@@ -16,11 +16,12 @@
 
 use std::ops::Range;
 
-use bnb_obs::{ColumnEvent, ConflictEvent, NoopObserver, Observer, SweepEvent};
+use bnb_obs::{ColumnEvent, ConflictEvent, FaultEvent, NoopObserver, Observer, SweepEvent};
 use bnb_topology::bitops::paper_bit;
 use bnb_topology::record::Record;
 
 use crate::error::RouteError;
+use crate::fault::FaultMap;
 use crate::network::{BnbNetwork, RoutePolicy, WiringMode};
 use crate::splitter::{check_balanced, controls_into, SplitterSite};
 
@@ -147,6 +148,51 @@ pub fn route_span_observed<O: Observer>(
     scratch: &mut StageScratch,
     observer: &O,
 ) -> Result<(), RouteError> {
+    route_span_inner(net, lines, first_line, stages, scratch, observer, None)
+}
+
+/// [`route_span_observed`] through damaged hardware: applies the
+/// [`FaultMap`]'s control-plane corruption and, under
+/// [`RoutePolicy::Strict`], re-checks every splitter *output* in a
+/// faulted column against the paper's balance invariant (`M_e = M_o`,
+/// Definition 3; exactly `(0, 1)` for `sp(1)`). Any even split keeps the
+/// Theorem 1/2 induction intact, so a route that passes every check is
+/// correct and the first corrupting element is reported as
+/// [`RouteError::HardwareFault`] (with a [`FaultEvent`] when observing)
+/// — never a silent misdelivery. Permissive routes skip detection and
+/// conserve the record multiset.
+///
+/// An empty map takes exactly the fault-free code path.
+///
+/// # Errors / Panics
+///
+/// [`route_span`]'s contract plus [`RouteError::HardwareFault`] as above.
+pub fn route_span_faulted<O: Observer>(
+    net: &BnbNetwork,
+    lines: &mut [Record],
+    first_line: usize,
+    stages: Range<usize>,
+    scratch: &mut StageScratch,
+    observer: &O,
+    faults: &FaultMap,
+) -> Result<(), RouteError> {
+    let faults = if faults.is_empty() {
+        None
+    } else {
+        Some(faults)
+    };
+    route_span_inner(net, lines, first_line, stages, scratch, observer, faults)
+}
+
+fn route_span_inner<O: Observer>(
+    net: &BnbNetwork,
+    lines: &mut [Record],
+    first_line: usize,
+    stages: Range<usize>,
+    scratch: &mut StageScratch,
+    observer: &O,
+    faults: Option<&FaultMap>,
+) -> Result<(), RouteError> {
     let observing = observer.enabled();
     let m = net.m();
     let span = lines.len();
@@ -165,6 +211,7 @@ pub fn route_span_observed<O: Observer>(
         for internal in 0..k {
             let box_size = 1usize << (k - internal);
             let mut exchanges = 0u64;
+            let column_faults = faults.filter(|f| f.affects(main_stage, internal));
             for start in (0..span).step_by(box_size) {
                 scratch.bits.clear();
                 scratch.bits.extend(
@@ -195,7 +242,19 @@ pub fn route_span_observed<O: Observer>(
                         return Err(err);
                     }
                 }
+                if let Some(map) = column_faults {
+                    map.tap_bits(main_stage, internal, first_line + start, &mut scratch.bits);
+                }
                 controls_into(&scratch.bits, &mut scratch.up, &mut scratch.flags);
+                if let Some(map) = column_faults {
+                    map.override_flags(
+                        main_stage,
+                        internal,
+                        first_line + start,
+                        &scratch.bits,
+                        &mut scratch.flags,
+                    );
+                }
                 if observing {
                     for (t, &c) in scratch.flags.iter().enumerate() {
                         if c {
@@ -215,6 +274,49 @@ pub fn route_span_observed<O: Observer>(
                         if c {
                             lines.swap(start + 2 * t, start + 2 * t + 1);
                         }
+                    }
+                }
+                // Fault detection: a healthy splitter on a checked input
+                // always splits evenly (Theorem 3), so an unbalanced
+                // *output* in a faulted column pins the corruption to this
+                // box; any balanced output is a valid split and the route
+                // stays correct.
+                if strict && column_faults.is_some() {
+                    let mut even_ones = 0usize;
+                    let mut odd_ones = 0usize;
+                    for (off, r) in lines[start..start + box_size].iter().enumerate() {
+                        if paper_bit(m, r.dest(), main_stage) {
+                            if off % 2 == 0 {
+                                even_ones += 1;
+                            } else {
+                                odd_ones += 1;
+                            }
+                        }
+                    }
+                    let balanced = if box_size == 2 {
+                        even_ones == 0 && odd_ones == 1
+                    } else {
+                        even_ones == odd_ones
+                    };
+                    if !balanced {
+                        if observing {
+                            observer.hardware_fault(FaultEvent {
+                                main_stage,
+                                internal_stage: internal,
+                                first_line: first_line + start,
+                                width: box_size,
+                                even_ones,
+                                odd_ones,
+                            });
+                        }
+                        return Err(RouteError::HardwareFault {
+                            main_stage,
+                            internal_stage: internal,
+                            first_line: first_line + start,
+                            width: box_size,
+                            even_ones,
+                            odd_ones,
+                        });
                     }
                 }
             }

@@ -31,13 +31,16 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use bnb_core::error::RouteError;
+use bnb_core::fault::FaultMap;
 use bnb_core::network::BnbNetwork;
-use bnb_core::stages::{route_span_observed, validate_lines, StageScratch};
-use bnb_obs::{DrainEvent, NoopObserver, Observer, ShardEvent, SubmitEvent};
+use bnb_core::stages::{route_span_faulted, route_span_observed, validate_lines, StageScratch};
+use bnb_obs::{DrainEvent, NoopObserver, Observer, RetryEvent, ShardEvent, SubmitEvent};
 use bnb_topology::record::Record;
 
+use crate::error::EngineError;
 use crate::hub::{CloseGuard, Hub, Job, JobLatch, SliceTask, Work};
 use crate::stats::{EngineStats, LatencySummary, WorkerMetrics};
 
@@ -83,6 +86,91 @@ impl EngineConfig {
             workers,
             ..Self::default()
         }
+    }
+}
+
+/// Retry budget for batches hitting hardware faults in
+/// [`Engine::run_faulted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total route attempts per batch (the initial try plus retries,
+    /// minimum 1).
+    pub max_attempts: usize,
+    /// Base backoff slept before retry `k` is `backoff * 2^(k-1)`
+    /// (exponential; `Duration::ZERO` disables sleeping).
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::from_micros(50),
+        }
+    }
+}
+
+/// Per-fabric-shard fault assignment for [`Engine::run_faulted`]: shard
+/// `i` routes through `FaultMap` `i`, and a batch that detects a hardware
+/// fault is retried on the next shard (round-robin) under the
+/// [`RetryPolicy`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    shards: Vec<FaultMap>,
+    retry: RetryPolicy,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::healthy(1)
+    }
+}
+
+impl FaultPlan {
+    /// A plan with one fault map per fabric shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty.
+    pub fn new(shards: Vec<FaultMap>, retry: RetryPolicy) -> Self {
+        assert!(!shards.is_empty(), "a fault plan needs at least one shard");
+        FaultPlan { shards, retry }
+    }
+
+    /// Every shard healthy (routing is then identical to [`Engine::run`]).
+    pub fn healthy(shards: usize) -> Self {
+        FaultPlan::new(vec![FaultMap::new(); shards.max(1)], RetryPolicy::default())
+    }
+
+    /// The same faults on every shard (no healthy shard to retry onto).
+    pub fn uniform(faults: FaultMap, shards: usize) -> Self {
+        FaultPlan::new(vec![faults; shards.max(1)], RetryPolicy::default())
+    }
+
+    /// Replaces the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Number of fabric shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard `i`'s fault map (wrapping).
+    pub fn shard(&self, i: usize) -> &FaultMap {
+        &self.shards[i % self.shards.len()]
+    }
+
+    /// The retry policy.
+    pub fn retry(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Whether every shard is fault-free.
+    pub fn is_healthy(&self) -> bool {
+        self.shards.iter().all(FaultMap::is_empty)
     }
 }
 
@@ -183,6 +271,52 @@ impl<O: Observer> Engine<O> {
                 observer,
             };
             // Closes the hub even if `f` panics, so the scope can join.
+            let _guard = CloseGuard(&hub);
+            f(&handle)
+        })
+    }
+
+    /// [`Engine::run`] over damaged hardware: each worker owns a fabric
+    /// shard whose [`FaultMap`] comes from `plan`, and a batch that
+    /// detects a hardware fault is retried on the next shard
+    /// (round-robin) with exponential backoff, up to the plan's
+    /// [`RetryPolicy`] budget. Exhausted batches drain as
+    /// [`EngineError::Quarantined`] with the fault site in the
+    /// [`source`](std::error::Error::source) chain; batches that land on
+    /// a healthy (or harmlessly faulted) shard route byte-identically to
+    /// the sequential route.
+    ///
+    /// Faulted mode routes each attempt sequentially on the owning
+    /// worker (no intra-batch slice splitting), so which faults a batch
+    /// meets depends only on its owner and attempt number — deterministic
+    /// per shard assignment, not per scheduling accident. A fully healthy
+    /// plan delegates to [`Engine::run`] unchanged.
+    pub fn run_faulted<R>(&self, plan: &FaultPlan, f: impl FnOnce(&EngineHandle<'_, O>) -> R) -> R {
+        if plan.is_healthy() {
+            return self.run(f);
+        }
+        let workers = self.config.workers.max(1);
+        let hub = Hub::new(self.config.queue_capacity);
+        let counters: Vec<WorkerCounters> =
+            (0..workers).map(|_| WorkerCounters::default()).collect();
+        let started = Instant::now();
+        let network = self.network;
+        let observer = &self.observer;
+        thread::scope(|s| {
+            let hub_ref = &hub;
+            for (worker, slot) in counters.iter().enumerate() {
+                s.spawn(move || {
+                    worker_loop_faulted(hub_ref, network, slot, observer, plan, worker)
+                });
+            }
+            let handle = EngineHandle {
+                hub: &hub,
+                counters: &counters,
+                workers,
+                depth: 0,
+                started,
+                observer,
+            };
             let _guard = CloseGuard(&hub);
             f(&handle)
         })
@@ -325,6 +459,155 @@ fn worker_loop<O: Observer>(
     }
 }
 
+fn worker_loop_faulted<O: Observer>(
+    hub: &Hub,
+    net: BnbNetwork,
+    counters: &WorkerCounters,
+    observer: &O,
+    plan: &FaultPlan,
+    worker: usize,
+) {
+    let mut ctx = WorkerCtx {
+        scratch: StageScratch::with_capacity(net.inputs()),
+        seen: Vec::new(),
+        latch: Arc::new(JobLatch::new(0)),
+    };
+    // Per-attempt working copy of the batch: a failed attempt leaves
+    // partially routed lines behind, so every attempt restarts from the
+    // submitted order. Reused across batches.
+    let mut attempt_buf: Vec<Record> = Vec::with_capacity(net.inputs());
+    while let Some(work) = hub.next_work() {
+        let t0 = Instant::now();
+        match work {
+            // Faulted mode never splits batches, so no slice tasks are
+            // produced; drain any defensively the same way `worker_loop`
+            // would.
+            Work::Task(task) => {
+                counters.tasks_stolen.fetch_add(1, Ordering::Relaxed);
+                run_task(hub, task, &mut ctx, observer);
+            }
+            Work::Job(job) => {
+                counters.jobs_owned.fetch_add(1, Ordering::Relaxed);
+                process_job_faulted(
+                    hub,
+                    job,
+                    net,
+                    &mut ctx,
+                    &mut attempt_buf,
+                    observer,
+                    plan,
+                    worker,
+                );
+            }
+        }
+        counters
+            .busy_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Routes one batch through the faulted fabric: attempt `k` runs on shard
+/// `(worker + k) % plan.shards()`, hardware faults trigger a retry on the
+/// next shard after exponential backoff, and an exhausted budget
+/// publishes [`EngineError::Quarantined`]. Non-fault errors (validation,
+/// unbalanced traffic) are terminal immediately — retrying cannot fix the
+/// input.
+#[allow(clippy::too_many_arguments)]
+fn process_job_faulted<O: Observer>(
+    hub: &Hub,
+    mut job: Job,
+    net: BnbNetwork,
+    ctx: &mut WorkerCtx,
+    attempt_buf: &mut Vec<Record>,
+    observer: &O,
+    plan: &FaultPlan,
+    worker: usize,
+) {
+    let observing = observer.enabled();
+    let records = job.lines.len();
+    if let Err(e) = validate_lines(&net, &job.lines, &mut ctx.seen) {
+        finish_observed(
+            hub,
+            job.seq,
+            job.submitted_at,
+            Err(EngineError::batch(job.seq, e)),
+            0,
+            observing,
+            observer,
+        );
+        return;
+    }
+    let attempts = plan.retry().max_attempts.max(1);
+    let mut last_fault = None;
+    for attempt in 0..attempts {
+        let shard = (worker + attempt) % plan.shards();
+        if attempt > 0 {
+            let backoff = plan
+                .retry()
+                .backoff
+                .saturating_mul(1u32 << (attempt - 1).min(16) as u32);
+            if !backoff.is_zero() {
+                thread::sleep(backoff);
+            }
+            if observing {
+                observer.batch_retried(RetryEvent {
+                    seq: job.seq,
+                    attempt,
+                    shard,
+                });
+            }
+        }
+        attempt_buf.clear();
+        attempt_buf.extend_from_slice(&job.lines);
+        match route_span_faulted(
+            &net,
+            attempt_buf,
+            0,
+            0..net.m(),
+            &mut ctx.scratch,
+            observer,
+            plan.shard(shard),
+        ) {
+            Ok(()) => {
+                job.lines.copy_from_slice(attempt_buf);
+                finish_observed(
+                    hub,
+                    job.seq,
+                    job.submitted_at,
+                    Ok(job.lines),
+                    records,
+                    observing,
+                    observer,
+                );
+                return;
+            }
+            Err(e @ RouteError::HardwareFault { .. }) => last_fault = Some(e),
+            Err(e) => {
+                finish_observed(
+                    hub,
+                    job.seq,
+                    job.submitted_at,
+                    Err(EngineError::batch(job.seq, e)),
+                    0,
+                    observing,
+                    observer,
+                );
+                return;
+            }
+        }
+    }
+    let source = last_fault.expect("the attempt loop ran and only exits early on success");
+    finish_observed(
+        hub,
+        job.seq,
+        job.submitted_at,
+        Err(EngineError::quarantined(job.seq, attempts, source)),
+        0,
+        observing,
+        observer,
+    );
+}
+
 /// The [`ShardEvent`] describing a queued slice task.
 fn shard_event(task: &SliceTask) -> ShardEvent {
     ShardEvent {
@@ -352,7 +635,7 @@ fn process_job<O: Observer>(
             hub,
             job.seq,
             job.submitted_at,
-            Err(e),
+            Err(EngineError::batch(job.seq, e)),
             0,
             observing,
             observer,
@@ -406,7 +689,7 @@ fn process_job<O: Observer>(
         hub,
         job.seq,
         job.submitted_at,
-        result,
+        result.map_err(|e| EngineError::batch(job.seq, e)),
         records,
         observing,
         observer,
@@ -421,7 +704,7 @@ fn finish_observed<O: Observer>(
     hub: &Hub,
     seq: u64,
     submitted_at: Instant,
-    result: Result<Vec<Record>, bnb_core::error::RouteError>,
+    result: Result<Vec<Record>, EngineError>,
     records: usize,
     observing: bool,
     observer: &O,
@@ -734,6 +1017,149 @@ mod tests {
         let sweeps_per_route = (n * m - n + 1) as u64;
         assert_eq!(snap.arbiter_sweeps, 3 * sweeps_per_route);
         assert_eq!(snap.shards_enqueued, 0, "depth 0 never splits");
+    }
+
+    /// Finds a permutation the given fault corrupts (strict route returns
+    /// `HardwareFault`) and one it leaves alone, by scanning seeded
+    /// random permutations on a sequential `FaultyFabric`.
+    fn fault_sensitive_perms(
+        net: BnbNetwork,
+        faults: &FaultMap,
+        seed: u64,
+    ) -> (Vec<Record>, Vec<Record>) {
+        use bnb_core::fault::FaultyFabric;
+        let n = net.inputs();
+        let mut fabric = FaultyFabric::new(net, faults.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bad = None;
+        let mut good = None;
+        for _ in 0..200 {
+            let lines = records_for_permutation(&Permutation::random(n, &mut rng));
+            match fabric.route(&lines) {
+                Ok(_) if good.is_none() => good = Some(lines),
+                Err(bnb_core::RouteError::HardwareFault { .. }) if bad.is_none() => {
+                    bad = Some(lines)
+                }
+                _ => {}
+            }
+            if bad.is_some() && good.is_some() {
+                break;
+            }
+        }
+        (
+            bad.expect("no permutation triggered the fault"),
+            good.expect("every permutation triggered the fault"),
+        )
+    }
+
+    fn stuck_map() -> FaultMap {
+        use bnb_core::fault::{FaultKind, FaultSite};
+        FaultMap::single(FaultSite::new(0, 0, 0), FaultKind::StuckExchange)
+    }
+
+    /// A healthy plan is exactly `run`: byte-identical results.
+    #[test]
+    fn healthy_plan_matches_run() {
+        let net = BnbNetwork::new(3);
+        let engine = Engine::new(net, EngineConfig::with_workers(2));
+        let p = Permutation::try_from(vec![7, 6, 5, 4, 3, 2, 1, 0]).unwrap();
+        let expected = net.route(&records_for_permutation(&p)).unwrap();
+        let plan = FaultPlan::healthy(2);
+        let routed = engine.run_faulted(&plan, |h| {
+            h.submit(records_for_permutation(&p));
+            h.drain().unwrap()
+        });
+        assert_eq!(routed.result.unwrap(), expected);
+    }
+
+    /// With every shard faulted identically, a fault-triggering batch
+    /// exhausts its budget and drains as `Quarantined`, fault site in the
+    /// cause chain; untouched batches still route correctly.
+    #[test]
+    fn uniform_faults_quarantine_after_retries() {
+        use std::error::Error as _;
+        let net = BnbNetwork::new(3);
+        let map = stuck_map();
+        let (bad, good) = fault_sensitive_perms(net, &map, 40);
+        let expected_good = net.route(&good).unwrap();
+        let engine = Engine::new(net, EngineConfig::with_workers(2));
+        let plan = FaultPlan::uniform(map, 2).with_retry(RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::from_micros(1),
+        });
+        let (first, second) = engine.run_faulted(&plan, |h| {
+            h.submit(bad.clone());
+            h.submit(good.clone());
+            (h.drain().unwrap(), h.drain().unwrap())
+        });
+        let err = first.result.unwrap_err();
+        assert_eq!(err.seq(), 0);
+        assert!(matches!(err, EngineError::Quarantined { attempts: 3, .. }));
+        assert!(matches!(
+            err.route_error(),
+            RouteError::HardwareFault { main_stage: 0, .. }
+        ));
+        let cause = err.source().expect("quarantine carries the fault");
+        assert!(cause.to_string().contains("hardware fault"));
+        assert_eq!(second.result.unwrap(), expected_good);
+    }
+
+    /// One worker, shard 0 faulted and shard 1 healthy: the first attempt
+    /// fails, the retry lands on the healthy shard, and the batch drains
+    /// successfully — with the retry visible to the observer.
+    #[test]
+    fn retry_moves_batches_onto_healthy_shards() {
+        use bnb_obs::Counters;
+        let counters = Counters::new();
+        let net = BnbNetwork::new(3);
+        let map = stuck_map();
+        let (bad, _) = fault_sensitive_perms(net, &map, 41);
+        let expected = net.route(&bad).unwrap();
+        let engine = Engine::with_observer(net, EngineConfig::with_workers(1), &counters);
+        let plan = FaultPlan::new(
+            vec![map, FaultMap::new()],
+            RetryPolicy {
+                max_attempts: 2,
+                backoff: Duration::ZERO,
+            },
+        );
+        let routed = engine.run_faulted(&plan, |h| {
+            h.submit(bad.clone());
+            h.drain().unwrap()
+        });
+        assert_eq!(routed.result.unwrap(), expected);
+        let snap = counters.snapshot();
+        assert_eq!(snap.fault_retries, 1, "exactly one retry");
+        assert_eq!(snap.hardware_faults, 1, "the first attempt's detection");
+        assert_eq!(snap.batch_errors, 0, "the batch ultimately succeeded");
+    }
+
+    /// Non-hardware errors are terminal on the first attempt: retrying
+    /// cannot fix bad traffic, and the error stays a plain `Batch`.
+    #[test]
+    fn traffic_errors_are_not_retried() {
+        use bnb_obs::Counters;
+        let counters = Counters::new();
+        let net = BnbNetwork::new(2);
+        let engine = Engine::with_observer(net, EngineConfig::with_workers(1), &counters);
+        let plan = FaultPlan::uniform(stuck_map(), 2);
+        let dup = vec![
+            Record::new(1, 0),
+            Record::new(1, 1),
+            Record::new(2, 2),
+            Record::new(3, 3),
+        ];
+        let routed = engine.run_faulted(&plan, |h| {
+            h.submit(dup);
+            h.drain().unwrap()
+        });
+        let err = routed.result.unwrap_err();
+        assert!(matches!(err, EngineError::Batch { .. }));
+        assert!(matches!(
+            err.route_error(),
+            RouteError::DuplicateDestination { dest: 1, .. }
+        ));
+        assert_eq!(counters.snapshot().fault_retries, 0);
     }
 
     #[test]

@@ -32,6 +32,20 @@ pub enum EngineError {
         /// The routing failure.
         source: RouteError,
     },
+    /// A batch that kept hitting hardware faults until its retry budget
+    /// was exhausted (the engine's retry-with-quarantine path). `source`
+    /// is the [`RouteError::HardwareFault`] from the final attempt, so
+    /// walking [`source`](Error::source) reaches the fault site.
+    ///
+    /// [`RouteError::HardwareFault`]: bnb_core::RouteError::HardwareFault
+    Quarantined {
+        /// The batch's submission sequence number.
+        seq: u64,
+        /// Route attempts made (the initial try plus every retry).
+        attempts: usize,
+        /// The hardware fault detected on the final attempt.
+        source: RouteError,
+    },
 }
 
 impl EngineError {
@@ -40,24 +54,33 @@ impl EngineError {
         EngineError::Batch { seq, source }
     }
 
+    /// Wraps a fault that survived `attempts` tries for batch `seq`.
+    pub fn quarantined(seq: u64, attempts: usize, source: RouteError) -> Self {
+        EngineError::Quarantined {
+            seq,
+            attempts,
+            source,
+        }
+    }
+
     /// The failing batch's sequence number.
     pub fn seq(&self) -> u64 {
         match self {
-            EngineError::Batch { seq, .. } => *seq,
+            EngineError::Batch { seq, .. } | EngineError::Quarantined { seq, .. } => *seq,
         }
     }
 
     /// The underlying routing failure.
     pub fn route_error(&self) -> &RouteError {
         match self {
-            EngineError::Batch { source, .. } => source,
+            EngineError::Batch { source, .. } | EngineError::Quarantined { source, .. } => source,
         }
     }
 
     /// Unwraps into the underlying routing failure.
     pub fn into_route_error(self) -> RouteError {
         match self {
-            EngineError::Batch { source, .. } => source,
+            EngineError::Batch { source, .. } | EngineError::Quarantined { source, .. } => source,
         }
     }
 }
@@ -66,6 +89,10 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::Batch { seq, .. } => write!(f, "batch {seq} failed to route"),
+            EngineError::Quarantined { seq, attempts, .. } => write!(
+                f,
+                "batch {seq} quarantined after {attempts} attempts on faulted fabric"
+            ),
         }
     }
 }
@@ -73,7 +100,9 @@ impl fmt::Display for EngineError {
 impl Error for EngineError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            EngineError::Batch { source, .. } => Some(source),
+            EngineError::Batch { source, .. } | EngineError::Quarantined { source, .. } => {
+                Some(source)
+            }
         }
     }
 }
@@ -111,6 +140,26 @@ mod tests {
             depth += 1;
         }
         assert_eq!(depth, 2, "EngineError -> RouteError -> TopologyError");
+    }
+
+    #[test]
+    fn quarantined_chain_carries_the_fault_site() {
+        let fault = RouteError::HardwareFault {
+            main_stage: 0,
+            internal_stage: 1,
+            first_line: 4,
+            width: 4,
+            even_ones: 2,
+            odd_ones: 0,
+        };
+        let err = EngineError::quarantined(9, 3, fault.clone());
+        assert_eq!(err.seq(), 9);
+        assert_eq!(err.route_error(), &fault);
+        assert!(err.to_string().contains("quarantined after 3 attempts"));
+        let source = err.source().expect("must expose the fault");
+        assert!(source.to_string().contains("hardware fault"));
+        assert!(source.to_string().contains("internal stage 1"));
+        assert_eq!(err.into_route_error(), fault);
     }
 
     #[test]

@@ -74,6 +74,12 @@ fn site_rank(e: &RouteError) -> (usize, usize, usize) {
             internal_stage,
             first_line,
             ..
+        }
+        | RouteError::HardwareFault {
+            main_stage,
+            internal_stage,
+            first_line,
+            ..
         } => (*main_stage, *internal_stage, *first_line),
         // Other variants are caught by validation before any slice runs;
         // rank them first defensively.
@@ -278,12 +284,18 @@ impl Hub {
         Some(batch)
     }
 
-    /// Publishes a finished batch and updates the counters. Routing
-    /// failures are wrapped into [`EngineError`] here, so the drained
-    /// batch carries the full batch-level cause chain.
-    pub fn finish(&self, seq: u64, submitted_at: Instant, result: Result<Vec<Record>, RouteError>) {
+    /// Publishes a finished batch and updates the counters. The caller
+    /// wraps routing failures into the appropriate [`EngineError`]
+    /// variant ([`EngineError::batch`] on the normal path,
+    /// [`EngineError::quarantined`] on the faulted-retry path), so the
+    /// drained batch carries the full batch-level cause chain.
+    pub fn finish(
+        &self,
+        seq: u64,
+        submitted_at: Instant,
+        result: Result<Vec<Record>, EngineError>,
+    ) {
         let latency_ns = submitted_at.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-        let result = result.map_err(|e| EngineError::batch(seq, e));
         let mut st = self.state.lock().unwrap();
         st.batches += 1;
         match &result {

@@ -25,6 +25,12 @@
 //!   zero-cost noop): [`Engine::with_observer`] streams submit/drain,
 //!   shard hand-off, column and arbiter-sweep events to any sink, e.g. a
 //!   lock-free `bnb_obs::Counters`.
+//! - [`Engine::run_faulted`] routes through damaged hardware: a
+//!   [`FaultPlan`] assigns a `bnb_core::fault::FaultMap` to each fabric
+//!   shard, batches hitting a detected fault are retried on the next
+//!   shard with exponential backoff ([`RetryPolicy`]), and exhausted
+//!   retries drain as [`EngineError::Quarantined`] with the fault site in
+//!   the `source()` chain.
 //!
 //! See [`bnb_core::stages`] for the slice-independence argument and
 //! `DESIGN.md` for how this mirrors the paper's arbiter locality.
@@ -34,6 +40,8 @@ pub mod error;
 mod hub;
 pub mod stats;
 
-pub use engine::{Engine, EngineConfig, EngineHandle, RoutedBatch, ShardDepth};
+pub use engine::{
+    Engine, EngineConfig, EngineHandle, FaultPlan, RetryPolicy, RoutedBatch, ShardDepth,
+};
 pub use error::EngineError;
 pub use stats::{EngineStats, LatencyHistogram, LatencySummary, WorkerMetrics, HISTOGRAM_BUCKETS};

@@ -10,7 +10,8 @@
 //! monitoring.
 
 use crate::event::{
-    ColumnEvent, ConflictEvent, DrainEvent, RoundEvent, ShardEvent, SubmitEvent, SweepEvent,
+    ColumnEvent, ConflictEvent, DrainEvent, FaultEvent, RetryEvent, RoundEvent, ShardEvent,
+    SubmitEvent, SweepEvent,
 };
 use crate::histogram::{AtomicHistogram, LatencyHistogram, LatencySummary};
 use crate::observer::Observer;
@@ -51,6 +52,8 @@ struct Shard {
     scheduler_rounds: AtomicU64,
     records_matched: AtomicU64,
     max_round_backlog: AtomicU64,
+    hardware_faults: AtomicU64,
+    fault_retries: AtomicU64,
     stage_columns: [AtomicU64; MAX_STAGES],
     stage_exchanges: [AtomicU64; MAX_STAGES],
     stage_sweeps: [AtomicU64; MAX_STAGES],
@@ -74,6 +77,8 @@ impl Shard {
             scheduler_rounds: AtomicU64::new(0),
             records_matched: AtomicU64::new(0),
             max_round_backlog: AtomicU64::new(0),
+            hardware_faults: AtomicU64::new(0),
+            fault_retries: AtomicU64::new(0),
             stage_columns: zeroes(),
             stage_exchanges: zeroes(),
             stage_sweeps: zeroes(),
@@ -181,6 +186,8 @@ impl Counters {
             scheduler_rounds: self.sum(|s| &s.scheduler_rounds),
             records_matched: self.sum(|s| &s.records_matched),
             max_round_backlog: self.max(|s| &s.max_round_backlog),
+            hardware_faults: self.sum(|s| &s.hardware_faults),
+            fault_retries: self.sum(|s| &s.fault_retries),
             per_stage,
             latency: LatencySummary::from_histogram(&histogram),
             histogram,
@@ -256,6 +263,16 @@ impl Observer for Counters {
             .max_round_backlog
             .fetch_max(event.backlog as u64, Ordering::Relaxed);
     }
+
+    #[inline]
+    fn hardware_fault(&self, _event: FaultEvent) {
+        self.shard().hardware_faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn batch_retried(&self, _event: RetryEvent) {
+        self.shard().fault_retries.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Per-main-stage counter totals.
@@ -302,6 +319,10 @@ pub struct MetricsSnapshot {
     pub records_matched: u64,
     /// Largest post-round backlog observed.
     pub max_round_backlog: u64,
+    /// Hardware faults detected by the output balance check.
+    pub hardware_faults: u64,
+    /// Batch retries on alternate fabric shards after a fault.
+    pub fault_retries: u64,
     /// Per-main-stage breakdown (trailing all-zero stages trimmed).
     pub per_stage: Vec<StageMetrics>,
     /// Latency quantiles over all recorded spans/batch drains.
@@ -399,6 +420,32 @@ mod tests {
         assert_eq!(snap.scheduler_rounds, 2);
         assert_eq!(snap.records_matched, 12);
         assert_eq!(snap.max_round_backlog, 11);
+    }
+
+    #[test]
+    fn fault_events_are_counted() {
+        let c = Counters::new();
+        c.hardware_fault(FaultEvent {
+            main_stage: 1,
+            internal_stage: 0,
+            first_line: 4,
+            width: 4,
+            even_ones: 2,
+            odd_ones: 0,
+        });
+        c.batch_retried(RetryEvent {
+            seq: 3,
+            attempt: 1,
+            shard: 1,
+        });
+        c.batch_retried(RetryEvent {
+            seq: 3,
+            attempt: 2,
+            shard: 0,
+        });
+        let snap = c.snapshot();
+        assert_eq!(snap.hardware_faults, 1);
+        assert_eq!(snap.fault_retries, 2);
     }
 
     #[test]

@@ -93,6 +93,38 @@ pub struct DrainEvent {
     pub ok: bool,
 }
 
+/// A hardware fault detected mid-route: a splitter in a faulted column
+/// produced an unbalanced *output* (`M_e != M_o`), which healthy hardware
+/// cannot do on a checked input (Theorem 3). Accompanies every
+/// `RouteError::HardwareFault`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Main-network stage of the faulty splitter.
+    pub main_stage: usize,
+    /// Column within the stage's nested networks.
+    pub internal_stage: usize,
+    /// Global line coordinate of the splitter's first line.
+    pub first_line: usize,
+    /// Splitter width.
+    pub width: usize,
+    /// One-bits observed on even output lines (`M_e`).
+    pub even_ones: usize,
+    /// One-bits observed on odd output lines (`M_o`).
+    pub odd_ones: usize,
+}
+
+/// A batch being retried on another fabric shard after a hardware fault
+/// (the engine's retry-with-quarantine path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryEvent {
+    /// Submission sequence number of the retried batch.
+    pub seq: u64,
+    /// Retry attempt number (1 = first retry).
+    pub attempt: usize,
+    /// Fabric shard the attempt runs on.
+    pub shard: usize,
+}
+
 /// One input-queued-switch scheduler round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RoundEvent {
@@ -118,6 +150,8 @@ mod tests {
         assert_copy::<SubmitEvent>();
         assert_copy::<DrainEvent>();
         assert_copy::<RoundEvent>();
+        assert_copy::<FaultEvent>();
+        assert_copy::<RetryEvent>();
         assert!(std::mem::size_of::<ColumnEvent>() <= 48);
     }
 

@@ -39,6 +39,8 @@ pub fn render_text(snapshot: &MetricsSnapshot) -> String {
     line("scheduler_rounds", snapshot.scheduler_rounds);
     line("records_matched", snapshot.records_matched);
     line("max_round_backlog", snapshot.max_round_backlog);
+    line("hardware_faults", snapshot.hardware_faults);
+    line("fault_retries", snapshot.fault_retries);
     if !snapshot.per_stage.is_empty() {
         let _ = writeln!(
             out,
@@ -119,6 +121,8 @@ mod tests {
         let text = render_text(&sample());
         assert!(text.contains("columns                1"));
         assert!(text.contains("arbiter_sweeps         1"));
+        assert!(text.contains("hardware_faults        0"));
+        assert!(text.contains("fault_retries          0"));
         assert!(text.contains("stage 0"));
         assert!(text.contains("stage 1"));
         assert!(text.contains("latency_ns"));

@@ -63,7 +63,8 @@ pub mod timer;
 
 pub use counters::{Counters, MetricsSnapshot, StageMetrics};
 pub use event::{
-    ColumnEvent, ConflictEvent, DrainEvent, RoundEvent, ShardEvent, SubmitEvent, SweepEvent,
+    ColumnEvent, ConflictEvent, DrainEvent, FaultEvent, RetryEvent, RoundEvent, ShardEvent,
+    SubmitEvent, SweepEvent,
 };
 pub use export::{render_json, render_json_pretty, render_text};
 pub use histogram::{AtomicHistogram, LatencyHistogram, LatencySummary, HISTOGRAM_BUCKETS};

@@ -1,7 +1,8 @@
 //! The [`Observer`] trait and the zero-cost [`NoopObserver`].
 
 use crate::event::{
-    ColumnEvent, ConflictEvent, DrainEvent, RoundEvent, ShardEvent, SubmitEvent, SweepEvent,
+    ColumnEvent, ConflictEvent, DrainEvent, FaultEvent, RetryEvent, RoundEvent, ShardEvent,
+    SubmitEvent, SweepEvent,
 };
 
 /// Sink for routing-layer events.
@@ -93,6 +94,18 @@ pub trait Observer: Send + Sync {
     fn scheduler_round(&self, event: RoundEvent) {
         let _ = event;
     }
+
+    /// A hardware fault was detected by the output balance check.
+    #[inline]
+    fn hardware_fault(&self, event: FaultEvent) {
+        let _ = event;
+    }
+
+    /// A batch is being retried on another fabric shard after a fault.
+    #[inline]
+    fn batch_retried(&self, event: RetryEvent) {
+        let _ = event;
+    }
 }
 
 /// The default observer: observes nothing, costs nothing.
@@ -155,6 +168,16 @@ impl<O: Observer + ?Sized> Observer for &O {
     #[inline]
     fn scheduler_round(&self, event: RoundEvent) {
         (**self).scheduler_round(event);
+    }
+
+    #[inline]
+    fn hardware_fault(&self, event: FaultEvent) {
+        (**self).hardware_fault(event);
+    }
+
+    #[inline]
+    fn batch_retried(&self, event: RetryEvent) {
+        (**self).batch_retried(event);
     }
 }
 

@@ -6,9 +6,18 @@
 //! addresses — and classifies how the network reacts under the strict and
 //! permissive policies, demonstrating that the library never *silently*
 //! mis-routes when asked to validate.
+//!
+//! It also runs *hardware*-fault campaigns over `bnb_core::fault`: stuck
+//! switches, dead arbiters, and broken links injected through a
+//! [`FaultMap`] into a [`FaultyFabric`], classified with the same
+//! [`Outcome`] vocabulary ([`Outcome::DetectedHardware`] for the output
+//! balance check), summarized as a serializable [`FaultReport`], and
+//! measured as degraded delivered throughput ([`degraded_sweep`]).
 
 use bnb_core::error::RouteError;
+use bnb_core::fault::{FaultKind, FaultMap, FaultSite, FaultyFabric};
 use bnb_core::network::{BnbNetwork, RoutePolicy};
+use bnb_obs::Observer;
 use bnb_topology::perm::Permutation;
 use bnb_topology::record::{records_for_permutation, Record};
 use rand::{Rng, RngExt};
@@ -42,6 +51,15 @@ pub enum Outcome {
         /// Main-network stage of the detecting splitter.
         main_stage: usize,
         /// Internal stage of the detecting splitter.
+        internal_stage: usize,
+    },
+    /// The fault was caught mid-route by the hardware output-balance
+    /// check (`RouteError::HardwareFault`): a splitter split a balanced
+    /// input unevenly, which healthy hardware cannot do.
+    DetectedHardware {
+        /// Main-network stage of the faulty splitter.
+        main_stage: usize,
+        /// Internal stage of the faulty splitter.
         internal_stage: usize,
     },
     /// The network routed the traffic; `misdelivered` records did not land
@@ -94,6 +112,228 @@ pub fn classify(network: &BnbNetwork, records: &[Record]) -> Outcome {
     }
 }
 
+/// Routes traffic through a (possibly faulted) [`FaultyFabric`] and
+/// classifies the outcome with the same vocabulary as [`classify`].
+pub fn classify_faulted<O: Observer>(fabric: &mut FaultyFabric<O>, records: &[Record]) -> Outcome {
+    match fabric.route(records) {
+        Ok(out) => Outcome::Routed {
+            misdelivered: out
+                .iter()
+                .enumerate()
+                .filter(|(j, r)| r.dest() != *j)
+                .count(),
+        },
+        Err(RouteError::HardwareFault {
+            main_stage,
+            internal_stage,
+            ..
+        }) => Outcome::DetectedHardware {
+            main_stage,
+            internal_stage,
+        },
+        Err(RouteError::UnbalancedSplitter {
+            main_stage,
+            internal_stage,
+            ..
+        }) => Outcome::DetectedAtSplitter {
+            main_stage,
+            internal_stage,
+        },
+        Err(e) => Outcome::DetectedAtInput(e.to_string()),
+    }
+}
+
+/// Draws a uniformly random hardware fault for an `N = 2^m` network: a
+/// random column, kind, and in-bounds element.
+pub fn random_hardware_fault<R: Rng + ?Sized>(m: usize, rng: &mut R) -> (FaultSite, FaultKind) {
+    let main_stage = rng.random_range(0..m);
+    let internal_stage = rng.random_range(0..m - main_stage);
+    let kind = match rng.random_range(0..4) {
+        0 => FaultKind::StuckStraight,
+        1 => FaultKind::StuckExchange,
+        2 => FaultKind::DeadArbiter,
+        _ => FaultKind::BrokenLink,
+    };
+    let element = rng.random_range(0..kind.elements(m, main_stage, internal_stage));
+    (FaultSite::new(main_stage, internal_stage, element), kind)
+}
+
+/// Summary of a hardware-fault campaign, serializable for the CLI's
+/// `faults` subcommand.
+///
+/// The detect-or-route-correctly guarantee is `strict_misdelivered == 0`:
+/// strict policy either reports `RouteError::HardwareFault` or delivers
+/// every record, never silently misdelivers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Network size exponent (`N = 2^m`).
+    pub m: usize,
+    /// Random permutation frames routed.
+    pub trials: usize,
+    /// Hardware faults injected per trial.
+    pub faults: usize,
+    /// Strict trials ending in `RouteError::HardwareFault`.
+    pub strict_detected: usize,
+    /// Strict trials that routed with every record delivered (the fault
+    /// was harmless for that permutation).
+    pub strict_correct: usize,
+    /// Strict trials that routed with a misdelivery — always 0; the
+    /// exhaustive fault-matrix suite asserts this for every single fault.
+    pub strict_misdelivered: usize,
+    /// Permissive trials with at least one misdelivered record.
+    pub permissive_misdelivered_trials: usize,
+    /// Total misdelivered records across all permissive trials.
+    pub permissive_misdelivered_records: usize,
+}
+
+/// Runs `trials` random permutations against one fixed [`FaultMap`],
+/// classifying each under strict and permissive policy. Events from both
+/// fabrics (including `FaultEvent`s) flow to `observer`.
+pub fn hardware_campaign<R: Rng + ?Sized, O: Observer>(
+    m: usize,
+    faults: &FaultMap,
+    trials: usize,
+    rng: &mut R,
+    observer: &O,
+) -> FaultReport {
+    campaign_inner(m, trials, rng, observer, faults.len(), |_| faults.clone())
+}
+
+/// Like [`hardware_campaign`], but each trial draws a fresh single
+/// random fault ([`random_hardware_fault`]).
+pub fn random_hardware_campaign<R: Rng + ?Sized, O: Observer>(
+    m: usize,
+    trials: usize,
+    rng: &mut R,
+    observer: &O,
+) -> FaultReport {
+    let seeds: Vec<FaultMap> = (0..trials)
+        .map(|_| {
+            let (site, kind) = random_hardware_fault(m, rng);
+            FaultMap::single(site, kind)
+        })
+        .collect();
+    campaign_inner(m, trials, rng, observer, 1, |t| seeds[t].clone())
+}
+
+fn campaign_inner<R: Rng + ?Sized, O: Observer>(
+    m: usize,
+    trials: usize,
+    rng: &mut R,
+    observer: &O,
+    faults_per_trial: usize,
+    map_for_trial: impl Fn(usize) -> FaultMap,
+) -> FaultReport {
+    let n = 1usize << m;
+    let strict_net = BnbNetwork::builder(m)
+        .data_width(32)
+        .policy(RoutePolicy::Strict)
+        .build();
+    let permissive_net = BnbNetwork::builder(m)
+        .data_width(32)
+        .policy(RoutePolicy::Permissive)
+        .build();
+    let mut strict = FaultyFabric::with_observer(strict_net, FaultMap::new(), observer);
+    let mut permissive = FaultyFabric::with_observer(permissive_net, FaultMap::new(), observer);
+    let mut report = FaultReport {
+        m,
+        trials,
+        faults: faults_per_trial,
+        strict_detected: 0,
+        strict_correct: 0,
+        strict_misdelivered: 0,
+        permissive_misdelivered_trials: 0,
+        permissive_misdelivered_records: 0,
+    };
+    for t in 0..trials {
+        let map = map_for_trial(t);
+        strict.set_faults(map.clone());
+        permissive.set_faults(map);
+        let records = records_for_permutation(&Permutation::random(n, rng));
+        match classify_faulted(&mut strict, &records) {
+            Outcome::DetectedHardware { .. } => report.strict_detected += 1,
+            Outcome::Routed { misdelivered: 0 } => report.strict_correct += 1,
+            Outcome::Routed { .. } => report.strict_misdelivered += 1,
+            other => panic!("valid permutation cannot fail validation: {other:?}"),
+        }
+        if let Outcome::Routed { misdelivered } = classify_faulted(&mut permissive, &records) {
+            if misdelivered > 0 {
+                report.permissive_misdelivered_trials += 1;
+                report.permissive_misdelivered_records += misdelivered;
+            }
+        }
+    }
+    report
+}
+
+/// One point of the degraded-throughput sweep: delivered fraction under
+/// `faults` simultaneous random hardware faults (permissive fabric — the
+/// degraded mode keeps moving records and some miss their destination).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradedPoint {
+    /// Simultaneous hardware faults injected.
+    pub faults: usize,
+    /// Random permutation frames routed.
+    pub frames: usize,
+    /// Records offered (`frames * N`).
+    pub records: usize,
+    /// Records that landed on their destination.
+    pub delivered: usize,
+    /// `delivered / records` — the fabric's degraded goodput.
+    pub delivered_fraction: f64,
+}
+
+/// Measures delivered throughput as the fabric degrades: for each entry
+/// of `fault_counts`, injects that many random faults into a permissive
+/// fabric and routes `frames` random permutation frames — the
+/// fabric-degradation analogue of `loadsweep` (motivated by multi-lane
+/// MIN studies: a faulted fabric still delivers most records).
+pub fn degraded_sweep<R: Rng + ?Sized>(
+    m: usize,
+    fault_counts: &[usize],
+    frames: usize,
+    rng: &mut R,
+) -> Vec<DegradedPoint> {
+    let n = 1usize << m;
+    let net = BnbNetwork::builder(m)
+        .data_width(32)
+        .policy(RoutePolicy::Permissive)
+        .build();
+    let mut fabric = FaultyFabric::new(net, FaultMap::new());
+    fault_counts
+        .iter()
+        .map(|&faults| {
+            let map: FaultMap = (0..faults)
+                .map(|_| {
+                    let (site, kind) = random_hardware_fault(m, rng);
+                    bnb_core::fault::HardwareFault { site, kind }
+                })
+                .collect();
+            fabric.set_faults(map);
+            let mut delivered = 0usize;
+            for _ in 0..frames {
+                let records = records_for_permutation(&Permutation::random(n, rng));
+                let out = fabric
+                    .route(&records)
+                    .expect("permissive fabric routes any permutation");
+                delivered += out
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, r)| r.dest() == *j)
+                    .count();
+            }
+            let records = frames * n;
+            DegradedPoint {
+                faults,
+                frames,
+                records,
+                delivered,
+                delivered_fraction: delivered as f64 / (records as f64).max(1.0),
+            }
+        })
+        .collect()
+}
+
 /// Runs a fault-injection campaign: for `trials` random permutations,
 /// inject a duplicate-destination fault at a random line and classify under
 /// both policies. Returns `(strict_detected, permissive_misroutes)`.
@@ -119,7 +359,9 @@ pub fn campaign<R: Rng + ?Sized>(m: usize, trials: usize, rng: &mut R) -> (usize
             },
         );
         match classify(&strict, &records) {
-            Outcome::DetectedAtInput(_) | Outcome::DetectedAtSplitter { .. } => {
+            Outcome::DetectedAtInput(_)
+            | Outcome::DetectedAtSplitter { .. }
+            | Outcome::DetectedHardware { .. } => {
                 strict_detected += 1;
             }
             Outcome::Routed { .. } => {}
@@ -186,5 +428,87 @@ mod tests {
         let mut records = records_for_permutation(&Permutation::identity(4));
         inject(&mut records, Fault::DuplicateDestination { line: 2 });
         assert_eq!(records[2].dest(), records[3].dest());
+    }
+
+    #[test]
+    fn random_hardware_fault_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..500 {
+            let (site, kind) = random_hardware_fault(4, &mut rng);
+            let fault = bnb_core::fault::HardwareFault { site, kind };
+            assert!(fault.in_bounds(4), "out-of-bounds draw: {fault:?}");
+        }
+    }
+
+    #[test]
+    fn hardware_campaign_never_misdelivers_under_strict() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let map = FaultMap::single(FaultSite::new(1, 0, 0), FaultKind::StuckExchange);
+        let report = hardware_campaign(3, &map, 60, &mut rng, &bnb_obs::NoopObserver);
+        assert_eq!(report.trials, 60);
+        assert_eq!(report.faults, 1);
+        assert_eq!(report.strict_misdelivered, 0, "silent misdelivery");
+        assert_eq!(report.strict_detected + report.strict_correct, 60);
+        assert!(
+            report.strict_detected > 0,
+            "a stuck switch must trip the balance check for some permutation"
+        );
+        assert!(report.permissive_misdelivered_records >= report.permissive_misdelivered_trials);
+    }
+
+    #[test]
+    fn random_campaign_covers_detection_and_counts_events() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let counters = bnb_obs::Counters::new();
+        let report = random_hardware_campaign(3, 80, &mut rng, &counters);
+        assert_eq!(report.strict_misdelivered, 0);
+        assert_eq!(
+            report.strict_detected + report.strict_correct,
+            report.trials
+        );
+        assert!(report.strict_detected > 0, "80 random faults, none caught?");
+        assert_eq!(
+            counters.snapshot().hardware_faults,
+            report.strict_detected as u64,
+            "every strict detection must surface as a FaultEvent"
+        );
+    }
+
+    #[test]
+    fn healthy_campaign_is_all_correct() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = hardware_campaign(3, &FaultMap::new(), 20, &mut rng, &bnb_obs::NoopObserver);
+        assert_eq!(report.strict_correct, 20);
+        assert_eq!(report.strict_detected, 0);
+        assert_eq!(report.permissive_misdelivered_trials, 0);
+    }
+
+    #[test]
+    fn degraded_sweep_goodput_is_monotone_in_shape() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let points = degraded_sweep(4, &[0, 4], 30, &mut rng);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].faults, 0);
+        assert_eq!(points[0].records, 30 * 16);
+        assert_eq!(
+            points[0].delivered, points[0].records,
+            "a fault-free fabric delivers everything"
+        );
+        assert!((points[0].delivered_fraction - 1.0).abs() < 1e-12);
+        assert!(points[1].delivered <= points[1].records);
+        assert!(
+            points[1].delivered_fraction > 0.0,
+            "even a damaged fabric moves records somewhere"
+        );
+    }
+
+    #[test]
+    fn classify_faulted_matches_classify_on_healthy_fabric() {
+        let net = BnbNetwork::builder(3).data_width(32).build();
+        let records = records_for_permutation(&Permutation::identity(8));
+        let baseline = classify(&net, &records);
+        let net2 = BnbNetwork::builder(3).data_width(32).build();
+        let mut fabric = FaultyFabric::new(net2, FaultMap::new());
+        assert_eq!(classify_faulted(&mut fabric, &records), baseline);
     }
 }

@@ -17,7 +17,9 @@
 //!   blocking and scheduling efficiency against the congestion bound.
 //! - [`faults`] — assumption-violation injection (duplicate destinations,
 //!   out-of-range addresses) and classification of how the network reacts
-//!   under strict vs permissive policies.
+//!   under strict vs permissive policies; plus hardware-fault campaigns
+//!   (stuck switches, dead arbiters, broken links via
+//!   `bnb_core::fault::FaultyFabric`) and a degraded-throughput sweep.
 
 pub mod faults;
 pub mod hotspot;

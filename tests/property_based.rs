@@ -171,6 +171,44 @@ proptest! {
         }
     }
 
+    /// A permissive fabric with one random hardware fault conserves the
+    /// record multiset, and the misdelivery count reported by
+    /// `classify_faulted` matches an independent recount.
+    #[test]
+    fn faulted_permissive_conserves_and_counts(
+        m in 2usize..=5,
+        perm_seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        use bnb::core::network::RoutePolicy;
+        use bnb::core::{FaultMap, FaultyFabric};
+        use bnb::sim::faults::{classify_faulted, random_hardware_fault, Outcome};
+        use rand::SeedableRng;
+        let n = 1usize << m;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(perm_seed);
+        let p = Permutation::random(n, &mut rng);
+        let mut frng = rand::rngs::StdRng::seed_from_u64(fault_seed);
+        let (site, kind) = random_hardware_fault(m, &mut frng);
+        let net = BnbNetwork::builder(m)
+            .data_width(32)
+            .policy(RoutePolicy::Permissive)
+            .build();
+        let mut fabric = FaultyFabric::new(net, FaultMap::single(site, kind));
+        let records = records_for_permutation(&p);
+        let out = fabric.route(&records).unwrap();
+        let key = |r: &bnb::topology::record::Record| (r.dest(), r.data());
+        let mut want: Vec<_> = records.iter().map(key).collect();
+        let mut got: Vec<_> = out.iter().map(key).collect();
+        want.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(want, got, "fault {:?} {:?} lost records", site, kind);
+        let misdelivered = out.iter().enumerate().filter(|(j, r)| r.dest() != *j).count();
+        prop_assert_eq!(
+            classify_faulted(&mut fabric, &records),
+            Outcome::Routed { misdelivered }
+        );
+    }
+
     /// Every column snapshot of a BNB trace holds the same multiset of
     /// records — nothing is lost or duplicated mid-network.
     #[test]

@@ -95,6 +95,86 @@ fn latency_histogram_roundtrip() {
 }
 
 #[test]
+fn fault_map_roundtrip() {
+    use bnb::core::{FaultKind, FaultMap, FaultSite, HardwareFault};
+    let map: FaultMap = [
+        HardwareFault {
+            site: FaultSite::new(0, 0, 1),
+            kind: FaultKind::StuckStraight,
+        },
+        HardwareFault {
+            site: FaultSite::new(1, 2, 3),
+            kind: FaultKind::StuckExchange,
+        },
+        HardwareFault {
+            site: FaultSite::new(2, 0, 0),
+            kind: FaultKind::DeadArbiter,
+        },
+        HardwareFault {
+            site: FaultSite::new(0, 1, 7),
+            kind: FaultKind::BrokenLink,
+        },
+    ]
+    .into_iter()
+    .collect();
+    let json = serde_json::to_string(&map).unwrap();
+    let back: FaultMap = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, map);
+    assert_eq!(back.len(), 4);
+    // Every fault kind survives the wire individually too.
+    for fault in map.iter() {
+        let one = serde_json::to_string(&fault).unwrap();
+        let fault_back: HardwareFault = serde_json::from_str(&one).unwrap();
+        assert_eq!(fault_back, *fault);
+    }
+}
+
+#[test]
+fn fault_report_and_outcome_roundtrip() {
+    use bnb::core::FaultMap;
+    use bnb::sim::faults::{hardware_campaign, FaultReport, Outcome};
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    // A report from a real random campaign, so the fields are live values.
+    let report =
+        bnb::sim::faults::random_hardware_campaign(3, 20, &mut rng, &bnb::obs::NoopObserver);
+    let back: FaultReport = serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
+    assert_eq!(back, report);
+    // Healthy campaigns round-trip too (all-zero counters).
+    let healthy = hardware_campaign(3, &FaultMap::new(), 5, &mut rng, &bnb::obs::NoopObserver);
+    let back: FaultReport =
+        serde_json::from_str(&serde_json::to_string(&healthy).unwrap()).unwrap();
+    assert_eq!(back, healthy);
+    for outcome in [
+        Outcome::DetectedAtInput("duplicate destination".to_string()),
+        Outcome::DetectedAtSplitter {
+            main_stage: 1,
+            internal_stage: 0,
+        },
+        Outcome::DetectedHardware {
+            main_stage: 2,
+            internal_stage: 1,
+        },
+        Outcome::Routed { misdelivered: 3 },
+    ] {
+        let json = serde_json::to_string(&outcome).unwrap();
+        let back: Outcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, outcome);
+    }
+}
+
+#[test]
+fn degraded_point_roundtrip() {
+    use bnb::sim::faults::{degraded_sweep, DegradedPoint};
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let points = degraded_sweep(3, &[0, 1], 5, &mut rng);
+    let json = serde_json::to_string(&points).unwrap();
+    let back: Vec<DegradedPoint> = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, points);
+}
+
+#[test]
 fn engine_stats_roundtrip() {
     use bnb::core::network::BnbNetwork;
     use bnb::engine::{Engine, EngineConfig, EngineStats};

@@ -128,6 +128,56 @@ fn compact_and_pretty_agree_under_python() {
     assert_eq!(out.trim(), "ok");
 }
 
+/// The `bnb faults --metrics json` output — a FaultReport line followed
+/// by a MetricsSnapshot line — must be plain JSON to python with the
+/// documented keys, and python's re-emission must parse back to the
+/// identical report.
+#[test]
+fn faults_cli_json_is_real_json() {
+    let args: Vec<String> = [
+        "faults",
+        "--inputs",
+        "8",
+        "--trials",
+        "30",
+        "--seed",
+        "5",
+        "--metrics",
+        "json",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let out = bnb_cli::run(&args).unwrap();
+    let lines: Vec<&str> = out.trim_end().lines().collect();
+    assert!(lines.len() >= 2, "expected report + metrics lines:\n{out}");
+    let report_line = lines[lines.len() - 2];
+    let metrics_line = lines[lines.len() - 1];
+    let script = concat!(
+        "import json, sys\n",
+        "report, metrics = [json.loads(l) for l in sys.stdin.read().splitlines()]\n",
+        "keys = ['m', 'trials', 'faults', 'strict_detected', 'strict_correct', ",
+        "'strict_misdelivered', 'permissive_misdelivered_trials', ",
+        "'permissive_misdelivered_records']\n",
+        "missing = [k for k in keys if k not in report]\n",
+        "assert not missing, f'missing {missing}'\n",
+        "assert report['strict_misdelivered'] == 0, 'silent misdelivery'\n",
+        "assert report['strict_detected'] + report['strict_correct'] == report['trials']\n",
+        "assert 'hardware_faults' in metrics and 'fault_retries' in metrics\n",
+        "assert metrics['hardware_faults'] == report['strict_detected']\n",
+        "print(json.dumps(report, indent=2))",
+    );
+    let Some(reemitted) = python3(script, &format!("{report_line}\n{metrics_line}")) else {
+        return;
+    };
+    let back: bnb::sim::faults::FaultReport = serde_json::from_str(reemitted.trim()).unwrap();
+    let original: bnb::sim::faults::FaultReport = serde_json::from_str(report_line).unwrap();
+    assert_eq!(
+        back, original,
+        "report must survive the foreign re-emission"
+    );
+}
+
 /// Engine stats — the JSON the CLI actually ships — must be plain JSON to
 /// python with the documented schema.
 #[test]

@@ -114,6 +114,41 @@ fn observed_routing_performs_no_allocation() {
 }
 
 #[test]
+fn fault_free_faulty_fabric_performs_no_allocation() {
+    // A FaultyFabric with an empty FaultMap must cost exactly what the
+    // plain router costs: the fault hooks compile down to a skipped
+    // `Option` check, with no heap traffic in steady state.
+    use bnb::core::{FaultMap, FaultyFabric};
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+    let m = 6usize;
+    let n = 1usize << m;
+    let net = BnbNetwork::builder(m).data_width(32).build();
+    let mut fabric = FaultyFabric::new(net, FaultMap::new());
+    let batches: Vec<Vec<Record>> = (0..4)
+        .map(|_| records_for_permutation(&Permutation::random(n, &mut rng)))
+        .collect();
+    let mut buf = batches[0].clone();
+    // Warm-up: first routes may grow the lazily-sized scratch buffers.
+    for batch in &batches {
+        buf.copy_from_slice(batch);
+        fabric.route_in_place(&mut buf).unwrap();
+    }
+    let allocs = allocations_during(|| {
+        for _ in 0..10 {
+            for batch in &batches {
+                buf.copy_from_slice(batch);
+                fabric.route_in_place(&mut buf).unwrap();
+            }
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "fault-free FaultyFabric allocated in steady state"
+    );
+}
+
+#[test]
 fn stage_span_kernel_is_allocation_free_after_warmup() {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(10);
