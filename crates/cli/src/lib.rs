@@ -5,7 +5,10 @@
 //! thin `main` in `main.rs` only parses `std::env::args` and prints.
 //!
 //! ```text
-//! bnb route --inputs 8 --perm 6,2,7,0,4,1,3,5 [--trace] [--metrics text|json]
+//! bnb route --inputs 8 --perm 6,2,7,0,4,1,3,5 [--trace] [--record FILE]
+//!           [--metrics text|json|prom]
+//! bnb trace [--inputs 8] [--perm a,b,c,...] [--dest D] [--record FILE]
+//!           [--metrics text|json|prom]
 //! bnb tables [--sizes 3,4,5,6,8,10] [--data-width 8]
 //! bnb figures
 //! bnb ratios [--sizes 3,5,8,10,14,20] [--data-width 0]
@@ -13,11 +16,20 @@
 //! bnb verilog --component bnb|batcher|splitter|bsn [--inputs 8]
 //!             [--data-width 0] [--optimize]
 //! bnb engine [--inputs 256] [--workers 4] [--batch 64] [--depth auto|D]
-//!            [--queue 4] [--seed 0] [--pretty] [--metrics text|json]
+//!            [--queue 4] [--seed 0] [--pretty] [--record FILE]
+//!            [--metrics text|json|prom]
 //! bnb faults [--inputs 8] [--faults M.I.E:kind,..] [--trials 200] [--seed 0]
-//!            [--sweep 0,1,2,..] [--frames 50] [--metrics text|json]
+//!            [--sweep 0,1,2,..] [--frames 50] [--record FILE]
+//!            [--metrics text|json|prom]
 //! bnb report
 //! ```
+//!
+//! `--record FILE` attaches a bounded [`FlightRecorder`] to the command
+//! and writes its contents as Chrome trace-event JSON (loadable in
+//! `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)) when the
+//! command finishes — on success *and* on error, so a failed run still
+//! leaves its black-box recording behind. `--sample all|errors|N` sets
+//! the recorder's sampling policy.
 
 use std::error::Error;
 use std::fmt;
@@ -25,10 +37,11 @@ use std::fmt;
 use bnb_analysis::report;
 use bnb_analysis::{table1, table2};
 use bnb_core::network::BnbNetwork;
+use bnb_core::tracer::PathTracer;
 use bnb_gates::export::to_verilog;
 use bnb_gates::netlist::{Net, Netlist};
 use bnb_gates::optimize::optimize;
-use bnb_obs::Counters;
+use bnb_obs::{Counters, Fanout, FlightRecorder, SamplePolicy};
 use bnb_topology::perm::Permutation;
 use bnb_topology::record::{all_delivered, records_for_permutation};
 
@@ -84,6 +97,8 @@ fn err(msg: impl Into<String>) -> CliError {
 enum MetricsFormat {
     Text,
     Json,
+    /// Prometheus text exposition format (scrape-ready).
+    Prom,
 }
 
 fn metrics_flag(flags: &Flags) -> Result<Option<MetricsFormat>, CliError> {
@@ -91,8 +106,9 @@ fn metrics_flag(flags: &Flags) -> Result<Option<MetricsFormat>, CliError> {
         None => Ok(None),
         Some("text") => Ok(Some(MetricsFormat::Text)),
         Some("json") => Ok(Some(MetricsFormat::Json)),
+        Some("prom") => Ok(Some(MetricsFormat::Prom)),
         Some(other) => Err(err(format!(
-            "--metrics expects 'text' or 'json', got {other}"
+            "--metrics expects 'text', 'json' or 'prom', got {other}"
         ))),
     }
 }
@@ -104,6 +120,56 @@ fn render_metrics(format: MetricsFormat, counters: &Counters) -> Result<String, 
         MetricsFormat::Json => bnb_obs::render_json(&snapshot)
             .map(|json| format!("{json}\n"))
             .map_err(|e| CliError::caused_by("metrics serialization failed", e)),
+        MetricsFormat::Prom => Ok(bnb_obs::render_prometheus(&snapshot)),
+    }
+}
+
+/// Parses `--sample all|errors|N` into the recorder's sampling policy:
+/// keep everything (default), tail-sample only error-path spans
+/// (conflicts, hardware faults, retries, failed drains), or head-sample
+/// one span in `N`.
+fn sample_flag(flags: &Flags) -> Result<SamplePolicy, CliError> {
+    match flags.value("--sample") {
+        None | Some("all") => Ok(SamplePolicy::All),
+        Some("errors") => Ok(SamplePolicy::Errors),
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) if n >= 1 => Ok(SamplePolicy::Rate(n)),
+            _ => Err(err(format!(
+                "--sample expects 'all', 'errors' or a rate >= 1, got {v}"
+            ))),
+        },
+    }
+}
+
+/// Flushes a `--record` flight recorder to disk as Chrome trace-event
+/// JSON and folds the write into the command's result. The write happens
+/// whether the command body succeeded or failed (a failed run is exactly
+/// when the black-box recording matters); a body error takes precedence
+/// over a write error so the root cause is never masked.
+fn finish_recording(
+    path: Option<&str>,
+    recorder: &FlightRecorder,
+    result: Result<String, CliError>,
+) -> Result<String, CliError> {
+    let Some(path) = path else { return result };
+    let spans = recorder.spans();
+    let write = std::fs::write(path, bnb_obs::render_chrome_trace(&spans));
+    match (result, write) {
+        (Ok(mut out), Ok(())) => {
+            let stats = recorder.stats();
+            out.push_str(&format!(
+                "recorded {} span(s) to {path} ({} dropped, {} sampled out)\n",
+                spans.len(),
+                stats.dropped,
+                stats.sampled_out
+            ));
+            Ok(out)
+        }
+        (Ok(_), Err(e)) => Err(CliError::caused_by(
+            format!("failed to write recording to {path}"),
+            e,
+        )),
+        (Err(e), _) => Err(e),
     }
 }
 
@@ -157,7 +223,12 @@ pub fn usage() -> String {
      \n\
      commands:\n\
        route      route a permutation (--inputs N --perm a,b,c,... [--trace]\n\
-                  [--metrics text|json])\n\
+                  [--record FILE] [--metrics text|json|prom])\n\
+       trace      route with per-cell path capture: record every hop of\n\
+                  every cell, verify the reconstruction against the applied\n\
+                  switch settings, and print the paths ([--inputs 8]\n\
+                  [--perm a,b,c,...] [--dest D] [--record FILE]\n\
+                  [--metrics text|json|prom])\n\
        tables     regenerate the paper's Tables 1 and 2 ([--sizes 3,4,..] [--data-width 8])\n\
        figures    regenerate the paper's Figs. 1-4 structures\n\
        ratios     BNB/Batcher hardware and delay ratios ([--sizes ..] [--data-width 0])\n\
@@ -168,19 +239,26 @@ pub fn usage() -> String {
                   ([--inputs 8] [--perm a,b,c,...])\n\
        sweep      load-latency curve of the input-queued switch\n\
                   ([--inputs 16] [--discipline fifo|voq] [--rounds 2000]\n\
-                  [--metrics text|json])\n\
+                  [--record FILE] [--metrics text|json|prom])\n\
        diagnose   route possibly-invalid traffic with conflict detection\n\
                   (--inputs N --dests a,b,c,...)\n\
        engine     route random batches through the concurrent engine and\n\
                   print JSON stats ([--inputs 256] [--workers 4] [--batch 64]\n\
                   [--depth auto|D] [--queue 4] [--seed 0] [--pretty]\n\
-                  [--metrics text|json])\n\
+                  [--record FILE] [--metrics text|json|prom])\n\
        faults     inject hardware faults and report detection coverage\n\
                   ([--inputs 8] [--faults M.I.E:kind,..] [--trials 200]\n\
                   [--seed 0] [--sweep 0,1,2,..] [--frames 50]\n\
-                  [--metrics text|json]; kinds: stuck0 stuck1 arbiter link)\n\
+                  [--record FILE] [--metrics text|json|prom];\n\
+                  kinds: stuck0 stuck1 arbiter link)\n\
        report     the full evaluation report\n\
-       help       this text\n"
+       help       this text\n\
+     \n\
+     --record FILE writes the command's flight-recorder contents as Chrome\n\
+     trace-event JSON (open in chrome://tracing or ui.perfetto.dev), on\n\
+     success and on error alike. --sample all|errors|N picks the recording\n\
+     policy: keep everything, keep only error-path spans (conflicts,\n\
+     hardware faults, retries, failed drains), or keep one span in N.\n"
         .to_string()
 }
 
@@ -197,6 +275,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     match command.as_str() {
         "help" | "--help" | "-h" => Ok(usage()),
         "route" => cmd_route(&flags),
+        "trace" => cmd_trace(&flags),
         "tables" => cmd_tables(&flags),
         "figures" => Ok(cmd_figures()),
         "ratios" => cmd_ratios(&flags),
@@ -212,13 +291,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
 }
 
-fn cmd_route(flags: &Flags) -> Result<String, CliError> {
-    let n = flags.usize_or("--inputs", 8)?;
-    if !n.is_power_of_two() || n < 2 {
-        return Err(err(format!(
-            "--inputs must be a power of two >= 2, got {n}"
-        )));
-    }
+/// Parses `--perm a,b,c,...` (falling back to a `seed`-seeded random
+/// permutation) and checks it has exactly `n` entries.
+fn perm_flag(flags: &Flags, n: usize, seed: u64) -> Result<Permutation, CliError> {
     let perm = match flags.value("--perm") {
         Some(spec) => {
             let images: Vec<usize> = spec
@@ -233,7 +308,7 @@ fn cmd_route(flags: &Flags) -> Result<String, CliError> {
         }
         None => {
             use rand::SeedableRng;
-            let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             Permutation::random(n, &mut rng)
         }
     };
@@ -243,40 +318,123 @@ fn cmd_route(flags: &Flags) -> Result<String, CliError> {
             perm.len()
         )));
     }
+    Ok(perm)
+}
+
+fn cmd_route(flags: &Flags) -> Result<String, CliError> {
+    let n = flags.usize_or("--inputs", 8)?;
+    if !n.is_power_of_two() || n < 2 {
+        return Err(err(format!(
+            "--inputs must be a power of two >= 2, got {n}"
+        )));
+    }
+    let perm = perm_flag(flags, n, 0)?;
     let metrics = metrics_flag(flags)?;
+    let record_path = flags.value("--record");
     let net = BnbNetwork::builder_for(n)
         .map_err(|e| CliError::caused_by("network construction failed", e))?
         .build();
     let records = records_for_permutation(&perm);
-    let mut out = String::new();
-    if flags.present("--trace") {
-        let (outputs, trace) = net
-            .route_traced(&records)
+    let recorder = FlightRecorder::new().policy(sample_flag(flags)?);
+    let result = (|| {
+        let mut out = String::new();
+        if flags.present("--trace") {
+            let (outputs, trace) = net
+                .route_traced(&records)
+                .map_err(|e| CliError::caused_by("routing failed", e))?;
+            out.push_str(&trace.render());
+            out.push_str(&format!(
+                "\ncolumns: {}   exchanges: {}   delivered: {}\n",
+                trace.column_count(),
+                trace.exchange_count(),
+                all_delivered(&outputs)
+            ));
+        } else {
+            let outputs = net
+                .route(&records)
+                .map_err(|e| CliError::caused_by("routing failed", e))?;
+            out.push_str(&format!("permutation {perm}\n"));
+            for (j, r) in outputs.iter().enumerate() {
+                out.push_str(&format!("output {j}: from input {}\n", r.data()));
+            }
+            out.push_str(&format!("delivered: {}\n", all_delivered(&outputs)));
+        }
+        if metrics.is_some() || record_path.is_some() {
+            let counters = Counters::new();
+            net.route_observed(&records, &Fanout::new(&counters, &recorder))
+                .map_err(|e| CliError::caused_by("routing failed", e))?;
+            if let Some(format) = metrics {
+                out.push_str(&render_metrics(format, &counters)?);
+            }
+        }
+        Ok(out)
+    })();
+    finish_recording(record_path, &recorder, result)
+}
+
+fn cmd_trace(flags: &Flags) -> Result<String, CliError> {
+    let n = flags.usize_or("--inputs", 8)?;
+    if !n.is_power_of_two() || !(2..=4096).contains(&n) {
+        return Err(err(format!(
+            "--inputs must be a power of two in 2..=4096 for path tracing, got {n}"
+        )));
+    }
+    let perm = perm_flag(flags, n, 0)?;
+    let dest = match flags.value("--dest") {
+        None => None,
+        Some(v) => {
+            let d: usize = v
+                .parse()
+                .map_err(|_| err(format!("--dest expects an integer, got {v}")))?;
+            if d >= n {
+                return Err(err(format!("--dest must be < {n}, got {d}")));
+            }
+            Some(d)
+        }
+    };
+    let metrics = metrics_flag(flags)?;
+    let record_path = flags.value("--record");
+    let net = BnbNetwork::builder_for(n)
+        .map_err(|e| CliError::caused_by("network construction failed", e))?
+        .build();
+    let records = records_for_permutation(&perm);
+    let tracer = PathTracer::with_inputs(n);
+    let counters = Counters::new();
+    // Hop spans land in the recorder too, so a `--record` of a traced
+    // route carries per-cell instants, not just column/sweep events.
+    let recorder = FlightRecorder::new()
+        .record_hops(true)
+        .policy(sample_flag(flags)?);
+    let result = (|| {
+        let observer = Fanout::new(&tracer, Fanout::new(&counters, &recorder));
+        let outputs = net
+            .route_observed(&records, &observer)
             .map_err(|e| CliError::caused_by("routing failed", e))?;
-        out.push_str(&trace.render());
+        tracer
+            .verify(&net)
+            .map_err(|e| CliError::caused_by("path reconstruction failed verification", e))?;
+        let mut out = format!("permutation {perm}\n");
+        match dest {
+            Some(d) => out.push_str(&tracer.render(d)),
+            None => {
+                for d in 0..n {
+                    out.push_str(&tracer.render(d));
+                }
+            }
+        }
         out.push_str(&format!(
-            "\ncolumns: {}   exchanges: {}   delivered: {}\n",
-            trace.column_count(),
-            trace.exchange_count(),
+            "hops: {} ({} main-stage)   paths verified: {}   delivered: {}\n",
+            tracer.total_hops(),
+            tracer.main_stage_hops(),
+            n,
             all_delivered(&outputs)
         ));
-    } else {
-        let outputs = net
-            .route(&records)
-            .map_err(|e| CliError::caused_by("routing failed", e))?;
-        out.push_str(&format!("permutation {perm}\n"));
-        for (j, r) in outputs.iter().enumerate() {
-            out.push_str(&format!("output {j}: from input {}\n", r.data()));
+        if let Some(format) = metrics {
+            out.push_str(&render_metrics(format, &counters)?);
         }
-        out.push_str(&format!("delivered: {}\n", all_delivered(&outputs)));
-    }
-    if let Some(format) = metrics {
-        let counters = Counters::new();
-        net.route_observed(&records, &counters)
-            .map_err(|e| CliError::caused_by("routing failed", e))?;
-        out.push_str(&render_metrics(format, &counters)?);
-    }
-    Ok(out)
+        Ok(out)
+    })();
+    finish_recording(record_path, &recorder, result)
 }
 
 fn cmd_tables(flags: &Flags) -> Result<String, CliError> {
@@ -385,29 +543,7 @@ fn cmd_compare(flags: &Flags) -> Result<String, CliError> {
         return Err(err("--inputs must be a power of two in 2..=4096"));
     }
     let m = n.trailing_zeros() as usize;
-    let perm = match flags.value("--perm") {
-        Some(spec) => {
-            let images: Vec<usize> = spec
-                .split(',')
-                .map(|s| {
-                    s.trim()
-                        .parse()
-                        .map_err(|_| err(format!("bad permutation entry '{s}'")))
-                })
-                .collect::<Result<_, _>>()?;
-            Permutation::try_from(images).map_err(|e| err(format!("invalid permutation: {e}")))?
-        }
-        None => {
-            use rand::SeedableRng;
-            Permutation::random(n, &mut rand::rngs::StdRng::seed_from_u64(1))
-        }
-    };
-    if perm.len() != n {
-        return Err(err(format!(
-            "permutation has {} entries, expected {n}",
-            perm.len()
-        )));
-    }
+    let perm = perm_flag(flags, n, 1)?;
     let recs = records_for_permutation(&perm);
     let mut out = format!("permutation {perm} through every network:\n");
     for net in bnb_baselines::all_networks(m) {
@@ -442,29 +578,41 @@ fn cmd_sweep(flags: &Flags) -> Result<String, CliError> {
         other => return Err(err(format!("unknown --discipline '{other}'"))),
     };
     let metrics = metrics_flag(flags)?;
+    let record_path = flags.value("--record");
     let loads = [0.1, 0.3, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
     let counters = Counters::new();
-    let pts = if metrics.is_some() {
-        sweep_observed(m, discipline, &loads, rounds, &mut rng, &counters)
-    } else {
-        sweep(m, discipline, &loads, rounds, &mut rng)
-    }
-    .map_err(|e| CliError::caused_by("simulation failed", e))?;
-    let mut out = format!(
-        "{discipline:?} input-queued switch over the BNB fabric, N = {n}, {rounds} rounds\n"
-    );
-    out.push_str("offered  delivered  mean_delay  backlog\n");
-    for p in pts {
-        out.push_str(&format!(
-            "{:>7.2}  {:>9.3}  {:>10.1}  {:>7}\n",
-            p.offered, p.delivered, p.mean_delay, p.final_backlog
-        ));
-    }
-    if let Some(format) = metrics {
-        out.push_str(&render_metrics(format, &counters)?);
-    }
-    Ok(out)
+    let recorder = FlightRecorder::new().policy(sample_flag(flags)?);
+    let result = (|| {
+        let pts = if metrics.is_some() || record_path.is_some() {
+            sweep_observed(
+                m,
+                discipline,
+                &loads,
+                rounds,
+                &mut rng,
+                &Fanout::new(&counters, &recorder),
+            )
+        } else {
+            sweep(m, discipline, &loads, rounds, &mut rng)
+        }
+        .map_err(|e| CliError::caused_by("simulation failed", e))?;
+        let mut out = format!(
+            "{discipline:?} input-queued switch over the BNB fabric, N = {n}, {rounds} rounds\n"
+        );
+        out.push_str("offered  delivered  mean_delay  backlog\n");
+        for p in pts {
+            out.push_str(&format!(
+                "{:>7.2}  {:>9.3}  {:>10.1}  {:>7}\n",
+                p.offered, p.delivered, p.mean_delay, p.final_backlog
+            ));
+        }
+        if let Some(format) = metrics {
+            out.push_str(&render_metrics(format, &counters)?);
+        }
+        Ok(out)
+    })();
+    finish_recording(record_path, &recorder, result)
 }
 
 fn cmd_diagnose(flags: &Flags) -> Result<String, CliError> {
@@ -577,6 +725,7 @@ fn cmd_engine(flags: &Flags) -> Result<String, CliError> {
     };
     let seed = flags.usize_or("--seed", 0)? as u64;
     let metrics = metrics_flag(flags)?;
+    let record_path = flags.value("--record");
     let net = BnbNetwork::builder_for(n)
         .map_err(|e| CliError::caused_by("network construction failed", e))?
         .build();
@@ -586,27 +735,33 @@ fn cmd_engine(flags: &Flags) -> Result<String, CliError> {
         shard_depth,
     };
     let counters = Counters::new();
-    let stats = if metrics.is_some() {
-        drive_engine(
-            &Engine::with_observer(net, config, &counters),
-            n,
-            batches,
-            seed,
-        )
-    } else {
-        drive_engine(&Engine::new(net, config), n, batches, seed)
-    };
-    let json = if flags.present("--pretty") {
-        serde_json::to_string_pretty(&stats)
-    } else {
-        serde_json::to_string(&stats)
-    }
-    .map_err(|e| err(format!("stats serialization failed: {e}")))?;
-    let mut out = format!("{json}\n");
-    if let Some(format) = metrics {
-        out.push_str(&render_metrics(format, &counters)?);
-    }
-    Ok(out)
+    // Each engine worker lands in its own recorder lane, so the merged
+    // Chrome trace shows per-worker activity on separate tid rows.
+    let recorder = FlightRecorder::new().policy(sample_flag(flags)?);
+    let result = (|| {
+        let stats = if metrics.is_some() || record_path.is_some() {
+            drive_engine(
+                &Engine::with_observer(net, config, Fanout::new(&counters, &recorder)),
+                n,
+                batches,
+                seed,
+            )
+        } else {
+            drive_engine(&Engine::new(net, config), n, batches, seed)
+        };
+        let json = if flags.present("--pretty") {
+            serde_json::to_string_pretty(&stats)
+        } else {
+            serde_json::to_string(&stats)
+        }
+        .map_err(|e| err(format!("stats serialization failed: {e}")))?;
+        let mut out = format!("{json}\n");
+        if let Some(format) = metrics {
+            out.push_str(&render_metrics(format, &counters)?);
+        }
+        Ok(out)
+    })();
+    finish_recording(record_path, &recorder, result)
 }
 
 /// Parses one `M.I.E:kind` fault spec (e.g. `1.0.3:stuck1`).
@@ -676,70 +831,79 @@ fn cmd_faults(flags: &Flags) -> Result<String, CliError> {
             Some(map)
         }
     };
+    let record_path = flags.value("--record");
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let counters = Counters::new();
-    let report = match &map {
-        Some(map) => hardware_campaign(m, map, trials, &mut rng, &counters),
-        None => random_hardware_campaign(m, trials, &mut rng, &counters),
-    };
-    let mut out = format!(
-        "hardware-fault campaign: N = {n}, {} per trial, {} trials\n",
-        match &map {
-            Some(map) => format!("{} pinned fault(s)", map.len()),
-            None => "1 random fault".to_string(),
-        },
-        report.trials,
-    );
-    if let Some(map) = &map {
-        for fault in map.iter() {
-            out.push_str(&format!(
-                "  fault: {} at main stage {}, internal stage {}, element {}\n",
-                fault.kind, fault.site.main_stage, fault.site.internal_stage, fault.site.element
-            ));
+    let recorder = FlightRecorder::new().policy(sample_flag(flags)?);
+    let fanout = Fanout::new(&counters, &recorder);
+    let result = (|| {
+        let report = match &map {
+            Some(map) => hardware_campaign(m, map, trials, &mut rng, &fanout),
+            None => random_hardware_campaign(m, trials, &mut rng, &fanout),
+        };
+        let mut out = format!(
+            "hardware-fault campaign: N = {n}, {} per trial, {} trials\n",
+            match &map {
+                Some(map) => format!("{} pinned fault(s)", map.len()),
+                None => "1 random fault".to_string(),
+            },
+            report.trials,
+        );
+        if let Some(map) = &map {
+            for fault in map.iter() {
+                out.push_str(&format!(
+                    "  fault: {} at main stage {}, internal stage {}, element {}\n",
+                    fault.kind,
+                    fault.site.main_stage,
+                    fault.site.internal_stage,
+                    fault.site.element
+                ));
+            }
         }
-    }
-    out.push_str(&format!(
-        "  strict:     {} detected, {} routed correctly, {} misdelivered\n",
-        report.strict_detected, report.strict_correct, report.strict_misdelivered
-    ));
-    out.push_str(&format!(
-        "  permissive: {} trials misdelivered ({} records total)\n",
-        report.permissive_misdelivered_trials, report.permissive_misdelivered_records
-    ));
-    if let Some(counts) = flags.value("--sweep") {
-        let counts: Vec<usize> = counts
-            .split(',')
-            .map(|s| {
-                s.trim()
-                    .parse()
-                    .map_err(|_| err(format!("--sweep expects integers, got {s}")))
-            })
-            .collect::<Result<_, _>>()?;
-        out.push_str("degraded throughput (permissive, random faults):\n");
-        out.push_str("  faults  delivered_fraction\n");
-        for point in degraded_sweep(m, &counts, frames, &mut rng) {
-            out.push_str(&format!(
-                "  {:>6}  {:>10.4}  ({}/{} records over {} frames)\n",
-                point.faults,
-                point.delivered_fraction,
-                point.delivered,
-                point.records,
-                point.frames
-            ));
+        out.push_str(&format!(
+            "  strict:     {} detected, {} routed correctly, {} misdelivered\n",
+            report.strict_detected, report.strict_correct, report.strict_misdelivered
+        ));
+        out.push_str(&format!(
+            "  permissive: {} trials misdelivered ({} records total)\n",
+            report.permissive_misdelivered_trials, report.permissive_misdelivered_records
+        ));
+        if let Some(counts) = flags.value("--sweep") {
+            let counts: Vec<usize> = counts
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .map_err(|_| err(format!("--sweep expects integers, got {s}")))
+                })
+                .collect::<Result<_, _>>()?;
+            out.push_str("degraded throughput (permissive, random faults):\n");
+            out.push_str("  faults  delivered_fraction\n");
+            for point in degraded_sweep(m, &counts, frames, &mut rng) {
+                out.push_str(&format!(
+                    "  {:>6}  {:>10.4}  ({}/{} records over {} frames)\n",
+                    point.faults,
+                    point.delivered_fraction,
+                    point.delivered,
+                    point.records,
+                    point.frames
+                ));
+            }
         }
-    }
-    match metrics {
-        Some(MetricsFormat::Json) => {
-            let report_json = serde_json::to_string(&report)
-                .map_err(|e| CliError::caused_by("fault report serialization failed", e))?;
-            let metrics_json = bnb_obs::render_json(&counters.snapshot())
-                .map_err(|e| CliError::caused_by("metrics serialization failed", e))?;
-            out.push_str(&format!("{report_json}\n{metrics_json}\n"));
+        match metrics {
+            Some(MetricsFormat::Json) => {
+                let report_json = serde_json::to_string(&report)
+                    .map_err(|e| CliError::caused_by("fault report serialization failed", e))?;
+                let metrics_json = bnb_obs::render_json(&counters.snapshot())
+                    .map_err(|e| CliError::caused_by("metrics serialization failed", e))?;
+                out.push_str(&format!("{report_json}\n{metrics_json}\n"));
+            }
+            Some(format) => out.push_str(&render_metrics(format, &counters)?),
+            None => {}
         }
-        Some(MetricsFormat::Text) => out.push_str(&render_metrics(MetricsFormat::Text, &counters)?),
-        None => {}
-    }
-    Ok(out)
+        Ok(out)
+    })();
+    finish_recording(record_path, &recorder, result)
 }
 
 #[cfg(test)]
@@ -1051,6 +1215,160 @@ mod tests {
         assert!(run_str(&["route", "--metrics", "yaml"]).is_err());
         assert!(run_str(&["engine", "--metrics", "csv"]).is_err());
         assert!(run_str(&["sweep", "--metrics", ""]).is_err());
+        assert!(run_str(&["trace", "--metrics", "xml"]).is_err());
+    }
+
+    #[test]
+    fn route_metrics_prom_renders_exposition_format() {
+        let out = run_str(&[
+            "route",
+            "--inputs",
+            "4",
+            "--perm",
+            "2,0,3,1",
+            "--metrics",
+            "prom",
+        ])
+        .unwrap();
+        assert!(out.contains("# HELP bnb_columns_total"));
+        assert!(out.contains("# TYPE bnb_columns_total counter"));
+        assert!(
+            out.lines().any(|l| l == "bnb_columns_total 3"),
+            "m = 2 routes m(m+1)/2 = 3 columns:\n{out}"
+        );
+        assert!(out.contains("bnb_stage_columns_total{stage=\"0\"}"));
+    }
+
+    #[test]
+    fn trace_renders_verified_paths() {
+        let out = run_str(&["trace", "--inputs", "4", "--perm", "2,0,3,1"]).unwrap();
+        for d in 0..4 {
+            assert!(out.contains(&format!("cell {d}\n")), "{out}");
+        }
+        // N = 4, m = 2: N * m(m+1)/2 = 12 hops, N * m = 8 at main columns.
+        assert!(out.contains("hops: 12 (8 main-stage)"), "{out}");
+        assert!(out.contains("paths verified: 4"), "{out}");
+        assert!(out.contains("delivered: true"), "{out}");
+    }
+
+    #[test]
+    fn trace_dest_filter_shows_one_path() {
+        let out = run_str(&["trace", "--inputs", "4", "--perm", "2,0,3,1", "--dest", "2"]).unwrap();
+        assert!(out.contains("cell 2\n"));
+        assert!(!out.contains("cell 0\n"), "{out}");
+        assert!(run_str(&["trace", "--inputs", "4", "--dest", "9"]).is_err());
+        assert!(run_str(&["trace", "--inputs", "4", "--dest", "x"]).is_err());
+    }
+
+    #[test]
+    fn trace_defaults_are_deterministic() {
+        let a = run_str(&["trace"]).unwrap();
+        let b = run_str(&["trace"]).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("paths verified: 8"));
+    }
+
+    fn temp_trace_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("bnb_cli_{tag}_{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn record_flag_writes_chrome_trace_json() {
+        let path = temp_trace_path("route");
+        let path_str = path.to_str().unwrap();
+        let out = run_str(&[
+            "route", "--inputs", "4", "--perm", "2,0,3,1", "--record", path_str,
+        ])
+        .unwrap();
+        assert!(out.contains("recorded ") && out.contains(path_str), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\""), "{json}");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":"), "events expected: {json}");
+    }
+
+    #[test]
+    fn engine_record_merges_worker_lanes_into_one_trace() {
+        let path = temp_trace_path("engine");
+        let path_str = path.to_str().unwrap();
+        let out = run_str(&[
+            "engine",
+            "--inputs",
+            "16",
+            "--workers",
+            "2",
+            "--batch",
+            "3",
+            "--record",
+            path_str,
+            "--metrics",
+            "prom",
+        ])
+        .unwrap();
+        assert!(out.contains("bnb_batches_drained_total 3"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(json.contains("\"name\":\"drain\""), "{json}");
+        assert!(json.contains("\"name\":\"submit\""), "{json}");
+        assert!(json.contains("thread_name"), "lane metadata expected");
+    }
+
+    #[test]
+    fn sweep_and_faults_accept_record() {
+        for (tag, args) in [
+            ("sweep", vec!["sweep", "--inputs", "8", "--rounds", "20"]),
+            ("faults", vec!["faults", "--inputs", "8", "--trials", "10"]),
+        ] {
+            let path = temp_trace_path(tag);
+            let path_str = path.to_str().unwrap().to_string();
+            let mut args: Vec<&str> = args;
+            args.push("--record");
+            args.push(&path_str);
+            let out = run_str(&args).unwrap();
+            assert!(out.contains("recorded "), "{tag}: {out}");
+            let json = std::fs::read_to_string(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+            assert!(json.contains("\"traceEvents\""), "{tag}");
+        }
+    }
+
+    #[test]
+    fn sample_errors_keeps_a_clean_route_trace_empty() {
+        let path = temp_trace_path("sample");
+        let path_str = path.to_str().unwrap();
+        let out = run_str(&[
+            "route", "--inputs", "4", "--perm", "2,0,3,1", "--record", path_str, "--sample",
+            "errors",
+        ])
+        .unwrap();
+        assert!(out.contains("recorded 0 span(s)"), "{out}");
+        assert!(out.contains("sampled out"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(
+            json.matches("\"ph\":").count(),
+            1,
+            "clean route, errors-only sampling: metadata event only\n{json}"
+        );
+        assert!(run_str(&["route", "--sample", "sometimes"]).is_err());
+        assert!(run_str(&["route", "--sample", "0"]).is_err());
+    }
+
+    #[test]
+    fn record_to_unwritable_path_is_an_error() {
+        let e = run_str(&[
+            "route",
+            "--inputs",
+            "4",
+            "--perm",
+            "2,0,3,1",
+            "--record",
+            "/nonexistent-dir/trace.json",
+        ])
+        .unwrap_err();
+        assert!(e.to_string().contains("failed to write recording"));
+        assert!(e.source().is_some(), "io cause must be preserved");
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //!   paper's closed forms, eqs. (6)–(9).
 //! - [`trace`] / [`render`] — per-stage routing traces and the renderers
 //!   that regenerate Figs. 2–4.
+//! - [`tracer`] — the [`PathTracer`]: per-cell hop recording and route
+//!   reconstruction, verified against the Definition 3 / Theorem 3
+//!   locality argument (coverage, linkage, radix parity, delivery).
 //! - [`partial`] — destination-completion adapter for partial permutations.
 //! - [`diagnose`] — per-splitter conflict detection (the paper's "other
 //!   flags can deal with the conflicts" remark, §4).
@@ -75,6 +78,7 @@ pub mod settings;
 pub mod splitter;
 pub mod stages;
 pub mod trace;
+pub mod tracer;
 
 pub use bsn::BitSorter;
 pub use cost::HardwareCost;
@@ -85,3 +89,4 @@ pub use fault::{FaultKind, FaultMap, FaultSite, FaultyFabric, HardwareFault};
 pub use network::{BnbNetwork, BnbNetworkBuilder, RoutePolicy, WiringMode};
 pub use router::Router;
 pub use trace::RouteTrace;
+pub use tracer::{PathError, PathTracer};

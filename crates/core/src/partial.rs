@@ -8,6 +8,7 @@
 //! outputs. This extension implements that adapter on top of
 //! [`BnbNetwork::route`].
 
+use bnb_obs::{NoopObserver, Observer};
 use bnb_topology::record::Record;
 use serde::{Deserialize, Serialize};
 
@@ -63,8 +64,26 @@ impl BnbNetwork {
         &self,
         slots: &[Option<Record>],
     ) -> Result<PartialRouteOutcome, RouteError> {
+        self.route_partial_observed(slots, &NoopObserver)
+    }
+
+    /// [`Self::route_partial`] with instrumentation: the completed
+    /// frame's route reports to `observer` exactly as
+    /// [`BnbNetwork::route_observed`] does (columns, sweeps, and — for
+    /// hop-hungry sinks like [`crate::PathTracer`] — per-cell hops,
+    /// where filler cells trace like real ones). This is what makes
+    /// scheduler rounds and load sweeps traceable end to end.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::route_partial`].
+    pub fn route_partial_observed<O: Observer>(
+        &self,
+        slots: &[Option<Record>],
+        observer: &O,
+    ) -> Result<PartialRouteOutcome, RouteError> {
         let completed = self.completed_frame(slots)?;
-        let routed = self.index_sibling().route(&completed)?;
+        let routed = self.index_sibling().route_observed(&completed, observer)?;
         Ok(resolve_completed(slots, &routed))
     }
 

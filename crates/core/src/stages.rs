@@ -16,7 +16,9 @@
 
 use std::ops::Range;
 
-use bnb_obs::{ColumnEvent, ConflictEvent, FaultEvent, NoopObserver, Observer, SweepEvent};
+use bnb_obs::{
+    ColumnEvent, ConflictEvent, FaultEvent, HopEvent, NoopObserver, Observer, SweepEvent,
+};
 use bnb_topology::bitops::paper_bit;
 use bnb_topology::record::Record;
 
@@ -130,12 +132,17 @@ pub fn route_span(
 /// [`route_span`] with instrumentation: emits one
 /// [`SweepEvent`] per splitter box, one [`ColumnEvent`] per switching
 /// column (with the exchange tally), and a [`ConflictEvent`] alongside
-/// every [`RouteError::UnbalancedSplitter`].
+/// every [`RouteError::UnbalancedSplitter`]. Observers that additionally
+/// opt in via [`Observer::wants_hops`] receive one [`HopEvent`] per cell
+/// per column — the cell's entering port and the switch setting actually
+/// applied to it — from which a path tracer reconstructs every route.
 ///
-/// The observer's [`enabled`](Observer::enabled) result is hoisted out of
-/// the stage loops, so with [`NoopObserver`] this compiles to exactly
+/// The observer's [`enabled`](Observer::enabled) and
+/// [`wants_hops`](Observer::wants_hops) results are hoisted out of the
+/// stage loops, so with [`NoopObserver`] this compiles to exactly
 /// [`route_span`] — the noop path stays allocation-free and is covered by
-/// the workspace zero-alloc test.
+/// the workspace zero-alloc test — and hop capture costs nothing for
+/// aggregate sinks like counters.
 ///
 /// # Errors / Panics
 ///
@@ -194,6 +201,7 @@ fn route_span_inner<O: Observer>(
     faults: Option<&FaultMap>,
 ) -> Result<(), RouteError> {
     let observing = observer.enabled();
+    let tracing = observing && observer.wants_hops();
     let m = net.m();
     let span = lines.len();
     debug_assert!(stages.end <= m, "stage range {stages:?} exceeds m = {m}");
@@ -254,6 +262,26 @@ fn route_span_inner<O: Observer>(
                         &scratch.bits,
                         &mut scratch.flags,
                     );
+                }
+                if tracing {
+                    // Hops are captured *before* the swap so `port` is the
+                    // line each cell occupied entering the column, with the
+                    // setting (post fault-override) actually applied to it.
+                    let site = first_line + start;
+                    for (t, &c) in scratch.flags.iter().enumerate() {
+                        for off in 0..2 {
+                            let idx = start + 2 * t + off;
+                            observer.cell_hop(HopEvent {
+                                dest: lines[idx].dest(),
+                                main_stage,
+                                internal_stage: internal,
+                                first_line: site,
+                                port: first_line + idx,
+                                exchanged: c,
+                                sweep: site / box_size,
+                            });
+                        }
+                    }
                 }
                 if observing {
                     for (t, &c) in scratch.flags.iter().enumerate() {

@@ -217,8 +217,12 @@ impl Engine {
 
 impl<O: Observer> Engine<O> {
     /// An engine whose workers report events to `observer` (typically
-    /// `&bnb_obs::Counters`). All worker threads share the one observer,
-    /// so its hooks must be cheap and contention-free.
+    /// `&bnb_obs::Counters`, or a `&bnb_obs::FlightRecorder` whose
+    /// per-thread lanes give each worker its own recording shard, merged
+    /// when the recorder's spans are drained; batch sequence numbers act
+    /// as trace ids, threading submit → retries → drain together even
+    /// through quarantine). All worker threads share the one observer, so
+    /// its hooks must be cheap and contention-free.
     pub fn with_observer(network: BnbNetwork, config: EngineConfig, observer: O) -> Self {
         Engine {
             network,
@@ -993,6 +997,127 @@ mod tests {
         assert_eq!(stolen, snap.shards_stolen);
         assert_eq!(snap.histogram.count(), 5, "one latency sample per batch");
         assert!(stats.task_queue_high_water >= 1);
+    }
+
+    /// Regression: `task_queue_high_water` must describe the current
+    /// submission wave. Before the per-wave reset, a reused (idle) engine
+    /// kept reporting the deepest wave it had ever run.
+    #[test]
+    fn task_queue_high_water_resets_between_waves() {
+        let net = BnbNetwork::new(4);
+        let engine = Engine::new(
+            net,
+            EngineConfig {
+                workers: 2,
+                queue_capacity: 4,
+                shard_depth: ShardDepth::Fixed(2),
+            },
+        );
+        let p = Permutation::random(16, &mut StdRng::seed_from_u64(21));
+        engine.run(|h| {
+            h.submit(records_for_permutation(&p));
+            assert!(h.drain().unwrap().result.is_ok());
+            assert!(
+                h.stats().task_queue_high_water >= 1,
+                "a depth-2 split publishes slice tasks"
+            );
+            // Second wave into the now-idle engine: this batch fails
+            // validation before any slice is published, so a per-wave
+            // high water reads 0 — a stale one would still show wave 1.
+            let dup: Vec<Record> = (0..16)
+                .map(|i| Record::new(if i == 1 { 0 } else { i }, i as u64))
+                .collect();
+            h.submit(dup);
+            assert!(h.drain().unwrap().result.is_err());
+            assert_eq!(
+                h.stats().task_queue_high_water,
+                0,
+                "high water must reset at the start of each wave"
+            );
+        });
+    }
+
+    /// A `FlightRecorder` attached to the engine captures every batch's
+    /// submit and drain as spans carrying the batch seq as trace id, with
+    /// worker activity spread across per-thread recorder lanes.
+    #[test]
+    fn flight_recorder_shards_merge_at_drain() {
+        use bnb_obs::{FlightRecorder, SpanKind};
+        let recorder = FlightRecorder::with_capacity(4096);
+        let net = BnbNetwork::new(4);
+        let engine = Engine::with_observer(net, EngineConfig::with_workers(4), &recorder);
+        let p = Permutation::random(16, &mut StdRng::seed_from_u64(22));
+        engine.run(|h| {
+            for _ in 0..5 {
+                h.submit(records_for_permutation(&p));
+            }
+            while h.drain().is_some() {}
+        });
+        let spans = recorder.spans();
+        assert_eq!(recorder.dropped(), 0, "capacity covers the whole run");
+        let mut submit_seqs: Vec<u64> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Submit)
+            .map(|s| s.seq)
+            .collect();
+        submit_seqs.sort_unstable();
+        assert_eq!(submit_seqs, vec![0, 1, 2, 3, 4]);
+        let drains: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::Drain).collect();
+        assert_eq!(drains.len(), 5, "one drain span per batch");
+        assert!(drains.iter().all(|s| s.ok));
+        let shard_spans = spans
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::Shard | SpanKind::Steal))
+            .count();
+        assert!(shard_spans > 0, "depth-2 sharding must be visible");
+        // Submissions come from the driver thread; routing spans from
+        // worker threads — at least two distinct lanes in the merge.
+        let mut lanes: Vec<u32> = spans.iter().map(|s| s.lane).collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+        assert!(lanes.len() >= 2, "expected multiple recorder lanes");
+    }
+
+    /// Through `run_faulted`, the retry and the eventual drain of a batch
+    /// carry the same trace id (`seq`), so a recorder ties the whole
+    /// retry chain together.
+    #[test]
+    fn flight_recorder_threads_trace_ids_through_retries() {
+        use bnb_obs::{FlightRecorder, SpanKind};
+        let recorder = FlightRecorder::with_capacity(4096);
+        let net = BnbNetwork::new(3);
+        let map = stuck_map();
+        let (bad, _) = fault_sensitive_perms(net, &map, 43);
+        let engine = Engine::with_observer(net, EngineConfig::with_workers(1), &recorder);
+        let plan = FaultPlan::new(
+            vec![map, FaultMap::new()],
+            RetryPolicy {
+                max_attempts: 2,
+                backoff: Duration::ZERO,
+            },
+        );
+        let routed = engine.run_faulted(&plan, |h| {
+            h.submit(bad.clone());
+            h.drain().unwrap()
+        });
+        assert!(routed.result.is_ok());
+        let spans = recorder.spans();
+        let retry = spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Retry)
+            .expect("the faulted first attempt must record a retry span");
+        let fault = spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Fault)
+            .expect("the detection must record a fault span");
+        let drain = spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Drain)
+            .expect("the batch must drain");
+        assert_eq!(retry.seq, drain.seq, "one trace id across the chain");
+        assert!(drain.ok, "the retry landed on the healthy shard");
+        assert!(!retry.ok);
+        assert!(!fault.ok);
     }
 
     /// With no splitting (one worker, depth 0) the observed column count

@@ -243,6 +243,13 @@ impl Hub {
         while st.jobs.len() >= self.capacity {
             st = self.space_cv.wait(st).unwrap();
         }
+        // A submit into a fully idle hub (everything previously submitted
+        // already drained) starts a fresh wave: reset the slice-task high
+        // water so `EngineStats` reports the current wave's depth, not a
+        // stale maximum from an earlier burst on a reused engine.
+        if st.next_drain == st.submitted {
+            st.task_queue_high_water = 0;
+        }
         let seq = st.submitted;
         st.submitted += 1;
         st.jobs.push_back(Job {

@@ -53,7 +53,9 @@ pub struct EngineStats {
     pub histogram: LatencyHistogram,
     /// Deepest the bounded submission queue ever got.
     pub queue_high_water: usize,
-    /// Deepest the shared slice-task queue ever got.
+    /// Deepest the shared slice-task queue got during the current
+    /// submission wave (reset when a batch is submitted into a fully
+    /// idle engine, so reused engines report per-wave depth).
     pub task_queue_high_water: usize,
     /// Per-worker time spent routing (task + batch processing), in ns.
     pub worker_busy_ns: Vec<u64>,

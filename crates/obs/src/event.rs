@@ -71,6 +71,39 @@ pub struct ShardEvent {
     pub start_stage: usize,
 }
 
+/// One cell crossing one switching column: the per-cell companion to
+/// [`ColumnEvent`], emitted only when
+/// [`Observer::wants_hops`](crate::Observer::wants_hops) is true (path
+/// tracing is opt-in because a frame of `N` cells emits `N` of these per
+/// column — `N·m(m+1)/2` per route).
+///
+/// A cell's ordered hop list reconstructs its entire route: `port` is the
+/// global line the cell occupied *entering* the column, `exchanged` the
+/// switch setting applied to its pair, so the exit line is `port ^ 1` when
+/// exchanged and `port` otherwise, and the next column's entry line
+/// follows from the wiring. The hop with `internal_stage == 0` is the
+/// cell's *main-stage hop* for that stage — exactly `m` of them per cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HopEvent {
+    /// Destination address of the cell (its identity under permutation
+    /// traffic).
+    pub dest: usize,
+    /// Main-network stage.
+    pub main_stage: usize,
+    /// Column within the stage's nested networks (the nested BSN slice).
+    pub internal_stage: usize,
+    /// Global line coordinate of the splitter's first line (the splitter
+    /// site, matching [`SweepEvent::first_line`]).
+    pub first_line: usize,
+    /// Global line the cell occupied entering the column.
+    pub port: usize,
+    /// Whether the cell's 2×2 switch exchanged its pair.
+    pub exchanged: bool,
+    /// Arbiter-sweep ordinal: the splitter's index within its column
+    /// (`first_line / width`), identical however the frame is sharded.
+    pub sweep: usize,
+}
+
 /// A batch entering the engine's bounded submission queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SubmitEvent {
@@ -144,6 +177,7 @@ mod tests {
     fn events_are_small_and_copy() {
         fn assert_copy<T: Copy + Send + Sync>() {}
         assert_copy::<ColumnEvent>();
+        assert_copy::<HopEvent>();
         assert_copy::<SweepEvent>();
         assert_copy::<ConflictEvent>();
         assert_copy::<ShardEvent>();
@@ -173,5 +207,16 @@ mod tests {
         };
         let back: RoundEvent = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
         assert_eq!(back, r);
+        let h = HopEvent {
+            dest: 5,
+            main_stage: 0,
+            internal_stage: 2,
+            first_line: 4,
+            port: 6,
+            exchanged: true,
+            sweep: 1,
+        };
+        let back: HopEvent = serde_json::from_str(&serde_json::to_string(&h).unwrap()).unwrap();
+        assert_eq!(back, h);
     }
 }

@@ -42,20 +42,59 @@ pub fn render_text(snapshot: &MetricsSnapshot) -> String {
     line("hardware_faults", snapshot.hardware_faults);
     line("fault_retries", snapshot.fault_retries);
     if !snapshot.per_stage.is_empty() {
+        // Column widths grow with the data so counters past the headers'
+        // widths (10+ digits) stay aligned instead of shearing the table.
+        let headers = ["per-stage", "columns", "exchanges", "sweeps", "conflicts"];
+        let rows: Vec<[String; 5]> = snapshot
+            .per_stage
+            .iter()
+            .map(|stage| {
+                [
+                    format!("stage {}", stage.main_stage),
+                    stage.columns.to_string(),
+                    stage.exchanges.to_string(),
+                    stage.sweeps.to_string(),
+                    stage.conflicts.to_string(),
+                ]
+            })
+            .collect();
+        let mut widths = [10usize; 5];
+        for (i, h) in headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
         let _ = writeln!(
             out,
-            "{:<10} {:>10} {:>10} {:>10} {:>10}",
-            "per-stage", "columns", "exchanges", "sweeps", "conflicts"
+            "{:<w0$} {:>w1$} {:>w2$} {:>w3$} {:>w4$}",
+            headers[0],
+            headers[1],
+            headers[2],
+            headers[3],
+            headers[4],
+            w0 = widths[0],
+            w1 = widths[1],
+            w2 = widths[2],
+            w3 = widths[3],
+            w4 = widths[4],
         );
-        for stage in &snapshot.per_stage {
+        for row in &rows {
             let _ = writeln!(
                 out,
-                "{:<10} {:>10} {:>10} {:>10} {:>10}",
-                format!("stage {}", stage.main_stage),
-                stage.columns,
-                stage.exchanges,
-                stage.sweeps,
-                stage.conflicts
+                "{:<w0$} {:>w1$} {:>w2$} {:>w3$} {:>w4$}",
+                row[0],
+                row[1],
+                row[2],
+                row[3],
+                row[4],
+                w0 = widths[0],
+                w1 = widths[1],
+                w2 = widths[2],
+                w3 = widths[3],
+                w4 = widths[4],
             );
         }
     }
@@ -71,6 +110,189 @@ pub fn render_text(snapshot: &MetricsSnapshot) -> String {
             l.mean_ns,
             snapshot.histogram.count()
         );
+    }
+    out
+}
+
+/// Renders a snapshot in the Prometheus text exposition format
+/// (version 0.0.4): `# HELP`/`# TYPE` comments, `bnb_`-prefixed counter
+/// families, per-stage series labelled `{stage="s"}`, and the batch
+/// latency as a native histogram family with power-of-two `le` edges
+/// matching [`crate::LatencyHistogram`]'s inclusive bucket bounds.
+///
+/// ```
+/// use bnb_obs::{export, Counters, Observer};
+/// use bnb_obs::event::ColumnEvent;
+///
+/// let counters = Counters::new();
+/// counters.column_routed(ColumnEvent {
+///     main_stage: 0,
+///     internal_stage: 0,
+///     first_line: 0,
+///     width: 4,
+///     exchanges: 1,
+/// });
+/// let text = export::render_prometheus(&counters.snapshot());
+/// assert!(text.contains("bnb_columns_total 1"));
+/// assert!(text.contains("bnb_stage_columns_total{stage=\"0\"} 1"));
+/// ```
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut family = |name: &str, kind: &str, help: &str, value: u64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        let _ = writeln!(out, "{name} {value}");
+    };
+    family(
+        "bnb_columns_total",
+        "counter",
+        "Switching columns routed.",
+        snapshot.columns,
+    );
+    family(
+        "bnb_exchanges_total",
+        "counter",
+        "2x2 switches that exchanged their pair.",
+        snapshot.exchanges,
+    );
+    family(
+        "bnb_arbiter_sweeps_total",
+        "counter",
+        "Splitter arbiter-tree sweeps completed.",
+        snapshot.arbiter_sweeps,
+    );
+    family(
+        "bnb_max_sweep_depth",
+        "gauge",
+        "Deepest arbiter tree swept.",
+        snapshot.max_sweep_depth,
+    );
+    family(
+        "bnb_conflicts_total",
+        "counter",
+        "Splitter balance violations observed.",
+        snapshot.conflicts,
+    );
+    family(
+        "bnb_shards_enqueued_total",
+        "counter",
+        "Subnetwork slices published to the engine work queue.",
+        snapshot.shards_enqueued,
+    );
+    family(
+        "bnb_shards_stolen_total",
+        "counter",
+        "Queued slices taken by engine workers.",
+        snapshot.shards_stolen,
+    );
+    family(
+        "bnb_batches_submitted_total",
+        "counter",
+        "Batches submitted to the engine.",
+        snapshot.batches_submitted,
+    );
+    family(
+        "bnb_batches_drained_total",
+        "counter",
+        "Batches drained from the engine.",
+        snapshot.batches_drained,
+    );
+    family(
+        "bnb_batch_errors_total",
+        "counter",
+        "Batches that finished in error.",
+        snapshot.batch_errors,
+    );
+    family(
+        "bnb_scheduler_rounds_total",
+        "counter",
+        "Input-queued-switch scheduler rounds.",
+        snapshot.scheduler_rounds,
+    );
+    family(
+        "bnb_records_matched_total",
+        "counter",
+        "Records matched to outputs by the scheduler.",
+        snapshot.records_matched,
+    );
+    family(
+        "bnb_max_round_backlog",
+        "gauge",
+        "Deepest post-round scheduler backlog.",
+        snapshot.max_round_backlog,
+    );
+    family(
+        "bnb_hardware_faults_total",
+        "counter",
+        "Hardware faults detected by the output balance check.",
+        snapshot.hardware_faults,
+    );
+    family(
+        "bnb_fault_retries_total",
+        "counter",
+        "Batches retried on another fabric shard.",
+        snapshot.fault_retries,
+    );
+
+    if !snapshot.per_stage.is_empty() {
+        let mut stage_family = |name: &str, help: &str, pick: fn(&crate::StageMetrics) -> u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for stage in &snapshot.per_stage {
+                let _ = writeln!(
+                    out,
+                    "{name}{{stage=\"{}\"}} {}",
+                    stage.main_stage,
+                    pick(stage)
+                );
+            }
+        };
+        stage_family(
+            "bnb_stage_columns_total",
+            "Columns routed, by main stage.",
+            |s| s.columns,
+        );
+        stage_family(
+            "bnb_stage_exchanges_total",
+            "Pair exchanges, by main stage.",
+            |s| s.exchanges,
+        );
+        stage_family(
+            "bnb_stage_sweeps_total",
+            "Arbiter sweeps, by main stage.",
+            |s| s.sweeps,
+        );
+        stage_family(
+            "bnb_stage_conflicts_total",
+            "Balance violations, by main stage.",
+            |s| s.conflicts,
+        );
+    }
+
+    let hist = &snapshot.histogram;
+    if hist.count() > 0 {
+        let _ = writeln!(
+            out,
+            "# HELP bnb_batch_latency_ns Submit-to-drain batch latency."
+        );
+        let _ = writeln!(out, "# TYPE bnb_batch_latency_ns histogram");
+        let mut cumulative = 0u64;
+        let last = hist.buckets().iter().rposition(|&c| c > 0).unwrap_or(0);
+        for (i, &c) in hist.buckets().iter().enumerate().take(last + 1) {
+            cumulative += c;
+            let edge = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+            let _ = writeln!(
+                out,
+                "bnb_batch_latency_ns_bucket{{le=\"{edge}\"}} {cumulative}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "bnb_batch_latency_ns_bucket{{le=\"+Inf\"}} {}",
+            hist.count()
+        );
+        let _ = writeln!(out, "bnb_batch_latency_ns_sum {}", hist.sum_ns());
+        let _ = writeln!(out, "bnb_batch_latency_ns_count {}", hist.count());
     }
     out
 }
@@ -134,6 +356,94 @@ mod tests {
         let text = render_text(&Counters::new().snapshot());
         assert!(!text.contains("per-stage"));
         assert!(!text.contains("latency_ns"));
+    }
+
+    #[test]
+    fn text_stage_table_stays_aligned_past_eight_digits() {
+        let mut snap = sample();
+        snap.per_stage[0].exchanges = 123_456_789_012; // 12 digits > the old fixed width
+        let text = render_text(&snap);
+        let lines: Vec<&str> = text
+            .lines()
+            .skip_while(|l| !l.starts_with("per-stage"))
+            .take_while(|l| l.starts_with("per-stage") || l.starts_with("stage "))
+            .collect();
+        assert!(lines.len() >= 3, "header + two stage rows in {text}");
+        // Every column's right edge must line up across header and rows.
+        let right_edges = |line: &str| -> Vec<usize> {
+            let mut edges = Vec::new();
+            let mut in_field = false;
+            for (i, c) in line.char_indices() {
+                if c == ' ' {
+                    if in_field {
+                        edges.push(i);
+                        in_field = false;
+                    }
+                } else {
+                    in_field = true;
+                }
+            }
+            edges.push(line.len());
+            edges
+        };
+        // Skip the header's first (left-aligned) column; compare the four
+        // numeric columns' right edges.
+        let header_edges = right_edges(lines[0]);
+        for row in &lines[1..] {
+            let row_edges = right_edges(row);
+            assert_eq!(
+                &row_edges[row_edges.len() - 4..],
+                &header_edges[header_edges.len() - 4..],
+                "misaligned row {row:?} in\n{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_lists_counters_stages_and_histogram() {
+        let text = render_prometheus(&sample());
+        assert!(text.contains("# TYPE bnb_columns_total counter"));
+        assert!(text.contains("bnb_columns_total 1"));
+        assert!(text.contains("bnb_arbiter_sweeps_total 1"));
+        assert!(text.contains("bnb_stage_columns_total{stage=\"0\"} 1"));
+        assert!(text.contains("bnb_stage_sweeps_total{stage=\"1\"} 1"));
+        assert!(text.contains("# TYPE bnb_batch_latency_ns histogram"));
+        // 512 ns lands in bucket 9 (edge 1023); the cumulative count and
+        // +Inf totals must agree.
+        assert!(text.contains("bnb_batch_latency_ns_bucket{le=\"1023\"} 1"));
+        assert!(text.contains("bnb_batch_latency_ns_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("bnb_batch_latency_ns_sum 512"));
+        assert!(text.contains("bnb_batch_latency_ns_count 1"));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_end_at_last_nonempty() {
+        let c = Counters::new();
+        for ns in [1, 2, 900, 1000] {
+            c.batch_drained(DrainEvent {
+                seq: 0,
+                records: 1,
+                latency_ns: ns,
+                ok: true,
+            });
+        }
+        let text = render_prometheus(&c.snapshot());
+        assert!(text.contains("bnb_batch_latency_ns_bucket{le=\"1\"} 1"));
+        assert!(text.contains("bnb_batch_latency_ns_bucket{le=\"3\"} 2"));
+        assert!(text.contains("bnb_batch_latency_ns_bucket{le=\"1023\"} 4"));
+        assert!(
+            !text.contains("le=\"2047\""),
+            "series stops at the last non-empty bucket"
+        );
+        assert!(text.contains("bnb_batch_latency_ns_bucket{le=\"+Inf\"} 4"));
+    }
+
+    #[test]
+    fn prometheus_omits_empty_sections() {
+        let text = render_prometheus(&Counters::new().snapshot());
+        assert!(text.contains("bnb_columns_total 0"));
+        assert!(!text.contains("bnb_stage_columns_total{"));
+        assert!(!text.contains("bnb_batch_latency_ns"));
     }
 
     #[test]

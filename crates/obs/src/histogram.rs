@@ -90,6 +90,11 @@ impl LatencyHistogram {
         self.sum_ns.checked_div(self.count).unwrap_or(0)
     }
 
+    /// Sum of all recorded samples (the Prometheus `_sum` series).
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
     /// The `q`-quantile (e.g. `0.5`, `0.99`) as the covering bucket's
     /// inclusive upper edge, clamped to the observed range. `0` when empty.
     pub fn quantile(&self, q: f64) -> u64 {

@@ -23,7 +23,14 @@
 //!   [`AtomicHistogram`] for concurrent recording.
 //! - [`timer`] — [`SpanTimer`], a span-style stopwatch that feeds
 //!   histograms.
-//! - [`export`] — text and JSON renderings of a [`MetricsSnapshot`].
+//! - [`recorder`] — the [`FlightRecorder`], a fixed-capacity lock-free
+//!   ring of [`Span`]s with head/tail sampling ([`SamplePolicy`]) and a
+//!   drop counter, sharded into per-thread lanes merged at drain.
+//! - [`export`] — text, JSON, and Prometheus exposition renderings of a
+//!   [`MetricsSnapshot`].
+//! - [`chrome`] — Chrome trace-event JSON ([`render_chrome_trace`]) for
+//!   recorded spans, loadable in `chrome://tracing` or Perfetto, with
+//!   recorder lanes mapped to `tid` tracks.
 //!
 //! # Zero cost when disabled
 //!
@@ -54,19 +61,23 @@
 //! assert_eq!(snapshot.per_stage[0].main_stage, 0);
 //! ```
 
+pub mod chrome;
 pub mod counters;
 pub mod event;
 pub mod export;
 pub mod histogram;
 pub mod observer;
+pub mod recorder;
 pub mod timer;
 
+pub use chrome::render_chrome_trace;
 pub use counters::{Counters, MetricsSnapshot, StageMetrics};
 pub use event::{
-    ColumnEvent, ConflictEvent, DrainEvent, FaultEvent, RetryEvent, RoundEvent, ShardEvent,
-    SubmitEvent, SweepEvent,
+    ColumnEvent, ConflictEvent, DrainEvent, FaultEvent, HopEvent, RetryEvent, RoundEvent,
+    ShardEvent, SubmitEvent, SweepEvent,
 };
-pub use export::{render_json, render_json_pretty, render_text};
+pub use export::{render_json, render_json_pretty, render_prometheus, render_text};
 pub use histogram::{AtomicHistogram, LatencyHistogram, LatencySummary, HISTOGRAM_BUCKETS};
-pub use observer::{NoopObserver, Observer};
+pub use observer::{Fanout, NoopObserver, Observer};
+pub use recorder::{FlightRecorder, RecorderStats, SamplePolicy, Span, SpanKind, RECORDER_LANES};
 pub use timer::SpanTimer;

@@ -1,8 +1,9 @@
-//! The [`Observer`] trait and the zero-cost [`NoopObserver`].
+//! The [`Observer`] trait, the zero-cost [`NoopObserver`], and the
+//! [`Fanout`] combinator for feeding two sinks at once.
 
 use crate::event::{
-    ColumnEvent, ConflictEvent, DrainEvent, FaultEvent, RetryEvent, RoundEvent, ShardEvent,
-    SubmitEvent, SweepEvent,
+    ColumnEvent, ConflictEvent, DrainEvent, FaultEvent, HopEvent, RetryEvent, RoundEvent,
+    ShardEvent, SubmitEvent, SweepEvent,
 };
 
 /// Sink for routing-layer events.
@@ -47,9 +48,26 @@ pub trait Observer: Send + Sync {
         true
     }
 
+    /// Whether this observer wants per-cell [`HopEvent`]s. Off by default
+    /// — a frame of `N` cells emits `N` hops per column, so aggregate
+    /// sinks like counters must not pay for them. Hoisted alongside
+    /// [`enabled`](Observer::enabled); return `true` only from
+    /// path-tracing sinks.
+    #[inline]
+    fn wants_hops(&self) -> bool {
+        false
+    }
+
     /// A switching column was routed over `event.width` lines.
     #[inline]
     fn column_routed(&self, event: ColumnEvent) {
+        let _ = event;
+    }
+
+    /// One cell crossed one switching column (only emitted when
+    /// [`wants_hops`](Observer::wants_hops) is true).
+    #[inline]
+    fn cell_hop(&self, event: HopEvent) {
         let _ = event;
     }
 
@@ -131,8 +149,18 @@ impl<O: Observer + ?Sized> Observer for &O {
     }
 
     #[inline]
+    fn wants_hops(&self) -> bool {
+        (**self).wants_hops()
+    }
+
+    #[inline]
     fn column_routed(&self, event: ColumnEvent) {
         (**self).column_routed(event);
+    }
+
+    #[inline]
+    fn cell_hop(&self, event: HopEvent) {
+        (**self).cell_hop(event);
     }
 
     #[inline]
@@ -181,6 +209,121 @@ impl<O: Observer + ?Sized> Observer for &O {
     }
 }
 
+/// Fans every event out to two observers (nest for more).
+///
+/// `enabled()`/`wants_hops()` are the ORs of the two sinks', so a pair
+/// stays zero-cost only when both halves are noops — and a hop-hungry
+/// tracer can ride alongside an aggregate counter without either knowing
+/// about the other:
+///
+/// ```
+/// use bnb_obs::{Counters, Fanout, FlightRecorder, Observer};
+/// use bnb_obs::event::ColumnEvent;
+///
+/// let counters = Counters::new();
+/// let recorder = FlightRecorder::with_capacity(64);
+/// let both = Fanout::new(&counters, &recorder);
+/// both.column_routed(ColumnEvent {
+///     main_stage: 0,
+///     internal_stage: 0,
+///     first_line: 0,
+///     width: 4,
+///     exchanges: 1,
+/// });
+/// assert_eq!(counters.snapshot().columns, 1);
+/// assert_eq!(recorder.len(), 1);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fanout<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Observer, B: Observer> Fanout<A, B> {
+    /// A fanout over the two sinks (take references to share them).
+    pub fn new(a: A, b: B) -> Self {
+        Fanout { a, b }
+    }
+}
+
+impl<A: Observer, B: Observer> Observer for Fanout<A, B> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.a.enabled() || self.b.enabled()
+    }
+
+    #[inline]
+    fn wants_hops(&self) -> bool {
+        self.a.wants_hops() || self.b.wants_hops()
+    }
+
+    #[inline]
+    fn column_routed(&self, event: ColumnEvent) {
+        self.a.column_routed(event);
+        self.b.column_routed(event);
+    }
+
+    #[inline]
+    fn cell_hop(&self, event: HopEvent) {
+        self.a.cell_hop(event);
+        self.b.cell_hop(event);
+    }
+
+    #[inline]
+    fn arbiter_sweep(&self, event: SweepEvent) {
+        self.a.arbiter_sweep(event);
+        self.b.arbiter_sweep(event);
+    }
+
+    #[inline]
+    fn splitter_conflict(&self, event: ConflictEvent) {
+        self.a.splitter_conflict(event);
+        self.b.splitter_conflict(event);
+    }
+
+    #[inline]
+    fn shard_enqueued(&self, event: ShardEvent) {
+        self.a.shard_enqueued(event);
+        self.b.shard_enqueued(event);
+    }
+
+    #[inline]
+    fn shard_stolen(&self, event: ShardEvent) {
+        self.a.shard_stolen(event);
+        self.b.shard_stolen(event);
+    }
+
+    #[inline]
+    fn batch_submitted(&self, event: SubmitEvent) {
+        self.a.batch_submitted(event);
+        self.b.batch_submitted(event);
+    }
+
+    #[inline]
+    fn batch_drained(&self, event: DrainEvent) {
+        self.a.batch_drained(event);
+        self.b.batch_drained(event);
+    }
+
+    #[inline]
+    fn scheduler_round(&self, event: RoundEvent) {
+        self.a.scheduler_round(event);
+        self.b.scheduler_round(event);
+    }
+
+    #[inline]
+    fn hardware_fault(&self, event: FaultEvent) {
+        self.a.hardware_fault(event);
+        self.b.hardware_fault(event);
+    }
+
+    #[inline]
+    fn batch_retried(&self, event: RetryEvent) {
+        self.a.batch_retried(event);
+        self.b.batch_retried(event);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +333,39 @@ mod tests {
     fn noop_is_disabled() {
         assert!(!NoopObserver.enabled());
         assert!(!Observer::enabled(&&NoopObserver));
+        assert!(!NoopObserver.wants_hops());
+        assert!(!Observer::wants_hops(&&NoopObserver));
+    }
+
+    #[test]
+    fn fanout_feeds_both_sinks_and_ors_the_guards() {
+        #[derive(Default)]
+        struct HopTally(AtomicU64);
+        impl Observer for HopTally {
+            fn wants_hops(&self) -> bool {
+                true
+            }
+            fn cell_hop(&self, _event: HopEvent) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let tally = HopTally::default();
+        let pair = Fanout::new(&NoopObserver, &tally);
+        assert!(pair.enabled(), "one live sink enables the pair");
+        assert!(pair.wants_hops(), "one hop-hungry sink is enough");
+        pair.cell_hop(HopEvent {
+            dest: 0,
+            main_stage: 0,
+            internal_stage: 0,
+            first_line: 0,
+            port: 0,
+            exchanged: false,
+            sweep: 0,
+        });
+        assert_eq!(tally.0.load(Ordering::Relaxed), 1);
+        let noops = Fanout::new(&NoopObserver, &NoopObserver);
+        assert!(!noops.enabled(), "two noops stay a noop");
+        assert!(!noops.wants_hops());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use bnb_core::error::RouteError;
 use bnb_core::network::BnbNetwork;
-use bnb_obs::{NoopObserver, Observer};
+use bnb_obs::{FlightRecorder, NoopObserver, Observer, SamplePolicy, Span};
 use bnb_topology::record::Record;
 use rand::{Rng, RngExt};
 use serde::{Deserialize, Serialize};
@@ -145,6 +145,32 @@ pub fn sweep_observed<R: Rng + ?Sized, O: Observer>(
         .collect()
 }
 
+/// [`sweep`] with a flight recorder attached: every scheduler round,
+/// column, and sweep of the measured loads lands in a bounded ring under
+/// `policy`, and the retained spans come back alongside the points —
+/// ready for `bnb_obs::render_chrome_trace`. `capacity` bounds the ring
+/// per recorder lane; the recorder's drop counter makes any truncation
+/// explicit in the returned spans' accounting (see
+/// [`FlightRecorder::stats`], reflected here via the span list length vs
+/// the sweep's round count).
+///
+/// # Errors
+///
+/// Propagates fabric errors from [`measure`].
+pub fn sweep_recorded<R: Rng + ?Sized>(
+    m: usize,
+    discipline: QueueDiscipline,
+    loads: &[f64],
+    rounds: usize,
+    rng: &mut R,
+    capacity: usize,
+    policy: SamplePolicy,
+) -> Result<(Vec<LoadPoint>, Vec<Span>), RouteError> {
+    let recorder = FlightRecorder::with_capacity(capacity).policy(policy);
+    let points = sweep_observed(m, discipline, loads, rounds, rng, &recorder)?;
+    Ok((points, recorder.spans()))
+}
+
 /// Estimates the saturation throughput: the delivered rate under
 /// overload (offered = 1.0).
 ///
@@ -224,6 +250,53 @@ mod tests {
         for p in &pts {
             assert!((p.delivered - p.offered).abs() < 0.05, "{p:?}");
         }
+    }
+
+    #[test]
+    fn recorded_sweep_returns_points_and_round_spans() {
+        use bnb_obs::SpanKind;
+        let mut rng = StdRng::seed_from_u64(9);
+        let (points, spans) = sweep_recorded(
+            3,
+            QueueDiscipline::Voq,
+            &[0.3, 0.6],
+            50,
+            &mut rng,
+            65536,
+            SamplePolicy::All,
+        )
+        .unwrap();
+        assert_eq!(points.len(), 2);
+        let round_spans = spans.iter().filter(|s| s.kind == SpanKind::Round).count();
+        assert_eq!(
+            round_spans,
+            2 * 50,
+            "one round span per fabric round per load"
+        );
+        assert!(
+            spans.iter().any(|s| s.kind == SpanKind::Column),
+            "fabric columns must be visible in the trace"
+        );
+    }
+
+    #[test]
+    fn recorded_sweep_tail_sampling_keeps_only_errors() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let (points, spans) = sweep_recorded(
+            3,
+            QueueDiscipline::Fifo,
+            &[0.5],
+            40,
+            &mut rng,
+            4096,
+            SamplePolicy::Errors,
+        )
+        .unwrap();
+        assert_eq!(points.len(), 1);
+        assert!(
+            spans.iter().all(|s| s.kind.is_error() || !s.ok),
+            "error-only sampling must reject healthy spans"
+        );
     }
 
     #[test]

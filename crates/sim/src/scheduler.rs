@@ -193,7 +193,7 @@ impl VoqSwitch {
     /// Same contract as [`VoqSwitch::step`].
     pub fn step_observed<O: Observer>(&mut self, observer: &O) -> Result<usize, RouteError> {
         let (slots, picks) = self.plan_round();
-        let outcome = self.network.route_partial(&slots)?;
+        let outcome = self.network.route_partial_observed(&slots, observer)?;
         let mut count = 0usize;
         for delivered in outcome.outputs.iter().flatten() {
             self.delivered.push(*delivered);

@@ -28,7 +28,10 @@
 //!   that mirrors the paper's recursive GBN structure.
 //! - [`obs`] — zero-cost-when-disabled observability: the [`obs::Observer`]
 //!   event hooks every routing layer emits through, lock-free
-//!   [`obs::Counters`], latency histograms, and text/JSON exporters.
+//!   [`obs::Counters`], latency histograms, the bounded
+//!   [`obs::FlightRecorder`] span ring, and exporters for text, JSON,
+//!   Prometheus exposition format, and Chrome trace-event JSON. Per-cell
+//!   path tracing ([`core::tracer::PathTracer`]) rides the same hooks.
 //!
 //! # Quickstart
 //!

@@ -11,7 +11,8 @@
 //! counts exactly.
 
 use bnb::core::network::BnbNetwork;
-use bnb::obs::{Counters, MetricsSnapshot};
+use bnb::core::tracer::PathTracer;
+use bnb::obs::{Counters, Fanout, MetricsSnapshot};
 use bnb::topology::perm::Permutation;
 use bnb::topology::record::{all_delivered, records_for_permutation};
 use rand::rngs::StdRng;
@@ -89,6 +90,46 @@ fn builder_attached_observer_sees_router_traffic() {
         m,
         "all {m} main stages were exercised"
     );
+}
+
+#[test]
+fn traced_hop_counts_match_closed_forms() {
+    // Per-cell hop granularity refines eq. (7): every one of the N cells
+    // crosses every column, so a traced frame records exactly
+    // N · m(m+1)/2 hops in total, of which N · m land in main columns
+    // (internal stage 0) — one per cell per main stage. The column total
+    // seen by a counting observer on the same route must agree.
+    let mut rng = StdRng::seed_from_u64(2026);
+    for m in [2usize, 3, 4] {
+        let n = 1usize << m;
+        let net = BnbNetwork::builder(m).data_width(16).build();
+        let tracer = PathTracer::with_inputs(n);
+        let counters = Counters::new();
+        let records = records_for_permutation(&Permutation::random(n, &mut rng));
+        let out = net
+            .route_observed(&records, &Fanout::new(&tracer, &counters))
+            .unwrap();
+        assert!(all_delivered(&out));
+        let columns = closed_form_columns(m as u64);
+        assert_eq!(
+            tracer.total_hops() as u64,
+            n as u64 * columns,
+            "m = {m}: N cells x m(m+1)/2 columns"
+        );
+        assert_eq!(
+            tracer.main_stage_hops(),
+            n * m,
+            "m = {m}: one main-stage hop per cell per stage"
+        );
+        assert_eq!(
+            counters.snapshot().columns,
+            columns,
+            "m = {m}: the column total the hops refine"
+        );
+        tracer
+            .verify(&net)
+            .expect("reconstructed paths must verify");
+    }
 }
 
 #[test]

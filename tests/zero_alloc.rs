@@ -4,7 +4,7 @@
 //! relies on for allocation-free batch routing.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 use bnb::core::network::BnbNetwork;
 use bnb::core::router::Router;
@@ -14,11 +14,20 @@ use bnb::topology::record::{records_for_permutation, Record};
 
 struct CountingAlloc;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+// Per-thread so concurrently running tests never pollute each other's
+// measurement window. Const-initialized: the TLS access itself must not
+// allocate, and `try_with` tolerates calls during thread teardown.
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        bump();
         unsafe { System.alloc(layout) }
     }
 
@@ -27,7 +36,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        bump();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -36,9 +45,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocations_during(f: impl FnOnce()) -> u64 {
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let before = ALLOCATIONS.with(Cell::get);
     f();
-    ALLOCATIONS.load(Ordering::Relaxed) - before
+    ALLOCATIONS.with(Cell::get) - before
 }
 
 #[test]
@@ -145,6 +154,90 @@ fn fault_free_faulty_fabric_performs_no_allocation() {
     assert_eq!(
         allocs, 0,
         "fault-free FaultyFabric allocated in steady state"
+    );
+}
+
+#[test]
+fn flight_recorder_overflow_is_allocation_free_and_counted() {
+    // Satellite of the tracing PR: fill a capacity-k ring with far more
+    // than k spans. The oldest spans must be evicted (never kept), every
+    // eviction must land in `dropped`, and after the first record pins
+    // this thread's lane the hot path must not touch the heap at all —
+    // the ring is fully preallocated.
+    use bnb::obs::{FlightRecorder, Span, SpanKind};
+    const CAP: usize = 64;
+    const TOTAL: u64 = 300;
+    let recorder = FlightRecorder::with_capacity(CAP);
+    let span = |i: u64| Span {
+        kind: SpanKind::Round,
+        ts_ns: i,
+        dur_ns: 0,
+        lane: 0,
+        seq: i,
+        a: 0,
+        b: 0,
+        c: 0,
+        ok: true,
+    };
+    // Warm-up: assigns the thread's lane ordinal.
+    recorder.record(span(0));
+    let allocs = allocations_during(|| {
+        for i in 1..TOTAL {
+            recorder.record(span(i));
+        }
+    });
+    assert_eq!(allocs, 0, "recording allocated after warm-up");
+    assert_eq!(recorder.len(), CAP, "retention is bounded by capacity");
+    assert_eq!(
+        recorder.dropped(),
+        TOTAL - CAP as u64,
+        "every eviction is counted"
+    );
+    let spans = recorder.spans();
+    assert_eq!(spans.len(), CAP);
+    assert!(
+        spans.iter().all(|s| s.seq >= TOTAL - CAP as u64),
+        "only the newest spans survive overflow"
+    );
+}
+
+#[test]
+fn observed_routing_with_flight_recorder_stays_allocation_free() {
+    // The recorder sits next to Counters on the hot path; with both
+    // attached, steady-state routing must still never allocate.
+    use bnb::obs::{Counters, Fanout, FlightRecorder};
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let m = 6usize;
+    let n = 1usize << m;
+    let counters = Counters::new();
+    let recorder = FlightRecorder::with_capacity(512);
+    let observer = Fanout::new(&counters, &recorder);
+    let mut router = BnbNetwork::builder(m)
+        .data_width(32)
+        .observer(&observer)
+        .build_router();
+    let batches: Vec<Vec<Record>> = (0..4)
+        .map(|_| records_for_permutation(&Permutation::random(n, &mut rng)))
+        .collect();
+    let mut buf = batches[0].clone();
+    for batch in &batches {
+        buf.copy_from_slice(batch);
+        router.route_in_place(&mut buf).unwrap();
+    }
+    let allocs = allocations_during(|| {
+        for _ in 0..10 {
+            for batch in &batches {
+                buf.copy_from_slice(batch);
+                router.route_in_place(&mut buf).unwrap();
+            }
+        }
+    });
+    assert_eq!(allocs, 0, "recorded routing allocated in steady state");
+    assert!(!recorder.is_empty(), "the recorder actually captured spans");
+    assert!(
+        recorder.dropped() > 0,
+        "a 512-slot ring overflows under this traffic, and it is counted"
     );
 }
 
