@@ -1,0 +1,54 @@
+//! Head-to-head comparison of the two stage-span routing kernels: the
+//! bit-packed word-parallel fast path (`route_span`, taken whenever no
+//! observer is attached) against the scalar sweep it replaced
+//! (`route_span_scalar`, retained as the correctness oracle).
+//!
+//! Acceptance bar for the packed kernel: ≥ 2× over scalar at m ≥ 10.
+//! The `bnb bench` CLI subcommand measures the same pair and writes the
+//! checked-in `BENCH_routing.json` trajectory; this bench is the
+//! statistically careful version of that comparison.
+
+use bnb_core::network::BnbNetwork;
+use bnb_core::stages::{route_span, route_span_scalar, StageScratch};
+use bnb_topology::perm::Permutation;
+use bnb_topology::record::{records_for_permutation, Record};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1991);
+    let mut g = c.benchmark_group("bitpacked_vs_scalar");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for m in [4usize, 6, 8, 10, 12] {
+        let n = 1usize << m;
+        let net = BnbNetwork::builder(m).data_width(32).build();
+        let recs = records_for_permutation(&Permutation::random(n, &mut rng));
+        let mut scratch = StageScratch::with_capacity(n);
+        let mut buf: Vec<Record> = recs.clone();
+        g.throughput(Throughput::Elements(n as u64));
+
+        g.bench_with_input(BenchmarkId::new("packed", n), &recs, |b, recs| {
+            b.iter(|| {
+                buf.copy_from_slice(recs);
+                route_span(&net, &mut buf, 0, 0..m, &mut scratch).expect("routes");
+                black_box(buf[0])
+            });
+        });
+
+        g.bench_with_input(BenchmarkId::new("scalar", n), &recs, |b, recs| {
+            b.iter(|| {
+                buf.copy_from_slice(recs);
+                route_span_scalar(&net, &mut buf, 0, 0..m, &mut scratch).expect("routes");
+                black_box(buf[0])
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! `bnb bench` — the routing-kernel micro-benchmark behind the repo's
+//! `BENCH_routing.json` trajectory.
+//!
+//! Routes seeded random frames through both stage-span kernels — the
+//! bit-packed word-parallel fast path (`route_span`) and the scalar
+//! oracle it is held against (`route_span_scalar`) — and reports
+//! nanoseconds per frame and cells per second for each size. The CI
+//! bench-smoke job re-parses the `--json` output and fails if the packed
+//! kernel ever regresses below the scalar one at m ≥ 8; a full-size run
+//! (`bnb bench --out BENCH_routing.json`) is checked in so future PRs
+//! have a baseline to diff against.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use bnb_core::network::BnbNetwork;
+use bnb_core::stages::{route_span, route_span_scalar, StageScratch};
+use bnb_topology::perm::Permutation;
+use bnb_topology::record::{records_for_permutation, Record};
+use serde::{Deserialize, Serialize};
+
+use crate::{err, CliError, Flags};
+
+/// One benchmark measurement: a kernel at a size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchRow {
+    /// Kernel name: `"packed"` or `"scalar"`.
+    pub kernel: String,
+    /// Network size exponent (`N = 2^m` cells per frame).
+    pub m: usize,
+    /// Mean wall-clock nanoseconds to route one full frame.
+    pub ns_per_frame: f64,
+    /// Routed cell throughput implied by `ns_per_frame`.
+    pub cells_per_s: f64,
+}
+
+/// The full `bnb bench` document, as printed by `--json` and written by
+/// `--out`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Distinct seeded frames cycled through per measurement pass.
+    pub frames: usize,
+    /// Measurements, ordered by size then kernel (packed first).
+    pub rows: Vec<BenchRow>,
+}
+
+/// Times one kernel at one size: cycles through `frames` pre-generated
+/// permutation frames, repeating whole passes until the measurement
+/// window is long enough to trust (`min_ns`, at least two passes after
+/// one warm-up pass). Returns mean ns per routed frame.
+fn time_kernel(
+    net: &BnbNetwork,
+    frames: &[Vec<Record>],
+    scratch: &mut StageScratch,
+    buf: &mut Vec<Record>,
+    scalar: bool,
+    min_ns: u128,
+) -> f64 {
+    let m = net.m();
+    let pass = |scratch: &mut StageScratch, buf: &mut Vec<Record>| {
+        for frame in frames {
+            buf.copy_from_slice(frame);
+            if scalar {
+                route_span_scalar(net, buf, 0, 0..m, scratch).unwrap();
+            } else {
+                route_span(net, buf, 0, 0..m, scratch).unwrap();
+            }
+            black_box(buf.last());
+        }
+    };
+    // Warm-up sizes the scratch buffers and faults in the frame data.
+    pass(scratch, buf);
+    let mut routed = 0u64;
+    let start = Instant::now();
+    loop {
+        pass(scratch, buf);
+        routed += frames.len() as u64;
+        let elapsed = start.elapsed().as_nanos();
+        if elapsed >= min_ns && routed >= 2 * frames.len() as u64 {
+            return elapsed as f64 / routed as f64;
+        }
+    }
+}
+
+/// Runs the benchmark matrix and returns the report. Shared by the CLI
+/// command and the CI smoke test.
+pub fn run_bench(
+    min_m: usize,
+    max_m: usize,
+    frames: usize,
+    seed: u64,
+    min_ms_per_cell: u64,
+) -> BenchReport {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let min_ns = u128::from(min_ms_per_cell) * 1_000_000;
+    let mut rows = Vec::new();
+    for m in min_m..=max_m {
+        let n = 1usize << m;
+        let net = BnbNetwork::builder(m).data_width(32).build();
+        let mut scratch = StageScratch::with_capacity(n);
+        let batch: Vec<Vec<Record>> = (0..frames)
+            .map(|_| records_for_permutation(&Permutation::random(n, &mut rng)))
+            .collect();
+        let mut buf = batch[0].clone();
+        for (kernel, is_scalar) in [("packed", false), ("scalar", true)] {
+            let ns = time_kernel(&net, &batch, &mut scratch, &mut buf, is_scalar, min_ns);
+            rows.push(BenchRow {
+                kernel: kernel.to_string(),
+                m,
+                ns_per_frame: ns,
+                cells_per_s: n as f64 * 1e9 / ns,
+            });
+        }
+    }
+    BenchReport { frames, rows }
+}
+
+/// Renders the human-readable table: one line per size with both
+/// kernels and the packed/scalar speedup.
+fn render_table(report: &BenchReport) -> String {
+    let mut out = String::from(
+        "routing-kernel benchmark (ns/frame, lower is better)\n\
+         \n\
+         m      N     packed ns     scalar ns   speedup   packed cells/s\n",
+    );
+    let mut by_m: Vec<usize> = report.rows.iter().map(|r| r.m).collect();
+    by_m.dedup();
+    for m in by_m {
+        let find = |kernel: &str| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.m == m && r.kernel == kernel)
+                .expect("both kernels measured per size")
+        };
+        let packed = find("packed");
+        let scalar = find("scalar");
+        let _ = writeln!(
+            out,
+            "{m:<2} {n:>6} {p:>12.0} {s:>13.0} {x:>8.2}x {c:>15.3e}",
+            n = 1usize << m,
+            p = packed.ns_per_frame,
+            s = scalar.ns_per_frame,
+            x = scalar.ns_per_frame / packed.ns_per_frame,
+            c = packed.cells_per_s,
+        );
+    }
+    out
+}
+
+/// The `bnb bench` command.
+pub(crate) fn cmd_bench(flags: &Flags) -> Result<String, CliError> {
+    let min_m = flags.usize_or("--min-m", 4)?;
+    let max_m = flags.usize_or("--max-m", 12)?;
+    if min_m < 1 || max_m > 20 || min_m > max_m {
+        return Err(err("--min-m/--max-m must satisfy 1 <= min <= max <= 20"));
+    }
+    let frames = flags.usize_or("--frames", 16)?;
+    if frames == 0 || frames > 100_000 {
+        return Err(err("--frames must be 1..=100000"));
+    }
+    let seed = flags.usize_or("--seed", 0)? as u64;
+    let min_ms = flags.usize_or("--min-ms", 20)? as u64;
+    let report = run_bench(min_m, max_m, frames, seed, min_ms);
+    let mut out = if flags.present("--json") {
+        let json = serde_json::to_string(&report)
+            .map_err(|e| err(format!("bench serialization failed: {e}")))?;
+        format!("{json}\n")
+    } else {
+        render_table(&report)
+    };
+    if let Some(path) = flags.value("--out") {
+        let pretty = serde_json::to_string_pretty(&report)
+            .map_err(|e| err(format!("bench serialization failed: {e}")))?;
+        std::fs::write(path, format!("{pretty}\n"))
+            .map_err(|e| CliError::caused_by(format!("failed to write {path}"), e))?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    Ok(out)
+}

@@ -45,6 +45,8 @@ use bnb_obs::{Counters, Fanout, FlightRecorder, SamplePolicy};
 use bnb_topology::perm::Permutation;
 use bnb_topology::record::{all_delivered, records_for_permutation};
 
+pub mod bench;
+
 /// A CLI failure: bad flags or usage (no cause), or a library failure
 /// wrapped with its full cause chain — `main` walks
 /// [`source`](Error::source) and prints every level, so a failed route
@@ -88,7 +90,7 @@ impl Error for CliError {
     }
 }
 
-fn err(msg: impl Into<String>) -> CliError {
+pub(crate) fn err(msg: impl Into<String>) -> CliError {
     CliError::usage(msg)
 }
 
@@ -174,12 +176,12 @@ fn finish_recording(
 }
 
 /// Flag accessor over raw arguments.
-struct Flags<'a> {
+pub(crate) struct Flags<'a> {
     args: &'a [String],
 }
 
 impl<'a> Flags<'a> {
-    fn value(&self, name: &str) -> Option<&'a str> {
+    pub(crate) fn value(&self, name: &str) -> Option<&'a str> {
         self.args
             .iter()
             .position(|a| a == name)
@@ -187,11 +189,11 @@ impl<'a> Flags<'a> {
             .map(String::as_str)
     }
 
-    fn present(&self, name: &str) -> bool {
+    pub(crate) fn present(&self, name: &str) -> bool {
         self.args.iter().any(|a| a == name)
     }
 
-    fn usize_or(&self, name: &str, default: usize) -> Result<usize, CliError> {
+    pub(crate) fn usize_or(&self, name: &str, default: usize) -> Result<usize, CliError> {
         match self.value(name) {
             None => Ok(default),
             Some(v) => v
@@ -251,6 +253,10 @@ pub fn usage() -> String {
                   [--seed 0] [--sweep 0,1,2,..] [--frames 50]\n\
                   [--record FILE] [--metrics text|json|prom];\n\
                   kinds: stuck0 stuck1 arbiter link)\n\
+       bench      time the routing kernels (bit-packed vs scalar) and\n\
+                  report ns/frame and cells/s ([--min-m 4] [--max-m 12]\n\
+                  [--frames 16] [--seed 0] [--min-ms 20] [--json]\n\
+                  [--out BENCH_routing.json])\n\
        report     the full evaluation report\n\
        help       this text\n\
      \n\
@@ -286,6 +292,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "diagnose" => cmd_diagnose(&flags),
         "engine" => cmd_engine(&flags),
         "faults" => cmd_faults(&flags),
+        "bench" => bench::cmd_bench(&flags),
         "report" => Ok(report::full_report()),
         other => Err(err(format!("unknown command '{other}'; try 'bnb help'"))),
     }
@@ -920,6 +927,52 @@ mod tests {
         let out = run_str(&[]).unwrap();
         assert!(out.contains("usage: bnb"));
         assert_eq!(run_str(&["help"]).unwrap(), out);
+    }
+
+    #[test]
+    fn bench_json_round_trips() {
+        let out = run_str(&[
+            "bench", "--min-m", "2", "--max-m", "4", "--frames", "2", "--min-ms", "1", "--json",
+        ])
+        .unwrap();
+        let report: bench::BenchReport = serde_json::from_str(out.trim()).unwrap();
+        assert_eq!(report.frames, 2);
+        // One packed and one scalar row per size, in order.
+        assert_eq!(report.rows.len(), 6);
+        for m in 2..=4usize {
+            for kernel in ["packed", "scalar"] {
+                let row = report
+                    .rows
+                    .iter()
+                    .find(|r| r.m == m && r.kernel == kernel)
+                    .unwrap_or_else(|| panic!("missing row {kernel}/{m}"));
+                assert!(row.ns_per_frame > 0.0);
+                assert!(row.cells_per_s > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn bench_table_and_out_file() {
+        let path = std::env::temp_dir().join(format!("bnb_bench_{}.json", std::process::id()));
+        let path = path.to_str().unwrap().to_string();
+        let out = run_str(&[
+            "bench", "--min-m", "2", "--max-m", "2", "--frames", "1", "--min-ms", "1", "--out",
+            &path,
+        ])
+        .unwrap();
+        assert!(out.contains("routing-kernel benchmark"));
+        assert!(out.contains("speedup"));
+        let written = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        let report: bench::BenchReport = serde_json::from_str(&written).unwrap();
+        assert_eq!(report.rows.len(), 2);
+    }
+
+    #[test]
+    fn bench_rejects_bad_sizes() {
+        let e = run_str(&["bench", "--min-m", "9", "--max-m", "4"]).unwrap_err();
+        assert!(e.to_string().contains("--min-m"));
     }
 
     #[test]

@@ -40,7 +40,12 @@
 //!   `NoopObserver`) for stage-level metrics.
 //! - [`stages`] — the stage-span routing kernel: routes any contiguous
 //!   range of main stages over an aligned subnetwork slice, enabling
-//!   split-and-conquer parallel routing.
+//!   split-and-conquer parallel routing. Unobserved spans take a
+//!   bit-packed word-parallel fast path (`packed`, crate-internal):
+//!   destination bits are cached once per span in per-stage `u64`
+//!   bit-planes and every arbiter sweep, balance check and exchange runs
+//!   as word operations, byte-identical to the scalar sweep
+//!   ([`stages::route_span_scalar`], the retained oracle).
 //! - [`bitslice`] — a 64-lane word-parallel BSN (the one-bit control logic
 //!   vectorized).
 //! - [`fabric`] — the [`fabric::PermutationNetwork`] trait unifying this
@@ -71,6 +76,7 @@ pub mod error;
 pub mod fabric;
 pub mod fault;
 pub mod network;
+mod packed;
 pub mod partial;
 pub mod render;
 pub mod router;

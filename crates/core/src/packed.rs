@@ -1,0 +1,769 @@
+//! Word-parallel (bit-packed) stage-span routing: the unobserved fast
+//! path behind [`crate::stages::route_span`].
+//!
+//! The paper's arbiter (Definition 6) computes every switch setting from
+//! one-bit local information: XOR parities sweep *up* a binary tree and
+//! flags echo *down*. Because the per-line control state is exactly one
+//! bit, 64 adjacent lines pack into a `u64` and each sweep level becomes a
+//! handful of shift/XOR/mask operations:
+//!
+//! - **Bit-planes** — each cell's `m` destination bits are extracted once
+//!   per span into per-stage `u64` planes (`plane[s]` bit `j` = paper bit
+//!   `s` of the record currently on line `j`) and kept in permuted order
+//!   as cells move through switches and wirings, replacing the per-column
+//!   `paper_bit` loop of the scalar path.
+//! - **Up-sweep** — level-`l` parities of every box in a column at once:
+//!   `lev[l] = (lev[l-1] ^ (lev[l-1] >> 2^(l-1))) & STRIDE[l]`.
+//! - **Down-sweep** — the flag echo as masked select/merge words: a node
+//!   with `zu = 1` forwards its descending `zd` to both children, a node
+//!   with `zu = 0` overrides with the constants (0 left, 1 right) — the
+//!   same rule [`crate::splitter::controls_into`] applies one node at a
+//!   time. Boxes wider than a word compose per-word sweeps with a scalar
+//!   cross-tree over the word parities.
+//! - **Balance checks** — XOR-folds and `count_ones()` on masked words.
+//! - **Exchanges** — one packed flag word per 64 lines, consumed directly:
+//!   `trailing_zeros` iteration swaps the position permutation and a
+//!   masked pair-swap updates every live plane. Records move once, at the
+//!   end of the span, through a single gather.
+//!
+//! The kernel is byte-identical to the scalar path on success and returns
+//! identical error values on failure; only the (unspecified) contents of
+//! `lines` after an error may differ. Faulted columns fall back to the
+//! scalar per-box arbiter — reading bits from the planes, never
+//! re-deriving them — so fault semantics stay exactly those of
+//! [`FaultMap`]; healthy columns of a faulted route stay packed.
+
+use std::ops::Range;
+
+use bnb_topology::record::Record;
+
+use crate::error::RouteError;
+use crate::fault::FaultMap;
+use crate::network::{BnbNetwork, RoutePolicy, WiringMode};
+use crate::splitter::{check_balanced, controls_into, SplitterSite};
+use crate::stages::StageScratch;
+
+/// Bits at even positions: the switch-control positions (`2t`).
+const EVEN: u64 = 0x5555_5555_5555_5555;
+
+/// `STRIDE[l]`: bits at positions that are multiples of `2^l` — where the
+/// level-`l` sweep nodes live.
+const STRIDE: [u64; 7] = [
+    !0,
+    0x5555_5555_5555_5555,
+    0x1111_1111_1111_1111,
+    0x0101_0101_0101_0101,
+    0x0001_0001_0001_0001,
+    0x0000_0001_0000_0001,
+    0x0000_0000_0000_0001,
+];
+
+/// Delta-swap masks for the in-word unshuffle cascade: step `j` (1-based)
+/// swaps the `2^(j-1)`-bit block at offset `2^(j-1)` of every
+/// `2^(j+1)`-bit field with the block beside it.
+const UNSHUFFLE_STEP: [u64; 5] = [
+    0x2222_2222_2222_2222,
+    0x0C0C_0C0C_0C0C_0C0C,
+    0x00F0_00F0_00F0_00F0,
+    0x0000_FF00_0000_FF00,
+    0x0000_0000_FFFF_0000,
+];
+
+/// Reusable buffers for the packed kernel, owned by
+/// [`StageScratch`]. Sized on first use, steady state allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PackedScratch {
+    /// Destination bit-planes, flattened `[stage_rel][word]`.
+    planes: Vec<u64>,
+    /// One exchange-flag word per 64-line window of the current column.
+    flags: Vec<u64>,
+    /// Word scratch for multi-word block wiring.
+    tmp: Vec<u64>,
+    /// `perm[pos]` = line index (into the span) of the record currently
+    /// on line `pos`; records are gathered once at the end of the span.
+    perm: Vec<u32>,
+    /// Scatter scratch for wiring `perm`.
+    tmp_perm: Vec<u32>,
+    /// Per-word up-sweep levels for boxes wider than a word.
+    levs: Vec<[u64; 7]>,
+    /// Word-root parities feeding the cross-tree (one per word of a box).
+    roots: Vec<bool>,
+    /// Cross-tree output: the `zd` passed into each word's subtree.
+    zds: Vec<bool>,
+    /// Cross-tree up-sweep scratch.
+    tree: Vec<bool>,
+}
+
+impl PackedScratch {
+    fn ensure(&mut self, span: usize, words: usize, num_stages: usize) {
+        self.planes.clear();
+        self.planes.resize(num_stages * words, 0);
+        self.flags.resize(words, 0);
+        self.tmp.resize(words, 0);
+        self.perm.resize(span, 0);
+        self.tmp_perm.resize(span, 0);
+        self.levs.resize(words, [0; 7]);
+        self.roots.resize(words, false);
+        self.zds.resize(words, false);
+    }
+}
+
+/// Applies one word of exchange flags to `items`: bit `2t` set means swap
+/// `items[2t]` and `items[2t + 1]`. Returns the number of exchanges.
+///
+/// This is the single pair-swap implementation shared by the packed
+/// kernel (on the position permutation) and the scalar path (which packs
+/// each box's `Vec<bool>` controls into flag words before applying).
+#[inline]
+pub(crate) fn apply_flag_word<T>(mut f: u64, items: &mut [T]) -> u64 {
+    let mut exchanges = 0;
+    while f != 0 {
+        let t = f.trailing_zeros() as usize;
+        items.swap(t, t + 1);
+        exchanges += 1;
+        f &= f - 1;
+    }
+    exchanges
+}
+
+/// Exchanges flagged bit-pairs of a plane word: `ce` has both bits of
+/// every flagged pair set (`f | f << 1`).
+#[inline]
+fn swap_pairs_word(x: u64, ce: u64) -> u64 {
+    let swapped = ((x & EVEN) << 1) | ((x >> 1) & EVEN);
+    (x & !ce) | (swapped & ce)
+}
+
+/// Up-sweep of one word: `lev[l]` holds the level-`l` subtree parities at
+/// the node positions (`STRIDE[l]`), for `l = 1..=p`.
+#[inline]
+fn word_levels(x: u64, p: usize) -> [u64; 7] {
+    let mut lev = [0u64; 7];
+    lev[0] = x;
+    for l in 1..=p {
+        lev[l] = (lev[l - 1] ^ (lev[l - 1] >> (1 << (l - 1)))) & STRIDE[l];
+    }
+    lev
+}
+
+/// Down-sweep of one word: from `zd_root` (the `zd` entering each lane's
+/// root, at the `STRIDE[p]` positions) to the per-leaf flags. A node with
+/// `zu = 1` forwards `zd` to both children; a node with `zu = 0` sends 0
+/// left and 1 right — all lanes of the word in parallel.
+#[inline]
+fn lane_flags(lev: &[u64; 7], p: usize, zd_root: u64) -> u64 {
+    let mut zd = zd_root;
+    for l in (1..=p).rev() {
+        let zu = lev[l];
+        let lz = zu & zd;
+        let rz = (lz | !zu) & STRIDE[l];
+        zd = lz | (rz << (1 << (l - 1)));
+    }
+    zd
+}
+
+/// The arbiter's descending `zd` at each leaf of a scalar tree whose
+/// leaves carry up-values `leaf_zu` — the cross-tree over word parities
+/// for boxes wider than a word. The root echoes its own up-value
+/// (Definition 6), interior nodes apply the same forward/override rule as
+/// [`lane_flags`].
+fn zd_into_leaves(leaf_zu: &[bool], up: &mut Vec<bool>, out: &mut Vec<bool>) {
+    let n = leaf_zu.len();
+    debug_assert!(n >= 2 && n.is_power_of_two());
+    out.clear();
+    if n == 2 {
+        let root = leaf_zu[0] ^ leaf_zu[1];
+        out.push(root);
+        out.push(true);
+        return;
+    }
+    let p = n.trailing_zeros() as usize;
+    up.clear();
+    for t in 0..n / 2 {
+        up.push(leaf_zu[2 * t] ^ leaf_zu[2 * t + 1]);
+    }
+    let mut level_start = 0usize;
+    let mut level_len = n / 2;
+    for _ in 2..=p {
+        for t in 0..level_len / 2 {
+            let v = up[level_start + 2 * t] ^ up[level_start + 2 * t + 1];
+            up.push(v);
+        }
+        level_start += level_len;
+        level_len /= 2;
+    }
+    let root_zu = *up.last().expect("p >= 2 has at least one level");
+    out.push(root_zu);
+    let mut zu_start = up.len() - 1;
+    let mut len = 1usize;
+    for _ in (1..=p).rev() {
+        out.resize(2 * len, false);
+        for t in (0..len).rev() {
+            let zd = out[t];
+            let zu = up[zu_start + t];
+            let (y1, y2) = if zu { (zd, zd) } else { (false, true) };
+            out[2 * t] = y1;
+            out[2 * t + 1] = y2;
+        }
+        len *= 2;
+        if len < n {
+            zu_start -= len;
+        }
+    }
+    debug_assert_eq!(out.len(), n);
+}
+
+/// In-word switch controls for every `2^p`-wide lane of `x` at once
+/// (`2 <= p <= 6`): up-sweep, root echo, down-sweep, then
+/// `control = s(2t) ^ flag(2t)` masked to the even positions.
+#[inline]
+fn word_controls(x: u64, p: usize) -> u64 {
+    let lev = word_levels(x, p);
+    let zd = lane_flags(&lev, p, lev[p]);
+    (x ^ zd) & EVEN
+}
+
+#[inline]
+fn delta_swap(x: u64, mask: u64, shift: u32) -> u64 {
+    let t = (x ^ (x >> shift)) & mask;
+    x ^ t ^ (t << shift)
+}
+
+/// Unshuffle of every `2^r`-bit field of `x` (`2 <= r <= 6`): even field
+/// positions to the low half, odd to the high half, order preserved —
+/// i.e. the low `r` index bits rotated right by one.
+#[inline]
+fn unshuffle_word(x: u64, r: usize) -> u64 {
+    let mut x = x;
+    for j in 1..r {
+        x = delta_swap(x, UNSHUFFLE_STEP[j - 1], 1 << (j - 1));
+    }
+    x
+}
+
+/// Inverse of [`unshuffle_word`]: the delta swaps are involutions, so the
+/// cascade runs backwards.
+#[inline]
+fn shuffle_word(x: u64, r: usize) -> u64 {
+    let mut x = x;
+    for j in (1..r).rev() {
+        x = delta_swap(x, UNSHUFFLE_STEP[j - 1], 1 << (j - 1));
+    }
+    x
+}
+
+/// Unshuffle of one multi-word block: per-word cascade packs each word's
+/// even bits into its low half, then a word-level merge interleaves the
+/// halves into the block's low and high word ranges.
+fn unshuffle_words(words: &mut [u64], tmp: &mut [u64]) {
+    const LO: u64 = 0xFFFF_FFFF;
+    for w in words.iter_mut() {
+        *w = unshuffle_word(*w, 6);
+    }
+    let half = words.len() / 2;
+    for i in 0..half {
+        let a = words[2 * i];
+        let b = words[2 * i + 1];
+        tmp[i] = (a & LO) | ((b & LO) << 32);
+        tmp[half + i] = (a >> 32) | (b & !LO);
+    }
+    words.copy_from_slice(&tmp[..words.len()]);
+}
+
+/// Inverse of [`unshuffle_words`].
+fn shuffle_words(words: &mut [u64], tmp: &mut [u64]) {
+    const LO: u64 = 0xFFFF_FFFF;
+    let half = words.len() / 2;
+    for i in 0..half {
+        let e = words[i];
+        let o = words[half + i];
+        tmp[2 * i] = (e & LO) | ((o & LO) << 32);
+        tmp[2 * i + 1] = (e >> 32) | (o & !LO);
+    }
+    words.copy_from_slice(&tmp[..words.len()]);
+    for w in words.iter_mut() {
+        *w = shuffle_word(*w, 6);
+    }
+}
+
+/// Applies the column wiring (rotate the low `r` index bits within every
+/// `2^r`-line block) to one plane.
+fn wire_plane(plane: &mut [u64], r: usize, wiring: WiringMode, tmp: &mut [u64]) {
+    if r < 2 || matches!(wiring, WiringMode::Identity) {
+        return; // rotating a 1-bit field is the identity
+    }
+    if r <= 6 {
+        for w in plane.iter_mut() {
+            *w = match wiring {
+                WiringMode::Unshuffle => unshuffle_word(*w, r),
+                WiringMode::Shuffle => shuffle_word(*w, r),
+                WiringMode::Identity => unreachable!(),
+            };
+        }
+    } else {
+        let block_words = 1usize << (r - 6);
+        for block in plane.chunks_mut(block_words) {
+            match wiring {
+                WiringMode::Unshuffle => unshuffle_words(block, tmp),
+                WiringMode::Shuffle => shuffle_words(block, tmp),
+                WiringMode::Identity => unreachable!(),
+            }
+        }
+    }
+}
+
+/// First unbalanced box of the column, as `(box_start, ones)`, scanning
+/// in line order — the same box the scalar path stops at. `None` when
+/// every box satisfies the Definition 3 input assumption (exactly one 1
+/// for `sp(1)`, an even count otherwise).
+fn first_unbalanced(plane: &[u64], span: usize, box_size: usize) -> Option<(usize, usize)> {
+    let span_mask = if span >= 64 {
+        !0u64
+    } else {
+        (1u64 << span) - 1
+    };
+    if box_size == 2 {
+        for (w, &x) in plane.iter().enumerate() {
+            // A pair is valid iff its parity is 1; the fold leaves each
+            // pair's parity on its even bit.
+            let bad = !(x ^ (x >> 1)) & EVEN & span_mask;
+            if bad != 0 {
+                let t = bad.trailing_zeros() as usize;
+                let ones = ((x >> t) & 3).count_ones() as usize;
+                return Some((w * 64 + t, ones));
+            }
+        }
+        return None;
+    }
+    if box_size <= 64 {
+        let p = box_size.trailing_zeros() as usize;
+        for (w, &x) in plane.iter().enumerate() {
+            let mut par = x;
+            let mut sh = 1;
+            while sh < box_size {
+                par ^= par >> sh;
+                sh <<= 1;
+            }
+            // Odd lane parity = odd number of ones = unbalanced.
+            let bad = par & STRIDE[p];
+            if bad != 0 {
+                let t = bad.trailing_zeros() as usize;
+                let lane_mask = if box_size == 64 {
+                    !0u64
+                } else {
+                    (1u64 << box_size) - 1
+                };
+                let ones = ((x >> t) & lane_mask).count_ones() as usize;
+                return Some((w * 64 + t, ones));
+            }
+        }
+        return None;
+    }
+    let box_words = box_size / 64;
+    for (b, block) in plane.chunks(box_words).enumerate() {
+        let ones: u32 = block.iter().map(|w| w.count_ones()).sum();
+        if !ones.is_multiple_of(2) {
+            return Some((b * box_size, ones as usize));
+        }
+    }
+    None
+}
+
+/// Packs the whole column's switch controls into `flags` (bit `2t` of the
+/// window word = exchange for the pair on lines `2t`, `2t + 1`), for a
+/// column free of faults.
+fn column_flags(plane: &[u64], flags: &mut [u64], box_size: usize, pk: &mut ColumnTrees<'_>) {
+    if box_size == 2 {
+        // sp(1) has no arbiter: control = s(2t) directly.
+        for (f, &x) in flags.iter_mut().zip(plane) {
+            *f = x & EVEN;
+        }
+        return;
+    }
+    if box_size <= 64 {
+        let p = box_size.trailing_zeros() as usize;
+        for (f, &x) in flags.iter_mut().zip(plane) {
+            *f = word_controls(x, p);
+        }
+        return;
+    }
+    let box_words = box_size / 64;
+    for (bw, block) in plane.chunks(box_words).enumerate() {
+        for (w, &x) in block.iter().enumerate() {
+            pk.levs[w] = word_levels(x, 6);
+            pk.roots[w] = pk.levs[w][6] & 1 == 1;
+        }
+        zd_into_leaves(&pk.roots[..box_words], pk.tree, pk.zds);
+        for (w, &x) in block.iter().enumerate() {
+            let zd0 = u64::from(pk.zds[w]);
+            let zd = lane_flags(&pk.levs[w], 6, zd0);
+            flags[bw * box_words + w] = (x ^ zd) & EVEN;
+        }
+    }
+}
+
+/// The cross-tree working set threaded into [`column_flags`].
+struct ColumnTrees<'a> {
+    levs: &'a mut [[u64; 7]],
+    roots: &'a mut [bool],
+    zds: &'a mut Vec<bool>,
+    tree: &'a mut Vec<bool>,
+}
+
+/// Reads one box's true destination bits out of the current plane.
+fn bits_from_plane(plane: &[u64], start: usize, box_size: usize, bits: &mut Vec<bool>) {
+    bits.clear();
+    bits.extend((start..start + box_size).map(|j| plane[j >> 6] >> (j & 63) & 1 == 1));
+}
+
+/// Routes `stages` of `net` over one aligned slice, word-parallel. Same
+/// contract and error values as the scalar kernel; see the module docs.
+pub(crate) fn route_span_packed(
+    net: &BnbNetwork,
+    lines: &mut [Record],
+    first_line: usize,
+    stages: Range<usize>,
+    scratch: &mut StageScratch,
+    faults: Option<&FaultMap>,
+) -> Result<(), RouteError> {
+    if stages.is_empty() {
+        return Ok(());
+    }
+    let m = net.m();
+    let span = lines.len();
+    debug_assert!(stages.end <= m, "stage range {stages:?} exceeds m = {m}");
+    debug_assert_eq!(
+        span,
+        1usize << (m - stages.start),
+        "slice length must match the starting stage"
+    );
+    debug_assert_eq!(first_line % span, 0, "slice must be aligned");
+    assert!(span <= u32::MAX as usize, "span must fit the position perm");
+    let span_log = span.trailing_zeros() as usize;
+    let words = span.div_ceil(64);
+    let num_stages = stages.end - stages.start;
+    let strict = matches!(net.policy(), RoutePolicy::Strict);
+    let wiring = net.wiring();
+    scratch.ensure(span);
+    scratch.packed.ensure(span, words, num_stages);
+    let StageScratch {
+        lines: gather,
+        bits,
+        flags: box_flags,
+        up,
+        tapped,
+        packed,
+    } = scratch;
+    let PackedScratch {
+        planes,
+        flags,
+        tmp,
+        perm,
+        tmp_perm,
+        levs,
+        roots,
+        zds,
+        tree,
+    } = packed;
+
+    // Frame cache: each record's address bits, extracted once per span.
+    for (srel, stage) in stages.clone().enumerate() {
+        let sh = m - 1 - stage;
+        for w in 0..words {
+            let base = w * 64;
+            let mut x = 0u64;
+            for (j, r) in lines[base..span.min(base + 64)].iter().enumerate() {
+                debug_assert!(r.dest() >> m == 0, "destination must fit in m bits");
+                x |= ((r.dest() as u64 >> sh) & 1) << j;
+            }
+            planes[srel * words + w] = x;
+        }
+    }
+    for (j, p) in perm.iter_mut().enumerate() {
+        *p = j as u32;
+    }
+
+    for (srel, main_stage) in stages.clone().enumerate() {
+        let k = m - main_stage;
+        for internal in 0..k {
+            let box_size = 1usize << (k - internal);
+            let column_faults = faults.filter(|f| f.affects(main_stage, internal));
+            // Planes for already-routed stages are dead; the current
+            // stage's plane feeds the arbiter, later ones ride along.
+            let live = &mut planes[srel * words..];
+            let (cur, future) = live.split_at_mut(words);
+            if let Some(map) = column_faults {
+                // Faulted column: scalar per-box arbiter in line order so
+                // fault semantics (taps, overrides, audits) and error
+                // ordering match the scalar path exactly; bits come from
+                // the plane, never re-derived.
+                flags[..words].fill(0);
+                for start in (0..span).step_by(box_size) {
+                    bits_from_plane(cur, start, box_size, bits);
+                    if strict {
+                        check_balanced(
+                            bits,
+                            SplitterSite {
+                                main_stage,
+                                internal_stage: internal,
+                                first_line: first_line + start,
+                            },
+                        )?;
+                    }
+                    tapped.clear();
+                    tapped.extend_from_slice(bits);
+                    map.tap_bits(main_stage, internal, first_line + start, tapped);
+                    controls_into(tapped, up, box_flags);
+                    map.override_flags(main_stage, internal, first_line + start, tapped, box_flags);
+                    for (t, &c) in box_flags.iter().enumerate() {
+                        if c {
+                            let pos = start + 2 * t;
+                            flags[pos >> 6] |= 1 << (pos & 63);
+                        }
+                    }
+                    // Post-swap audit from the pre-swap true bits and the
+                    // flags — the swap outcome is determined by both, so
+                    // nothing is re-derived from the records.
+                    if strict {
+                        let mut even_ones = 0usize;
+                        let mut odd_ones = 0usize;
+                        for (t, &c) in box_flags.iter().enumerate() {
+                            let (a, b) = (bits[2 * t], bits[2 * t + 1]);
+                            let (pe, po) = if c { (b, a) } else { (a, b) };
+                            even_ones += usize::from(pe);
+                            odd_ones += usize::from(po);
+                        }
+                        let balanced = if box_size == 2 {
+                            even_ones == 0 && odd_ones == 1
+                        } else {
+                            even_ones == odd_ones
+                        };
+                        if !balanced {
+                            return Err(RouteError::HardwareFault {
+                                main_stage,
+                                internal_stage: internal,
+                                first_line: first_line + start,
+                                width: box_size,
+                                even_ones,
+                                odd_ones,
+                            });
+                        }
+                    }
+                }
+            } else {
+                if strict {
+                    if let Some((start, ones)) = first_unbalanced(cur, span, box_size) {
+                        return Err(RouteError::UnbalancedSplitter {
+                            main_stage,
+                            internal_stage: internal,
+                            first_line: first_line + start,
+                            width: box_size,
+                            ones,
+                        });
+                    }
+                }
+                let mut trees = ColumnTrees {
+                    levs,
+                    roots,
+                    zds,
+                    tree,
+                };
+                column_flags(cur, flags, box_size, &mut trees);
+            }
+            // Exchange: flag words drive the position permutation and
+            // every live plane; records move once, at the gather below.
+            for w in 0..words {
+                let f = flags[w];
+                if f == 0 {
+                    continue;
+                }
+                let base = w * 64;
+                apply_flag_word(f, &mut perm[base..span.min(base + 64)]);
+                let ce = f | (f << 1);
+                cur[w] = swap_pairs_word(cur[w], ce);
+                for plane in future.chunks_exact_mut(words) {
+                    plane[w] = swap_pairs_word(plane[w], ce);
+                }
+            }
+            // Wiring: rotate the low r index bits within each 2^r block
+            // (r = box width inside a stage, r = k for the main wiring).
+            let last_internal = internal + 1 == k;
+            let r = if !last_internal {
+                k - internal
+            } else if main_stage + 1 < m {
+                k
+            } else {
+                continue;
+            };
+            if !matches!(wiring, WiringMode::Identity) {
+                let bs = 1usize << r;
+                for (j, &p) in perm.iter().enumerate().take(span) {
+                    let base = j & !(bs - 1);
+                    let local = j & (bs - 1);
+                    let rl = match wiring {
+                        WiringMode::Unshuffle => (local >> 1) | ((local & 1) << (r - 1)),
+                        WiringMode::Shuffle => ((local << 1) & (bs - 1)) | (local >> (r - 1)),
+                        WiringMode::Identity => unreachable!(),
+                    };
+                    tmp_perm[base | rl] = p;
+                }
+                perm[..span].copy_from_slice(&tmp_perm[..span]);
+                wire_plane(cur, r, wiring, tmp);
+                for plane in future.chunks_exact_mut(words) {
+                    wire_plane(plane, r, wiring, tmp);
+                }
+            }
+        }
+    }
+    let _ = span_log;
+    // One gather moves every record to its final line.
+    for (dst, &src) in gather[..span].iter_mut().zip(perm.iter()) {
+        *dst = lines[src as usize];
+    }
+    lines.copy_from_slice(&gather[..span]);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::splitter::controls;
+    use bnb_topology::bitops::{shuffle, unshuffle};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn word_to_bits(x: u64, n: usize) -> Vec<bool> {
+        (0..n).map(|j| x >> j & 1 == 1).collect()
+    }
+
+    fn flags_to_word(ctl: &[bool]) -> u64 {
+        ctl.iter()
+            .enumerate()
+            .fold(0, |acc, (t, &c)| acc | (u64::from(c) << (2 * t)))
+    }
+
+    /// The in-word arbiter agrees with the scalar tree on every lane, for
+    /// every box width that fits a word — including unbalanced garbage.
+    #[test]
+    fn word_controls_match_scalar_tree() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for p in 2..=6usize {
+            let n = 1usize << p;
+            for _ in 0..200 {
+                let x: u64 = rng.random();
+                let mut want = 0u64;
+                for lane in 0..(64 / n) {
+                    let bits = word_to_bits(x >> (lane * n), n);
+                    want |= flags_to_word(&controls(&bits)) << (lane * n);
+                }
+                assert_eq!(word_controls(x, p), want, "p = {p}, x = {x:#x}");
+            }
+        }
+    }
+
+    /// Multi-word boxes: per-word sweeps plus the cross-tree over word
+    /// parities equal one big scalar tree.
+    #[test]
+    fn cross_tree_controls_match_scalar_tree() {
+        let mut rng = StdRng::seed_from_u64(32);
+        for p in 7..=9usize {
+            let n = 1usize << p;
+            let box_words = n / 64;
+            for _ in 0..40 {
+                let plane: Vec<u64> = (0..box_words).map(|_| rng.random()).collect();
+                let bits: Vec<bool> = plane.iter().flat_map(|&w| word_to_bits(w, 64)).collect();
+                let want = controls(&bits);
+                let mut levs = vec![[0u64; 7]; box_words];
+                let mut roots = vec![false; box_words];
+                let mut zds = Vec::new();
+                let mut tree = Vec::new();
+                let mut flags = vec![0u64; box_words];
+                let mut trees = ColumnTrees {
+                    levs: &mut levs,
+                    roots: &mut roots,
+                    zds: &mut zds,
+                    tree: &mut tree,
+                };
+                column_flags(&plane, &mut flags, n, &mut trees);
+                for (w, &f) in flags.iter().enumerate() {
+                    let want_word = flags_to_word(&want[w * 32..(w + 1) * 32]);
+                    assert_eq!(f, want_word, "p = {p}, word = {w}");
+                }
+            }
+        }
+    }
+
+    /// The delta-swap cascade is the index unshuffle, for every block
+    /// width in a word and across words.
+    #[test]
+    fn wiring_cascade_matches_index_transform() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for r in 2..=9usize {
+            let bs = 1usize << r;
+            let words = bs.div_ceil(64).max(2);
+            let span = words * 64;
+            let src: Vec<bool> = (0..span).map(|_| rng.random_bool(0.5)).collect();
+            let mut plane: Vec<u64> = (0..words)
+                .map(|w| (0..64).fold(0u64, |acc, j| acc | (u64::from(src[w * 64 + j]) << j)))
+                .collect();
+            for mode in [WiringMode::Unshuffle, WiringMode::Shuffle] {
+                let mut got = plane.clone();
+                let mut tmp = vec![0u64; words];
+                wire_plane(&mut got, r, mode, &mut tmp);
+                for (j, &src_bit) in src.iter().enumerate().take(span) {
+                    let base = j & !(bs - 1);
+                    let local = j & (bs - 1);
+                    let dst = base
+                        | match mode {
+                            WiringMode::Unshuffle => unshuffle(r, r, local),
+                            WiringMode::Shuffle => shuffle(r, r, local),
+                            WiringMode::Identity => unreachable!(),
+                        };
+                    let got_bit = got[dst >> 6] >> (dst & 63) & 1 == 1;
+                    assert_eq!(got_bit, src_bit, "r = {r}, {mode:?}, j = {j}");
+                }
+            }
+            plane.rotate_left(1); // keep clippy quiet about unused mut
+        }
+    }
+
+    /// Balance scanning returns the same first box and ones count the
+    /// scalar `check_balanced` sweep finds.
+    #[test]
+    fn first_unbalanced_matches_scalar_scan() {
+        let mut rng = StdRng::seed_from_u64(34);
+        for (span, box_size) in [(64usize, 2usize), (64, 8), (64, 64), (256, 128), (32, 4)] {
+            let words = span.div_ceil(64);
+            for _ in 0..300 {
+                let plane: Vec<u64> = (0..words)
+                    .map(|w| {
+                        let x: u64 = rng.random();
+                        if span < 64 {
+                            x & ((1 << span) - 1)
+                        } else {
+                            let _ = w;
+                            x
+                        }
+                    })
+                    .collect();
+                let bits: Vec<bool> = (0..span)
+                    .map(|j| plane[j >> 6] >> (j & 63) & 1 == 1)
+                    .collect();
+                let want = (0..span).step_by(box_size).find_map(|start| {
+                    let ones = bits[start..start + box_size].iter().filter(|&&b| b).count();
+                    let ok = if box_size == 2 {
+                        ones == 1
+                    } else {
+                        ones % 2 == 0
+                    };
+                    (!ok).then_some((start, ones))
+                });
+                assert_eq!(
+                    first_unbalanced(&plane, span, box_size),
+                    want,
+                    "span = {span}, box = {box_size}"
+                );
+            }
+        }
+    }
+}

@@ -13,6 +13,14 @@
 //!
 //! All buffers live in a caller-owned [`StageScratch`], so steady-state
 //! routing performs no heap allocation.
+//!
+//! Two kernels share the entry points: unobserved spans route through the
+//! bit-packed word-parallel kernel (`crate::packed` — cached destination
+//! bit-planes, word-level arbiter sweeps and balance checks), while an
+//! attached observer selects the scalar cell-at-a-time sweep, which emits
+//! per-column and per-hop events and doubles as the packed kernel's
+//! oracle via [`route_span_scalar`]. Both produce byte-identical frames
+//! and identical error values.
 
 use std::ops::Range;
 
@@ -31,10 +39,15 @@ use crate::splitter::{check_balanced, controls_into, SplitterSite};
 /// the largest span routed and then stays put.
 #[derive(Debug, Clone, Default)]
 pub struct StageScratch {
-    lines: Vec<Record>,
-    bits: Vec<bool>,
-    flags: Vec<bool>,
-    up: Vec<bool>,
+    pub(crate) lines: Vec<Record>,
+    pub(crate) bits: Vec<bool>,
+    pub(crate) flags: Vec<bool>,
+    pub(crate) up: Vec<bool>,
+    /// Control-plane view of a faulted box's bits (the true bits stay in
+    /// `bits` so the post-swap audit never re-derives them).
+    pub(crate) tapped: Vec<bool>,
+    /// Word-parallel kernel state (planes, flag words, position perm).
+    pub(crate) packed: crate::packed::PackedScratch,
 }
 
 impl StageScratch {
@@ -45,12 +58,14 @@ impl StageScratch {
             bits: Vec::with_capacity(n),
             flags: Vec::with_capacity(n),
             up: Vec::with_capacity(2 * n),
+            tapped: Vec::new(),
+            packed: crate::packed::PackedScratch::default(),
         }
     }
 
     /// Grows the line buffer to hold `n` lines (never shrinks).
     #[inline]
-    fn ensure(&mut self, n: usize) {
+    pub(crate) fn ensure(&mut self, n: usize) {
         if self.lines.len() < n {
             self.lines.resize(n, Record::new(0, 0));
         }
@@ -191,7 +206,75 @@ pub fn route_span_faulted<O: Observer>(
     route_span_inner(net, lines, first_line, stages, scratch, observer, faults)
 }
 
+/// The scalar (cell-at-a-time) kernel, byte-for-byte the original
+/// routing sweep. [`route_span`] dispatches away from it to the
+/// word-parallel kernel whenever no observer is attached; this entry
+/// keeps the scalar path callable directly — it is the oracle the packed
+/// equivalence suites and the `bitpacked_vs_scalar` benchmark compare
+/// against (with [`BnbNetwork::route`] as a second, independent oracle).
+///
+/// # Errors / Panics
+///
+/// Identical contract to [`route_span`].
+pub fn route_span_scalar(
+    net: &BnbNetwork,
+    lines: &mut [Record],
+    first_line: usize,
+    stages: Range<usize>,
+    scratch: &mut StageScratch,
+) -> Result<(), RouteError> {
+    route_span_scalar_inner(net, lines, first_line, stages, scratch, &NoopObserver, None)
+}
+
+/// [`route_span_scalar`] through damaged hardware: the scalar reference
+/// for [`route_span_faulted`]'s packed fast path.
+///
+/// # Errors / Panics
+///
+/// Identical contract to [`route_span_faulted`].
+pub fn route_span_scalar_faulted(
+    net: &BnbNetwork,
+    lines: &mut [Record],
+    first_line: usize,
+    stages: Range<usize>,
+    scratch: &mut StageScratch,
+    faults: &FaultMap,
+) -> Result<(), RouteError> {
+    let faults = if faults.is_empty() {
+        None
+    } else {
+        Some(faults)
+    };
+    route_span_scalar_inner(
+        net,
+        lines,
+        first_line,
+        stages,
+        scratch,
+        &NoopObserver,
+        faults,
+    )
+}
+
 fn route_span_inner<O: Observer>(
+    net: &BnbNetwork,
+    lines: &mut [Record],
+    first_line: usize,
+    stages: Range<usize>,
+    scratch: &mut StageScratch,
+    observer: &O,
+    faults: Option<&FaultMap>,
+) -> Result<(), RouteError> {
+    // The word-parallel kernel is the default fast path; the scalar sweep
+    // remains the path taken when an observer wants per-column (or
+    // per-hop) events, which the packed kernel cannot attribute cheaply.
+    if !observer.enabled() {
+        return crate::packed::route_span_packed(net, lines, first_line, stages, scratch, faults);
+    }
+    route_span_scalar_inner(net, lines, first_line, stages, scratch, observer, faults)
+}
+
+fn route_span_scalar_inner<O: Observer>(
     net: &BnbNetwork,
     lines: &mut [Record],
     first_line: usize,
@@ -250,16 +333,29 @@ fn route_span_inner<O: Observer>(
                         return Err(err);
                     }
                 }
-                if let Some(map) = column_faults {
-                    map.tap_bits(main_stage, internal, first_line + start, &mut scratch.bits);
-                }
-                controls_into(&scratch.bits, &mut scratch.up, &mut scratch.flags);
+                // Broken-link taps corrupt only the control plane's view,
+                // so they land in a copy: `bits` keeps the true bits the
+                // post-swap audit below needs.
+                let ctl_bits: &[bool] = if let Some(map) = column_faults {
+                    scratch.tapped.clear();
+                    scratch.tapped.extend_from_slice(&scratch.bits);
+                    map.tap_bits(
+                        main_stage,
+                        internal,
+                        first_line + start,
+                        &mut scratch.tapped,
+                    );
+                    &scratch.tapped
+                } else {
+                    &scratch.bits
+                };
+                controls_into(ctl_bits, &mut scratch.up, &mut scratch.flags);
                 if let Some(map) = column_faults {
                     map.override_flags(
                         main_stage,
                         internal,
                         first_line + start,
-                        &scratch.bits,
+                        ctl_bits,
                         &mut scratch.flags,
                     );
                 }
@@ -283,13 +379,8 @@ fn route_span_inner<O: Observer>(
                         }
                     }
                 }
+                exchanges += apply_box_flags(&scratch.flags, &mut lines[start..start + box_size]);
                 if observing {
-                    for (t, &c) in scratch.flags.iter().enumerate() {
-                        if c {
-                            lines.swap(start + 2 * t, start + 2 * t + 1);
-                            exchanges += 1;
-                        }
-                    }
                     observer.arbiter_sweep(SweepEvent {
                         main_stage,
                         internal_stage: internal,
@@ -297,29 +388,23 @@ fn route_span_inner<O: Observer>(
                         width: box_size,
                         depth: k - internal,
                     });
-                } else {
-                    for (t, &c) in scratch.flags.iter().enumerate() {
-                        if c {
-                            lines.swap(start + 2 * t, start + 2 * t + 1);
-                        }
-                    }
                 }
                 // Fault detection: a healthy splitter on a checked input
                 // always splits evenly (Theorem 3), so an unbalanced
                 // *output* in a faulted column pins the corruption to this
                 // box; any balanced output is a valid split and the route
-                // stays correct.
+                // stays correct. The output bits are determined by the
+                // already-extracted input bits and the flags (switch `t`
+                // emits its pair swapped iff flagged), so nothing is
+                // re-derived from the records.
                 if strict && column_faults.is_some() {
                     let mut even_ones = 0usize;
                     let mut odd_ones = 0usize;
-                    for (off, r) in lines[start..start + box_size].iter().enumerate() {
-                        if paper_bit(m, r.dest(), main_stage) {
-                            if off % 2 == 0 {
-                                even_ones += 1;
-                            } else {
-                                odd_ones += 1;
-                            }
-                        }
+                    for (t, &c) in scratch.flags.iter().enumerate() {
+                        let (a, b) = (scratch.bits[2 * t], scratch.bits[2 * t + 1]);
+                        let (even, odd) = if c { (b, a) } else { (a, b) };
+                        even_ones += usize::from(even);
+                        odd_ones += usize::from(odd);
                     }
                     let balanced = if box_size == 2 {
                         even_ones == 0 && odd_ones == 1
@@ -398,6 +483,25 @@ fn route_span_inner<O: Observer>(
         }
     }
     Ok(())
+}
+
+/// Applies one box's exchange flags to its window of lines and returns
+/// the exchange count. The bools are packed into flag words so that both
+/// routing paths funnel through the single pair-swap implementation in
+/// [`crate::packed::apply_flag_word`].
+fn apply_box_flags(flags: &[bool], window: &mut [Record]) -> u64 {
+    let mut exchanges = 0;
+    let mut t0 = 0usize;
+    while t0 < flags.len() {
+        let chunk = (flags.len() - t0).min(32); // 32 switches per 64-line word
+        let mut f = 0u64;
+        for (i, &c) in flags[t0..t0 + chunk].iter().enumerate() {
+            f |= u64::from(c) << (2 * i);
+        }
+        exchanges += crate::packed::apply_flag_word(f, &mut window[2 * t0..2 * (t0 + chunk)]);
+        t0 += chunk;
+    }
+    exchanges
 }
 
 #[cfg(test)]

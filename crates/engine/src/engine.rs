@@ -11,7 +11,9 @@
 //! worker; the owner recurses into the other. After `depth` splits the
 //! frame is `2^depth` disjoint slice tasks routing concurrently, each with
 //! the worker's own reusable [`StageScratch`] — zero per-batch allocation
-//! in steady state.
+//! in steady state. With no observer attached (the default), every slice
+//! takes `bnb-core`'s bit-packed word-parallel kernel, so the engine's
+//! per-worker throughput is the packed kernel's, not the scalar sweep's.
 //!
 //! Because BNB routing is oblivious data movement (every switch setting
 //! depends only on local destination bits), the parallel result is

@@ -20,6 +20,12 @@
 //!   under strict vs permissive policies; plus hardware-fault campaigns
 //!   (stuck switches, dead arbiters, broken links via
 //!   `bnb_core::fault::FaultyFabric`) and a degraded-throughput sweep.
+//!
+//! All of these drain frames through `bnb-core`'s stage-span entry
+//! points, so unobserved simulation runs (no `_observed` variant, or a
+//! `NoopObserver`) automatically route on the bit-packed word-parallel
+//! kernel; attaching a live observer switches to the scalar sweep that
+//! can narrate per-hop events.
 
 pub mod faults;
 pub mod hotspot;

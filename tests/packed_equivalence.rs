@@ -1,0 +1,196 @@
+//! Packed-kernel equivalence: the bit-packed word-parallel fast path in
+//! `bnb_core::stages` must be byte-identical to the scalar sweep it
+//! replaced — same final frames on success, same error values on
+//! failure — across sizes, policies, fault campaigns, and the
+//! split-and-conquer span pattern the engine uses.
+//!
+//! The scalar sweep stays exported as `route_span_scalar` /
+//! `route_span_scalar_faulted` precisely so this suite can hold the two
+//! kernels against each other forever.
+
+use bnb::core::network::{BnbNetwork, RoutePolicy};
+use bnb::core::stages::{
+    route_span, route_span_faulted, route_span_scalar, route_span_scalar_faulted, StageScratch,
+};
+use bnb::core::{FaultKind, FaultMap, FaultSite};
+use bnb::obs::NoopObserver;
+use bnb::topology::perm::Permutation;
+use bnb::topology::record::{records_for_permutation, Record};
+use proptest::prelude::*;
+use rand::{RngExt, SeedableRng};
+
+fn build(m: usize, policy: RoutePolicy) -> BnbNetwork {
+    BnbNetwork::builder(m).data_width(32).policy(policy).build()
+}
+
+/// Routes `records` through all `m` stages with both kernels and asserts
+/// the outcomes are identical (frames on `Ok`, error values on `Err`).
+fn assert_kernels_agree(
+    net: &BnbNetwork,
+    records: &[Record],
+    faults: Option<&FaultMap>,
+    ctx: &str,
+) {
+    let m = net.m();
+    let mut scratch = StageScratch::with_capacity(records.len());
+    let mut packed = records.to_vec();
+    let mut scalar = records.to_vec();
+    let (got, want) = match faults {
+        Some(map) => (
+            route_span_faulted(net, &mut packed, 0, 0..m, &mut scratch, &NoopObserver, map),
+            route_span_scalar_faulted(net, &mut scalar, 0, 0..m, &mut scratch, map),
+        ),
+        None => (
+            route_span(net, &mut packed, 0, 0..m, &mut scratch),
+            route_span_scalar(net, &mut scalar, 0, 0..m, &mut scratch),
+        ),
+    };
+    assert_eq!(got, want, "result mismatch ({ctx})");
+    if got.is_ok() {
+        // Post-error line state is unspecified (the engine compares
+        // result values only), so frames are compared on success alone.
+        assert_eq!(packed, scalar, "frame mismatch ({ctx})");
+    }
+}
+
+/// A seeded draw of in-bounds faults, spanning every kind.
+fn random_faults(m: usize, count: usize, rng: &mut rand::rngs::StdRng) -> FaultMap {
+    let kinds = [
+        FaultKind::StuckStraight,
+        FaultKind::StuckExchange,
+        FaultKind::DeadArbiter,
+        FaultKind::BrokenLink,
+    ];
+    let mut map = FaultMap::new();
+    for _ in 0..count {
+        let main = rng.random_range(0..m);
+        let internal = rng.random_range(0..m - main);
+        let kind = kinds[rng.random_range(0..kinds.len())];
+        let element = rng.random_range(0..kind.elements(m, main, internal));
+        map.insert(FaultSite::new(main, internal, element), kind);
+    }
+    map
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Healthy fabric, both policies, m = 2..=10: byte-identical frames.
+    #[test]
+    fn packed_matches_scalar_healthy(m in 2usize..=10, seed in any::<u64>(), strict in any::<bool>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let policy = if strict { RoutePolicy::Strict } else { RoutePolicy::Permissive };
+        let net = build(m, policy);
+        let records = records_for_permutation(&Permutation::random(1 << m, &mut rng));
+        assert_kernels_agree(&net, &records, None, &format!("m={m} {policy:?}"));
+    }
+
+    /// Fault campaigns, both policies: identical frames when both kernels
+    /// deliver, identical error values when routing trips a fault check.
+    #[test]
+    fn packed_matches_scalar_under_faults(
+        m in 2usize..=8,
+        seed in any::<u64>(),
+        strict in any::<bool>(),
+        nfaults in 1usize..=3,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let policy = if strict { RoutePolicy::Strict } else { RoutePolicy::Permissive };
+        let net = build(m, policy);
+        let records = records_for_permutation(&Permutation::random(1 << m, &mut rng));
+        let faults = random_faults(m, nfaults, &mut rng);
+        assert_kernels_agree(&net, &records, Some(&faults), &format!("m={m} {policy:?} {faults:?}"));
+    }
+
+    /// An empty FaultMap through the faulted entry points is the healthy
+    /// fast path for both kernels.
+    #[test]
+    fn packed_matches_scalar_empty_fault_map(m in 2usize..=8, seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = build(m, RoutePolicy::Strict);
+        let records = records_for_permutation(&Permutation::random(1 << m, &mut rng));
+        let empty = FaultMap::new();
+        assert_kernels_agree(&net, &records, Some(&empty), &format!("m={m} empty-map"));
+    }
+
+    /// The engine's split-and-conquer pattern: head stages on the full
+    /// frame, then each aligned slice routed separately. Every split
+    /// depth must agree with the scalar kernel routed the same way.
+    #[test]
+    fn packed_matches_scalar_split_spans(m in 3usize..=9, seed in any::<u64>(), depth in 1usize..=3) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let depth = depth.min(m - 1);
+        let n = 1usize << m;
+        let net = build(m, RoutePolicy::Strict);
+        let records = records_for_permutation(&Permutation::random(n, &mut rng));
+        let mut scratch = StageScratch::with_capacity(n);
+
+        let mut packed = records.clone();
+        route_span(&net, &mut packed, 0, 0..depth, &mut scratch).unwrap();
+        let span = n >> depth;
+        for (idx, chunk) in packed.chunks_mut(span).enumerate() {
+            route_span(&net, chunk, idx * span, depth..m, &mut scratch).unwrap();
+        }
+
+        let mut scalar = records.clone();
+        route_span_scalar(&net, &mut scalar, 0, 0..depth, &mut scratch).unwrap();
+        for (idx, chunk) in scalar.chunks_mut(span).enumerate() {
+            route_span_scalar(&net, chunk, idx * span, depth..m, &mut scratch).unwrap();
+        }
+
+        prop_assert_eq!(&packed, &scalar, "split mismatch m={} depth={}", m, depth);
+    }
+}
+
+/// Exhaustive byte-identity sweep at small m: every one of the N!
+/// permutations for m ≤ 3, a dense seeded sample for m = 4..=5.
+#[test]
+fn exhaustive_small_m_byte_identity() {
+    fn check(net: &BnbNetwork, records: &[Record]) {
+        let m = net.m();
+        let mut scratch = StageScratch::with_capacity(records.len());
+        let mut packed = records.to_vec();
+        let mut scalar = records.to_vec();
+        route_span(net, &mut packed, 0, 0..m, &mut scratch).unwrap();
+        route_span_scalar(net, &mut scalar, 0, 0..m, &mut scratch).unwrap();
+        assert_eq!(packed, scalar, "m={m} records={records:?}");
+    }
+
+    // All N! permutations for m <= 3 (2 + 24 + 40320 frames).
+    for m in 1usize..=3 {
+        let n = 1usize << m;
+        let net = build(m, RoutePolicy::Strict);
+        let mut dests: Vec<usize> = (0..n).collect();
+        permute_all(&mut dests, 0, &mut |p| {
+            let records: Vec<Record> = p
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| Record::new(d, i as u64))
+                .collect();
+            check(&net, &records);
+        });
+    }
+
+    // Dense seeded sample above that.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    for m in 4usize..=5 {
+        let net = build(m, RoutePolicy::Strict);
+        for _ in 0..400 {
+            let records = records_for_permutation(&Permutation::random(1 << m, &mut rng));
+            check(&net, &records);
+        }
+    }
+}
+
+/// Heap's algorithm: calls `f` with every permutation of `items`.
+fn permute_all(items: &mut [usize], k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        f(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute_all(items, k + 1, f);
+        items.swap(k, i);
+    }
+}

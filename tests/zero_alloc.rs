@@ -242,6 +242,61 @@ fn observed_routing_with_flight_recorder_stays_allocation_free() {
 }
 
 #[test]
+fn packed_kernel_is_allocation_free_after_warmup() {
+    // The bit-packed word-parallel fast path (taken by `route_span`
+    // whenever no observer is attached) sizes its plane/flag/permutation
+    // scratch on first use and must never touch the heap again — at
+    // sub-word spans (m = 5: one partial u64), multi-word spans
+    // (m = 8: four u64 words per plane), and on the faulted entry point
+    // whose broken columns fall back to per-box scalar processing.
+    use bnb::core::stages::route_span_faulted;
+    use bnb::core::{FaultKind, FaultMap, FaultSite};
+    use bnb::obs::NoopObserver;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+    for m in [5usize, 8] {
+        let n = 1usize << m;
+        let net = BnbNetwork::new(m);
+        let mut scratch = StageScratch::with_capacity(n);
+        let faults = FaultMap::single(FaultSite::new(1, 0, 0), FaultKind::StuckExchange);
+        let records = records_for_permutation(&Permutation::random(n, &mut rng));
+        let mut lines = records.clone();
+        // Warm-up sizes the packed planes and the fault tap scratch.
+        route_span(&net, &mut lines, 0, 0..m, &mut scratch).unwrap();
+        lines.copy_from_slice(&records);
+        let _ = route_span_faulted(
+            &net,
+            &mut lines,
+            0,
+            0..m,
+            &mut scratch,
+            &NoopObserver,
+            &faults,
+        );
+        let allocs = allocations_during(|| {
+            for _ in 0..10 {
+                lines.copy_from_slice(&records);
+                route_span(&net, &mut lines, 0, 0..m, &mut scratch).unwrap();
+                lines.copy_from_slice(&records);
+                let _ = route_span_faulted(
+                    &net,
+                    &mut lines,
+                    0,
+                    0..m,
+                    &mut scratch,
+                    &NoopObserver,
+                    &faults,
+                );
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "m = {m}: packed kernel allocated in steady state"
+        );
+    }
+}
+
+#[test]
 fn stage_span_kernel_is_allocation_free_after_warmup() {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(10);
