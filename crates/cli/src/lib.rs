@@ -18,6 +18,13 @@
 //! bnb engine [--inputs 256] [--workers 4] [--batch 64] [--depth auto|D]
 //!            [--queue 4] [--seed 0] [--pretty] [--record FILE]
 //!            [--metrics text|json|prom]
+//! bnb serve [--addr 127.0.0.1:0] [--inputs 64] [--workers 2] [--queue 8]
+//!           [--tenant-quota 4] [--max-conns 64] [--read-timeout-ms 100]
+//!           [--pretty]
+//! bnb loadgen [--addr 127.0.0.1:9500] [--tenants 4] [--frames 64]
+//!             [--inputs 64] [--mode closed|open] [--inflight 4] [--qps 500]
+//!             [--seed 45488] [--drain-ms 2000] [--shutdown] [--out FILE]
+//!             [--pretty]
 //! bnb faults [--inputs 8] [--faults M.I.E:kind,..] [--trials 200] [--seed 0]
 //!            [--sweep 0,1,2,..] [--frames 50] [--record FILE]
 //!            [--metrics text|json|prom]
@@ -46,6 +53,7 @@ use bnb_topology::perm::Permutation;
 use bnb_topology::record::{all_delivered, records_for_permutation};
 
 pub mod bench;
+mod serve;
 
 /// A CLI failure: bad flags or usage (no cause), or a library failure
 /// wrapped with its full cause chain — `main` walks
@@ -257,6 +265,18 @@ pub fn usage() -> String {
                   report ns/frame and cells/s ([--min-m 4] [--max-m 12]\n\
                   [--frames 16] [--seed 0] [--min-ms 20] [--json]\n\
                   [--out BENCH_routing.json])\n\
+       serve      run the long-lived routing service until SIGTERM/SIGINT\n\
+                  or a wire SHUTDOWN; prints 'listening on ADDR' at bind\n\
+                  and the session report JSON after the graceful drain\n\
+                  ([--addr 127.0.0.1:0] [--inputs 64] [--workers 2]\n\
+                  [--queue 8] [--tenant-quota 4] [--max-conns 64]\n\
+                  [--read-timeout-ms 100] [--pretty]); HTTP GET on the\n\
+                  same port serves Prometheus metrics\n\
+       loadgen    drive a running server and verify every routed frame\n\
+                  ([--addr 127.0.0.1:9500] [--tenants 4] [--frames 64]\n\
+                  [--inputs 64] [--mode closed|open] [--inflight 4]\n\
+                  [--qps 500] [--seed 45488] [--drain-ms 2000]\n\
+                  [--shutdown] [--out FILE] [--pretty])\n\
        report     the full evaluation report\n\
        help       this text\n\
      \n\
@@ -293,6 +313,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "engine" => cmd_engine(&flags),
         "faults" => cmd_faults(&flags),
         "bench" => bench::cmd_bench(&flags),
+        "serve" => serve::cmd_serve(&flags),
+        "loadgen" => serve::cmd_loadgen(&flags),
         "report" => Ok(report::full_report()),
         other => Err(err(format!("unknown command '{other}'; try 'bnb help'"))),
     }
@@ -1505,5 +1527,55 @@ mod tests {
         assert!(run_str(&["faults", "--inputs", "8", "--faults", "9.0.0:link"]).is_err());
         assert!(run_str(&["faults", "--sweep", "two"]).is_err());
         assert!(run_str(&["faults", "--metrics", "xml"]).is_err());
+    }
+
+    #[test]
+    fn serve_and_loadgen_validate_flags() {
+        // Flag validation happens before any socket is bound or dialed.
+        assert!(run_str(&["serve", "--inputs", "12"]).is_err());
+        assert!(run_str(&["serve", "--inputs", "1"]).is_err());
+        assert!(run_str(&["serve", "--queue", "many"]).is_err());
+        assert!(run_str(&["serve", "--read-timeout-ms", "soon"]).is_err());
+        assert!(run_str(&["loadgen", "--mode", "sideways"]).is_err());
+        assert!(run_str(&["loadgen", "--mode", "open", "--qps", "-3"]).is_err());
+        assert!(run_str(&["loadgen", "--tenants", "0"]).is_err());
+        assert!(run_str(&["loadgen", "--tenants", "70000"]).is_err());
+        assert!(run_str(&["loadgen", "--inputs", "63"]).is_err());
+        assert!(run_str(&["loadgen", "--frames", "lots"]).is_err());
+    }
+
+    #[test]
+    fn serve_refuses_an_unbindable_address() {
+        let err = run_str(&["serve", "--addr", "256.0.0.1:0"]).unwrap_err();
+        assert!(err.to_string().contains("cannot bind"));
+        assert!(err.source().is_some(), "bind failure keeps its io cause");
+    }
+
+    #[test]
+    fn loadgen_reports_an_unreachable_server() {
+        // Bind-then-drop guarantees a port with no listener behind it.
+        let port = {
+            let sock = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            sock.local_addr().unwrap().port()
+        };
+        let err = run_str(&[
+            "loadgen",
+            "--addr",
+            &format!("127.0.0.1:{port}"),
+            "--tenants",
+            "1",
+            "--frames",
+            "1",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("load generation"));
+    }
+
+    #[test]
+    fn usage_mentions_serving_commands() {
+        let out = usage();
+        assert!(out.contains("serve"));
+        assert!(out.contains("loadgen"));
+        assert!(out.contains("Prometheus"));
     }
 }

@@ -1,0 +1,144 @@
+//! `bnb serve` and `bnb loadgen` — the long-lived routing service and
+//! its load-generator client.
+//!
+//! `serve` is the one command in this CLI that is not a pure function:
+//! it binds a socket, prints a `listening on ADDR` line immediately (so
+//! scripts and the CI soak can discover the ephemeral port), and blocks
+//! until a graceful drain is requested by SIGTERM/SIGINT or a wire
+//! `SHUTDOWN` message. Its *return value* is still pure: the session's
+//! [`ServeReport`] as JSON, printed by `main` after the drain.
+//!
+//! `loadgen` drives a running server and returns the
+//! [`bnb_serve::LoadgenReport`] as JSON; `--out FILE` additionally
+//! writes the JSON to a file for CI artifacts.
+
+use std::io::Write as _;
+use std::net::TcpListener;
+use std::time::Duration;
+
+use bnb_serve::{
+    install_signal_handlers, run_loadgen, LoadMode, LoadgenConfig, ServeConfig, Server,
+    ServerControl,
+};
+
+use crate::{err, CliError, Flags};
+
+fn u64_or(flags: &Flags, name: &str, default: u64) -> Result<u64, CliError> {
+    match flags.value(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| err(format!("{name} expects an integer, got {v}"))),
+    }
+}
+
+fn f64_or(flags: &Flags, name: &str, default: f64) -> Result<f64, CliError> {
+    match flags.value(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| err(format!("{name} expects a number, got {v}"))),
+    }
+}
+
+fn require_power_of_two(flags: &Flags, name: &str, default: usize) -> Result<usize, CliError> {
+    let n = flags.usize_or(name, default)?;
+    if n < 2 || !n.is_power_of_two() {
+        return Err(err(format!("{name} expects a power of two >= 2, got {n}")));
+    }
+    Ok(n)
+}
+
+/// `bnb serve`: run a serving session until a graceful drain.
+pub(crate) fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
+    let addr = flags.value("--addr").unwrap_or("127.0.0.1:0");
+    let config = ServeConfig {
+        inputs: require_power_of_two(flags, "--inputs", 64)?,
+        workers: flags.usize_or("--workers", 2)?.max(1),
+        queue_capacity: flags.usize_or("--queue", 8)?.max(1),
+        tenant_quota: flags.usize_or("--tenant-quota", 4)?.max(1),
+        max_connections: flags.usize_or("--max-conns", 64)?.max(1),
+        read_timeout: Duration::from_millis(u64_or(flags, "--read-timeout-ms", 100)?.max(1)),
+    };
+    let pretty = flags.present("--pretty");
+
+    let listener = TcpListener::bind(addr)
+        .map_err(|e| CliError::caused_by(format!("cannot bind {addr}"), e))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| CliError::caused_by("cannot read bound address", e))?;
+    // Announce the bound address *now* — with --addr 127.0.0.1:0 this is
+    // the only way a caller learns the ephemeral port.
+    println!("listening on {local}");
+    std::io::stdout().flush().ok();
+
+    install_signal_handlers();
+    let control = ServerControl::new();
+    let counters = bnb_obs::Counters::new();
+    let server = Server::new(config, &counters);
+    let report = server
+        .serve(listener, &control)
+        .map_err(|e| CliError::caused_by("serving session failed", e))?;
+
+    let json = if pretty {
+        serde_json::to_string_pretty(&report)
+    } else {
+        serde_json::to_string(&report)
+    }
+    .map_err(|e| CliError::caused_by("cannot serialize serve report", e))?;
+    Ok(format!("{json}\n"))
+}
+
+/// `bnb loadgen`: drive a running server and report what came back.
+pub(crate) fn cmd_loadgen(flags: &Flags) -> Result<String, CliError> {
+    let mode = match flags.value("--mode").unwrap_or("closed") {
+        "closed" => LoadMode::Closed {
+            inflight: flags.usize_or("--inflight", 4)?.max(1),
+        },
+        "open" => {
+            let qps = f64_or(flags, "--qps", 500.0)?;
+            if !qps.is_finite() || qps <= 0.0 {
+                return Err(err(format!("--qps expects a positive rate, got {qps}")));
+            }
+            LoadMode::Open { qps }
+        }
+        other => {
+            return Err(err(format!(
+                "--mode expects 'closed' or 'open', got {other}"
+            )))
+        }
+    };
+    let tenants = u64_or(flags, "--tenants", 4)?;
+    if tenants == 0 || tenants > u64::from(u16::MAX) {
+        return Err(err(format!("--tenants expects 1..=65535, got {tenants}")));
+    }
+    let config = LoadgenConfig {
+        addr: flags
+            .value("--addr")
+            .unwrap_or("127.0.0.1:9500")
+            .to_string(),
+        tenants: tenants as u16,
+        frames: u64_or(flags, "--frames", 64)?,
+        inputs: require_power_of_two(flags, "--inputs", 64)?,
+        mode,
+        seed: u64_or(flags, "--seed", 0xB1B0)?,
+        drain_window: Duration::from_millis(u64_or(flags, "--drain-ms", 2000)?.max(1)),
+        shutdown_when_done: flags.present("--shutdown"),
+    };
+
+    let report = run_loadgen(&config).map_err(|e| {
+        CliError::caused_by(format!("load generation against {} failed", config.addr), e)
+    })?;
+
+    let json = if flags.present("--pretty") {
+        serde_json::to_string_pretty(&report)
+    } else {
+        serde_json::to_string(&report)
+    }
+    .map_err(|e| CliError::caused_by("cannot serialize loadgen report", e))?;
+    if let Some(path) = flags.value("--out") {
+        std::fs::write(path, &json)
+            .map_err(|e| CliError::caused_by(format!("cannot write {path}"), e))?;
+    }
+    Ok(format!("{json}\n"))
+}

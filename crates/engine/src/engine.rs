@@ -46,7 +46,7 @@ use crate::error::EngineError;
 use crate::hub::{CloseGuard, Hub, Job, JobLatch, SliceTask, Work};
 use crate::stats::{EngineStats, LatencySummary, WorkerMetrics};
 
-pub use crate::hub::RoutedBatch;
+pub use crate::hub::{RoutedBatch, SubmitError};
 
 /// How deep to split each batch into independent subnetwork slices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -350,6 +350,41 @@ impl<O: Observer> EngineHandle<'_, O> {
             self.observer.batch_submitted(SubmitEvent { seq, records });
         }
         seq
+    }
+
+    /// Non-blocking [`Self::submit`]: rejects the batch instead of
+    /// waiting when the bounded queue is full
+    /// ([`SubmitError::Full`]) or the engine is past
+    /// [`Self::drain_and_close`] ([`SubmitError::Closed`]), handing the
+    /// records back inside the error. This is the admission-control
+    /// primitive: a front door that checks occupancy before offering can
+    /// turn `Full` into an explicit `RETRY` instead of blocking a shared
+    /// dispatch thread.
+    pub fn try_submit(&self, lines: Vec<Record>) -> Result<u64, SubmitError> {
+        let records = lines.len();
+        let seq = self.hub.try_submit(lines)?;
+        if self.observer.enabled() {
+            self.observer.batch_submitted(SubmitEvent { seq, records });
+        }
+        Ok(seq)
+    }
+
+    /// Graceful shutdown: rejects every submission from this point on
+    /// (blocking [`Self::submit`] calls panic, [`Self::try_submit`]
+    /// returns [`SubmitError::Closed`]), drains every in-flight batch,
+    /// and returns them in submission order. After it returns the hub is
+    /// empty, so the worker pool joins deterministically as soon as the
+    /// [`Engine::run`] closure does — no frame is lost (everything
+    /// submitted before the close is in the returned tail or was drained
+    /// earlier) and none is double-delivered (each seq drains exactly
+    /// once, here or before).
+    pub fn drain_and_close(&self) -> Vec<RoutedBatch> {
+        self.hub.stop_accepting();
+        let mut tail = Vec::new();
+        while let Some(batch) = self.hub.drain() {
+            tail.push(batch);
+        }
+        tail
     }
 
     /// Blocks for the next routed batch in submission order; `None` once
@@ -1287,6 +1322,68 @@ mod tests {
             RouteError::DuplicateDestination { dest: 1, .. }
         ));
         assert_eq!(counters.snapshot().fault_retries, 0);
+    }
+
+    #[test]
+    fn try_submit_rejects_on_full_queue_and_returns_the_batch() {
+        let net = BnbNetwork::new(3);
+        let engine = Engine::new(
+            net,
+            EngineConfig {
+                workers: 1,
+                queue_capacity: 1,
+                shard_depth: ShardDepth::Auto,
+            },
+        );
+        let p = Permutation::try_from(vec![7, 6, 5, 4, 3, 2, 1, 0]).unwrap();
+        engine.run(|h| {
+            // Saturate: keep try_submitting until the bounded queue
+            // pushes back (the single worker may drain a couple first).
+            let mut accepted = 0u64;
+            let rejected = loop {
+                match h.try_submit(records_for_permutation(&p)) {
+                    Ok(_) => accepted += 1,
+                    Err(e) => break e,
+                }
+            };
+            assert!(matches!(rejected, SubmitError::Full(_)));
+            assert!(!rejected.is_closed());
+            assert_eq!(
+                rejected.into_lines(),
+                records_for_permutation(&p),
+                "the rejected batch rides back unrouted"
+            );
+            let mut drained = 0u64;
+            while h.drain().is_some() {
+                drained += 1;
+            }
+            assert_eq!(drained, accepted, "accepted batches all drain");
+        });
+    }
+
+    #[test]
+    fn drain_and_close_delivers_every_inflight_batch_once() {
+        let net = BnbNetwork::new(4);
+        let engine = Engine::new(net, EngineConfig::with_workers(2));
+        let p = Permutation::random(16, &mut StdRng::seed_from_u64(31));
+        engine.run(|h| {
+            let mut seqs = Vec::new();
+            for _ in 0..6 {
+                seqs.push(h.submit(records_for_permutation(&p)));
+            }
+            // Drain a prefix interactively, then close over the rest.
+            let head = h.drain().unwrap();
+            assert_eq!(head.seq, seqs[0]);
+            let tail = h.drain_and_close();
+            let tail_seqs: Vec<u64> = tail.iter().map(|b| b.seq).collect();
+            assert_eq!(tail_seqs, seqs[1..], "tail drains in order, exactly once");
+            assert!(tail.iter().all(|b| b.result.is_ok()));
+            // Closed for good: rejections are typed, nothing enqueues.
+            let refused = h.try_submit(records_for_permutation(&p)).unwrap_err();
+            assert!(refused.is_closed());
+            assert!(h.drain().is_none(), "nothing left after the close");
+            assert_eq!(h.stats().batches, 6);
+        });
     }
 
     #[test]

@@ -46,6 +46,55 @@ pub struct RoutedBatch {
     pub result: Result<Vec<Record>, EngineError>,
 }
 
+/// Why [`crate::engine::EngineHandle::try_submit`] refused a batch. The
+/// rejected records ride back inside the variant so callers (admission
+/// layers issuing `RETRY`, queues re-offering later) keep the allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitError {
+    /// The bounded queue is full right now; re-offer later.
+    Full(Vec<Record>),
+    /// The engine is past [`drain_and_close`]
+    /// (`crate::engine::EngineHandle::drain_and_close`) and accepts
+    /// nothing more.
+    Closed(Vec<Record>),
+}
+
+impl SubmitError {
+    /// The rejected batch, returned to the caller unrouted.
+    pub fn into_lines(self) -> Vec<Record> {
+        match self {
+            SubmitError::Full(lines) | SubmitError::Closed(lines) => lines,
+        }
+    }
+
+    /// Whether the rejection is permanent (engine closed) rather than
+    /// transient backpressure.
+    pub fn is_closed(&self) -> bool {
+        matches!(self, SubmitError::Closed(_))
+    }
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full(lines) => {
+                write!(
+                    f,
+                    "submission queue full ({} records rejected)",
+                    lines.len()
+                )
+            }
+            SubmitError::Closed(lines) => write!(
+                f,
+                "engine closed to new submissions ({} records rejected)",
+                lines.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
 /// Completion latch for one in-flight batch.
 ///
 /// Shared behind an [`Arc`]: every [`SliceTask`] clones the handle, so the
@@ -190,6 +239,9 @@ pub(crate) struct HubState {
     submitted: u64,
     next_drain: u64,
     closed: bool,
+    /// Cleared by [`Hub::stop_accepting`]: new submissions are rejected
+    /// while in-flight batches keep draining (graceful shutdown).
+    accepting: bool,
     // Stats counters (updated at batch completion).
     pub batches: u64,
     pub records: u64,
@@ -223,6 +275,7 @@ impl Hub {
                 submitted: 0,
                 next_drain: 0,
                 closed: false,
+                accepting: true,
                 batches: 0,
                 records: 0,
                 errors: 0,
@@ -238,11 +291,40 @@ impl Hub {
 
     /// Enqueues a batch, blocking while the bounded queue is full.
     /// Returns the batch's sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hub is past [`Hub::stop_accepting`]; callers that
+    /// may race a shutdown must use [`Hub::try_submit`].
     pub fn submit(&self, lines: Vec<Record>) -> u64 {
         let mut st = self.state.lock().unwrap();
+        assert!(st.accepting, "submit after drain_and_close");
         while st.jobs.len() >= self.capacity {
             st = self.space_cv.wait(st).unwrap();
+            assert!(st.accepting, "submit after drain_and_close");
         }
+        self.enqueue_locked(st, lines)
+    }
+
+    /// Non-blocking [`Hub::submit`]: rejects instead of waiting when the
+    /// queue is full or the hub no longer accepts submissions, handing
+    /// the batch back inside the error.
+    pub fn try_submit(&self, lines: Vec<Record>) -> Result<u64, SubmitError> {
+        let st = self.state.lock().unwrap();
+        if !st.accepting {
+            return Err(SubmitError::Closed(lines));
+        }
+        if st.jobs.len() >= self.capacity {
+            return Err(SubmitError::Full(lines));
+        }
+        Ok(self.enqueue_locked(st, lines))
+    }
+
+    fn enqueue_locked(
+        &self,
+        mut st: std::sync::MutexGuard<'_, HubState>,
+        lines: Vec<Record>,
+    ) -> u64 {
         // A submit into a fully idle hub (everything previously submitted
         // already drained) starts a fresh wave: reset the slice-task high
         // water so `EngineStats` reports the current wave's depth, not a
@@ -261,6 +343,16 @@ impl Hub {
         drop(st);
         self.work_cv.notify_one();
         seq
+    }
+
+    /// Rejects all future submissions while letting in-flight work drain.
+    /// Wakes any submitter blocked on queue space (it will hit the
+    /// `submit` contract panic rather than deadlock).
+    pub fn stop_accepting(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.accepting = false;
+        drop(st);
+        self.space_cv.notify_all();
     }
 
     /// Pops the next routed batch in submission order, blocking while one

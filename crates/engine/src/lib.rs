@@ -42,6 +42,7 @@ pub mod stats;
 
 pub use engine::{
     Engine, EngineConfig, EngineHandle, FaultPlan, RetryPolicy, RoutedBatch, ShardDepth,
+    SubmitError,
 };
 pub use error::EngineError;
 pub use stats::{EngineStats, LatencyHistogram, LatencySummary, WorkerMetrics, HISTOGRAM_BUCKETS};

@@ -10,8 +10,8 @@
 //! monitoring.
 
 use crate::event::{
-    ColumnEvent, ConflictEvent, DrainEvent, FaultEvent, RetryEvent, RoundEvent, ShardEvent,
-    SubmitEvent, SweepEvent,
+    AcceptEvent, ColumnEvent, ConflictEvent, DrainEvent, FaultEvent, RetryEvent, RoundEvent,
+    ServeEvent, ShardEvent, SubmitEvent, SweepEvent, ThrottleEvent,
 };
 use crate::histogram::{AtomicHistogram, LatencyHistogram, LatencySummary};
 use crate::observer::Observer;
@@ -54,6 +54,9 @@ struct Shard {
     max_round_backlog: AtomicU64,
     hardware_faults: AtomicU64,
     fault_retries: AtomicU64,
+    connections_accepted: AtomicU64,
+    frames_served: AtomicU64,
+    retries_issued: AtomicU64,
     stage_columns: [AtomicU64; MAX_STAGES],
     stage_exchanges: [AtomicU64; MAX_STAGES],
     stage_sweeps: [AtomicU64; MAX_STAGES],
@@ -79,10 +82,45 @@ impl Shard {
             max_round_backlog: AtomicU64::new(0),
             hardware_faults: AtomicU64::new(0),
             fault_retries: AtomicU64::new(0),
+            connections_accepted: AtomicU64::new(0),
+            frames_served: AtomicU64::new(0),
+            retries_issued: AtomicU64::new(0),
             stage_columns: zeroes(),
             stage_exchanges: zeroes(),
             stage_sweeps: zeroes(),
             stage_conflicts: zeroes(),
+        }
+    }
+
+    fn reset(&self) {
+        let scalars = [
+            &self.columns,
+            &self.exchanges,
+            &self.sweeps,
+            &self.max_sweep_depth,
+            &self.conflicts,
+            &self.shards_enqueued,
+            &self.shards_stolen,
+            &self.batches_submitted,
+            &self.batches_drained,
+            &self.batch_errors,
+            &self.scheduler_rounds,
+            &self.records_matched,
+            &self.max_round_backlog,
+            &self.hardware_faults,
+            &self.fault_retries,
+            &self.connections_accepted,
+            &self.frames_served,
+            &self.retries_issued,
+        ];
+        for counter in scalars {
+            counter.store(0, Ordering::Relaxed);
+        }
+        for stage in 0..MAX_STAGES {
+            self.stage_columns[stage].store(0, Ordering::Relaxed);
+            self.stage_exchanges[stage].store(0, Ordering::Relaxed);
+            self.stage_sweeps[stage].store(0, Ordering::Relaxed);
+            self.stage_conflicts[stage].store(0, Ordering::Relaxed);
         }
     }
 }
@@ -134,6 +172,17 @@ impl Counters {
     #[inline]
     pub fn record_latency(&self, ns: u64) {
         self.histogram.record(ns);
+    }
+
+    /// Zeroes every counter, per-stage slot, and the latency histogram —
+    /// the per-serving-session reset (high-water marks included). Not a
+    /// point-in-time cut under concurrent writers; call it between
+    /// sessions, not during one.
+    pub fn reset(&self) {
+        for shard in &self.shards {
+            shard.reset();
+        }
+        self.histogram.reset();
     }
 
     fn sum(&self, field: impl Fn(&Shard) -> &AtomicU64) -> u64 {
@@ -188,6 +237,9 @@ impl Counters {
             max_round_backlog: self.max(|s| &s.max_round_backlog),
             hardware_faults: self.sum(|s| &s.hardware_faults),
             fault_retries: self.sum(|s| &s.fault_retries),
+            connections_accepted: self.sum(|s| &s.connections_accepted),
+            frames_served: self.sum(|s| &s.frames_served),
+            retries_issued: self.sum(|s| &s.retries_issued),
             per_stage,
             latency: LatencySummary::from_histogram(&histogram),
             histogram,
@@ -273,6 +325,24 @@ impl Observer for Counters {
     fn batch_retried(&self, _event: RetryEvent) {
         self.shard().fault_retries.fetch_add(1, Ordering::Relaxed);
     }
+
+    #[inline]
+    fn connection_accepted(&self, _event: AcceptEvent) {
+        self.shard()
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn frame_served(&self, event: ServeEvent) {
+        self.shard().frames_served.fetch_add(1, Ordering::Relaxed);
+        self.histogram.record(event.latency_ns);
+    }
+
+    #[inline]
+    fn retry_issued(&self, _event: ThrottleEvent) {
+        self.shard().retries_issued.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Per-main-stage counter totals.
@@ -323,6 +393,12 @@ pub struct MetricsSnapshot {
     pub hardware_faults: u64,
     /// Batch retries on alternate fabric shards after a fault.
     pub fault_retries: u64,
+    /// Client connections accepted by the serving front door.
+    pub connections_accepted: u64,
+    /// Frames routed and delivered back to clients.
+    pub frames_served: u64,
+    /// Frames pushed back with an explicit `RETRY` response.
+    pub retries_issued: u64,
     /// Per-main-stage breakdown (trailing all-zero stages trimmed).
     pub per_stage: Vec<StageMetrics>,
     /// Latency quantiles over all recorded spans/batch drains.
@@ -446,6 +522,73 @@ mod tests {
         let snap = c.snapshot();
         assert_eq!(snap.hardware_faults, 1);
         assert_eq!(snap.fault_retries, 2);
+    }
+
+    #[test]
+    fn serve_events_are_counted() {
+        let c = Counters::new();
+        c.connection_accepted(AcceptEvent { conn: 0 });
+        c.connection_accepted(AcceptEvent { conn: 1 });
+        c.frame_served(ServeEvent {
+            tenant: 3,
+            request_id: 9,
+            records: 16,
+            latency_ns: 2_000,
+        });
+        c.retry_issued(ThrottleEvent {
+            tenant: 3,
+            reason: 1,
+        });
+        c.retry_issued(ThrottleEvent {
+            tenant: 4,
+            reason: 2,
+        });
+        c.retry_issued(ThrottleEvent {
+            tenant: 3,
+            reason: 3,
+        });
+        let snap = c.snapshot();
+        assert_eq!(snap.connections_accepted, 2);
+        assert_eq!(snap.frames_served, 1);
+        assert_eq!(snap.retries_issued, 3);
+        assert_eq!(snap.histogram.count(), 1, "served frames feed latency");
+    }
+
+    #[test]
+    fn reset_zeroes_counters_high_waters_and_histogram() {
+        let c = Counters::new();
+        c.column_routed(column(2, 5));
+        c.arbiter_sweep(SweepEvent {
+            main_stage: 0,
+            internal_stage: 0,
+            first_line: 0,
+            width: 8,
+            depth: 3,
+        });
+        c.scheduler_round(RoundEvent {
+            round: 0,
+            matched: 2,
+            backlog: 40,
+        });
+        c.connection_accepted(AcceptEvent { conn: 0 });
+        c.frame_served(ServeEvent {
+            tenant: 0,
+            request_id: 0,
+            records: 8,
+            latency_ns: 777,
+        });
+        c.retry_issued(ThrottleEvent {
+            tenant: 0,
+            reason: 1,
+        });
+        assert_ne!(c.snapshot(), Counters::new().snapshot());
+        c.reset();
+        let snap = c.snapshot();
+        assert_eq!(snap, Counters::new().snapshot());
+        assert_eq!(snap.max_sweep_depth, 0, "high-water marks reset too");
+        assert_eq!(snap.max_round_backlog, 0);
+        assert_eq!(snap.histogram.count(), 0);
+        assert!(snap.per_stage.is_empty());
     }
 
     #[test]

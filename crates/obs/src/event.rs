@@ -169,6 +169,36 @@ pub struct RoundEvent {
     pub backlog: usize,
 }
 
+/// A client connection accepted by the serving front door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AcceptEvent {
+    /// Server-local connection ordinal (monotone per serving session).
+    pub conn: u64,
+}
+
+/// A permutation frame routed and delivered back to its client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeEvent {
+    /// Tenant that submitted the frame.
+    pub tenant: u16,
+    /// Client-chosen request id echoed back on the response.
+    pub request_id: u64,
+    /// Records in the frame.
+    pub records: usize,
+    /// Admission-to-delivery latency in nanoseconds.
+    pub latency_ns: u64,
+}
+
+/// A frame refused with an explicit `RETRY` response instead of being
+/// queued — the server's bounded-buffering guarantee made visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThrottleEvent {
+    /// Tenant whose frame was pushed back.
+    pub tenant: u16,
+    /// Wire-level retry reason code (queue full, tenant quota, draining).
+    pub reason: u8,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +216,9 @@ mod tests {
         assert_copy::<RoundEvent>();
         assert_copy::<FaultEvent>();
         assert_copy::<RetryEvent>();
+        assert_copy::<AcceptEvent>();
+        assert_copy::<ServeEvent>();
+        assert_copy::<ThrottleEvent>();
         assert!(std::mem::size_of::<ColumnEvent>() <= 48);
     }
 

@@ -41,6 +41,9 @@ pub fn render_text(snapshot: &MetricsSnapshot) -> String {
     line("max_round_backlog", snapshot.max_round_backlog);
     line("hardware_faults", snapshot.hardware_faults);
     line("fault_retries", snapshot.fault_retries);
+    line("connections_accepted", snapshot.connections_accepted);
+    line("frames_served", snapshot.frames_served);
+    line("retries_issued", snapshot.retries_issued);
     if !snapshot.per_stage.is_empty() {
         // Column widths grow with the data so counters past the headers'
         // widths (10+ digits) stay aligned instead of shearing the table.
@@ -233,6 +236,24 @@ pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
         "Batches retried on another fabric shard.",
         snapshot.fault_retries,
     );
+    family(
+        "bnb_connections_accepted_total",
+        "counter",
+        "Client connections accepted by the serving front door.",
+        snapshot.connections_accepted,
+    );
+    family(
+        "bnb_frames_served_total",
+        "counter",
+        "Frames routed and delivered back to clients.",
+        snapshot.frames_served,
+    );
+    family(
+        "bnb_retries_issued_total",
+        "counter",
+        "Frames pushed back with an explicit RETRY response.",
+        snapshot.retries_issued,
+    );
 
     if !snapshot.per_stage.is_empty() {
         let mut stage_family = |name: &str, help: &str, pick: fn(&crate::StageMetrics) -> u64| {
@@ -345,6 +366,9 @@ mod tests {
         assert!(text.contains("arbiter_sweeps         1"));
         assert!(text.contains("hardware_faults        0"));
         assert!(text.contains("fault_retries          0"));
+        assert!(text.contains("connections_accepted   0"));
+        assert!(text.contains("frames_served          0"));
+        assert!(text.contains("retries_issued         0"));
         assert!(text.contains("stage 0"));
         assert!(text.contains("stage 1"));
         assert!(text.contains("latency_ns"));
@@ -405,6 +429,9 @@ mod tests {
         assert!(text.contains("# TYPE bnb_columns_total counter"));
         assert!(text.contains("bnb_columns_total 1"));
         assert!(text.contains("bnb_arbiter_sweeps_total 1"));
+        assert!(text.contains("# TYPE bnb_frames_served_total counter"));
+        assert!(text.contains("bnb_connections_accepted_total 0"));
+        assert!(text.contains("bnb_retries_issued_total 0"));
         assert!(text.contains("bnb_stage_columns_total{stage=\"0\"} 1"));
         assert!(text.contains("bnb_stage_sweeps_total{stage=\"1\"} 1"));
         assert!(text.contains("# TYPE bnb_batch_latency_ns histogram"));

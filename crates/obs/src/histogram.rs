@@ -208,6 +208,19 @@ impl AtomicHistogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Zeroes the histogram back to its empty state. Not atomic with
+    /// respect to concurrent `record` calls — reset between measurement
+    /// sessions, not during one.
+    pub fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.min_ns.store(u64::MAX, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+        self.sum_ns.store(0, Ordering::Relaxed);
+    }
+
     /// Folds the current state into a plain [`LatencyHistogram`].
     pub fn snapshot(&self) -> LatencyHistogram {
         let count = self.count.load(Ordering::Relaxed);
@@ -355,6 +368,20 @@ mod tests {
         let snap = AtomicHistogram::new().snapshot();
         assert_eq!(snap, LatencyHistogram::new());
         assert_eq!(snap.min_ns(), 0);
+    }
+
+    #[test]
+    fn atomic_reset_returns_to_empty() {
+        let atomic = AtomicHistogram::new();
+        atomic.record(42);
+        atomic.record(9_000);
+        assert_eq!(atomic.count(), 2);
+        atomic.reset();
+        assert_eq!(atomic.count(), 0);
+        assert_eq!(atomic.snapshot(), LatencyHistogram::new());
+        // Still usable after reset.
+        atomic.record(7);
+        assert_eq!(atomic.snapshot().min_ns(), 7);
     }
 
     #[test]

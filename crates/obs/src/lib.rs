@@ -73,8 +73,8 @@ pub mod timer;
 pub use chrome::render_chrome_trace;
 pub use counters::{Counters, MetricsSnapshot, StageMetrics};
 pub use event::{
-    ColumnEvent, ConflictEvent, DrainEvent, FaultEvent, HopEvent, RetryEvent, RoundEvent,
-    ShardEvent, SubmitEvent, SweepEvent,
+    AcceptEvent, ColumnEvent, ConflictEvent, DrainEvent, FaultEvent, HopEvent, RetryEvent,
+    RoundEvent, ServeEvent, ShardEvent, SubmitEvent, SweepEvent, ThrottleEvent,
 };
 pub use export::{render_json, render_json_pretty, render_prometheus, render_text};
 pub use histogram::{AtomicHistogram, LatencyHistogram, LatencySummary, HISTOGRAM_BUCKETS};

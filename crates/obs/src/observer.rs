@@ -2,8 +2,8 @@
 //! [`Fanout`] combinator for feeding two sinks at once.
 
 use crate::event::{
-    ColumnEvent, ConflictEvent, DrainEvent, FaultEvent, HopEvent, RetryEvent, RoundEvent,
-    ShardEvent, SubmitEvent, SweepEvent,
+    AcceptEvent, ColumnEvent, ConflictEvent, DrainEvent, FaultEvent, HopEvent, RetryEvent,
+    RoundEvent, ServeEvent, ShardEvent, SubmitEvent, SweepEvent, ThrottleEvent,
 };
 
 /// Sink for routing-layer events.
@@ -124,6 +124,24 @@ pub trait Observer: Send + Sync {
     fn batch_retried(&self, event: RetryEvent) {
         let _ = event;
     }
+
+    /// The serving front door accepted a client connection.
+    #[inline]
+    fn connection_accepted(&self, event: AcceptEvent) {
+        let _ = event;
+    }
+
+    /// A frame was routed and its response delivered to the client.
+    #[inline]
+    fn frame_served(&self, event: ServeEvent) {
+        let _ = event;
+    }
+
+    /// A frame was pushed back with an explicit `RETRY` response.
+    #[inline]
+    fn retry_issued(&self, event: ThrottleEvent) {
+        let _ = event;
+    }
 }
 
 /// The default observer: observes nothing, costs nothing.
@@ -206,6 +224,21 @@ impl<O: Observer + ?Sized> Observer for &O {
     #[inline]
     fn batch_retried(&self, event: RetryEvent) {
         (**self).batch_retried(event);
+    }
+
+    #[inline]
+    fn connection_accepted(&self, event: AcceptEvent) {
+        (**self).connection_accepted(event);
+    }
+
+    #[inline]
+    fn frame_served(&self, event: ServeEvent) {
+        (**self).frame_served(event);
+    }
+
+    #[inline]
+    fn retry_issued(&self, event: ThrottleEvent) {
+        (**self).retry_issued(event);
     }
 }
 
@@ -321,6 +354,24 @@ impl<A: Observer, B: Observer> Observer for Fanout<A, B> {
     fn batch_retried(&self, event: RetryEvent) {
         self.a.batch_retried(event);
         self.b.batch_retried(event);
+    }
+
+    #[inline]
+    fn connection_accepted(&self, event: AcceptEvent) {
+        self.a.connection_accepted(event);
+        self.b.connection_accepted(event);
+    }
+
+    #[inline]
+    fn frame_served(&self, event: ServeEvent) {
+        self.a.frame_served(event);
+        self.b.frame_served(event);
+    }
+
+    #[inline]
+    fn retry_issued(&self, event: ThrottleEvent) {
+        self.a.retry_issued(event);
+        self.b.retry_issued(event);
     }
 }
 

@@ -1,0 +1,35 @@
+//! bnb-serve: a long-lived routing service for the BNB network.
+//!
+//! The paper's self-routing property makes the network a natural shared
+//! fabric: a frame's route is determined entirely by its own destination
+//! tags, so frames from unrelated clients can be multiplexed onto one
+//! engine with no cross-frame coordination. This crate builds that
+//! service on `std::net` alone — no async runtime:
+//!
+//! - [`protocol`]: a length-prefixed binary wire format (version byte,
+//!   opcode, tenant id, request id) whose decoder is total — malformed,
+//!   truncated, or oversized input yields a typed
+//!   [`protocol::WireError`], never a panic. See DESIGN.md §14.
+//! - [`server`]: a threaded server multiplexing many connections onto
+//!   one [`bnb_engine::Engine`] submit/drain queue, with per-tenant
+//!   in-flight quotas and a global cap equal to the engine's bounded
+//!   queue. Overload is answered with explicit `RETRY` responses — the
+//!   server never buffers beyond its declared bounds. SIGTERM/SIGINT (or
+//!   a wire `SHUTDOWN`) triggers a graceful drain: in-flight frames are
+//!   delivered, threads join deterministically, and the session's
+//!   [`server::ServeReport`] balances its frame ledger. The same
+//!   listener answers HTTP `GET` scrapes with the Prometheus exposition
+//!   of the shared [`bnb_obs::Counters`].
+//! - [`loadgen`]: an open/closed-loop load generator that verifies every
+//!   routed frame against the submitted permutation and reports latency
+//!   percentiles from a shared [`bnb_obs::AtomicHistogram`].
+
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use loadgen::{run_loadgen, LatencyPercentiles, LoadMode, LoadgenConfig, LoadgenReport};
+pub use protocol::{ErrorCode, Message, RecvError, RetryReason, WireError};
+pub use server::{
+    install_signal_handlers, ServeConfig, ServeError, ServeReport, Server, ServerControl,
+};

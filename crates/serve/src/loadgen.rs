@@ -1,0 +1,475 @@
+//! The load-generator client for `bnb serve`.
+//!
+//! Each tenant gets its own connection with a sender thread and a
+//! receiver thread. Two pacing modes:
+//!
+//! - **closed loop**: at most `inflight` unanswered frames per tenant —
+//!   every response (ROUTED, RETRY, or ERROR) releases a send credit.
+//!   Setting `inflight` above the server's tenant quota deliberately
+//!   drives the server into its explicit-RETRY backpressure path.
+//! - **open loop**: frames are sent on a fixed wall-clock schedule at the
+//!   target aggregate QPS regardless of responses, which measures queueing
+//!   latency honestly (no coordinated omission).
+//!
+//! Every ROUTED response is verified against the submitted permutation:
+//! output `j` must have received the input whose destination was `j`.
+//! Misdeliveries, routing errors, retries, and unanswered frames are all
+//! tallied separately in the [`LoadgenReport`]; latency percentiles come
+//! from a shared [`AtomicHistogram`].
+
+use std::collections::HashMap;
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use bnb_obs::AtomicHistogram;
+use bnb_topology::perm::Permutation;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use crate::protocol::{read_message, write_message, Message, RecvError};
+
+/// How the load generator paces its submissions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// At most this many unanswered frames per tenant; each response
+    /// releases a send credit.
+    Closed {
+        /// Per-tenant in-flight window.
+        inflight: usize,
+    },
+    /// Fixed-schedule sending at this aggregate frames-per-second target,
+    /// split evenly across tenants.
+    Open {
+        /// Aggregate target QPS across all tenants.
+        qps: f64,
+    },
+}
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:9500`.
+    pub addr: String,
+    /// Concurrent tenant connections (tenant ids `0..tenants`).
+    pub tenants: u16,
+    /// Frames each tenant submits.
+    pub frames: u64,
+    /// Records per frame — must match the server's network size.
+    pub inputs: usize,
+    /// Pacing mode.
+    pub mode: LoadMode,
+    /// Seed for the per-frame random permutations.
+    pub seed: u64,
+    /// How long a receiver waits for a quiet wire before declaring the
+    /// remaining outstanding frames unanswered.
+    pub drain_window: Duration,
+    /// Send a SHUTDOWN to the server after all tenants finish.
+    pub shutdown_when_done: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:9500".to_string(),
+            tenants: 4,
+            frames: 64,
+            inputs: 64,
+            mode: LoadMode::Closed { inflight: 4 },
+            seed: 0xB1B0,
+            drain_window: Duration::from_secs(2),
+            shutdown_when_done: false,
+        }
+    }
+}
+
+/// Latency percentiles in nanoseconds, from the shared histogram.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LatencyPercentiles {
+    /// Fastest served frame.
+    pub min_ns: u64,
+    /// Median.
+    pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// 99.9th percentile.
+    pub p999_ns: u64,
+    /// Slowest served frame.
+    pub max_ns: u64,
+    /// Arithmetic mean (bucket-midpoint approximation).
+    pub mean_ns: u64,
+}
+
+/// What a load-generation run observed.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadgenReport {
+    /// Tenant connections driven.
+    pub tenants: u16,
+    /// `"closed"` or `"open"`.
+    pub mode: String,
+    /// Frames submitted across all tenants.
+    pub submitted: u64,
+    /// Frames answered with ROUTED and verified correct.
+    pub served: u64,
+    /// Frames answered with RETRY.
+    pub retried: u64,
+    /// Frames answered with ERROR.
+    pub errored: u64,
+    /// ROUTED responses whose permutation did not match the submission.
+    pub misdelivered: u64,
+    /// Frames never answered within the drain window.
+    pub unanswered: u64,
+    /// Responses of unexpected shape (wrong opcode, unknown request id).
+    pub protocol_surprises: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed_ms: u64,
+    /// Served frames per wall-clock second.
+    pub achieved_qps: f64,
+    /// Round-trip latency percentiles over served frames.
+    pub latency: LatencyPercentiles,
+}
+
+/// Per-tenant window of unanswered frames: request id → submitted
+/// destinations and send time.
+type Outstanding = Mutex<HashMap<u64, (Vec<u32>, Instant)>>;
+
+/// The closed-loop credit gate.
+struct Credits {
+    free: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Credits {
+    fn new(n: usize) -> Self {
+        Credits {
+            free: Mutex::new(n),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut free = self.free.lock().unwrap();
+        while *free == 0 {
+            free = self.cv.wait(free).unwrap();
+        }
+        *free -= 1;
+    }
+
+    fn release(&self) {
+        *self.free.lock().unwrap() += 1;
+        self.cv.notify_one();
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    submitted: AtomicU64,
+    served: AtomicU64,
+    retried: AtomicU64,
+    errored: AtomicU64,
+    misdelivered: AtomicU64,
+    unanswered: AtomicU64,
+    protocol_surprises: AtomicU64,
+}
+
+/// Drives the configured load against a running server and reports what
+/// came back.
+pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    let tally = Tally::default();
+    let histogram = AtomicHistogram::new();
+    let started = Instant::now();
+
+    thread::scope(|s| -> io::Result<()> {
+        let mut handles = Vec::new();
+        for tenant in 0..cfg.tenants {
+            let tally = &tally;
+            let histogram = &histogram;
+            handles.push(s.spawn(move || drive_tenant(cfg, tenant, tally, histogram)));
+        }
+        let mut first_err = None;
+        for h in handles {
+            if let Err(e) = h.join().expect("tenant thread panicked") {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    })?;
+
+    if cfg.shutdown_when_done {
+        request_shutdown(&cfg.addr)?;
+    }
+
+    let elapsed = started.elapsed();
+    let hist = histogram.snapshot();
+    let served = tally.served.load(Ordering::Relaxed);
+    Ok(LoadgenReport {
+        tenants: cfg.tenants,
+        mode: match cfg.mode {
+            LoadMode::Closed { .. } => "closed".to_string(),
+            LoadMode::Open { .. } => "open".to_string(),
+        },
+        submitted: tally.submitted.load(Ordering::Relaxed),
+        served,
+        retried: tally.retried.load(Ordering::Relaxed),
+        errored: tally.errored.load(Ordering::Relaxed),
+        misdelivered: tally.misdelivered.load(Ordering::Relaxed),
+        unanswered: tally.unanswered.load(Ordering::Relaxed),
+        protocol_surprises: tally.protocol_surprises.load(Ordering::Relaxed),
+        elapsed_ms: elapsed.as_millis().min(u128::from(u64::MAX)) as u64,
+        achieved_qps: served as f64 / elapsed.as_secs_f64().max(1e-9),
+        latency: LatencyPercentiles {
+            min_ns: hist.min_ns(),
+            p50_ns: hist.quantile(0.50),
+            p90_ns: hist.quantile(0.90),
+            p99_ns: hist.quantile(0.99),
+            p999_ns: hist.quantile(0.999),
+            max_ns: hist.max_ns(),
+            mean_ns: hist.mean_ns(),
+        },
+    })
+}
+
+/// Connects once and asks the server to drain gracefully.
+pub fn request_shutdown(addr: &str) -> io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    write_message(
+        &mut stream,
+        &Message::Shutdown {
+            tenant: 0,
+            request_id: 0,
+        },
+    )
+}
+
+/// One tenant's full run: a paced sender and a verifying receiver over a
+/// single connection.
+fn drive_tenant(
+    cfg: &LoadgenConfig,
+    tenant: u16,
+    tally: &Tally,
+    histogram: &AtomicHistogram,
+) -> io::Result<()> {
+    let stream = TcpStream::connect(&cfg.addr)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = stream;
+
+    let outstanding: Outstanding = Mutex::new(HashMap::new());
+    let credits = match cfg.mode {
+        LoadMode::Closed { inflight } => Some(Credits::new(inflight.max(1))),
+        LoadMode::Open { .. } => None,
+    };
+
+    thread::scope(|s| -> io::Result<()> {
+        let sender = s.spawn(|| -> io::Result<()> {
+            let mut rng =
+                StdRng::seed_from_u64(cfg.seed ^ (u64::from(tenant).wrapping_mul(0x9E37_79B9)));
+            let open_gap = match cfg.mode {
+                LoadMode::Open { qps } => {
+                    let per_tenant = (qps / f64::from(cfg.tenants.max(1))).max(1e-3);
+                    Some(Duration::from_secs_f64(1.0 / per_tenant))
+                }
+                LoadMode::Closed { .. } => None,
+            };
+            let t0 = Instant::now();
+            for request_id in 0..cfg.frames {
+                if let Some(credits) = &credits {
+                    credits.acquire();
+                }
+                if let Some(gap) = open_gap {
+                    let due = t0 + gap.mul_f64(request_id as f64);
+                    let now = Instant::now();
+                    if due > now {
+                        thread::sleep(due - now);
+                    }
+                }
+                let perm = Permutation::random(cfg.inputs, &mut rng);
+                let dests: Vec<u32> = perm.as_slice().iter().map(|&d| d as u32).collect();
+                outstanding
+                    .lock()
+                    .unwrap()
+                    .insert(request_id, (dests.clone(), Instant::now()));
+                tally.submitted.fetch_add(1, Ordering::Relaxed);
+                write_message(
+                    &mut writer,
+                    &Message::Submit {
+                        tenant,
+                        request_id,
+                        dests,
+                    },
+                )?;
+            }
+            Ok(())
+        });
+
+        // Receiver: runs on this thread until every frame is answered or
+        // the wire stays quiet past the drain window.
+        let mut answered = 0u64;
+        let mut last_activity = Instant::now();
+        while answered < cfg.frames {
+            match read_message(&mut reader) {
+                Ok(Some(msg)) => {
+                    last_activity = Instant::now();
+                    if handle_response(msg, &outstanding, tally, histogram) {
+                        answered += 1;
+                        if let Some(credits) = &credits {
+                            credits.release();
+                        }
+                    }
+                }
+                Ok(None) => break, // server hung up
+                Err(RecvError::IdleTimeout) => {
+                    let sender_done = sender.is_finished();
+                    if sender_done && last_activity.elapsed() >= cfg.drain_window {
+                        break;
+                    }
+                }
+                Err(RecvError::Wire(_)) => {
+                    tally.protocol_surprises.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                Err(RecvError::Io(_)) => break,
+            }
+        }
+
+        // Whatever is still outstanding was never answered. Release every
+        // credit so a blocked sender can finish (its writes then fail or
+        // land on a dead socket; either way the thread exits).
+        let leftovers = {
+            let mut out = outstanding.lock().unwrap();
+            let n = out.len() as u64;
+            out.clear();
+            n
+        };
+        tally.unanswered.fetch_add(leftovers, Ordering::Relaxed);
+        if let Some(credits) = &credits {
+            for _ in 0..cfg.frames {
+                credits.release();
+            }
+        }
+        reader.shutdown(std::net::Shutdown::Both).ok();
+        match sender.join().expect("sender thread panicked") {
+            // A sender that died because we tore the socket down is not a
+            // run failure — its unsent frames were already accounted.
+            Ok(()) | Err(_) => Ok(()),
+        }
+    })
+}
+
+/// Processes one server response; true when it answers an outstanding
+/// frame (served, retried, or errored).
+fn handle_response(
+    msg: Message,
+    outstanding: &Outstanding,
+    tally: &Tally,
+    histogram: &AtomicHistogram,
+) -> bool {
+    match msg {
+        Message::Routed {
+            request_id,
+            sources,
+            ..
+        } => {
+            let Some((dests, sent_at)) = outstanding.lock().unwrap().remove(&request_id) else {
+                tally.protocol_surprises.fetch_add(1, Ordering::Relaxed);
+                return false;
+            };
+            if verify_routed(&dests, &sources) {
+                tally.served.fetch_add(1, Ordering::Relaxed);
+                histogram.record(sent_at.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+            } else {
+                tally.misdelivered.fetch_add(1, Ordering::Relaxed);
+            }
+            true
+        }
+        Message::Retry { request_id, .. } => {
+            if outstanding.lock().unwrap().remove(&request_id).is_some() {
+                tally.retried.fetch_add(1, Ordering::Relaxed);
+                true
+            } else {
+                tally.protocol_surprises.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+        Message::Error { request_id, .. } => {
+            if outstanding.lock().unwrap().remove(&request_id).is_some() {
+                tally.errored.fetch_add(1, Ordering::Relaxed);
+                true
+            } else {
+                tally.protocol_surprises.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+        Message::Submit { .. } | Message::Shutdown { .. } => {
+            tally.protocol_surprises.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+}
+
+/// True when the routed frame matches the submitted permutation: output
+/// `j` received the input whose requested destination was `j`, and every
+/// output is covered exactly once.
+fn verify_routed(dests: &[u32], sources: &[u32]) -> bool {
+    if sources.len() != dests.len() {
+        return false;
+    }
+    let n = dests.len();
+    let mut seen = vec![false; n];
+    for (j, &src) in sources.iter().enumerate() {
+        let src = src as usize;
+        if src >= n || seen[src] || dests[src] as usize != j {
+            return false;
+        }
+        seen[src] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verify_accepts_a_correct_route_and_rejects_corruption() {
+        // dests: input i -> output 3 - i; sources: output j got input 3 - j.
+        let dests = [3, 2, 1, 0];
+        let sources = [3, 2, 1, 0];
+        assert!(verify_routed(&dests, &sources));
+        assert!(!verify_routed(&dests, &[3, 2, 1, 1]), "duplicate source");
+        assert!(!verify_routed(&dests, &[0, 2, 1, 3]), "wrong output");
+        assert!(!verify_routed(&dests, &[3, 2, 1]), "short frame");
+        assert!(!verify_routed(&dests, &[3, 2, 1, 9]), "out of range");
+    }
+
+    #[test]
+    fn credits_gate_admissions() {
+        let credits = Credits::new(2);
+        credits.acquire();
+        credits.acquire();
+        // A third acquire would block; release must unblock it.
+        let unblocked = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        thread::scope(|s| {
+            let flag = std::sync::Arc::clone(&unblocked);
+            let credits = &credits;
+            s.spawn(move || {
+                credits.acquire();
+                flag.store(true, Ordering::SeqCst);
+            });
+            thread::sleep(Duration::from_millis(20));
+            assert!(!unblocked.load(Ordering::SeqCst), "gate must hold at 0");
+            credits.release();
+        });
+        assert!(unblocked.load(Ordering::SeqCst));
+    }
+}

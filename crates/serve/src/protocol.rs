@@ -1,0 +1,737 @@
+//! The length-prefixed binary wire protocol spoken by `bnb serve`.
+//!
+//! Every message is a 4-byte big-endian body length followed by the body;
+//! the body opens with a fixed 12-byte header (version byte, opcode byte,
+//! big-endian tenant id and request id) and closes with an opcode-specific
+//! payload. See DESIGN.md §14 for the full specification and a worked hex
+//! example.
+//!
+//! Decoding is total: any byte sequence produces either a [`Message`] or a
+//! typed [`WireError`] — never a panic and never an unbounded allocation
+//! (the length prefix is validated against [`MAX_BODY`] *before* the body
+//! is read).
+
+use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
+
+/// Protocol version carried in every message.
+pub const VERSION: u8 = 1;
+
+/// Fixed body header: version, opcode, tenant (u16), request id (u64).
+pub const HEADER_LEN: usize = 12;
+
+/// Largest record count a SUBMIT/ROUTED payload may carry.
+pub const MAX_RECORDS: usize = 1 << 20;
+
+/// Largest accepted body length: header + count word + `MAX_RECORDS`
+/// 4-byte records. Anything longer is rejected before allocation.
+pub const MAX_BODY: usize = HEADER_LEN + 4 + 4 * MAX_RECORDS;
+
+/// Client → server: route one permutation frame.
+pub const OP_SUBMIT: u8 = 0x01;
+/// Server → client: the routed frame for an accepted SUBMIT.
+pub const OP_ROUTED: u8 = 0x02;
+/// Server → client: the frame was refused, re-offer later.
+pub const OP_RETRY: u8 = 0x03;
+/// Server → client: the frame (or the connection) failed.
+pub const OP_ERROR: u8 = 0x04;
+/// Client → server: begin a graceful drain (trusted-client admin op).
+pub const OP_SHUTDOWN: u8 = 0x05;
+
+/// Why a frame was pushed back with [`Message::Retry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RetryReason {
+    /// The engine's bounded submission queue is full.
+    QueueFull,
+    /// The tenant is at its in-flight quota.
+    TenantQuota,
+    /// The server is draining for shutdown.
+    Draining,
+}
+
+impl RetryReason {
+    /// The wire byte for this reason.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            RetryReason::QueueFull => 1,
+            RetryReason::TenantQuota => 2,
+            RetryReason::Draining => 3,
+        }
+    }
+
+    /// Parses a wire byte.
+    pub fn from_u8(byte: u8) -> Result<Self, WireError> {
+        match byte {
+            1 => Ok(RetryReason::QueueFull),
+            2 => Ok(RetryReason::TenantQuota),
+            3 => Ok(RetryReason::Draining),
+            got => Err(WireError::BadRetryReason { got }),
+        }
+    }
+}
+
+/// What kind of failure an [`Message::Error`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The frame failed validation or routing inside the engine.
+    Route,
+    /// The connection violated the wire protocol.
+    Protocol,
+}
+
+impl ErrorCode {
+    /// The wire byte for this code.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            ErrorCode::Route => 1,
+            ErrorCode::Protocol => 2,
+        }
+    }
+
+    /// Parses a wire byte.
+    pub fn from_u8(byte: u8) -> Result<Self, WireError> {
+        match byte {
+            1 => Ok(ErrorCode::Route),
+            2 => Ok(ErrorCode::Protocol),
+            got => Err(WireError::BadErrorCode { got }),
+        }
+    }
+}
+
+/// One protocol message, either direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Route a permutation frame: `dests[i]` is input `i`'s destination.
+    Submit {
+        /// Submitting tenant.
+        tenant: u16,
+        /// Client-chosen id echoed back on the response.
+        request_id: u64,
+        /// Destination output per input line.
+        dests: Vec<u32>,
+    },
+    /// The routed frame: `sources[j]` is the input that arrived at
+    /// output `j`.
+    Routed {
+        /// Tenant the frame belongs to.
+        tenant: u16,
+        /// The SUBMIT's request id.
+        request_id: u64,
+        /// Source input per output line.
+        sources: Vec<u32>,
+    },
+    /// The frame was refused; the client may re-offer it later.
+    Retry {
+        /// Tenant the frame belongs to.
+        tenant: u16,
+        /// The SUBMIT's request id.
+        request_id: u64,
+        /// Why the frame was pushed back.
+        reason: RetryReason,
+    },
+    /// The frame (or the connection) failed.
+    Error {
+        /// Tenant the failure belongs to (0 for connection-level).
+        tenant: u16,
+        /// The SUBMIT's request id (0 for connection-level).
+        request_id: u64,
+        /// Failure class.
+        code: ErrorCode,
+        /// Human-readable cause chain.
+        message: String,
+    },
+    /// Ask the server to drain gracefully and exit.
+    Shutdown {
+        /// Requesting tenant.
+        tenant: u16,
+        /// Client-chosen id (not answered).
+        request_id: u64,
+    },
+}
+
+impl Message {
+    /// The message's opcode byte.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Message::Submit { .. } => OP_SUBMIT,
+            Message::Routed { .. } => OP_ROUTED,
+            Message::Retry { .. } => OP_RETRY,
+            Message::Error { .. } => OP_ERROR,
+            Message::Shutdown { .. } => OP_SHUTDOWN,
+        }
+    }
+
+    /// The tenant id in the header.
+    pub fn tenant(&self) -> u16 {
+        match self {
+            Message::Submit { tenant, .. }
+            | Message::Routed { tenant, .. }
+            | Message::Retry { tenant, .. }
+            | Message::Error { tenant, .. }
+            | Message::Shutdown { tenant, .. } => *tenant,
+        }
+    }
+
+    /// The request id in the header.
+    pub fn request_id(&self) -> u64 {
+        match self {
+            Message::Submit { request_id, .. }
+            | Message::Routed { request_id, .. }
+            | Message::Retry { request_id, .. }
+            | Message::Error { request_id, .. }
+            | Message::Shutdown { request_id, .. } => *request_id,
+        }
+    }
+
+    /// Appends the full wire encoding (length prefix included) to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.extend_from_slice(&[0u8; 4]); // length, patched below
+        out.push(VERSION);
+        out.push(self.opcode());
+        out.extend_from_slice(&self.tenant().to_be_bytes());
+        out.extend_from_slice(&self.request_id().to_be_bytes());
+        match self {
+            Message::Submit { dests: lines, .. } | Message::Routed { sources: lines, .. } => {
+                out.extend_from_slice(&(lines.len() as u32).to_be_bytes());
+                for &line in lines {
+                    out.extend_from_slice(&line.to_be_bytes());
+                }
+            }
+            Message::Retry { reason, .. } => out.push(reason.as_u8()),
+            Message::Error { code, message, .. } => {
+                out.push(code.as_u8());
+                let msg = message.as_bytes();
+                let take = msg.len().min(u16::MAX as usize);
+                out.extend_from_slice(&(take as u16).to_be_bytes());
+                out.extend_from_slice(&msg[..take]);
+            }
+            Message::Shutdown { .. } => {}
+        }
+        let body_len = (out.len() - start - 4) as u32;
+        out[start..start + 4].copy_from_slice(&body_len.to_be_bytes());
+    }
+
+    /// The full wire encoding as a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+/// A typed wire-format violation. Produced instead of panicking for any
+/// malformed, truncated, or oversized input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The version byte is not [`VERSION`].
+    BadVersion {
+        /// The byte received.
+        got: u8,
+    },
+    /// The opcode byte names no known message.
+    UnknownOpcode {
+        /// The byte received.
+        got: u8,
+    },
+    /// The body ended before the structure it declared.
+    Truncated {
+        /// Bytes the structure needed.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The length prefix (or a declared record count) exceeds the
+    /// protocol bound.
+    Oversized {
+        /// Declared length.
+        len: u64,
+        /// The bound it broke.
+        max: u64,
+    },
+    /// The payload length disagrees with its declared element count.
+    LengthMismatch {
+        /// Bytes the declared count implies.
+        expected: u64,
+        /// Bytes actually present.
+        got: u64,
+    },
+    /// A RETRY carried an unknown reason byte.
+    BadRetryReason {
+        /// The byte received.
+        got: u8,
+    },
+    /// An ERROR carried an unknown code byte.
+    BadErrorCode {
+        /// The byte received.
+        got: u8,
+    },
+    /// An ERROR message body is not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadVersion { got } => {
+                write!(f, "unsupported protocol version {got} (expected {VERSION})")
+            }
+            WireError::UnknownOpcode { got } => write!(f, "unknown opcode 0x{got:02x}"),
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} bytes, got {got}")
+            }
+            WireError::Oversized { len, max } => {
+                write!(f, "oversized frame: declared {len} bytes, max {max}")
+            }
+            WireError::LengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "payload length mismatch: count implies {expected} bytes, got {got}"
+                )
+            }
+            WireError::BadRetryReason { got } => write!(f, "unknown retry reason {got}"),
+            WireError::BadErrorCode { got } => write!(f, "unknown error code {got}"),
+            WireError::BadUtf8 => write!(f, "error message is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Decodes one message body (everything after the length prefix).
+pub fn decode_body(body: &[u8]) -> Result<Message, WireError> {
+    if body.len() > MAX_BODY {
+        return Err(WireError::Oversized {
+            len: body.len() as u64,
+            max: MAX_BODY as u64,
+        });
+    }
+    if body.len() < HEADER_LEN {
+        return Err(WireError::Truncated {
+            needed: HEADER_LEN,
+            got: body.len(),
+        });
+    }
+    let version = body[0];
+    if version != VERSION {
+        return Err(WireError::BadVersion { got: version });
+    }
+    let opcode = body[1];
+    let tenant = u16::from_be_bytes([body[2], body[3]]);
+    let request_id = u64::from_be_bytes([
+        body[4], body[5], body[6], body[7], body[8], body[9], body[10], body[11],
+    ]);
+    let payload = &body[HEADER_LEN..];
+    match opcode {
+        OP_SUBMIT | OP_ROUTED => {
+            if payload.len() < 4 {
+                return Err(WireError::Truncated {
+                    needed: HEADER_LEN + 4,
+                    got: body.len(),
+                });
+            }
+            let count = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]) as u64;
+            if count > MAX_RECORDS as u64 {
+                return Err(WireError::Oversized {
+                    len: count,
+                    max: MAX_RECORDS as u64,
+                });
+            }
+            let expected = 4 * count;
+            let got = (payload.len() - 4) as u64;
+            if expected != got {
+                return Err(WireError::LengthMismatch { expected, got });
+            }
+            let lines: Vec<u32> = payload[4..]
+                .chunks_exact(4)
+                .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            Ok(if opcode == OP_SUBMIT {
+                Message::Submit {
+                    tenant,
+                    request_id,
+                    dests: lines,
+                }
+            } else {
+                Message::Routed {
+                    tenant,
+                    request_id,
+                    sources: lines,
+                }
+            })
+        }
+        OP_RETRY => {
+            if payload.len() != 1 {
+                return Err(WireError::LengthMismatch {
+                    expected: 1,
+                    got: payload.len() as u64,
+                });
+            }
+            Ok(Message::Retry {
+                tenant,
+                request_id,
+                reason: RetryReason::from_u8(payload[0])?,
+            })
+        }
+        OP_ERROR => {
+            if payload.len() < 3 {
+                return Err(WireError::Truncated {
+                    needed: HEADER_LEN + 3,
+                    got: body.len(),
+                });
+            }
+            let code = ErrorCode::from_u8(payload[0])?;
+            let msg_len = u16::from_be_bytes([payload[1], payload[2]]) as u64;
+            let got = (payload.len() - 3) as u64;
+            if msg_len != got {
+                return Err(WireError::LengthMismatch {
+                    expected: msg_len,
+                    got,
+                });
+            }
+            let message = std::str::from_utf8(&payload[3..])
+                .map_err(|_| WireError::BadUtf8)?
+                .to_string();
+            Ok(Message::Error {
+                tenant,
+                request_id,
+                code,
+                message,
+            })
+        }
+        OP_SHUTDOWN => {
+            if !payload.is_empty() {
+                return Err(WireError::LengthMismatch {
+                    expected: 0,
+                    got: payload.len() as u64,
+                });
+            }
+            Ok(Message::Shutdown { tenant, request_id })
+        }
+        got => Err(WireError::UnknownOpcode { got }),
+    }
+}
+
+/// A framed-read failure: transport, wire format, or idle timeout.
+#[derive(Debug)]
+pub enum RecvError {
+    /// The underlying stream failed (including mid-frame stalls past the
+    /// deadline).
+    Io(io::Error),
+    /// The frame violated the wire format.
+    Wire(WireError),
+    /// The stream idled past its read timeout *between* frames — benign;
+    /// poll a shutdown flag and call again.
+    IdleTimeout,
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Io(e) => write!(f, "transport error: {e}"),
+            RecvError::Wire(e) => write!(f, "wire error: {e}"),
+            RecvError::IdleTimeout => write!(f, "idle between frames"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecvError::Io(e) => Some(e),
+            RecvError::Wire(e) => Some(e),
+            RecvError::IdleTimeout => None,
+        }
+    }
+}
+
+impl From<WireError> for RecvError {
+    fn from(e: WireError) -> Self {
+        RecvError::Wire(e)
+    }
+}
+
+/// How long a partially received frame may stall before the read fails.
+/// Bounds graceful-drain time against clients that die mid-frame.
+const MID_FRAME_DEADLINE: Duration = Duration::from_secs(5);
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Fills `buf` from `r`. Returns `Ok(false)` on clean EOF *before the
+/// first byte*; timeouts before the first byte surface as
+/// [`RecvError::IdleTimeout`], timeouts after it retry until
+/// [`MID_FRAME_DEADLINE`].
+fn fill(r: &mut impl Read, buf: &mut [u8]) -> Result<bool, RecvError> {
+    let mut filled = 0;
+    let mut stalled_since: Option<Instant> = None;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(RecvError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream closed mid-frame",
+                )));
+            }
+            Ok(n) => {
+                filled += n;
+                stalled_since = None;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => {
+                if filled == 0 {
+                    return Err(RecvError::IdleTimeout);
+                }
+                let since = *stalled_since.get_or_insert_with(Instant::now);
+                if since.elapsed() >= MID_FRAME_DEADLINE {
+                    return Err(RecvError::Io(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "stream stalled mid-frame",
+                    )));
+                }
+            }
+            Err(e) => return Err(RecvError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one framed message. `Ok(None)` on clean EOF at a frame boundary;
+/// [`RecvError::IdleTimeout`] when the stream's read timeout fires between
+/// frames (retry after checking shutdown flags). The length prefix is
+/// validated against [`MAX_BODY`] before any body allocation.
+pub fn read_message(r: &mut impl Read) -> Result<Option<Message>, RecvError> {
+    let mut len_buf = [0u8; 4];
+    if !fill(r, &mut len_buf)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_BODY {
+        return Err(WireError::Oversized {
+            len: len as u64,
+            max: MAX_BODY as u64,
+        }
+        .into());
+    }
+    let mut body = vec![0u8; len];
+    if !fill(r, &mut body)? {
+        return Err(RecvError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "stream closed between length and body",
+        )));
+    }
+    Ok(Some(decode_body(&body)?))
+}
+
+/// Writes one framed message.
+pub fn write_message(w: &mut impl Write, msg: &Message) -> io::Result<()> {
+    w.write_all(&msg.to_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let bytes = msg.to_bytes();
+        let len = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        assert_eq!(len, bytes.len() - 4, "length prefix covers the body");
+        assert_eq!(decode_body(&bytes[4..]), Ok(msg.clone()));
+        // And through the framed reader.
+        let mut cursor = io::Cursor::new(&bytes);
+        assert_eq!(read_message(&mut cursor).unwrap(), Some(msg));
+    }
+
+    #[test]
+    fn every_opcode_round_trips() {
+        roundtrip(Message::Submit {
+            tenant: 7,
+            request_id: 0xDEAD_BEEF,
+            dests: vec![3, 1, 0, 2],
+        });
+        roundtrip(Message::Routed {
+            tenant: 7,
+            request_id: 0xDEAD_BEEF,
+            sources: vec![2, 1, 3, 0],
+        });
+        roundtrip(Message::Retry {
+            tenant: 1,
+            request_id: 2,
+            reason: RetryReason::TenantQuota,
+        });
+        roundtrip(Message::Error {
+            tenant: 0,
+            request_id: 0,
+            code: ErrorCode::Protocol,
+            message: "bad frame".into(),
+        });
+        roundtrip(Message::Shutdown {
+            tenant: 9,
+            request_id: 100,
+        });
+    }
+
+    #[test]
+    fn empty_frames_round_trip() {
+        roundtrip(Message::Submit {
+            tenant: 0,
+            request_id: 0,
+            dests: vec![],
+        });
+        roundtrip(Message::Error {
+            tenant: 0,
+            request_id: 0,
+            code: ErrorCode::Route,
+            message: String::new(),
+        });
+    }
+
+    #[test]
+    fn worked_hex_example_matches_design_doc() {
+        // The DESIGN.md §14 example: tenant 5, request 7, identity-swap
+        // frame of 4 records routing i -> 3 - i.
+        let msg = Message::Submit {
+            tenant: 5,
+            request_id: 7,
+            dests: vec![3, 2, 1, 0],
+        };
+        let expect = [
+            0x00, 0x00, 0x00, 0x20, // length: 32-byte body
+            0x01, 0x01, // version 1, opcode SUBMIT
+            0x00, 0x05, // tenant 5
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x07, // request id 7
+            0x00, 0x00, 0x00, 0x04, // 4 records
+            0x00, 0x00, 0x00, 0x03, // dest[0] = 3
+            0x00, 0x00, 0x00, 0x02, // dest[1] = 2
+            0x00, 0x00, 0x00, 0x01, // dest[2] = 1
+            0x00, 0x00, 0x00, 0x00, // dest[3] = 0
+        ];
+        assert_eq!(msg.to_bytes(), expect);
+    }
+
+    #[test]
+    fn bad_version_and_opcode_are_typed() {
+        let mut bytes = Message::Shutdown {
+            tenant: 0,
+            request_id: 0,
+        }
+        .to_bytes();
+        bytes[4] = 9;
+        assert_eq!(
+            decode_body(&bytes[4..]),
+            Err(WireError::BadVersion { got: 9 })
+        );
+        bytes[4] = VERSION;
+        bytes[5] = 0x7F;
+        assert_eq!(
+            decode_body(&bytes[4..]),
+            Err(WireError::UnknownOpcode { got: 0x7F })
+        );
+    }
+
+    #[test]
+    fn truncation_is_typed_never_a_panic() {
+        let bytes = Message::Submit {
+            tenant: 1,
+            request_id: 2,
+            dests: vec![1, 0],
+        }
+        .to_bytes();
+        for cut in 0..bytes.len() - 4 {
+            let body = &bytes[4..4 + cut];
+            let err = decode_body(body).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    WireError::Truncated { .. } | WireError::LengthMismatch { .. }
+                ),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        // An HTTP "GET " read as a length prefix is ~1.2 GB — the reader
+        // must refuse it without allocating.
+        let bytes = *b"GET / HTTP/1.1\r\n";
+        let mut cursor = io::Cursor::new(&bytes[..]);
+        match read_message(&mut cursor) {
+            Err(RecvError::Wire(WireError::Oversized { len, max })) => {
+                assert_eq!(len, u32::from_be_bytes(*b"GET ") as u64);
+                assert_eq!(max, MAX_BODY as u64);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_record_count_is_rejected() {
+        let mut body = vec![VERSION, OP_SUBMIT, 0, 0];
+        body.extend_from_slice(&0u64.to_be_bytes());
+        body.extend_from_slice(&(MAX_RECORDS as u32 + 1).to_be_bytes());
+        assert_eq!(
+            decode_body(&body),
+            Err(WireError::Oversized {
+                len: MAX_RECORDS as u64 + 1,
+                max: MAX_RECORDS as u64,
+            })
+        );
+    }
+
+    #[test]
+    fn count_payload_mismatch_is_typed() {
+        let mut body = vec![VERSION, OP_SUBMIT, 0, 0];
+        body.extend_from_slice(&0u64.to_be_bytes());
+        body.extend_from_slice(&4u32.to_be_bytes()); // claims 4 records
+        body.extend_from_slice(&0u32.to_be_bytes()); // carries 1
+        assert_eq!(
+            decode_body(&body),
+            Err(WireError::LengthMismatch {
+                expected: 16,
+                got: 4
+            })
+        );
+    }
+
+    #[test]
+    fn clean_eof_is_none_mid_frame_eof_is_error() {
+        let mut empty = io::Cursor::new(Vec::new());
+        assert!(matches!(read_message(&mut empty), Ok(None)));
+        let bytes = Message::Shutdown {
+            tenant: 0,
+            request_id: 0,
+        }
+        .to_bytes();
+        // Cut inside the length prefix and inside the body.
+        for cut in [2usize, 4, 9] {
+            let mut cursor = io::Cursor::new(bytes[..cut].to_vec());
+            assert!(
+                matches!(read_message(&mut cursor), Err(RecvError::Io(_))),
+                "cut at {cut} must be an unexpected-EOF transport error"
+            );
+        }
+    }
+
+    #[test]
+    fn long_error_messages_truncate_to_u16() {
+        let msg = Message::Error {
+            tenant: 0,
+            request_id: 0,
+            code: ErrorCode::Route,
+            message: "x".repeat(70_000),
+        };
+        let bytes = msg.to_bytes();
+        match decode_body(&bytes[4..]).unwrap() {
+            Message::Error { message, .. } => assert_eq!(message.len(), u16::MAX as usize),
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,764 @@
+//! The long-lived routing server.
+//!
+//! One [`Server::serve`] call owns a TCP listener for the lifetime of a
+//! serving session. Every accepted connection gets a reader thread and a
+//! writer thread; a single dispatcher thread multiplexes all admitted
+//! frames onto one [`bnb_engine::Engine`] submit/drain queue. Admission
+//! control runs in the reader, *before* the dispatcher ever sees a frame:
+//!
+//! - a global in-flight cap equal to the engine's bounded queue capacity
+//!   (so `try_submit` can never find the queue full), and
+//! - a per-tenant in-flight quota.
+//!
+//! A frame that fails admission is answered with an explicit `RETRY`
+//! response — the server never buffers beyond its declared bounds. On
+//! shutdown (SIGTERM/SIGINT via [`install_signal_handlers`], a wire
+//! `SHUTDOWN` message, or [`ServerControl::trigger_shutdown`]) the
+//! acceptor closes, new submissions get `RETRY Draining`, every in-flight
+//! frame is routed and delivered, and all threads join deterministically
+//! before [`Server::serve`] returns its [`ServeReport`].
+//!
+//! The listener doubles as a Prometheus endpoint: a connection whose
+//! first bytes are `"GET "` is answered with one `text/plain; version=0.0.4`
+//! exposition rendered from the shared [`Counters`] and closed.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use bnb_core::network::BnbNetwork;
+use bnb_engine::{Engine, EngineConfig, EngineHandle, ShardDepth};
+use bnb_obs::{render_prometheus, AcceptEvent, Counters, Observer, ServeEvent, ThrottleEvent};
+use bnb_topology::record::Record;
+use serde::Serialize;
+
+use crate::protocol::{read_message, write_message, ErrorCode, Message, RecvError, RetryReason};
+
+/// Serving-session parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Network size `N = 2^m`; every SUBMIT frame must carry exactly this
+    /// many records.
+    pub inputs: usize,
+    /// Engine worker threads.
+    pub workers: usize,
+    /// Bounded engine queue capacity — also the global in-flight cap.
+    pub queue_capacity: usize,
+    /// Per-tenant in-flight frame quota.
+    pub tenant_quota: usize,
+    /// Most simultaneously open client connections.
+    pub max_connections: usize,
+    /// Socket read timeout; bounds how fast idle readers notice shutdown.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            inputs: 64,
+            workers: 2,
+            queue_capacity: 8,
+            tenant_quota: 4,
+            max_connections: 64,
+            read_timeout: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Set by the process signal handlers; shared by every [`ServerControl`].
+static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Routes SIGTERM and SIGINT to a graceful drain of every server in the
+/// process. Uses the libc `signal(2)` entry point directly so the crate
+/// stays dependency-free; on non-Unix targets this is a no-op.
+pub fn install_signal_handlers() {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        extern "C" fn on_signal(_sig: i32) {
+            SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+}
+
+/// Shared shutdown switch for one serving session.
+#[derive(Debug, Default)]
+pub struct ServerControl {
+    shutdown: AtomicBool,
+}
+
+impl ServerControl {
+    /// A control with the shutdown switch off.
+    pub fn new() -> Arc<Self> {
+        Arc::new(ServerControl::default())
+    }
+
+    /// Flips the session into graceful drain.
+    pub fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// True once a drain was requested — by this control, or by a process
+    /// signal installed with [`install_signal_handlers`].
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
+    }
+}
+
+/// What one serving session did, returned by [`Server::serve`].
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeReport {
+    /// Connections accepted (metrics scrapes included).
+    pub connections_accepted: u64,
+    /// SUBMIT frames received.
+    pub frames_submitted: u64,
+    /// Frames routed and delivered back to their client.
+    pub frames_served: u64,
+    /// Frames answered with an explicit RETRY.
+    pub retries_issued: u64,
+    /// Frames that failed validation or routing (answered with ERROR).
+    pub frames_errored: u64,
+    /// Responses dropped because the client's reply buffer was full —
+    /// always zero unless a client stops reading entirely.
+    pub responses_dropped: u64,
+    /// Connections that violated the wire protocol.
+    pub protocol_errors: u64,
+    /// True when the session ended by graceful drain (vs. listener error).
+    pub graceful: bool,
+    /// Session wall-clock duration.
+    pub elapsed_ms: u64,
+    /// Batches the engine completed (served + errored).
+    pub engine_batches: u64,
+    /// Records in successfully routed batches.
+    pub engine_records: u64,
+}
+
+impl ServeReport {
+    /// The bounded-buffering ledger: every submitted frame must be
+    /// accounted for as served, retried, errored, or dropped.
+    pub fn accounted(&self) -> bool {
+        self.frames_submitted
+            == self.frames_served
+                + self.retries_issued
+                + self.frames_errored
+                + self.responses_dropped
+    }
+}
+
+/// Session-scoped tallies feeding the [`ServeReport`].
+#[derive(Default)]
+struct SessionStats {
+    connections_accepted: AtomicU64,
+    frames_submitted: AtomicU64,
+    frames_served: AtomicU64,
+    retries_issued: AtomicU64,
+    frames_errored: AtomicU64,
+    responses_dropped: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl SessionStats {
+    fn bump(counter: &AtomicU64) -> u64 {
+        counter.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+/// Admission state shared by every reader: the global in-flight count and
+/// the per-tenant quota slots.
+struct Admission {
+    inflight: AtomicUsize,
+    tenants: Mutex<HashMap<u16, Arc<AtomicUsize>>>,
+}
+
+impl Admission {
+    fn new() -> Self {
+        Admission {
+            inflight: AtomicUsize::new(0),
+            tenants: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn tenant_slot(&self, tenant: u16) -> Arc<AtomicUsize> {
+        Arc::clone(
+            self.tenants
+                .lock()
+                .unwrap()
+                .entry(tenant)
+                .or_insert_with(|| Arc::new(AtomicUsize::new(0))),
+        )
+    }
+}
+
+/// One admitted frame travelling from a reader to the dispatcher.
+struct RouteJob {
+    tenant: u16,
+    request_id: u64,
+    admitted_at: Instant,
+    lines: Vec<Record>,
+    reply: mpsc::SyncSender<Message>,
+    tenant_slot: Arc<AtomicUsize>,
+}
+
+/// Dispatcher-side record of a submitted batch awaiting its drain.
+struct Pending {
+    tenant: u16,
+    request_id: u64,
+    records: usize,
+    admitted_at: Instant,
+    reply: mpsc::SyncSender<Message>,
+    tenant_slot: Arc<AtomicUsize>,
+}
+
+/// A long-lived routing server bound to a shared [`Counters`] sink.
+pub struct Server<'a> {
+    config: ServeConfig,
+    counters: &'a Counters,
+}
+
+impl<'a> Server<'a> {
+    /// A server that reports serving metrics into `counters`.
+    pub fn new(config: ServeConfig, counters: &'a Counters) -> Self {
+        Server { config, counters }
+    }
+
+    /// Runs one serving session on `listener` until `control` requests a
+    /// drain (or the listener dies). Resets `counters` at session start so
+    /// the `/metrics` endpoint and final report describe this session
+    /// only. Joins every thread before returning.
+    pub fn serve(
+        &self,
+        listener: TcpListener,
+        control: &Arc<ServerControl>,
+    ) -> Result<ServeReport, ServeError> {
+        let cfg = self.config;
+        let network = BnbNetwork::builder_for(cfg.inputs)
+            .map_err(|e| ServeError::Config(format!("bad network size {}: {e}", cfg.inputs)))?
+            .build();
+        let engine = Engine::with_observer(
+            network,
+            EngineConfig {
+                workers: cfg.workers.max(1),
+                queue_capacity: cfg.queue_capacity.max(1),
+                shard_depth: ShardDepth::Auto,
+            },
+            self.counters,
+        );
+        listener
+            .set_nonblocking(true)
+            .map_err(ServeError::Listener)?;
+        self.counters.reset();
+
+        let stats = SessionStats::default();
+        let admission = Admission::new();
+        let started = Instant::now();
+        let graceful = AtomicBool::new(true);
+        let active_conns = AtomicUsize::new(0);
+
+        let (engine_batches, engine_records) = engine.run(|handle| {
+            let (job_tx, job_rx) = mpsc::channel::<RouteJob>();
+            thread::scope(|s| {
+                s.spawn(|| dispatch(handle, job_rx, &admission, &stats, self.counters));
+
+                // Accept loop, run inline on this thread.
+                loop {
+                    if control.shutdown_requested() {
+                        break;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _addr)) => {
+                            if active_conns.load(Ordering::Acquire) >= cfg.max_connections {
+                                drop(stream); // over the connection cap
+                                continue;
+                            }
+                            let conn = SessionStats::bump(&stats.connections_accepted);
+                            self.counters.connection_accepted(AcceptEvent { conn });
+                            active_conns.fetch_add(1, Ordering::AcqRel);
+                            let job_tx = job_tx.clone();
+                            let active = &active_conns;
+                            let admission = &admission;
+                            let stats = &stats;
+                            let counters = self.counters;
+                            s.spawn(move || {
+                                let _ = serve_connection(
+                                    stream, cfg, control, job_tx, admission, stats, counters,
+                                );
+                                active.fetch_sub(1, Ordering::AcqRel);
+                            });
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            graceful.store(false, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                }
+                // Dropping the acceptor's sender lets the dispatcher exit
+                // once the last reader hangs up and its queue drains.
+                drop(job_tx);
+            });
+            // Every reader and the dispatcher have joined; nothing can be
+            // in flight, but close the engine queue deterministically.
+            let tail = handle.drain_and_close();
+            debug_assert!(tail.is_empty(), "dispatcher left {} batches", tail.len());
+            let est = handle.stats();
+            (est.batches, est.records)
+        });
+
+        let report = ServeReport {
+            connections_accepted: stats.connections_accepted.load(Ordering::Relaxed),
+            frames_submitted: stats.frames_submitted.load(Ordering::Relaxed),
+            frames_served: stats.frames_served.load(Ordering::Relaxed),
+            retries_issued: stats.retries_issued.load(Ordering::Relaxed),
+            frames_errored: stats.frames_errored.load(Ordering::Relaxed),
+            responses_dropped: stats.responses_dropped.load(Ordering::Relaxed),
+            protocol_errors: stats.protocol_errors.load(Ordering::Relaxed),
+            graceful: graceful.load(Ordering::SeqCst),
+            elapsed_ms: started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64,
+            engine_batches,
+            engine_records,
+        };
+        debug_assert!(
+            report.accounted(),
+            "frame ledger out of balance: {report:?}"
+        );
+        Ok(report)
+    }
+}
+
+/// A serving-session failure (distinct from per-connection errors, which
+/// are answered on the wire and never abort the session).
+#[derive(Debug)]
+pub enum ServeError {
+    /// The configuration cannot build a network.
+    Config(String),
+    /// The listener socket failed before the session started.
+    Listener(io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Config(msg) => write!(f, "invalid serve configuration: {msg}"),
+            ServeError::Listener(e) => write!(f, "listener setup failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Config(_) => None,
+            ServeError::Listener(e) => Some(e),
+        }
+    }
+}
+
+/// The dispatcher: multiplexes every admitted frame onto the engine's
+/// bounded queue and delivers drained batches to their reply channels.
+fn dispatch<O: Observer>(
+    handle: &EngineHandle<'_, O>,
+    jobs: mpsc::Receiver<RouteJob>,
+    admission: &Admission,
+    stats: &SessionStats,
+    counters: &Counters,
+) {
+    let mut pending: HashMap<u64, Pending> = HashMap::new();
+    let mut disconnected = false;
+    loop {
+        // Deliver everything the engine has finished.
+        while let Some(batch) = handle.try_drain() {
+            let Some(p) = pending.remove(&batch.seq) else {
+                continue; // unreachable: every submit records a Pending
+            };
+            let msg = match batch.result {
+                Ok(lines) => Message::Routed {
+                    tenant: p.tenant,
+                    request_id: p.request_id,
+                    sources: lines.iter().map(|r| r.data() as u32).collect(),
+                },
+                Err(e) => Message::Error {
+                    tenant: p.tenant,
+                    request_id: p.request_id,
+                    code: ErrorCode::Route,
+                    message: error_chain(&e),
+                },
+            };
+            let served = matches!(msg, Message::Routed { .. });
+            match p.reply.try_send(msg) {
+                Ok(()) => {
+                    if served {
+                        SessionStats::bump(&stats.frames_served);
+                        counters.frame_served(ServeEvent {
+                            tenant: p.tenant,
+                            request_id: p.request_id,
+                            records: p.records,
+                            latency_ns: p.admitted_at.elapsed().as_nanos().min(u128::from(u64::MAX))
+                                as u64,
+                        });
+                    } else {
+                        SessionStats::bump(&stats.frames_errored);
+                    }
+                }
+                Err(_) => {
+                    // Reply buffer full or writer gone: the bounded-buffer
+                    // promise wins over delivery. Count it, never block.
+                    SessionStats::bump(&stats.responses_dropped);
+                }
+            }
+            p.tenant_slot.fetch_sub(1, Ordering::AcqRel);
+            admission.inflight.fetch_sub(1, Ordering::AcqRel);
+        }
+
+        // Feed the engine everything the readers have admitted.
+        loop {
+            match jobs.try_recv() {
+                Ok(job) => submit_job(handle, job, admission, &mut pending, stats, counters),
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+
+        if disconnected && pending.is_empty() {
+            break;
+        }
+
+        // Park briefly: long when fully idle, short while batches are in
+        // flight so drains are delivered promptly.
+        let wait = if pending.is_empty() {
+            Duration::from_millis(50)
+        } else {
+            Duration::from_micros(200)
+        };
+        match jobs.recv_timeout(wait) {
+            Ok(job) => submit_job(handle, job, admission, &mut pending, stats, counters),
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => disconnected = true,
+        }
+    }
+}
+
+fn submit_job<O: Observer>(
+    handle: &EngineHandle<'_, O>,
+    job: RouteJob,
+    admission: &Admission,
+    pending: &mut HashMap<u64, Pending>,
+    stats: &SessionStats,
+    counters: &Counters,
+) {
+    let records = job.lines.len();
+    match handle.try_submit(job.lines) {
+        Ok(seq) => {
+            // The admission cap keeps `inflight <= queue_capacity`, so the
+            // engine queue had room; both slots are released at delivery.
+            pending.insert(
+                seq,
+                Pending {
+                    tenant: job.tenant,
+                    request_id: job.request_id,
+                    records,
+                    admitted_at: job.admitted_at,
+                    reply: job.reply,
+                    tenant_slot: job.tenant_slot,
+                },
+            );
+        }
+        Err(err) => {
+            // Defensive: admission should make this unreachable. Push the
+            // frame back rather than lose it.
+            let reason = if err.is_closed() {
+                RetryReason::Draining
+            } else {
+                RetryReason::QueueFull
+            };
+            SessionStats::bump(&stats.retries_issued);
+            counters.retry_issued(ThrottleEvent {
+                tenant: job.tenant,
+                reason: reason.as_u8(),
+            });
+            let _ = job.reply.try_send(Message::Retry {
+                tenant: job.tenant,
+                request_id: job.request_id,
+                reason,
+            });
+            job.tenant_slot.fetch_sub(1, Ordering::AcqRel);
+            admission.inflight.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// Renders an error with its full `source()` chain.
+fn error_chain(err: &dyn std::error::Error) -> String {
+    let mut out = err.to_string();
+    let mut cur = err.source();
+    while let Some(e) = cur {
+        out.push_str(": ");
+        out.push_str(&e.to_string());
+        cur = e.source();
+    }
+    out
+}
+
+/// Handles one accepted connection: sniffs HTTP metrics scrapes, then
+/// runs the binary-protocol reader loop with a paired writer thread.
+fn serve_connection(
+    stream: TcpStream,
+    cfg: ServeConfig,
+    control: &Arc<ServerControl>,
+    job_tx: mpsc::Sender<RouteJob>,
+    admission: &Admission,
+    stats: &SessionStats,
+    counters: &Counters,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(cfg.read_timeout))?;
+    if sniff_http(&stream)? {
+        return serve_metrics(stream, counters);
+    }
+
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+    writer.set_write_timeout(Some(Duration::from_secs(5))).ok();
+
+    // Reply buffer: big enough for every frame this connection could have
+    // in flight plus a burst of RETRYs; a client that stops reading
+    // entirely sees drops counted in `responses_dropped`, never unbounded
+    // server-side buffering.
+    let (reply_tx, reply_rx) =
+        mpsc::sync_channel::<Message>(cfg.queue_capacity + cfg.tenant_quota + 4);
+
+    thread::scope(|s| {
+        let writer_handle = s.spawn(move || {
+            for msg in reply_rx.iter() {
+                if write_message(&mut writer, &msg).is_err() {
+                    break; // drain remaining sends as disconnects
+                }
+            }
+            let _ = writer.flush();
+        });
+
+        let result = reader_loop(
+            &mut reader,
+            cfg,
+            control,
+            &job_tx,
+            admission,
+            stats,
+            counters,
+            &reply_tx,
+        );
+
+        // Let the writer finish any responses still flowing from the
+        // dispatcher (its sender clones live inside Pending entries).
+        drop(reply_tx);
+        drop(job_tx);
+        let _ = writer_handle.join();
+        result
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn reader_loop(
+    reader: &mut TcpStream,
+    cfg: ServeConfig,
+    control: &Arc<ServerControl>,
+    job_tx: &mpsc::Sender<RouteJob>,
+    admission: &Admission,
+    stats: &SessionStats,
+    counters: &Counters,
+    reply_tx: &mpsc::SyncSender<Message>,
+) -> io::Result<()> {
+    loop {
+        let msg = match read_message(reader) {
+            Ok(Some(msg)) => msg,
+            Ok(None) => return Ok(()), // clean hangup
+            Err(RecvError::IdleTimeout) => {
+                if control.shutdown_requested() {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(RecvError::Wire(e)) => {
+                SessionStats::bump(&stats.protocol_errors);
+                let _ = reply_tx.try_send(Message::Error {
+                    tenant: 0,
+                    request_id: 0,
+                    code: ErrorCode::Protocol,
+                    message: e.to_string(),
+                });
+                return Ok(());
+            }
+            Err(RecvError::Io(e)) => return Err(e),
+        };
+        match msg {
+            Message::Submit {
+                tenant,
+                request_id,
+                dests,
+            } => {
+                SessionStats::bump(&stats.frames_submitted);
+                admit(
+                    tenant, request_id, dests, cfg, control, job_tx, admission, stats, counters,
+                    reply_tx,
+                );
+            }
+            Message::Shutdown { .. } => control.trigger_shutdown(),
+            // Server-to-client opcodes arriving at the server are a
+            // protocol violation.
+            Message::Routed { .. } | Message::Retry { .. } | Message::Error { .. } => {
+                SessionStats::bump(&stats.protocol_errors);
+                let _ = reply_tx.try_send(Message::Error {
+                    tenant: msg.tenant(),
+                    request_id: msg.request_id(),
+                    code: ErrorCode::Protocol,
+                    message: format!("client sent server-only opcode 0x{:02x}", msg.opcode()),
+                });
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Admission control for one SUBMIT: draining check, per-tenant quota,
+/// then the global in-flight cap. Refusals answer with a *blocking* send
+/// of RETRY — TCP backpressure is the flow control for rejections.
+#[allow(clippy::too_many_arguments)]
+fn admit(
+    tenant: u16,
+    request_id: u64,
+    dests: Vec<u32>,
+    cfg: ServeConfig,
+    control: &Arc<ServerControl>,
+    job_tx: &mpsc::Sender<RouteJob>,
+    admission: &Admission,
+    stats: &SessionStats,
+    counters: &Counters,
+    reply_tx: &mpsc::SyncSender<Message>,
+) {
+    let retry = |reason: RetryReason| {
+        SessionStats::bump(&stats.retries_issued);
+        counters.retry_issued(ThrottleEvent {
+            tenant,
+            reason: reason.as_u8(),
+        });
+        let _ = reply_tx.send(Message::Retry {
+            tenant,
+            request_id,
+            reason,
+        });
+    };
+
+    if control.shutdown_requested() {
+        retry(RetryReason::Draining);
+        return;
+    }
+    let tenant_slot = admission.tenant_slot(tenant);
+    if tenant_slot.fetch_add(1, Ordering::AcqRel) >= cfg.tenant_quota {
+        tenant_slot.fetch_sub(1, Ordering::AcqRel);
+        retry(RetryReason::TenantQuota);
+        return;
+    }
+    if admission.inflight.fetch_add(1, Ordering::AcqRel) >= cfg.queue_capacity {
+        admission.inflight.fetch_sub(1, Ordering::AcqRel);
+        tenant_slot.fetch_sub(1, Ordering::AcqRel);
+        retry(RetryReason::QueueFull);
+        return;
+    }
+
+    let lines: Vec<Record> = dests
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| Record::new(d as usize, i as u64))
+        .collect();
+    let job = RouteJob {
+        tenant,
+        request_id,
+        admitted_at: Instant::now(),
+        lines,
+        reply: reply_tx.clone(),
+        tenant_slot,
+    };
+    if let Err(mpsc::SendError(job)) = job_tx.send(job) {
+        // Dispatcher already gone: the session is past its drain point.
+        admission.inflight.fetch_sub(1, Ordering::AcqRel);
+        job.tenant_slot.fetch_sub(1, Ordering::AcqRel);
+        retry(RetryReason::Draining);
+    }
+}
+
+/// True when the connection's first bytes look like an HTTP GET.
+fn sniff_http(stream: &TcpStream) -> io::Result<bool> {
+    let mut first = [0u8; 4];
+    let deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        match stream.peek(&mut first) {
+            Ok(4) => return Ok(&first == b"GET "),
+            Ok(_) => {
+                if Instant::now() >= deadline {
+                    return Ok(false);
+                }
+                thread::sleep(Duration::from_millis(1));
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if Instant::now() >= deadline {
+                    return Ok(false);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Answers one HTTP metrics scrape with the Prometheus 0.0.4 exposition
+/// of the shared counters, then closes.
+fn serve_metrics(mut stream: TcpStream, counters: &Counters) -> io::Result<()> {
+    // Consume the request head (bounded) so the peer sees a clean close.
+    let mut buf = [0u8; 1024];
+    let mut head = Vec::new();
+    while head.len() < 8192 {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                break;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let body = render_prometheus(&counters.snapshot());
+    let response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}

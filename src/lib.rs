@@ -32,6 +32,13 @@
 //!   [`obs::FlightRecorder`] span ring, and exporters for text, JSON,
 //!   Prometheus exposition format, and Chrome trace-event JSON. Per-cell
 //!   path tracing ([`core::tracer::PathTracer`]) rides the same hooks.
+//! - [`serve`] — a long-lived routing service over `std::net`: a
+//!   length-prefixed binary protocol ([`serve::protocol`]), a threaded
+//!   server with per-tenant admission control, bounded-queue
+//!   backpressure (explicit `RETRY`, never unbounded buffering), graceful
+//!   drain, and a Prometheus `/metrics` endpoint
+//!   ([`serve::server::Server`]), plus an open/closed-loop load generator
+//!   ([`serve::loadgen`]) that verifies every routed permutation.
 //!
 //! # Quickstart
 //!
@@ -61,5 +68,6 @@ pub use bnb_core as core;
 pub use bnb_engine as engine;
 pub use bnb_gates as gates;
 pub use bnb_obs as obs;
+pub use bnb_serve as serve;
 pub use bnb_sim as sim;
 pub use bnb_topology as topology;
