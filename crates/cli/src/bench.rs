@@ -1,34 +1,44 @@
 //! `bnb bench` — the routing-kernel micro-benchmark behind the repo's
 //! `BENCH_routing.json` trajectory.
 //!
-//! Routes seeded random frames through both stage-span kernels — the
-//! bit-packed word-parallel fast path (`route_span`) and the scalar
-//! oracle it is held against (`route_span_scalar`) — and reports
-//! nanoseconds per frame and cells per second for each size. The CI
-//! bench-smoke job re-parses the `--json` output and fails if the packed
-//! kernel ever regresses below the scalar one at m ≥ 8; a full-size run
-//! (`bnb bench --out BENCH_routing.json`) is checked in so future PRs
-//! have a baseline to diff against.
+//! Routes seeded random frames through three kernels — the scalar oracle
+//! ([`Kernel::Scalar`]), the single-frame bit-packed word-parallel path
+//! ([`Kernel::Packed`] via [`RouteSpan`]), and the frame-batched kernel
+//! ([`route_batch`] over a [`FrameBatch`] of `--batch` frames) — and
+//! reports nanoseconds per frame and cells per second for each. Every row
+//! is self-describing: kernel name, batch size, and SWAR word width, so
+//! the checked-in baseline can accumulate rows from different kernel
+//! generations without ambiguity. The CI bench-smoke job re-parses the
+//! `--json` output and gates on packed > scalar at m ≥ 8, batched >
+//! packed at m ≥ 10, and batched flatness (m = 12 within 3x of m = 4
+//! cells/s); a full-size run (`bnb bench --out BENCH_routing.json`) is
+//! checked in so future PRs have a baseline to diff against.
 
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
+use bnb_core::batch::{route_batch, BatchOutcome, FrameBatch};
 use bnb_core::network::BnbNetwork;
-use bnb_core::stages::{route_span, route_span_scalar, StageScratch};
+use bnb_core::stages::{Kernel, RouteSpan, StageScratch};
 use bnb_topology::perm::Permutation;
 use bnb_topology::record::{records_for_permutation, Record};
 use serde::{Deserialize, Serialize};
 
 use crate::{err, CliError, Flags};
 
-/// One benchmark measurement: a kernel at a size.
+/// One benchmark measurement: a kernel variant at a size.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchRow {
-    /// Kernel name: `"packed"` or `"scalar"`.
+    /// Kernel name: `"scalar"`, `"packed"`, or `"batched"`.
     pub kernel: String,
     /// Network size exponent (`N = 2^m` cells per frame).
     pub m: usize,
+    /// Frames routed per kernel invocation (1 for the per-frame kernels).
+    pub batch: usize,
+    /// SWAR word width in bits (64 for the packed kernels; 64 recorded
+    /// for scalar too — it is the unit the packed paths are held against).
+    pub word_bits: usize,
     /// Mean wall-clock nanoseconds to route one full frame.
     pub ns_per_frame: f64,
     /// Routed cell throughput implied by `ns_per_frame`.
@@ -45,27 +55,24 @@ pub struct BenchReport {
     pub rows: Vec<BenchRow>,
 }
 
-/// Times one kernel at one size: cycles through `frames` pre-generated
-/// permutation frames, repeating whole passes until the measurement
-/// window is long enough to trust (`min_ns`, at least two passes after
-/// one warm-up pass). Returns mean ns per routed frame.
+/// Times one per-frame kernel at one size: cycles through `frames`
+/// pre-generated permutation frames, repeating whole passes until the
+/// measurement window is long enough to trust (`min_ns`, at least two
+/// passes after one warm-up pass). Returns mean ns per routed frame.
 fn time_kernel(
     net: &BnbNetwork,
     frames: &[Vec<Record>],
     scratch: &mut StageScratch,
     buf: &mut Vec<Record>,
-    scalar: bool,
+    kernel: Kernel,
     min_ns: u128,
 ) -> f64 {
     let m = net.m();
+    let span = RouteSpan::new().kernel(kernel);
     let pass = |scratch: &mut StageScratch, buf: &mut Vec<Record>| {
         for frame in frames {
             buf.copy_from_slice(frame);
-            if scalar {
-                route_span_scalar(net, buf, 0, 0..m, scratch).unwrap();
-            } else {
-                route_span(net, buf, 0, 0..m, scratch).unwrap();
-            }
+            span.run(net, buf, 0, 0..m, scratch).unwrap();
             black_box(buf.last());
         }
     };
@@ -83,14 +90,59 @@ fn time_kernel(
     }
 }
 
+/// Times the batched kernel: each pass refills one [`FrameBatch`] with
+/// every pre-generated frame (grouped `batch_size` at a time) and routes
+/// it through [`route_batch`]. The refill is part of the measured work —
+/// a real submit path pays the same copy — so batched and per-frame rows
+/// compare end to end. Returns mean ns per routed frame.
+fn time_batched(
+    net: &BnbNetwork,
+    frames: &[Vec<Record>],
+    scratch: &mut StageScratch,
+    batch_size: usize,
+    min_ns: u128,
+) -> f64 {
+    let n = net.inputs();
+    let opts = RouteSpan::new();
+    let mut batch = FrameBatch::with_capacity(n, batch_size.min(frames.len()));
+    let mut outcome = BatchOutcome::new();
+    let pass = |scratch: &mut StageScratch, batch: &mut FrameBatch, outcome: &mut BatchOutcome| {
+        for group in frames.chunks(batch_size) {
+            batch.clear();
+            for frame in group {
+                batch.push_frame(frame);
+            }
+            route_batch(net, batch, &opts, scratch, outcome);
+            assert!(outcome.all_ok());
+            black_box(batch.len());
+        }
+    };
+    pass(scratch, &mut batch, &mut outcome);
+    let mut routed = 0u64;
+    let start = Instant::now();
+    loop {
+        pass(scratch, &mut batch, &mut outcome);
+        routed += frames.len() as u64;
+        let elapsed = start.elapsed().as_nanos();
+        if elapsed >= min_ns && routed >= 2 * frames.len() as u64 {
+            return elapsed as f64 / routed as f64;
+        }
+    }
+}
+
 /// Runs the benchmark matrix and returns the report. Shared by the CLI
-/// command and the CI smoke test.
+/// command and the CI smoke test. Scalar rows stop at `scalar_max_m`
+/// (the oracle is O(n·m²) per frame and exists for reference, not for
+/// production sizes — though the default measures it everywhere).
+#[allow(clippy::too_many_arguments)]
 pub fn run_bench(
     min_m: usize,
     max_m: usize,
     frames: usize,
     seed: u64,
     min_ms_per_cell: u64,
+    batch_size: usize,
+    scalar_max_m: usize,
 ) -> BenchReport {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -104,47 +156,58 @@ pub fn run_bench(
             .map(|_| records_for_permutation(&Permutation::random(n, &mut rng)))
             .collect();
         let mut buf = batch[0].clone();
-        for (kernel, is_scalar) in [("packed", false), ("scalar", true)] {
-            let ns = time_kernel(&net, &batch, &mut scratch, &mut buf, is_scalar, min_ns);
+        let mut push = |kernel: &str, batch_n: usize, ns: f64| {
             rows.push(BenchRow {
                 kernel: kernel.to_string(),
                 m,
+                batch: batch_n,
+                word_bits: 64,
                 ns_per_frame: ns,
                 cells_per_s: n as f64 * 1e9 / ns,
             });
+        };
+        let ns = time_kernel(&net, &batch, &mut scratch, &mut buf, Kernel::Packed, min_ns);
+        push("packed", 1, ns);
+        if m <= scalar_max_m {
+            let ns = time_kernel(&net, &batch, &mut scratch, &mut buf, Kernel::Scalar, min_ns);
+            push("scalar", 1, ns);
         }
+        let ns = time_batched(&net, &batch, &mut scratch, batch_size, min_ns);
+        push("batched", batch_size, ns);
     }
     BenchReport { frames, rows }
 }
 
-/// Renders the human-readable table: one line per size with both
-/// kernels and the packed/scalar speedup.
+/// Renders the human-readable table: one line per size with every
+/// measured kernel and the speedups over scalar.
 fn render_table(report: &BenchReport) -> String {
     let mut out = String::from(
         "routing-kernel benchmark (ns/frame, lower is better)\n\
          \n\
-         m      N     packed ns     scalar ns   speedup   packed cells/s\n",
+         m      N     scalar ns     packed ns    batched ns   pk-x   bt-x   batched cells/s\n",
     );
     let mut by_m: Vec<usize> = report.rows.iter().map(|r| r.m).collect();
     by_m.dedup();
     for m in by_m {
-        let find = |kernel: &str| {
-            report
-                .rows
-                .iter()
-                .find(|r| r.m == m && r.kernel == kernel)
-                .expect("both kernels measured per size")
-        };
-        let packed = find("packed");
+        let find = |kernel: &str| report.rows.iter().find(|r| r.m == m && r.kernel == kernel);
+        let packed = find("packed").expect("packed measured per size");
+        let batched = find("batched").expect("batched measured per size");
         let scalar = find("scalar");
+        let (scalar_ns, pk_x, bt_x) = match scalar {
+            Some(s) => (
+                format!("{:>13.0}", s.ns_per_frame),
+                format!("{:>5.1}x", s.ns_per_frame / packed.ns_per_frame),
+                format!("{:>5.1}x", s.ns_per_frame / batched.ns_per_frame),
+            ),
+            None => (format!("{:>13}", "-"), "    -".into(), "    -".into()),
+        };
         let _ = writeln!(
             out,
-            "{m:<2} {n:>6} {p:>12.0} {s:>13.0} {x:>8.2}x {c:>15.3e}",
+            "{m:<2} {n:>6} {scalar_ns} {p:>13.0} {b:>13.0} {pk_x} {bt_x} {c:>17.3e}",
             n = 1usize << m,
             p = packed.ns_per_frame,
-            s = scalar.ns_per_frame,
-            x = scalar.ns_per_frame / packed.ns_per_frame,
-            c = packed.cells_per_s,
+            b = batched.ns_per_frame,
+            c = batched.cells_per_s,
         );
     }
     out
@@ -163,7 +226,12 @@ pub(crate) fn cmd_bench(flags: &Flags) -> Result<String, CliError> {
     }
     let seed = flags.usize_or("--seed", 0)? as u64;
     let min_ms = flags.usize_or("--min-ms", 20)? as u64;
-    let report = run_bench(min_m, max_m, frames, seed, min_ms);
+    let batch_size = flags.usize_or("--batch", 64)?;
+    if batch_size == 0 || batch_size > 4096 {
+        return Err(err("--batch must be 1..=4096"));
+    }
+    let scalar_max_m = flags.usize_or("--scalar-max-m", max_m)?;
+    let report = run_bench(min_m, max_m, frames, seed, min_ms, batch_size, scalar_max_m);
     let mut out = if flags.present("--json") {
         let json = serde_json::to_string(&report)
             .map_err(|e| err(format!("bench serialization failed: {e}")))?;

@@ -959,10 +959,10 @@ mod tests {
         .unwrap();
         let report: bench::BenchReport = serde_json::from_str(out.trim()).unwrap();
         assert_eq!(report.frames, 2);
-        // One packed and one scalar row per size, in order.
-        assert_eq!(report.rows.len(), 6);
+        // One packed, one scalar, and one batched row per size, in order.
+        assert_eq!(report.rows.len(), 9);
         for m in 2..=4usize {
-            for kernel in ["packed", "scalar"] {
+            for kernel in ["packed", "scalar", "batched"] {
                 let row = report
                     .rows
                     .iter()
@@ -970,6 +970,8 @@ mod tests {
                     .unwrap_or_else(|| panic!("missing row {kernel}/{m}"));
                 assert!(row.ns_per_frame > 0.0);
                 assert!(row.cells_per_s > 0.0);
+                assert_eq!(row.word_bits, 64);
+                assert_eq!(row.batch, if kernel == "batched" { 64 } else { 1 });
             }
         }
     }
@@ -984,11 +986,11 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("routing-kernel benchmark"));
-        assert!(out.contains("speedup"));
+        assert!(out.contains("batched cells/s"));
         let written = std::fs::read_to_string(&path).unwrap();
         std::fs::remove_file(&path).unwrap();
         let report: bench::BenchReport = serde_json::from_str(&written).unwrap();
-        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.rows.len(), 3);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use bnb_topology::record::Record;
 
 use crate::error::RouteError;
 use crate::network::BnbNetwork;
-use crate::stages::{route_span_observed, validate_lines, StageScratch};
+use crate::stages::{validate_lines, RouteSpan, StageScratch};
 
 /// An `N`-input network that can deliver a full permutation of records in
 /// one pass.
@@ -114,7 +114,7 @@ impl PermutationNetwork for BnbNetwork {
         ROUTE_SCRATCH.with(|cell| {
             let (scratch, seen) = &mut *cell.borrow_mut();
             validate_lines(self, out, seen)?;
-            route_span_observed(self, out, 0, 0..self.m(), scratch, &bnb_obs::NoopObserver)
+            RouteSpan::new().run(self, out, 0, 0..self.m(), scratch)
         })
     }
 

@@ -52,7 +52,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::RouteError;
 use crate::network::BnbNetwork;
-use crate::stages::{route_span_faulted, validate_lines, StageScratch};
+use crate::stages::{route_span_inner, validate_lines, StageScratch};
 
 /// The ways a switching element can be broken.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -369,14 +369,14 @@ impl<O: Observer> FaultyFabric<O> {
     /// validation; they conserve the record multiset and may misdeliver.
     pub fn route_in_place(&mut self, lines: &mut [Record]) -> Result<(), RouteError> {
         validate_lines(&self.network, lines, &mut self.seen)?;
-        route_span_faulted(
+        route_span_inner(
             &self.network,
             lines,
             0,
             0..self.network.m(),
             &mut self.scratch,
             &self.observer,
-            &self.faults,
+            Some(&self.faults),
         )
     }
 

@@ -38,14 +38,18 @@
 //! - [`router`] — allocation-free batch routing with reusable buffers,
 //!   generic over a `bnb_obs::Observer` (defaulting to the zero-cost
 //!   `NoopObserver`) for stage-level metrics.
-//! - [`stages`] — the stage-span routing kernel: routes any contiguous
-//!   range of main stages over an aligned subnetwork slice, enabling
-//!   split-and-conquer parallel routing. Unobserved spans take a
-//!   bit-packed word-parallel fast path (`packed`, crate-internal):
-//!   destination bits are cached once per span in per-stage `u64`
-//!   bit-planes and every arbiter sweep, balance check and exchange runs
-//!   as word operations, byte-identical to the scalar sweep
-//!   ([`stages::route_span_scalar`], the retained oracle).
+//! - [`stages`] — the stage-span routing kernel behind the [`RouteSpan`]
+//!   options struct: routes any contiguous range of main stages over an
+//!   aligned subnetwork slice, enabling split-and-conquer parallel
+//!   routing. Unobserved spans take a bit-packed word-parallel fast path
+//!   (`packed`, crate-internal): destination bits are cached once per
+//!   span in per-stage `u64` bit-planes and every arbiter sweep, balance
+//!   check and exchange runs as word operations, byte-identical to the
+//!   scalar sweep ([`Kernel::Scalar`], the retained oracle).
+//! - [`batch`] — frame-batched routing: [`FrameBatch`] holds `B` frames
+//!   in structure-of-arrays order and [`route_batch`] routes them through
+//!   one kernel invocation over concatenated frame-major bit-planes, so
+//!   SWAR word occupancy is independent of `m`.
 //! - [`bitslice`] — a 64-lane word-parallel BSN (the one-bit control logic
 //!   vectorized).
 //! - [`fabric`] — the [`fabric::PermutationNetwork`] trait unifying this
@@ -67,6 +71,7 @@
 //! ```
 
 pub mod arbiter;
+pub mod batch;
 pub mod bitslice;
 pub mod bsn;
 pub mod cost;
@@ -86,6 +91,7 @@ pub mod stages;
 pub mod trace;
 pub mod tracer;
 
+pub use batch::{route_batch, BatchOutcome, FrameBatch};
 pub use bsn::BitSorter;
 pub use cost::HardwareCost;
 pub use delay::PropagationDelay;
@@ -94,5 +100,6 @@ pub use fabric::PermutationNetwork;
 pub use fault::{FaultKind, FaultMap, FaultSite, FaultyFabric, HardwareFault};
 pub use network::{BnbNetwork, BnbNetworkBuilder, RoutePolicy, WiringMode};
 pub use router::Router;
+pub use stages::{Kernel, RouteSpan};
 pub use trace::RouteTrace;
 pub use tracer::{PathError, PathTracer};

@@ -84,14 +84,21 @@ pub(crate) struct PackedScratch {
     perm: Vec<u32>,
     /// Scatter scratch for wiring `perm`.
     tmp_perm: Vec<u32>,
-    /// Per-word up-sweep levels for boxes wider than a word.
-    levs: Vec<[u64; 7]>,
     /// Word-root parities feeding the cross-tree (one per word of a box).
     roots: Vec<bool>,
     /// Cross-tree output: the `zd` passed into each word's subtree.
     zds: Vec<bool>,
     /// Cross-tree up-sweep scratch.
     tree: Vec<bool>,
+    /// Index bit-planes for the batched permissive path: bit `b` of each
+    /// cell's *original within-frame line*, carried through every exchange
+    /// and wiring exactly like `perm`, but word-parallel.
+    iplanes: Vec<u64>,
+    /// Double buffers for the batched kernel's final frame-blocked
+    /// gather/scatter (swapped with the batch's own storage, never copied).
+    out_dests: Vec<u32>,
+    /// See [`PackedScratch::out_dests`].
+    out_data: Vec<u64>,
 }
 
 impl PackedScratch {
@@ -102,11 +109,36 @@ impl PackedScratch {
         self.tmp.resize(words, 0);
         self.perm.resize(span, 0);
         self.tmp_perm.resize(span, 0);
-        self.levs.resize(words, [0; 7]);
         self.roots.resize(words, false);
         self.zds.resize(words, false);
     }
+
+    fn ensure_batch(&mut self, cells: usize, words: usize, m: usize, index_planes: bool) {
+        self.planes.clear();
+        self.planes.resize(m * words, 0);
+        self.iplanes.clear();
+        if index_planes {
+            self.iplanes.resize(m * words, 0);
+        }
+        self.flags.resize(words, 0);
+        self.tmp.resize(words, 0);
+        self.roots.resize(words, false);
+        self.zds.resize(words, false);
+        self.out_dests.resize(cells, 0);
+        self.out_data.resize(cells, 0);
+    }
 }
+
+/// Bit `b` of a position's in-word index (`j & 63`), for `b < 6`: the
+/// initial contents of the batched kernel's low index planes.
+const IBIT: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
 
 /// Applies one word of exchange flags to `items`: bit `2t` set means swap
 /// `items[2t]` and `items[2t + 1]`. Returns the number of exchanges.
@@ -312,6 +344,394 @@ fn wire_plane(plane: &mut [u64], r: usize, wiring: WiringMode, tmp: &mut [u64]) 
     }
 }
 
+/// Body of the fused column pass — see [`exchange_and_wire_plane`] for
+/// the contract. Kept `#[inline(always)]` so the `#[target_feature]`
+/// wrappers below each get their own fully-inlined copy that LLVM can
+/// autovectorize at that feature level: every operation here is a
+/// lane-wise 64-bit shift/mask/blend over sequential words, exactly the
+/// shape that maps onto 4-wide (AVX2) and 8-wide (AVX-512) vector code.
+/// The exchange is branchless — a zero flag word yields `ce = 0` and the
+/// blend keeps `x` — so no flag-dependent control flow blocks the
+/// vectorizer. `r` is dispatched through a `match` so each arm sees a
+/// constant cascade depth.
+#[inline(always)]
+fn exchange_and_wire_body(
+    plane: &mut [u64],
+    flags: &[u64],
+    r: usize,
+    wiring: WiringMode,
+    tmp: &mut [u64],
+) {
+    #[inline(always)]
+    fn swapped(x: u64, f: u64) -> u64 {
+        swap_pairs_word(x, f | (f << 1))
+    }
+    #[inline(always)]
+    fn word_pass<const R: usize, const SHUF: bool>(plane: &mut [u64], flags: &[u64]) {
+        for (x, &f) in plane.iter_mut().zip(flags) {
+            let mut y = swapped(*x, f);
+            if SHUF {
+                let mut j = R - 1;
+                while j >= 1 {
+                    y = delta_swap(y, UNSHUFFLE_STEP[j - 1], 1 << (j - 1));
+                    j -= 1;
+                }
+            } else {
+                for j in 1..R {
+                    y = delta_swap(y, UNSHUFFLE_STEP[j - 1], 1 << (j - 1));
+                }
+            }
+            *x = y;
+        }
+    }
+    if r < 2 || matches!(wiring, WiringMode::Identity) {
+        for (x, &f) in plane.iter_mut().zip(flags) {
+            *x = swapped(*x, f);
+        }
+        return;
+    }
+    if r <= 6 {
+        match (wiring, r) {
+            (WiringMode::Unshuffle, 2) => word_pass::<2, false>(plane, flags),
+            (WiringMode::Unshuffle, 3) => word_pass::<3, false>(plane, flags),
+            (WiringMode::Unshuffle, 4) => word_pass::<4, false>(plane, flags),
+            (WiringMode::Unshuffle, 5) => word_pass::<5, false>(plane, flags),
+            (WiringMode::Unshuffle, _) => word_pass::<6, false>(plane, flags),
+            (WiringMode::Shuffle, 2) => word_pass::<2, true>(plane, flags),
+            (WiringMode::Shuffle, 3) => word_pass::<3, true>(plane, flags),
+            (WiringMode::Shuffle, 4) => word_pass::<4, true>(plane, flags),
+            (WiringMode::Shuffle, 5) => word_pass::<5, true>(plane, flags),
+            (WiringMode::Shuffle, _) => word_pass::<6, true>(plane, flags),
+            (WiringMode::Identity, _) => unreachable!(),
+        }
+        return;
+    }
+    // Multi-word blocks: same dataflow as `unshuffle_words` /
+    // `shuffle_words`, with the exchange folded into the first read of
+    // each word and the in-word cascade folded into the merge passes.
+    const LO: u64 = 0xFFFF_FFFF;
+    let block_words = 1usize << (r - 6);
+    let half = block_words / 2;
+    if matches!(wiring, WiringMode::Unshuffle) {
+        // Two disjoint plane-wide passes so each one vectorizes: the
+        // exchange plus in-word cascade runs contiguously into `tmp`,
+        // then the cross-word half of the unshuffle — a pure
+        // deinterleave of 32-bit halves within each block (even words'
+        // halves land low, odd words' halves land high) — reads `tmp`
+        // back into the plane with no aliasing to defeat the vectorizer.
+        for (t, (&x, &f)) in tmp.iter_mut().zip(plane.iter().zip(flags)) {
+            *t = unshuffle_word(swapped(x, f), 6);
+        }
+        deinterleave_u32_halves(&tmp[..plane.len()], plane, block_words);
+        return;
+    }
+    for (block, bflags) in plane
+        .chunks_exact_mut(block_words)
+        .zip(flags.chunks_exact(block_words))
+    {
+        match wiring {
+            WiringMode::Shuffle => {
+                for i in 0..half {
+                    let e = swapped(block[i], bflags[i]);
+                    let o = swapped(block[half + i], bflags[half + i]);
+                    tmp[2 * i] = (e & LO) | ((o & LO) << 32);
+                    tmp[2 * i + 1] = (e >> 32) | (o & !LO);
+                }
+                for (x, &t) in block.iter_mut().zip(tmp[..block_words].iter()) {
+                    *x = shuffle_word(t, 6);
+                }
+            }
+            WiringMode::Unshuffle | WiringMode::Identity => unreachable!(),
+        }
+    }
+}
+
+/// Scalar body of [`deinterleave_u32_halves`]: within each
+/// `block_words`-word block, the 32-bit halves of even-indexed words are
+/// packed into the low half of the block and the halves of odd-indexed
+/// words into the high half, preserving order — the cross-word part of
+/// an unshuffle once the in-word cascade has handled the low six index
+/// bits.
+#[inline(always)]
+fn deinterleave_u32_body(src: &[u64], dst: &mut [u64], block_words: usize) {
+    const LO: u64 = 0xFFFF_FFFF;
+    let half = block_words / 2;
+    for (d, s) in dst
+        .chunks_exact_mut(block_words)
+        .zip(src.chunks_exact(block_words))
+    {
+        for i in 0..half {
+            let a = s[2 * i];
+            let b = s[2 * i + 1];
+            d[i] = (a & LO) | ((b & LO) << 32);
+            d[half + i] = (a >> 32) | (b & !LO);
+        }
+    }
+}
+
+/// [`deinterleave_u32_body`] as explicit AVX-512 permutes: the
+/// deinterleave is one in-lane or cross-lane 32-bit shuffle per 512-bit
+/// register regardless of block size — `vpshufd` when a 128-bit lane
+/// holds a whole 2-word block, `vpermd` when a block fits one register,
+/// and two-source `vpermt2d` for wider blocks.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+fn deinterleave_u32_avx512(src: &[u64], dst: &mut [u64], block_words: usize) {
+    use std::arch::x86_64::*;
+    let n = src.len();
+    debug_assert_eq!(dst.len(), n);
+    debug_assert_eq!(n % block_words, 0);
+    if n < 8 {
+        deinterleave_u32_body(src, dst, block_words);
+        return;
+    }
+    let sp = src.as_ptr();
+    let dp = dst.as_mut_ptr();
+    // SAFETY: every offset below stays within the `n`-word slices, and
+    // the caller guaranteed AVX-512F via runtime detection.
+    unsafe {
+        match block_words {
+            2 => {
+                // One block per 128-bit lane: [a.lo a.hi b.lo b.hi] →
+                // [a.lo b.lo a.hi b.hi] is an in-lane dword shuffle.
+                let mut w = 0;
+                while w + 8 <= n {
+                    let v = _mm512_loadu_si512(sp.add(w).cast());
+                    let p = _mm512_shuffle_epi32::<{ _MM_PERM_DBCA }>(v);
+                    _mm512_storeu_si512(dp.add(w).cast(), p);
+                    w += 8;
+                }
+                deinterleave_u32_body(&src[w..], &mut dst[w..], block_words);
+            }
+            4 | 8 => {
+                // A block fits one register: deinterleave dwords within
+                // each 256-bit half (4-word blocks) or the full register
+                // (8-word blocks) independently.
+                let idx = if block_words == 4 {
+                    _mm512_setr_epi32(0, 2, 4, 6, 1, 3, 5, 7, 8, 10, 12, 14, 9, 11, 13, 15)
+                } else {
+                    _mm512_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14, 1, 3, 5, 7, 9, 11, 13, 15)
+                };
+                let mut w = 0;
+                while w + 8 <= n {
+                    let v = _mm512_loadu_si512(sp.add(w).cast());
+                    let p = _mm512_permutexvar_epi32(idx, v);
+                    _mm512_storeu_si512(dp.add(w).cast(), p);
+                    w += 8;
+                }
+                deinterleave_u32_body(&src[w..], &mut dst[w..], block_words);
+            }
+            _ => {
+                // Blocks of 16+ words: each pair of source registers
+                // yields one register of low halves (for the block's low
+                // half) and one of high halves (for its high half).
+                let lo =
+                    _mm512_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30);
+                let hi =
+                    _mm512_setr_epi32(1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25, 27, 29, 31);
+                let half = block_words / 2;
+                for base in (0..n).step_by(block_words) {
+                    for i in (0..half).step_by(8) {
+                        let z0 = _mm512_loadu_si512(sp.add(base + 2 * i).cast());
+                        let z1 = _mm512_loadu_si512(sp.add(base + 2 * i + 8).cast());
+                        let l = _mm512_permutex2var_epi32(z0, lo, z1);
+                        let h = _mm512_permutex2var_epi32(z0, hi, z1);
+                        _mm512_storeu_si512(dp.add(base + i).cast(), l);
+                        _mm512_storeu_si512(dp.add(base + half + i).cast(), h);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Cross-word unshuffle step: see [`deinterleave_u32_body`]. Dispatches
+/// to the AVX-512 permute build when the CPU supports it (once per plane
+/// pass — callers hand in whole planes, not single blocks).
+fn deinterleave_u32_halves(src: &[u64], dst: &mut [u64], block_words: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: AVX-512F was just detected.
+            unsafe { deinterleave_u32_avx512(src, dst, block_words) };
+            return;
+        }
+    }
+    deinterleave_u32_body(src, dst, block_words);
+}
+
+/// [`apply_column_body`]: every live plane of one column pushed through
+/// the fused exchange-and-wire pass in a single function body, so the
+/// SIMD dispatch and call overhead are paid once per column instead of
+/// once per plane (the batched kernel applies `O(m)` planes per column).
+#[inline(always)]
+fn apply_column_body(
+    live: &mut [u64],
+    words: usize,
+    flags: &[u64],
+    r: usize,
+    wiring: WiringMode,
+    tmp: &mut [u64],
+) {
+    for plane in live.chunks_exact_mut(words) {
+        exchange_and_wire_body(plane, flags, r, wiring, tmp);
+    }
+}
+
+/// [`apply_column_body`] compiled with AVX-512 enabled; reachable only
+/// after a runtime feature check.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+fn apply_column_avx512(
+    live: &mut [u64],
+    words: usize,
+    flags: &[u64],
+    r: usize,
+    wiring: WiringMode,
+    tmp: &mut [u64],
+) {
+    apply_column_body(live, words, flags, r, wiring, tmp);
+}
+
+/// [`apply_column_body`] compiled with AVX2 enabled; reachable only after
+/// a runtime feature check.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn apply_column_avx2(
+    live: &mut [u64],
+    words: usize,
+    flags: &[u64],
+    r: usize,
+    wiring: WiringMode,
+    tmp: &mut [u64],
+) {
+    apply_column_body(live, words, flags, r, wiring, tmp);
+}
+
+/// Applies one column's exchange-and-wire pass to a concatenation of
+/// live planes (each `words` long), dispatching once to the widest SIMD
+/// build this CPU supports.
+fn apply_column(
+    live: &mut [u64],
+    words: usize,
+    flags: &[u64],
+    r: usize,
+    wiring: WiringMode,
+    tmp: &mut [u64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512bw")
+            && std::arch::is_x86_feature_detected!("avx512dq")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+        {
+            // SAFETY: the features the wrapper enables were just detected.
+            unsafe { apply_column_avx512(live, words, flags, r, wiring, tmp) };
+            return;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 was just detected.
+            unsafe { apply_column_avx2(live, words, flags, r, wiring, tmp) };
+            return;
+        }
+    }
+    apply_column_body(live, words, flags, r, wiring, tmp);
+}
+
+/// Scalar destination-bit extraction over whole words: for each word of
+/// 64 cells, bit `j` of plane `srel` receives destination bit
+/// `m - 1 - srel` of cell `j`.
+#[inline(always)]
+fn extract_planes_words_body(
+    dests: &[u32],
+    planes: &mut [u64],
+    words: usize,
+    m: usize,
+    w0: usize,
+    w1: usize,
+) {
+    let mut acc = [0u64; 24];
+    for w in w0..w1 {
+        acc[..m].fill(0);
+        for (j, &d) in dests[w << 6..(w + 1) << 6].iter().enumerate() {
+            let d = u64::from(d);
+            for (srel, a) in acc[..m].iter_mut().enumerate() {
+                *a |= ((d >> (m - 1 - srel)) & 1) << j;
+            }
+        }
+        for (srel, &a) in acc[..m].iter().enumerate() {
+            planes[srel * words + w] = a;
+        }
+    }
+}
+
+/// AVX-512 destination-bit extraction: loads each word's 64 `u32`
+/// destinations as four 16-lane vectors once, then peels one plane per
+/// `vptestm` mask round — `4 + 4m` vector ops per word against the
+/// scalar body's `64m` shift-and-or steps.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+fn extract_planes_avx512(
+    dests: &[u32],
+    planes: &mut [u64],
+    words: usize,
+    m: usize,
+    w0: usize,
+    w1: usize,
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(dests.len() >= w1 << 6);
+    for w in w0..w1 {
+        let base = w << 6;
+        // SAFETY: the caller guarantees cells `base..base + 64` exist;
+        // unaligned loads are explicitly allowed by `loadu`.
+        let (v0, v1, v2, v3) = unsafe {
+            let p = dests.as_ptr().add(base);
+            (
+                _mm512_loadu_si512(p.cast()),
+                _mm512_loadu_si512(p.add(16).cast()),
+                _mm512_loadu_si512(p.add(32).cast()),
+                _mm512_loadu_si512(p.add(48).cast()),
+            )
+        };
+        for srel in 0..m {
+            let bit = _mm512_set1_epi32(1 << (m - 1 - srel));
+            let m0 = _mm512_test_epi32_mask(v0, bit) as u64;
+            let m1 = _mm512_test_epi32_mask(v1, bit) as u64;
+            let m2 = _mm512_test_epi32_mask(v2, bit) as u64;
+            let m3 = _mm512_test_epi32_mask(v3, bit) as u64;
+            planes[srel * words + w] = m0 | (m1 << 16) | (m2 << 32) | (m3 << 48);
+        }
+    }
+}
+
+/// Fills plane words `w0..w1` from the destination column, one bit-plane
+/// row per destination bit. Dispatches to the AVX-512 mask-test path
+/// when the CPU has it.
+fn extract_planes_words(
+    dests: &[u32],
+    planes: &mut [u64],
+    words: usize,
+    m: usize,
+    w0: usize,
+    w1: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512bw")
+            && std::arch::is_x86_feature_detected!("avx512dq")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+        {
+            // SAFETY: the features the wrapper enables were just detected.
+            unsafe { extract_planes_avx512(dests, planes, words, m, w0, w1) };
+            return;
+        }
+    }
+    extract_planes_words_body(dests, planes, words, m, w0, w1);
+}
+
 /// First unbalanced box of the column, as `(box_start, ones)`, scanning
 /// in line order — the same box the scalar path stops at. `None` when
 /// every box satisfies the Definition 3 input assumption (exactly one 1
@@ -369,10 +789,19 @@ fn first_unbalanced(plane: &[u64], span: usize, box_size: usize) -> Option<(usiz
     None
 }
 
-/// Packs the whole column's switch controls into `flags` (bit `2t` of the
-/// window word = exchange for the pair on lines `2t`, `2t + 1`), for a
-/// column free of faults.
-fn column_flags(plane: &[u64], flags: &mut [u64], box_size: usize, pk: &mut ColumnTrees<'_>) {
+/// Body of the column-control sweep — see [`column_flags`] for the
+/// contract. `#[inline(always)]` so each `#[target_feature]` wrapper
+/// below gets its own autovectorizable copy; the in-word arbiter depth
+/// `p` is dispatched through a `match` so every arm's up/down sweep
+/// unrolls with constant shift amounts.
+#[inline(always)]
+fn column_flags_body(plane: &[u64], flags: &mut [u64], box_size: usize, pk: &mut ColumnTrees<'_>) {
+    #[inline(always)]
+    fn sweep<const P: usize>(plane: &[u64], flags: &mut [u64]) {
+        for (f, &x) in flags.iter_mut().zip(plane) {
+            *f = word_controls(x, P);
+        }
+    }
     if box_size == 2 {
         // sp(1) has no arbiter: control = s(2t) directly.
         for (f, &x) in flags.iter_mut().zip(plane) {
@@ -381,30 +810,103 @@ fn column_flags(plane: &[u64], flags: &mut [u64], box_size: usize, pk: &mut Colu
         return;
     }
     if box_size <= 64 {
-        let p = box_size.trailing_zeros() as usize;
-        for (f, &x) in flags.iter_mut().zip(plane) {
-            *f = word_controls(x, p);
+        match box_size.trailing_zeros() {
+            2 => sweep::<2>(plane, flags),
+            3 => sweep::<3>(plane, flags),
+            4 => sweep::<4>(plane, flags),
+            5 => sweep::<5>(plane, flags),
+            _ => sweep::<6>(plane, flags),
         }
         return;
     }
+    // Boxes wider than a word. Up to the 64-word (4096-line) box a u64
+    // cross-tree can hold, pack each word's parity into one word and run
+    // the same SWAR up/down sweep on it that `word_controls` runs in a
+    // lane — the cross-tree root echoes its own up-value exactly like the
+    // in-word root, so the composite is two nested sweeps with no
+    // heap-allocated tree in between. Each word's levels stay in
+    // registers (recomputed on the down-sweep instead of spilled).
     let box_words = box_size / 64;
+    if box_words <= 64 {
+        let q = box_words.trailing_zeros() as usize;
+        for (bw, block) in plane.chunks(box_words).enumerate() {
+            let mut rootw = 0u64;
+            for (w, &x) in block.iter().enumerate() {
+                rootw |= u64::from(x.count_ones() & 1) << w;
+            }
+            let clev = word_levels(rootw, q);
+            let zd_words = lane_flags(&clev, q, clev[q]);
+            for (w, &x) in block.iter().enumerate() {
+                let lev = word_levels(x, 6);
+                let zd = lane_flags(&lev, 6, (zd_words >> w) & 1);
+                flags[bw * box_words + w] = (x ^ zd) & EVEN;
+            }
+        }
+        return;
+    }
+    // Boxes past 2^12 lines (m > 12): the word parities no longer fit one
+    // u64, so route them through the heap cross-tree.
     for (bw, block) in plane.chunks(box_words).enumerate() {
-        for (w, &x) in block.iter().enumerate() {
-            pk.levs[w] = word_levels(x, 6);
-            pk.roots[w] = pk.levs[w][6] & 1 == 1;
+        for (r, &x) in pk.roots[..box_words].iter_mut().zip(block.iter()) {
+            *r = x.count_ones() & 1 == 1;
         }
         zd_into_leaves(&pk.roots[..box_words], pk.tree, pk.zds);
         for (w, &x) in block.iter().enumerate() {
-            let zd0 = u64::from(pk.zds[w]);
-            let zd = lane_flags(&pk.levs[w], 6, zd0);
+            let lev = word_levels(x, 6);
+            let zd = lane_flags(&lev, 6, u64::from(pk.zds[w]));
             flags[bw * box_words + w] = (x ^ zd) & EVEN;
         }
     }
 }
 
+/// [`column_flags_body`] compiled with AVX-512 enabled; reachable only
+/// after a runtime feature check.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512dq,avx512vl")]
+fn column_flags_avx512(
+    plane: &[u64],
+    flags: &mut [u64],
+    box_size: usize,
+    pk: &mut ColumnTrees<'_>,
+) {
+    column_flags_body(plane, flags, box_size, pk);
+}
+
+/// [`column_flags_body`] compiled with AVX2 enabled; reachable only
+/// after a runtime feature check.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn column_flags_avx2(plane: &[u64], flags: &mut [u64], box_size: usize, pk: &mut ColumnTrees<'_>) {
+    column_flags_body(plane, flags, box_size, pk);
+}
+
+/// Packs the whole column's switch controls into `flags` (bit `2t` of the
+/// window word = exchange for the pair on lines `2t`, `2t + 1`), for a
+/// column free of faults. Dispatches to the widest SIMD build of the
+/// sweep this CPU supports.
+fn column_flags(plane: &[u64], flags: &mut [u64], box_size: usize, pk: &mut ColumnTrees<'_>) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512bw")
+            && std::arch::is_x86_feature_detected!("avx512dq")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+        {
+            // SAFETY: the features the wrapper enables were just detected.
+            unsafe { column_flags_avx512(plane, flags, box_size, pk) };
+            return;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 was just detected.
+            unsafe { column_flags_avx2(plane, flags, box_size, pk) };
+            return;
+        }
+    }
+    column_flags_body(plane, flags, box_size, pk);
+}
+
 /// The cross-tree working set threaded into [`column_flags`].
 struct ColumnTrees<'a> {
-    levs: &'a mut [[u64; 7]],
     roots: &'a mut [bool],
     zds: &'a mut Vec<bool>,
     tree: &'a mut Vec<bool>,
@@ -453,6 +955,7 @@ pub(crate) fn route_span_packed(
         up,
         tapped,
         packed,
+        ..
     } = scratch;
     let PackedScratch {
         planes,
@@ -460,10 +963,10 @@ pub(crate) fn route_span_packed(
         tmp,
         perm,
         tmp_perm,
-        levs,
         roots,
         zds,
         tree,
+        ..
     } = packed;
 
     // Frame cache: each record's address bits, extracted once per span.
@@ -562,12 +1065,7 @@ pub(crate) fn route_span_packed(
                         });
                     }
                 }
-                let mut trees = ColumnTrees {
-                    levs,
-                    roots,
-                    zds,
-                    tree,
-                };
+                let mut trees = ColumnTrees { roots, zds, tree };
                 column_flags(cur, flags, box_size, &mut trees);
             }
             // Exchange: flag words drive the position permutation and
@@ -624,6 +1122,180 @@ pub(crate) fn route_span_packed(
     Ok(())
 }
 
+/// Routes every valid frame of a [`FrameBatch`] through all `m` stages at
+/// once, word-parallel over the *concatenated* frame-major planes: bit
+/// `f·n + j` of plane `s` is destination bit `s` of frame `f`'s cell `j`,
+/// so every `u64` word is fully occupied regardless of `m` and the
+/// arbiter sweeps, exchanges and wirings run at full lane utilisation.
+///
+/// Frames never interact: each occupies an aligned `n`-cell region, every
+/// box (`≤ n` lines, power of two) and wiring block (`2^r ≤ n` lines)
+/// divides that alignment, and frames marked `Err` in `valid` contribute
+/// all-zero plane regions — zero lanes produce zero exchange flags, so
+/// their (skipped) cells are never moved and never read back.
+///
+/// Output movement:
+/// - **Strict** (frames are validated permutations): the sweeps carry the
+///   destination planes forward — each column's flags are computed from
+///   plane bits whose positions those same sweeps produced — and the final
+///   movement short-circuits through the delivery guarantee (Theorem 2:
+///   output line `d` holds the record destined `d`), as one frame-blocked
+///   scatter. Byte-identical to the scalar oracle by the same theorem.
+/// - **Permissive** (arbitrary traffic): `m` *index* bit-planes ride
+///   through every exchange and wiring — the word-parallel analogue of
+///   the single-frame kernel's position `perm` — and the final gather
+///   reconstructs each slot's source index from them.
+///
+/// Infallible: validation happened in [`crate::batch::route_batch`], and
+/// validated strict traffic cannot unbalance a splitter (Theorem 2), which
+/// debug builds assert.
+///
+/// [`FrameBatch`]: crate::batch::FrameBatch
+pub(crate) fn route_batch_packed(
+    net: &BnbNetwork,
+    batch: &mut crate::batch::FrameBatch,
+    valid: &[Result<(), RouteError>],
+    scratch: &mut StageScratch,
+) {
+    let m = net.m();
+    let n = 1usize << m;
+    let frames = batch.frames();
+    debug_assert_eq!(batch.width(), n);
+    debug_assert_eq!(valid.len(), frames);
+    assert!(m <= 24, "batched kernel supports m <= 24");
+    let cells = frames * n;
+    let words = cells.div_ceil(64);
+    let strict = matches!(net.policy(), RoutePolicy::Strict);
+    let wiring = net.wiring();
+    scratch.packed.ensure_batch(cells, words, m, !strict);
+    let PackedScratch {
+        planes,
+        flags,
+        tmp,
+        roots,
+        zds,
+        tree,
+        iplanes,
+        out_dests,
+        out_data,
+        ..
+    } = &mut scratch.packed;
+    let (dests, data) = batch.soa_mut();
+
+    // Extraction: one pass over each valid frame's destinations fills all
+    // m planes; invalid frames stay zero (inert lanes).
+    for (f, res) in valid.iter().enumerate() {
+        if res.is_err() {
+            continue;
+        }
+        let base = f * n;
+        if n >= 64 {
+            extract_planes_words(dests, planes, words, m, base >> 6, (base + n) >> 6);
+        } else {
+            for (j, &d) in dests[base..base + n].iter().enumerate() {
+                let g = base + j;
+                let d = d as u64;
+                for srel in 0..m {
+                    planes[srel * words + (g >> 6)] |= ((d >> (m - 1 - srel)) & 1) << (g & 63);
+                }
+            }
+        }
+    }
+    if !strict {
+        // Index planes: bit b of the within-frame line. Frame bases are
+        // multiples of n = 2^m, so for b < m this is bit b of the global
+        // position — a fixed per-word constant.
+        for b in 0..m {
+            let row = &mut iplanes[b * words..(b + 1) * words];
+            if b < 6 {
+                row.fill(IBIT[b]);
+            } else {
+                for (w, x) in row.iter_mut().enumerate() {
+                    *x = if (w >> (b - 6)) & 1 == 1 { !0 } else { 0 };
+                }
+            }
+        }
+    }
+
+    let all_valid = valid.iter().all(|r| r.is_ok());
+    for main_stage in 0..m {
+        let srel = main_stage;
+        let k = m - main_stage;
+        for internal in 0..k {
+            let box_size = 1usize << (k - internal);
+            let live = &mut planes[srel * words..m * words];
+            if strict && all_valid && cells.is_multiple_of(64) {
+                // Validated permutations satisfy Definition 3 at every
+                // splitter (Theorem 2); there is nothing to detect. (The
+                // check reads whole words, so it only applies when no
+                // trailing zero lanes pad the last word.)
+                debug_assert!(
+                    first_unbalanced(&live[..words], cells, box_size).is_none(),
+                    "validated strict batch unbalanced at stage {main_stage}.{internal}"
+                );
+            }
+            let mut trees = ColumnTrees { roots, zds, tree };
+            column_flags(&live[..words], flags, box_size, &mut trees);
+            // One fused pass per live plane applies the column's
+            // exchanges and wiring together: the flag words drive the
+            // current plane, every future plane, and (permissive) the
+            // index planes; cells move once, at the gather below. The
+            // fabric's very last column has no wiring (r = 0 sentinel).
+            let last_internal = internal + 1 == k;
+            let r = if !last_internal {
+                k - internal
+            } else if main_stage + 1 < m {
+                k
+            } else {
+                0
+            };
+            apply_column(live, words, flags, r, wiring, tmp);
+            if !strict {
+                apply_column(iplanes, words, flags, r, wiring, tmp);
+            }
+        }
+    }
+    // Final movement, one frame-sized block at a time (a frame's working
+    // set — n destinations + n payloads — stays cache-resident while its
+    // cells land). Invalid frames are copied through untouched.
+    for (f, res) in valid.iter().enumerate() {
+        let base = f * n;
+        if res.is_err() {
+            out_dests[base..base + n].copy_from_slice(&dests[base..base + n]);
+            out_data[base..base + n].copy_from_slice(&data[base..base + n]);
+            continue;
+        }
+        if strict {
+            // Delivery scatter: output line d holds the record destined
+            // d — so the destination column is the identity ramp and
+            // only the payloads actually scatter.
+            for (j, od) in out_dests[base..base + n].iter_mut().enumerate() {
+                *od = j as u32;
+            }
+            for j in 0..n {
+                let g = base + j;
+                out_data[base + dests[g] as usize] = data[g];
+            }
+        } else {
+            // Index gather: each slot's source line comes out of the
+            // carried index planes.
+            for j in 0..n {
+                let g = base + j;
+                let (w, b) = (g >> 6, g & 63);
+                let mut idx = 0usize;
+                for (bb, plane) in iplanes.chunks_exact(words).enumerate() {
+                    idx |= (((plane[w] >> b) & 1) as usize) << bb;
+                }
+                let src = base + idx;
+                out_dests[g] = dests[src];
+                out_data[g] = data[src];
+            }
+        }
+    }
+    std::mem::swap(dests, out_dests);
+    std::mem::swap(data, out_data);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -673,13 +1345,11 @@ mod tests {
                 let plane: Vec<u64> = (0..box_words).map(|_| rng.random()).collect();
                 let bits: Vec<bool> = plane.iter().flat_map(|&w| word_to_bits(w, 64)).collect();
                 let want = controls(&bits);
-                let mut levs = vec![[0u64; 7]; box_words];
                 let mut roots = vec![false; box_words];
                 let mut zds = Vec::new();
                 let mut tree = Vec::new();
                 let mut flags = vec![0u64; box_words];
                 let mut trees = ColumnTrees {
-                    levs: &mut levs,
                     roots: &mut roots,
                     zds: &mut zds,
                     tree: &mut tree,

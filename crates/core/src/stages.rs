@@ -3,7 +3,7 @@
 //!
 //! The GBN's main unshuffle after stage `i` partitions traffic into
 //! independent subnetworks: every operation at main stages `>= d` stays
-//! inside an aligned `2^(m-d)`-line slice. [`route_span`] exploits that by
+//! inside an aligned `2^(m-d)`-line slice. [`RouteSpan::run`] exploits that by
 //! routing any contiguous range of main stages over one such slice, so a
 //! frame can be routed head-first (`0..d`) and its `2^d` disjoint slices
 //! finished (`d..m`) by different workers — with byte-identical results to
@@ -19,8 +19,10 @@
 //! bit-planes, word-level arbiter sweeps and balance checks), while an
 //! attached observer selects the scalar cell-at-a-time sweep, which emits
 //! per-column and per-hop events and doubles as the packed kernel's
-//! oracle via [`route_span_scalar`]. Both produce byte-identical frames
-//! and identical error values.
+//! oracle via [`Kernel::Scalar`]. Both produce byte-identical frames
+//! and identical error values. [`RouteSpan`] is the options struct that
+//! selects observer, fault map, and kernel; whole frames can also be
+//! routed many at a time through [`crate::batch::route_batch`].
 
 use std::ops::Range;
 
@@ -35,8 +37,8 @@ use crate::fault::FaultMap;
 use crate::network::{BnbNetwork, RoutePolicy, WiringMode};
 use crate::splitter::{check_balanced, controls_into, SplitterSite};
 
-/// Reusable buffers for [`route_span`]. One per worker; capacity grows to
-/// the largest span routed and then stays put.
+/// Reusable buffers for [`RouteSpan::run`]. One per worker; capacity
+/// grows to the largest span routed and then stays put.
 #[derive(Debug, Clone, Default)]
 pub struct StageScratch {
     pub(crate) lines: Vec<Record>,
@@ -46,6 +48,13 @@ pub struct StageScratch {
     /// Control-plane view of a faulted box's bits (the true bits stay in
     /// `bits` so the post-swap audit never re-derives them).
     pub(crate) tapped: Vec<bool>,
+    /// Duplicate-destination scratch for [`crate::batch::route_batch`]'s
+    /// per-frame validation (the span entry points take caller-owned
+    /// `seen`, see [`validate_lines`]).
+    pub(crate) seen: Vec<usize>,
+    /// Per-frame staging buffer for the batch API's frame-at-a-time
+    /// fallback paths (`lines` is the wiring buffer and cannot double up).
+    pub(crate) frame_buf: Vec<Record>,
     /// Word-parallel kernel state (planes, flag words, position perm).
     pub(crate) packed: crate::packed::PackedScratch,
 }
@@ -59,6 +68,8 @@ impl StageScratch {
             flags: Vec::with_capacity(n),
             up: Vec::with_capacity(2 * n),
             tapped: Vec::new(),
+            seen: Vec::new(),
+            frame_buf: Vec::new(),
             packed: crate::packed::PackedScratch::default(),
         }
     }
@@ -114,26 +125,195 @@ pub fn validate_lines(
     Ok(())
 }
 
+/// Kernel selection for [`RouteSpan`]: which sweep implementation routes
+/// the span.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Kernel {
+    /// The default dispatch: the bit-packed word-parallel kernel whenever
+    /// no enabled observer is attached, the scalar sweep otherwise (the
+    /// packed kernel cannot attribute per-column events cheaply).
+    #[default]
+    Auto,
+    /// Force the word-parallel kernel. An attached observer receives no
+    /// routing events on this path; use [`Kernel::Scalar`] (or `Auto`)
+    /// when events matter.
+    Packed,
+    /// Force the scalar cell-at-a-time sweep — the oracle the packed
+    /// equivalence suites and `bitpacked_vs_scalar` benchmark hold the
+    /// word-parallel kernel against.
+    Scalar,
+}
+
+/// Options struct for stage-span routing: observer, fault map, and kernel
+/// selection behind one builder, replacing the former
+/// `route_span` / `route_span_observed` / `route_span_faulted` /
+/// `route_span_scalar` / `route_span_scalar_faulted` free functions
+/// (retained as deprecated shims).
+///
+/// ```
+/// use bnb_core::network::BnbNetwork;
+/// use bnb_core::stages::{RouteSpan, StageScratch, validate_lines};
+/// use bnb_topology::perm::Permutation;
+/// use bnb_topology::record::records_for_permutation;
+///
+/// let net = BnbNetwork::builder(3).build();
+/// let mut scratch = StageScratch::with_capacity(8);
+/// let mut seen = Vec::new();
+/// let mut lines = records_for_permutation(&Permutation::identity(8));
+/// validate_lines(&net, &lines, &mut seen)?;
+/// RouteSpan::new().run(&net, &mut lines, 0, 0..3, &mut scratch)?;
+/// # Ok::<(), bnb_core::RouteError>(())
+/// ```
+///
+/// The observer is held as `&dyn Observer`, but the noop fast path stays
+/// monomorphic: [`run`](RouteSpan::run) re-checks
+/// [`enabled`](Observer::enabled) once and routes disabled observers
+/// through the same static [`NoopObserver`] path as no observer at all,
+/// so the packed kernel and the zero-alloc guarantees are unaffected.
+#[derive(Clone, Copy, Default)]
+pub struct RouteSpan<'a> {
+    observer: Option<&'a dyn Observer>,
+    faults: Option<&'a FaultMap>,
+    kernel: Kernel,
+}
+
+impl<'a> RouteSpan<'a> {
+    /// Unobserved, fault-free, [`Kernel::Auto`] routing options.
+    pub fn new() -> Self {
+        RouteSpan::default()
+    }
+
+    /// Attaches an observer: one [`SweepEvent`] per splitter box, one
+    /// [`ColumnEvent`] per switching column (with the exchange tally), a
+    /// [`ConflictEvent`] alongside every
+    /// [`RouteError::UnbalancedSplitter`], and — for observers that opt
+    /// in via [`Observer::wants_hops`] — one [`HopEvent`] per cell per
+    /// column, from which a path tracer reconstructs every route.
+    /// `enabled()` and `wants_hops()` are hoisted out of the stage loops.
+    pub fn observer(mut self, observer: &'a dyn Observer) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Routes through damaged hardware: applies the [`FaultMap`]'s
+    /// control-plane corruption and, under [`RoutePolicy::Strict`],
+    /// re-checks every splitter *output* in a faulted column against the
+    /// paper's balance invariant (`M_e = M_o`, Definition 3; exactly
+    /// `(0, 1)` for `sp(1)`). Any even split keeps the Theorem 1/2
+    /// induction intact, so a route that passes every check is correct
+    /// and the first corrupting element is reported as
+    /// [`RouteError::HardwareFault`] (with a [`FaultEvent`] when
+    /// observing) — never a silent misdelivery. Permissive routes skip
+    /// detection and conserve the record multiset. An empty map takes
+    /// exactly the fault-free code path.
+    pub fn faults(mut self, faults: &'a FaultMap) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Selects the routing kernel (default [`Kernel::Auto`]).
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Routes main stages `stages` of `net` over one aligned subnetwork
+    /// slice with these options.
+    ///
+    /// `lines` must be the slice of `2^(m - stages.start)` lines beginning
+    /// at global line `first_line` (a multiple of the slice length; pass
+    /// `0` with a full frame for the whole network). After main stage `i`
+    /// completes, every aligned `2^(m - i - 1)`-line half routes
+    /// independently, so a caller may split the slice and continue each
+    /// half concurrently.
+    ///
+    /// No validation is performed here — see [`validate_lines`]. For
+    /// whole-frame multi-frame routing use
+    /// [`route_batch`](crate::batch::route_batch), which validates.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::UnbalancedSplitter`] under [`RoutePolicy::Strict`]
+    /// when the traffic does not form a permutation (sites in global line
+    /// coordinates, identical to the sequential route), plus
+    /// [`RouteError::HardwareFault`] when a fault map is attached (see
+    /// [`faults`](RouteSpan::faults)).
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if the slice length or alignment does not
+    /// match `stages.start`, or if `stages.end > m`.
+    /// The effective options, post-hoisting: a disabled observer and an
+    /// empty fault map count as absent, exactly as [`RouteSpan::run`]
+    /// dispatches. Lets [`crate::batch::route_batch`] pick the batched
+    /// fast path only when these options cannot change the result.
+    pub(crate) fn effective(&self) -> (Option<&'a dyn Observer>, Option<&'a FaultMap>, Kernel) {
+        (
+            self.observer.filter(|o| o.enabled()),
+            self.faults.filter(|f| !f.is_empty()),
+            self.kernel,
+        )
+    }
+
+    pub fn run(
+        &self,
+        net: &BnbNetwork,
+        lines: &mut [Record],
+        first_line: usize,
+        stages: Range<usize>,
+        scratch: &mut StageScratch,
+    ) -> Result<(), RouteError> {
+        let faults = self.faults.filter(|f| !f.is_empty());
+        // Disabled observers fold onto the same static path as none at
+        // all, keeping the noop case monomorphic (no virtual dispatch in
+        // the sweep loops).
+        let observer = self.observer.filter(|o| o.enabled());
+        match (self.kernel, observer) {
+            (Kernel::Scalar, None) => route_span_scalar_inner(
+                net,
+                lines,
+                first_line,
+                stages,
+                scratch,
+                &NoopObserver,
+                faults,
+            ),
+            (Kernel::Scalar, Some(o)) => {
+                route_span_scalar_inner(net, lines, first_line, stages, scratch, &o, faults)
+            }
+            (Kernel::Packed, _) => {
+                crate::packed::route_span_packed(net, lines, first_line, stages, scratch, faults)
+            }
+            (Kernel::Auto, None) => {
+                crate::packed::route_span_packed(net, lines, first_line, stages, scratch, faults)
+            }
+            (Kernel::Auto, Some(o)) => {
+                route_span_scalar_inner(net, lines, first_line, stages, scratch, &o, faults)
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for RouteSpan<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouteSpan")
+            .field("observer", &self.observer.map(|o| o.enabled()))
+            .field("faults", &self.faults)
+            .field("kernel", &self.kernel)
+            .finish()
+    }
+}
+
 /// Routes main stages `stages` of `net` over one aligned subnetwork slice.
 ///
-/// `lines` must be the slice of `2^(m - stages.start)` lines beginning at
-/// global line `first_line` (a multiple of the slice length; pass `0` with
-/// a full frame for the whole network). After main stage `i` completes,
-/// every aligned `2^(m - i - 1)`-line half routes independently, so a
-/// caller may split the slice and continue each half concurrently.
+/// # Errors / Panics
 ///
-/// No validation is performed here — see [`validate_lines`].
-///
-/// # Errors
-///
-/// [`RouteError::UnbalancedSplitter`] under [`RoutePolicy::Strict`] when
-/// the traffic does not form a permutation (sites are reported in global
-/// line coordinates, identical to the sequential route).
-///
-/// # Panics
-///
-/// In debug builds, panics if the slice length or alignment does not match
-/// `stages.start`, or if `stages.end > m`.
+/// Identical contract to [`RouteSpan::run`] with default options.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `RouteSpan::new().run(net, lines, first_line, stages, scratch)`"
+)]
 pub fn route_span(
     net: &BnbNetwork,
     lines: &mut [Record],
@@ -141,27 +321,18 @@ pub fn route_span(
     stages: Range<usize>,
     scratch: &mut StageScratch,
 ) -> Result<(), RouteError> {
-    route_span_observed(net, lines, first_line, stages, scratch, &NoopObserver)
+    RouteSpan::new().run(net, lines, first_line, stages, scratch)
 }
 
-/// [`route_span`] with instrumentation: emits one
-/// [`SweepEvent`] per splitter box, one [`ColumnEvent`] per switching
-/// column (with the exchange tally), and a [`ConflictEvent`] alongside
-/// every [`RouteError::UnbalancedSplitter`]. Observers that additionally
-/// opt in via [`Observer::wants_hops`] receive one [`HopEvent`] per cell
-/// per column — the cell's entering port and the switch setting actually
-/// applied to it — from which a path tracer reconstructs every route.
-///
-/// The observer's [`enabled`](Observer::enabled) and
-/// [`wants_hops`](Observer::wants_hops) results are hoisted out of the
-/// stage loops, so with [`NoopObserver`] this compiles to exactly
-/// [`route_span`] — the noop path stays allocation-free and is covered by
-/// the workspace zero-alloc test — and hop capture costs nothing for
-/// aggregate sinks like counters.
+/// Observed stage-span routing.
 ///
 /// # Errors / Panics
 ///
-/// Identical contract to [`route_span`].
+/// Identical contract to [`RouteSpan::run`] with an observer attached.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `RouteSpan::new().observer(observer).run(net, lines, first_line, stages, scratch)`"
+)]
 pub fn route_span_observed<O: Observer>(
     net: &BnbNetwork,
     lines: &mut [Record],
@@ -173,22 +344,16 @@ pub fn route_span_observed<O: Observer>(
     route_span_inner(net, lines, first_line, stages, scratch, observer, None)
 }
 
-/// [`route_span_observed`] through damaged hardware: applies the
-/// [`FaultMap`]'s control-plane corruption and, under
-/// [`RoutePolicy::Strict`], re-checks every splitter *output* in a
-/// faulted column against the paper's balance invariant (`M_e = M_o`,
-/// Definition 3; exactly `(0, 1)` for `sp(1)`). Any even split keeps the
-/// Theorem 1/2 induction intact, so a route that passes every check is
-/// correct and the first corrupting element is reported as
-/// [`RouteError::HardwareFault`] (with a [`FaultEvent`] when observing)
-/// — never a silent misdelivery. Permissive routes skip detection and
-/// conserve the record multiset.
-///
-/// An empty map takes exactly the fault-free code path.
+/// Observed stage-span routing through damaged hardware.
 ///
 /// # Errors / Panics
 ///
-/// [`route_span`]'s contract plus [`RouteError::HardwareFault`] as above.
+/// Identical contract to [`RouteSpan::run`] with observer and faults
+/// attached.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `RouteSpan::new().observer(observer).faults(faults).run(net, lines, first_line, stages, scratch)`"
+)]
 pub fn route_span_faulted<O: Observer>(
     net: &BnbNetwork,
     lines: &mut [Record],
@@ -206,16 +371,15 @@ pub fn route_span_faulted<O: Observer>(
     route_span_inner(net, lines, first_line, stages, scratch, observer, faults)
 }
 
-/// The scalar (cell-at-a-time) kernel, byte-for-byte the original
-/// routing sweep. [`route_span`] dispatches away from it to the
-/// word-parallel kernel whenever no observer is attached; this entry
-/// keeps the scalar path callable directly — it is the oracle the packed
-/// equivalence suites and the `bitpacked_vs_scalar` benchmark compare
-/// against (with [`BnbNetwork::route`] as a second, independent oracle).
+/// The scalar (cell-at-a-time) oracle kernel.
 ///
 /// # Errors / Panics
 ///
-/// Identical contract to [`route_span`].
+/// Identical contract to [`RouteSpan::run`] with [`Kernel::Scalar`].
+#[deprecated(
+    since = "0.3.0",
+    note = "use `RouteSpan::new().kernel(Kernel::Scalar).run(net, lines, first_line, stages, scratch)`"
+)]
 pub fn route_span_scalar(
     net: &BnbNetwork,
     lines: &mut [Record],
@@ -226,12 +390,16 @@ pub fn route_span_scalar(
     route_span_scalar_inner(net, lines, first_line, stages, scratch, &NoopObserver, None)
 }
 
-/// [`route_span_scalar`] through damaged hardware: the scalar reference
-/// for [`route_span_faulted`]'s packed fast path.
+/// The scalar oracle kernel through damaged hardware.
 ///
 /// # Errors / Panics
 ///
-/// Identical contract to [`route_span_faulted`].
+/// Identical contract to [`RouteSpan::run`] with [`Kernel::Scalar`] and
+/// faults attached.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `RouteSpan::new().kernel(Kernel::Scalar).faults(faults).run(net, lines, first_line, stages, scratch)`"
+)]
 pub fn route_span_scalar_faulted(
     net: &BnbNetwork,
     lines: &mut [Record],
@@ -256,7 +424,7 @@ pub fn route_span_scalar_faulted(
     )
 }
 
-fn route_span_inner<O: Observer>(
+pub(crate) fn route_span_inner<O: Observer + ?Sized>(
     net: &BnbNetwork,
     lines: &mut [Record],
     first_line: usize,
@@ -274,7 +442,7 @@ fn route_span_inner<O: Observer>(
     route_span_scalar_inner(net, lines, first_line, stages, scratch, observer, faults)
 }
 
-fn route_span_scalar_inner<O: Observer>(
+pub(crate) fn route_span_scalar_inner<O: Observer + ?Sized>(
     net: &BnbNetwork,
     lines: &mut [Record],
     first_line: usize,
@@ -526,10 +694,14 @@ mod tests {
                 let expected = net.route(&records).unwrap();
                 for depth in 0..=m {
                     let mut lines = records.clone();
-                    route_span(&net, &mut lines, 0, 0..depth, &mut scratch).unwrap();
+                    RouteSpan::new()
+                        .run(&net, &mut lines, 0, 0..depth, &mut scratch)
+                        .unwrap();
                     let sub = n >> depth;
                     for (slice_idx, chunk) in lines.chunks_mut(sub).enumerate() {
-                        route_span(&net, chunk, slice_idx * sub, depth..m, &mut scratch).unwrap();
+                        RouteSpan::new()
+                            .run(&net, chunk, slice_idx * sub, depth..m, &mut scratch)
+                            .unwrap();
                     }
                     assert_eq!(lines, expected, "m = {m}, depth = {depth}");
                 }
@@ -558,10 +730,14 @@ mod tests {
                 let expected = net.route(&records).unwrap();
                 for depth in [0, 1, m / 2, m] {
                     let mut lines = records.clone();
-                    route_span(&net, &mut lines, 0, 0..depth, &mut scratch).unwrap();
+                    RouteSpan::new()
+                        .run(&net, &mut lines, 0, 0..depth, &mut scratch)
+                        .unwrap();
                     let sub = n >> depth;
                     for (slice_idx, chunk) in lines.chunks_mut(sub).enumerate() {
-                        route_span(&net, chunk, slice_idx * sub, depth..m, &mut scratch).unwrap();
+                        RouteSpan::new()
+                            .run(&net, chunk, slice_idx * sub, depth..m, &mut scratch)
+                            .unwrap();
                     }
                     assert_eq!(lines, expected, "m = {m}, depth = {depth}");
                 }
@@ -580,7 +756,9 @@ mod tests {
         // ones is even) and unbalances the first elementary splitter; route
         // it as the second depth-1 slice (lines 4..8).
         let mut slice: Vec<_> = (0..4).map(|i| Record::new(0, i as u64)).collect();
-        let err = route_span(&net, &mut slice, 4, 1..3, &mut scratch).unwrap_err();
+        let err = RouteSpan::new()
+            .run(&net, &mut slice, 4, 1..3, &mut scratch)
+            .unwrap_err();
         match err {
             RouteError::UnbalancedSplitter {
                 main_stage,

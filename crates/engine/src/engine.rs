@@ -26,24 +26,35 @@
 //! zero-cost [`NoopObserver`]). An attached observer sees batch
 //! submissions and completions ([`SubmitEvent`]/[`DrainEvent`]), slice
 //! hand-offs ([`ShardEvent`] on enqueue and on steal), and — through
-//! [`bnb_core::stages::route_span_observed`] — every routed column and
-//! arbiter sweep. Attach with [`Engine::with_observer`]; the noop path
-//! compiles to the same code as before the hooks existed.
+//! [`bnb_core::stages::RouteSpan`] — every routed column and arbiter
+//! sweep. Attach with [`Engine::with_observer`]; the noop path compiles
+//! to the same code as before the hooks existed.
+//!
+//! # Batched submission
+//!
+//! [`EngineHandle::submit_batch`] feeds a whole
+//! [`bnb_core::batch::FrameBatch`] to one worker, which routes every
+//! frame in a single batched-kernel invocation
+//! ([`bnb_core::batch::route_batch`]) and publishes one in-order result
+//! per frame. This keeps every SWAR word of the routing kernel fully
+//! occupied regardless of network size, where per-frame submission leaves
+//! `64 - 2^m` of 64 lanes idle for small networks.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use bnb_core::batch::{route_batch, BatchOutcome, FrameBatch};
 use bnb_core::error::RouteError;
 use bnb_core::fault::FaultMap;
 use bnb_core::network::BnbNetwork;
-use bnb_core::stages::{route_span_faulted, route_span_observed, validate_lines, StageScratch};
+use bnb_core::stages::{validate_lines, RouteSpan, StageScratch};
 use bnb_obs::{DrainEvent, NoopObserver, Observer, RetryEvent, ShardEvent, SubmitEvent};
 use bnb_topology::record::Record;
 
 use crate::error::EngineError;
-use crate::hub::{CloseGuard, Hub, Job, JobLatch, SliceTask, Work};
+use crate::hub::{CloseGuard, Hub, JobLatch, JobPayload, SliceTask, Work};
 use crate::stats::{EngineStats, LatencySummary, WorkerMetrics};
 
 pub use crate::hub::{RoutedBatch, SubmitError};
@@ -369,6 +380,37 @@ impl<O: Observer> EngineHandle<'_, O> {
         Ok(seq)
     }
 
+    /// Submits a whole [`FrameBatch`] as one job, blocking while the
+    /// bounded queue is full. Reserves one sequence number per frame and
+    /// returns the first: frame `f` of the batch drains as `seq + f`, as
+    /// its own [`RoutedBatch`], so drain loops need no batch awareness.
+    ///
+    /// The owning worker routes all frames through `bnb-core`'s batched
+    /// word-parallel kernel ([`bnb_core::batch::route_batch`]) in one
+    /// invocation — full SWAR word occupancy regardless of `m` — instead
+    /// of sharding a single frame across workers. Per-frame validation
+    /// failures surface as per-frame [`EngineError`]s; valid frames in the
+    /// same batch still route.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or the engine is past
+    /// [`Self::drain_and_close`].
+    pub fn submit_batch(&self, batch: FrameBatch) -> u64 {
+        let frames = batch.frames() as u64;
+        let records = batch.width();
+        let seq = self.hub.submit_batch(batch);
+        if self.observer.enabled() {
+            for f in 0..frames {
+                self.observer.batch_submitted(SubmitEvent {
+                    seq: seq + f,
+                    records,
+                });
+            }
+        }
+        seq
+    }
+
     /// Graceful shutdown: rejects every submission from this point on
     /// (blocking [`Self::submit`] calls panic, [`Self::try_submit`]
     /// returns [`SubmitError::Closed`]), drains every in-flight batch,
@@ -455,6 +497,8 @@ struct WorkerCtx {
     scratch: StageScratch,
     seen: Vec<usize>,
     latch: Arc<JobLatch>,
+    /// Per-frame results of owned batch jobs, reused across batches.
+    outcome: BatchOutcome,
 }
 
 /// `ceil(log2(workers))`, clamped so slices never shrink below one line.
@@ -478,6 +522,7 @@ fn worker_loop<O: Observer>(
         scratch: StageScratch::with_capacity(net.inputs()),
         seen: Vec::new(),
         latch: Arc::new(JobLatch::new(0)),
+        outcome: BatchOutcome::new(),
     };
     while let Some(work) = hub.next_work() {
         let t0 = Instant::now();
@@ -491,7 +536,28 @@ fn worker_loop<O: Observer>(
             }
             Work::Job(job) => {
                 counters.jobs_owned.fetch_add(1, Ordering::Relaxed);
-                process_job(hub, job, net, depth, &mut ctx, counters, observer);
+                match job.payload {
+                    JobPayload::Frame(lines) => process_job(
+                        hub,
+                        job.seq,
+                        job.submitted_at,
+                        lines,
+                        net,
+                        depth,
+                        &mut ctx,
+                        counters,
+                        observer,
+                    ),
+                    JobPayload::Batch(batch) => process_job_batch(
+                        hub,
+                        job.seq,
+                        job.submitted_at,
+                        batch,
+                        net,
+                        &mut ctx,
+                        observer,
+                    ),
+                }
             }
         }
         counters
@@ -512,6 +578,7 @@ fn worker_loop_faulted<O: Observer>(
         scratch: StageScratch::with_capacity(net.inputs()),
         seen: Vec::new(),
         latch: Arc::new(JobLatch::new(0)),
+        outcome: BatchOutcome::new(),
     };
     // Per-attempt working copy of the batch: a failed attempt leaves
     // partially routed lines behind, so every attempt restarts from the
@@ -529,16 +596,42 @@ fn worker_loop_faulted<O: Observer>(
             }
             Work::Job(job) => {
                 counters.jobs_owned.fetch_add(1, Ordering::Relaxed);
-                process_job_faulted(
-                    hub,
-                    job,
-                    net,
-                    &mut ctx,
-                    &mut attempt_buf,
-                    observer,
-                    plan,
-                    worker,
-                );
+                match job.payload {
+                    JobPayload::Frame(lines) => process_frame_faulted(
+                        hub,
+                        job.seq,
+                        job.submitted_at,
+                        lines,
+                        net,
+                        &mut ctx,
+                        &mut attempt_buf,
+                        observer,
+                        plan,
+                        worker,
+                    ),
+                    // Fault campaigns need per-frame retry/quarantine
+                    // bookkeeping, so a batch is unbundled into frames and
+                    // each runs the exact per-frame path under its own
+                    // reserved sequence number.
+                    JobPayload::Batch(batch) => {
+                        for f in 0..batch.frames() {
+                            let mut lines = Vec::with_capacity(batch.width());
+                            batch.read_frame_into(f, &mut lines);
+                            process_frame_faulted(
+                                hub,
+                                job.seq + f as u64,
+                                job.submitted_at,
+                                lines,
+                                net,
+                                &mut ctx,
+                                &mut attempt_buf,
+                                observer,
+                                plan,
+                                worker,
+                            );
+                        }
+                    }
+                }
             }
         }
         counters
@@ -554,9 +647,11 @@ fn worker_loop_faulted<O: Observer>(
 /// unbalanced traffic) are terminal immediately — retrying cannot fix the
 /// input.
 #[allow(clippy::too_many_arguments)]
-fn process_job_faulted<O: Observer>(
+fn process_frame_faulted<O: Observer>(
     hub: &Hub,
-    mut job: Job,
+    seq: u64,
+    submitted_at: Instant,
+    mut lines: Vec<Record>,
     net: BnbNetwork,
     ctx: &mut WorkerCtx,
     attempt_buf: &mut Vec<Record>,
@@ -565,13 +660,13 @@ fn process_job_faulted<O: Observer>(
     worker: usize,
 ) {
     let observing = observer.enabled();
-    let records = job.lines.len();
-    if let Err(e) = validate_lines(&net, &job.lines, &mut ctx.seen) {
+    let records = lines.len();
+    if let Err(e) = validate_lines(&net, &lines, &mut ctx.seen) {
         finish_observed(
             hub,
-            job.seq,
-            job.submitted_at,
-            Err(EngineError::batch(job.seq, e)),
+            seq,
+            submitted_at,
+            Err(EngineError::batch(seq, e)),
             0,
             observing,
             observer,
@@ -592,30 +687,26 @@ fn process_job_faulted<O: Observer>(
             }
             if observing {
                 observer.batch_retried(RetryEvent {
-                    seq: job.seq,
+                    seq,
                     attempt,
                     shard,
                 });
             }
         }
         attempt_buf.clear();
-        attempt_buf.extend_from_slice(&job.lines);
-        match route_span_faulted(
-            &net,
-            attempt_buf,
-            0,
-            0..net.m(),
-            &mut ctx.scratch,
-            observer,
-            plan.shard(shard),
-        ) {
+        attempt_buf.extend_from_slice(&lines);
+        match RouteSpan::new()
+            .observer(observer)
+            .faults(plan.shard(shard))
+            .run(&net, attempt_buf, 0, 0..net.m(), &mut ctx.scratch)
+        {
             Ok(()) => {
-                job.lines.copy_from_slice(attempt_buf);
+                lines.copy_from_slice(attempt_buf);
                 finish_observed(
                     hub,
-                    job.seq,
-                    job.submitted_at,
-                    Ok(job.lines),
+                    seq,
+                    submitted_at,
+                    Ok(lines),
                     records,
                     observing,
                     observer,
@@ -626,9 +717,9 @@ fn process_job_faulted<O: Observer>(
             Err(e) => {
                 finish_observed(
                     hub,
-                    job.seq,
-                    job.submitted_at,
-                    Err(EngineError::batch(job.seq, e)),
+                    seq,
+                    submitted_at,
+                    Err(EngineError::batch(seq, e)),
                     0,
                     observing,
                     observer,
@@ -640,9 +731,9 @@ fn process_job_faulted<O: Observer>(
     let source = last_fault.expect("the attempt loop ran and only exits early on success");
     finish_observed(
         hub,
-        job.seq,
-        job.submitted_at,
-        Err(EngineError::quarantined(job.seq, attempts, source)),
+        seq,
+        submitted_at,
+        Err(EngineError::quarantined(seq, attempts, source)),
         0,
         observing,
         observer,
@@ -660,9 +751,12 @@ fn shard_event(task: &SliceTask) -> ShardEvent {
 
 /// Routes one batch as its owner: validate, split into `2^depth` slice
 /// tasks, help until every slice lands, publish the result.
+#[allow(clippy::too_many_arguments)]
 fn process_job<O: Observer>(
     hub: &Hub,
-    mut job: Job,
+    seq: u64,
+    submitted_at: Instant,
+    mut lines: Vec<Record>,
     net: BnbNetwork,
     depth: usize,
     ctx: &mut WorkerCtx,
@@ -670,13 +764,13 @@ fn process_job<O: Observer>(
     observer: &O,
 ) {
     let observing = observer.enabled();
-    let records = job.lines.len();
-    if let Err(e) = validate_lines(&net, &job.lines, &mut ctx.seen) {
+    let records = lines.len();
+    if let Err(e) = validate_lines(&net, &lines, &mut ctx.seen) {
         finish_observed(
             hub,
-            job.seq,
-            job.submitted_at,
-            Err(EngineError::batch(job.seq, e)),
+            seq,
+            submitted_at,
+            Err(EngineError::batch(seq, e)),
             0,
             observing,
             observer,
@@ -684,15 +778,15 @@ fn process_job<O: Observer>(
         return;
     }
     #[cfg(debug_assertions)]
-    let reference = net.route(&job.lines);
+    let reference = net.route(&lines);
 
     // The latch travels behind an `Arc` so the last helper's completion
     // can never outlive it; this worker's latch is rearmed per owned job.
     ctx.latch.reset(1);
     let root = SliceTask {
         net,
-        lines: job.lines.as_mut_ptr(),
-        len: job.lines.len(),
+        lines: lines.as_mut_ptr(),
+        len: lines.len(),
         first_line: 0,
         start_stage: 0,
         split_until: depth.min(net.m()),
@@ -715,7 +809,7 @@ fn process_job<O: Observer>(
     }
     let result = match ctx.latch.take_error() {
         Some(e) => Err(e),
-        None => Ok(job.lines),
+        None => Ok(lines),
     };
 
     // Error results are comparable too: `JobLatch::fail` keeps the
@@ -728,13 +822,81 @@ fn process_job<O: Observer>(
     );
     finish_observed(
         hub,
-        job.seq,
-        job.submitted_at,
-        result.map_err(|e| EngineError::batch(job.seq, e)),
+        seq,
+        submitted_at,
+        result.map_err(|e| EngineError::batch(seq, e)),
         records,
         observing,
         observer,
     );
+}
+
+/// Routes one owned [`JobPayload::Batch`]: all frames through one batched
+/// kernel invocation, then one published result per reserved sequence
+/// number. Batch jobs are never sliced across workers — parallelism comes
+/// from workers owning *different* batches, and the batched kernel's full
+/// word occupancy replaces the intra-frame split.
+fn process_job_batch<O: Observer>(
+    hub: &Hub,
+    seq: u64,
+    submitted_at: Instant,
+    mut batch: FrameBatch,
+    net: BnbNetwork,
+    ctx: &mut WorkerCtx,
+    observer: &O,
+) {
+    let observing = observer.enabled();
+    let frames = batch.frames();
+    let records = batch.width();
+    #[cfg(debug_assertions)]
+    let inputs = batch.to_frames();
+    // An enabled observer rides through RouteSpan: route_batch falls back
+    // to frame-at-a-time scalar routing so per-column events still fire,
+    // exactly as per-frame submission would.
+    let opts = if observing {
+        RouteSpan::new().observer(observer)
+    } else {
+        RouteSpan::new()
+    };
+    route_batch(&net, &mut batch, &opts, &mut ctx.scratch, &mut ctx.outcome);
+    for f in 0..frames {
+        let fseq = seq + f as u64;
+        let result = match &ctx.outcome.results()[f] {
+            Ok(()) => {
+                let mut out = Vec::with_capacity(records);
+                batch.read_frame_into(f, &mut out);
+                Ok(out)
+            }
+            Err(e) => Err(EngineError::batch(fseq, e.clone())),
+        };
+        // The batched kernel must be indistinguishable from routing each
+        // frame alone through the sequential reference.
+        #[cfg(debug_assertions)]
+        {
+            let reference = net.route(&inputs[f]);
+            match (&result, &reference) {
+                (Ok(got), Ok(want)) => debug_assert_eq!(
+                    got, want,
+                    "batched routing diverged from the sequential reference"
+                ),
+                (Err(got), Err(want)) => debug_assert_eq!(
+                    got.route_error(),
+                    want,
+                    "batched error diverged from the sequential reference"
+                ),
+                _ => panic!("batched result status diverged from the sequential reference"),
+            }
+        }
+        finish_observed(
+            hub,
+            fseq,
+            submitted_at,
+            result,
+            records,
+            observing,
+            observer,
+        );
+    }
 }
 
 /// Publishes a batch result and, when observing, emits the matching
@@ -781,13 +943,12 @@ fn run_task<O: Observer>(hub: &Hub, task: SliceTask, ctx: &mut WorkerCtx, observ
     let mut stage = task.start_stage;
     loop {
         if stage >= task.split_until || stage >= m || lines.len() < 2 {
-            let tail = route_span_observed(
+            let tail = RouteSpan::new().observer(observer).run(
                 &net,
                 lines,
                 first_line,
                 stage..m,
                 &mut ctx.scratch,
-                observer,
             );
             match tail {
                 Ok(()) => latch.complete_one(),
@@ -797,13 +958,12 @@ fn run_task<O: Observer>(hub: &Hub, task: SliceTask, ctx: &mut WorkerCtx, observ
         }
         // Route this main stage over the whole slice, then hand half of
         // the now-independent subnetworks to any idle worker.
-        if let Err(e) = route_span_observed(
+        if let Err(e) = RouteSpan::new().observer(observer).run(
             &net,
             lines,
             first_line,
             stage..stage + 1,
             &mut ctx.scratch,
-            observer,
         ) {
             latch.fail(e);
             return;

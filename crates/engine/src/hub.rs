@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use bnb_core::batch::FrameBatch;
 use bnb_core::error::RouteError;
 use bnb_core::network::BnbNetwork;
 use bnb_topology::record::Record;
@@ -28,10 +29,20 @@ use bnb_topology::record::Record;
 use crate::error::EngineError;
 use crate::stats::LatencyHistogram;
 
-/// A submitted batch awaiting an owner.
+/// What a submitted job carries: one frame (the classic path, sharded
+/// across workers by the recursive split) or a whole [`FrameBatch`]
+/// (routed by its owning worker through the batched kernel, one frame
+/// result per reserved sequence number).
+pub(crate) enum JobPayload {
+    Frame(Vec<Record>),
+    Batch(FrameBatch),
+}
+
+/// A submitted batch awaiting an owner. `seq` is the job's first sequence
+/// number; a [`JobPayload::Batch`] of `B` frames owns `seq .. seq + B`.
 pub(crate) struct Job {
     pub seq: u64,
-    pub lines: Vec<Record>,
+    pub payload: JobPayload,
     pub submitted_at: Instant,
 }
 
@@ -303,7 +314,27 @@ impl Hub {
             st = self.space_cv.wait(st).unwrap();
             assert!(st.accepting, "submit after drain_and_close");
         }
-        self.enqueue_locked(st, lines)
+        self.enqueue_locked(st, JobPayload::Frame(lines), 1)
+    }
+
+    /// Enqueues a whole frame batch as one job, blocking while the bounded
+    /// queue is full. Reserves one sequence number per frame and returns
+    /// the first; frame `f` completes as `seq + f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or the hub is past
+    /// [`Hub::stop_accepting`].
+    pub fn submit_batch(&self, batch: FrameBatch) -> u64 {
+        assert!(!batch.is_empty(), "cannot submit an empty batch");
+        let frames = batch.frames() as u64;
+        let mut st = self.state.lock().unwrap();
+        assert!(st.accepting, "submit after drain_and_close");
+        while st.jobs.len() >= self.capacity {
+            st = self.space_cv.wait(st).unwrap();
+            assert!(st.accepting, "submit after drain_and_close");
+        }
+        self.enqueue_locked(st, JobPayload::Batch(batch), frames)
     }
 
     /// Non-blocking [`Hub::submit`]: rejects instead of waiting when the
@@ -317,13 +348,14 @@ impl Hub {
         if st.jobs.len() >= self.capacity {
             return Err(SubmitError::Full(lines));
         }
-        Ok(self.enqueue_locked(st, lines))
+        Ok(self.enqueue_locked(st, JobPayload::Frame(lines), 1))
     }
 
     fn enqueue_locked(
         &self,
         mut st: std::sync::MutexGuard<'_, HubState>,
-        lines: Vec<Record>,
+        payload: JobPayload,
+        seqs: u64,
     ) -> u64 {
         // A submit into a fully idle hub (everything previously submitted
         // already drained) starts a fresh wave: reset the slice-task high
@@ -333,10 +365,10 @@ impl Hub {
             st.task_queue_high_water = 0;
         }
         let seq = st.submitted;
-        st.submitted += 1;
+        st.submitted += seqs;
         st.jobs.push_back(Job {
             seq,
-            lines,
+            payload,
             submitted_at: Instant::now(),
         });
         st.queue_high_water = st.queue_high_water.max(st.jobs.len());

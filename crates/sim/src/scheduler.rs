@@ -18,6 +18,7 @@
 
 use std::collections::VecDeque;
 
+use bnb_core::batch::FrameBatch;
 use bnb_core::error::RouteError;
 use bnb_core::network::BnbNetwork;
 use bnb_obs::{NoopObserver, Observer, RoundEvent};
@@ -397,14 +398,32 @@ impl VoqSwitch {
         let mut results: Vec<Result<Vec<Record>, RouteError>> =
             Vec::with_capacity(planned_slots.len());
         engine.run(|h| {
+            // Rounds are grouped into frame batches so the engine routes
+            // them through the batched word-parallel kernel (full SWAR
+            // occupancy however small the network); each frame still
+            // drains as its own in-order result, so `results[k]` remains
+            // round `k`. The group size trades kernel occupancy against
+            // pipelining across workers.
+            const FRAMES_PER_BATCH: usize = 32;
+            let n = self.network.inputs();
+            let mut group = FrameBatch::new(n);
             let mut pending = 0usize;
             for slots in &planned_slots {
                 match self.network.completed_frame(slots) {
                     Ok(frame) => {
-                        h.submit(frame);
-                        pending += 1;
+                        group.push_frame(&frame);
+                        if group.frames() >= FRAMES_PER_BATCH {
+                            pending += group.frames();
+                            h.submit_batch(std::mem::replace(&mut group, FrameBatch::new(n)));
+                        }
                     }
                     Err(e) => {
+                        // Rounds planned before the failing one are
+                        // already grouped; they must still route.
+                        if !group.is_empty() {
+                            pending += group.frames();
+                            h.submit_batch(std::mem::replace(&mut group, FrameBatch::new(n)));
+                        }
                         for _ in 0..pending {
                             let batch = h.drain().expect("every submitted round completes");
                             results.push(
@@ -427,6 +446,10 @@ impl VoqSwitch {
                     );
                     pending -= 1;
                 }
+            }
+            if !group.is_empty() {
+                pending += group.frames();
+                h.submit_batch(group);
             }
             for _ in 0..pending {
                 let batch = h.drain().expect("every submitted round completes");

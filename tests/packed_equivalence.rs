@@ -1,19 +1,16 @@
-//! Packed-kernel equivalence: the bit-packed word-parallel fast path in
-//! `bnb_core::stages` must be byte-identical to the scalar sweep it
-//! replaced — same final frames on success, same error values on
-//! failure — across sizes, policies, fault campaigns, and the
-//! split-and-conquer span pattern the engine uses.
+//! Kernel equivalence: the bit-packed word-parallel fast path and the
+//! frame-batched SoA kernel in `bnb_core` must be byte-identical to the
+//! scalar sweep they replaced — same final frames on success, same error
+//! values on failure — across sizes, policies, fault campaigns, batch
+//! shapes, and the split-and-conquer span pattern the engine uses.
 //!
-//! The scalar sweep stays exported as `route_span_scalar` /
-//! `route_span_scalar_faulted` precisely so this suite can hold the two
-//! kernels against each other forever.
+//! The scalar sweep stays selectable as [`Kernel::Scalar`] precisely so
+//! this suite can hold the kernels against each other forever.
 
+use bnb::core::batch::{route_batch, BatchOutcome, FrameBatch};
 use bnb::core::network::{BnbNetwork, RoutePolicy};
-use bnb::core::stages::{
-    route_span, route_span_faulted, route_span_scalar, route_span_scalar_faulted, StageScratch,
-};
+use bnb::core::stages::{Kernel, RouteSpan, StageScratch};
 use bnb::core::{FaultKind, FaultMap, FaultSite};
-use bnb::obs::NoopObserver;
 use bnb::topology::perm::Permutation;
 use bnb::topology::record::{records_for_permutation, Record};
 use proptest::prelude::*;
@@ -23,8 +20,9 @@ fn build(m: usize, policy: RoutePolicy) -> BnbNetwork {
     BnbNetwork::builder(m).data_width(32).policy(policy).build()
 }
 
-/// Routes `records` through all `m` stages with both kernels and asserts
-/// the outcomes are identical (frames on `Ok`, error values on `Err`).
+/// Routes `records` through all `m` stages with both per-frame kernels
+/// and asserts the outcomes are identical (frames on `Ok`, error values
+/// on `Err`).
 fn assert_kernels_agree(
     net: &BnbNetwork,
     records: &[Record],
@@ -33,23 +31,66 @@ fn assert_kernels_agree(
 ) {
     let m = net.m();
     let mut scratch = StageScratch::with_capacity(records.len());
+    let mut packed_span = RouteSpan::new().kernel(Kernel::Packed);
+    let mut scalar_span = RouteSpan::new().kernel(Kernel::Scalar);
+    if let Some(map) = faults {
+        packed_span = packed_span.faults(map);
+        scalar_span = scalar_span.faults(map);
+    }
     let mut packed = records.to_vec();
     let mut scalar = records.to_vec();
-    let (got, want) = match faults {
-        Some(map) => (
-            route_span_faulted(net, &mut packed, 0, 0..m, &mut scratch, &NoopObserver, map),
-            route_span_scalar_faulted(net, &mut scalar, 0, 0..m, &mut scratch, map),
-        ),
-        None => (
-            route_span(net, &mut packed, 0, 0..m, &mut scratch),
-            route_span_scalar(net, &mut scalar, 0, 0..m, &mut scratch),
-        ),
-    };
+    let got = packed_span.run(net, &mut packed, 0, 0..m, &mut scratch);
+    let want = scalar_span.run(net, &mut scalar, 0, 0..m, &mut scratch);
     assert_eq!(got, want, "result mismatch ({ctx})");
     if got.is_ok() {
         // Post-error line state is unspecified (the engine compares
         // result values only), so frames are compared on success alone.
         assert_eq!(packed, scalar, "frame mismatch ({ctx})");
+    }
+}
+
+/// Routes every frame of `frames` through [`route_batch`] with `opts`
+/// and asserts the per-frame outcomes match the scalar oracle routed one
+/// frame at a time: identical `Result` values, identical output frames
+/// on success, and untouched original contents on failure. The oracle
+/// mirrors the batch contract — validation first (the step `Router::route`
+/// performs before any span runs), then the scalar kernel.
+fn assert_batch_matches_scalar(
+    net: &BnbNetwork,
+    frames: &[Vec<Record>],
+    opts: &RouteSpan<'_>,
+    oracle: &RouteSpan<'_>,
+    ctx: &str,
+) {
+    use bnb::core::stages::validate_lines;
+    let n = net.inputs();
+    let m = net.m();
+    let mut scratch = StageScratch::with_capacity(n);
+    let mut seen = Vec::new();
+    let mut batch = FrameBatch::with_capacity(n, frames.len());
+    for frame in frames {
+        batch.push_frame(frame);
+    }
+    let mut outcome = BatchOutcome::new();
+    route_batch(net, &mut batch, opts, &mut scratch, &mut outcome);
+    assert_eq!(outcome.results().len(), frames.len(), "outcome len ({ctx})");
+    let mut got = Vec::new();
+    for (f, frame) in frames.iter().enumerate() {
+        let mut scalar = frame.clone();
+        let want = validate_lines(net, &scalar, &mut seen)
+            .and_then(|()| oracle.run(net, &mut scalar, 0, 0..m, &mut scratch));
+        assert_eq!(
+            outcome.results()[f],
+            want,
+            "frame {f} result mismatch ({ctx})"
+        );
+        batch.read_frame_into(f, &mut got);
+        if want.is_ok() {
+            assert_eq!(got, scalar, "frame {f} output mismatch ({ctx})");
+        } else {
+            // Failed frames keep their submitted contents verbatim.
+            assert_eq!(&got, frame, "frame {f} not left untouched ({ctx})");
+        }
     }
 }
 
@@ -70,6 +111,29 @@ fn random_faults(m: usize, count: usize, rng: &mut rand::rngs::StdRng) -> FaultM
         map.insert(FaultSite::new(main, internal, element), kind);
     }
     map
+}
+
+/// Seeded frames for a batch: mostly valid permutations, with a
+/// `garble`-controlled chance of invalid frames (duplicate destination)
+/// mixed in so batched validation and error reporting get exercised.
+fn random_frames(
+    n: usize,
+    count: usize,
+    garble: bool,
+    rng: &mut rand::rngs::StdRng,
+) -> Vec<Vec<Record>> {
+    (0..count)
+        .map(|_| {
+            let mut recs = records_for_permutation(&Permutation::random(n, rng));
+            if garble && n > 1 && rng.random_range(0..4) == 0 {
+                // Duplicate one destination: rejected by strict
+                // validation, routed as contending traffic permissively.
+                let d = recs[0].dest();
+                recs[n - 1] = Record::new(d, recs[n - 1].data());
+            }
+            recs
+        })
+        .collect()
 }
 
 proptest! {
@@ -102,8 +166,8 @@ proptest! {
         assert_kernels_agree(&net, &records, Some(&faults), &format!("m={m} {policy:?} {faults:?}"));
     }
 
-    /// An empty FaultMap through the faulted entry points is the healthy
-    /// fast path for both kernels.
+    /// An empty FaultMap through the faulted options is the healthy fast
+    /// path for both kernels.
     #[test]
     fn packed_matches_scalar_empty_fault_map(m in 2usize..=8, seed in any::<u64>()) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -124,26 +188,117 @@ proptest! {
         let net = build(m, RoutePolicy::Strict);
         let records = records_for_permutation(&Permutation::random(n, &mut rng));
         let mut scratch = StageScratch::with_capacity(n);
+        let packed_span = RouteSpan::new().kernel(Kernel::Packed);
+        let scalar_span = RouteSpan::new().kernel(Kernel::Scalar);
 
         let mut packed = records.clone();
-        route_span(&net, &mut packed, 0, 0..depth, &mut scratch).unwrap();
+        packed_span.run(&net, &mut packed, 0, 0..depth, &mut scratch).unwrap();
         let span = n >> depth;
         for (idx, chunk) in packed.chunks_mut(span).enumerate() {
-            route_span(&net, chunk, idx * span, depth..m, &mut scratch).unwrap();
+            packed_span.run(&net, chunk, idx * span, depth..m, &mut scratch).unwrap();
         }
 
         let mut scalar = records.clone();
-        route_span_scalar(&net, &mut scalar, 0, 0..depth, &mut scratch).unwrap();
+        scalar_span.run(&net, &mut scalar, 0, 0..depth, &mut scratch).unwrap();
         for (idx, chunk) in scalar.chunks_mut(span).enumerate() {
-            route_span_scalar(&net, chunk, idx * span, depth..m, &mut scratch).unwrap();
+            scalar_span.run(&net, chunk, idx * span, depth..m, &mut scratch).unwrap();
         }
 
         prop_assert_eq!(&packed, &scalar, "split mismatch m={} depth={}", m, depth);
     }
+
+    /// The batched kernel against the scalar oracle: batch sizes 1, 7,
+    /// and 64 (sub-word, unaligned-tail, and multi-word plane shapes),
+    /// both policies, valid-only and garbled frame mixes.
+    #[test]
+    fn batched_matches_scalar(
+        m in 1usize..=8,
+        seed in any::<u64>(),
+        strict in any::<bool>(),
+        batch_idx in 0usize..3,
+        garble in any::<bool>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let policy = if strict { RoutePolicy::Strict } else { RoutePolicy::Permissive };
+        let net = build(m, policy);
+        let frames = random_frames(1 << m, [1usize, 7, 64][batch_idx], garble, &mut rng);
+        let opts = RouteSpan::new();
+        let oracle = RouteSpan::new().kernel(Kernel::Scalar);
+        assert_batch_matches_scalar(
+            &net, &frames, &opts, &oracle,
+            &format!("m={m} {policy:?} b={} garble={garble}", frames.len()),
+        );
+    }
+
+    /// Batched fault campaigns (the per-frame fallback path): each
+    /// frame's result and contents must equal the scalar faulted oracle.
+    #[test]
+    fn batched_matches_scalar_under_faults(
+        m in 2usize..=7,
+        seed in any::<u64>(),
+        strict in any::<bool>(),
+        nfaults in 1usize..=3,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let policy = if strict { RoutePolicy::Strict } else { RoutePolicy::Permissive };
+        let net = build(m, policy);
+        let frames = random_frames(1 << m, 7, false, &mut rng);
+        let faults = random_faults(m, nfaults, &mut rng);
+        let opts = RouteSpan::new().faults(&faults);
+        let oracle = RouteSpan::new().kernel(Kernel::Scalar).faults(&faults);
+        assert_batch_matches_scalar(
+            &net, &frames, &opts, &oracle,
+            &format!("m={m} {policy:?} {faults:?}"),
+        );
+    }
+
+    /// Engine-style batch splits: routing one workload as a single
+    /// FrameBatch must be byte-identical to routing it as the uneven
+    /// sub-batches a shard scheduler would submit.
+    #[test]
+    fn batched_split_submission_is_equivalent(
+        m in 2usize..=8,
+        seed in any::<u64>(),
+        split in 1usize..=31,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 1usize << m;
+        let net = build(m, RoutePolicy::Strict);
+        let frames = random_frames(n, 32, false, &mut rng);
+        let opts = RouteSpan::new();
+        let mut scratch = StageScratch::with_capacity(n);
+        let mut outcome = BatchOutcome::new();
+
+        let mut whole = FrameBatch::with_capacity(n, frames.len());
+        for frame in &frames {
+            whole.push_frame(frame);
+        }
+        route_batch(&net, &mut whole, &opts, &mut scratch, &mut outcome);
+        prop_assert!(outcome.all_ok());
+
+        let mut got = Vec::new();
+        let mut want = Vec::new();
+        let mut offset = 0;
+        for group in frames.chunks(split) {
+            let mut part = FrameBatch::with_capacity(n, group.len());
+            for frame in group {
+                part.push_frame(frame);
+            }
+            route_batch(&net, &mut part, &opts, &mut scratch, &mut outcome);
+            prop_assert!(outcome.all_ok());
+            for f in 0..group.len() {
+                part.read_frame_into(f, &mut got);
+                whole.read_frame_into(offset + f, &mut want);
+                prop_assert_eq!(&got, &want, "split={} frame={}", split, offset + f);
+            }
+            offset += group.len();
+        }
+    }
 }
 
 /// Exhaustive byte-identity sweep at small m: every one of the N!
-/// permutations for m ≤ 3, a dense seeded sample for m = 4..=5.
+/// permutations for m ≤ 3, a dense seeded sample for m = 4..=5 — packed
+/// and batched both held against the scalar oracle.
 #[test]
 fn exhaustive_small_m_byte_identity() {
     fn check(net: &BnbNetwork, records: &[Record]) {
@@ -151,9 +306,30 @@ fn exhaustive_small_m_byte_identity() {
         let mut scratch = StageScratch::with_capacity(records.len());
         let mut packed = records.to_vec();
         let mut scalar = records.to_vec();
-        route_span(net, &mut packed, 0, 0..m, &mut scratch).unwrap();
-        route_span_scalar(net, &mut scalar, 0, 0..m, &mut scratch).unwrap();
+        RouteSpan::new()
+            .kernel(Kernel::Packed)
+            .run(net, &mut packed, 0, 0..m, &mut scratch)
+            .unwrap();
+        RouteSpan::new()
+            .kernel(Kernel::Scalar)
+            .run(net, &mut scalar, 0, 0..m, &mut scratch)
+            .unwrap();
         assert_eq!(packed, scalar, "m={m} records={records:?}");
+
+        let mut batch = FrameBatch::new(records.len());
+        batch.push_frame(records);
+        let mut outcome = BatchOutcome::new();
+        route_batch(
+            net,
+            &mut batch,
+            &RouteSpan::new(),
+            &mut scratch,
+            &mut outcome,
+        );
+        assert!(outcome.all_ok(), "m={m} batched failed: {records:?}");
+        let mut routed = Vec::new();
+        batch.read_frame_into(0, &mut routed);
+        assert_eq!(routed, scalar, "m={m} batched mismatch: {records:?}");
     }
 
     // All N! permutations for m <= 3 (2 + 24 + 40320 frames).

@@ -8,7 +8,7 @@ use std::cell::Cell;
 
 use bnb::core::network::BnbNetwork;
 use bnb::core::router::Router;
-use bnb::core::stages::{route_span, validate_lines, StageScratch};
+use bnb::core::stages::{validate_lines, Kernel, RouteSpan, StageScratch};
 use bnb::topology::perm::Permutation;
 use bnb::topology::record::{records_for_permutation, Record};
 
@@ -243,15 +243,13 @@ fn observed_routing_with_flight_recorder_stays_allocation_free() {
 
 #[test]
 fn packed_kernel_is_allocation_free_after_warmup() {
-    // The bit-packed word-parallel fast path (taken by `route_span`
-    // whenever no observer is attached) sizes its plane/flag/permutation
-    // scratch on first use and must never touch the heap again — at
-    // sub-word spans (m = 5: one partial u64), multi-word spans
-    // (m = 8: four u64 words per plane), and on the faulted entry point
-    // whose broken columns fall back to per-box scalar processing.
-    use bnb::core::stages::route_span_faulted;
+    // The bit-packed word-parallel fast path (taken by default whenever
+    // no observer is attached) sizes its plane/flag/permutation scratch
+    // on first use and must never touch the heap again — at sub-word
+    // spans (m = 5: one partial u64), multi-word spans (m = 8: four u64
+    // words per plane), and on the faulted options whose broken columns
+    // fall back to per-box scalar processing.
     use bnb::core::{FaultKind, FaultMap, FaultSite};
-    use bnb::obs::NoopObserver;
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(14);
     for m in [5usize, 8] {
@@ -259,39 +257,78 @@ fn packed_kernel_is_allocation_free_after_warmup() {
         let net = BnbNetwork::new(m);
         let mut scratch = StageScratch::with_capacity(n);
         let faults = FaultMap::single(FaultSite::new(1, 0, 0), FaultKind::StuckExchange);
+        let healthy = RouteSpan::new();
+        let faulted = RouteSpan::new().faults(&faults);
         let records = records_for_permutation(&Permutation::random(n, &mut rng));
         let mut lines = records.clone();
         // Warm-up sizes the packed planes and the fault tap scratch.
-        route_span(&net, &mut lines, 0, 0..m, &mut scratch).unwrap();
+        healthy
+            .run(&net, &mut lines, 0, 0..m, &mut scratch)
+            .unwrap();
         lines.copy_from_slice(&records);
-        let _ = route_span_faulted(
-            &net,
-            &mut lines,
-            0,
-            0..m,
-            &mut scratch,
-            &NoopObserver,
-            &faults,
-        );
+        let _ = faulted.run(&net, &mut lines, 0, 0..m, &mut scratch);
         let allocs = allocations_during(|| {
             for _ in 0..10 {
                 lines.copy_from_slice(&records);
-                route_span(&net, &mut lines, 0, 0..m, &mut scratch).unwrap();
+                healthy
+                    .run(&net, &mut lines, 0, 0..m, &mut scratch)
+                    .unwrap();
                 lines.copy_from_slice(&records);
-                let _ = route_span_faulted(
-                    &net,
-                    &mut lines,
-                    0,
-                    0..m,
-                    &mut scratch,
-                    &NoopObserver,
-                    &faults,
-                );
+                let _ = faulted.run(&net, &mut lines, 0, 0..m, &mut scratch);
             }
         });
         assert_eq!(
             allocs, 0,
             "m = {m}: packed kernel allocated in steady state"
+        );
+    }
+}
+
+#[test]
+fn batched_kernel_is_allocation_free_after_warmup() {
+    // The frame-batched SoA kernel: after one warm-up pass has sized the
+    // concatenated bit-planes, the outcome vector, and the batch's own
+    // dest/data columns, refilling and re-routing the same batch shape
+    // must never touch the heap — at a sub-word frame size (m = 5, so
+    // frames straddle word boundaries in the concatenated planes) and a
+    // multi-word one (m = 8).
+    use bnb::core::batch::{route_batch, BatchOutcome, FrameBatch};
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(15);
+    const FRAMES: usize = 7;
+    for m in [5usize, 8] {
+        let n = 1usize << m;
+        let net = BnbNetwork::new(m);
+        let mut scratch = StageScratch::with_capacity(n);
+        let opts = RouteSpan::new();
+        let frames: Vec<Vec<Record>> = (0..FRAMES)
+            .map(|_| records_for_permutation(&Permutation::random(n, &mut rng)))
+            .collect();
+        let mut batch = FrameBatch::with_capacity(n, FRAMES);
+        let mut outcome = BatchOutcome::new();
+        let mut out = Vec::new();
+        let pass = |batch: &mut FrameBatch,
+                    outcome: &mut BatchOutcome,
+                    scratch: &mut StageScratch,
+                    out: &mut Vec<Record>| {
+            batch.clear();
+            for frame in &frames {
+                batch.push_frame(frame);
+            }
+            route_batch(&net, batch, &opts, scratch, outcome);
+            assert!(outcome.all_ok());
+            batch.read_frame_into(FRAMES - 1, out);
+        };
+        // Warm-up sizes every buffer involved.
+        pass(&mut batch, &mut outcome, &mut scratch, &mut out);
+        let allocs = allocations_during(|| {
+            for _ in 0..10 {
+                pass(&mut batch, &mut outcome, &mut scratch, &mut out);
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "m = {m}: batched kernel allocated in steady state"
         );
     }
 }
@@ -305,21 +342,28 @@ fn stage_span_kernel_is_allocation_free_after_warmup() {
     let net = BnbNetwork::new(m);
     let mut scratch = StageScratch::with_capacity(n);
     let mut seen = Vec::new();
+    let span_opts = RouteSpan::new().kernel(Kernel::Packed);
     let records = records_for_permutation(&Permutation::random(n, &mut rng));
     let mut lines = records.clone();
     // Warm-up (sizes the validation scratch).
     validate_lines(&net, &lines, &mut seen).unwrap();
-    route_span(&net, &mut lines, 0, 0..m, &mut scratch).unwrap();
+    span_opts
+        .run(&net, &mut lines, 0, 0..m, &mut scratch)
+        .unwrap();
     // Steady state, including the split-and-conquer pattern the engine
     // uses: head stages, then each aligned slice separately.
     let allocs = allocations_during(|| {
         for depth in [0usize, 1, 2] {
             lines.copy_from_slice(&records);
             validate_lines(&net, &lines, &mut seen).unwrap();
-            route_span(&net, &mut lines, 0, 0..depth, &mut scratch).unwrap();
+            span_opts
+                .run(&net, &mut lines, 0, 0..depth, &mut scratch)
+                .unwrap();
             let span = n >> depth;
             for (idx, chunk) in lines.chunks_mut(span).enumerate() {
-                route_span(&net, chunk, idx * span, depth..m, &mut scratch).unwrap();
+                span_opts
+                    .run(&net, chunk, idx * span, depth..m, &mut scratch)
+                    .unwrap();
             }
         }
     });
