@@ -20,13 +20,17 @@
 //!            [--metrics text|json|prom]
 //! bnb serve [--addr 127.0.0.1:0] [--inputs 64] [--workers 2] [--queue 8]
 //!           [--tenant-quota 4] [--max-conns 64] [--read-timeout-ms 100]
-//!           [--pretty]
+//!           [--chaos] [--shards 2] [--chaos-ops 16] [--chaos-interval-ms 50]
+//!           [--seed ..] [--chaos-out FILE] [--pretty]
 //! bnb loadgen [--addr 127.0.0.1:9500] [--tenants 4] [--frames 64]
 //!             [--inputs 64] [--mode closed|open] [--inflight 4] [--qps 500]
 //!             [--seed 45488] [--drain-ms 2000] [--shutdown] [--out FILE]
 //!             [--pretty]
 //! bnb faults [--inputs 8] [--faults M.I.E:kind,..] [--trials 200] [--seed 0]
 //!            [--sweep 0,1,2,..] [--frames 50] [--record FILE]
+//!            [--metrics text|json|prom]
+//! bnb faults --chaos [--inputs 8] [--trials 100] [--frames 40] [--shards 2]
+//!            [--ops 8] [--workers 2] [--seed 0] [--out FILE]
 //!            [--metrics text|json|prom]
 //! bnb report
 //! ```
@@ -260,7 +264,12 @@ pub fn usage() -> String {
                   ([--inputs 8] [--faults M.I.E:kind,..] [--trials 200]\n\
                   [--seed 0] [--sweep 0,1,2,..] [--frames 50]\n\
                   [--record FILE] [--metrics text|json|prom];\n\
-                  kinds: stuck0 stuck1 arbiter link)\n\
+                  kinds: stuck0 stuck1 arbiter link); with --chaos, replay\n\
+                  seeded randomized fault schedules (inject, flap, clear)\n\
+                  against the live-repair engine under traffic and assert\n\
+                  zero silent misdeliveries, balanced ledgers, and capacity\n\
+                  recovery ([--trials 100] [--frames 40] [--shards 2]\n\
+                  [--ops 8] [--workers 2] [--seed 0] [--out FILE])\n\
        bench      time the routing kernels (bit-packed vs scalar) and\n\
                   report ns/frame and cells/s ([--min-m 4] [--max-m 12]\n\
                   [--frames 16] [--seed 0] [--min-ms 20] [--json]\n\
@@ -271,7 +280,11 @@ pub fn usage() -> String {
                   ([--addr 127.0.0.1:0] [--inputs 64] [--workers 2]\n\
                   [--queue 8] [--tenant-quota 4] [--max-conns 64]\n\
                   [--read-timeout-ms 100] [--pretty]); HTTP GET on the\n\
-                  same port serves Prometheus metrics\n\
+                  same port serves Prometheus metrics; with --chaos, a\n\
+                  seeded fault-injection thread damages and heals fabric\n\
+                  shards while the live-repair scrubber routes around them\n\
+                  ([--shards 2] [--chaos-ops 16] [--chaos-interval-ms 50]\n\
+                  [--seed ..] [--chaos-out FILE])\n\
        loadgen    drive a running server and verify every routed frame\n\
                   ([--addr 127.0.0.1:9500] [--tenants 4] [--frames 64]\n\
                   [--inputs 64] [--mode closed|open] [--inflight 4]\n\
@@ -826,6 +839,94 @@ fn parse_fault_spec(spec: &str) -> Result<bnb_core::HardwareFault, CliError> {
     })
 }
 
+/// `bnb faults --chaos`: replay randomized fault schedules (inject,
+/// flap, clear) against the live-repair engine under traffic. Every
+/// schedule is generated from `--seed + index`, so any reported failure
+/// names the exact seed that reproduces it.
+fn cmd_faults_chaos(flags: &Flags, m: usize, n: usize) -> Result<String, CliError> {
+    use bnb_sim::chaos::{chaos_engine_campaign, ChaosReport, ChaosSchedule};
+    let schedules = flags.usize_or("--trials", 100)?;
+    if schedules == 0 || schedules > 100_000 {
+        return Err(err("--trials must be 1..=100000"));
+    }
+    let frames = flags.usize_or("--frames", 40)?;
+    if frames == 0 || frames > 1_000_000 {
+        return Err(err("--frames must be 1..=1000000"));
+    }
+    let shards = flags.usize_or("--shards", 2)?;
+    if shards == 0 || shards > 64 {
+        return Err(err("--shards must be 1..=64"));
+    }
+    let ops = flags.usize_or("--ops", 8)?;
+    if ops > 10_000 {
+        return Err(err("--ops must be <= 10000"));
+    }
+    let workers = flags.usize_or("--workers", 2)?;
+    if workers == 0 || workers > 64 {
+        return Err(err("--workers must be 1..=64"));
+    }
+    let seed = flags.usize_or("--seed", 0)? as u64;
+    let metrics = metrics_flag(flags)?;
+    let counters = Counters::new();
+
+    #[derive(serde::Serialize)]
+    struct ChaosRun {
+        schedule: ChaosSchedule,
+        report: ChaosReport,
+    }
+    let mut runs: Vec<ChaosRun> = Vec::with_capacity(schedules);
+    let mut failed: Vec<u64> = Vec::new();
+    for i in 0..schedules {
+        let schedule = ChaosSchedule::generate(m, shards, frames, ops, seed.wrapping_add(i as u64));
+        let report = chaos_engine_campaign(&schedule, workers, &counters);
+        if !report.holds() {
+            failed.push(schedule.seed);
+        }
+        runs.push(ChaosRun { schedule, report });
+    }
+
+    let total = |f: fn(&ChaosReport) -> usize| -> usize { runs.iter().map(|r| f(&r.report)).sum() };
+    let mut out = format!(
+        "chaos campaign: N = {n}, {shards} fabric shard(s), {workers} worker(s), \
+         {schedules} schedule(s) x {frames} frame(s), {ops} fault op(s) each, base seed {seed}\n"
+    );
+    out.push_str(&format!(
+        "  frames:  {} submitted, {} delivered, {} quarantined, {} misdelivered\n",
+        total(|r| r.frames_submitted),
+        total(|r| r.frames_delivered),
+        total(|r| r.frames_quarantined),
+        total(|r| r.frames_misdelivered),
+    ));
+    out.push_str(&format!(
+        "  faults:  {} injected, {} cleared\n",
+        total(|r| r.faults_injected),
+        total(|r| r.faults_cleared),
+    ));
+    let recovered = runs.iter().filter(|r| r.report.recovered).count();
+    out.push_str(&format!(
+        "  repair:  {recovered}/{schedules} schedule(s) recovered full capacity\n"
+    ));
+    if let Some(path) = flags.value("--out") {
+        let json = serde_json::to_string(&runs)
+            .map_err(|e| CliError::caused_by("chaos run serialization failed", e))?;
+        std::fs::write(path, &json)
+            .map_err(|e| CliError::caused_by(format!("cannot write {path}"), e))?;
+        out.push_str(&format!("  wrote {} run(s) to {path}\n", runs.len()));
+    }
+    if let Some(format) = metrics {
+        out.push_str(&render_metrics(format, &counters)?);
+    }
+    if !failed.is_empty() {
+        return Err(err(format!(
+            "chaos contract violated for {} of {schedules} schedule(s); reproduce with \
+             --chaos --seed S --trials 1 for S in {failed:?}",
+            failed.len()
+        )));
+    }
+    out.push_str("  contract: zero silent misdeliveries, ledgers balanced, capacity recovered\n");
+    Ok(out)
+}
+
 fn cmd_faults(flags: &Flags) -> Result<String, CliError> {
     use bnb_core::FaultMap;
     use bnb_sim::faults::{degraded_sweep, hardware_campaign, random_hardware_campaign};
@@ -835,6 +936,9 @@ fn cmd_faults(flags: &Flags) -> Result<String, CliError> {
         return Err(err("--inputs must be a power of two in 4..=65536"));
     }
     let m = n.trailing_zeros() as usize;
+    if flags.present("--chaos") {
+        return cmd_faults_chaos(flags, m, n);
+    }
     let trials = flags.usize_or("--trials", 200)?;
     if trials == 0 || trials > 1_000_000 {
         return Err(err("--trials must be 1..=1000000"));
@@ -1520,6 +1624,54 @@ mod tests {
     }
 
     #[test]
+    fn faults_chaos_campaign_holds() {
+        let out = run_str(&[
+            "faults", "--chaos", "--inputs", "8", "--trials", "3", "--frames", "20", "--ops", "4",
+            "--seed", "11",
+        ])
+        .unwrap();
+        assert!(out.contains("chaos campaign: N = 8"), "{out}");
+        assert!(out.contains("base seed 11"), "{out}");
+        assert!(out.contains("0 misdelivered"), "{out}");
+        assert!(out.contains("3/3 schedule(s) recovered"), "{out}");
+        assert!(out.contains("contract: zero silent misdeliveries"), "{out}");
+    }
+
+    #[test]
+    fn faults_chaos_out_writes_schedules_and_reports() {
+        let path = std::env::temp_dir().join(format!("bnb_chaos_{}.json", std::process::id()));
+        let path_str = path.to_str().unwrap().to_string();
+        let out = run_str(&[
+            "faults", "--chaos", "--inputs", "8", "--trials", "2", "--frames", "10", "--ops", "3",
+            "--out", &path_str,
+        ])
+        .unwrap();
+        assert!(out.contains("wrote 2 run(s)"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        #[derive(serde::Deserialize)]
+        struct Run {
+            schedule: bnb_sim::ChaosSchedule,
+            report: bnb_sim::ChaosReport,
+        }
+        let runs: Vec<Run> = serde_json::from_str(&json).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].schedule.seed, 0);
+        assert_eq!(runs[1].schedule.seed, 1);
+        assert_eq!(runs[0].report.frames_misdelivered, 0);
+        assert!(runs[0].report.recovered);
+    }
+
+    #[test]
+    fn faults_chaos_validates_flags() {
+        assert!(run_str(&["faults", "--chaos", "--trials", "0"]).is_err());
+        assert!(run_str(&["faults", "--chaos", "--shards", "0"]).is_err());
+        assert!(run_str(&["faults", "--chaos", "--workers", "0"]).is_err());
+        assert!(run_str(&["faults", "--chaos", "--ops", "99999"]).is_err());
+        assert!(run_str(&["faults", "--chaos", "--frames", "0"]).is_err());
+    }
+
+    #[test]
     fn faults_validates_flags() {
         assert!(run_str(&["faults", "--inputs", "3"]).is_err());
         assert!(run_str(&["faults", "--trials", "0"]).is_err());
@@ -1538,6 +1690,9 @@ mod tests {
         assert!(run_str(&["serve", "--inputs", "1"]).is_err());
         assert!(run_str(&["serve", "--queue", "many"]).is_err());
         assert!(run_str(&["serve", "--read-timeout-ms", "soon"]).is_err());
+        assert!(run_str(&["serve", "--shards", "0"]).is_err());
+        assert!(run_str(&["serve", "--chaos-ops", "99999"]).is_err());
+        assert!(run_str(&["serve", "--chaos-interval-ms", "soon"]).is_err());
         assert!(run_str(&["loadgen", "--mode", "sideways"]).is_err());
         assert!(run_str(&["loadgen", "--mode", "open", "--qps", "-3"]).is_err());
         assert!(run_str(&["loadgen", "--tenants", "0"]).is_err());

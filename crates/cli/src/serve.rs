@@ -14,12 +14,15 @@
 
 use std::io::Write as _;
 use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
+use bnb_engine::LiveFaultPlan;
 use bnb_serve::{
     install_signal_handlers, run_loadgen, LoadMode, LoadgenConfig, ServeConfig, Server,
     ServerControl,
 };
+use bnb_sim::chaos::{ChaosAction, ChaosSchedule};
 
 use crate::{err, CliError, Flags};
 
@@ -61,6 +64,28 @@ pub(crate) fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
         read_timeout: Duration::from_millis(u64_or(flags, "--read-timeout-ms", 100)?.max(1)),
     };
     let pretty = flags.present("--pretty");
+    let chaos = flags.present("--chaos");
+    let shards = flags.usize_or("--shards", 2)?;
+    if shards == 0 || shards > 64 {
+        return Err(err(format!("--shards expects 1..=64, got {shards}")));
+    }
+    let chaos_ops = flags.usize_or("--chaos-ops", 16)?;
+    if chaos_ops > 10_000 {
+        return Err(err("--chaos-ops must be <= 10000"));
+    }
+    let chaos_interval =
+        Duration::from_millis(u64_or(flags, "--chaos-interval-ms", 50)?.clamp(1, 60_000));
+    let seed = u64_or(flags, "--seed", 0xC4A05)?;
+    let m = config.inputs.trailing_zeros() as usize;
+    // Generate (and optionally persist) the fault schedule before binding,
+    // so a failed session still leaves its script behind for replay.
+    let schedule = chaos.then(|| ChaosSchedule::generate(m, shards, chaos_ops, chaos_ops, seed));
+    if let (Some(schedule), Some(path)) = (&schedule, flags.value("--chaos-out")) {
+        let json = serde_json::to_string(schedule)
+            .map_err(|e| CliError::caused_by("cannot serialize chaos schedule", e))?;
+        std::fs::write(path, &json)
+            .map_err(|e| CliError::caused_by(format!("cannot write {path}"), e))?;
+    }
 
     let listener = TcpListener::bind(addr)
         .map_err(|e| CliError::caused_by(format!("cannot bind {addr}"), e))?;
@@ -75,10 +100,45 @@ pub(crate) fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
     install_signal_handlers();
     let control = ServerControl::new();
     let counters = bnb_obs::Counters::new();
-    let server = Server::new(config, &counters);
-    let report = server
-        .serve(listener, &control)
-        .map_err(|e| CliError::caused_by("serving session failed", e))?;
+    let report = match &schedule {
+        None => Server::new(config, &counters)
+            .serve(listener, &control)
+            .map_err(|e| CliError::caused_by("serving session failed", e))?,
+        Some(schedule) => {
+            // The chaos driver and the serving engine share one live
+            // plan: the driver damages and heals shards on a fixed
+            // cadence while the engine's scrubber routes around the
+            // damage. After the script ends every shard is cleared, so
+            // a session that outlives its schedule converges back to
+            // full capacity.
+            let plan = LiveFaultPlan::healthy(shards).with_probe_seed(seed);
+            let server = Server::with_fault_plan(config, &counters, &plan);
+            let stop = AtomicBool::new(false);
+            let result = std::thread::scope(|s| {
+                s.spawn(|| {
+                    for op in &schedule.ops {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        match op.action {
+                            ChaosAction::Inject { shard, site, kind } => {
+                                plan.inject(shard, site, kind)
+                            }
+                            ChaosAction::Clear { shard } => plan.clear(shard),
+                        }
+                        std::thread::sleep(chaos_interval);
+                    }
+                    for shard in 0..shards {
+                        plan.clear(shard);
+                    }
+                });
+                let result = server.serve(listener, &control);
+                stop.store(true, Ordering::Release);
+                result
+            });
+            result.map_err(|e| CliError::caused_by("serving session failed", e))?
+        }
+    };
 
     let json = if pretty {
         serde_json::to_string_pretty(&report)

@@ -40,7 +40,7 @@
 //! occupied regardless of network size, where per-frame submission leaves
 //! `64 - 2^m` of 64 lanes idle for small networks.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -55,6 +55,7 @@ use bnb_topology::record::Record;
 
 use crate::error::EngineError;
 use crate::hub::{CloseGuard, Hub, JobLatch, JobPayload, SliceTask, Work};
+use crate::live::{scrubber_loop, LiveFaultPlan};
 use crate::stats::{EngineStats, LatencySummary, WorkerMetrics};
 
 pub use crate::hub::{RoutedBatch, SubmitError};
@@ -337,6 +338,81 @@ impl<O: Observer> Engine<O> {
             let _guard = CloseGuard(&hub);
             f(&handle)
         })
+    }
+
+    /// [`Engine::run_faulted`] with *live* repair: the fault maps in
+    /// `plan` may change while the engine routes (a chaos driver
+    /// injecting and clearing faults concurrently), workers steer
+    /// batches onto healthy fabric shards, and a background scrubber
+    /// thread probes suspect shards between drains — quarantining
+    /// confirmed faults and restoring capacity when transients clear —
+    /// without ever pausing submit/drain.
+    ///
+    /// The repair loop:
+    ///
+    /// - A batch attempt that trips the output balance check demotes its
+    ///   shard to [`ShardHealth::Suspect`] and retries on the next
+    ///   healthy shard under the plan's [`RetryPolicy`]; with no healthy
+    ///   shard left, attempts fall back to plain round-robin so traffic
+    ///   keeps flowing degraded rather than stalling.
+    /// - The scrubber probes every non-healthy shard with seeded test
+    ///   permutations on a private fabric. A dirty probe confirms the
+    ///   fault ([`bnb_obs::RepairEvent`] with `restored: false`); a
+    ///   clean-probe streak returns the shard to service
+    ///   ([`bnb_obs::RepairEvent`] with `restored: true`). Every probe
+    ///   emits a [`bnb_obs::ScrubEvent`].
+    ///
+    /// Batches that exhaust the retry budget drain as
+    /// [`EngineError::Quarantined`], exactly like [`Engine::run_faulted`];
+    /// delivered frames are always correct — the balance check makes
+    /// misdelivery detectable, so a fault either surfaces as an error or
+    /// the frame routed cleanly (Theorem 3).
+    pub fn run_scrubbed<R>(
+        &self,
+        plan: &LiveFaultPlan,
+        f: impl FnOnce(&EngineHandle<'_, O>) -> R,
+    ) -> R {
+        let workers = self.config.workers.max(1);
+        let hub = Hub::new(self.config.queue_capacity);
+        let counters: Vec<WorkerCounters> =
+            (0..workers).map(|_| WorkerCounters::default()).collect();
+        let started = Instant::now();
+        let network = self.network;
+        let observer = &self.observer;
+        let stop = AtomicBool::new(false);
+        thread::scope(|s| {
+            let hub_ref = &hub;
+            let stop_ref = &stop;
+            for (worker, slot) in counters.iter().enumerate() {
+                s.spawn(move || {
+                    worker_loop_scrubbed(hub_ref, network, slot, observer, plan, worker)
+                });
+            }
+            s.spawn(move || scrubber_loop(stop_ref, network, plan, observer));
+            let handle = EngineHandle {
+                hub: &hub,
+                counters: &counters,
+                workers,
+                depth: 0,
+                started,
+                observer,
+            };
+            // Drop order is reverse of declaration: the hub closes first
+            // (workers drain and exit), then the scrubber is stopped —
+            // both fire even if `f` panics, so the scope always joins.
+            let _stop_scrubber = StopGuard(&stop);
+            let _guard = CloseGuard(&hub);
+            f(&handle)
+        })
+    }
+}
+
+/// Sets the scrubber's stop flag on drop (see [`Engine::run_scrubbed`]).
+struct StopGuard<'a>(&'a AtomicBool);
+
+impl Drop for StopGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Release);
     }
 }
 
@@ -640,6 +716,177 @@ fn worker_loop_faulted<O: Observer>(
     }
 }
 
+fn worker_loop_scrubbed<O: Observer>(
+    hub: &Hub,
+    net: BnbNetwork,
+    counters: &WorkerCounters,
+    observer: &O,
+    plan: &LiveFaultPlan,
+    worker: usize,
+) {
+    let mut ctx = WorkerCtx {
+        scratch: StageScratch::with_capacity(net.inputs()),
+        seen: Vec::new(),
+        latch: Arc::new(JobLatch::new(0)),
+        outcome: BatchOutcome::new(),
+    };
+    let mut attempt_buf: Vec<Record> = Vec::with_capacity(net.inputs());
+    while let Some(work) = hub.next_work() {
+        let t0 = Instant::now();
+        match work {
+            Work::Task(task) => {
+                counters.tasks_stolen.fetch_add(1, Ordering::Relaxed);
+                run_task(hub, task, &mut ctx, observer);
+            }
+            Work::Job(job) => {
+                counters.jobs_owned.fetch_add(1, Ordering::Relaxed);
+                match job.payload {
+                    JobPayload::Frame(lines) => process_frame_scrubbed(
+                        hub,
+                        job.seq,
+                        job.submitted_at,
+                        lines,
+                        net,
+                        &mut ctx,
+                        &mut attempt_buf,
+                        observer,
+                        plan,
+                        worker,
+                    ),
+                    JobPayload::Batch(batch) => {
+                        for f in 0..batch.frames() {
+                            let mut lines = Vec::with_capacity(batch.width());
+                            batch.read_frame_into(f, &mut lines);
+                            process_frame_scrubbed(
+                                hub,
+                                job.seq + f as u64,
+                                job.submitted_at,
+                                lines,
+                                net,
+                                &mut ctx,
+                                &mut attempt_buf,
+                                observer,
+                                plan,
+                                worker,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        counters
+            .busy_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// The live-repair variant of [`process_frame_faulted`]: each attempt
+/// asks the plan for a *healthy* shard (round-robin fallback when none
+/// is), routes through a point-in-time snapshot of that shard's live
+/// fault map, and demotes the shard to suspect on a detected hardware
+/// fault so the scrubber picks it up. Delivery semantics are unchanged:
+/// success, terminal traffic error, or quarantine after the retry
+/// budget.
+#[allow(clippy::too_many_arguments)]
+fn process_frame_scrubbed<O: Observer>(
+    hub: &Hub,
+    seq: u64,
+    submitted_at: Instant,
+    mut lines: Vec<Record>,
+    net: BnbNetwork,
+    ctx: &mut WorkerCtx,
+    attempt_buf: &mut Vec<Record>,
+    observer: &O,
+    plan: &LiveFaultPlan,
+    worker: usize,
+) {
+    let observing = observer.enabled();
+    let records = lines.len();
+    if let Err(e) = validate_lines(&net, &lines, &mut ctx.seen) {
+        finish_observed(
+            hub,
+            seq,
+            submitted_at,
+            Err(EngineError::batch(seq, e)),
+            0,
+            observing,
+            observer,
+        );
+        return;
+    }
+    let attempts = plan.retry().max_attempts.max(1);
+    let mut last_fault = None;
+    for attempt in 0..attempts {
+        let shard = plan.pick_shard(worker, attempt);
+        if attempt > 0 {
+            let backoff = plan
+                .retry()
+                .backoff
+                .saturating_mul(1u32 << (attempt - 1).min(16) as u32);
+            if !backoff.is_zero() {
+                thread::sleep(backoff);
+            }
+            if observing {
+                observer.batch_retried(RetryEvent {
+                    seq,
+                    attempt,
+                    shard,
+                });
+            }
+        }
+        attempt_buf.clear();
+        attempt_buf.extend_from_slice(&lines);
+        let faults = plan.faults_snapshot(shard);
+        match RouteSpan::new().observer(observer).faults(&faults).run(
+            &net,
+            attempt_buf,
+            0,
+            0..net.m(),
+            &mut ctx.scratch,
+        ) {
+            Ok(()) => {
+                lines.copy_from_slice(attempt_buf);
+                finish_observed(
+                    hub,
+                    seq,
+                    submitted_at,
+                    Ok(lines),
+                    records,
+                    observing,
+                    observer,
+                );
+                return;
+            }
+            Err(e @ RouteError::HardwareFault { .. }) => {
+                plan.mark_suspect(shard);
+                last_fault = Some(e);
+            }
+            Err(e) => {
+                finish_observed(
+                    hub,
+                    seq,
+                    submitted_at,
+                    Err(EngineError::batch(seq, e)),
+                    0,
+                    observing,
+                    observer,
+                );
+                return;
+            }
+        }
+    }
+    let source = last_fault.expect("the attempt loop ran and only exits early on success");
+    finish_observed(
+        hub,
+        seq,
+        submitted_at,
+        Err(EngineError::quarantined(seq, attempts, source)),
+        0,
+        observing,
+        observer,
+    );
+}
+
 /// Routes one batch through the faulted fabric: attempt `k` runs on shard
 /// `(worker + k) % plan.shards()`, hardware faults trigger a retry on the
 /// next shard after exponential backoff, and an exhausted budget
@@ -859,6 +1106,9 @@ fn process_job_batch<O: Observer>(
         RouteSpan::new()
     };
     route_batch(&net, &mut batch, &opts, &mut ctx.scratch, &mut ctx.outcome);
+    // `inputs` exists only under debug_assertions, so the loop cannot be
+    // rewritten over it without forking on cfg.
+    #[allow(clippy::needless_range_loop)]
     for f in 0..frames {
         let fseq = seq + f as u64;
         let result = match &ctx.outcome.results()[f] {
@@ -992,6 +1242,7 @@ fn run_task<O: Observer>(hub: &Hub, task: SliceTask, ctx: &mut WorkerCtx, observ
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::live::ShardHealth;
     use bnb_core::network::RoutePolicy;
     use bnb_obs::Counters;
     use bnb_topology::perm::Permutation;
@@ -1482,6 +1733,112 @@ mod tests {
             RouteError::DuplicateDestination { dest: 1, .. }
         ));
         assert_eq!(counters.snapshot().fault_retries, 0);
+    }
+
+    /// A healthy live plan routes byte-identically to `run`.
+    #[test]
+    fn scrubbed_healthy_plan_matches_run() {
+        let net = BnbNetwork::new(3);
+        let engine = Engine::new(net, EngineConfig::with_workers(2));
+        let p = Permutation::try_from(vec![7, 6, 5, 4, 3, 2, 1, 0]).unwrap();
+        let expected = net.route(&records_for_permutation(&p)).unwrap();
+        let plan = LiveFaultPlan::healthy(2);
+        let routed = engine.run_scrubbed(&plan, |h| {
+            h.submit(records_for_permutation(&p));
+            h.drain().unwrap()
+        });
+        assert_eq!(routed.result.unwrap(), expected);
+    }
+
+    /// The full live-repair loop: traffic hits an injected fault, the
+    /// shard is demoted and remapped around (retry lands on the healthy
+    /// shard — the batch still drains correctly), the scrubber
+    /// quarantines it, and after the fault clears the scrubber restores
+    /// full capacity — all while submit/drain keeps moving.
+    #[test]
+    fn scrubbed_engine_remaps_quarantines_and_restores() {
+        use bnb_obs::Counters;
+        let counters = Counters::new();
+        let net = BnbNetwork::new(3);
+        let map = stuck_map();
+        let (bad, _) = fault_sensitive_perms(net, &map, 47);
+        let expected = net.route(&bad).unwrap();
+        let engine = Engine::with_observer(net, EngineConfig::with_workers(1), &counters);
+        let plan = LiveFaultPlan::healthy(2)
+            .with_probe_seed(3)
+            .with_restore_after(2)
+            .with_scrub_interval(Duration::ZERO)
+            .with_retry(RetryPolicy {
+                max_attempts: 4,
+                backoff: Duration::ZERO,
+            });
+        plan.set_faults(0, map);
+        engine.run_scrubbed(&plan, |h| {
+            let deadline = Instant::now() + Duration::from_secs(20);
+            // Phase 1: traffic over the faulted shard 0. The fault-
+            // sensitive frame must still drain correctly (remapped onto
+            // shard 1) and shard 0 must leave service.
+            while plan.health(0) == ShardHealth::Healthy {
+                assert!(Instant::now() < deadline, "shard 0 never left service");
+                h.submit(bad.clone());
+                let routed = h.drain().unwrap();
+                assert_eq!(
+                    routed.result.as_ref().unwrap(),
+                    &expected,
+                    "no silent misdelivery through the faulted shard"
+                );
+            }
+            while plan.health(0) != ShardHealth::Quarantined {
+                assert!(Instant::now() < deadline, "scrubber never confirmed");
+                // Keep traffic flowing while the scrubber works; a probe
+                // round the fault doesn't excite may restore early —
+                // traffic re-demotes it.
+                h.submit(bad.clone());
+                assert!(h.drain().unwrap().result.is_ok());
+            }
+            assert!(plan.is_degraded());
+            // Phase 2: the transient clears; capacity must come back
+            // while traffic continues.
+            plan.clear(0);
+            while plan.health(0) != ShardHealth::Healthy {
+                assert!(Instant::now() < deadline, "capacity never restored");
+                h.submit(bad.clone());
+                assert!(h.drain().unwrap().result.is_ok());
+            }
+            assert_eq!(plan.healthy_shards(), 2, "full capacity restored");
+        });
+        let snap = counters.snapshot();
+        assert!(snap.hardware_faults >= 1, "traffic detected the fault");
+        assert!(snap.fault_retries >= 1, "the remap retried");
+        assert!(snap.scrub_probes >= 1);
+        assert!(snap.shards_quarantined >= 1);
+        assert!(snap.shards_restored >= 1);
+        assert_eq!(snap.batch_errors, 0, "every batch ultimately delivered");
+    }
+
+    /// With every shard faulted identically, a scrubbed run quarantines
+    /// the batch exactly like `run_faulted` — the fallback keeps trying
+    /// but the budget is finite.
+    #[test]
+    fn scrubbed_uniform_faults_still_quarantine_batches() {
+        let net = BnbNetwork::new(3);
+        let map = stuck_map();
+        let (bad, _) = fault_sensitive_perms(net, &map, 48);
+        let engine = Engine::new(net, EngineConfig::with_workers(1));
+        let plan = LiveFaultPlan::healthy(2)
+            .with_scrub_interval(Duration::ZERO)
+            .with_retry(RetryPolicy {
+                max_attempts: 3,
+                backoff: Duration::ZERO,
+            });
+        plan.set_faults(0, map.clone());
+        plan.set_faults(1, map);
+        let routed = engine.run_scrubbed(&plan, |h| {
+            h.submit(bad.clone());
+            h.drain().unwrap()
+        });
+        let err = routed.result.unwrap_err();
+        assert!(matches!(err, EngineError::Quarantined { attempts: 3, .. }));
     }
 
     #[test]

@@ -31,6 +31,12 @@
 //!   shard with exponential backoff ([`RetryPolicy`]), and exhausted
 //!   retries drain as [`EngineError::Quarantined`] with the fault site in
 //!   the `source()` chain.
+//! - [`Engine::run_scrubbed`] adds *live* repair on top: a
+//!   [`LiveFaultPlan`]'s fault maps may change while the engine routes,
+//!   workers steer traffic onto healthy fabric shards
+//!   ([`ShardHealth`]), and a background scrubber thread probes suspect
+//!   shards between drains — quarantining confirmed faults and restoring
+//!   capacity when transients clear — without pausing submit/drain.
 //!
 //! See [`bnb_core::stages`] for the slice-independence argument and
 //! `DESIGN.md` for how this mirrors the paper's arbiter locality.
@@ -38,6 +44,7 @@
 pub mod engine;
 pub mod error;
 mod hub;
+pub mod live;
 pub mod stats;
 
 pub use engine::{
@@ -45,4 +52,5 @@ pub use engine::{
     SubmitError,
 };
 pub use error::EngineError;
+pub use live::{LiveFaultPlan, ShardHealth};
 pub use stats::{EngineStats, LatencyHistogram, LatencySummary, WorkerMetrics, HISTOGRAM_BUCKETS};

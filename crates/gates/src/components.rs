@@ -24,9 +24,10 @@ use std::fmt;
 
 use bnb_topology::bitops::unshuffle;
 use bnb_topology::record::Record;
+use serde::{Deserialize, Serialize};
 
 use crate::error::GateError;
-use crate::netlist::{Net, Netlist};
+use crate::netlist::{GateKind, Net, Netlist};
 
 /// The three outputs of one arbiter function node (paper Fig. 5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -215,6 +216,83 @@ pub fn bit_sorter(nl: &mut Netlist, inputs: &[Net]) -> Vec<Net> {
     lines
 }
 
+/// The ways a switching element can be broken, at the gate level.
+///
+/// Deliberately the same vocabulary (and the same element addressing) as
+/// `bnb_core::fault::FaultKind`: the differential tests prove a fault
+/// injected here and the same fault expressed behaviourally produce the
+/// identical detection error or the identical routed frame. This crate
+/// stays independent of `bnb-core`, so the vocabulary is duplicated rather
+/// than imported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum GateFaultKind {
+    /// 2×2 switch stuck-at-0: its control gate is jammed to constant 0.
+    StuckStraight,
+    /// 2×2 switch stuck-at-1: its control gate is jammed to constant 1.
+    StuckExchange,
+    /// Splitter arbiter tree dead: every switch in the box degrades to the
+    /// greedy control `s(2t)` (its control gate is rewired to the upper
+    /// input's tap).
+    DeadArbiter,
+    /// Address-tap link broken: the column's control-plane tap for one
+    /// line is jammed to constant 0; the data path is untouched.
+    BrokenLink,
+}
+
+impl GateFaultKind {
+    /// Number of valid [`GateFault::element`] indices for this kind in one
+    /// column of an `N = 2^m` network: switches and links span the whole
+    /// column (`N/2` and `N`), arbiters are one per splitter box.
+    pub fn elements(self, m: usize, main_stage: usize, internal_stage: usize) -> usize {
+        let n = 1usize << m;
+        let box_size = 1usize << (m - main_stage - internal_stage);
+        match self {
+            GateFaultKind::StuckStraight | GateFaultKind::StuckExchange => n / 2,
+            GateFaultKind::DeadArbiter => n / box_size,
+            GateFaultKind::BrokenLink => n,
+        }
+    }
+}
+
+/// One gate-level fault: a kind at a column and element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GateFault {
+    /// Main-network stage (`0..m`).
+    pub main_stage: usize,
+    /// Column within the stage's nested networks (`0..m - main_stage`).
+    pub internal_stage: usize,
+    /// Global element index within the column: switch index, splitter-box
+    /// index, or line index depending on the kind.
+    pub element: usize,
+    /// How the element is broken.
+    pub kind: GateFaultKind,
+}
+
+impl GateFault {
+    /// A fault at the given column and element.
+    pub fn new(
+        main_stage: usize,
+        internal_stage: usize,
+        element: usize,
+        kind: GateFaultKind,
+    ) -> Self {
+        GateFault {
+            main_stage,
+            internal_stage,
+            element,
+            kind,
+        }
+    }
+
+    /// Whether the site addresses a real element of an `N = 2^m` network.
+    pub fn in_bounds(&self, m: usize) -> bool {
+        self.main_stage < m
+            && self.internal_stage < m - self.main_stage
+            && self.element < self.kind.elements(m, self.main_stage, self.internal_stage)
+    }
+}
+
 /// Error from routing records through a [`BnbNetlist`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -243,6 +321,49 @@ pub enum BnbNetlistError {
     /// Internal evaluation error (should not occur for a well-formed
     /// netlist).
     Gate(GateError),
+    /// A checked route found a splitter whose *input* bits violate the
+    /// Definition 3 precondition (sp(1): exactly one 1; wider: an even
+    /// number of 1s). Mirrors `bnb_core::RouteError::UnbalancedSplitter`
+    /// field for field.
+    Unbalanced {
+        /// Main-network stage of the offending column.
+        main_stage: usize,
+        /// Internal stage within the nested networks.
+        internal_stage: usize,
+        /// Global index of the splitter box's first line.
+        first_line: usize,
+        /// Box width (number of lines).
+        width: usize,
+        /// Ones observed among the input bits.
+        ones: usize,
+    },
+    /// A checked route caught an injected fault: a splitter in a faulted
+    /// column produced an uneven split (Theorem 3 says a healthy one
+    /// cannot). Mirrors `bnb_core::RouteError::HardwareFault` field for
+    /// field.
+    HardwareFault {
+        /// Main-network stage of the offending column.
+        main_stage: usize,
+        /// Internal stage within the nested networks.
+        internal_stage: usize,
+        /// Global index of the splitter box's first line.
+        first_line: usize,
+        /// Box width (number of lines).
+        width: usize,
+        /// Ones that left on even (upper) outputs.
+        even_ones: usize,
+        /// Ones that left on odd (lower) outputs.
+        odd_ones: usize,
+    },
+    /// Fault injection or checked routing requested on a netlist built
+    /// without the editable control-plane taps — use
+    /// [`bnb_network_faultable`].
+    NotFaultable,
+    /// An injected fault addresses no real element of this network.
+    FaultOutOfBounds {
+        /// The rejected fault.
+        fault: GateFault,
+    },
 }
 
 impl fmt::Display for BnbNetlistError {
@@ -258,6 +379,40 @@ impl fmt::Display for BnbNetlistError {
                 write!(f, "data {data:#x} does not fit in {w} bits")
             }
             BnbNetlistError::Gate(e) => write!(f, "netlist evaluation failed: {e}"),
+            BnbNetlistError::Unbalanced {
+                main_stage,
+                internal_stage,
+                first_line,
+                width,
+                ones,
+            } => write!(
+                f,
+                "unbalanced splitter input at main stage {main_stage}, internal stage \
+                 {internal_stage}, lines {first_line}..{} ({ones} ones over {width} lines)",
+                first_line + width
+            ),
+            BnbNetlistError::HardwareFault {
+                main_stage,
+                internal_stage,
+                first_line,
+                width,
+                even_ones,
+                odd_ones,
+            } => write!(
+                f,
+                "hardware fault detected at main stage {main_stage}, internal stage \
+                 {internal_stage}, lines {first_line}..{} (split {even_ones} even / \
+                 {odd_ones} odd)",
+                first_line + width
+            ),
+            BnbNetlistError::NotFaultable => {
+                write!(f, "netlist was built without editable fault taps")
+            }
+            BnbNetlistError::FaultOutOfBounds { fault } => write!(
+                f,
+                "fault {:?} at ({}, {}, {}) addresses no element of this network",
+                fault.kind, fault.main_stage, fault.internal_stage, fault.element
+            ),
         }
     }
 }
@@ -295,11 +450,37 @@ impl From<GateError> for BnbNetlistError {
 /// assert_eq!(out[3], Record::new(3, 0xC));
 /// # Ok::<(), bnb_gates::components::BnbNetlistError>(())
 /// ```
+/// Geometry and editing handles of one switching column of a faultable
+/// netlist, recorded at build time. Boxes are contiguous ascending spans,
+/// so box `b` covers `inputs[b * box_size..(b + 1) * box_size]` (and the
+/// matching slices of `taps`, `outputs`, and `controls`).
+#[derive(Debug, Clone)]
+struct ColumnMeta {
+    main_stage: usize,
+    internal_stage: usize,
+    box_size: usize,
+    /// True address-slice bit entering the column, per line.
+    inputs: Vec<Net>,
+    /// Control-plane tap of that bit (an editable identity gate), per line.
+    taps: Vec<Net>,
+    /// The `s ⊕ f` control gate, per 2×2 switch.
+    controls: Vec<Net>,
+    /// Post-switch (pre-wiring) address-slice bit, per line.
+    outputs: Vec<Net>,
+}
+
 #[derive(Debug, Clone)]
 pub struct BnbNetlist {
     netlist: Netlist,
     m: usize,
     w: usize,
+    /// One entry per switching column in route order; empty unless built
+    /// with [`bnb_network_faultable`].
+    columns: Vec<ColumnMeta>,
+    /// Currently injected faults, in injection order.
+    active: Vec<GateFault>,
+    /// Healthy gates displaced by the active faults, for restoration.
+    pristine: Vec<(Net, GateKind)>,
 }
 
 impl BnbNetlist {
@@ -331,6 +512,14 @@ impl BnbNetlist {
     /// width is wrong. Note the circuit itself never errors: feeding it a
     /// non-permutation simply mis-routes, exactly like the hardware would.
     pub fn route(&self, records: &[Record]) -> Result<Vec<Record>, BnbNetlistError> {
+        let bits = self.encode(records)?;
+        let out_bits = self.netlist.eval(&bits)?;
+        Ok(self.decode(&out_bits))
+    }
+
+    /// Validates records and flattens them into the netlist's input layout:
+    /// address bits MSB-first (paper slice order), then data LSB-first.
+    fn encode(&self, records: &[Record]) -> Result<Vec<bool>, BnbNetlistError> {
         let n = self.inputs();
         if records.len() != n {
             return Err(BnbNetlistError::RecordCount {
@@ -349,7 +538,6 @@ impl BnbNetlist {
                     w: self.w,
                 });
             }
-            // Address bits MSB-first (paper slice order), then data LSB-first.
             #[allow(clippy::needless_range_loop)] // k is the MSB-first bit position
             for k in 0..self.m {
                 bits.push((r.dest() >> (self.m - 1 - k)) & 1 == 1);
@@ -358,7 +546,12 @@ impl BnbNetlist {
                 bits.push((r.data() >> t) & 1 == 1);
             }
         }
-        let out_bits = self.netlist.eval(&bits)?;
+        Ok(bits)
+    }
+
+    /// Reassembles records from the declared output bits.
+    fn decode(&self, out_bits: &[bool]) -> Vec<Record> {
+        let n = self.inputs();
         let q = self.m + self.w;
         let mut out = Vec::with_capacity(n);
         for j in 0..n {
@@ -376,7 +569,197 @@ impl BnbNetlist {
             }
             out.push(Record::new(dest, data));
         }
-        Ok(out)
+        out
+    }
+
+    /// Whether this netlist was built with editable control-plane taps
+    /// ([`bnb_network_faultable`]), i.e. supports fault injection and
+    /// [`BnbNetlist::route_checked`].
+    pub fn faultable(&self) -> bool {
+        !self.columns.is_empty()
+    }
+
+    /// The currently injected faults, in injection order.
+    pub fn active_faults(&self) -> &[GateFault] {
+        &self.active
+    }
+
+    /// Injects a gate-level fault by editing the netlist in place.
+    ///
+    /// The edit mirrors the behavioural fault model exactly: stuck
+    /// switches jam their control gate to a constant, a dead arbiter
+    /// rewires every control in its box to the greedy `s(2t)` tap, and a
+    /// broken link jams the column's tap for that line to 0. All active
+    /// faults are re-applied from the pristine gates on every change, so
+    /// precedence (stuck overrides the greedy fallback) is independent of
+    /// injection order, matching `FaultMap::override_flags`.
+    ///
+    /// # Errors
+    ///
+    /// [`BnbNetlistError::NotFaultable`] on a default-built netlist,
+    /// [`BnbNetlistError::FaultOutOfBounds`] if the site addresses no
+    /// element.
+    pub fn inject_fault(&mut self, fault: GateFault) -> Result<(), BnbNetlistError> {
+        if !self.faultable() {
+            return Err(BnbNetlistError::NotFaultable);
+        }
+        if !fault.in_bounds(self.m) {
+            return Err(BnbNetlistError::FaultOutOfBounds { fault });
+        }
+        self.active.push(fault);
+        self.reapply();
+        Ok(())
+    }
+
+    /// Removes one previously injected fault (the first exact match) and
+    /// restores the displaced gates. Returns whether a fault was removed.
+    pub fn clear_fault(&mut self, fault: GateFault) -> bool {
+        match self.active.iter().position(|&f| f == fault) {
+            Some(i) => {
+                self.active.remove(i);
+                self.reapply();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes every injected fault, restoring the pristine netlist.
+    pub fn clear_faults(&mut self) {
+        self.active.clear();
+        self.reapply();
+    }
+
+    /// Restores all displaced gates, then re-applies the active fault list
+    /// from scratch: dead arbiters first, stuck switches second (so a
+    /// stuck latch overrides the greedy fallback, like the hardware),
+    /// broken links last (they edit tap gates, disjoint from controls).
+    fn reapply(&mut self) {
+        for (net, kind) in std::mem::take(&mut self.pristine) {
+            self.netlist
+                .replace_gate(net, kind)
+                .expect("restoring a recorded gate cannot fail");
+        }
+        let mut edits: Vec<(Net, GateKind)> = Vec::new();
+        for f in &self.active {
+            let col = self
+                .columns
+                .iter()
+                .find(|c| c.main_stage == f.main_stage && c.internal_stage == f.internal_stage)
+                .expect("in-bounds fault addresses a real column");
+            match f.kind {
+                GateFaultKind::DeadArbiter => {
+                    let bs = col.box_size;
+                    let first_switch = f.element * bs / 2;
+                    for t in 0..bs / 2 {
+                        let tap = col.taps[f.element * bs + 2 * t];
+                        edits.push((col.controls[first_switch + t], GateKind::Or(tap, tap)));
+                    }
+                }
+                GateFaultKind::StuckStraight => {
+                    edits.push((col.controls[f.element], GateKind::Const(false)));
+                }
+                GateFaultKind::StuckExchange => {
+                    edits.push((col.controls[f.element], GateKind::Const(true)));
+                }
+                GateFaultKind::BrokenLink => {
+                    edits.push((col.taps[f.element], GateKind::Const(false)));
+                }
+            }
+        }
+        // Stuck-switch edits must land after dead-arbiter edits; the pass
+        // above already emits per-fault edits in active order, so sort the
+        // precedence explicitly: replay dead-arbiter/link edits first, then
+        // stuck constants.
+        edits.sort_by_key(|(_, kind)| matches!(kind, GateKind::Const(_)));
+        for (net, kind) in edits {
+            let old = self
+                .netlist
+                .replace_gate(net, kind)
+                .expect("fault edits stay in bounds");
+            if !self.pristine.iter().any(|&(n, _)| n == net) {
+                self.pristine.push((net, old));
+            }
+        }
+        debug_assert!(self.netlist.verify().is_ok());
+    }
+
+    /// Routes with the strict detect-or-deliver semantics of the
+    /// behavioural fabric: every splitter's input bits are checked against
+    /// the Definition 3 precondition, and in faulted columns the *output*
+    /// split is audited (Theorem 3: a healthy splitter on a checked input
+    /// always splits evenly, so an uneven split pins the corruption).
+    /// Columns are scanned in route order and boxes ascending, first
+    /// violation wins — the identical scan order as
+    /// `bnb_core::stages::route_span_scalar_inner`, so the returned error
+    /// matches the behavioural `RouteError` field for field.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors as [`BnbNetlist::route`], plus
+    /// [`BnbNetlistError::Unbalanced`], [`BnbNetlistError::HardwareFault`],
+    /// and [`BnbNetlistError::NotFaultable`] on a default-built netlist.
+    pub fn route_checked(&self, records: &[Record]) -> Result<Vec<Record>, BnbNetlistError> {
+        if !self.faultable() {
+            return Err(BnbNetlistError::NotFaultable);
+        }
+        let bits = self.encode(records)?;
+        let (values, out_bits) = self.netlist.eval_all(&bits)?;
+        let n = self.inputs();
+        for col in &self.columns {
+            let faulted = self
+                .active
+                .iter()
+                .any(|f| f.main_stage == col.main_stage && f.internal_stage == col.internal_stage);
+            for start in (0..n).step_by(col.box_size) {
+                let box_in = &col.inputs[start..start + col.box_size];
+                let ones = box_in.iter().filter(|b| values[b.index()]).count();
+                let balanced_in = if col.box_size == 2 {
+                    ones == 1
+                } else {
+                    ones % 2 == 0
+                };
+                if !balanced_in {
+                    return Err(BnbNetlistError::Unbalanced {
+                        main_stage: col.main_stage,
+                        internal_stage: col.internal_stage,
+                        first_line: start,
+                        width: col.box_size,
+                        ones,
+                    });
+                }
+                if faulted {
+                    let box_out = &col.outputs[start..start + col.box_size];
+                    let even_ones = box_out
+                        .iter()
+                        .step_by(2)
+                        .filter(|b| values[b.index()])
+                        .count();
+                    let odd_ones = box_out
+                        .iter()
+                        .skip(1)
+                        .step_by(2)
+                        .filter(|b| values[b.index()])
+                        .count();
+                    let balanced_out = if col.box_size == 2 {
+                        even_ones == 0 && odd_ones == 1
+                    } else {
+                        even_ones == odd_ones
+                    };
+                    if !balanced_out {
+                        return Err(BnbNetlistError::HardwareFault {
+                            main_stage: col.main_stage,
+                            internal_stage: col.internal_stage,
+                            first_line: start,
+                            width: col.box_size,
+                            even_ones,
+                            odd_ones,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(self.decode(&out_bits))
     }
 }
 
@@ -392,11 +775,32 @@ impl BnbNetlist {
 ///
 /// Panics if `m == 0` or `w > 63`.
 pub fn bnb_network(m: usize, w: usize) -> BnbNetlist {
+    build_bnb_network(m, w, false)
+}
+
+/// Like [`bnb_network`], but every column's control plane reads its
+/// address bits through per-line identity *tap* gates and the builder
+/// records every column's geometry and editing handles. The pristine
+/// circuit computes exactly what [`bnb_network`] computes (a tap is the
+/// identity), at the cost of `N` extra OR gates per column — and those
+/// taps plus the recorded control nets are precisely the elements
+/// [`BnbNetlist::inject_fault`] edits and [`BnbNetlist::route_checked`]
+/// audits.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `w > 63`.
+pub fn bnb_network_faultable(m: usize, w: usize) -> BnbNetlist {
+    build_bnb_network(m, w, true)
+}
+
+fn build_bnb_network(m: usize, w: usize, faultable: bool) -> BnbNetlist {
     assert!(m >= 1, "network needs at least 2 inputs");
     assert!(w <= 63, "data width is limited to 63 bits");
     let n = 1usize << m;
     let q = m + w;
     let mut nl = Netlist::new();
+    let mut columns: Vec<ColumnMeta> = Vec::new();
     // lines[j] = the q nets of the word currently on line j.
     let mut lines: Vec<Vec<Net>> = (0..n)
         .map(|j| {
@@ -419,13 +823,43 @@ pub fn bnb_network(m: usize, w: usize) -> BnbNetlist {
         for internal in 0..nested_size_log {
             let box_size = 1usize << (nested_size_log - internal);
             let mut next: Vec<Vec<Net>> = Vec::with_capacity(n);
+            let mut meta = ColumnMeta {
+                main_stage,
+                internal_stage: internal,
+                box_size,
+                inputs: Vec::new(),
+                taps: Vec::new(),
+                controls: Vec::new(),
+                outputs: Vec::new(),
+            };
             for box_start in (0..n).step_by(box_size) {
                 let span = &lines[box_start..box_start + box_size];
                 // The BSN slice for this main stage is address bit
                 // `main_stage` (paper: slice i of NB(i, l)).
                 let slice_bits: Vec<Net> = span.iter().map(|word| word[main_stage]).collect();
-                let controls = splitter_controls(&mut nl, &slice_bits);
-                next.extend(switch_bank(&mut nl, &controls, span));
+                let controls = if faultable {
+                    // The control plane reads the address bits through
+                    // editable identity taps; the data path keeps the true
+                    // nets, mirroring the behavioural model where a broken
+                    // link corrupts only the control plane's *view*.
+                    let taps: Vec<Net> = slice_bits.iter().map(|&b| nl.or(b, b)).collect();
+                    let controls = splitter_controls(&mut nl, &taps);
+                    meta.inputs.extend_from_slice(&slice_bits);
+                    meta.taps.extend_from_slice(&taps);
+                    meta.controls.extend_from_slice(&controls);
+                    controls
+                } else {
+                    splitter_controls(&mut nl, &slice_bits)
+                };
+                let routed = switch_bank(&mut nl, &controls, span);
+                if faultable {
+                    meta.outputs
+                        .extend(routed.iter().map(|word| word[main_stage]));
+                }
+                next.extend(routed);
+            }
+            if faultable {
+                columns.push(meta);
             }
             if internal + 1 < nested_size_log {
                 // Internal GBN wiring within each nested network:
@@ -461,7 +895,14 @@ pub fn bnb_network(m: usize, w: usize) -> BnbNetlist {
             }
         }
     }
-    BnbNetlist { netlist: nl, m, w }
+    BnbNetlist {
+        netlist: nl,
+        m,
+        w,
+        columns,
+        active: Vec::new(),
+        pristine: Vec::new(),
+    }
 }
 
 #[cfg(test)]
@@ -663,5 +1104,141 @@ mod tests {
         let small = bnb_network(2, 0).netlist().census().logic_gates();
         let large = bnb_network(3, 0).netlist().census().logic_gates();
         assert!(large > 2 * small, "gate count must grow superlinearly");
+    }
+
+    #[test]
+    fn faultable_network_is_equivalent_when_pristine() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        for (m, w) in [(2usize, 3usize), (3, 4)] {
+            let plain = bnb_network(m, w);
+            let editable = bnb_network_faultable(m, w);
+            assert!(editable.faultable());
+            assert!(!plain.faultable());
+            editable.netlist().verify().unwrap();
+            let mut rng = StdRng::seed_from_u64(40);
+            for _ in 0..20 {
+                let p = Permutation::random(1 << m, &mut rng);
+                let recs = records_for_permutation(&p);
+                let expected = plain.route(&recs).unwrap();
+                assert_eq!(editable.route(&recs).unwrap(), expected);
+                assert_eq!(editable.route_checked(&recs).unwrap(), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn faultable_columns_cover_the_whole_network() {
+        let net = bnb_network_faultable(3, 0);
+        let n = net.inputs();
+        // m + (m-1) + ... + 1 columns for m = 3.
+        assert_eq!(net.columns.len(), 6);
+        for col in &net.columns {
+            assert_eq!(col.inputs.len(), n);
+            assert_eq!(col.taps.len(), n);
+            assert_eq!(col.outputs.len(), n);
+            assert_eq!(col.controls.len(), n / 2);
+        }
+    }
+
+    #[test]
+    fn stuck_exchange_is_detected_or_harmless() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut net = bnb_network_faultable(2, 2);
+        net.inject_fault(GateFault::new(1, 0, 0, GateFaultKind::StuckExchange))
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut caught = 0;
+        for _ in 0..40 {
+            let p = Permutation::random(4, &mut rng);
+            let recs = records_for_permutation(&p);
+            match net.route_checked(&recs) {
+                Ok(out) => assert!(all_delivered(&out), "silent misdelivery"),
+                Err(BnbNetlistError::HardwareFault {
+                    main_stage,
+                    internal_stage,
+                    ..
+                }) => {
+                    assert_eq!((main_stage, internal_stage), (1, 0));
+                    caught += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(caught > 0, "fault never fired across 40 permutations");
+    }
+
+    #[test]
+    fn clearing_faults_restores_the_pristine_circuit() {
+        let pristine = bnb_network_faultable(3, 3);
+        let mut net = pristine.clone();
+        net.inject_fault(GateFault::new(0, 0, 1, GateFaultKind::StuckStraight))
+            .unwrap();
+        net.inject_fault(GateFault::new(0, 1, 0, GateFaultKind::DeadArbiter))
+            .unwrap();
+        net.inject_fault(GateFault::new(1, 0, 3, GateFaultKind::BrokenLink))
+            .unwrap();
+        assert_eq!(net.active_faults().len(), 3);
+        assert!(net.clear_fault(GateFault::new(0, 1, 0, GateFaultKind::DeadArbiter)));
+        assert!(!net.clear_fault(GateFault::new(0, 1, 0, GateFaultKind::DeadArbiter)));
+        net.clear_faults();
+        // Every displaced gate is restored: the netlists agree gate for gate.
+        for nn in pristine.netlist().nets() {
+            assert_eq!(net.netlist().gate(nn), pristine.netlist().gate(nn));
+        }
+        let p = Permutation::nth_lexicographic(8, 999);
+        let recs = records_for_permutation(&p);
+        assert_eq!(
+            net.route_checked(&recs).unwrap(),
+            pristine.route(&recs).unwrap()
+        );
+    }
+
+    #[test]
+    fn fault_injection_validates_its_target() {
+        let mut plain = bnb_network(2, 0);
+        assert!(matches!(
+            plain.inject_fault(GateFault::new(0, 0, 0, GateFaultKind::BrokenLink)),
+            Err(BnbNetlistError::NotFaultable)
+        ));
+        assert!(matches!(
+            plain.route_checked(&[]),
+            Err(BnbNetlistError::NotFaultable)
+        ));
+        let mut net = bnb_network_faultable(2, 0);
+        assert!(matches!(
+            net.inject_fault(GateFault::new(5, 0, 0, GateFaultKind::StuckStraight)),
+            Err(BnbNetlistError::FaultOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            net.inject_fault(GateFault::new(0, 0, 4, GateFaultKind::StuckStraight)),
+            Err(BnbNetlistError::FaultOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn editing_changes_combinational_depth_and_back() {
+        use crate::delay::{critical_path, DelayModel};
+        let mut net = bnb_network_faultable(2, 0);
+        let before = critical_path(net.netlist(), &DelayModel::unit())
+            .unwrap()
+            .delay;
+        // Jamming a first-column control to a constant shortens the cone
+        // through that switch; the recomputed depth must not grow.
+        net.inject_fault(GateFault::new(0, 0, 0, GateFaultKind::StuckExchange))
+            .unwrap();
+        let during = critical_path(net.netlist(), &DelayModel::unit())
+            .unwrap()
+            .delay;
+        assert!(
+            during <= before,
+            "a constant control cannot deepen the cone"
+        );
+        net.clear_faults();
+        let after = critical_path(net.netlist(), &DelayModel::unit())
+            .unwrap()
+            .delay;
+        assert_eq!(after, before, "repair restores the original depth");
     }
 }

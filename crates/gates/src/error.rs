@@ -17,6 +17,35 @@ pub enum GateError {
     },
     /// The netlist declares no outputs, so evaluation would be meaningless.
     NoOutputs,
+    /// An edit addressed a net that does not exist.
+    UnknownNet {
+        /// The requested net index.
+        net: usize,
+        /// Nets in the netlist.
+        nets: usize,
+    },
+    /// An edit would make a gate read a net at or after its own position,
+    /// breaking the append-only acyclicity invariant.
+    ForwardReference {
+        /// The gate being edited.
+        net: usize,
+        /// The offending fan-in net.
+        fanin: usize,
+    },
+    /// An edit tried to replace a primary input (or turn a gate into one),
+    /// which would desynchronise the declared input order.
+    ReplacesInput {
+        /// The gate involved.
+        net: usize,
+    },
+    /// Structural verification found the declared inputs out of sync with
+    /// the `Input` gates actually present.
+    InputOrderMismatch {
+        /// Inputs declared via [`crate::netlist::Netlist::input`].
+        declared: usize,
+        /// `Input` gates found in the gate list.
+        found: usize,
+    },
 }
 
 impl fmt::Display for GateError {
@@ -29,6 +58,24 @@ impl fmt::Display for GateError {
                 )
             }
             GateError::NoOutputs => write!(f, "netlist declares no outputs"),
+            GateError::UnknownNet { net, nets } => {
+                write!(f, "net n{net} does not exist (netlist has {nets} nets)")
+            }
+            GateError::ForwardReference { net, fanin } => {
+                write!(
+                    f,
+                    "gate n{net} may not read n{fanin}: fan-ins must precede the gate"
+                )
+            }
+            GateError::ReplacesInput { net } => {
+                write!(f, "n{net}: primary inputs cannot be edited")
+            }
+            GateError::InputOrderMismatch { declared, found } => {
+                write!(
+                    f,
+                    "netlist declares {declared} inputs but contains {found} Input gates"
+                )
+            }
         }
     }
 }
@@ -47,5 +94,20 @@ mod tests {
         };
         assert!(e.to_string().contains("3 inputs"));
         assert!(GateError::NoOutputs.to_string().contains("no outputs"));
+        assert!(GateError::UnknownNet { net: 9, nets: 4 }
+            .to_string()
+            .contains("n9"));
+        assert!(GateError::ForwardReference { net: 2, fanin: 5 }
+            .to_string()
+            .contains("n5"));
+        assert!(GateError::ReplacesInput { net: 0 }
+            .to_string()
+            .contains("primary inputs"));
+        assert!(GateError::InputOrderMismatch {
+            declared: 4,
+            found: 3
+        }
+        .to_string()
+        .contains("4 inputs"));
     }
 }

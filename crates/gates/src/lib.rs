@@ -54,7 +54,10 @@ pub mod netlist;
 pub mod optimize;
 pub mod pipeline;
 
-pub use components::{BnbNetlist, FunctionNodeOutputs, SplitterOutputs};
+pub use components::{
+    bnb_network_faultable, BnbNetlist, BnbNetlistError, FunctionNodeOutputs, GateFault,
+    GateFaultKind, SplitterOutputs,
+};
 pub use delay::{CriticalPath, DelayModel};
 pub use error::GateError;
 pub use netlist::{GateKind, Net, Netlist};

@@ -242,6 +242,100 @@ impl Netlist {
         c
     }
 
+    /// Replaces the gate driving `net` with `kind`, returning the old gate.
+    ///
+    /// This is the netlist's one mutation primitive after construction: it
+    /// rewires an element in place (fault injection, repair, rewiring a
+    /// fan-in) while preserving the append-only acyclicity invariant, so
+    /// evaluation order and delay analysis stay valid without a rebuild.
+    ///
+    /// # Errors
+    ///
+    /// - [`GateError::UnknownNet`] if `net` does not exist.
+    /// - [`GateError::ReplacesInput`] if `net` is a primary input or `kind`
+    ///   is [`GateKind::Input`] (either would desynchronise the declared
+    ///   input order).
+    /// - [`GateError::ForwardReference`] if any fan-in of `kind` sits at or
+    ///   after `net` in construction order.
+    pub fn replace_gate(&mut self, net: Net, kind: GateKind) -> Result<GateKind, GateError> {
+        let idx = net.index();
+        if idx >= self.gates.len() {
+            return Err(GateError::UnknownNet {
+                net: idx,
+                nets: self.gates.len(),
+            });
+        }
+        if matches!(self.gates[idx], GateKind::Input) || matches!(kind, GateKind::Input) {
+            return Err(GateError::ReplacesInput { net: idx });
+        }
+        for fanin in kind.fanin() {
+            if fanin.index() >= idx {
+                return Err(GateError::ForwardReference {
+                    net: idx,
+                    fanin: fanin.index(),
+                });
+            }
+        }
+        Ok(std::mem::replace(&mut self.gates[idx], kind))
+    }
+
+    /// Jams `net` to a constant — the classic stuck-at fault. Returns the
+    /// healthy gate so the caller can undo the injection later.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Netlist::replace_gate`].
+    pub fn stuck_at(&mut self, net: Net, value: bool) -> Result<GateKind, GateError> {
+        self.replace_gate(net, GateKind::Const(value))
+    }
+
+    /// Structurally verifies the netlist: every gate's fan-ins precede it,
+    /// every declared output exists, and the declared inputs are exactly
+    /// the `Input` gates in order. Cheap enough to run after every editing
+    /// session; a freshly built netlist always passes.
+    ///
+    /// # Errors
+    ///
+    /// The first violation found, as [`GateError::ForwardReference`],
+    /// [`GateError::UnknownNet`], or [`GateError::InputOrderMismatch`].
+    pub fn verify(&self) -> Result<(), GateError> {
+        let mut inputs_seen = 0usize;
+        for (i, g) in self.gates.iter().enumerate() {
+            for fanin in g.fanin() {
+                if fanin.index() >= i {
+                    return Err(GateError::ForwardReference {
+                        net: i,
+                        fanin: fanin.index(),
+                    });
+                }
+            }
+            if matches!(g, GateKind::Input) {
+                if self.input_order.get(inputs_seen).map(|n| n.index()) != Some(i) {
+                    return Err(GateError::InputOrderMismatch {
+                        declared: self.input_order.len(),
+                        found: inputs_seen + 1,
+                    });
+                }
+                inputs_seen += 1;
+            }
+        }
+        if inputs_seen != self.input_order.len() {
+            return Err(GateError::InputOrderMismatch {
+                declared: self.input_order.len(),
+                found: inputs_seen,
+            });
+        }
+        for (_, net) in &self.outputs {
+            if net.index() >= self.gates.len() {
+                return Err(GateError::UnknownNet {
+                    net: net.index(),
+                    nets: self.gates.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Evaluates every net in one forward pass and returns the values of the
     /// declared outputs in declaration order.
     ///
@@ -426,6 +520,75 @@ mod tests {
         let m = nl.mux(a, b, a);
         assert_eq!(nl.gate(m).fanin(), vec![a, b, a]);
         assert_eq!(nl.gate(a).fanin(), Vec::<Net>::new());
+    }
+
+    #[test]
+    fn replace_gate_rewires_in_place() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let g = nl.and(a, b);
+        nl.output("g", g);
+        assert_eq!(nl.eval(&[true, false]).unwrap(), vec![false]);
+        let old = nl.replace_gate(g, GateKind::Or(a, b)).unwrap();
+        assert_eq!(old, GateKind::And(a, b));
+        assert_eq!(nl.eval(&[true, false]).unwrap(), vec![true]);
+        nl.verify().unwrap();
+    }
+
+    #[test]
+    fn stuck_at_jams_and_restores() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let x = nl.not(a);
+        nl.output("x", x);
+        let healthy = nl.stuck_at(x, true).unwrap();
+        assert_eq!(nl.eval(&[true]).unwrap(), vec![true], "stuck at 1");
+        nl.replace_gate(x, healthy).unwrap();
+        assert_eq!(nl.eval(&[true]).unwrap(), vec![false], "repaired");
+    }
+
+    #[test]
+    fn replace_gate_rejects_bad_edits() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let g = nl.not(a);
+        let h = nl.not(g);
+        nl.output("h", h);
+        assert_eq!(
+            nl.replace_gate(Net(99), GateKind::Const(true)).unwrap_err(),
+            GateError::UnknownNet { net: 99, nets: 3 }
+        );
+        assert_eq!(
+            nl.replace_gate(a, GateKind::Const(true)).unwrap_err(),
+            GateError::ReplacesInput { net: 0 }
+        );
+        assert_eq!(
+            nl.replace_gate(g, GateKind::Input).unwrap_err(),
+            GateError::ReplacesInput { net: 1 }
+        );
+        // Self-reference and forward references both break acyclicity.
+        assert_eq!(
+            nl.replace_gate(g, GateKind::Not(g)).unwrap_err(),
+            GateError::ForwardReference { net: 1, fanin: 1 }
+        );
+        assert_eq!(
+            nl.replace_gate(g, GateKind::Not(h)).unwrap_err(),
+            GateError::ForwardReference { net: 1, fanin: 2 }
+        );
+        // Rejected edits leave the netlist untouched.
+        assert_eq!(nl.gate(g), GateKind::Not(a));
+        nl.verify().unwrap();
+    }
+
+    #[test]
+    fn verify_passes_on_built_netlists() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let m = nl.mux(a, b, a);
+        nl.output("m", m);
+        nl.verify().unwrap();
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! monitoring.
 
 use crate::event::{
-    AcceptEvent, ColumnEvent, ConflictEvent, DrainEvent, FaultEvent, RetryEvent, RoundEvent,
-    ServeEvent, ShardEvent, SubmitEvent, SweepEvent, ThrottleEvent,
+    AcceptEvent, ColumnEvent, ConflictEvent, DrainEvent, FaultEvent, RepairEvent, RetryEvent,
+    RoundEvent, ScrubEvent, ServeEvent, ShardEvent, SubmitEvent, SweepEvent, ThrottleEvent,
 };
 use crate::histogram::{AtomicHistogram, LatencyHistogram, LatencySummary};
 use crate::observer::Observer;
@@ -57,6 +57,9 @@ struct Shard {
     connections_accepted: AtomicU64,
     frames_served: AtomicU64,
     retries_issued: AtomicU64,
+    scrub_probes: AtomicU64,
+    shards_quarantined: AtomicU64,
+    shards_restored: AtomicU64,
     stage_columns: [AtomicU64; MAX_STAGES],
     stage_exchanges: [AtomicU64; MAX_STAGES],
     stage_sweeps: [AtomicU64; MAX_STAGES],
@@ -85,6 +88,9 @@ impl Shard {
             connections_accepted: AtomicU64::new(0),
             frames_served: AtomicU64::new(0),
             retries_issued: AtomicU64::new(0),
+            scrub_probes: AtomicU64::new(0),
+            shards_quarantined: AtomicU64::new(0),
+            shards_restored: AtomicU64::new(0),
             stage_columns: zeroes(),
             stage_exchanges: zeroes(),
             stage_sweeps: zeroes(),
@@ -112,6 +118,9 @@ impl Shard {
             &self.connections_accepted,
             &self.frames_served,
             &self.retries_issued,
+            &self.scrub_probes,
+            &self.shards_quarantined,
+            &self.shards_restored,
         ];
         for counter in scalars {
             counter.store(0, Ordering::Relaxed);
@@ -240,6 +249,9 @@ impl Counters {
             connections_accepted: self.sum(|s| &s.connections_accepted),
             frames_served: self.sum(|s| &s.frames_served),
             retries_issued: self.sum(|s| &s.retries_issued),
+            scrub_probes: self.sum(|s| &s.scrub_probes),
+            shards_quarantined: self.sum(|s| &s.shards_quarantined),
+            shards_restored: self.sum(|s| &s.shards_restored),
             per_stage,
             latency: LatencySummary::from_histogram(&histogram),
             histogram,
@@ -343,6 +355,21 @@ impl Observer for Counters {
     fn retry_issued(&self, _event: ThrottleEvent) {
         self.shard().retries_issued.fetch_add(1, Ordering::Relaxed);
     }
+
+    #[inline]
+    fn shard_scrubbed(&self, _event: ScrubEvent) {
+        self.shard().scrub_probes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn shard_repaired(&self, event: RepairEvent) {
+        let shard = self.shard();
+        if event.restored {
+            shard.shards_restored.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shard.shards_quarantined.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Per-main-stage counter totals.
@@ -399,6 +426,12 @@ pub struct MetricsSnapshot {
     pub frames_served: u64,
     /// Frames pushed back with an explicit `RETRY` response.
     pub retries_issued: u64,
+    /// Background scrubber probes of suspect/quarantined fabric shards.
+    pub scrub_probes: u64,
+    /// Fabric shards confirmed faulty and quarantined by the scrubber.
+    pub shards_quarantined: u64,
+    /// Quarantined fabric shards restored to service after clearing.
+    pub shards_restored: u64,
     /// Per-main-stage breakdown (trailing all-zero stages trimmed).
     pub per_stage: Vec<StageMetrics>,
     /// Latency quantiles over all recorded spans/batch drains.
@@ -552,6 +585,40 @@ mod tests {
         assert_eq!(snap.frames_served, 1);
         assert_eq!(snap.retries_issued, 3);
         assert_eq!(snap.histogram.count(), 1, "served frames feed latency");
+    }
+
+    #[test]
+    fn scrub_and_repair_events_are_counted() {
+        let c = Counters::new();
+        c.shard_scrubbed(ScrubEvent {
+            shard: 1,
+            clean: false,
+            streak: 0,
+        });
+        c.shard_scrubbed(ScrubEvent {
+            shard: 1,
+            clean: true,
+            streak: 1,
+        });
+        c.shard_scrubbed(ScrubEvent {
+            shard: 1,
+            clean: true,
+            streak: 2,
+        });
+        c.shard_repaired(RepairEvent {
+            shard: 1,
+            restored: false,
+        });
+        c.shard_repaired(RepairEvent {
+            shard: 1,
+            restored: true,
+        });
+        let snap = c.snapshot();
+        assert_eq!(snap.scrub_probes, 3);
+        assert_eq!(snap.shards_quarantined, 1);
+        assert_eq!(snap.shards_restored, 1);
+        c.reset();
+        assert_eq!(c.snapshot(), Counters::new().snapshot());
     }
 
     #[test]

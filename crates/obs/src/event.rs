@@ -199,6 +199,31 @@ pub struct ThrottleEvent {
     pub reason: u8,
 }
 
+/// One background scrubber probe of a fabric shard: a seeded test
+/// permutation routed through the shard's fault map to check whether a
+/// previously detected fault is still present.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScrubEvent {
+    /// Fabric shard probed.
+    pub shard: usize,
+    /// Whether the probe routed cleanly (no fault detected).
+    pub clean: bool,
+    /// Consecutive clean probes on this shard so far (including this one;
+    /// 0 when the probe tripped detection).
+    pub streak: usize,
+}
+
+/// A fabric shard changing repair state: quarantined after the scrubber
+/// confirmed a fault, or restored to service after a transient cleared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepairEvent {
+    /// Fabric shard whose state changed.
+    pub shard: usize,
+    /// `true`: the shard re-entered service (capacity restored).
+    /// `false`: the shard was confirmed dead and quarantined.
+    pub restored: bool,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +244,8 @@ mod tests {
         assert_copy::<AcceptEvent>();
         assert_copy::<ServeEvent>();
         assert_copy::<ThrottleEvent>();
+        assert_copy::<ScrubEvent>();
+        assert_copy::<RepairEvent>();
         assert!(std::mem::size_of::<ColumnEvent>() <= 48);
     }
 
@@ -251,5 +278,18 @@ mod tests {
         };
         let back: HopEvent = serde_json::from_str(&serde_json::to_string(&h).unwrap()).unwrap();
         assert_eq!(back, h);
+        let s = ScrubEvent {
+            shard: 2,
+            clean: true,
+            streak: 3,
+        };
+        let back: ScrubEvent = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+        let r = RepairEvent {
+            shard: 2,
+            restored: false,
+        };
+        let back: RepairEvent = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(back, r);
     }
 }

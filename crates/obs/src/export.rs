@@ -44,6 +44,9 @@ pub fn render_text(snapshot: &MetricsSnapshot) -> String {
     line("connections_accepted", snapshot.connections_accepted);
     line("frames_served", snapshot.frames_served);
     line("retries_issued", snapshot.retries_issued);
+    line("scrub_probes", snapshot.scrub_probes);
+    line("shards_quarantined", snapshot.shards_quarantined);
+    line("shards_restored", snapshot.shards_restored);
     if !snapshot.per_stage.is_empty() {
         // Column widths grow with the data so counters past the headers'
         // widths (10+ digits) stay aligned instead of shearing the table.
@@ -254,6 +257,24 @@ pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
         "Frames pushed back with an explicit RETRY response.",
         snapshot.retries_issued,
     );
+    family(
+        "bnb_scrub_probes_total",
+        "counter",
+        "Background scrubber probes of fabric shards.",
+        snapshot.scrub_probes,
+    );
+    family(
+        "bnb_shards_quarantined_total",
+        "counter",
+        "Fabric shards confirmed faulty and quarantined.",
+        snapshot.shards_quarantined,
+    );
+    family(
+        "bnb_shards_restored_total",
+        "counter",
+        "Quarantined fabric shards restored to service.",
+        snapshot.shards_restored,
+    );
 
     if !snapshot.per_stage.is_empty() {
         let mut stage_family = |name: &str, help: &str, pick: fn(&crate::StageMetrics) -> u64| {
@@ -369,6 +390,9 @@ mod tests {
         assert!(text.contains("connections_accepted   0"));
         assert!(text.contains("frames_served          0"));
         assert!(text.contains("retries_issued         0"));
+        assert!(text.contains("scrub_probes           0"));
+        assert!(text.contains("shards_quarantined     0"));
+        assert!(text.contains("shards_restored        0"));
         assert!(text.contains("stage 0"));
         assert!(text.contains("stage 1"));
         assert!(text.contains("latency_ns"));
@@ -432,6 +456,10 @@ mod tests {
         assert!(text.contains("# TYPE bnb_frames_served_total counter"));
         assert!(text.contains("bnb_connections_accepted_total 0"));
         assert!(text.contains("bnb_retries_issued_total 0"));
+        assert!(text.contains("# TYPE bnb_scrub_probes_total counter"));
+        assert!(text.contains("bnb_scrub_probes_total 0"));
+        assert!(text.contains("bnb_shards_quarantined_total 0"));
+        assert!(text.contains("bnb_shards_restored_total 0"));
         assert!(text.contains("bnb_stage_columns_total{stage=\"0\"} 1"));
         assert!(text.contains("bnb_stage_sweeps_total{stage=\"1\"} 1"));
         assert!(text.contains("# TYPE bnb_batch_latency_ns histogram"));

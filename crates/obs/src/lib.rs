@@ -73,8 +73,9 @@ pub mod timer;
 pub use chrome::render_chrome_trace;
 pub use counters::{Counters, MetricsSnapshot, StageMetrics};
 pub use event::{
-    AcceptEvent, ColumnEvent, ConflictEvent, DrainEvent, FaultEvent, HopEvent, RetryEvent,
-    RoundEvent, ServeEvent, ShardEvent, SubmitEvent, SweepEvent, ThrottleEvent,
+    AcceptEvent, ColumnEvent, ConflictEvent, DrainEvent, FaultEvent, HopEvent, RepairEvent,
+    RetryEvent, RoundEvent, ScrubEvent, ServeEvent, ShardEvent, SubmitEvent, SweepEvent,
+    ThrottleEvent,
 };
 pub use export::{render_json, render_json_pretty, render_prometheus, render_text};
 pub use histogram::{AtomicHistogram, LatencyHistogram, LatencySummary, HISTOGRAM_BUCKETS};

@@ -2,8 +2,9 @@
 //! [`Fanout`] combinator for feeding two sinks at once.
 
 use crate::event::{
-    AcceptEvent, ColumnEvent, ConflictEvent, DrainEvent, FaultEvent, HopEvent, RetryEvent,
-    RoundEvent, ServeEvent, ShardEvent, SubmitEvent, SweepEvent, ThrottleEvent,
+    AcceptEvent, ColumnEvent, ConflictEvent, DrainEvent, FaultEvent, HopEvent, RepairEvent,
+    RetryEvent, RoundEvent, ScrubEvent, ServeEvent, ShardEvent, SubmitEvent, SweepEvent,
+    ThrottleEvent,
 };
 
 /// Sink for routing-layer events.
@@ -142,6 +143,18 @@ pub trait Observer: Send + Sync {
     fn retry_issued(&self, event: ThrottleEvent) {
         let _ = event;
     }
+
+    /// The background scrubber probed a fabric shard.
+    #[inline]
+    fn shard_scrubbed(&self, event: ScrubEvent) {
+        let _ = event;
+    }
+
+    /// A fabric shard was quarantined or restored by the repair loop.
+    #[inline]
+    fn shard_repaired(&self, event: RepairEvent) {
+        let _ = event;
+    }
 }
 
 /// The default observer: observes nothing, costs nothing.
@@ -239,6 +252,16 @@ impl<O: Observer + ?Sized> Observer for &O {
     #[inline]
     fn retry_issued(&self, event: ThrottleEvent) {
         (**self).retry_issued(event);
+    }
+
+    #[inline]
+    fn shard_scrubbed(&self, event: ScrubEvent) {
+        (**self).shard_scrubbed(event);
+    }
+
+    #[inline]
+    fn shard_repaired(&self, event: RepairEvent) {
+        (**self).shard_repaired(event);
     }
 }
 
@@ -372,6 +395,18 @@ impl<A: Observer, B: Observer> Observer for Fanout<A, B> {
     fn retry_issued(&self, event: ThrottleEvent) {
         self.a.retry_issued(event);
         self.b.retry_issued(event);
+    }
+
+    #[inline]
+    fn shard_scrubbed(&self, event: ScrubEvent) {
+        self.a.shard_scrubbed(event);
+        self.b.shard_scrubbed(event);
+    }
+
+    #[inline]
+    fn shard_repaired(&self, event: RepairEvent) {
+        self.a.shard_repaired(event);
+        self.b.shard_repaired(event);
     }
 }
 

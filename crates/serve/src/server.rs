@@ -31,7 +31,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use bnb_core::network::BnbNetwork;
-use bnb_engine::{Engine, EngineConfig, EngineHandle, ShardDepth};
+use bnb_engine::{Engine, EngineConfig, EngineHandle, LiveFaultPlan, ShardDepth};
 use bnb_obs::{render_prometheus, AcceptEvent, Counters, Observer, ServeEvent, ThrottleEvent};
 use bnb_topology::record::Record;
 use serde::Serialize;
@@ -225,12 +225,37 @@ struct Pending {
 pub struct Server<'a> {
     config: ServeConfig,
     counters: &'a Counters,
+    fault_plan: Option<&'a LiveFaultPlan>,
 }
 
 impl<'a> Server<'a> {
     /// A server that reports serving metrics into `counters`.
     pub fn new(config: ServeConfig, counters: &'a Counters) -> Self {
-        Server { config, counters }
+        Server {
+            config,
+            counters,
+            fault_plan: None,
+        }
+    }
+
+    /// A server whose engine routes through live fault state: traffic
+    /// runs under [`bnb_engine::Engine::run_scrubbed`] against `plan`, so
+    /// faults can be injected and cleared *while the session serves* — a
+    /// chaos driver holds the same `&plan` and mutates it concurrently.
+    /// Detected faults are retried onto healthy fabric shards, the
+    /// background scrubber quarantines and restores shards, and clients
+    /// only ever see correct frames, explicit `RETRY`s, or explicit
+    /// `ERROR`s — never a silently misdelivered frame.
+    pub fn with_fault_plan(
+        config: ServeConfig,
+        counters: &'a Counters,
+        plan: &'a LiveFaultPlan,
+    ) -> Self {
+        Server {
+            config,
+            counters,
+            fault_plan: Some(plan),
+        }
     }
 
     /// Runs one serving session on `listener` until `control` requests a
@@ -266,7 +291,7 @@ impl<'a> Server<'a> {
         let graceful = AtomicBool::new(true);
         let active_conns = AtomicUsize::new(0);
 
-        let (engine_batches, engine_records) = engine.run(|handle| {
+        let session = |handle: &EngineHandle<'_, &Counters>| {
             let (job_tx, job_rx) = mpsc::channel::<RouteJob>();
             thread::scope(|s| {
                 s.spawn(|| dispatch(handle, job_rx, &admission, &stats, self.counters));
@@ -317,7 +342,11 @@ impl<'a> Server<'a> {
             debug_assert!(tail.is_empty(), "dispatcher left {} batches", tail.len());
             let est = handle.stats();
             (est.batches, est.records)
-        });
+        };
+        let (engine_batches, engine_records) = match self.fault_plan {
+            Some(plan) => engine.run_scrubbed(plan, session),
+            None => engine.run(session),
+        };
 
         let report = ServeReport {
             connections_accepted: stats.connections_accepted.load(Ordering::Relaxed),

@@ -20,6 +20,9 @@
 //!   under strict vs permissive policies; plus hardware-fault campaigns
 //!   (stuck switches, dead arbiters, broken links via
 //!   `bnb_core::fault::FaultyFabric`) and a degraded-throughput sweep.
+//! - [`chaos`] — randomized, seeded fault schedules (inject, flap, clear)
+//!   replayed against the live-repair engine under traffic, asserting
+//!   zero silent misdeliveries, balanced ledgers, and capacity recovery.
 //!
 //! All of these drain frames through `bnb-core`'s stage-span entry
 //! points, so unobserved simulation runs (no `_observed` variant, or a
@@ -27,6 +30,7 @@
 //! kernel; attaching a live observer switches to the scalar sweep that
 //! can narrate per-hop events.
 
+pub mod chaos;
 pub mod faults;
 pub mod hotspot;
 pub mod loadsweep;
@@ -34,6 +38,7 @@ pub mod pipeline;
 pub mod scheduler;
 pub mod workload;
 
+pub use chaos::{chaos_engine_campaign, ChaosAction, ChaosOp, ChaosReport, ChaosSchedule};
 pub use pipeline::{PipelineStats, PipelinedFabric};
 pub use scheduler::{QueueDiscipline, ScheduleStats, VoqSwitch};
 pub use workload::Workload;

@@ -4,12 +4,18 @@
 //! policy, since real hardware routes whatever arrives.
 
 use bnb::core::bsn::BitSorter;
+use bnb::core::error::RouteError;
 use bnb::core::network::{BnbNetwork, RoutePolicy};
-use bnb::gates::components::{bit_sorter, bnb_network, splitter};
+use bnb::core::{FaultKind, FaultMap, FaultSite, FaultyFabric, HardwareFault};
+use bnb::gates::components::{
+    bit_sorter, bnb_network, bnb_network_faultable, splitter, BnbNetlistError, GateFault,
+    GateFaultKind,
+};
 use bnb::gates::delay::{critical_path, DelayModel};
 use bnb::gates::netlist::{Net, Netlist};
 use bnb::topology::perm::Permutation;
 use bnb::topology::record::{records_for_permutation, Record};
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -123,6 +129,225 @@ fn gate_depth_grows_like_the_delay_model() {
         depths[3] / depths[2] > 4.0 / 3.0,
         "superlinear growth expected: {depths:?}"
     );
+}
+
+/// Maps a behavioural fault onto the gate-level vocabulary. The two
+/// enums are deliberately isomorphic (same kinds, same element domains).
+fn to_gate_fault(f: &HardwareFault) -> GateFault {
+    let kind = match f.kind {
+        FaultKind::StuckStraight => GateFaultKind::StuckStraight,
+        FaultKind::StuckExchange => GateFaultKind::StuckExchange,
+        FaultKind::DeadArbiter => GateFaultKind::DeadArbiter,
+        FaultKind::BrokenLink => GateFaultKind::BrokenLink,
+        _ => unreachable!("non-exhaustive enum gained a kind"),
+    };
+    GateFault::new(
+        f.site.main_stage,
+        f.site.internal_stage,
+        f.site.element,
+        kind,
+    )
+}
+
+/// Every in-bounds single fault for an `N = 2^m` network.
+fn all_single_faults(m: usize) -> Vec<HardwareFault> {
+    const KINDS: [FaultKind; 4] = [
+        FaultKind::StuckStraight,
+        FaultKind::StuckExchange,
+        FaultKind::DeadArbiter,
+        FaultKind::BrokenLink,
+    ];
+    let mut faults = Vec::new();
+    for main_stage in 0..m {
+        for internal_stage in 0..m - main_stage {
+            for kind in KINDS {
+                for element in 0..kind.elements(m, main_stage, internal_stage) {
+                    faults.push(HardwareFault {
+                        site: FaultSite::new(main_stage, internal_stage, element),
+                        kind,
+                    });
+                }
+            }
+        }
+    }
+    faults
+}
+
+fn differential_perms(n: usize, seed: u64) -> Vec<Permutation> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perms = vec![
+        Permutation::identity(n),
+        Permutation::try_from((0..n).rev().collect::<Vec<_>>()).unwrap(),
+    ];
+    perms.extend((0..6).map(|_| Permutation::random(n, &mut rng)));
+    perms
+}
+
+/// Asserts one strict route through both implementations produced the
+/// identical outcome: the same frame, or the same error field for field.
+fn assert_strict_outcomes_match(
+    b: Result<Vec<Record>, RouteError>,
+    g: Result<Vec<Record>, BnbNetlistError>,
+    context: &dyn std::fmt::Debug,
+) {
+    match (b, g) {
+        (Ok(bf), Ok(gf)) => assert_eq!(bf, gf, "frames differ: {context:?}"),
+        (
+            Err(RouteError::HardwareFault {
+                main_stage: bm,
+                internal_stage: bi,
+                first_line: bl,
+                width: bw,
+                even_ones: be,
+                odd_ones: bo,
+            }),
+            Err(BnbNetlistError::HardwareFault {
+                main_stage: gm,
+                internal_stage: gi,
+                first_line: gl,
+                width: gw,
+                even_ones: ge,
+                odd_ones: go,
+            }),
+        ) => assert_eq!(
+            (bm, bi, bl, bw, be, bo),
+            (gm, gi, gl, gw, ge, go),
+            "detection sites differ: {context:?}"
+        ),
+        (
+            Err(RouteError::UnbalancedSplitter {
+                main_stage: bm,
+                internal_stage: bi,
+                first_line: bl,
+                width: bw,
+                ones: bo,
+            }),
+            Err(BnbNetlistError::Unbalanced {
+                main_stage: gm,
+                internal_stage: gi,
+                first_line: gl,
+                width: gw,
+                ones: go,
+            }),
+        ) => assert_eq!(
+            (bm, bi, bl, bw, bo),
+            (gm, gi, gl, gw, go),
+            "unbalanced sites differ: {context:?}"
+        ),
+        (b, g) => panic!("outcomes diverge: behavioural {b:?} vs gate {g:?}: {context:?}"),
+    }
+}
+
+/// The tentpole differential: every fault kind at every element, m = 2..=4
+/// — a fault injected by editing gates and the same fault expressed in the
+/// behavioural `FaultMap` must produce the identical `HardwareFault`
+/// detection or the identical correct frame, permutation by permutation.
+#[test]
+fn gate_fault_equals_faultmap_fault_for_every_single_fault() {
+    for m in 2..=4usize {
+        let n = 1usize << m;
+        let w = 6;
+        let mut gate = bnb_network_faultable(m, w);
+        let net = BnbNetwork::builder(m)
+            .data_width(w)
+            .policy(RoutePolicy::Strict)
+            .build();
+        let mut fabric = FaultyFabric::new(net, FaultMap::new());
+        let perms = differential_perms(n, 0xD1FF ^ m as u64);
+        for fault in all_single_faults(m) {
+            fabric.set_faults(FaultMap::from_iter([fault]));
+            gate.clear_faults();
+            gate.inject_fault(to_gate_fault(&fault)).unwrap();
+            for perm in &perms {
+                let recs = records_for_permutation(perm);
+                let b = fabric.route(&recs);
+                let g = gate.route_checked(&recs);
+                assert_strict_outcomes_match(b, g, &(m, fault, perm));
+            }
+        }
+    }
+}
+
+/// Permissive differential: the plain gate-level route (no checks — the
+/// hardware just misroutes) must match the behavioural permissive fabric
+/// frame for frame under every single fault.
+#[test]
+fn gate_fault_equals_permissive_faultmap_frames() {
+    for m in 2..=3usize {
+        let n = 1usize << m;
+        let w = 6;
+        let mut gate = bnb_network_faultable(m, w);
+        let net = BnbNetwork::builder(m)
+            .data_width(w)
+            .policy(RoutePolicy::Permissive)
+            .build();
+        let mut fabric = FaultyFabric::new(net, FaultMap::new());
+        let perms = differential_perms(n, 0xBEEF ^ m as u64);
+        for fault in all_single_faults(m) {
+            fabric.set_faults(FaultMap::from_iter([fault]));
+            gate.clear_faults();
+            gate.inject_fault(to_gate_fault(&fault)).unwrap();
+            for perm in &perms {
+                let recs = records_for_permutation(perm);
+                let b = fabric.route(&recs).unwrap();
+                let g = gate.route(&recs).unwrap();
+                assert_eq!(b, g, "m={m} fault={fault:?} perm={perm:?}");
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Randomized fault *schedules*: inject a random set of faults, route,
+    /// clear a random subset, route again — after every step the gate-level
+    /// and behavioural outcomes must stay identical. The proptest seed in
+    /// a failure report reproduces the whole schedule.
+    #[test]
+    fn random_fault_schedules_stay_equivalent(m in 2usize..=3, seed in any::<u64>()) {
+        let n = 1usize << m;
+        let w = 6;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gate = bnb_network_faultable(m, w);
+        let net = BnbNetwork::builder(m)
+            .data_width(w)
+            .policy(RoutePolicy::Strict)
+            .build();
+        let mut fabric = FaultyFabric::new(net, FaultMap::new());
+        let mut active: Vec<HardwareFault> = Vec::new();
+        for _ in 0..rng.random_range(1..=3usize) {
+            let (site, kind) = bnb::sim::faults::random_hardware_fault(m, &mut rng);
+            active.push(HardwareFault { site, kind });
+        }
+        for step in 0..active.len() + 1 {
+            // Steps 1.. drop the oldest fault: an inject-then-clear flap.
+            let current = &active[step.min(active.len())..];
+            fabric.set_faults(current.iter().copied().collect());
+            gate.clear_faults();
+            for f in current {
+                gate.inject_fault(to_gate_fault(f)).unwrap();
+            }
+            for _ in 0..4 {
+                let p = Permutation::random(n, &mut rng);
+                let recs = records_for_permutation(&p);
+                let b = fabric.route(&recs);
+                let g = gate.route_checked(&recs);
+                match (b, g) {
+                    (Ok(bf), Ok(gf)) => prop_assert_eq!(bf, gf, "step {} seed {}", step, seed),
+                    (Err(RouteError::HardwareFault { main_stage: bm, internal_stage: bi, first_line: bl, .. }),
+                     Err(BnbNetlistError::HardwareFault { main_stage: gm, internal_stage: gi, first_line: gl, .. })) => {
+                        prop_assert_eq!((bm, bi, bl), (gm, gi, gl), "step {} seed {}", step, seed);
+                    }
+                    (b, g) => prop_assert!(false, "diverged at step {}: {:?} vs {:?}", step, b, g),
+                }
+            }
+        }
+        // Fully cleared: both fabrics are healthy again and agree.
+        fabric.set_faults(FaultMap::new());
+        gate.clear_faults();
+        let p = Permutation::random(n, &mut rng);
+        let recs = records_for_permutation(&p);
+        prop_assert_eq!(fabric.route(&recs).unwrap(), gate.route_checked(&recs).unwrap());
+    }
 }
 
 #[test]

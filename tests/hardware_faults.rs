@@ -177,6 +177,90 @@ fn stuck_and_arbiter_faults_are_observable_somewhere() {
 }
 
 #[test]
+fn transient_fault_quarantine_release_restores_the_routing_matrix() {
+    // A transient fault's full life cycle through the live-repair engine:
+    // healthy -> fault injected -> traffic marks the shard suspect -> the
+    // scrubber confirms and quarantines -> the fault clears -> clean
+    // probes restore the shard. Releasing the quarantine must restore the
+    // *pre-fault routing matrix*: every trial permutation routes to
+    // byte-identical output after the repair.
+    use bnb::engine::{Engine, EngineConfig, LiveFaultPlan, RetryPolicy, ShardHealth};
+    use std::time::Duration;
+
+    let m = 3usize;
+    let n = 1usize << m;
+    let net = BnbNetwork::builder(m).data_width(32).build();
+    let perms = trial_perms(n);
+    let matrix: Vec<Vec<Record>> = perms
+        .iter()
+        .map(|p| {
+            net.route(&records_for_permutation(p))
+                .expect("healthy route")
+        })
+        .collect();
+
+    let engine = Engine::new(net, EngineConfig::with_workers(2));
+    let plan = LiveFaultPlan::healthy(2)
+        .with_probe_seed(17)
+        .with_restore_after(2)
+        .with_scrub_interval(Duration::ZERO)
+        .with_retry(RetryPolicy {
+            max_attempts: 4,
+            backoff: Duration::ZERO,
+        });
+    let route_matrix = |h: &bnb::engine::EngineHandle<'_, bnb::obs::NoopObserver>| {
+        perms
+            .iter()
+            .map(|p| {
+                h.submit(records_for_permutation(p));
+                h.drain()
+                    .expect("lock-step drain")
+                    .result
+                    .expect("healthy plan routes every frame")
+            })
+            .collect::<Vec<Vec<Record>>>()
+    };
+    engine.run_scrubbed(&plan, |h| {
+        assert_eq!(route_matrix(h), matrix, "healthy engine matches sequential");
+
+        let fault = HardwareFault {
+            site: FaultSite::new(1, 0, 0),
+            kind: FaultKind::StuckExchange,
+        };
+        plan.inject(0, fault.site, fault.kind);
+        // Drive traffic until the scrubber confirms the quarantine. Every
+        // frame must still deliver correctly — routed around on shard 1.
+        let mut spins = 0usize;
+        while plan.health(0) != ShardHealth::Quarantined {
+            for (p, want) in perms.iter().zip(&matrix) {
+                h.submit(records_for_permutation(p));
+                let got = h
+                    .drain()
+                    .unwrap()
+                    .result
+                    .expect("remap must absorb the fault");
+                assert_eq!(&got, want, "misdelivery while shard 0 is faulted");
+            }
+            spins += 1;
+            assert!(spins < 100_000, "shard 0 never quarantined");
+        }
+
+        // The transient passes; clean probes must release the quarantine.
+        plan.clear(0);
+        spins = 0;
+        while plan.health(0) != ShardHealth::Healthy {
+            std::thread::yield_now();
+            spins += 1;
+            assert!(spins < 100_000_000, "quarantine never released");
+        }
+        assert_eq!(plan.healthy_shards(), 2, "full capacity restored");
+
+        // The post-repair routing matrix is the pre-fault one, exactly.
+        assert_eq!(route_matrix(h), matrix, "repair must restore the matrix");
+    });
+}
+
+#[test]
 fn multi_fault_maps_still_never_misdeliver_under_strict() {
     // Pairs of faults in distinct columns: the per-column check handles
     // each independently.
