@@ -20,12 +20,14 @@
 //!            [--metrics text|json|prom]
 //! bnb serve [--addr 127.0.0.1:0] [--inputs 64] [--workers 2] [--queue 8]
 //!           [--tenant-quota 4] [--max-conns 64] [--read-timeout-ms 100]
-//!           [--chaos] [--shards 2] [--chaos-ops 16] [--chaos-interval-ms 50]
-//!           [--seed ..] [--chaos-out FILE] [--pretty]
+//!           [--slow-ms 0] [--record FILE] [--chaos] [--shards 2]
+//!           [--chaos-ops 16] [--chaos-interval-ms 50] [--seed ..]
+//!           [--chaos-out FILE] [--pretty]
 //! bnb loadgen [--addr 127.0.0.1:9500] [--tenants 4] [--frames 64]
 //!             [--inputs 64] [--mode closed|open] [--inflight 4] [--qps 500]
-//!             [--seed 45488] [--drain-ms 2000] [--shutdown] [--out FILE]
-//!             [--pretty]
+//!             [--seed 45488] [--drain-ms 2000] [--resubmits 0] [--shutdown]
+//!             [--out FILE] [--pretty]
+//! bnb top [--addr 127.0.0.1:9500] [--interval-ms 1000] [--count 0]
 //! bnb faults [--inputs 8] [--faults M.I.E:kind,..] [--trials 200] [--seed 0]
 //!            [--sweep 0,1,2,..] [--frames 50] [--record FILE]
 //!            [--metrics text|json|prom]
@@ -279,17 +281,23 @@ pub fn usage() -> String {
                   and the session report JSON after the graceful drain\n\
                   ([--addr 127.0.0.1:0] [--inputs 64] [--workers 2]\n\
                   [--queue 8] [--tenant-quota 4] [--max-conns 64]\n\
-                  [--read-timeout-ms 100] [--pretty]); HTTP GET on the\n\
-                  same port serves Prometheus metrics; with --chaos, a\n\
-                  seeded fault-injection thread damages and heals fabric\n\
-                  shards while the live-repair scrubber routes around them\n\
-                  ([--shards 2] [--chaos-ops 16] [--chaos-interval-ms 50]\n\
-                  [--seed ..] [--chaos-out FILE])\n\
+                  [--read-timeout-ms 100] [--pretty]); HTTP GET /metrics\n\
+                  on the same port serves Prometheus metrics with\n\
+                  per-stage/per-tenant telemetry, GET /status a JSON\n\
+                  status snapshot; --slow-ms N samples requests slower\n\
+                  than N ms into the --record FILE flight recording;\n\
+                  with --chaos, a seeded fault-injection thread damages\n\
+                  and heals fabric shards while the live-repair scrubber\n\
+                  routes around them ([--shards 2] [--chaos-ops 16]\n\
+                  [--chaos-interval-ms 50] [--seed ..] [--chaos-out FILE])\n\
        loadgen    drive a running server and verify every routed frame\n\
                   ([--addr 127.0.0.1:9500] [--tenants 4] [--frames 64]\n\
                   [--inputs 64] [--mode closed|open] [--inflight 4]\n\
                   [--qps 500] [--seed 45488] [--drain-ms 2000]\n\
-                  [--shutdown] [--out FILE] [--pretty])\n\
+                  [--resubmits 0] [--shutdown] [--out FILE] [--pretty])\n\
+       top        live dashboard over a running server's /status endpoint\n\
+                  ([--addr 127.0.0.1:9500] [--interval-ms 1000]\n\
+                  [--count 0]; --count 1 prints once without clearing)\n\
        report     the full evaluation report\n\
        help       this text\n\
      \n\
@@ -328,6 +336,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "bench" => bench::cmd_bench(&flags),
         "serve" => serve::cmd_serve(&flags),
         "loadgen" => serve::cmd_loadgen(&flags),
+        "top" => serve::cmd_top(&flags),
         "report" => Ok(report::full_report()),
         other => Err(err(format!("unknown command '{other}'; try 'bnb help'"))),
     }

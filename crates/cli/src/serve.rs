@@ -11,20 +11,26 @@
 //! `loadgen` drives a running server and returns the
 //! [`bnb_serve::LoadgenReport`] as JSON; `--out FILE` additionally
 //! writes the JSON to a file for CI artifacts.
+//!
+//! `top` polls a running server's `/status` endpoint and renders a
+//! refreshing terminal dashboard — per-stage latency, tenant windows,
+//! engine queue depths, and fabric health — like `top(1)` for the
+//! routing service.
 
-use std::io::Write as _;
-use std::net::TcpListener;
+use std::io::{Read as _, Write as _};
+use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use bnb_engine::LiveFaultPlan;
+use bnb_obs::FlightRecorder;
 use bnb_serve::{
     install_signal_handlers, run_loadgen, LoadMode, LoadgenConfig, ServeConfig, Server,
-    ServerControl,
+    ServerControl, StatusSnapshot,
 };
 use bnb_sim::chaos::{ChaosAction, ChaosSchedule};
 
-use crate::{err, CliError, Flags};
+use crate::{err, finish_recording, sample_flag, CliError, Flags};
 
 fn u64_or(flags: &Flags, name: &str, default: u64) -> Result<u64, CliError> {
     match flags.value(name) {
@@ -62,7 +68,10 @@ pub(crate) fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
         tenant_quota: flags.usize_or("--tenant-quota", 4)?.max(1),
         max_connections: flags.usize_or("--max-conns", 64)?.max(1),
         read_timeout: Duration::from_millis(u64_or(flags, "--read-timeout-ms", 100)?.max(1)),
+        slow_ms: u64_or(flags, "--slow-ms", 0)?,
     };
+    let record_path = flags.value("--record");
+    let recorder = FlightRecorder::new().policy(sample_flag(flags)?);
     let pretty = flags.present("--pretty");
     let chaos = flags.present("--chaos");
     let shards = flags.usize_or("--shards", 2)?;
@@ -102,6 +111,7 @@ pub(crate) fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
     let counters = bnb_obs::Counters::new();
     let report = match &schedule {
         None => Server::new(config, &counters)
+            .with_recorder(&recorder)
             .serve(listener, &control)
             .map_err(|e| CliError::caused_by("serving session failed", e))?,
         Some(schedule) => {
@@ -112,7 +122,7 @@ pub(crate) fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
             // a session that outlives its schedule converges back to
             // full capacity.
             let plan = LiveFaultPlan::healthy(shards).with_probe_seed(seed);
-            let server = Server::with_fault_plan(config, &counters, &plan);
+            let server = Server::with_fault_plan(config, &counters, &plan).with_recorder(&recorder);
             let stop = AtomicBool::new(false);
             let result = std::thread::scope(|s| {
                 s.spawn(|| {
@@ -146,7 +156,7 @@ pub(crate) fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
         serde_json::to_string(&report)
     }
     .map_err(|e| CliError::caused_by("cannot serialize serve report", e))?;
-    Ok(format!("{json}\n"))
+    finish_recording(record_path, &recorder, Ok(format!("{json}\n")))
 }
 
 /// `bnb loadgen`: drive a running server and report what came back.
@@ -184,6 +194,13 @@ pub(crate) fn cmd_loadgen(flags: &Flags) -> Result<String, CliError> {
         seed: u64_or(flags, "--seed", 0xB1B0)?,
         drain_window: Duration::from_millis(u64_or(flags, "--drain-ms", 2000)?.max(1)),
         shutdown_when_done: flags.present("--shutdown"),
+        max_resubmits: {
+            let n = u64_or(flags, "--resubmits", 0)?;
+            if n > 1000 {
+                return Err(err(format!("--resubmits expects 0..=1000, got {n}")));
+            }
+            n as u32
+        },
     };
 
     let report = run_loadgen(&config).map_err(|e| {
@@ -201,4 +218,243 @@ pub(crate) fn cmd_loadgen(flags: &Flags) -> Result<String, CliError> {
             .map_err(|e| CliError::caused_by(format!("cannot write {path}"), e))?;
     }
     Ok(format!("{json}\n"))
+}
+
+/// `bnb top`: poll a running server's `/status` endpoint and render a
+/// refreshing terminal dashboard. `--count N` stops after N polls
+/// (default 0 = until the server goes away or Ctrl-C); `--count 1`
+/// prints one dashboard without clearing the screen, which is what
+/// scripts and tests want.
+pub(crate) fn cmd_top(flags: &Flags) -> Result<String, CliError> {
+    let addr = flags.value("--addr").unwrap_or("127.0.0.1:9500");
+    let interval = Duration::from_millis(u64_or(flags, "--interval-ms", 1000)?.clamp(50, 60_000));
+    let count = u64_or(flags, "--count", 0)?;
+    let clear = count != 1;
+
+    let mut polls = 0u64;
+    loop {
+        let status = fetch_status(addr)
+            .map_err(|e| CliError::caused_by(format!("cannot poll {addr}/status"), e))?;
+        let dashboard = render_top(addr, &status);
+        if clear {
+            // Clear + home, like top(1); the dashboard repaints in place.
+            print!("\x1b[2J\x1b[H{dashboard}");
+            std::io::stdout().flush().ok();
+        }
+        polls += 1;
+        if count != 0 && polls >= count {
+            return Ok(if clear { String::new() } else { dashboard });
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// One HTTP GET of `/status`, parsed into a [`StatusSnapshot`].
+fn fetch_status(addr: &str) -> std::io::Result<StatusSnapshot> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(
+        format!("GET /status HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    let body_at = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no HTTP body"))?;
+    let body = std::str::from_utf8(&response[body_at..])
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    serde_json::from_str(body).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders one `/status` snapshot as the `bnb top` dashboard. Pure, so
+/// the layout is unit-testable without a server.
+pub(crate) fn render_top(addr: &str, s: &StatusSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "bnb top — {addr}  up {:.1}s  {}\n",
+        s.uptime_ms as f64 / 1e3,
+        if s.draining { "DRAINING" } else { "serving" }
+    ));
+    out.push_str(&format!(
+        "conns {}  inflight {}  engine queue {}/{} hw  batches {}  records {}  errors {}\n",
+        s.connections,
+        s.inflight,
+        s.engine.queue_depth,
+        s.engine.queue_high_water,
+        s.engine.batches,
+        s.engine.records,
+        s.engine.errors,
+    ));
+    out.push_str(&format!(
+        "slow {} (threshold {})\n",
+        s.telemetry.slow_captured,
+        if s.telemetry.slow_threshold_ns == 0 {
+            "off".to_string()
+        } else {
+            fmt_ns(s.telemetry.slow_threshold_ns)
+        }
+    ));
+    out.push_str("\nSTAGE           COUNT        P50        P95        P99        MAX\n");
+    for st in s
+        .telemetry
+        .stages
+        .iter()
+        .chain(std::iter::once(&s.telemetry.wire))
+    {
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+            st.stage,
+            st.count,
+            fmt_ns(st.p50_ns),
+            fmt_ns(st.p95_ns),
+            fmt_ns(st.p99_ns),
+            fmt_ns(st.max_ns),
+        ));
+    }
+    if !s.telemetry.tenants.is_empty() {
+        out.push_str(&format!(
+            "\nTENANT (last {:.0}s)  COUNT      BYTES  RETRY  ERR        P50        P99\n",
+            s.telemetry.window_ms as f64 / 1e3
+        ));
+        for t in &s.telemetry.tenants {
+            out.push_str(&format!(
+                "{:<18} {:>6} {:>10} {:>6} {:>4} {:>10} {:>10}\n",
+                t.tenant,
+                t.count,
+                t.bytes,
+                t.retries,
+                t.errors,
+                fmt_ns(t.p50_ns),
+                fmt_ns(t.p99_ns),
+            ));
+        }
+    }
+    if let Some(fabric) = &s.fabric {
+        out.push_str(&format!(
+            "\nFABRIC  {} healthy{}\n",
+            fabric.healthy,
+            if fabric.degraded { "  DEGRADED" } else { "" }
+        ));
+        for sh in &fabric.shards {
+            out.push_str(&format!(
+                "shard {:<3} {:<12} clean_streak {:<4} faults {}\n",
+                sh.shard,
+                sh.health,
+                sh.clean_streak,
+                sh.faults.len(),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnb_obs::{StageSnapshot, TelemetrySnapshot, TenantSnapshot};
+    use bnb_serve::EngineStatus;
+
+    fn stage(name: &str, count: u64) -> StageSnapshot {
+        StageSnapshot {
+            stage: name.to_string(),
+            count,
+            sum_ns: count * 1_000,
+            p50_ns: 900,
+            p95_ns: 40_000,
+            p99_ns: 2_500_000,
+            max_ns: 3_000_000,
+        }
+    }
+
+    fn sample_status() -> StatusSnapshot {
+        StatusSnapshot {
+            uptime_ms: 12_500,
+            inflight: 3,
+            connections: 2,
+            draining: false,
+            telemetry: TelemetrySnapshot {
+                uptime_ms: 12_500,
+                window_ms: 60_000,
+                slow_threshold_ns: 5_000_000,
+                slow_captured: 1,
+                stages: vec![stage("decode", 10), stage("route", 10)],
+                wire: stage("wire", 10),
+                tenants: vec![TenantSnapshot {
+                    tenant: 7,
+                    count: 10,
+                    bytes: 640,
+                    retries: 2,
+                    errors: 0,
+                    p50_ns: 900,
+                    p95_ns: 40_000,
+                    p99_ns: 2_500_000,
+                }],
+            },
+            engine: EngineStatus {
+                queue_depth: 1,
+                queue_high_water: 4,
+                task_queue_high_water: 8,
+                batches: 10,
+                records: 160,
+                errors: 0,
+                wait_latency: Default::default(),
+                latency: Default::default(),
+            },
+            fabric: None,
+        }
+    }
+
+    #[test]
+    fn fmt_ns_picks_readable_units() {
+        assert_eq!(fmt_ns(900), "900ns");
+        assert_eq!(fmt_ns(40_000), "40.0µs");
+        assert_eq!(fmt_ns(2_500_000), "2.5ms");
+    }
+
+    #[test]
+    fn render_top_shows_stages_tenants_and_engine_state() {
+        let out = render_top("127.0.0.1:9500", &sample_status());
+        assert!(out.contains("bnb top — 127.0.0.1:9500"), "{out}");
+        assert!(out.contains("serving"), "{out}");
+        assert!(out.contains("decode"), "{out}");
+        assert!(out.contains("wire"), "{out}");
+        assert!(out.contains("engine queue 1/4"), "{out}");
+        // Tenant row: id, window count, retries.
+        assert!(out.contains('7'), "{out}");
+        assert!(out.contains("slow 1 (threshold 5.0ms)"), "{out}");
+        // No fault plan: the fabric section is absent entirely.
+        assert!(!out.contains("FABRIC"), "{out}");
+    }
+
+    #[test]
+    fn render_top_marks_draining_and_fabric_health() {
+        let mut status = sample_status();
+        status.draining = true;
+        status.fabric = Some(bnb_engine::PlanStatus {
+            healthy: 1,
+            degraded: true,
+            shards: vec![bnb_engine::ShardStatus {
+                shard: 0,
+                health: "quarantined".to_string(),
+                clean_streak: 0,
+                faults: Vec::new(),
+            }],
+        });
+        let out = render_top("x", &status);
+        assert!(out.contains("DRAINING"), "{out}");
+        assert!(out.contains("DEGRADED"), "{out}");
+        assert!(out.contains("quarantined"), "{out}");
+    }
 }

@@ -548,7 +548,9 @@ impl<O: Observer> EngineHandle<'_, O> {
             records_per_sec: st.records as f64 / secs,
             latency: LatencySummary::from_histogram(&st.histogram),
             histogram: st.histogram.clone(),
+            queue_depth: st.jobs.len(),
             queue_high_water: st.queue_high_water,
+            wait_latency: LatencySummary::from_histogram(&st.wait_histogram),
             task_queue_high_water: st.task_queue_high_water,
             worker_busy_ns: worker_busy_ns.clone(),
             worker_utilization,

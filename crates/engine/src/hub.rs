@@ -55,6 +55,22 @@ pub struct RoutedBatch {
     /// (walk [`std::error::Error::source`] for the underlying
     /// [`RouteError`]).
     pub result: Result<Vec<Record>, EngineError>,
+    /// Nanoseconds the batch sat in the bounded submission queue before a
+    /// worker picked it up.
+    pub queue_ns: u64,
+    /// Nanoseconds from worker pickup to result publication (routing
+    /// proper). `queue_ns + route_ns` is the submit-to-publish latency
+    /// recorded in the engine histogram.
+    pub route_ns: u64,
+}
+
+/// Queue-wait bookkeeping for one in-flight job, keyed by the job's first
+/// sequence number; a batch job of `frames` frames finishes `frames`
+/// times against the same entry.
+struct JobMeta {
+    frames: u64,
+    queue_ns: u64,
+    remaining: u64,
 }
 
 /// Why [`crate::engine::EngineHandle::try_submit`] refused a batch. The
@@ -260,6 +276,10 @@ pub(crate) struct HubState {
     pub queue_high_water: usize,
     pub task_queue_high_water: usize,
     pub histogram: LatencyHistogram,
+    /// Queue-wait latency (submit to worker pickup), one sample per job.
+    pub wait_histogram: LatencyHistogram,
+    /// Queue-wait metadata for in-flight jobs, keyed by first seq.
+    meta: BTreeMap<u64, JobMeta>,
 }
 
 /// The shared coordination hub (one per [`crate::engine::Engine::run`]
@@ -293,6 +313,8 @@ impl Hub {
                 queue_high_water: 0,
                 task_queue_high_water: 0,
                 histogram: LatencyHistogram::new(),
+                wait_histogram: LatencyHistogram::new(),
+                meta: BTreeMap::new(),
             }),
             work_cv: Condvar::new(),
             space_cv: Condvar::new(),
@@ -434,7 +456,29 @@ impl Hub {
             Err(_) => st.errors += 1,
         }
         st.histogram.record(latency_ns);
-        st.completed.insert(seq, RoutedBatch { seq, result });
+        // Split the latency at the worker-pickup stamp taken in
+        // `next_work`. Batch jobs finish once per frame against one meta
+        // entry keyed by the job's first seq, hence the range lookup.
+        let (queue_ns, drained_meta) = match st.meta.range_mut(..=seq).next_back() {
+            Some((&first, m)) if seq < first + m.frames => {
+                m.remaining -= 1;
+                (m.queue_ns, (m.remaining == 0).then_some(first))
+            }
+            _ => (0, None),
+        };
+        if let Some(first) = drained_meta {
+            st.meta.remove(&first);
+        }
+        let queue_ns = queue_ns.min(latency_ns);
+        st.completed.insert(
+            seq,
+            RoutedBatch {
+                seq,
+                result,
+                queue_ns,
+                route_ns: latency_ns - queue_ns,
+            },
+        );
         drop(st);
         self.done_cv.notify_all();
     }
@@ -463,6 +507,27 @@ impl Hub {
                 return Some(Work::Task(t));
             }
             if let Some(j) = st.jobs.pop_front() {
+                // The job leaves the queue here: stamp its queue wait and
+                // park it in the meta table so `finish` can split the
+                // submit-to-publish latency into wait + route.
+                let queue_ns = j
+                    .submitted_at
+                    .elapsed()
+                    .as_nanos()
+                    .min(u128::from(u64::MAX)) as u64;
+                st.wait_histogram.record(queue_ns);
+                let frames = match &j.payload {
+                    JobPayload::Frame(_) => 1,
+                    JobPayload::Batch(b) => b.frames() as u64,
+                };
+                st.meta.insert(
+                    j.seq,
+                    JobMeta {
+                        frames,
+                        queue_ns,
+                        remaining: frames,
+                    },
+                );
                 drop(st);
                 self.space_cv.notify_one();
                 return Some(Work::Job(j));
@@ -534,6 +599,65 @@ mod tests {
         latch.fail(unbalanced_at(1, 3, 4)); // tie: first stays
         assert!(latch.is_done());
         assert_eq!(latch.take_error(), Some(unbalanced_at(1, 3, 4)));
+    }
+
+    /// `finish` splits the submit-to-publish latency at the worker-pickup
+    /// stamp taken in `next_work`, and the pickup records one queue-wait
+    /// sample.
+    #[test]
+    fn finish_splits_latency_at_worker_pickup() {
+        let hub = Hub::new(4);
+        let seq = hub.submit(Vec::new());
+        std::thread::sleep(Duration::from_millis(2));
+        let Some(Work::Job(job)) = hub.next_work() else {
+            panic!("submitted job must be next");
+        };
+        assert_eq!(job.seq, seq);
+        std::thread::sleep(Duration::from_millis(1));
+        hub.finish(job.seq, job.submitted_at, Ok(Vec::new()));
+        let batch = hub.try_drain().expect("finished batch drains");
+        assert!(
+            batch.queue_ns >= 2_000_000,
+            "queue wait covers the pre-pickup sleep, got {}",
+            batch.queue_ns
+        );
+        assert!(
+            batch.route_ns >= 1_000_000,
+            "route covers the post-pickup sleep, got {}",
+            batch.route_ns
+        );
+        hub.with_state(|st| {
+            assert_eq!(st.wait_histogram.count(), 1);
+            assert_eq!(st.histogram.count(), 1);
+            assert!(st.wait_histogram.max_ns() <= st.histogram.max_ns());
+        });
+    }
+
+    /// A batch job's frames all inherit the job's single queue-wait
+    /// stamp, and the meta table empties once the last frame finishes.
+    #[test]
+    fn batch_frames_share_one_queue_stamp() {
+        use bnb_core::batch::FrameBatch;
+        let hub = Hub::new(4);
+        let mut batch = FrameBatch::new(2);
+        batch.push_frame(&[Record::new(0, 0), Record::new(1, 1)]);
+        batch.push_frame(&[Record::new(1, 0), Record::new(0, 1)]);
+        let seq = hub.submit_batch(batch);
+        std::thread::sleep(Duration::from_millis(2));
+        let Some(Work::Job(job)) = hub.next_work() else {
+            panic!("submitted batch must be next");
+        };
+        for f in 0..2 {
+            hub.finish(seq + f, job.submitted_at, Ok(Vec::new()));
+        }
+        let first = hub.try_drain().expect("frame 0 drains");
+        let second = hub.try_drain().expect("frame 1 drains");
+        assert!(first.queue_ns >= 2_000_000);
+        assert_eq!(first.queue_ns, second.queue_ns, "one stamp per job");
+        hub.with_state(|st| {
+            assert_eq!(st.wait_histogram.count(), 1, "one sample per job");
+            assert!(st.meta.is_empty(), "meta drained with the last frame");
+        });
     }
 
     /// A reset latch behaves like a fresh one (per-worker reuse).

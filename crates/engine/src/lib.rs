@@ -52,5 +52,5 @@ pub use engine::{
     SubmitError,
 };
 pub use error::EngineError;
-pub use live::{LiveFaultPlan, ShardHealth};
+pub use live::{LiveFaultPlan, PlanStatus, ShardHealth, ShardStatus};
 pub use stats::{EngineStats, LatencyHistogram, LatencySummary, WorkerMetrics, HISTOGRAM_BUCKETS};

@@ -25,13 +25,14 @@ use std::sync::RwLock;
 use std::time::Duration;
 
 use bnb_core::error::RouteError;
-use bnb_core::fault::{FaultKind, FaultMap, FaultSite, FaultyFabric};
+use bnb_core::fault::{FaultKind, FaultMap, FaultSite, FaultyFabric, HardwareFault};
 use bnb_core::network::BnbNetwork;
 use bnb_obs::{Observer, RepairEvent, ScrubEvent};
 use bnb_topology::perm::Permutation;
 use bnb_topology::record::records_for_permutation;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 use crate::engine::RetryPolicy;
 
@@ -61,6 +62,15 @@ impl ShardHealth {
             0 => ShardHealth::Healthy,
             1 => ShardHealth::Suspect,
             _ => ShardHealth::Quarantined,
+        }
+    }
+
+    /// The state's operator-facing label (used by `/status` and `bnb top`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardHealth::Healthy => "healthy",
+            ShardHealth::Suspect => "suspect",
+            ShardHealth::Quarantined => "quarantined",
         }
     }
 }
@@ -223,6 +233,25 @@ impl LiveFaultPlan {
         self.healthy_shards() < self.shards.len()
     }
 
+    /// A serializable point-in-time snapshot of every shard's health and
+    /// fault map, for the serving layer's `/status` endpoint and any
+    /// other operator surface.
+    pub fn status(&self) -> PlanStatus {
+        let shards: Vec<ShardStatus> = (0..self.shards.len())
+            .map(|i| ShardStatus {
+                shard: i,
+                health: self.health(i).name().to_string(),
+                clean_streak: self.shards[i].clean_streak.load(Ordering::Acquire),
+                faults: self.faults_snapshot(i).iter().copied().collect(),
+            })
+            .collect();
+        PlanStatus {
+            healthy: self.healthy_shards(),
+            degraded: self.is_degraded(),
+            shards,
+        }
+    }
+
     /// The shard attempt `attempt` of `worker`'s batch routes on: the
     /// first healthy shard in round-robin order from `worker + attempt`,
     /// or plain round-robin when nothing is healthy (the engine keeps
@@ -283,6 +312,31 @@ impl LiveFaultPlan {
     fn next_probe_round(&self, i: usize) -> u64 {
         self.shards[i].probe_round.fetch_add(1, Ordering::Relaxed)
     }
+}
+
+/// One shard's entry in a [`PlanStatus`] snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardStatus {
+    /// Shard index.
+    pub shard: usize,
+    /// Health label: `"healthy"`, `"suspect"`, or `"quarantined"`.
+    pub health: String,
+    /// Consecutive clean scrubber probes so far.
+    pub clean_streak: usize,
+    /// The shard's live fault map.
+    pub faults: Vec<HardwareFault>,
+}
+
+/// A serializable snapshot of a [`LiveFaultPlan`], from
+/// [`LiveFaultPlan::status`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanStatus {
+    /// Shards currently in service.
+    pub healthy: usize,
+    /// Whether any shard is out of service.
+    pub degraded: bool,
+    /// Per-shard health and fault maps, in shard order.
+    pub shards: Vec<ShardStatus>,
 }
 
 /// The scrubber: sweeps every non-healthy shard, probing it with seeded
@@ -427,6 +481,26 @@ mod tests {
         assert!(plan.faults_snapshot(1).is_empty());
         plan.set_faults(0, FaultMap::single(site, kind));
         assert_eq!(plan.faults_snapshot(0).len(), 1);
+    }
+
+    #[test]
+    fn status_reports_health_and_faults_and_round_trips() {
+        let plan = LiveFaultPlan::healthy(2);
+        let (site, kind) = stuck((1, 0, 2));
+        plan.inject(1, site, kind);
+        plan.mark_suspect(1);
+        let status = plan.status();
+        assert_eq!(status.shards.len(), 2);
+        assert_eq!(status.healthy, 1);
+        assert!(status.degraded);
+        assert_eq!(status.shards[0].health, "healthy");
+        assert!(status.shards[0].faults.is_empty());
+        assert_eq!(status.shards[1].health, "suspect");
+        assert_eq!(status.shards[1].faults.len(), 1);
+        assert_eq!(status.shards[1].faults[0].site, site);
+        let json = serde_json::to_string(&status).unwrap();
+        let back: PlanStatus = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, status);
     }
 
     #[test]

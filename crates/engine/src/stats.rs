@@ -51,8 +51,14 @@ pub struct EngineStats {
     pub latency: LatencySummary,
     /// Full latency histogram (power-of-two ns buckets).
     pub histogram: LatencyHistogram,
+    /// Batches sitting in the bounded submission queue right now.
+    pub queue_depth: usize,
     /// Deepest the bounded submission queue ever got.
     pub queue_high_water: usize,
+    /// Queue-wait latency quantiles (submit to worker pickup), one
+    /// sample per job; subtracting it from [`Self::latency`] isolates
+    /// routing proper.
+    pub wait_latency: LatencySummary,
     /// Deepest the shared slice-task queue got during the current
     /// submission wave (reset when a batch is submitted into a fully
     /// idle engine, so reused engines report per-wave depth).

@@ -35,6 +35,7 @@ fn kind_name(kind: SpanKind) -> &'static str {
         SpanKind::Round => "round",
         SpanKind::Fault => "fault",
         SpanKind::Retry => "retry",
+        SpanKind::Request => "request",
     }
 }
 
@@ -45,6 +46,7 @@ fn kind_category(kind: SpanKind) -> &'static str {
         SpanKind::Column | SpanKind::Sweep | SpanKind::Hop => "route",
         SpanKind::Shard | SpanKind::Steal | SpanKind::Submit | SpanKind::Drain => "engine",
         SpanKind::Round => "scheduler",
+        SpanKind::Request => "serve",
         SpanKind::Conflict | SpanKind::Fault | SpanKind::Retry => "error",
     }
 }

@@ -1,6 +1,8 @@
-//! Text and JSON renderings of a [`MetricsSnapshot`].
+//! Text and JSON renderings of a [`MetricsSnapshot`], plus the labelled
+//! Prometheus exposition of a request-lifecycle [`TelemetrySnapshot`].
 
 use crate::counters::MetricsSnapshot;
+use crate::telemetry::TelemetrySnapshot;
 use std::fmt::Write as _;
 
 /// Renders a snapshot as aligned human-readable text.
@@ -339,6 +341,125 @@ pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
     out
 }
 
+/// Renders a request-lifecycle [`TelemetrySnapshot`] in the Prometheus
+/// text exposition format: per-stage latency series labelled
+/// `{stage="decode"}` … `{stage="write"}`, the wire-to-wire aggregate the
+/// stage sums reconcile with, and per-tenant sliding-window series
+/// labelled `{tenant="n"}`. Every family carries `# HELP`/`# TYPE`.
+/// Appended after [`render_prometheus`] on the `/metrics` endpoint.
+pub fn render_prometheus_telemetry(snapshot: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    let mut family = |name: &str, kind: &str, help: &str, value: u64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        let _ = writeln!(out, "{name} {value}");
+    };
+    family(
+        "bnb_serve_uptime_ms",
+        "gauge",
+        "Milliseconds since the serving telemetry sink started.",
+        snapshot.uptime_ms,
+    );
+    family(
+        "bnb_serve_slow_requests_total",
+        "counter",
+        "Served requests that crossed the --slow-ms capture threshold.",
+        snapshot.slow_captured,
+    );
+
+    let mut stage_family =
+        |name: &str, help: &str, pick: fn(&crate::telemetry::StageSnapshot) -> u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            for stage in &snapshot.stages {
+                let _ = writeln!(out, "{name}{{stage=\"{}\"}} {}", stage.stage, pick(stage));
+            }
+            let _ = writeln!(out, "{name}{{stage=\"wire\"}} {}", pick(&snapshot.wire));
+        };
+    stage_family(
+        "bnb_serve_stage_requests",
+        "Requests measured per lifecycle stage (wire = end to end).",
+        |s| s.count,
+    );
+    stage_family(
+        "bnb_serve_stage_sum_ns",
+        "Total nanoseconds spent per lifecycle stage; stage sums partition the wire sum.",
+        |s| s.sum_ns,
+    );
+    stage_family(
+        "bnb_serve_stage_p50_ns",
+        "Median latency per lifecycle stage.",
+        |s| s.p50_ns,
+    );
+    stage_family(
+        "bnb_serve_stage_p95_ns",
+        "95th-percentile latency per lifecycle stage.",
+        |s| s.p95_ns,
+    );
+    stage_family(
+        "bnb_serve_stage_p99_ns",
+        "99th-percentile latency per lifecycle stage.",
+        |s| s.p99_ns,
+    );
+    stage_family(
+        "bnb_serve_stage_max_ns",
+        "Slowest observation per lifecycle stage.",
+        |s| s.max_ns,
+    );
+
+    if !snapshot.tenants.is_empty() {
+        let mut tenant_family =
+            |name: &str, help: &str, pick: fn(&crate::telemetry::TenantSnapshot) -> u64| {
+                let _ = writeln!(out, "# HELP {name} {help}");
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                for tenant in &snapshot.tenants {
+                    let _ = writeln!(
+                        out,
+                        "{name}{{tenant=\"{}\"}} {}",
+                        tenant.tenant,
+                        pick(tenant)
+                    );
+                }
+            };
+        tenant_family(
+            "bnb_tenant_window_requests",
+            "Requests served per tenant inside the sliding window.",
+            |t| t.count,
+        );
+        tenant_family(
+            "bnb_tenant_window_bytes",
+            "Payload bytes served per tenant inside the sliding window.",
+            |t| t.bytes,
+        );
+        tenant_family(
+            "bnb_tenant_window_retries",
+            "RETRY responses per tenant inside the sliding window.",
+            |t| t.retries,
+        );
+        tenant_family(
+            "bnb_tenant_window_errors",
+            "ERROR responses per tenant inside the sliding window.",
+            |t| t.errors,
+        );
+        tenant_family(
+            "bnb_tenant_window_p50_ns",
+            "Median wire-to-wire latency per tenant inside the sliding window.",
+            |t| t.p50_ns,
+        );
+        tenant_family(
+            "bnb_tenant_window_p95_ns",
+            "95th-percentile wire-to-wire latency per tenant inside the sliding window.",
+            |t| t.p95_ns,
+        );
+        tenant_family(
+            "bnb_tenant_window_p99_ns",
+            "99th-percentile wire-to-wire latency per tenant inside the sliding window.",
+            |t| t.p99_ns,
+        );
+    }
+    out
+}
+
 /// Renders a snapshot as a JSON object.
 pub fn render_json(snapshot: &MetricsSnapshot) -> Result<String, serde_json::Error> {
     serde_json::to_string(snapshot)
@@ -499,6 +620,107 @@ mod tests {
         assert!(text.contains("bnb_columns_total 0"));
         assert!(!text.contains("bnb_stage_columns_total{"));
         assert!(!text.contains("bnb_batch_latency_ns"));
+    }
+
+    fn telemetry_sample() -> TelemetrySnapshot {
+        use crate::telemetry::{Stage, Telemetry};
+        let t = Telemetry::new();
+        for &stage in &Stage::ALL {
+            t.record_stage(stage, 200);
+        }
+        t.record_request(0, 128, 1_200);
+        t.record_request(7, 64, 2_400);
+        t.record_retry(7);
+        t.record_error(0);
+        t.set_slow_threshold(Some(std::time::Duration::from_nanos(1)));
+        t.note_if_slow(2_400);
+        t.snapshot()
+    }
+
+    #[test]
+    fn telemetry_exposition_labels_stages_and_tenants() {
+        let text = render_prometheus_telemetry(&telemetry_sample());
+        assert!(text.contains("# TYPE bnb_serve_uptime_ms gauge"));
+        assert!(text.contains("bnb_serve_slow_requests_total 1"));
+        assert!(text.contains("bnb_serve_stage_requests{stage=\"decode\"} 1"));
+        assert!(text.contains("bnb_serve_stage_sum_ns{stage=\"route\"} 200"));
+        assert!(text.contains("bnb_serve_stage_requests{stage=\"wire\"} 2"));
+        assert!(text.contains("bnb_serve_stage_sum_ns{stage=\"wire\"} 3600"));
+        assert!(text.contains("bnb_tenant_window_requests{tenant=\"0\"} 1"));
+        assert!(text.contains("bnb_tenant_window_bytes{tenant=\"7\"} 64"));
+        assert!(text.contains("bnb_tenant_window_retries{tenant=\"7\"} 1"));
+        assert!(text.contains("bnb_tenant_window_errors{tenant=\"0\"} 1"));
+        assert!(text.contains("bnb_tenant_window_p99_ns{tenant=\"7\"}"));
+    }
+
+    #[test]
+    fn telemetry_exposition_omits_tenants_when_empty() {
+        let text = render_prometheus_telemetry(&crate::telemetry::Telemetry::new().snapshot());
+        // Stage families always render (all zero), tenant families only
+        // once a tenant exists.
+        assert!(text.contains("bnb_serve_stage_requests{stage=\"decode\"} 0"));
+        assert!(!text.contains("bnb_tenant_window_requests{"));
+    }
+
+    /// Every sample line's family must be introduced by `# HELP` and
+    /// `# TYPE` comments before its first sample — the exposition is
+    /// self-describing end to end, including the telemetry families.
+    #[test]
+    fn full_exposition_parses_and_is_self_describing() {
+        use std::collections::HashSet;
+        let mut text = render_prometheus(&sample());
+        text.push_str(&render_prometheus_telemetry(&telemetry_sample()));
+
+        let mut helped: HashSet<String> = HashSet::new();
+        let mut typed: HashSet<String> = HashSet::new();
+        let mut samples = 0usize;
+        for line in text.lines() {
+            assert!(!line.trim().is_empty(), "no blank lines in exposition");
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split_whitespace().next().expect("HELP names a family");
+                assert!(helped.insert(name.to_string()), "duplicate HELP for {name}");
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().expect("TYPE names a family");
+                let kind = parts.next().expect("TYPE has a kind");
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "histogram"),
+                    "unknown TYPE kind {kind} for {name}"
+                );
+                assert!(typed.insert(name.to_string()), "duplicate TYPE for {name}");
+                continue;
+            }
+            assert!(!line.starts_with('#'), "unexpected comment: {line}");
+            // Sample line: `name{labels} value` or `name value`.
+            let name_end = line
+                .find(['{', ' '])
+                .unwrap_or_else(|| panic!("malformed sample line: {line}"));
+            let mut name = &line[..name_end];
+            // Histogram child series belong to their parent family.
+            for suffix in ["_bucket", "_sum", "_count"] {
+                if let Some(base) = name.strip_suffix(suffix) {
+                    if typed.contains(base) {
+                        name = base;
+                        break;
+                    }
+                }
+            }
+            assert!(helped.contains(name), "sample {name} missing # HELP");
+            assert!(typed.contains(name), "sample {name} missing # TYPE");
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(
+                value == "+Inf" || value.parse::<f64>().is_ok(),
+                "unparseable sample value in {line}"
+            );
+            samples += 1;
+        }
+        assert!(
+            samples > 40,
+            "expected a populated exposition, got {samples}"
+        );
+        assert_eq!(helped, typed, "HELP and TYPE must cover the same families");
     }
 
     #[test]

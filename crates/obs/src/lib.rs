@@ -26,8 +26,13 @@
 //! - [`recorder`] — the [`FlightRecorder`], a fixed-capacity lock-free
 //!   ring of [`Span`]s with head/tail sampling ([`SamplePolicy`]) and a
 //!   drop counter, sharded into per-thread lanes merged at drain.
+//! - [`telemetry`] — [`Telemetry`], the serving path's request-lifecycle
+//!   sink: per-stage latency histograms (decode → admission → queue wait
+//!   → route → drain → response write) that partition the wire-to-wire
+//!   latency, plus per-tenant sliding-window aggregates.
 //! - [`export`] — text, JSON, and Prometheus exposition renderings of a
-//!   [`MetricsSnapshot`].
+//!   [`MetricsSnapshot`], plus the labelled per-stage/per-tenant
+//!   exposition of a [`TelemetrySnapshot`].
 //! - [`chrome`] — Chrome trace-event JSON ([`render_chrome_trace`]) for
 //!   recorded spans, loadable in `chrome://tracing` or Perfetto, with
 //!   recorder lanes mapped to `tid` tracks.
@@ -68,6 +73,7 @@ pub mod export;
 pub mod histogram;
 pub mod observer;
 pub mod recorder;
+pub mod telemetry;
 pub mod timer;
 
 pub use chrome::render_chrome_trace;
@@ -77,8 +83,13 @@ pub use event::{
     RetryEvent, RoundEvent, ScrubEvent, ServeEvent, ShardEvent, SubmitEvent, SweepEvent,
     ThrottleEvent,
 };
-pub use export::{render_json, render_json_pretty, render_prometheus, render_text};
+pub use export::{
+    render_json, render_json_pretty, render_prometheus, render_prometheus_telemetry, render_text,
+};
 pub use histogram::{AtomicHistogram, LatencyHistogram, LatencySummary, HISTOGRAM_BUCKETS};
 pub use observer::{Fanout, NoopObserver, Observer};
 pub use recorder::{FlightRecorder, RecorderStats, SamplePolicy, Span, SpanKind, RECORDER_LANES};
+pub use telemetry::{
+    Stage, StageSnapshot, Telemetry, TelemetrySnapshot, TenantSnapshot, STAGE_COUNT, WINDOW_SLOTS,
+};
 pub use timer::SpanTimer;

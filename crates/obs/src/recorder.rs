@@ -79,6 +79,11 @@ pub enum SpanKind {
     Fault,
     /// A batch retried on another fabric shard ([`RetryEvent`]).
     Retry,
+    /// A served wire request that crossed the slow-capture threshold:
+    /// `seq` is the request id, `dur_ns` the wire-to-wire latency, `a`
+    /// the tenant, `b` the record count. Recorded directly by the serve
+    /// layer, not via an [`Observer`] event.
+    Request,
 }
 
 impl SpanKind {
@@ -94,7 +99,8 @@ impl SpanKind {
             7 => SpanKind::Drain,
             8 => SpanKind::Round,
             9 => SpanKind::Fault,
-            _ => SpanKind::Retry,
+            10 => SpanKind::Retry,
+            _ => SpanKind::Request,
         }
     }
 
@@ -111,6 +117,7 @@ impl SpanKind {
             SpanKind::Round => 8,
             SpanKind::Fault => 9,
             SpanKind::Retry => 10,
+            SpanKind::Request => 11,
         }
     }
 
@@ -664,6 +671,7 @@ mod tests {
             SpanKind::Round,
             SpanKind::Fault,
             SpanKind::Retry,
+            SpanKind::Request,
         ] {
             let s = Span {
                 kind,

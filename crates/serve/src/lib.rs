@@ -18,18 +18,27 @@
 //!   a wire `SHUTDOWN`) triggers a graceful drain: in-flight frames are
 //!   delivered, threads join deterministically, and the session's
 //!   [`server::ServeReport`] balances its frame ledger. The same
-//!   listener answers HTTP `GET` scrapes with the Prometheus exposition
-//!   of the shared [`bnb_obs::Counters`].
+//!   listener doubles as the operator surface: HTTP `GET /metrics`
+//!   answers with the Prometheus exposition of the shared
+//!   [`bnb_obs::Counters`] plus per-stage/per-tenant request telemetry,
+//!   `GET /status` (and the wire `STATUS` opcode) with a JSON
+//!   [`server::StatusSnapshot`] covering uptime, tenant windows, engine
+//!   queue depths, and live fabric health.
 //! - [`loadgen`]: an open/closed-loop load generator that verifies every
-//!   routed frame against the submitted permutation and reports latency
-//!   percentiles from a shared [`bnb_obs::AtomicHistogram`].
+//!   routed frame against the submitted permutation, optionally resubmits
+//!   RETRYed frames, and reports latency percentiles (first-attempt and
+//!   retry-to-served) plus per-tenant breakdowns from shared
+//!   [`bnb_obs::AtomicHistogram`]s.
 
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
 
-pub use loadgen::{run_loadgen, LatencyPercentiles, LoadMode, LoadgenConfig, LoadgenReport};
+pub use loadgen::{
+    run_loadgen, LatencyPercentiles, LoadMode, LoadgenConfig, LoadgenReport, TenantLoad,
+};
 pub use protocol::{ErrorCode, Message, RecvError, RetryReason, WireError};
 pub use server::{
-    install_signal_handlers, ServeConfig, ServeError, ServeReport, Server, ServerControl,
+    install_signal_handlers, EngineStatus, ServeConfig, ServeError, ServeReport, Server,
+    ServerControl, StatusSnapshot,
 };

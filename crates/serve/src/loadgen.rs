@@ -15,17 +15,24 @@
 //! output `j` must have received the input whose destination was `j`.
 //! Misdeliveries, routing errors, retries, and unanswered frames are all
 //! tallied separately in the [`LoadgenReport`]; latency percentiles come
-//! from a shared [`AtomicHistogram`].
+//! from per-tenant [`AtomicHistogram`]s merged into run-wide totals.
+//!
+//! With [`LoadgenConfig::max_resubmits`] > 0 the generator behaves like a
+//! well-mannered client under backpressure: a RETRY response re-enqueues
+//! the frame (up to the cap) through the sender thread instead of
+//! abandoning it, and frames eventually served after a RETRY feed a
+//! separate first-send-to-served histogram ([`LoadgenReport::retry_latency`])
+//! so backpressure cost is visible apart from first-attempt latency.
 
 use std::collections::HashMap;
 use std::io;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{mpsc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use bnb_obs::AtomicHistogram;
+use bnb_obs::{AtomicHistogram, LatencyHistogram};
 use bnb_topology::perm::Permutation;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -70,6 +77,9 @@ pub struct LoadgenConfig {
     pub drain_window: Duration,
     /// Send a SHUTDOWN to the server after all tenants finish.
     pub shutdown_when_done: bool,
+    /// How many times one frame may be resubmitted after a RETRY before
+    /// the generator gives up on it. `0` treats every RETRY as final.
+    pub max_resubmits: u32,
 }
 
 impl Default for LoadgenConfig {
@@ -83,6 +93,7 @@ impl Default for LoadgenConfig {
             seed: 0xB1B0,
             drain_window: Duration::from_secs(2),
             shutdown_when_done: false,
+            max_resubmits: 0,
         }
     }
 }
@@ -113,12 +124,16 @@ pub struct LoadgenReport {
     pub tenants: u16,
     /// `"closed"` or `"open"`.
     pub mode: String,
-    /// Frames submitted across all tenants.
+    /// Distinct frames submitted across all tenants (resubmissions of
+    /// the same frame are counted in `resubmitted`, not here).
     pub submitted: u64,
     /// Frames answered with ROUTED and verified correct.
     pub served: u64,
-    /// Frames answered with RETRY.
+    /// Frames abandoned after a RETRY (resubmit budget exhausted, or
+    /// resubmits disabled).
     pub retried: u64,
+    /// RETRY responses answered by resubmitting the frame.
+    pub resubmitted: u64,
     /// Frames answered with ERROR.
     pub errored: u64,
     /// ROUTED responses whose permutation did not match the submission.
@@ -131,13 +146,55 @@ pub struct LoadgenReport {
     pub elapsed_ms: u64,
     /// Served frames per wall-clock second.
     pub achieved_qps: f64,
-    /// Round-trip latency percentiles over served frames.
+    /// Latency percentiles over served frames, measured from the send
+    /// of the attempt that was answered.
     pub latency: LatencyPercentiles,
+    /// Latency percentiles for frames served after at least one RETRY,
+    /// measured from the frame's *first* send — the client-visible cost
+    /// of backpressure. All-zero when no resubmitted frame was served.
+    pub retry_latency: LatencyPercentiles,
+    /// Per-tenant breakdown, sorted by tenant id.
+    pub per_tenant: Vec<TenantLoad>,
 }
 
-/// Per-tenant window of unanswered frames: request id → submitted
-/// destinations and send time.
-type Outstanding = Mutex<HashMap<u64, (Vec<u32>, Instant)>>;
+/// One tenant's slice of a load-generation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantLoad {
+    /// Tenant id (also its connection index).
+    pub tenant: u16,
+    /// Distinct frames this tenant submitted.
+    pub submitted: u64,
+    /// Frames served and verified correct.
+    pub served: u64,
+    /// Frames abandoned after a RETRY.
+    pub retried: u64,
+    /// RETRY responses answered by resubmitting.
+    pub resubmitted: u64,
+    /// Frames answered with ERROR.
+    pub errored: u64,
+    /// Misdelivered ROUTED responses.
+    pub misdelivered: u64,
+    /// Frames never answered.
+    pub unanswered: u64,
+    /// Median served latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile served latency in nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// One unanswered frame: what was submitted and when.
+struct OutFrame {
+    dests: Vec<u32>,
+    /// First send — retry latency is measured from here.
+    first_sent: Instant,
+    /// Most recent (re)send — attempt latency is measured from here.
+    last_sent: Instant,
+    /// Resubmissions performed so far.
+    attempts: u32,
+}
+
+/// Per-tenant window of unanswered frames, keyed by request id.
+type Outstanding = Mutex<HashMap<u64, OutFrame>>;
 
 /// The closed-loop credit gate.
 struct Credits {
@@ -167,30 +224,64 @@ impl Credits {
     }
 }
 
-#[derive(Default)]
+/// One tenant's tallies and histograms; each connection thread writes
+/// only its own, so aggregation happens once at report time.
 struct Tally {
     submitted: AtomicU64,
     served: AtomicU64,
     retried: AtomicU64,
+    resubmitted: AtomicU64,
     errored: AtomicU64,
     misdelivered: AtomicU64,
     unanswered: AtomicU64,
     protocol_surprises: AtomicU64,
+    /// Served latency from the answered attempt's send.
+    hist: AtomicHistogram,
+    /// Served-after-RETRY latency from the frame's first send.
+    retry_hist: AtomicHistogram,
+}
+
+impl Tally {
+    fn new() -> Self {
+        Tally {
+            submitted: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+            resubmitted: AtomicU64::new(0),
+            errored: AtomicU64::new(0),
+            misdelivered: AtomicU64::new(0),
+            unanswered: AtomicU64::new(0),
+            protocol_surprises: AtomicU64::new(0),
+            hist: AtomicHistogram::new(),
+            retry_hist: AtomicHistogram::new(),
+        }
+    }
+}
+
+/// Renders a merged histogram as the report's percentile block.
+fn percentiles(hist: &LatencyHistogram) -> LatencyPercentiles {
+    LatencyPercentiles {
+        min_ns: if hist.count() == 0 { 0 } else { hist.min_ns() },
+        p50_ns: hist.quantile(0.50),
+        p90_ns: hist.quantile(0.90),
+        p99_ns: hist.quantile(0.99),
+        p999_ns: hist.quantile(0.999),
+        max_ns: hist.max_ns(),
+        mean_ns: hist.mean_ns(),
+    }
 }
 
 /// Drives the configured load against a running server and reports what
 /// came back.
 pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
-    let tally = Tally::default();
-    let histogram = AtomicHistogram::new();
+    let tallies: Vec<Tally> = (0..cfg.tenants).map(|_| Tally::new()).collect();
     let started = Instant::now();
 
     thread::scope(|s| -> io::Result<()> {
         let mut handles = Vec::new();
         for tenant in 0..cfg.tenants {
-            let tally = &tally;
-            let histogram = &histogram;
-            handles.push(s.spawn(move || drive_tenant(cfg, tenant, tally, histogram)));
+            let tally = &tallies[usize::from(tenant)];
+            handles.push(s.spawn(move || drive_tenant(cfg, tenant, tally)));
         }
         let mut first_err = None;
         for h in handles {
@@ -209,32 +300,49 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
     }
 
     let elapsed = started.elapsed();
-    let hist = histogram.snapshot();
-    let served = tally.served.load(Ordering::Relaxed);
+    let sum = |f: fn(&Tally) -> &AtomicU64| -> u64 {
+        tallies.iter().map(|t| f(t).load(Ordering::Relaxed)).sum()
+    };
+    let mut hist = LatencyHistogram::new();
+    let mut retry_hist = LatencyHistogram::new();
+    let mut per_tenant = Vec::with_capacity(tallies.len());
+    for (tenant, t) in tallies.iter().enumerate() {
+        let th = t.hist.snapshot();
+        hist.merge(&th);
+        retry_hist.merge(&t.retry_hist.snapshot());
+        per_tenant.push(TenantLoad {
+            tenant: tenant as u16,
+            submitted: t.submitted.load(Ordering::Relaxed),
+            served: t.served.load(Ordering::Relaxed),
+            retried: t.retried.load(Ordering::Relaxed),
+            resubmitted: t.resubmitted.load(Ordering::Relaxed),
+            errored: t.errored.load(Ordering::Relaxed),
+            misdelivered: t.misdelivered.load(Ordering::Relaxed),
+            unanswered: t.unanswered.load(Ordering::Relaxed),
+            p50_ns: th.quantile(0.50),
+            p99_ns: th.quantile(0.99),
+        });
+    }
+    let served = sum(|t| &t.served);
     Ok(LoadgenReport {
         tenants: cfg.tenants,
         mode: match cfg.mode {
             LoadMode::Closed { .. } => "closed".to_string(),
             LoadMode::Open { .. } => "open".to_string(),
         },
-        submitted: tally.submitted.load(Ordering::Relaxed),
+        submitted: sum(|t| &t.submitted),
         served,
-        retried: tally.retried.load(Ordering::Relaxed),
-        errored: tally.errored.load(Ordering::Relaxed),
-        misdelivered: tally.misdelivered.load(Ordering::Relaxed),
-        unanswered: tally.unanswered.load(Ordering::Relaxed),
-        protocol_surprises: tally.protocol_surprises.load(Ordering::Relaxed),
+        retried: sum(|t| &t.retried),
+        resubmitted: sum(|t| &t.resubmitted),
+        errored: sum(|t| &t.errored),
+        misdelivered: sum(|t| &t.misdelivered),
+        unanswered: sum(|t| &t.unanswered),
+        protocol_surprises: sum(|t| &t.protocol_surprises),
         elapsed_ms: elapsed.as_millis().min(u128::from(u64::MAX)) as u64,
         achieved_qps: served as f64 / elapsed.as_secs_f64().max(1e-9),
-        latency: LatencyPercentiles {
-            min_ns: hist.min_ns(),
-            p50_ns: hist.quantile(0.50),
-            p90_ns: hist.quantile(0.90),
-            p99_ns: hist.quantile(0.99),
-            p999_ns: hist.quantile(0.999),
-            max_ns: hist.max_ns(),
-            mean_ns: hist.mean_ns(),
-        },
+        latency: percentiles(&hist),
+        retry_latency: percentiles(&retry_hist),
+        per_tenant,
     })
 }
 
@@ -251,13 +359,9 @@ pub fn request_shutdown(addr: &str) -> io::Result<()> {
 }
 
 /// One tenant's full run: a paced sender and a verifying receiver over a
-/// single connection.
-fn drive_tenant(
-    cfg: &LoadgenConfig,
-    tenant: u16,
-    tally: &Tally,
-    histogram: &AtomicHistogram,
-) -> io::Result<()> {
+/// single connection. The receiver hands RETRYed frames back to the
+/// sender over a channel, so the socket has exactly one writer.
+fn drive_tenant(cfg: &LoadgenConfig, tenant: u16, tally: &Tally) -> io::Result<()> {
     let stream = TcpStream::connect(&cfg.addr)?;
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(Duration::from_millis(50)))?;
@@ -269,9 +373,12 @@ fn drive_tenant(
         LoadMode::Closed { inflight } => Some(Credits::new(inflight.max(1))),
         LoadMode::Open { .. } => None,
     };
+    let (resub_tx, resub_rx) = mpsc::channel::<u64>();
 
     thread::scope(|s| -> io::Result<()> {
-        let sender = s.spawn(|| -> io::Result<()> {
+        let outstanding = &outstanding;
+        let credits = &credits;
+        let sender = s.spawn(move || -> io::Result<()> {
             let mut rng =
                 StdRng::seed_from_u64(cfg.seed ^ (u64::from(tenant).wrapping_mul(0x9E37_79B9)));
             let open_gap = match cfg.mode {
@@ -283,7 +390,18 @@ fn drive_tenant(
             };
             let t0 = Instant::now();
             for request_id in 0..cfg.frames {
-                if let Some(credits) = &credits {
+                // Resubmits jump the fresh-frame queue. Each takes its own
+                // credit: the RETRY that caused it released one, so the
+                // in-flight window stays bounded.
+                while let Ok(id) = resub_rx.try_recv() {
+                    if outstanding.lock().unwrap().contains_key(&id) {
+                        if let Some(credits) = credits {
+                            credits.acquire();
+                        }
+                        resend(&mut writer, outstanding, tenant, id)?;
+                    }
+                }
+                if let Some(credits) = credits {
                     credits.acquire();
                 }
                 if let Some(gap) = open_gap {
@@ -295,10 +413,16 @@ fn drive_tenant(
                 }
                 let perm = Permutation::random(cfg.inputs, &mut rng);
                 let dests: Vec<u32> = perm.as_slice().iter().map(|&d| d as u32).collect();
-                outstanding
-                    .lock()
-                    .unwrap()
-                    .insert(request_id, (dests.clone(), Instant::now()));
+                let now = Instant::now();
+                outstanding.lock().unwrap().insert(
+                    request_id,
+                    OutFrame {
+                        dests: dests.clone(),
+                        first_sent: now,
+                        last_sent: now,
+                        attempts: 0,
+                    },
+                );
                 tally.submitted.fetch_add(1, Ordering::Relaxed);
                 write_message(
                     &mut writer,
@@ -308,6 +432,16 @@ fn drive_tenant(
                         dests,
                     },
                 )?;
+            }
+            // Fresh frames done: keep serving resubmits until the
+            // receiver drops its end of the channel.
+            while let Ok(id) = resub_rx.recv() {
+                if outstanding.lock().unwrap().contains_key(&id) {
+                    if let Some(credits) = credits {
+                        credits.acquire();
+                    }
+                    resend(&mut writer, outstanding, tenant, id)?;
+                }
             }
             Ok(())
         });
@@ -320,11 +454,22 @@ fn drive_tenant(
             match read_message(&mut reader) {
                 Ok(Some(msg)) => {
                     last_activity = Instant::now();
-                    if handle_response(msg, &outstanding, tally, histogram) {
-                        answered += 1;
-                        if let Some(credits) = &credits {
-                            credits.release();
+                    match handle_response(msg, outstanding, tally, cfg.max_resubmits, &resub_tx) {
+                        Answer::Settled => {
+                            answered += 1;
+                            if let Some(credits) = credits {
+                                credits.release();
+                            }
                         }
+                        // The frame is back in flight via the sender, but
+                        // its credit must recirculate so the resend's own
+                        // acquire can succeed.
+                        Answer::Resubmitted => {
+                            if let Some(credits) = credits {
+                                credits.release();
+                            }
+                        }
+                        Answer::Ignored => {}
                     }
                 }
                 Ok(None) => break, // server hung up
@@ -344,7 +489,9 @@ fn drive_tenant(
 
         // Whatever is still outstanding was never answered. Release every
         // credit so a blocked sender can finish (its writes then fail or
-        // land on a dead socket; either way the thread exits).
+        // land on a dead socket; either way the thread exits), and drop
+        // the resubmit channel so its drain loop ends.
+        drop(resub_tx);
         let leftovers = {
             let mut out = outstanding.lock().unwrap();
             let n = out.len() as u64;
@@ -366,53 +513,120 @@ fn drive_tenant(
     })
 }
 
-/// Processes one server response; true when it answers an outstanding
-/// frame (served, retried, or errored).
+/// Re-sends one RETRYed frame, restamping its attempt clock. A frame the
+/// receiver already settled (raced answer) is silently skipped.
+fn resend(
+    writer: &mut TcpStream,
+    outstanding: &Outstanding,
+    tenant: u16,
+    request_id: u64,
+) -> io::Result<()> {
+    let dests = {
+        let mut out = outstanding.lock().unwrap();
+        let Some(frame) = out.get_mut(&request_id) else {
+            return Ok(());
+        };
+        frame.last_sent = Instant::now();
+        frame.dests.clone()
+    };
+    write_message(
+        writer,
+        &Message::Submit {
+            tenant,
+            request_id,
+            dests,
+        },
+    )
+}
+
+/// What one server response did to the outstanding window.
+enum Answer {
+    /// The frame is done: served, abandoned after RETRY, or errored.
+    Settled,
+    /// A RETRY was answered by handing the frame back to the sender.
+    Resubmitted,
+    /// The response matched no outstanding frame.
+    Ignored,
+}
+
+/// Processes one server response against the outstanding window.
 fn handle_response(
     msg: Message,
     outstanding: &Outstanding,
     tally: &Tally,
-    histogram: &AtomicHistogram,
-) -> bool {
+    max_resubmits: u32,
+    resub_tx: &mpsc::Sender<u64>,
+) -> Answer {
     match msg {
         Message::Routed {
             request_id,
             sources,
             ..
         } => {
-            let Some((dests, sent_at)) = outstanding.lock().unwrap().remove(&request_id) else {
+            let Some(frame) = outstanding.lock().unwrap().remove(&request_id) else {
                 tally.protocol_surprises.fetch_add(1, Ordering::Relaxed);
-                return false;
+                return Answer::Ignored;
             };
-            if verify_routed(&dests, &sources) {
+            if verify_routed(&frame.dests, &sources) {
                 tally.served.fetch_add(1, Ordering::Relaxed);
-                histogram.record(sent_at.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                tally.hist.record(
+                    frame
+                        .last_sent
+                        .elapsed()
+                        .as_nanos()
+                        .min(u128::from(u64::MAX)) as u64,
+                );
+                if frame.attempts > 0 {
+                    tally.retry_hist.record(
+                        frame
+                            .first_sent
+                            .elapsed()
+                            .as_nanos()
+                            .min(u128::from(u64::MAX)) as u64,
+                    );
+                }
             } else {
                 tally.misdelivered.fetch_add(1, Ordering::Relaxed);
             }
-            true
+            Answer::Settled
         }
         Message::Retry { request_id, .. } => {
-            if outstanding.lock().unwrap().remove(&request_id).is_some() {
-                tally.retried.fetch_add(1, Ordering::Relaxed);
-                true
-            } else {
+            let mut out = outstanding.lock().unwrap();
+            let Some(frame) = out.get_mut(&request_id) else {
+                drop(out);
                 tally.protocol_surprises.fetch_add(1, Ordering::Relaxed);
-                false
+                return Answer::Ignored;
+            };
+            if frame.attempts < max_resubmits {
+                frame.attempts += 1;
+                drop(out);
+                if resub_tx.send(request_id).is_ok() {
+                    tally.resubmitted.fetch_add(1, Ordering::Relaxed);
+                    return Answer::Resubmitted;
+                }
+                // Sender gone: nobody can resubmit, so the frame settles.
+                outstanding.lock().unwrap().remove(&request_id);
+            } else {
+                out.remove(&request_id);
             }
+            tally.retried.fetch_add(1, Ordering::Relaxed);
+            Answer::Settled
         }
         Message::Error { request_id, .. } => {
             if outstanding.lock().unwrap().remove(&request_id).is_some() {
                 tally.errored.fetch_add(1, Ordering::Relaxed);
-                true
+                Answer::Settled
             } else {
                 tally.protocol_surprises.fetch_add(1, Ordering::Relaxed);
-                false
+                Answer::Ignored
             }
         }
-        Message::Submit { .. } | Message::Shutdown { .. } => {
+        Message::Submit { .. }
+        | Message::Shutdown { .. }
+        | Message::Status { .. }
+        | Message::StatusReport { .. } => {
             tally.protocol_surprises.fetch_add(1, Ordering::Relaxed);
-            false
+            Answer::Ignored
         }
     }
 }

@@ -37,6 +37,11 @@ pub const OP_RETRY: u8 = 0x03;
 pub const OP_ERROR: u8 = 0x04;
 /// Client → server: begin a graceful drain (trusted-client admin op).
 pub const OP_SHUTDOWN: u8 = 0x05;
+/// Client → server: request a status report (empty payload).
+pub const OP_STATUS: u8 = 0x06;
+/// Server → client: the status report; the payload is a UTF-8 JSON
+/// document with the same shape as the `/status` HTTP endpoint.
+pub const OP_STATUS_REPORT: u8 = 0x07;
 
 /// Why a frame was pushed back with [`Message::Retry`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -147,6 +152,22 @@ pub enum Message {
         /// Client-chosen id (not answered).
         request_id: u64,
     },
+    /// Ask the server for a status report.
+    Status {
+        /// Requesting tenant.
+        tenant: u16,
+        /// Client-chosen id echoed back on the report.
+        request_id: u64,
+    },
+    /// The status report for a [`Message::Status`] request.
+    StatusReport {
+        /// Tenant that asked.
+        tenant: u16,
+        /// The STATUS's request id.
+        request_id: u64,
+        /// UTF-8 JSON document (same shape as the `/status` endpoint).
+        json: String,
+    },
 }
 
 impl Message {
@@ -158,6 +179,8 @@ impl Message {
             Message::Retry { .. } => OP_RETRY,
             Message::Error { .. } => OP_ERROR,
             Message::Shutdown { .. } => OP_SHUTDOWN,
+            Message::Status { .. } => OP_STATUS,
+            Message::StatusReport { .. } => OP_STATUS_REPORT,
         }
     }
 
@@ -168,7 +191,9 @@ impl Message {
             | Message::Routed { tenant, .. }
             | Message::Retry { tenant, .. }
             | Message::Error { tenant, .. }
-            | Message::Shutdown { tenant, .. } => *tenant,
+            | Message::Shutdown { tenant, .. }
+            | Message::Status { tenant, .. }
+            | Message::StatusReport { tenant, .. } => *tenant,
         }
     }
 
@@ -179,7 +204,9 @@ impl Message {
             | Message::Routed { request_id, .. }
             | Message::Retry { request_id, .. }
             | Message::Error { request_id, .. }
-            | Message::Shutdown { request_id, .. } => *request_id,
+            | Message::Shutdown { request_id, .. }
+            | Message::Status { request_id, .. }
+            | Message::StatusReport { request_id, .. } => *request_id,
         }
     }
 
@@ -206,7 +233,8 @@ impl Message {
                 out.extend_from_slice(&(take as u16).to_be_bytes());
                 out.extend_from_slice(&msg[..take]);
             }
-            Message::Shutdown { .. } => {}
+            Message::Shutdown { .. } | Message::Status { .. } => {}
+            Message::StatusReport { json, .. } => out.extend_from_slice(json.as_bytes()),
         }
         let body_len = (out.len() - start - 4) as u32;
         out[start..start + 4].copy_from_slice(&body_len.to_be_bytes());
@@ -399,14 +427,28 @@ pub fn decode_body(body: &[u8]) -> Result<Message, WireError> {
                 message,
             })
         }
-        OP_SHUTDOWN => {
+        OP_SHUTDOWN | OP_STATUS => {
             if !payload.is_empty() {
                 return Err(WireError::LengthMismatch {
                     expected: 0,
                     got: payload.len() as u64,
                 });
             }
-            Ok(Message::Shutdown { tenant, request_id })
+            Ok(if opcode == OP_SHUTDOWN {
+                Message::Shutdown { tenant, request_id }
+            } else {
+                Message::Status { tenant, request_id }
+            })
+        }
+        OP_STATUS_REPORT => {
+            let json = std::str::from_utf8(payload)
+                .map_err(|_| WireError::BadUtf8)?
+                .to_string();
+            Ok(Message::StatusReport {
+                tenant,
+                request_id,
+                json,
+            })
         }
         got => Err(WireError::UnknownOpcode { got }),
     }
@@ -508,10 +550,20 @@ fn fill(r: &mut impl Read, buf: &mut [u8]) -> Result<bool, RecvError> {
 /// frames (retry after checking shutdown flags). The length prefix is
 /// validated against [`MAX_BODY`] before any body allocation.
 pub fn read_message(r: &mut impl Read) -> Result<Option<Message>, RecvError> {
+    Ok(read_message_timed(r)?.map(|(msg, _)| msg))
+}
+
+/// [`read_message`], also reporting how long receiving and decoding the
+/// frame took in nanoseconds. The clock starts *after* the length prefix
+/// arrives, so idle time between frames is not charged — what remains is
+/// the body read plus [`decode_body`], the decode stage of the request
+/// lifecycle.
+pub fn read_message_timed(r: &mut impl Read) -> Result<Option<(Message, u64)>, RecvError> {
     let mut len_buf = [0u8; 4];
     if !fill(r, &mut len_buf)? {
         return Ok(None);
     }
+    let started = Instant::now();
     let len = u32::from_be_bytes(len_buf) as usize;
     if len > MAX_BODY {
         return Err(WireError::Oversized {
@@ -527,7 +579,9 @@ pub fn read_message(r: &mut impl Read) -> Result<Option<Message>, RecvError> {
             "stream closed between length and body",
         )));
     }
-    Ok(Some(decode_body(&body)?))
+    let msg = decode_body(&body)?;
+    let decode_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    Ok(Some((msg, decode_ns)))
 }
 
 /// Writes one framed message.
@@ -576,6 +630,62 @@ mod tests {
             tenant: 9,
             request_id: 100,
         });
+        roundtrip(Message::Status {
+            tenant: 3,
+            request_id: 44,
+        });
+        roundtrip(Message::StatusReport {
+            tenant: 3,
+            request_id: 44,
+            json: "{\"uptime_ms\":12}".into(),
+        });
+    }
+
+    #[test]
+    fn status_payload_must_be_empty_and_report_utf8() {
+        let mut bytes = Message::Status {
+            tenant: 0,
+            request_id: 0,
+        }
+        .to_bytes();
+        // A STATUS with a stray payload byte is a typed violation.
+        bytes.push(0xFF);
+        let len = (bytes.len() - 4) as u32;
+        bytes[..4].copy_from_slice(&len.to_be_bytes());
+        assert_eq!(
+            decode_body(&bytes[4..]),
+            Err(WireError::LengthMismatch {
+                expected: 0,
+                got: 1
+            })
+        );
+        // A STATUS_REPORT with invalid UTF-8 is rejected, not lossily read.
+        let mut body = vec![VERSION, OP_STATUS_REPORT, 0, 0];
+        body.extend_from_slice(&0u64.to_be_bytes());
+        body.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(decode_body(&body), Err(WireError::BadUtf8));
+        // An empty report round-trips to an empty document.
+        roundtrip(Message::StatusReport {
+            tenant: 0,
+            request_id: 0,
+            json: String::new(),
+        });
+    }
+
+    #[test]
+    fn timed_reads_report_decode_time_and_match_untimed() {
+        let msg = Message::Submit {
+            tenant: 2,
+            request_id: 9,
+            dests: vec![1, 0],
+        };
+        let bytes = msg.to_bytes();
+        let mut cursor = io::Cursor::new(&bytes);
+        let (got, decode_ns) = read_message_timed(&mut cursor).unwrap().unwrap();
+        assert_eq!(got, msg);
+        assert!(decode_ns > 0, "decode time is stamped");
+        let mut empty = io::Cursor::new(Vec::new());
+        assert!(matches!(read_message_timed(&mut empty), Ok(None)));
     }
 
     #[test]

@@ -18,9 +18,24 @@
 //! frame is routed and delivered, and all threads join deterministically
 //! before [`Server::serve`] returns its [`ServeReport`].
 //!
-//! The listener doubles as a Prometheus endpoint: a connection whose
-//! first bytes are `"GET "` is answered with one `text/plain; version=0.0.4`
-//! exposition rendered from the shared [`Counters`] and closed.
+//! The listener doubles as an HTTP operator surface: a connection whose
+//! first bytes are `"GET "` is answered once and closed — `/status`
+//! returns a JSON [`StatusSnapshot`], any other path the
+//! `text/plain; version=0.0.4` Prometheus exposition rendered from the
+//! shared [`Counters`] plus the request-lifecycle [`Telemetry`] families.
+//!
+//! # Request-lifecycle telemetry
+//!
+//! Every served frame's timeline is cut into six stages — decode (body
+//! read + parse), admission (quota checks), queue wait (dispatcher
+//! hand-off + the engine's bounded queue), route (worker pickup to batch
+//! publish), drain (completion buffer to dispatcher delivery), and
+//! response write (reply channel + socket write). All six are recorded in
+//! the writer thread at write completion, from stamps taken at adjacent
+//! points of the one request's timeline, so the per-stage sums partition
+//! the independently measured wire-to-wire latency. Requests slower than
+//! [`ServeConfig::slow_ms`] are additionally sampled into an optional
+//! [`FlightRecorder`] as [`SpanKind::Request`] spans.
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -31,12 +46,20 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use bnb_core::network::BnbNetwork;
-use bnb_engine::{Engine, EngineConfig, EngineHandle, LiveFaultPlan, ShardDepth};
-use bnb_obs::{render_prometheus, AcceptEvent, Counters, Observer, ServeEvent, ThrottleEvent};
+use bnb_engine::{
+    Engine, EngineConfig, EngineHandle, EngineStats, LiveFaultPlan, PlanStatus, ShardDepth,
+};
+use bnb_obs::{
+    render_prometheus, render_prometheus_telemetry, AcceptEvent, Counters, FlightRecorder,
+    LatencySummary, Observer, ServeEvent, Span, SpanKind, Stage, Telemetry, TelemetrySnapshot,
+    ThrottleEvent,
+};
 use bnb_topology::record::Record;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
-use crate::protocol::{read_message, write_message, ErrorCode, Message, RecvError, RetryReason};
+use crate::protocol::{
+    read_message_timed, write_message, ErrorCode, Message, RecvError, RetryReason,
+};
 
 /// Serving-session parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +77,11 @@ pub struct ServeConfig {
     pub max_connections: usize,
     /// Socket read timeout; bounds how fast idle readers notice shutdown.
     pub read_timeout: Duration,
+    /// Slow-request capture threshold in milliseconds; requests whose
+    /// wire-to-wire latency crosses it are counted and — when a
+    /// [`FlightRecorder`] is attached via [`Server::with_recorder`] —
+    /// sampled as [`SpanKind::Request`] spans. `0` disables capture.
+    pub slow_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +93,7 @@ impl Default for ServeConfig {
             tenant_quota: 4,
             max_connections: 64,
             read_timeout: Duration::from_millis(100),
+            slow_ms: 0,
         }
     }
 }
@@ -143,6 +172,9 @@ pub struct ServeReport {
     pub engine_batches: u64,
     /// Records in successfully routed batches.
     pub engine_records: u64,
+    /// Served requests that crossed the [`ServeConfig::slow_ms`]
+    /// threshold.
+    pub slow_requests: u64,
 }
 
 impl ServeReport {
@@ -201,13 +233,53 @@ impl Admission {
     }
 }
 
+/// One message travelling to a connection's writer thread, optionally
+/// carrying the request's stage stamps so the writer can close the
+/// telemetry record at write completion.
+struct Reply {
+    msg: Message,
+    meta: Option<ReplyMeta>,
+}
+
+impl Reply {
+    fn bare(msg: Message) -> Self {
+        Reply { msg, meta: None }
+    }
+}
+
+/// A served request's accumulated stage stamps, attached to its ROUTED
+/// reply. The writer thread records all six stages plus the wire-to-wire
+/// latency *after* the socket write completes, so stage sums partition
+/// the wire latency for exactly the set of served frames.
+struct ReplyMeta {
+    tenant: u16,
+    request_id: u64,
+    records: usize,
+    /// Approximate arrival instant (first body byte), reconstructed as
+    /// read-completion minus decode time.
+    arrival: Instant,
+    decode_ns: u64,
+    admission_ns: u64,
+    /// Dispatcher hand-off plus the engine's bounded-queue wait.
+    queue_ns: u64,
+    /// Worker pickup to batch publish inside the engine.
+    route_ns: u64,
+    /// Batch publish to dispatcher delivery.
+    drain_ns: u64,
+    /// When the dispatcher queued the reply (write stage starts here).
+    queued_at: Instant,
+}
+
 /// One admitted frame travelling from a reader to the dispatcher.
 struct RouteJob {
     tenant: u16,
     request_id: u64,
+    arrival: Instant,
+    decode_ns: u64,
+    admission_ns: u64,
     admitted_at: Instant,
     lines: Vec<Record>,
-    reply: mpsc::SyncSender<Message>,
+    reply: mpsc::SyncSender<Reply>,
     tenant_slot: Arc<AtomicUsize>,
 }
 
@@ -216,9 +288,96 @@ struct Pending {
     tenant: u16,
     request_id: u64,
     records: usize,
-    admitted_at: Instant,
-    reply: mpsc::SyncSender<Message>,
+    arrival: Instant,
+    decode_ns: u64,
+    admission_ns: u64,
+    /// Reader admission to engine-queue entry (dispatcher hand-off).
+    handoff_ns: u64,
+    /// When `try_submit` accepted the frame.
+    submitted_at: Instant,
+    reply: mpsc::SyncSender<Reply>,
     tenant_slot: Arc<AtomicUsize>,
+}
+
+/// Everything a connection or the dispatcher needs from the session,
+/// bundled once instead of threaded as a dozen parameters.
+struct SessionCtx<'s> {
+    cfg: ServeConfig,
+    control: &'s ServerControl,
+    admission: &'s Admission,
+    stats: &'s SessionStats,
+    counters: &'s Counters,
+    telemetry: &'s Telemetry,
+    recorder: Option<&'s FlightRecorder>,
+    plan: Option<&'s LiveFaultPlan>,
+    active_conns: &'s AtomicUsize,
+    engine_stats: &'s (dyn Fn() -> EngineStats + Sync),
+}
+
+/// Engine-side queue and latency state in a [`StatusSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineStatus {
+    /// Batches sitting in the bounded submission queue right now.
+    pub queue_depth: usize,
+    /// Deepest the bounded submission queue ever got.
+    pub queue_high_water: usize,
+    /// Deepest the shared slice-task queue got this submission wave.
+    pub task_queue_high_water: usize,
+    /// Batches fully routed (including failed ones).
+    pub batches: u64,
+    /// Records in successfully routed batches.
+    pub records: u64,
+    /// Batches that failed validation or routing.
+    pub errors: u64,
+    /// Queue-wait latency quantiles (submit to worker pickup).
+    pub wait_latency: LatencySummary,
+    /// Submit-to-completion latency quantiles.
+    pub latency: LatencySummary,
+}
+
+/// What the `/status` endpoint and the wire `STATUS` opcode report: one
+/// JSON document with the session's uptime, request telemetry, engine
+/// queue state, and — when a [`LiveFaultPlan`] is live — per-shard
+/// health and fault maps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusSnapshot {
+    /// Milliseconds since the serving session started.
+    pub uptime_ms: u64,
+    /// Frames currently between admission and delivery.
+    pub inflight: usize,
+    /// Client connections currently open.
+    pub connections: usize,
+    /// Whether the session is draining for shutdown.
+    pub draining: bool,
+    /// Per-stage and per-tenant request telemetry.
+    pub telemetry: TelemetrySnapshot,
+    /// Engine queue depths and latency quantiles.
+    pub engine: EngineStatus,
+    /// Live fabric health, when the session runs under a fault plan.
+    pub fabric: Option<PlanStatus>,
+}
+
+/// Builds the [`StatusSnapshot`] both operator surfaces serve.
+fn build_status(ctx: &SessionCtx<'_>) -> StatusSnapshot {
+    let est = (ctx.engine_stats)();
+    StatusSnapshot {
+        uptime_ms: ctx.telemetry.uptime_ms(),
+        inflight: ctx.admission.inflight.load(Ordering::Acquire),
+        connections: ctx.active_conns.load(Ordering::Acquire),
+        draining: ctx.control.shutdown_requested(),
+        telemetry: ctx.telemetry.snapshot(),
+        engine: EngineStatus {
+            queue_depth: est.queue_depth,
+            queue_high_water: est.queue_high_water,
+            task_queue_high_water: est.task_queue_high_water,
+            batches: est.batches,
+            records: est.records,
+            errors: est.errors,
+            wait_latency: est.wait_latency,
+            latency: est.latency,
+        },
+        fabric: ctx.plan.map(|p| p.status()),
+    }
 }
 
 /// A long-lived routing server bound to a shared [`Counters`] sink.
@@ -226,6 +385,7 @@ pub struct Server<'a> {
     config: ServeConfig,
     counters: &'a Counters,
     fault_plan: Option<&'a LiveFaultPlan>,
+    recorder: Option<&'a FlightRecorder>,
 }
 
 impl<'a> Server<'a> {
@@ -235,7 +395,17 @@ impl<'a> Server<'a> {
             config,
             counters,
             fault_plan: None,
+            recorder: None,
         }
+    }
+
+    /// Attaches a [`FlightRecorder`] for slow-request capture: served
+    /// requests crossing [`ServeConfig::slow_ms`] are recorded as
+    /// [`SpanKind::Request`] spans (request id as `seq`, tenant as `a`,
+    /// record count as `b`, wire latency as the duration).
+    pub fn with_recorder(mut self, recorder: &'a FlightRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// A server whose engine routes through live fault state: traffic
@@ -255,6 +425,7 @@ impl<'a> Server<'a> {
             config,
             counters,
             fault_plan: Some(plan),
+            recorder: None,
         }
     }
 
@@ -287,14 +458,31 @@ impl<'a> Server<'a> {
 
         let stats = SessionStats::default();
         let admission = Admission::new();
+        let telemetry = Telemetry::new();
+        if cfg.slow_ms > 0 {
+            telemetry.set_slow_threshold(Some(Duration::from_millis(cfg.slow_ms)));
+        }
         let started = Instant::now();
         let graceful = AtomicBool::new(true);
         let active_conns = AtomicUsize::new(0);
 
         let session = |handle: &EngineHandle<'_, &Counters>| {
+            let engine_stats = || handle.stats();
+            let ctx = SessionCtx {
+                cfg,
+                control,
+                admission: &admission,
+                stats: &stats,
+                counters: self.counters,
+                telemetry: &telemetry,
+                recorder: self.recorder,
+                plan: self.fault_plan,
+                active_conns: &active_conns,
+                engine_stats: &engine_stats,
+            };
             let (job_tx, job_rx) = mpsc::channel::<RouteJob>();
             thread::scope(|s| {
-                s.spawn(|| dispatch(handle, job_rx, &admission, &stats, self.counters));
+                s.spawn(|| dispatch(handle, job_rx, &ctx));
 
                 // Accept loop, run inline on this thread.
                 loop {
@@ -311,15 +499,10 @@ impl<'a> Server<'a> {
                             self.counters.connection_accepted(AcceptEvent { conn });
                             active_conns.fetch_add(1, Ordering::AcqRel);
                             let job_tx = job_tx.clone();
-                            let active = &active_conns;
-                            let admission = &admission;
-                            let stats = &stats;
-                            let counters = self.counters;
+                            let ctx = &ctx;
                             s.spawn(move || {
-                                let _ = serve_connection(
-                                    stream, cfg, control, job_tx, admission, stats, counters,
-                                );
-                                active.fetch_sub(1, Ordering::AcqRel);
+                                let _ = serve_connection(stream, ctx, job_tx);
+                                ctx.active_conns.fetch_sub(1, Ordering::AcqRel);
                             });
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -360,6 +543,7 @@ impl<'a> Server<'a> {
             elapsed_ms: started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64,
             engine_batches,
             engine_records,
+            slow_requests: telemetry.snapshot().slow_captured,
         };
         debug_assert!(
             report.accounted(),
@@ -402,9 +586,7 @@ impl std::error::Error for ServeError {
 fn dispatch<O: Observer>(
     handle: &EngineHandle<'_, O>,
     jobs: mpsc::Receiver<RouteJob>,
-    admission: &Admission,
-    stats: &SessionStats,
-    counters: &Counters,
+    ctx: &SessionCtx<'_>,
 ) {
     let mut pending: HashMap<u64, Pending> = HashMap::new();
     let mut disconnected = false;
@@ -414,49 +596,75 @@ fn dispatch<O: Observer>(
             let Some(p) = pending.remove(&batch.seq) else {
                 continue; // unreachable: every submit records a Pending
             };
-            let msg = match batch.result {
-                Ok(lines) => Message::Routed {
-                    tenant: p.tenant,
-                    request_id: p.request_id,
-                    sources: lines.iter().map(|r| r.data() as u32).collect(),
+            // Submit-to-delivery, cut at the engine's own stamps: whatever
+            // the engine did not spend queued or routing was spent in the
+            // completion buffer waiting for this delivery sweep.
+            let drain_total = p
+                .submitted_at
+                .elapsed()
+                .as_nanos()
+                .min(u128::from(u64::MAX)) as u64;
+            let drain_ns = drain_total.saturating_sub(batch.queue_ns + batch.route_ns);
+            let reply = match batch.result {
+                Ok(lines) => Reply {
+                    msg: Message::Routed {
+                        tenant: p.tenant,
+                        request_id: p.request_id,
+                        sources: lines.iter().map(|r| r.data() as u32).collect(),
+                    },
+                    meta: Some(ReplyMeta {
+                        tenant: p.tenant,
+                        request_id: p.request_id,
+                        records: p.records,
+                        arrival: p.arrival,
+                        decode_ns: p.decode_ns,
+                        admission_ns: p.admission_ns,
+                        queue_ns: p.handoff_ns + batch.queue_ns,
+                        route_ns: batch.route_ns,
+                        drain_ns,
+                        queued_at: Instant::now(),
+                    }),
                 },
-                Err(e) => Message::Error {
+                Err(e) => Reply::bare(Message::Error {
                     tenant: p.tenant,
                     request_id: p.request_id,
                     code: ErrorCode::Route,
                     message: error_chain(&e),
-                },
+                }),
             };
-            let served = matches!(msg, Message::Routed { .. });
-            match p.reply.try_send(msg) {
+            let served = matches!(reply.msg, Message::Routed { .. });
+            if !served {
+                ctx.telemetry.record_error(p.tenant);
+            }
+            match p.reply.try_send(reply) {
                 Ok(()) => {
                     if served {
-                        SessionStats::bump(&stats.frames_served);
-                        counters.frame_served(ServeEvent {
+                        SessionStats::bump(&ctx.stats.frames_served);
+                        ctx.counters.frame_served(ServeEvent {
                             tenant: p.tenant,
                             request_id: p.request_id,
                             records: p.records,
-                            latency_ns: p.admitted_at.elapsed().as_nanos().min(u128::from(u64::MAX))
+                            latency_ns: p.arrival.elapsed().as_nanos().min(u128::from(u64::MAX))
                                 as u64,
                         });
                     } else {
-                        SessionStats::bump(&stats.frames_errored);
+                        SessionStats::bump(&ctx.stats.frames_errored);
                     }
                 }
                 Err(_) => {
                     // Reply buffer full or writer gone: the bounded-buffer
                     // promise wins over delivery. Count it, never block.
-                    SessionStats::bump(&stats.responses_dropped);
+                    SessionStats::bump(&ctx.stats.responses_dropped);
                 }
             }
             p.tenant_slot.fetch_sub(1, Ordering::AcqRel);
-            admission.inflight.fetch_sub(1, Ordering::AcqRel);
+            ctx.admission.inflight.fetch_sub(1, Ordering::AcqRel);
         }
 
         // Feed the engine everything the readers have admitted.
         loop {
             match jobs.try_recv() {
-                Ok(job) => submit_job(handle, job, admission, &mut pending, stats, counters),
+                Ok(job) => submit_job(handle, job, ctx, &mut pending),
                 Err(mpsc::TryRecvError::Empty) => break,
                 Err(mpsc::TryRecvError::Disconnected) => {
                     disconnected = true;
@@ -477,7 +685,7 @@ fn dispatch<O: Observer>(
             Duration::from_micros(200)
         };
         match jobs.recv_timeout(wait) {
-            Ok(job) => submit_job(handle, job, admission, &mut pending, stats, counters),
+            Ok(job) => submit_job(handle, job, ctx, &mut pending),
             Err(mpsc::RecvTimeoutError::Timeout) => {}
             Err(mpsc::RecvTimeoutError::Disconnected) => disconnected = true,
         }
@@ -487,23 +695,30 @@ fn dispatch<O: Observer>(
 fn submit_job<O: Observer>(
     handle: &EngineHandle<'_, O>,
     job: RouteJob,
-    admission: &Admission,
+    ctx: &SessionCtx<'_>,
     pending: &mut HashMap<u64, Pending>,
-    stats: &SessionStats,
-    counters: &Counters,
 ) {
     let records = job.lines.len();
     match handle.try_submit(job.lines) {
         Ok(seq) => {
             // The admission cap keeps `inflight <= queue_capacity`, so the
             // engine queue had room; both slots are released at delivery.
+            let handoff_ns = job
+                .admitted_at
+                .elapsed()
+                .as_nanos()
+                .min(u128::from(u64::MAX)) as u64;
             pending.insert(
                 seq,
                 Pending {
                     tenant: job.tenant,
                     request_id: job.request_id,
                     records,
-                    admitted_at: job.admitted_at,
+                    arrival: job.arrival,
+                    decode_ns: job.decode_ns,
+                    admission_ns: job.admission_ns,
+                    handoff_ns,
+                    submitted_at: Instant::now(),
                     reply: job.reply,
                     tenant_slot: job.tenant_slot,
                 },
@@ -517,18 +732,19 @@ fn submit_job<O: Observer>(
             } else {
                 RetryReason::QueueFull
             };
-            SessionStats::bump(&stats.retries_issued);
-            counters.retry_issued(ThrottleEvent {
+            SessionStats::bump(&ctx.stats.retries_issued);
+            ctx.counters.retry_issued(ThrottleEvent {
                 tenant: job.tenant,
                 reason: reason.as_u8(),
             });
-            let _ = job.reply.try_send(Message::Retry {
+            ctx.telemetry.record_retry(job.tenant);
+            let _ = job.reply.try_send(Reply::bare(Message::Retry {
                 tenant: job.tenant,
                 request_id: job.request_id,
                 reason,
-            });
+            }));
             job.tenant_slot.fetch_sub(1, Ordering::AcqRel);
-            admission.inflight.fetch_sub(1, Ordering::AcqRel);
+            ctx.admission.inflight.fetch_sub(1, Ordering::AcqRel);
         }
     }
 }
@@ -545,21 +761,17 @@ fn error_chain(err: &dyn std::error::Error) -> String {
     out
 }
 
-/// Handles one accepted connection: sniffs HTTP metrics scrapes, then
+/// Handles one accepted connection: sniffs HTTP operator requests, then
 /// runs the binary-protocol reader loop with a paired writer thread.
 fn serve_connection(
     stream: TcpStream,
-    cfg: ServeConfig,
-    control: &Arc<ServerControl>,
+    ctx: &SessionCtx<'_>,
     job_tx: mpsc::Sender<RouteJob>,
-    admission: &Admission,
-    stats: &SessionStats,
-    counters: &Counters,
 ) -> io::Result<()> {
     stream.set_nodelay(true).ok();
-    stream.set_read_timeout(Some(cfg.read_timeout))?;
+    stream.set_read_timeout(Some(ctx.cfg.read_timeout))?;
     if sniff_http(&stream)? {
-        return serve_metrics(stream, counters);
+        return serve_http(stream, ctx);
     }
 
     let mut reader = stream.try_clone()?;
@@ -571,28 +783,55 @@ fn serve_connection(
     // entirely sees drops counted in `responses_dropped`, never unbounded
     // server-side buffering.
     let (reply_tx, reply_rx) =
-        mpsc::sync_channel::<Message>(cfg.queue_capacity + cfg.tenant_quota + 4);
+        mpsc::sync_channel::<Reply>(ctx.cfg.queue_capacity + ctx.cfg.tenant_quota + 4);
 
     thread::scope(|s| {
         let writer_handle = s.spawn(move || {
-            for msg in reply_rx.iter() {
-                if write_message(&mut writer, &msg).is_err() {
+            for reply in reply_rx.iter() {
+                if write_message(&mut writer, &reply.msg).is_err() {
                     break; // drain remaining sends as disconnects
+                }
+                // The request is wire-complete only now: close its
+                // telemetry record here, in the one thread that knows the
+                // write finished, so stage sums and the independently
+                // measured wire latency describe the same request set.
+                if let Some(meta) = reply.meta {
+                    let wire_ns =
+                        meta.arrival.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                    let write_ns = meta
+                        .queued_at
+                        .elapsed()
+                        .as_nanos()
+                        .min(u128::from(u64::MAX)) as u64;
+                    let t = ctx.telemetry;
+                    t.record_stage(Stage::Decode, meta.decode_ns);
+                    t.record_stage(Stage::Admission, meta.admission_ns);
+                    t.record_stage(Stage::QueueWait, meta.queue_ns);
+                    t.record_stage(Stage::Route, meta.route_ns);
+                    t.record_stage(Stage::Drain, meta.drain_ns);
+                    t.record_stage(Stage::Write, write_ns);
+                    t.record_request(meta.tenant, (meta.records as u64) * 4, wire_ns);
+                    if t.note_if_slow(wire_ns) {
+                        if let Some(rec) = ctx.recorder {
+                            rec.record(Span {
+                                kind: SpanKind::Request,
+                                ts_ns: rec.now_ns(),
+                                dur_ns: wire_ns,
+                                lane: 0,
+                                seq: meta.request_id,
+                                a: u64::from(meta.tenant),
+                                b: meta.records as u64,
+                                c: 0,
+                                ok: true,
+                            });
+                        }
+                    }
                 }
             }
             let _ = writer.flush();
         });
 
-        let result = reader_loop(
-            &mut reader,
-            cfg,
-            control,
-            &job_tx,
-            admission,
-            stats,
-            counters,
-            &reply_tx,
-        );
+        let result = reader_loop(&mut reader, ctx, &job_tx, &reply_tx);
 
         // Let the writer finish any responses still flowing from the
         // dispatcher (its sender clones live inside Pending entries).
@@ -603,35 +842,30 @@ fn serve_connection(
     })
 }
 
-#[allow(clippy::too_many_arguments)]
 fn reader_loop(
     reader: &mut TcpStream,
-    cfg: ServeConfig,
-    control: &Arc<ServerControl>,
+    ctx: &SessionCtx<'_>,
     job_tx: &mpsc::Sender<RouteJob>,
-    admission: &Admission,
-    stats: &SessionStats,
-    counters: &Counters,
-    reply_tx: &mpsc::SyncSender<Message>,
+    reply_tx: &mpsc::SyncSender<Reply>,
 ) -> io::Result<()> {
     loop {
-        let msg = match read_message(reader) {
-            Ok(Some(msg)) => msg,
+        let (msg, decode_ns) = match read_message_timed(reader) {
+            Ok(Some(timed)) => timed,
             Ok(None) => return Ok(()), // clean hangup
             Err(RecvError::IdleTimeout) => {
-                if control.shutdown_requested() {
+                if ctx.control.shutdown_requested() {
                     return Ok(());
                 }
                 continue;
             }
             Err(RecvError::Wire(e)) => {
-                SessionStats::bump(&stats.protocol_errors);
-                let _ = reply_tx.try_send(Message::Error {
+                SessionStats::bump(&ctx.stats.protocol_errors);
+                let _ = reply_tx.try_send(Reply::bare(Message::Error {
                     tenant: 0,
                     request_id: 0,
                     code: ErrorCode::Protocol,
                     message: e.to_string(),
-                });
+                }));
                 return Ok(());
             }
             Err(RecvError::Io(e)) => return Err(e),
@@ -642,23 +876,49 @@ fn reader_loop(
                 request_id,
                 dests,
             } => {
-                SessionStats::bump(&stats.frames_submitted);
+                // Arrival ≈ read completion minus the timed body read, so
+                // idle time between frames never counts against a request.
+                let received_at = Instant::now();
+                let arrival = received_at
+                    .checked_sub(Duration::from_nanos(decode_ns))
+                    .unwrap_or(received_at);
+                SessionStats::bump(&ctx.stats.frames_submitted);
                 admit(
-                    tenant, request_id, dests, cfg, control, job_tx, admission, stats, counters,
+                    tenant,
+                    request_id,
+                    dests,
+                    received_at,
+                    decode_ns,
+                    arrival,
+                    ctx,
+                    job_tx,
                     reply_tx,
                 );
             }
-            Message::Shutdown { .. } => control.trigger_shutdown(),
+            Message::Status { tenant, request_id } => {
+                // Answered from the reader; never enters the frame ledger.
+                let json = serde_json::to_string(&build_status(ctx))
+                    .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+                let _ = reply_tx.try_send(Reply::bare(Message::StatusReport {
+                    tenant,
+                    request_id,
+                    json,
+                }));
+            }
+            Message::Shutdown { .. } => ctx.control.trigger_shutdown(),
             // Server-to-client opcodes arriving at the server are a
             // protocol violation.
-            Message::Routed { .. } | Message::Retry { .. } | Message::Error { .. } => {
-                SessionStats::bump(&stats.protocol_errors);
-                let _ = reply_tx.try_send(Message::Error {
+            Message::Routed { .. }
+            | Message::Retry { .. }
+            | Message::Error { .. }
+            | Message::StatusReport { .. } => {
+                SessionStats::bump(&ctx.stats.protocol_errors);
+                let _ = reply_tx.try_send(Reply::bare(Message::Error {
                     tenant: msg.tenant(),
                     request_id: msg.request_id(),
                     code: ErrorCode::Protocol,
                     message: format!("client sent server-only opcode 0x{:02x}", msg.opcode()),
-                });
+                }));
                 return Ok(());
             }
         }
@@ -673,39 +933,39 @@ fn admit(
     tenant: u16,
     request_id: u64,
     dests: Vec<u32>,
-    cfg: ServeConfig,
-    control: &Arc<ServerControl>,
+    received_at: Instant,
+    decode_ns: u64,
+    arrival: Instant,
+    ctx: &SessionCtx<'_>,
     job_tx: &mpsc::Sender<RouteJob>,
-    admission: &Admission,
-    stats: &SessionStats,
-    counters: &Counters,
-    reply_tx: &mpsc::SyncSender<Message>,
+    reply_tx: &mpsc::SyncSender<Reply>,
 ) {
     let retry = |reason: RetryReason| {
-        SessionStats::bump(&stats.retries_issued);
-        counters.retry_issued(ThrottleEvent {
+        SessionStats::bump(&ctx.stats.retries_issued);
+        ctx.counters.retry_issued(ThrottleEvent {
             tenant,
             reason: reason.as_u8(),
         });
-        let _ = reply_tx.send(Message::Retry {
+        ctx.telemetry.record_retry(tenant);
+        let _ = reply_tx.send(Reply::bare(Message::Retry {
             tenant,
             request_id,
             reason,
-        });
+        }));
     };
 
-    if control.shutdown_requested() {
+    if ctx.control.shutdown_requested() {
         retry(RetryReason::Draining);
         return;
     }
-    let tenant_slot = admission.tenant_slot(tenant);
-    if tenant_slot.fetch_add(1, Ordering::AcqRel) >= cfg.tenant_quota {
+    let tenant_slot = ctx.admission.tenant_slot(tenant);
+    if tenant_slot.fetch_add(1, Ordering::AcqRel) >= ctx.cfg.tenant_quota {
         tenant_slot.fetch_sub(1, Ordering::AcqRel);
         retry(RetryReason::TenantQuota);
         return;
     }
-    if admission.inflight.fetch_add(1, Ordering::AcqRel) >= cfg.queue_capacity {
-        admission.inflight.fetch_sub(1, Ordering::AcqRel);
+    if ctx.admission.inflight.fetch_add(1, Ordering::AcqRel) >= ctx.cfg.queue_capacity {
+        ctx.admission.inflight.fetch_sub(1, Ordering::AcqRel);
         tenant_slot.fetch_sub(1, Ordering::AcqRel);
         retry(RetryReason::QueueFull);
         return;
@@ -716,9 +976,13 @@ fn admit(
         .enumerate()
         .map(|(i, &d)| Record::new(d as usize, i as u64))
         .collect();
+    let admission_ns = received_at.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
     let job = RouteJob {
         tenant,
         request_id,
+        arrival,
+        decode_ns,
+        admission_ns,
         admitted_at: Instant::now(),
         lines,
         reply: reply_tx.clone(),
@@ -726,7 +990,7 @@ fn admit(
     };
     if let Err(mpsc::SendError(job)) = job_tx.send(job) {
         // Dispatcher already gone: the session is past its drain point.
-        admission.inflight.fetch_sub(1, Ordering::AcqRel);
+        ctx.admission.inflight.fetch_sub(1, Ordering::AcqRel);
         job.tenant_slot.fetch_sub(1, Ordering::AcqRel);
         retry(RetryReason::Draining);
     }
@@ -758,9 +1022,10 @@ fn sniff_http(stream: &TcpStream) -> io::Result<bool> {
     }
 }
 
-/// Answers one HTTP metrics scrape with the Prometheus 0.0.4 exposition
-/// of the shared counters, then closes.
-fn serve_metrics(mut stream: TcpStream, counters: &Counters) -> io::Result<()> {
+/// Answers one HTTP operator request, then closes: `/status` with the
+/// JSON [`StatusSnapshot`], any other path with the Prometheus 0.0.4
+/// exposition of the shared counters plus the telemetry families.
+fn serve_http(mut stream: TcpStream, ctx: &SessionCtx<'_>) -> io::Result<()> {
     // Consume the request head (bounded) so the peer sees a clean close.
     let mut buf = [0u8; 1024];
     let mut head = Vec::new();
@@ -782,12 +1047,35 @@ fn serve_metrics(mut stream: TcpStream, counters: &Counters) -> io::Result<()> {
             Err(e) => return Err(e),
         }
     }
-    let body = render_prometheus(&counters.snapshot());
+    let path = http_path(&head);
+    let (content_type, body) = if path.starts_with("/status") {
+        let json = serde_json::to_string(&build_status(ctx))
+            .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+        ("application/json", json)
+    } else {
+        let mut body = render_prometheus(&ctx.counters.snapshot());
+        body.push_str(&render_prometheus_telemetry(&ctx.telemetry.snapshot()));
+        ("text/plain; version=0.0.4", body)
+    };
     let response = format!(
-        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        "HTTP/1.1 200 OK\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        content_type,
         body.len(),
         body
     );
     stream.write_all(response.as_bytes())?;
     stream.flush()
+}
+
+/// The request path from an HTTP request head (`GET <path> HTTP/1.1`);
+/// empty when the head is malformed, which falls through to `/metrics`.
+fn http_path(head: &[u8]) -> &str {
+    let line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(b"");
+    std::str::from_utf8(line)
+        .ok()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("")
 }

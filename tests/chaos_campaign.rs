@@ -11,16 +11,20 @@
 //! Every schedule is generated from its seed alone, so a failure names
 //! the exact seed that reproduces it.
 
-use std::net::TcpListener;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use bnb::core::{FaultKind, FaultSite};
 use bnb::engine::LiveFaultPlan;
 use bnb::obs::Counters;
 use bnb::serve::loadgen::{run_loadgen, LoadMode, LoadgenConfig};
-use bnb::serve::server::{ServeConfig, Server, ServerControl};
+use bnb::serve::protocol::read_message;
+use bnb::serve::server::{ServeConfig, Server, ServerControl, StatusSnapshot};
+use bnb::serve::Message;
 use bnb::sim::chaos::{chaos_engine_campaign, ChaosAction, ChaosSchedule};
 
 #[test]
@@ -152,6 +156,7 @@ fn chaos_through_a_live_server_keeps_the_wire_ledger_balanced() {
                 seed: seed ^ 0xB1B0,
                 drain_window: Duration::from_millis(4000),
                 shutdown_when_done: false,
+                max_resubmits: 0,
             })
             .expect("loadgen run");
 
@@ -198,4 +203,162 @@ fn chaos_through_a_live_server_keeps_the_wire_ledger_balanced() {
             "seed {seed}: capacity not restored after the schedule cleared"
         );
     }
+}
+
+/// Scrapes the server's /status endpoint and parses the JSON snapshot.
+fn scrape_status(addr: &str) -> StatusSnapshot {
+    let mut stream = TcpStream::connect(addr).expect("connect for status");
+    stream
+        .write_all(b"GET /status HTTP/1.1\r\nHost: bnb\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut status = String::new();
+    reader.read_line(&mut status).unwrap();
+    assert!(status.starts_with("HTTP/1.1 200"), "bad status: {status}");
+    let mut line = String::new();
+    loop {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        if line == "\r\n" {
+            break;
+        }
+    }
+    let mut body = String::new();
+    reader.read_to_string(&mut body).unwrap();
+    serde_json::from_str(&body).unwrap_or_else(|e| panic!("unparsable /status ({e:?}):\n{body}"))
+}
+
+/// Polls /status until `pred` holds or the deadline passes.
+fn wait_for_status(addr: &str, deadline: Duration, pred: impl Fn(&StatusSnapshot) -> bool) -> bool {
+    let until = Instant::now() + deadline;
+    loop {
+        if pred(&scrape_status(addr)) {
+            return true;
+        }
+        if Instant::now() > until {
+            return false;
+        }
+        thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// A seeded permutation of `0..n` (xorshift Fisher–Yates), so successive
+/// frames exercise the faulted switch from many control settings.
+fn shuffled(n: usize, seed: u64) -> Vec<u32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut dests: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        dests.swap(i, j);
+    }
+    dests
+}
+
+#[test]
+fn status_reflects_shard_quarantine_and_restore() {
+    // The operator-surface half of the chaos story: inject a persistent
+    // control fault while traffic flows, watch /status walk the shard
+    // through quarantine, clear the fault, and watch /status report the
+    // scrubber restoring full capacity.
+    let inputs = 16usize;
+    let config = ServeConfig {
+        inputs,
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let plan = LiveFaultPlan::healthy(2)
+        .with_probe_seed(0xFAB)
+        .with_scrub_interval(Duration::from_micros(50))
+        .with_restore_after(1);
+    let counters = Counters::new();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap().to_string();
+    let control = ServerControl::new();
+    let stop = AtomicBool::new(false);
+
+    let report = thread::scope(|s| {
+        let server_control = Arc::clone(&control);
+        let counters_ref = &counters;
+        let plan_ref = &plan;
+        let server = s.spawn(move || {
+            Server::with_fault_plan(config, counters_ref, plan_ref)
+                .serve(listener, &server_control)
+                .expect("serving session")
+        });
+
+        // Closed-loop traffic driver. Detection is traffic's job: the
+        // engine demotes the shard only when a frame actually trips the
+        // fault's balance check, exactly like real hardware.
+        let stop_ref = &stop;
+        let driver_addr = addr.clone();
+        let driver = s.spawn(move || {
+            let mut stream = TcpStream::connect(&driver_addr).expect("driver connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(2)))
+                .unwrap();
+            let mut req = 0u64;
+            while !stop_ref.load(Ordering::Acquire) {
+                req += 1;
+                let msg = Message::Submit {
+                    tenant: 0,
+                    request_id: req,
+                    dests: shuffled(inputs, req),
+                };
+                if stream.write_all(&msg.to_bytes()).is_err() {
+                    break;
+                }
+                match read_message(&mut stream) {
+                    Ok(Some(_)) => {}
+                    _ => break,
+                }
+            }
+        });
+
+        plan.inject(0, FaultSite::new(0, 0, 0), FaultKind::StuckExchange);
+
+        let quarantined = wait_for_status(&addr, Duration::from_secs(10), |st| {
+            st.fabric.as_ref().is_some_and(|f| {
+                f.degraded
+                    && f.shards.iter().any(|sh| {
+                        sh.shard == 0 && sh.health == "quarantined" && !sh.faults.is_empty()
+                    })
+            })
+        });
+        assert!(
+            quarantined,
+            "/status never reflected the quarantine: {:?}",
+            plan.status()
+        );
+
+        // The transient passes; one clean probe streak later the shard is
+        // back and the operator surface says so.
+        plan.clear(0);
+        let restored = wait_for_status(&addr, Duration::from_secs(10), |st| {
+            st.fabric.as_ref().is_some_and(|f| {
+                !f.degraded
+                    && f.healthy == 2
+                    && f.shards
+                        .iter()
+                        .all(|sh| sh.health == "healthy" && sh.faults.is_empty())
+            })
+        });
+        assert!(
+            restored,
+            "/status never reflected the restore: {:?}",
+            plan.status()
+        );
+
+        stop.store(true, Ordering::Release);
+        driver.join().expect("traffic driver");
+        control.trigger_shutdown();
+        server.join().expect("server thread")
+    });
+    assert!(report.accounted(), "{report:?}");
+    assert!(report.frames_served > 0, "{report:?}");
 }

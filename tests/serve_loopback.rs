@@ -4,15 +4,16 @@
 //! graceful drain, and a Prometheus scrape whose counters balance the
 //! frame ledger.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
 use bnb::obs::Counters;
-use bnb::serve::loadgen::{run_loadgen, LoadMode, LoadgenConfig};
-use bnb::serve::server::{ServeConfig, ServeReport, Server, ServerControl};
+use bnb::serve::loadgen::{run_loadgen, LoadMode, LoadgenConfig, TenantLoad};
+use bnb::serve::server::{ServeConfig, ServeReport, Server, ServerControl, StatusSnapshot};
 
 /// Runs `body` against a live server, then triggers a graceful drain and
 /// returns (session report, body result).
@@ -73,6 +74,39 @@ fn scrape_metrics(addr: &str) -> String {
     body
 }
 
+/// Scrapes the server's /status endpoint and parses the JSON snapshot.
+fn scrape_status(addr: &str) -> StatusSnapshot {
+    status_over(TcpStream::connect(addr).expect("connect for status"))
+}
+
+/// Sends `GET /status` on an already-open connection and parses the JSON
+/// body — also usable mid-drain on a connection accepted beforehand.
+fn status_over(mut stream: TcpStream) -> StatusSnapshot {
+    stream
+        .write_all(b"GET /status HTTP/1.1\r\nHost: bnb\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut status = String::new();
+    reader.read_line(&mut status).unwrap();
+    assert!(status.starts_with("HTTP/1.1 200"), "bad status: {status}");
+    let mut line = String::new();
+    let mut saw_json = false;
+    loop {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        if line.to_ascii_lowercase().contains("application/json") {
+            saw_json = true;
+        }
+        if line == "\r\n" {
+            break;
+        }
+    }
+    assert!(saw_json, "/status must answer application/json");
+    let mut body = String::new();
+    reader.read_to_string(&mut body).unwrap();
+    serde_json::from_str(&body).unwrap_or_else(|e| panic!("unparsable /status ({e:?}):\n{body}"))
+}
+
 /// Pulls `bnb_<name>_total` out of a Prometheus exposition.
 fn prom_counter(body: &str, name: &str) -> u64 {
     let needle = format!("bnb_{name} ");
@@ -96,6 +130,7 @@ fn concurrent_tenants_route_correctly_with_forced_backpressure() {
         tenant_quota: 2,
         max_connections: 16,
         read_timeout: Duration::from_millis(20),
+        slow_ms: 0,
     };
     let (report, load) = serve_scope(config, |addr, _control| {
         run_loadgen(&LoadgenConfig {
@@ -108,6 +143,7 @@ fn concurrent_tenants_route_correctly_with_forced_backpressure() {
             seed: 0x50AC,
             drain_window: Duration::from_secs(2),
             shutdown_when_done: false,
+            max_resubmits: 0,
         })
         .expect("loadgen run")
     });
@@ -149,6 +185,7 @@ fn metrics_endpoint_speaks_prometheus_and_balances_the_ledger() {
         tenant_quota: 2,
         max_connections: 8,
         read_timeout: Duration::from_millis(20),
+        slow_ms: 0,
     };
     let (report, (load, metrics)) = serve_scope(config, |addr, _control| {
         let load = run_loadgen(&LoadgenConfig {
@@ -160,6 +197,7 @@ fn metrics_endpoint_speaks_prometheus_and_balances_the_ledger() {
             seed: 0xFEED,
             drain_window: Duration::from_secs(2),
             shutdown_when_done: false,
+            max_resubmits: 0,
         })
         .expect("loadgen run");
         let metrics = scrape_metrics(addr);
@@ -209,6 +247,7 @@ fn wire_shutdown_drains_the_session_gracefully() {
         tenant_quota: 4,
         max_connections: 8,
         read_timeout: Duration::from_millis(20),
+        slow_ms: 0,
     };
     let (report, load) = serve_scope(config, |addr, _control| {
         // shutdown_when_done sends the wire SHUTDOWN opcode; the server
@@ -224,6 +263,7 @@ fn wire_shutdown_drains_the_session_gracefully() {
             seed: 0xD1E,
             drain_window: Duration::from_secs(2),
             shutdown_when_done: true,
+            max_resubmits: 0,
         })
         .expect("loadgen run")
     });
@@ -257,4 +297,261 @@ fn malformed_bytes_get_a_typed_protocol_error_not_a_crash() {
     assert_eq!(report.protocol_errors, 1);
     assert_eq!(report.frames_submitted, 0);
     assert!(report.accounted());
+}
+
+#[test]
+fn status_endpoint_reconciles_stage_sums_with_wire_latency() {
+    let config = ServeConfig {
+        inputs: 8,
+        workers: 1,
+        queue_capacity: 4,
+        tenant_quota: 4,
+        max_connections: 8,
+        read_timeout: Duration::from_millis(20),
+        // Threshold so high nothing trips it; the snapshot must still
+        // report it faithfully.
+        slow_ms: 60_000,
+    };
+    let (report, (load, status)) = serve_scope(config, |addr, _control| {
+        let load = run_loadgen(&LoadgenConfig {
+            addr: addr.to_string(),
+            tenants: 2,
+            frames: 25,
+            inputs: 8,
+            mode: LoadMode::Closed { inflight: 2 },
+            seed: 0x57A7,
+            drain_window: Duration::from_secs(2),
+            shutdown_when_done: false,
+            max_resubmits: 0,
+        })
+        .expect("loadgen run");
+        let status = scrape_status(addr);
+        (load, status)
+    });
+    assert!(report.accounted());
+
+    assert!(!status.draining, "session was not draining at scrape time");
+    assert!(status.fabric.is_none(), "no fault plan attached");
+    assert_eq!(status.telemetry.slow_threshold_ns, 60_000 * 1_000_000);
+    assert_eq!(status.telemetry.slow_captured, 0);
+
+    // Every served frame was measured wire-to-wire, and every one of the
+    // six lifecycle stages saw exactly those frames.
+    let t = &status.telemetry;
+    assert_eq!(t.wire.count, load.served, "wire window: {t:?}");
+    let names: Vec<&str> = t.stages.iter().map(|s| s.stage.as_str()).collect();
+    assert_eq!(
+        names,
+        [
+            "decode",
+            "admission",
+            "queue_wait",
+            "route",
+            "drain",
+            "write"
+        ],
+        "stages must appear in timeline order"
+    );
+    for s in &t.stages {
+        assert_eq!(s.count, load.served, "stage {} count: {t:?}", s.stage);
+        assert!(
+            s.sum_ns <= t.wire.sum_ns,
+            "stage {} exceeds wire: {t:?}",
+            s.stage
+        );
+    }
+
+    // The acceptance gate: the stage decomposition partitions wire time.
+    // Loopback latencies are microseconds, so tolerate generous relative
+    // noise plus a fixed per-request slack for scheduler jitter.
+    let stage_sum = t.stage_sum_ns();
+    let wire_sum = t.wire.sum_ns;
+    assert!(
+        wire_sum > 0,
+        "served frames must accumulate wire time: {t:?}"
+    );
+    let slack = wire_sum / 2 + 200_000 * t.wire.count;
+    assert!(
+        stage_sum.abs_diff(wire_sum) <= slack,
+        "stage sums must reconcile with wire-to-wire latency: \
+         stages={stage_sum}ns wire={wire_sum}ns slack={slack}ns\n{t:?}"
+    );
+
+    // Per-tenant windows cover the run's traffic.
+    assert_eq!(t.tenants.len(), 2, "{t:?}");
+    let window_served: u64 = t.tenants.iter().map(|w| w.count).sum();
+    assert_eq!(window_served, load.served, "{t:?}");
+    let window_bytes: u64 = t.tenants.iter().map(|w| w.bytes).sum();
+    assert_eq!(window_bytes, load.served * 8 * 4, "{t:?}");
+
+    // The engine view is live: the batches it routed are the frames served.
+    assert_eq!(status.engine.batches, load.served + load.errored);
+    assert_eq!(status.engine.records, load.served * 8);
+    assert_eq!(status.inflight, 0, "drained before the scrape");
+}
+
+#[test]
+fn operator_surfaces_stay_live_under_traffic_and_during_drain() {
+    let config = ServeConfig {
+        inputs: 8,
+        workers: 1,
+        queue_capacity: 4,
+        tenant_quota: 4,
+        max_connections: 16,
+        read_timeout: Duration::from_millis(20),
+        slow_ms: 0,
+    };
+    let (report, (load, scrapes)) = serve_scope(config, |addr, control| {
+        let stop = AtomicBool::new(false);
+        let (load, scrapes, drain_status) = thread::scope(|s| {
+            // Scraper thread: hammer both endpoints while traffic flows.
+            let stop_ref = &stop;
+            let scraper = s.spawn(move || {
+                let mut n = 0usize;
+                while !stop_ref.load(Ordering::Acquire) {
+                    let metrics = scrape_metrics(addr);
+                    assert!(metrics.contains("bnb_frames_served_total"));
+                    let status = scrape_status(addr);
+                    assert!(!status.draining, "drain must not start under load");
+                    n += 2;
+                    thread::sleep(Duration::from_millis(2));
+                }
+                n
+            });
+            let load = run_loadgen(&LoadgenConfig {
+                addr: addr.to_string(),
+                tenants: 3,
+                frames: 30,
+                inputs: 8,
+                mode: LoadMode::Closed { inflight: 2 },
+                seed: 0xCAFE,
+                drain_window: Duration::from_secs(2),
+                shutdown_when_done: false,
+                max_resubmits: 0,
+            })
+            .expect("loadgen run");
+            stop.store(true, Ordering::Release);
+            let scrapes = scraper.join().expect("scraper thread");
+
+            // During-drain scrape: park a connection so it is accepted
+            // (and sitting in the HTTP sniffer) before the drain starts,
+            // then ask for /status mid-drain.
+            let parked = TcpStream::connect(addr).expect("park connection");
+            thread::sleep(Duration::from_millis(50));
+            control.trigger_shutdown();
+            let drain_status = status_over(parked);
+            (load, scrapes, drain_status)
+        });
+        assert!(
+            drain_status.draining,
+            "a mid-drain scrape must report draining: {drain_status:?}"
+        );
+        (load, scrapes)
+    });
+    assert!(scrapes >= 2, "the scraper never completed a pass");
+    assert_eq!(load.misdelivered, 0);
+    assert_eq!(load.unanswered, 0);
+    assert!(report.graceful);
+    assert!(report.accounted());
+}
+
+#[test]
+fn wire_status_opcode_answers_with_the_json_snapshot() {
+    let config = ServeConfig::default();
+    let (report, ()) = serve_scope(config, |addr, _control| {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let ask = bnb::serve::Message::Status {
+            tenant: 3,
+            request_id: 99,
+        };
+        stream.write_all(&ask.to_bytes()).unwrap();
+        match bnb::serve::protocol::read_message(&mut stream) {
+            Ok(Some(bnb::serve::Message::StatusReport {
+                tenant,
+                request_id,
+                json,
+            })) => {
+                assert_eq!(tenant, 3, "report echoes the asking tenant");
+                assert_eq!(request_id, 99, "report echoes the request id");
+                let snap: StatusSnapshot = serde_json::from_str(&json)
+                    .unwrap_or_else(|e| panic!("unparsable STATUS_REPORT ({e:?}):\n{json}"));
+                assert!(!snap.draining);
+                assert_eq!(snap.connections, 1, "just this probe connection");
+                assert_eq!(snap.telemetry.wire.count, 0, "no frames served yet");
+            }
+            other => panic!("expected a STATUS_REPORT frame, got {other:?}"),
+        }
+    });
+    // STATUS never enters the frame ledger.
+    assert_eq!(report.frames_submitted, 0);
+    assert_eq!(report.protocol_errors, 0);
+    assert!(report.accounted());
+}
+
+#[test]
+fn loadgen_resubmits_retried_frames_and_both_ledgers_balance() {
+    let config = ServeConfig {
+        inputs: 16,
+        workers: 2,
+        queue_capacity: 3,
+        // Quota below the loadgen window forces RETRYs, which the client
+        // now answers by resubmitting instead of abandoning.
+        tenant_quota: 2,
+        max_connections: 16,
+        read_timeout: Duration::from_millis(20),
+        slow_ms: 0,
+    };
+    let (report, load) = serve_scope(config, |addr, _control| {
+        run_loadgen(&LoadgenConfig {
+            addr: addr.to_string(),
+            tenants: 4,
+            frames: 30,
+            inputs: 16,
+            mode: LoadMode::Closed { inflight: 5 },
+            seed: 0x5EED,
+            drain_window: Duration::from_secs(5),
+            shutdown_when_done: false,
+            max_resubmits: 16,
+        })
+        .expect("loadgen run")
+    });
+
+    assert!(
+        load.resubmitted > 0,
+        "backpressure must force at least one resubmission: {load:?}"
+    );
+    assert_eq!(load.misdelivered, 0, "{load:?}");
+    assert_eq!(load.errored, 0, "{load:?}");
+    assert_eq!(load.unanswered, 0, "{load:?}");
+    // Distinct-frame ledger: resubmissions are not new frames.
+    assert_eq!(
+        load.submitted,
+        load.served + load.retried,
+        "client ledger must balance: {load:?}"
+    );
+    // Retry-to-served latency was measured for frames that needed resends.
+    if load.retried < load.resubmitted {
+        assert!(
+            load.retry_latency.max_ns > 0,
+            "some resubmitted frame was served, so retry latency exists: {load:?}"
+        );
+    }
+
+    // Per-tenant breakdowns sum to the run totals.
+    assert_eq!(load.per_tenant.len(), 4, "{load:?}");
+    let sum = |f: fn(&TenantLoad) -> u64| load.per_tenant.iter().map(f).sum::<u64>();
+    assert_eq!(sum(|t| t.submitted), load.submitted, "{load:?}");
+    assert_eq!(sum(|t| t.served), load.served, "{load:?}");
+    assert_eq!(sum(|t| t.retried), load.retried, "{load:?}");
+    assert_eq!(sum(|t| t.resubmitted), load.resubmitted, "{load:?}");
+
+    // Server ledger: every resubmission was one more wire SUBMIT, and
+    // every RETRY answer was either resubmitted or abandoned.
+    assert!(report.accounted(), "{report:?}");
+    assert_eq!(report.frames_submitted, load.submitted + load.resubmitted);
+    assert_eq!(report.frames_served, load.served);
+    assert_eq!(report.retries_issued, load.resubmitted + load.retried);
 }
