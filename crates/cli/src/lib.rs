@@ -19,12 +19,14 @@
 //!            [--queue 4] [--seed 0] [--pretty] [--record FILE]
 //!            [--metrics text|json|prom]
 //! bnb serve [--addr 127.0.0.1:0] [--inputs 64] [--workers 2] [--queue 8]
+//!           [--threads 0] [--window 32] [--tenant-keys FILE]
 //!           [--tenant-quota 4] [--max-conns 64] [--read-timeout-ms 100]
 //!           [--slow-ms 0] [--record FILE] [--chaos] [--shards 2]
 //!           [--chaos-ops 16] [--chaos-interval-ms 50] [--seed ..]
 //!           [--chaos-out FILE] [--pretty]
-//! bnb loadgen [--addr 127.0.0.1:9500] [--tenants 4] [--frames 64]
-//!             [--inputs 64] [--mode closed|open] [--inflight 4] [--qps 500]
+//! bnb loadgen [--addr 127.0.0.1:9500] [--tenants 4] [--connections A,B,..]
+//!             [--frames 64] [--inputs 64] [--mode closed|open]
+//!             [--inflight 4] [--window W] [--qps 500] [--tenant-keys FILE]
 //!             [--seed 45488] [--drain-ms 2000] [--resubmits 0] [--shutdown]
 //!             [--out FILE] [--pretty]
 //! bnb top [--addr 127.0.0.1:9500] [--interval-ms 1000] [--count 0]
@@ -280,7 +282,9 @@ pub fn usage() -> String {
                   or a wire SHUTDOWN; prints 'listening on ADDR' at bind\n\
                   and the session report JSON after the graceful drain\n\
                   ([--addr 127.0.0.1:0] [--inputs 64] [--workers 2]\n\
-                  [--queue 8] [--tenant-quota 4] [--max-conns 64]\n\
+                  [--queue 8] [--threads 0 (= cores) reactor threads]\n\
+                  [--window 32 per-conn pipeline] [--tenant-keys FILE]\n\
+                  [--tenant-quota 4] [--max-conns 64]\n\
                   [--read-timeout-ms 100] [--pretty]); HTTP GET /metrics\n\
                   on the same port serves Prometheus metrics with\n\
                   per-stage/per-tenant telemetry, GET /status a JSON\n\
@@ -293,8 +297,12 @@ pub fn usage() -> String {
        loadgen    drive a running server and verify every routed frame\n\
                   ([--addr 127.0.0.1:9500] [--tenants 4] [--frames 64]\n\
                   [--inputs 64] [--mode closed|open] [--inflight 4]\n\
-                  [--qps 500] [--seed 45488] [--drain-ms 2000]\n\
-                  [--resubmits 0] [--shutdown] [--out FILE] [--pretty])\n\
+                  [--window W (alias for --inflight)] [--qps 500]\n\
+                  [--tenant-keys FILE] [--seed 45488] [--drain-ms 2000]\n\
+                  [--resubmits 0] [--shutdown] [--out FILE] [--pretty]);\n\
+                  --connections N drives N sockets sharing the tenants;\n\
+                  a comma list (--connections 1,16,64) sweeps each count\n\
+                  in turn and reports the scaling curve as JSON\n\
        top        live dashboard over a running server's /status endpoint\n\
                   ([--addr 127.0.0.1:9500] [--interval-ms 1000]\n\
                   [--count 0]; --count 1 prints once without clearing)\n\

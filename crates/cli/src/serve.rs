@@ -25,8 +25,8 @@ use std::time::Duration;
 use bnb_engine::LiveFaultPlan;
 use bnb_obs::FlightRecorder;
 use bnb_serve::{
-    install_signal_handlers, run_loadgen, LoadMode, LoadgenConfig, ServeConfig, Server,
-    ServerControl, StatusSnapshot,
+    install_signal_handlers, run_loadgen, run_sweep, LoadMode, LoadgenConfig, ServeConfig, Server,
+    ServerControl, StatusSnapshot, TenantKeys,
 };
 use bnb_sim::chaos::{ChaosAction, ChaosSchedule};
 
@@ -50,6 +50,20 @@ fn f64_or(flags: &Flags, name: &str, default: f64) -> Result<f64, CliError> {
     }
 }
 
+/// Loads and parses a `--tenant-keys` file when the flag is present.
+fn tenant_keys_flag(flags: &Flags) -> Result<Option<TenantKeys>, CliError> {
+    let Some(path) = flags.value("--tenant-keys") else {
+        return Ok(None);
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::caused_by(format!("cannot read {path}"), e))?;
+    let keys = TenantKeys::parse(&text).map_err(|e| err(format!("bad key file {path}: {e}")))?;
+    if keys.is_empty() {
+        return Err(err(format!("{path} provisions no tenants")));
+    }
+    Ok(Some(keys))
+}
+
 fn require_power_of_two(flags: &Flags, name: &str, default: usize) -> Result<usize, CliError> {
     let n = flags.usize_or(name, default)?;
     if n < 2 || !n.is_power_of_two() {
@@ -69,7 +83,10 @@ pub(crate) fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
         max_connections: flags.usize_or("--max-conns", 64)?.max(1),
         read_timeout: Duration::from_millis(u64_or(flags, "--read-timeout-ms", 100)?.max(1)),
         slow_ms: u64_or(flags, "--slow-ms", 0)?,
+        reactor_threads: flags.usize_or("--threads", 0)?,
+        window: flags.usize_or("--window", 32)?.max(1),
     };
+    let tenant_keys = tenant_keys_flag(flags)?;
     let record_path = flags.value("--record");
     let recorder = FlightRecorder::new().policy(sample_flag(flags)?);
     let pretty = flags.present("--pretty");
@@ -110,10 +127,15 @@ pub(crate) fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
     let control = ServerControl::new();
     let counters = bnb_obs::Counters::new();
     let report = match &schedule {
-        None => Server::new(config, &counters)
-            .with_recorder(&recorder)
-            .serve(listener, &control)
-            .map_err(|e| CliError::caused_by("serving session failed", e))?,
+        None => {
+            let mut server = Server::new(config, &counters).with_recorder(&recorder);
+            if let Some(keys) = tenant_keys.clone() {
+                server = server.with_tenant_keys(keys);
+            }
+            server
+                .serve(listener, &control)
+                .map_err(|e| CliError::caused_by("serving session failed", e))?
+        }
         Some(schedule) => {
             // The chaos driver and the serving engine share one live
             // plan: the driver damages and heals shards on a fixed
@@ -122,7 +144,11 @@ pub(crate) fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
             // a session that outlives its schedule converges back to
             // full capacity.
             let plan = LiveFaultPlan::healthy(shards).with_probe_seed(seed);
-            let server = Server::with_fault_plan(config, &counters, &plan).with_recorder(&recorder);
+            let mut server =
+                Server::with_fault_plan(config, &counters, &plan).with_recorder(&recorder);
+            if let Some(keys) = tenant_keys.clone() {
+                server = server.with_tenant_keys(keys);
+            }
             let stop = AtomicBool::new(false);
             let result = std::thread::scope(|s| {
                 s.spawn(|| {
@@ -163,7 +189,12 @@ pub(crate) fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
 pub(crate) fn cmd_loadgen(flags: &Flags) -> Result<String, CliError> {
     let mode = match flags.value("--mode").unwrap_or("closed") {
         "closed" => LoadMode::Closed {
-            inflight: flags.usize_or("--inflight", 4)?.max(1),
+            // --window is the pipelining-era spelling; --inflight the
+            // original. When both appear, --window wins.
+            inflight: match flags.value("--window") {
+                Some(_) => flags.usize_or("--window", 4)?.max(1),
+                None => flags.usize_or("--inflight", 4)?.max(1),
+            },
         },
         "open" => {
             let qps = f64_or(flags, "--qps", 500.0)?;
@@ -182,12 +213,34 @@ pub(crate) fn cmd_loadgen(flags: &Flags) -> Result<String, CliError> {
     if tenants == 0 || tenants > u64::from(u16::MAX) {
         return Err(err(format!("--tenants expects 1..=65535, got {tenants}")));
     }
+    // --connections: absent = one per tenant; one value = that many
+    // sockets; a comma list = a full scaling sweep.
+    let sweep: Vec<usize> = match flags.value("--connections") {
+        None => Vec::new(),
+        Some(list) => {
+            let mut counts = Vec::new();
+            for part in list.split(',') {
+                let n: usize = part.trim().parse().map_err(|_| {
+                    err(format!("--connections expects integers, got '{part}'"))
+                })?;
+                if n == 0 || n > 65_535 {
+                    return Err(err(format!("--connections expects 1..=65535, got {n}")));
+                }
+                counts.push(n);
+            }
+            if counts.is_empty() {
+                return Err(err("--connections expects at least one count"));
+            }
+            counts
+        }
+    };
     let config = LoadgenConfig {
         addr: flags
             .value("--addr")
             .unwrap_or("127.0.0.1:9500")
             .to_string(),
         tenants: tenants as u16,
+        connections: if sweep.len() == 1 { sweep[0] } else { 0 },
         frames: u64_or(flags, "--frames", 64)?,
         inputs: require_power_of_two(flags, "--inputs", 64)?,
         mode,
@@ -201,16 +254,31 @@ pub(crate) fn cmd_loadgen(flags: &Flags) -> Result<String, CliError> {
             }
             n as u32
         },
+        keys: tenant_keys_flag(flags)?,
     };
 
-    let report = run_loadgen(&config).map_err(|e| {
-        CliError::caused_by(format!("load generation against {} failed", config.addr), e)
-    })?;
-
-    let json = if flags.present("--pretty") {
-        serde_json::to_string_pretty(&report)
+    let pretty = flags.present("--pretty");
+    let json = if sweep.len() > 1 {
+        let report = run_sweep(&config, &sweep).map_err(|e| {
+            CliError::caused_by(
+                format!("connection sweep against {} failed", config.addr),
+                e,
+            )
+        })?;
+        if pretty {
+            serde_json::to_string_pretty(&report)
+        } else {
+            serde_json::to_string(&report)
+        }
     } else {
-        serde_json::to_string(&report)
+        let report = run_loadgen(&config).map_err(|e| {
+            CliError::caused_by(format!("load generation against {} failed", config.addr), e)
+        })?;
+        if pretty {
+            serde_json::to_string_pretty(&report)
+        } else {
+            serde_json::to_string(&report)
+        }
     }
     .map_err(|e| CliError::caused_by("cannot serialize loadgen report", e))?;
     if let Some(path) = flags.value("--out") {
@@ -288,9 +356,12 @@ pub(crate) fn render_top(addr: &str, s: &StatusSnapshot) -> String {
         if s.draining { "DRAINING" } else { "serving" }
     ));
     out.push_str(&format!(
-        "conns {}  inflight {}  engine queue {}/{} hw  batches {}  records {}  errors {}\n",
+        "conns {}  reactors {}  inflight {}  window {}/{}  engine queue {}/{} hw  batches {}  records {}  errors {}\n",
         s.connections,
+        s.reactors,
         s.inflight,
+        s.window.max_depth,
+        s.window.limit,
         s.engine.queue_depth,
         s.engine.queue_high_water,
         s.engine.batches,
@@ -383,7 +454,12 @@ mod tests {
             uptime_ms: 12_500,
             inflight: 3,
             connections: 2,
+            reactors: 2,
             draining: false,
+            window: bnb_serve::WindowStatus {
+                limit: 32,
+                max_depth: 5,
+            },
             telemetry: TelemetrySnapshot {
                 uptime_ms: 12_500,
                 window_ms: 60_000,
@@ -431,6 +507,8 @@ mod tests {
         assert!(out.contains("decode"), "{out}");
         assert!(out.contains("wire"), "{out}");
         assert!(out.contains("engine queue 1/4"), "{out}");
+        assert!(out.contains("reactors 2"), "{out}");
+        assert!(out.contains("window 5/32"), "{out}");
         // Tenant row: id, window count, retries.
         assert!(out.contains('7'), "{out}");
         assert!(out.contains("slow 1 (threshold 5.0ms)"), "{out}");

@@ -58,7 +58,7 @@ use crate::hub::{CloseGuard, Hub, JobLatch, JobPayload, SliceTask, Work};
 use crate::live::{scrubber_loop, LiveFaultPlan};
 use crate::stats::{EngineStats, LatencySummary, WorkerMetrics};
 
-pub use crate::hub::{RoutedBatch, SubmitError};
+pub use crate::hub::{BatchSubmitError, RoutedBatch, SubmitError};
 
 /// How deep to split each batch into independent subnetwork slices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -452,6 +452,47 @@ impl<O: Observer> EngineHandle<'_, O> {
         let seq = self.hub.try_submit(lines)?;
         if self.observer.enabled() {
             self.observer.batch_submitted(SubmitEvent { seq, records });
+        }
+        Ok(seq)
+    }
+
+    /// [`Self::try_submit`] with a caller completion-routing token: the
+    /// frame's [`RoutedBatch`] carries `token` back verbatim. Serving
+    /// front-ends key the token by connection so completions fan out to
+    /// the owning socket without a shared side table. `0` = untagged.
+    pub fn try_submit_tagged(&self, lines: Vec<Record>, token: u64) -> Result<u64, SubmitError> {
+        let records = lines.len();
+        let seq = self.hub.try_submit_tagged(lines, token)?;
+        if self.observer.enabled() {
+            self.observer.batch_submitted(SubmitEvent { seq, records });
+        }
+        Ok(seq)
+    }
+
+    /// Non-blocking [`Self::submit_batch`] with per-frame completion
+    /// tokens (`tokens[f]` rides back on frame `f`'s [`RoutedBatch`]):
+    /// rejects instead of waiting when the bounded queue is full or the
+    /// engine is closed, handing the whole batch back inside the error.
+    /// `tokens` must be empty or exactly `batch.frames()` long.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or `tokens` has the wrong length.
+    pub fn try_submit_batch(
+        &self,
+        batch: FrameBatch,
+        tokens: &[u64],
+    ) -> Result<u64, BatchSubmitError> {
+        let frames = batch.frames() as u64;
+        let records = batch.width();
+        let seq = self.hub.try_submit_batch(batch, tokens)?;
+        if self.observer.enabled() {
+            for f in 0..frames {
+                self.observer.batch_submitted(SubmitEvent {
+                    seq: seq + f,
+                    records,
+                });
+            }
         }
         Ok(seq)
     }
@@ -1288,6 +1329,37 @@ mod tests {
                     assert_eq!(batch.result.as_ref().unwrap(), &expected[i]);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn tagged_and_batched_submissions_carry_tokens_per_frame() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 16usize;
+        let net = BnbNetwork::new(4);
+        let engine = Engine::new(net, EngineConfig::with_workers(2));
+        let perms: Vec<_> = (0..5).map(|_| Permutation::random(n, &mut rng)).collect();
+        let drained = engine.run(|h| {
+            // One tagged single, then a 4-frame batch with distinct
+            // per-frame tokens.
+            h.try_submit_tagged(records_for_permutation(&perms[0]), 0xAA)
+                .unwrap();
+            let mut batch = bnb_core::batch::FrameBatch::with_capacity(n, 4);
+            for p in &perms[1..] {
+                batch.push_frame(&records_for_permutation(p));
+            }
+            let tokens = [0x10u64, 0x20, 0x30, 0x40];
+            let base = h.try_submit_batch(batch, &tokens).unwrap();
+            assert_eq!(base, 1, "batch frames follow the single");
+            (0..5).map(|_| h.drain().unwrap()).collect::<Vec<_>>()
+        });
+        let mut by_seq: Vec<_> = drained;
+        by_seq.sort_by_key(|b| b.seq);
+        let want_tokens = [0xAAu64, 0x10, 0x20, 0x30, 0x40];
+        for (i, batch) in by_seq.iter().enumerate() {
+            assert_eq!(batch.seq, i as u64);
+            assert_eq!(batch.token, want_tokens[i], "frame {i} token");
+            assert!(batch.result.is_ok(), "frame {i} routes");
         }
     }
 

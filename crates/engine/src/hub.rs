@@ -62,6 +62,11 @@ pub struct RoutedBatch {
     /// proper). `queue_ns + route_ns` is the submit-to-publish latency
     /// recorded in the engine histogram.
     pub route_ns: u64,
+    /// Opaque caller token attached at submission (see
+    /// [`Hub::try_submit_tagged`] / [`Hub::try_submit_batch`]). Serving
+    /// front-ends key completion routing by connection with it; plain
+    /// submissions carry `0`.
+    pub token: u64,
 }
 
 /// Queue-wait bookkeeping for one in-flight job, keyed by the job's first
@@ -121,6 +126,50 @@ impl std::fmt::Display for SubmitError {
 }
 
 impl std::error::Error for SubmitError {}
+
+/// Why [`Hub::try_submit_batch`] refused a whole [`FrameBatch`]. The
+/// rejected batch rides back inside the variant, mirroring
+/// [`SubmitError`], so dispatchers keep the SoA allocation for a later
+/// re-offer or per-frame RETRY fan-out.
+#[derive(Debug)]
+pub enum BatchSubmitError {
+    /// The bounded queue is full right now; re-offer later.
+    Full(FrameBatch),
+    /// The engine is past `drain_and_close` and accepts nothing more.
+    Closed(FrameBatch),
+}
+
+impl BatchSubmitError {
+    /// The rejected batch, returned to the caller unrouted.
+    pub fn into_batch(self) -> FrameBatch {
+        match self {
+            BatchSubmitError::Full(batch) | BatchSubmitError::Closed(batch) => batch,
+        }
+    }
+
+    /// Whether the rejection is permanent (engine closed) rather than
+    /// transient backpressure.
+    pub fn is_closed(&self) -> bool {
+        matches!(self, BatchSubmitError::Closed(_))
+    }
+}
+
+impl std::fmt::Display for BatchSubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchSubmitError::Full(batch) => {
+                write!(f, "submission queue full ({} frames rejected)", batch.frames())
+            }
+            BatchSubmitError::Closed(batch) => write!(
+                f,
+                "engine closed to new submissions ({} frames rejected)",
+                batch.frames()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BatchSubmitError {}
 
 /// Completion latch for one in-flight batch.
 ///
@@ -280,6 +329,9 @@ pub(crate) struct HubState {
     pub wait_histogram: LatencyHistogram,
     /// Queue-wait metadata for in-flight jobs, keyed by first seq.
     meta: BTreeMap<u64, JobMeta>,
+    /// Caller completion-routing tokens keyed by frame seq. Sparse: only
+    /// tagged submissions insert here; `finish` removes as it publishes.
+    tokens: BTreeMap<u64, u64>,
 }
 
 /// The shared coordination hub (one per [`crate::engine::Engine::run`]
@@ -315,6 +367,7 @@ impl Hub {
                 histogram: LatencyHistogram::new(),
                 wait_histogram: LatencyHistogram::new(),
                 meta: BTreeMap::new(),
+                tokens: BTreeMap::new(),
             }),
             work_cv: Condvar::new(),
             space_cv: Condvar::new(),
@@ -371,6 +424,60 @@ impl Hub {
             return Err(SubmitError::Full(lines));
         }
         Ok(self.enqueue_locked(st, JobPayload::Frame(lines), 1))
+    }
+
+    /// [`Hub::try_submit`] with a caller completion-routing token: the
+    /// frame's [`RoutedBatch`] carries `token` back verbatim, so a
+    /// serving dispatcher can fan the completion to the owning
+    /// connection without a side table. `0` means "untagged".
+    pub fn try_submit_tagged(&self, lines: Vec<Record>, token: u64) -> Result<u64, SubmitError> {
+        let mut st = self.state.lock().unwrap();
+        if !st.accepting {
+            return Err(SubmitError::Closed(lines));
+        }
+        if st.jobs.len() >= self.capacity {
+            return Err(SubmitError::Full(lines));
+        }
+        let seq = st.submitted;
+        if token != 0 {
+            st.tokens.insert(seq, token);
+        }
+        Ok(self.enqueue_locked(st, JobPayload::Frame(lines), 1))
+    }
+
+    /// Non-blocking [`Hub::submit_batch`] with per-frame completion
+    /// tokens: frame `f` (seq `first + f`) completes carrying
+    /// `tokens[f]`. `tokens` must be empty (all untagged) or exactly
+    /// `batch.frames()` long. Rejection hands the whole batch back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or `tokens` has the wrong length.
+    pub fn try_submit_batch(
+        &self,
+        batch: FrameBatch,
+        tokens: &[u64],
+    ) -> Result<u64, BatchSubmitError> {
+        assert!(!batch.is_empty(), "cannot submit an empty batch");
+        assert!(
+            tokens.is_empty() || tokens.len() == batch.frames(),
+            "token slice must be empty or match the batch frame count"
+        );
+        let frames = batch.frames() as u64;
+        let mut st = self.state.lock().unwrap();
+        if !st.accepting {
+            return Err(BatchSubmitError::Closed(batch));
+        }
+        if st.jobs.len() >= self.capacity {
+            return Err(BatchSubmitError::Full(batch));
+        }
+        let seq = st.submitted;
+        for (f, &token) in tokens.iter().enumerate() {
+            if token != 0 {
+                st.tokens.insert(seq + f as u64, token);
+            }
+        }
+        Ok(self.enqueue_locked(st, JobPayload::Batch(batch), frames))
     }
 
     fn enqueue_locked(
@@ -470,6 +577,7 @@ impl Hub {
             st.meta.remove(&first);
         }
         let queue_ns = queue_ns.min(latency_ns);
+        let token = st.tokens.remove(&seq).unwrap_or(0);
         st.completed.insert(
             seq,
             RoutedBatch {
@@ -477,6 +585,7 @@ impl Hub {
                 result,
                 queue_ns,
                 route_ns: latency_ns - queue_ns,
+                token,
             },
         );
         drop(st);

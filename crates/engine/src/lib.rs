@@ -48,8 +48,8 @@ pub mod live;
 pub mod stats;
 
 pub use engine::{
-    Engine, EngineConfig, EngineHandle, FaultPlan, RetryPolicy, RoutedBatch, ShardDepth,
-    SubmitError,
+    BatchSubmitError, Engine, EngineConfig, EngineHandle, FaultPlan, RetryPolicy, RoutedBatch,
+    ShardDepth, SubmitError,
 };
 pub use error::EngineError;
 pub use live::{LiveFaultPlan, PlanStatus, ShardHealth, ShardStatus};

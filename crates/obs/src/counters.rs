@@ -10,8 +10,9 @@
 //! monitoring.
 
 use crate::event::{
-    AcceptEvent, ColumnEvent, ConflictEvent, DrainEvent, FaultEvent, RepairEvent, RetryEvent,
-    RoundEvent, ScrubEvent, ServeEvent, ShardEvent, SubmitEvent, SweepEvent, ThrottleEvent,
+    AcceptEvent, AuthEvent, ColumnEvent, ConflictEvent, DrainEvent, FaultEvent, RepairEvent,
+    RetryEvent, RoundEvent, ScrubEvent, ServeEvent, ShardEvent, SubmitEvent, SweepEvent,
+    ThrottleEvent, WakeEvent, WindowEvent,
 };
 use crate::histogram::{AtomicHistogram, LatencyHistogram, LatencySummary};
 use crate::observer::Observer;
@@ -57,6 +58,9 @@ struct Shard {
     connections_accepted: AtomicU64,
     frames_served: AtomicU64,
     retries_issued: AtomicU64,
+    auth_failures: AtomicU64,
+    reactor_wakeups: AtomicU64,
+    max_window_depth: AtomicU64,
     scrub_probes: AtomicU64,
     shards_quarantined: AtomicU64,
     shards_restored: AtomicU64,
@@ -88,6 +92,9 @@ impl Shard {
             connections_accepted: AtomicU64::new(0),
             frames_served: AtomicU64::new(0),
             retries_issued: AtomicU64::new(0),
+            auth_failures: AtomicU64::new(0),
+            reactor_wakeups: AtomicU64::new(0),
+            max_window_depth: AtomicU64::new(0),
             scrub_probes: AtomicU64::new(0),
             shards_quarantined: AtomicU64::new(0),
             shards_restored: AtomicU64::new(0),
@@ -118,6 +125,9 @@ impl Shard {
             &self.connections_accepted,
             &self.frames_served,
             &self.retries_issued,
+            &self.auth_failures,
+            &self.reactor_wakeups,
+            &self.max_window_depth,
             &self.scrub_probes,
             &self.shards_quarantined,
             &self.shards_restored,
@@ -249,6 +259,9 @@ impl Counters {
             connections_accepted: self.sum(|s| &s.connections_accepted),
             frames_served: self.sum(|s| &s.frames_served),
             retries_issued: self.sum(|s| &s.retries_issued),
+            auth_failures: self.sum(|s| &s.auth_failures),
+            reactor_wakeups: self.sum(|s| &s.reactor_wakeups),
+            max_window_depth: self.max(|s| &s.max_window_depth),
             scrub_probes: self.sum(|s| &s.scrub_probes),
             shards_quarantined: self.sum(|s| &s.shards_quarantined),
             shards_restored: self.sum(|s| &s.shards_restored),
@@ -357,6 +370,23 @@ impl Observer for Counters {
     }
 
     #[inline]
+    fn auth_failed(&self, _event: AuthEvent) {
+        self.shard().auth_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn window_observed(&self, event: WindowEvent) {
+        self.shard()
+            .max_window_depth
+            .fetch_max(event.depth as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn reactor_woken(&self, _event: WakeEvent) {
+        self.shard().reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
     fn shard_scrubbed(&self, _event: ScrubEvent) {
         self.shard().scrub_probes.fetch_add(1, Ordering::Relaxed);
     }
@@ -426,6 +456,12 @@ pub struct MetricsSnapshot {
     pub frames_served: u64,
     /// Frames pushed back with an explicit `RETRY` response.
     pub retries_issued: u64,
+    /// Submits rejected because their authentication tag failed to verify.
+    pub auth_failures: u64,
+    /// Times a reactor lane was nudged awake through its wake pipe.
+    pub reactor_wakeups: u64,
+    /// Deepest per-connection pipeline window observed.
+    pub max_window_depth: u64,
     /// Background scrubber probes of suspect/quarantined fabric shards.
     pub scrub_probes: u64,
     /// Fabric shards confirmed faulty and quarantined by the scrubber.
@@ -580,10 +616,21 @@ mod tests {
             tenant: 3,
             reason: 3,
         });
+        c.auth_failed(AuthEvent {
+            tenant: 4,
+            request_id: 11,
+        });
+        c.reactor_woken(WakeEvent { lane: 0 });
+        c.reactor_woken(WakeEvent { lane: 1 });
+        c.window_observed(WindowEvent { conn: 7, depth: 5 });
+        c.window_observed(WindowEvent { conn: 9, depth: 3 });
         let snap = c.snapshot();
         assert_eq!(snap.connections_accepted, 2);
         assert_eq!(snap.frames_served, 1);
         assert_eq!(snap.retries_issued, 3);
+        assert_eq!(snap.auth_failures, 1);
+        assert_eq!(snap.reactor_wakeups, 2);
+        assert_eq!(snap.max_window_depth, 5);
         assert_eq!(snap.histogram.count(), 1, "served frames feed latency");
     }
 
@@ -648,12 +695,19 @@ mod tests {
             tenant: 0,
             reason: 1,
         });
+        c.auth_failed(AuthEvent {
+            tenant: 0,
+            request_id: 0,
+        });
+        c.reactor_woken(WakeEvent { lane: 0 });
+        c.window_observed(WindowEvent { conn: 1, depth: 9 });
         assert_ne!(c.snapshot(), Counters::new().snapshot());
         c.reset();
         let snap = c.snapshot();
         assert_eq!(snap, Counters::new().snapshot());
         assert_eq!(snap.max_sweep_depth, 0, "high-water marks reset too");
         assert_eq!(snap.max_round_backlog, 0);
+        assert_eq!(snap.max_window_depth, 0);
         assert_eq!(snap.histogram.count(), 0);
         assert!(snap.per_stage.is_empty());
     }

@@ -46,6 +46,9 @@ pub fn render_text(snapshot: &MetricsSnapshot) -> String {
     line("connections_accepted", snapshot.connections_accepted);
     line("frames_served", snapshot.frames_served);
     line("retries_issued", snapshot.retries_issued);
+    line("auth_failures", snapshot.auth_failures);
+    line("reactor_wakeups", snapshot.reactor_wakeups);
+    line("max_window_depth", snapshot.max_window_depth);
     line("scrub_probes", snapshot.scrub_probes);
     line("shards_quarantined", snapshot.shards_quarantined);
     line("shards_restored", snapshot.shards_restored);
@@ -258,6 +261,24 @@ pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
         "counter",
         "Frames pushed back with an explicit RETRY response.",
         snapshot.retries_issued,
+    );
+    family(
+        "bnb_auth_failures_total",
+        "counter",
+        "Submits rejected because their authentication tag failed to verify.",
+        snapshot.auth_failures,
+    );
+    family(
+        "bnb_reactor_wakeups_total",
+        "counter",
+        "Times a reactor lane was nudged awake through its wake pipe.",
+        snapshot.reactor_wakeups,
+    );
+    family(
+        "bnb_max_window_depth",
+        "gauge",
+        "Deepest per-connection pipeline window observed.",
+        snapshot.max_window_depth,
     );
     family(
         "bnb_scrub_probes_total",
@@ -511,6 +532,9 @@ mod tests {
         assert!(text.contains("connections_accepted   0"));
         assert!(text.contains("frames_served          0"));
         assert!(text.contains("retries_issued         0"));
+        assert!(text.contains("auth_failures          0"));
+        assert!(text.contains("reactor_wakeups        0"));
+        assert!(text.contains("max_window_depth       0"));
         assert!(text.contains("scrub_probes           0"));
         assert!(text.contains("shards_quarantined     0"));
         assert!(text.contains("shards_restored        0"));
@@ -577,6 +601,11 @@ mod tests {
         assert!(text.contains("# TYPE bnb_frames_served_total counter"));
         assert!(text.contains("bnb_connections_accepted_total 0"));
         assert!(text.contains("bnb_retries_issued_total 0"));
+        assert!(text.contains("# TYPE bnb_auth_failures_total counter"));
+        assert!(text.contains("bnb_auth_failures_total 0"));
+        assert!(text.contains("bnb_reactor_wakeups_total 0"));
+        assert!(text.contains("# TYPE bnb_max_window_depth gauge"));
+        assert!(text.contains("bnb_max_window_depth 0"));
         assert!(text.contains("# TYPE bnb_scrub_probes_total counter"));
         assert!(text.contains("bnb_scrub_probes_total 0"));
         assert!(text.contains("bnb_shards_quarantined_total 0"));

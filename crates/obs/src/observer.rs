@@ -2,9 +2,9 @@
 //! [`Fanout`] combinator for feeding two sinks at once.
 
 use crate::event::{
-    AcceptEvent, ColumnEvent, ConflictEvent, DrainEvent, FaultEvent, HopEvent, RepairEvent,
-    RetryEvent, RoundEvent, ScrubEvent, ServeEvent, ShardEvent, SubmitEvent, SweepEvent,
-    ThrottleEvent,
+    AcceptEvent, AuthEvent, ColumnEvent, ConflictEvent, DrainEvent, FaultEvent, HopEvent,
+    RepairEvent, RetryEvent, RoundEvent, ScrubEvent, ServeEvent, ShardEvent, SubmitEvent,
+    SweepEvent, ThrottleEvent, WakeEvent, WindowEvent,
 };
 
 /// Sink for routing-layer events.
@@ -144,6 +144,24 @@ pub trait Observer: Send + Sync {
         let _ = event;
     }
 
+    /// A SUBMIT was refused by tenant authentication.
+    #[inline]
+    fn auth_failed(&self, event: AuthEvent) {
+        let _ = event;
+    }
+
+    /// A connection's pipelining window deepened by one admission.
+    #[inline]
+    fn window_observed(&self, event: WindowEvent) {
+        let _ = event;
+    }
+
+    /// A reactor lane was woken through its wake pipe.
+    #[inline]
+    fn reactor_woken(&self, event: WakeEvent) {
+        let _ = event;
+    }
+
     /// The background scrubber probed a fabric shard.
     #[inline]
     fn shard_scrubbed(&self, event: ScrubEvent) {
@@ -252,6 +270,21 @@ impl<O: Observer + ?Sized> Observer for &O {
     #[inline]
     fn retry_issued(&self, event: ThrottleEvent) {
         (**self).retry_issued(event);
+    }
+
+    #[inline]
+    fn auth_failed(&self, event: AuthEvent) {
+        (**self).auth_failed(event);
+    }
+
+    #[inline]
+    fn window_observed(&self, event: WindowEvent) {
+        (**self).window_observed(event);
+    }
+
+    #[inline]
+    fn reactor_woken(&self, event: WakeEvent) {
+        (**self).reactor_woken(event);
     }
 
     #[inline]
@@ -395,6 +428,24 @@ impl<A: Observer, B: Observer> Observer for Fanout<A, B> {
     fn retry_issued(&self, event: ThrottleEvent) {
         self.a.retry_issued(event);
         self.b.retry_issued(event);
+    }
+
+    #[inline]
+    fn auth_failed(&self, event: AuthEvent) {
+        self.a.auth_failed(event);
+        self.b.auth_failed(event);
+    }
+
+    #[inline]
+    fn window_observed(&self, event: WindowEvent) {
+        self.a.window_observed(event);
+        self.b.window_observed(event);
+    }
+
+    #[inline]
+    fn reactor_woken(&self, event: WakeEvent) {
+        self.a.reactor_woken(event);
+        self.b.reactor_woken(event);
     }
 
     #[inline]

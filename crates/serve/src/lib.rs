@@ -30,15 +30,21 @@
 //!   retry-to-served) plus per-tenant breakdowns from shared
 //!   [`bnb_obs::AtomicHistogram`]s.
 
+pub mod auth;
+mod conn;
 pub mod loadgen;
 pub mod protocol;
+mod reactor;
 pub mod server;
+mod sys;
 
+pub use auth::TenantKeys;
 pub use loadgen::{
-    run_loadgen, LatencyPercentiles, LoadMode, LoadgenConfig, LoadgenReport, TenantLoad,
+    run_loadgen, run_sweep, LatencyPercentiles, LoadMode, LoadgenConfig, LoadgenReport,
+    SweepPoint, SweepReport, TenantLoad,
 };
-pub use protocol::{ErrorCode, Message, RecvError, RetryReason, WireError};
+pub use protocol::{ErrorCode, FrameAssembler, Message, RecvError, RetryReason, WireError};
 pub use server::{
     install_signal_handlers, EngineStatus, ServeConfig, ServeError, ServeReport, Server,
-    ServerControl, StatusSnapshot,
+    ServerControl, StatusSnapshot, WindowStatus,
 };

@@ -1,7 +1,9 @@
 //! The load-generator client for `bnb serve`.
 //!
-//! Each tenant gets its own connection with a sender thread and a
-//! receiver thread. Two pacing modes:
+//! The generator drives [`LoadgenConfig::connections`] concurrent
+//! connections (default: one per tenant; beyond that, connections share
+//! tenants round-robin), each with a sender thread and a receiver
+//! thread. Two pacing modes:
 //!
 //! - **closed loop**: at most `inflight` unanswered frames per tenant —
 //!   every response (ROUTED, RETRY, or ERROR) releases a send credit.
@@ -38,6 +40,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 
+use crate::auth::TenantKeys;
 use crate::protocol::{read_message, write_message, Message, RecvError};
 
 /// How the load generator paces its submissions.
@@ -62,9 +65,12 @@ pub enum LoadMode {
 pub struct LoadgenConfig {
     /// Server address, e.g. `127.0.0.1:9500`.
     pub addr: String,
-    /// Concurrent tenant connections (tenant ids `0..tenants`).
+    /// Tenant ids in play (`0..tenants`).
     pub tenants: u16,
-    /// Frames each tenant submits.
+    /// Concurrent connections. `0` means one per tenant; otherwise
+    /// connection `i` submits as tenant `i % tenants`.
+    pub connections: usize,
+    /// Frames each connection submits.
     pub frames: u64,
     /// Records per frame — must match the server's network size.
     pub inputs: usize,
@@ -80,6 +86,10 @@ pub struct LoadgenConfig {
     /// How many times one frame may be resubmitted after a RETRY before
     /// the generator gives up on it. `0` treats every RETRY as final.
     pub max_resubmits: u32,
+    /// Tenant signing keys. When set, every submit (and resubmit) goes
+    /// out as `SUBMIT_TAGGED` with the tenant's SipHash tag — required
+    /// against a server running with `--tenant-keys`.
+    pub keys: Option<TenantKeys>,
 }
 
 impl Default for LoadgenConfig {
@@ -87,6 +97,7 @@ impl Default for LoadgenConfig {
         LoadgenConfig {
             addr: "127.0.0.1:9500".to_string(),
             tenants: 4,
+            connections: 0,
             frames: 64,
             inputs: 64,
             mode: LoadMode::Closed { inflight: 4 },
@@ -94,6 +105,18 @@ impl Default for LoadgenConfig {
             drain_window: Duration::from_secs(2),
             shutdown_when_done: false,
             max_resubmits: 0,
+            keys: None,
+        }
+    }
+}
+
+impl LoadgenConfig {
+    /// The concrete connection count this config drives.
+    pub fn effective_connections(&self) -> usize {
+        if self.connections == 0 {
+            usize::from(self.tenants.max(1))
+        } else {
+            self.connections
         }
     }
 }
@@ -120,8 +143,10 @@ pub struct LatencyPercentiles {
 /// What a load-generation run observed.
 #[derive(Debug, Clone, Serialize)]
 pub struct LoadgenReport {
-    /// Tenant connections driven.
+    /// Tenant ids driven.
     pub tenants: u16,
+    /// Concurrent connections driven.
+    pub connections: usize,
     /// `"closed"` or `"open"`.
     pub mode: String,
     /// Distinct frames submitted across all tenants (resubmissions of
@@ -277,11 +302,15 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
     let tallies: Vec<Tally> = (0..cfg.tenants).map(|_| Tally::new()).collect();
     let started = Instant::now();
 
+    let conn_count = cfg.effective_connections();
     thread::scope(|s| -> io::Result<()> {
         let mut handles = Vec::new();
-        for tenant in 0..cfg.tenants {
+        for conn_idx in 0..conn_count {
+            let tenant = (conn_idx % usize::from(cfg.tenants.max(1))) as u16;
+            // Tallies are per tenant; connections sharing a tenant share
+            // its (all-atomic) tally.
             let tally = &tallies[usize::from(tenant)];
-            handles.push(s.spawn(move || drive_tenant(cfg, tenant, tally)));
+            handles.push(s.spawn(move || drive_conn(cfg, conn_idx, tenant, tally)));
         }
         let mut first_err = None;
         for h in handles {
@@ -326,6 +355,7 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
     let served = sum(|t| &t.served);
     Ok(LoadgenReport {
         tenants: cfg.tenants,
+        connections: conn_count,
         mode: match cfg.mode {
             LoadMode::Closed { .. } => "closed".to_string(),
             LoadMode::Open { .. } => "open".to_string(),
@@ -346,6 +376,78 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
     })
 }
 
+/// One point on a connection-scaling sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPoint {
+    /// Concurrent connections driven at this point.
+    pub connections: usize,
+    /// Distinct frames submitted.
+    pub submitted: u64,
+    /// Frames served and verified correct.
+    pub served: u64,
+    /// Frames abandoned after a RETRY.
+    pub retried: u64,
+    /// Frames answered with ERROR.
+    pub errored: u64,
+    /// Misdelivered ROUTED responses.
+    pub misdelivered: u64,
+    /// Frames never answered within the drain window.
+    pub unanswered: u64,
+    /// Served frames per wall-clock second.
+    pub achieved_qps: f64,
+    /// Median served latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile served latency in nanoseconds.
+    pub p99_ns: u64,
+    /// Wall-clock duration of this point.
+    pub elapsed_ms: u64,
+}
+
+/// A connections-vs-throughput/latency curve from [`run_sweep`].
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepReport {
+    /// Tenant ids in play at every point.
+    pub tenants: u16,
+    /// Frames each connection submitted at every point.
+    pub frames_per_connection: u64,
+    /// One entry per requested connection count, in order.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Runs one full load-generation pass per entry in `connections`,
+/// against the same server, and collects the scaling curve. A
+/// `shutdown_when_done` config fires once, after the last point.
+pub fn run_sweep(cfg: &LoadgenConfig, connections: &[usize]) -> io::Result<SweepReport> {
+    let mut points = Vec::with_capacity(connections.len());
+    for &conns in connections {
+        let mut point_cfg = cfg.clone();
+        point_cfg.connections = conns;
+        point_cfg.shutdown_when_done = false;
+        let report = run_loadgen(&point_cfg)?;
+        points.push(SweepPoint {
+            connections: report.connections,
+            submitted: report.submitted,
+            served: report.served,
+            retried: report.retried,
+            errored: report.errored,
+            misdelivered: report.misdelivered,
+            unanswered: report.unanswered,
+            achieved_qps: report.achieved_qps,
+            p50_ns: report.latency.p50_ns,
+            p99_ns: report.latency.p99_ns,
+            elapsed_ms: report.elapsed_ms,
+        });
+    }
+    if cfg.shutdown_when_done {
+        request_shutdown(&cfg.addr)?;
+    }
+    Ok(SweepReport {
+        tenants: cfg.tenants,
+        frames_per_connection: cfg.frames,
+        points,
+    })
+}
+
 /// Connects once and asks the server to drain gracefully.
 pub fn request_shutdown(addr: &str) -> io::Result<()> {
     let mut stream = TcpStream::connect(addr)?;
@@ -358,10 +460,34 @@ pub fn request_shutdown(addr: &str) -> io::Result<()> {
     )
 }
 
-/// One tenant's full run: a paced sender and a verifying receiver over a
-/// single connection. The receiver hands RETRYed frames back to the
+/// Builds the wire submit for one frame: tagged when keys are present
+/// (an unknown tenant falls back to a plain SUBMIT, which a keyed
+/// server refuses — that surfaces misprovisioning instead of hiding it).
+fn submit_message(
+    keys: Option<&TenantKeys>,
+    tenant: u16,
+    request_id: u64,
+    dests: Vec<u32>,
+) -> Message {
+    match keys.and_then(|k| k.tag(tenant, request_id, &dests)) {
+        Some(tag) => Message::SubmitTagged {
+            tenant,
+            request_id,
+            tag,
+            dests,
+        },
+        None => Message::Submit {
+            tenant,
+            request_id,
+            dests,
+        },
+    }
+}
+
+/// One connection's full run: a paced sender and a verifying receiver
+/// over a single socket. The receiver hands RETRYed frames back to the
 /// sender over a channel, so the socket has exactly one writer.
-fn drive_tenant(cfg: &LoadgenConfig, tenant: u16, tally: &Tally) -> io::Result<()> {
+fn drive_conn(cfg: &LoadgenConfig, conn_idx: usize, tenant: u16, tally: &Tally) -> io::Result<()> {
     let stream = TcpStream::connect(&cfg.addr)?;
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(Duration::from_millis(50)))?;
@@ -380,7 +506,7 @@ fn drive_tenant(cfg: &LoadgenConfig, tenant: u16, tally: &Tally) -> io::Result<(
         let credits = &credits;
         let sender = s.spawn(move || -> io::Result<()> {
             let mut rng =
-                StdRng::seed_from_u64(cfg.seed ^ (u64::from(tenant).wrapping_mul(0x9E37_79B9)));
+                StdRng::seed_from_u64(cfg.seed ^ ((conn_idx as u64).wrapping_mul(0x9E37_79B9)));
             let open_gap = match cfg.mode {
                 LoadMode::Open { qps } => {
                     let per_tenant = (qps / f64::from(cfg.tenants.max(1))).max(1e-3);
@@ -398,7 +524,7 @@ fn drive_tenant(cfg: &LoadgenConfig, tenant: u16, tally: &Tally) -> io::Result<(
                         if let Some(credits) = credits {
                             credits.acquire();
                         }
-                        resend(&mut writer, outstanding, tenant, id)?;
+                        resend(&mut writer, outstanding, cfg.keys.as_ref(), tenant, id)?;
                     }
                 }
                 if let Some(credits) = credits {
@@ -426,11 +552,7 @@ fn drive_tenant(cfg: &LoadgenConfig, tenant: u16, tally: &Tally) -> io::Result<(
                 tally.submitted.fetch_add(1, Ordering::Relaxed);
                 write_message(
                     &mut writer,
-                    &Message::Submit {
-                        tenant,
-                        request_id,
-                        dests,
-                    },
+                    &submit_message(cfg.keys.as_ref(), tenant, request_id, dests),
                 )?;
             }
             // Fresh frames done: keep serving resubmits until the
@@ -440,7 +562,7 @@ fn drive_tenant(cfg: &LoadgenConfig, tenant: u16, tally: &Tally) -> io::Result<(
                     if let Some(credits) = credits {
                         credits.acquire();
                     }
-                    resend(&mut writer, outstanding, tenant, id)?;
+                    resend(&mut writer, outstanding, cfg.keys.as_ref(), tenant, id)?;
                 }
             }
             Ok(())
@@ -513,11 +635,14 @@ fn drive_tenant(cfg: &LoadgenConfig, tenant: u16, tally: &Tally) -> io::Result<(
     })
 }
 
-/// Re-sends one RETRYed frame, restamping its attempt clock. A frame the
-/// receiver already settled (raced answer) is silently skipped.
+/// Re-sends one RETRYed frame, restamping its attempt clock (and re-tagging
+/// it under keyed auth — the tag covers only immutable fields, so it is
+/// identical across attempts). A frame the receiver already settled
+/// (raced answer) is silently skipped.
 fn resend(
     writer: &mut TcpStream,
     outstanding: &Outstanding,
+    keys: Option<&TenantKeys>,
     tenant: u16,
     request_id: u64,
 ) -> io::Result<()> {
@@ -529,14 +654,7 @@ fn resend(
         frame.last_sent = Instant::now();
         frame.dests.clone()
     };
-    write_message(
-        writer,
-        &Message::Submit {
-            tenant,
-            request_id,
-            dests,
-        },
-    )
+    write_message(writer, &submit_message(keys, tenant, request_id, dests))
 }
 
 /// What one server response did to the outstanding window.
@@ -622,6 +740,7 @@ fn handle_response(
             }
         }
         Message::Submit { .. }
+        | Message::SubmitTagged { .. }
         | Message::Shutdown { .. }
         | Message::Status { .. }
         | Message::StatusReport { .. } => {

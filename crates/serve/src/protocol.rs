@@ -23,9 +23,10 @@ pub const HEADER_LEN: usize = 12;
 /// Largest record count a SUBMIT/ROUTED payload may carry.
 pub const MAX_RECORDS: usize = 1 << 20;
 
-/// Largest accepted body length: header + count word + `MAX_RECORDS`
-/// 4-byte records. Anything longer is rejected before allocation.
-pub const MAX_BODY: usize = HEADER_LEN + 4 + 4 * MAX_RECORDS;
+/// Largest accepted body length: header + auth tag + count word +
+/// `MAX_RECORDS` 4-byte records. Anything longer is rejected before
+/// allocation.
+pub const MAX_BODY: usize = HEADER_LEN + 8 + 4 + 4 * MAX_RECORDS;
 
 /// Client → server: route one permutation frame.
 pub const OP_SUBMIT: u8 = 0x01;
@@ -42,6 +43,10 @@ pub const OP_STATUS: u8 = 0x06;
 /// Server → client: the status report; the payload is a UTF-8 JSON
 /// document with the same shape as the `/status` HTTP endpoint.
 pub const OP_STATUS_REPORT: u8 = 0x07;
+/// Client → server: route one permutation frame, authenticated — the
+/// payload opens with an 8-byte SipHash-2-4 tag over the canonical
+/// `(tenant, request_id, dests)` encoding under the tenant's shared key.
+pub const OP_SUBMIT_TAGGED: u8 = 0x08;
 
 /// Why a frame was pushed back with [`Message::Retry`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,6 +57,8 @@ pub enum RetryReason {
     TenantQuota,
     /// The server is draining for shutdown.
     Draining,
+    /// The connection's in-flight pipelining window is exhausted.
+    WindowFull,
 }
 
 impl RetryReason {
@@ -61,6 +68,7 @@ impl RetryReason {
             RetryReason::QueueFull => 1,
             RetryReason::TenantQuota => 2,
             RetryReason::Draining => 3,
+            RetryReason::WindowFull => 4,
         }
     }
 
@@ -70,6 +78,7 @@ impl RetryReason {
             1 => Ok(RetryReason::QueueFull),
             2 => Ok(RetryReason::TenantQuota),
             3 => Ok(RetryReason::Draining),
+            4 => Ok(RetryReason::WindowFull),
             got => Err(WireError::BadRetryReason { got }),
         }
     }
@@ -82,6 +91,9 @@ pub enum ErrorCode {
     Route,
     /// The connection violated the wire protocol.
     Protocol,
+    /// The SUBMIT's authentication tag was missing or wrong for a server
+    /// running with tenant keys.
+    Auth,
 }
 
 impl ErrorCode {
@@ -90,6 +102,7 @@ impl ErrorCode {
         match self {
             ErrorCode::Route => 1,
             ErrorCode::Protocol => 2,
+            ErrorCode::Auth => 3,
         }
     }
 
@@ -98,6 +111,7 @@ impl ErrorCode {
         match byte {
             1 => Ok(ErrorCode::Route),
             2 => Ok(ErrorCode::Protocol),
+            3 => Ok(ErrorCode::Auth),
             got => Err(WireError::BadErrorCode { got }),
         }
     }
@@ -112,6 +126,20 @@ pub enum Message {
         tenant: u16,
         /// Client-chosen id echoed back on the response.
         request_id: u64,
+        /// Destination output per input line.
+        dests: Vec<u32>,
+    },
+    /// Route a permutation frame with a keyed authentication tag (see
+    /// [`OP_SUBMIT_TAGGED`]). Servers running in open mode treat it
+    /// exactly like [`Message::Submit`]; keyed servers verify the tag.
+    SubmitTagged {
+        /// Submitting tenant.
+        tenant: u16,
+        /// Client-chosen id echoed back on the response.
+        request_id: u64,
+        /// SipHash-2-4 tag over the canonical `(tenant, request_id,
+        /// dests)` encoding under the tenant's shared key.
+        tag: u64,
         /// Destination output per input line.
         dests: Vec<u32>,
     },
@@ -175,6 +203,7 @@ impl Message {
     pub fn opcode(&self) -> u8 {
         match self {
             Message::Submit { .. } => OP_SUBMIT,
+            Message::SubmitTagged { .. } => OP_SUBMIT_TAGGED,
             Message::Routed { .. } => OP_ROUTED,
             Message::Retry { .. } => OP_RETRY,
             Message::Error { .. } => OP_ERROR,
@@ -188,6 +217,7 @@ impl Message {
     pub fn tenant(&self) -> u16 {
         match self {
             Message::Submit { tenant, .. }
+            | Message::SubmitTagged { tenant, .. }
             | Message::Routed { tenant, .. }
             | Message::Retry { tenant, .. }
             | Message::Error { tenant, .. }
@@ -201,6 +231,7 @@ impl Message {
     pub fn request_id(&self) -> u64 {
         match self {
             Message::Submit { request_id, .. }
+            | Message::SubmitTagged { request_id, .. }
             | Message::Routed { request_id, .. }
             | Message::Retry { request_id, .. }
             | Message::Error { request_id, .. }
@@ -222,6 +253,13 @@ impl Message {
             Message::Submit { dests: lines, .. } | Message::Routed { sources: lines, .. } => {
                 out.extend_from_slice(&(lines.len() as u32).to_be_bytes());
                 for &line in lines {
+                    out.extend_from_slice(&line.to_be_bytes());
+                }
+            }
+            Message::SubmitTagged { tag, dests, .. } => {
+                out.extend_from_slice(&tag.to_be_bytes());
+                out.extend_from_slice(&(dests.len() as u32).to_be_bytes());
+                for &line in dests {
                     out.extend_from_slice(&line.to_be_bytes());
                 }
             }
@@ -386,6 +424,41 @@ pub fn decode_body(body: &[u8]) -> Result<Message, WireError> {
                     request_id,
                     sources: lines,
                 }
+            })
+        }
+        OP_SUBMIT_TAGGED => {
+            if payload.len() < 12 {
+                return Err(WireError::Truncated {
+                    needed: HEADER_LEN + 12,
+                    got: body.len(),
+                });
+            }
+            let tag = u64::from_be_bytes([
+                payload[0], payload[1], payload[2], payload[3], payload[4], payload[5],
+                payload[6], payload[7],
+            ]);
+            let count =
+                u32::from_be_bytes([payload[8], payload[9], payload[10], payload[11]]) as u64;
+            if count > MAX_RECORDS as u64 {
+                return Err(WireError::Oversized {
+                    len: count,
+                    max: MAX_RECORDS as u64,
+                });
+            }
+            let expected = 4 * count;
+            let got = (payload.len() - 12) as u64;
+            if expected != got {
+                return Err(WireError::LengthMismatch { expected, got });
+            }
+            let dests: Vec<u32> = payload[12..]
+                .chunks_exact(4)
+                .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            Ok(Message::SubmitTagged {
+                tenant,
+                request_id,
+                tag,
+                dests,
             })
         }
         OP_RETRY => {
@@ -589,6 +662,99 @@ pub fn write_message(w: &mut impl Write, msg: &Message) -> io::Result<()> {
     w.write_all(&msg.to_bytes())
 }
 
+/// Incremental frame decoder for nonblocking sockets.
+///
+/// A reactor feeds whatever bytes `read(2)` produced and pulls complete
+/// messages out; partial frames stay buffered across feeds. Decoding is
+/// as total as [`decode_body`]: a [`WireError`] (oversized prefix,
+/// malformed body) is a connection-fatal protocol violation, never a
+/// panic. The length prefix is validated against [`MAX_BODY`] as soon as
+/// it is visible, so buffered memory per connection stays bounded.
+///
+/// The per-frame decode clock matches [`read_message_timed`]: it starts
+/// when the frame's 4-byte length prefix is fully buffered and stops
+/// when the body parses, so idle time between frames is not charged.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    start: usize,
+    frame_started: Option<Instant>,
+}
+
+impl FrameAssembler {
+    /// An empty assembler.
+    pub fn new() -> Self {
+        FrameAssembler::default()
+    }
+
+    /// Buffers freshly read bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed buffered bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// The unconsumed bytes, without consuming them (protocol sniffing).
+    pub fn peek(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    /// When the in-progress frame's length prefix arrived, if a frame is
+    /// mid-assembly — reactors use it to time out clients that die
+    /// mid-frame without pinning a drain forever.
+    pub fn frame_wait_started(&self) -> Option<Instant> {
+        self.frame_started
+    }
+
+    /// Pops the next complete message, with its decode nanoseconds.
+    /// `Ok(None)` means "need more bytes"; an error is connection-fatal.
+    pub fn next_frame(&mut self) -> Result<Option<(Message, u64)>, WireError> {
+        let avail = self.buf.len() - self.start;
+        if avail < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let p = &self.buf[self.start..];
+        let len = u32::from_be_bytes([p[0], p[1], p[2], p[3]]) as usize;
+        if len > MAX_BODY {
+            return Err(WireError::Oversized {
+                len: len as u64,
+                max: MAX_BODY as u64,
+            });
+        }
+        if avail < 4 + len {
+            // Prefix visible, body incomplete: the decode clock is
+            // running while we wait for the rest.
+            if self.frame_started.is_none() {
+                self.frame_started = Some(Instant::now());
+            }
+            self.compact();
+            return Ok(None);
+        }
+        let started = self.frame_started.take().unwrap_or_else(Instant::now);
+        let body = &self.buf[self.start + 4..self.start + 4 + len];
+        let msg = decode_body(body)?;
+        let decode_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.start += 4 + len;
+        self.compact();
+        Ok(Some((msg, decode_ns)))
+    }
+
+    /// Reclaims consumed prefix space once it dominates the buffer.
+    fn compact(&mut self) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= 4096 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -639,6 +805,115 @@ mod tests {
             request_id: 44,
             json: "{\"uptime_ms\":12}".into(),
         });
+    }
+
+    #[test]
+    fn tagged_submit_round_trips_and_validates() {
+        roundtrip(Message::SubmitTagged {
+            tenant: 7,
+            request_id: 41,
+            tag: 0x0123_4567_89AB_CDEF,
+            dests: vec![1, 0, 3, 2],
+        });
+        roundtrip(Message::SubmitTagged {
+            tenant: 0,
+            request_id: 0,
+            tag: 0,
+            dests: vec![],
+        });
+        // Count/payload mismatch is typed, exactly like plain SUBMIT.
+        let mut body = vec![VERSION, OP_SUBMIT_TAGGED, 0, 0];
+        body.extend_from_slice(&0u64.to_be_bytes());
+        body.extend_from_slice(&7u64.to_be_bytes()); // tag
+        body.extend_from_slice(&2u32.to_be_bytes()); // claims 2 records
+        body.extend_from_slice(&0u32.to_be_bytes()); // carries 1
+        assert_eq!(
+            decode_body(&body),
+            Err(WireError::LengthMismatch {
+                expected: 8,
+                got: 4
+            })
+        );
+    }
+
+    #[test]
+    fn frame_assembler_handles_byte_at_a_time_and_coalesced_frames() {
+        let msgs = vec![
+            Message::Submit {
+                tenant: 1,
+                request_id: 10,
+                dests: vec![2, 0, 1, 3],
+            },
+            Message::Retry {
+                tenant: 1,
+                request_id: 11,
+                reason: RetryReason::WindowFull,
+            },
+            Message::SubmitTagged {
+                tenant: 2,
+                request_id: 12,
+                tag: 99,
+                dests: vec![0, 1],
+            },
+        ];
+        let mut wire = Vec::new();
+        for m in &msgs {
+            m.encode(&mut wire);
+        }
+        // Byte-at-a-time: every frame pops exactly when its last byte
+        // lands, never earlier, never twice.
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for &b in &wire {
+            asm.feed(&[b]);
+            while let Some((m, _ns)) = asm.next_frame().unwrap() {
+                got.push(m);
+            }
+        }
+        assert_eq!(got, msgs);
+        assert_eq!(asm.buffered(), 0);
+        // Coalesced: all three frames in one feed pop in order.
+        let mut asm = FrameAssembler::new();
+        asm.feed(&wire);
+        let mut got = Vec::new();
+        while let Some((m, _ns)) = asm.next_frame().unwrap() {
+            got.push(m);
+        }
+        assert_eq!(got, msgs);
+    }
+
+    #[test]
+    fn frame_assembler_rejects_oversized_prefix_without_buffering_body() {
+        let mut asm = FrameAssembler::new();
+        asm.feed(b"GET / HTTP/1.1\r\n");
+        match asm.next_frame() {
+            Err(WireError::Oversized { len, max }) => {
+                assert_eq!(len, u32::from_be_bytes(*b"GET ") as u64);
+                assert_eq!(max, MAX_BODY as u64);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_assembler_tracks_mid_frame_waits() {
+        let mut asm = FrameAssembler::new();
+        let bytes = Message::Status {
+            tenant: 0,
+            request_id: 1,
+        }
+        .to_bytes();
+        asm.feed(&bytes[..4]);
+        assert!(asm.next_frame().unwrap().is_none());
+        assert!(
+            asm.frame_wait_started().is_some(),
+            "decode clock runs once the prefix is visible"
+        );
+        asm.feed(&bytes[4..]);
+        let (msg, decode_ns) = asm.next_frame().unwrap().unwrap();
+        assert_eq!(msg.request_id(), 1);
+        assert!(decode_ns > 0);
+        assert!(asm.frame_wait_started().is_none(), "clock cleared");
     }
 
     #[test]

@@ -1,65 +1,94 @@
 //! The long-lived routing server.
 //!
 //! One [`Server::serve`] call owns a TCP listener for the lifetime of a
-//! serving session. Every accepted connection gets a reader thread and a
-//! writer thread; a single dispatcher thread multiplexes all admitted
-//! frames onto one [`bnb_engine::Engine`] submit/drain queue. Admission
-//! control runs in the reader, *before* the dispatcher ever sees a frame:
+//! serving session. Connections are multiplexed onto a small set of
+//! **reactor threads** (default: one per core) built on `epoll(7)` —
+//! see `sys.rs` and `reactor.rs` — instead of two threads per
+//! connection: each reactor owns its connections' nonblocking sockets
+//! with edge-triggered readiness, runs the per-connection state
+//! machines (`conn.rs`), and performs admission control *before* the
+//! dispatcher ever sees a frame:
 //!
-//! - a global in-flight cap equal to the engine's bounded queue capacity
-//!   (so `try_submit` can never find the queue full), and
-//! - a per-tenant in-flight quota.
+//! - a per-connection pipelining window ([`ServeConfig::window`]) — how
+//!   many SUBMITs one client may have in flight,
+//! - a per-tenant in-flight quota, and
+//! - a global in-flight cap equal to the engine's bounded queue
+//!   capacity (so the engine queue can never be full at submit time).
 //!
 //! A frame that fails admission is answered with an explicit `RETRY`
-//! response — the server never buffers beyond its declared bounds. On
-//! shutdown (SIGTERM/SIGINT via [`install_signal_handlers`], a wire
+//! response — the server never buffers beyond its declared bounds. A
+//! single dispatcher thread aggregates admitted frames into
+//! [`FrameBatch`] jobs for the engine's word-parallel batched kernel
+//! (pipelined clients keep multiple frames in flight, so the batch is
+//! usually non-trivial) and fans completions back to the owning reactor
+//! lane, keyed by the engine's opaque completion token
+//! ([`crate::conn::ReplyRoute`]).
+//!
+//! On shutdown (SIGTERM/SIGINT via [`install_signal_handlers`], a wire
 //! `SHUTDOWN` message, or [`ServerControl::trigger_shutdown`]) the
-//! acceptor closes, new submissions get `RETRY Draining`, every in-flight
-//! frame is routed and delivered, and all threads join deterministically
-//! before [`Server::serve`] returns its [`ServeReport`].
+//! acceptor closes, new submissions get `RETRY Draining`, every
+//! in-flight frame is routed and delivered, and all threads join
+//! deterministically before [`Server::serve`] returns its
+//! [`ServeReport`].
 //!
 //! The listener doubles as an HTTP operator surface: a connection whose
 //! first bytes are `"GET "` is answered once and closed — `/status`
 //! returns a JSON [`StatusSnapshot`], any other path the
 //! `text/plain; version=0.0.4` Prometheus exposition rendered from the
-//! shared [`Counters`] plus the request-lifecycle [`Telemetry`] families.
+//! shared [`Counters`] plus the request-lifecycle [`Telemetry`]
+//! families. The sniff is nonblocking: a client that dribbles its GET
+//! line byte-at-a-time stalls only its own connection.
+//!
+//! With `--tenant-keys` ([`Server::with_tenant_keys`]) the server runs
+//! keyed: SUBMITs must arrive as `SUBMIT_TAGGED` with a valid
+//! per-tenant SipHash tag (see `auth.rs`), and anything else is refused
+//! with a typed `ERROR(Auth)`.
 //!
 //! # Request-lifecycle telemetry
 //!
 //! Every served frame's timeline is cut into six stages — decode (body
-//! read + parse), admission (quota checks), queue wait (dispatcher
-//! hand-off + the engine's bounded queue), route (worker pickup to batch
-//! publish), drain (completion buffer to dispatcher delivery), and
-//! response write (reply channel + socket write). All six are recorded in
-//! the writer thread at write completion, from stamps taken at adjacent
-//! points of the one request's timeline, so the per-stage sums partition
-//! the independently measured wire-to-wire latency. Requests slower than
-//! [`ServeConfig::slow_ms`] are additionally sampled into an optional
-//! [`FlightRecorder`] as [`SpanKind::Request`] spans.
+//! buffering + parse), admission (auth + quota checks), queue wait
+//! (dispatcher hand-off + the engine's bounded queue; for pipelined
+//! clients this includes time spent behind the same connection's
+//! earlier frames), route (worker pickup to batch publish), drain
+//! (completion buffer to dispatcher delivery), and response write
+//! (completion fan-out + socket write). All six are recorded by the
+//! owning reactor when the reply's last byte flushes to the socket,
+//! from stamps taken at adjacent points of the one request's timeline,
+//! so the per-stage sums partition the independently measured
+//! wire-to-wire latency. Requests slower than [`ServeConfig::slow_ms`]
+//! are additionally sampled into an optional [`FlightRecorder`] as
+//! [`SpanKind::Request`] spans.
 
 use std::collections::HashMap;
-use std::io::{self, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::io;
+use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use bnb_core::batch::FrameBatch;
 use bnb_core::network::BnbNetwork;
 use bnb_engine::{
     Engine, EngineConfig, EngineHandle, EngineStats, LiveFaultPlan, PlanStatus, ShardDepth,
 };
 use bnb_obs::{
     render_prometheus, render_prometheus_telemetry, AcceptEvent, Counters, FlightRecorder,
-    LatencySummary, Observer, ServeEvent, Span, SpanKind, Stage, Telemetry, TelemetrySnapshot,
-    ThrottleEvent,
+    LatencySummary, Observer, Telemetry, TelemetrySnapshot, ThrottleEvent,
 };
-use bnb_topology::record::Record;
 use serde::{Deserialize, Serialize};
 
-use crate::protocol::{
-    read_message_timed, write_message, ErrorCode, Message, RecvError, RetryReason,
-};
+use crate::auth::TenantKeys;
+use crate::conn::{Account, Completion, Pending, ReplyMeta, ReplyRoute, RouteJob};
+use crate::protocol::{ErrorCode, Message, RetryReason};
+use crate::reactor::{run_reactor, ReactorShared};
+use crate::sys::Poller;
+
+// `SpanKind` appears in doc links only; the spans themselves are
+// recorded by `conn.rs`.
+#[allow(unused_imports)]
+use bnb_obs::SpanKind;
 
 /// Serving-session parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,13 +104,20 @@ pub struct ServeConfig {
     pub tenant_quota: usize,
     /// Most simultaneously open client connections.
     pub max_connections: usize,
-    /// Socket read timeout; bounds how fast idle readers notice shutdown.
+    /// Legacy knob kept for config compatibility; the reactor never
+    /// blocks in `read`, so this no longer bounds anything.
     pub read_timeout: Duration,
     /// Slow-request capture threshold in milliseconds; requests whose
     /// wire-to-wire latency crosses it are counted and — when a
     /// [`FlightRecorder`] is attached via [`Server::with_recorder`] —
     /// sampled as [`SpanKind::Request`] spans. `0` disables capture.
     pub slow_ms: u64,
+    /// Reactor threads. `0` = one per available core.
+    pub reactor_threads: usize,
+    /// Per-connection pipelining window: how many SUBMITs one
+    /// connection may have in flight before the server answers
+    /// `RETRY WindowFull`.
+    pub window: usize,
 }
 
 impl Default for ServeConfig {
@@ -94,6 +130,8 @@ impl Default for ServeConfig {
             max_connections: 64,
             read_timeout: Duration::from_millis(100),
             slow_ms: 0,
+            reactor_threads: 0,
+            window: 32,
         }
     }
 }
@@ -157,13 +195,17 @@ pub struct ServeReport {
     pub frames_served: u64,
     /// Frames answered with an explicit RETRY.
     pub retries_issued: u64,
-    /// Frames that failed validation or routing (answered with ERROR).
+    /// Frames that failed validation, routing, or tenant authentication
+    /// (answered with ERROR).
     pub frames_errored: u64,
-    /// Responses dropped because the client's reply buffer was full —
-    /// always zero unless a client stops reading entirely.
+    /// Responses dropped because the client connection was gone by
+    /// delivery time.
     pub responses_dropped: u64,
     /// Connections that violated the wire protocol.
     pub protocol_errors: u64,
+    /// SUBMITs refused for a missing or invalid auth tag (a subset of
+    /// `frames_errored`).
+    pub auth_failures: u64,
     /// True when the session ended by graceful drain (vs. listener error).
     pub graceful: bool,
     /// Session wall-clock duration.
@@ -191,26 +233,27 @@ impl ServeReport {
 
 /// Session-scoped tallies feeding the [`ServeReport`].
 #[derive(Default)]
-struct SessionStats {
-    connections_accepted: AtomicU64,
-    frames_submitted: AtomicU64,
-    frames_served: AtomicU64,
-    retries_issued: AtomicU64,
-    frames_errored: AtomicU64,
-    responses_dropped: AtomicU64,
-    protocol_errors: AtomicU64,
+pub(crate) struct SessionStats {
+    pub connections_accepted: AtomicU64,
+    pub frames_submitted: AtomicU64,
+    pub frames_served: AtomicU64,
+    pub retries_issued: AtomicU64,
+    pub frames_errored: AtomicU64,
+    pub responses_dropped: AtomicU64,
+    pub protocol_errors: AtomicU64,
+    pub auth_failures: AtomicU64,
 }
 
 impl SessionStats {
-    fn bump(counter: &AtomicU64) -> u64 {
+    pub(crate) fn bump(counter: &AtomicU64) -> u64 {
         counter.fetch_add(1, Ordering::Relaxed) + 1
     }
 }
 
-/// Admission state shared by every reader: the global in-flight count and
-/// the per-tenant quota slots.
-struct Admission {
-    inflight: AtomicUsize,
+/// Admission state shared by every reactor: the global in-flight count
+/// and the per-tenant quota slots.
+pub(crate) struct Admission {
+    pub inflight: AtomicUsize,
     tenants: Mutex<HashMap<u16, Arc<AtomicUsize>>>,
 }
 
@@ -222,7 +265,7 @@ impl Admission {
         }
     }
 
-    fn tenant_slot(&self, tenant: u16) -> Arc<AtomicUsize> {
+    pub(crate) fn tenant_slot(&self, tenant: u16) -> Arc<AtomicUsize> {
         Arc::clone(
             self.tenants
                 .lock()
@@ -233,85 +276,25 @@ impl Admission {
     }
 }
 
-/// One message travelling to a connection's writer thread, optionally
-/// carrying the request's stage stamps so the writer can close the
-/// telemetry record at write completion.
-struct Reply {
-    msg: Message,
-    meta: Option<ReplyMeta>,
-}
-
-impl Reply {
-    fn bare(msg: Message) -> Self {
-        Reply { msg, meta: None }
-    }
-}
-
-/// A served request's accumulated stage stamps, attached to its ROUTED
-/// reply. The writer thread records all six stages plus the wire-to-wire
-/// latency *after* the socket write completes, so stage sums partition
-/// the wire latency for exactly the set of served frames.
-struct ReplyMeta {
-    tenant: u16,
-    request_id: u64,
-    records: usize,
-    /// Approximate arrival instant (first body byte), reconstructed as
-    /// read-completion minus decode time.
-    arrival: Instant,
-    decode_ns: u64,
-    admission_ns: u64,
-    /// Dispatcher hand-off plus the engine's bounded-queue wait.
-    queue_ns: u64,
-    /// Worker pickup to batch publish inside the engine.
-    route_ns: u64,
-    /// Batch publish to dispatcher delivery.
-    drain_ns: u64,
-    /// When the dispatcher queued the reply (write stage starts here).
-    queued_at: Instant,
-}
-
-/// One admitted frame travelling from a reader to the dispatcher.
-struct RouteJob {
-    tenant: u16,
-    request_id: u64,
-    arrival: Instant,
-    decode_ns: u64,
-    admission_ns: u64,
-    admitted_at: Instant,
-    lines: Vec<Record>,
-    reply: mpsc::SyncSender<Reply>,
-    tenant_slot: Arc<AtomicUsize>,
-}
-
-/// Dispatcher-side record of a submitted batch awaiting its drain.
-struct Pending {
-    tenant: u16,
-    request_id: u64,
-    records: usize,
-    arrival: Instant,
-    decode_ns: u64,
-    admission_ns: u64,
-    /// Reader admission to engine-queue entry (dispatcher hand-off).
-    handoff_ns: u64,
-    /// When `try_submit` accepted the frame.
-    submitted_at: Instant,
-    reply: mpsc::SyncSender<Reply>,
-    tenant_slot: Arc<AtomicUsize>,
-}
-
-/// Everything a connection or the dispatcher needs from the session,
+/// Everything a reactor or the dispatcher needs from the session,
 /// bundled once instead of threaded as a dozen parameters.
-struct SessionCtx<'s> {
-    cfg: ServeConfig,
-    control: &'s ServerControl,
-    admission: &'s Admission,
-    stats: &'s SessionStats,
-    counters: &'s Counters,
-    telemetry: &'s Telemetry,
-    recorder: Option<&'s FlightRecorder>,
-    plan: Option<&'s LiveFaultPlan>,
-    active_conns: &'s AtomicUsize,
-    engine_stats: &'s (dyn Fn() -> EngineStats + Sync),
+pub(crate) struct SessionCtx<'s> {
+    pub cfg: ServeConfig,
+    pub control: &'s ServerControl,
+    pub admission: &'s Admission,
+    pub stats: &'s SessionStats,
+    pub counters: &'s Counters,
+    pub telemetry: &'s Telemetry,
+    pub recorder: Option<&'s FlightRecorder>,
+    pub plan: Option<&'s LiveFaultPlan>,
+    pub active_conns: &'s AtomicUsize,
+    pub engine_stats: &'s (dyn Fn() -> EngineStats + Sync),
+    /// Tenant auth keys; `None` = open mode.
+    pub keys: Option<&'s TenantKeys>,
+    /// Deepest any connection's pipelining window ever got.
+    pub window_depth: &'s AtomicUsize,
+    /// How many reactor lanes the session runs.
+    pub reactors: usize,
 }
 
 /// Engine-side queue and latency state in a [`StatusSnapshot`].
@@ -335,6 +318,17 @@ pub struct EngineStatus {
     pub latency: LatencySummary,
 }
 
+/// Per-connection pipelining-window state in a [`StatusSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowStatus {
+    /// The configured per-connection in-flight limit
+    /// ([`ServeConfig::window`]), as advertised to clients via RETRY
+    /// `WindowFull`.
+    pub limit: usize,
+    /// Deepest any single connection's window got this session.
+    pub max_depth: usize,
+}
+
 /// What the `/status` endpoint and the wire `STATUS` opcode report: one
 /// JSON document with the session's uptime, request telemetry, engine
 /// queue state, and — when a [`LiveFaultPlan`] is live — per-shard
@@ -347,8 +341,12 @@ pub struct StatusSnapshot {
     pub inflight: usize,
     /// Client connections currently open.
     pub connections: usize,
+    /// Reactor threads serving those connections.
+    pub reactors: usize,
     /// Whether the session is draining for shutdown.
     pub draining: bool,
+    /// Per-connection pipelining window limit and high water.
+    pub window: WindowStatus,
     /// Per-stage and per-tenant request telemetry.
     pub telemetry: TelemetrySnapshot,
     /// Engine queue depths and latency quantiles.
@@ -358,13 +356,18 @@ pub struct StatusSnapshot {
 }
 
 /// Builds the [`StatusSnapshot`] both operator surfaces serve.
-fn build_status(ctx: &SessionCtx<'_>) -> StatusSnapshot {
+pub(crate) fn build_status(ctx: &SessionCtx<'_>) -> StatusSnapshot {
     let est = (ctx.engine_stats)();
     StatusSnapshot {
         uptime_ms: ctx.telemetry.uptime_ms(),
         inflight: ctx.admission.inflight.load(Ordering::Acquire),
         connections: ctx.active_conns.load(Ordering::Acquire),
+        reactors: ctx.reactors,
         draining: ctx.control.shutdown_requested(),
+        window: WindowStatus {
+            limit: ctx.cfg.window,
+            max_depth: ctx.window_depth.load(Ordering::Acquire),
+        },
         telemetry: ctx.telemetry.snapshot(),
         engine: EngineStatus {
             queue_depth: est.queue_depth,
@@ -386,6 +389,7 @@ pub struct Server<'a> {
     counters: &'a Counters,
     fault_plan: Option<&'a LiveFaultPlan>,
     recorder: Option<&'a FlightRecorder>,
+    tenant_keys: Option<TenantKeys>,
 }
 
 impl<'a> Server<'a> {
@@ -396,6 +400,7 @@ impl<'a> Server<'a> {
             counters,
             fault_plan: None,
             recorder: None,
+            tenant_keys: None,
         }
     }
 
@@ -405,6 +410,13 @@ impl<'a> Server<'a> {
     /// record count as `b`, wire latency as the duration).
     pub fn with_recorder(mut self, recorder: &'a FlightRecorder) -> Self {
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// Runs the session keyed: SUBMITs must arrive tagged with a valid
+    /// per-tenant SipHash tag or are refused with `ERROR(Auth)`.
+    pub fn with_tenant_keys(mut self, keys: TenantKeys) -> Self {
+        self.tenant_keys = Some(keys);
         self
     }
 
@@ -426,6 +438,7 @@ impl<'a> Server<'a> {
             counters,
             fault_plan: Some(plan),
             recorder: None,
+            tenant_keys: None,
         }
     }
 
@@ -456,6 +469,22 @@ impl<'a> Server<'a> {
             .map_err(ServeError::Listener)?;
         self.counters.reset();
 
+        let reactors = if cfg.reactor_threads == 0 {
+            thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            cfg.reactor_threads
+        };
+        // Everything that can fail with a syscall error fails here, before
+        // any thread spawns: the reactor mailbox wake pipes and one poller
+        // per lane. On targets without epoll/poll this is where the
+        // `Unsupported` error surfaces.
+        let shared = ReactorShared::new(reactors).map_err(ServeError::Reactor)?;
+        let reactors = shared.lanes.len();
+        let mut pollers = Vec::with_capacity(reactors);
+        for _ in 0..reactors {
+            pollers.push(Poller::new().map_err(ServeError::Reactor)?);
+        }
+
         let stats = SessionStats::default();
         let admission = Admission::new();
         let telemetry = Telemetry::new();
@@ -465,6 +494,7 @@ impl<'a> Server<'a> {
         let started = Instant::now();
         let graceful = AtomicBool::new(true);
         let active_conns = AtomicUsize::new(0);
+        let window_depth = AtomicUsize::new(0);
 
         let session = |handle: &EngineHandle<'_, &Counters>| {
             let engine_stats = || handle.stats();
@@ -479,12 +509,23 @@ impl<'a> Server<'a> {
                 plan: self.fault_plan,
                 active_conns: &active_conns,
                 engine_stats: &engine_stats,
+                keys: self.tenant_keys.as_ref(),
+                window_depth: &window_depth,
+                reactors,
             };
             let (job_tx, job_rx) = mpsc::channel::<RouteJob>();
+            let shared_ref = &shared;
             thread::scope(|s| {
-                s.spawn(|| dispatch(handle, job_rx, &ctx));
+                let ctx_ref = &ctx;
+                s.spawn(move || dispatch(handle, job_rx, ctx_ref, shared_ref));
+                for (lane_idx, poller) in pollers.drain(..).enumerate() {
+                    let job_tx = job_tx.clone();
+                    s.spawn(move || run_reactor(lane_idx, shared_ref, ctx_ref, poller, job_tx));
+                }
 
-                // Accept loop, run inline on this thread.
+                // Accept loop, run inline on this thread. Fresh sockets
+                // are dealt to reactor lanes round-robin.
+                let mut next_lane = 0usize;
                 loop {
                     if control.shutdown_requested() {
                         break;
@@ -495,15 +536,15 @@ impl<'a> Server<'a> {
                                 drop(stream); // over the connection cap
                                 continue;
                             }
+                            if stream.set_nonblocking(true).is_err() {
+                                drop(stream);
+                                continue;
+                            }
                             let conn = SessionStats::bump(&stats.connections_accepted);
                             self.counters.connection_accepted(AcceptEvent { conn });
                             active_conns.fetch_add(1, Ordering::AcqRel);
-                            let job_tx = job_tx.clone();
-                            let ctx = &ctx;
-                            s.spawn(move || {
-                                let _ = serve_connection(stream, ctx, job_tx);
-                                ctx.active_conns.fetch_sub(1, Ordering::AcqRel);
-                            });
+                            shared.lanes[next_lane].register(stream);
+                            next_lane = (next_lane + 1) % reactors;
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                             thread::sleep(Duration::from_millis(5));
@@ -511,16 +552,20 @@ impl<'a> Server<'a> {
                         Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                         Err(_) => {
                             graceful.store(false, Ordering::SeqCst);
+                            // The reactors and dispatcher only exit
+                            // through the drain protocol.
+                            control.trigger_shutdown();
                             break;
                         }
                     }
                 }
-                // Dropping the acceptor's sender lets the dispatcher exit
-                // once the last reader hangs up and its queue drains.
+                // Dropping the acceptor's sender (the reactors drop
+                // theirs on seeing the shutdown flag) lets the
+                // dispatcher finish its drain.
                 drop(job_tx);
             });
-            // Every reader and the dispatcher have joined; nothing can be
-            // in flight, but close the engine queue deterministically.
+            // Every reactor and the dispatcher have joined; nothing can
+            // be in flight, but close the engine queue deterministically.
             let tail = handle.drain_and_close();
             debug_assert!(tail.is_empty(), "dispatcher left {} batches", tail.len());
             let est = handle.stats();
@@ -539,6 +584,7 @@ impl<'a> Server<'a> {
             frames_errored: stats.frames_errored.load(Ordering::Relaxed),
             responses_dropped: stats.responses_dropped.load(Ordering::Relaxed),
             protocol_errors: stats.protocol_errors.load(Ordering::Relaxed),
+            auth_failures: stats.auth_failures.load(Ordering::Relaxed),
             graceful: graceful.load(Ordering::SeqCst),
             elapsed_ms: started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64,
             engine_batches,
@@ -561,6 +607,9 @@ pub enum ServeError {
     Config(String),
     /// The listener socket failed before the session started.
     Listener(io::Error),
+    /// Reactor setup (epoll instance or wake pipe) failed before the
+    /// session started.
+    Reactor(io::Error),
 }
 
 impl std::fmt::Display for ServeError {
@@ -568,6 +617,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Config(msg) => write!(f, "invalid serve configuration: {msg}"),
             ServeError::Listener(e) => write!(f, "listener setup failed: {e}"),
+            ServeError::Reactor(e) => write!(f, "reactor setup failed: {e}"),
         }
     }
 }
@@ -576,26 +626,33 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Config(_) => None,
-            ServeError::Listener(e) => Some(e),
+            ServeError::Listener(e) | ServeError::Reactor(e) => Some(e),
         }
     }
 }
 
-/// The dispatcher: multiplexes every admitted frame onto the engine's
-/// bounded queue and delivers drained batches to their reply channels.
+/// The dispatcher: aggregates every admitted frame onto the engine's
+/// bounded queue — full-width frames as one [`FrameBatch`] job for the
+/// batched kernel — and fans drained completions back to the owning
+/// reactor lanes via the engine's completion tokens.
 fn dispatch<O: Observer>(
     handle: &EngineHandle<'_, O>,
     jobs: mpsc::Receiver<RouteJob>,
     ctx: &SessionCtx<'_>,
+    shared: &ReactorShared,
 ) {
     let mut pending: HashMap<u64, Pending> = HashMap::new();
+    let mut ready: Vec<RouteJob> = Vec::new();
+    let mut to_wake = vec![false; shared.lanes.len()];
     let mut disconnected = false;
     loop {
-        // Deliver everything the engine has finished.
+        // Fan out everything the engine has finished.
         while let Some(batch) = handle.try_drain() {
             let Some(p) = pending.remove(&batch.seq) else {
                 continue; // unreachable: every submit records a Pending
             };
+            let route = ReplyRoute::decode(batch.token).unwrap_or(p.route);
+            debug_assert_eq!(route, p.route, "engine token must round-trip the route");
             // Submit-to-delivery, cut at the engine's own stamps: whatever
             // the engine did not spend queued or routing was spent in the
             // completion buffer waiting for this delivery sweep.
@@ -605,8 +662,9 @@ fn dispatch<O: Observer>(
                 .as_nanos()
                 .min(u128::from(u64::MAX)) as u64;
             let drain_ns = drain_total.saturating_sub(batch.queue_ns + batch.route_ns);
-            let reply = match batch.result {
-                Ok(lines) => Reply {
+            let completion = match batch.result {
+                Ok(lines) => Completion {
+                    token: route.token,
                     msg: Message::Routed {
                         tenant: p.tenant,
                         request_id: p.request_id,
@@ -624,52 +682,53 @@ fn dispatch<O: Observer>(
                         drain_ns,
                         queued_at: Instant::now(),
                     }),
+                    account: Account::Served {
+                        tenant: p.tenant,
+                        request_id: p.request_id,
+                        records: p.records,
+                        arrival: p.arrival,
+                    },
                 },
-                Err(e) => Reply::bare(Message::Error {
-                    tenant: p.tenant,
-                    request_id: p.request_id,
-                    code: ErrorCode::Route,
-                    message: error_chain(&e),
-                }),
-            };
-            let served = matches!(reply.msg, Message::Routed { .. });
-            if !served {
-                ctx.telemetry.record_error(p.tenant);
-            }
-            match p.reply.try_send(reply) {
-                Ok(()) => {
-                    if served {
-                        SessionStats::bump(&ctx.stats.frames_served);
-                        ctx.counters.frame_served(ServeEvent {
+                Err(e) => {
+                    ctx.telemetry.record_error(p.tenant);
+                    Completion {
+                        token: route.token,
+                        msg: Message::Error {
                             tenant: p.tenant,
                             request_id: p.request_id,
-                            records: p.records,
-                            latency_ns: p.arrival.elapsed().as_nanos().min(u128::from(u64::MAX))
-                                as u64,
-                        });
-                    } else {
-                        SessionStats::bump(&ctx.stats.frames_errored);
+                            code: ErrorCode::Route,
+                            message: error_chain(&e),
+                        },
+                        meta: None,
+                        account: Account::Errored,
                     }
                 }
-                Err(_) => {
-                    // Reply buffer full or writer gone: the bounded-buffer
-                    // promise wins over delivery. Count it, never block.
-                    SessionStats::bump(&ctx.stats.responses_dropped);
-                }
-            }
+            };
+            shared.lanes[route.lane].push_completion(completion);
+            to_wake[route.lane] = true;
             p.tenant_slot.fetch_sub(1, Ordering::AcqRel);
             ctx.admission.inflight.fetch_sub(1, Ordering::AcqRel);
         }
 
-        // Feed the engine everything the readers have admitted.
+        // Gather everything the reactors have admitted, then submit the
+        // gathering as one batched kernel job where possible.
         loop {
             match jobs.try_recv() {
-                Ok(job) => submit_job(handle, job, ctx, &mut pending),
+                Ok(job) => ready.push(job),
                 Err(mpsc::TryRecvError::Empty) => break,
                 Err(mpsc::TryRecvError::Disconnected) => {
                     disconnected = true;
                     break;
                 }
+            }
+        }
+        flush_ready(handle, ctx, shared, &mut pending, &mut ready, &mut to_wake);
+
+        // One wake per lane per sweep, not per completion.
+        for (lane, marked) in to_wake.iter_mut().enumerate() {
+            if *marked {
+                shared.lanes[lane].wake();
+                *marked = false;
             }
         }
 
@@ -685,68 +744,132 @@ fn dispatch<O: Observer>(
             Duration::from_micros(200)
         };
         match jobs.recv_timeout(wait) {
-            Ok(job) => submit_job(handle, job, ctx, &mut pending),
+            Ok(job) => ready.push(job),
             Err(mpsc::RecvTimeoutError::Timeout) => {}
             Err(mpsc::RecvTimeoutError::Disconnected) => disconnected = true,
         }
     }
+    // Nothing in flight and no sender left: the reactors may exit once
+    // they have delivered what was already pushed.
+    shared.dispatcher_done.store(true, Ordering::Release);
+    shared.wake_all();
 }
 
-fn submit_job<O: Observer>(
+/// Submits the gathered jobs: every full-width frame goes into one
+/// [`FrameBatch`] job (the engine's word-parallel batched kernel; each
+/// frame still drains as its own completion), wrong-width frames submit
+/// singly so the engine's validation rejects them per-frame.
+fn flush_ready<O: Observer>(
     handle: &EngineHandle<'_, O>,
-    job: RouteJob,
     ctx: &SessionCtx<'_>,
+    shared: &ReactorShared,
     pending: &mut HashMap<u64, Pending>,
+    ready: &mut Vec<RouteJob>,
+    to_wake: &mut [bool],
 ) {
+    if ready.is_empty() {
+        return;
+    }
+    let width = ctx.cfg.inputs;
+    let batchable = ready.iter().filter(|j| j.lines.len() == width).count();
+    if batchable >= 2 {
+        let mut batch = FrameBatch::with_capacity(width, batchable);
+        let mut tokens = Vec::with_capacity(batchable);
+        let mut members = Vec::with_capacity(batchable);
+        let mut singles = Vec::new();
+        for job in ready.drain(..) {
+            if job.lines.len() == width {
+                batch.push_frame(&job.lines);
+                tokens.push(job.route.encode());
+                members.push(job);
+            } else {
+                singles.push(job);
+            }
+        }
+        match handle.try_submit_batch(batch, &tokens) {
+            Ok(seq) => {
+                // The admission cap keeps in-flight frames (≥ queued
+                // jobs) within `queue_capacity`, so the queue had room.
+                let submitted_at = Instant::now();
+                for (f, job) in members.into_iter().enumerate() {
+                    pending.insert(seq + f as u64, Pending::from_job(job, width, submitted_at));
+                }
+            }
+            Err(err) => {
+                // Defensive: admission should make this unreachable.
+                let reason = if err.is_closed() {
+                    RetryReason::Draining
+                } else {
+                    RetryReason::QueueFull
+                };
+                for job in members {
+                    refuse_job(ctx, shared, to_wake, job, reason);
+                }
+            }
+        }
+        for job in singles {
+            submit_single(handle, ctx, shared, pending, to_wake, job);
+        }
+    } else {
+        for job in ready.drain(..) {
+            submit_single(handle, ctx, shared, pending, to_wake, job);
+        }
+    }
+}
+
+fn submit_single<O: Observer>(
+    handle: &EngineHandle<'_, O>,
+    ctx: &SessionCtx<'_>,
+    shared: &ReactorShared,
+    pending: &mut HashMap<u64, Pending>,
+    to_wake: &mut [bool],
+    mut job: RouteJob,
+) {
+    let token = job.route.encode();
     let records = job.lines.len();
-    match handle.try_submit(job.lines) {
+    match handle.try_submit_tagged(std::mem::take(&mut job.lines), token) {
         Ok(seq) => {
-            // The admission cap keeps `inflight <= queue_capacity`, so the
-            // engine queue had room; both slots are released at delivery.
-            let handoff_ns = job
-                .admitted_at
-                .elapsed()
-                .as_nanos()
-                .min(u128::from(u64::MAX)) as u64;
-            pending.insert(
-                seq,
-                Pending {
-                    tenant: job.tenant,
-                    request_id: job.request_id,
-                    records,
-                    arrival: job.arrival,
-                    decode_ns: job.decode_ns,
-                    admission_ns: job.admission_ns,
-                    handoff_ns,
-                    submitted_at: Instant::now(),
-                    reply: job.reply,
-                    tenant_slot: job.tenant_slot,
-                },
-            );
+            pending.insert(seq, Pending::from_job(job, records, Instant::now()));
         }
         Err(err) => {
-            // Defensive: admission should make this unreachable. Push the
-            // frame back rather than lose it.
             let reason = if err.is_closed() {
                 RetryReason::Draining
             } else {
                 RetryReason::QueueFull
             };
-            SessionStats::bump(&ctx.stats.retries_issued);
-            ctx.counters.retry_issued(ThrottleEvent {
-                tenant: job.tenant,
-                reason: reason.as_u8(),
-            });
-            ctx.telemetry.record_retry(job.tenant);
-            let _ = job.reply.try_send(Reply::bare(Message::Retry {
-                tenant: job.tenant,
-                request_id: job.request_id,
-                reason,
-            }));
-            job.tenant_slot.fetch_sub(1, Ordering::AcqRel);
-            ctx.admission.inflight.fetch_sub(1, Ordering::AcqRel);
+            refuse_job(ctx, shared, to_wake, job, reason);
         }
     }
+}
+
+/// Answers a frame the engine would not take with a defensive RETRY,
+/// fully accounted here (the completion carries [`Account::None`]).
+fn refuse_job(
+    ctx: &SessionCtx<'_>,
+    shared: &ReactorShared,
+    to_wake: &mut [bool],
+    job: RouteJob,
+    reason: RetryReason,
+) {
+    SessionStats::bump(&ctx.stats.retries_issued);
+    ctx.counters.retry_issued(ThrottleEvent {
+        tenant: job.tenant,
+        reason: reason.as_u8(),
+    });
+    ctx.telemetry.record_retry(job.tenant);
+    shared.lanes[job.route.lane].push_completion(Completion {
+        token: job.route.token,
+        msg: Message::Retry {
+            tenant: job.tenant,
+            request_id: job.request_id,
+            reason,
+        },
+        meta: None,
+        account: Account::None,
+    });
+    to_wake[job.route.lane] = true;
+    job.tenant_slot.fetch_sub(1, Ordering::AcqRel);
+    ctx.admission.inflight.fetch_sub(1, Ordering::AcqRel);
 }
 
 /// Renders an error with its full `source()` chain.
@@ -761,293 +884,12 @@ fn error_chain(err: &dyn std::error::Error) -> String {
     out
 }
 
-/// Handles one accepted connection: sniffs HTTP operator requests, then
-/// runs the binary-protocol reader loop with a paired writer thread.
-fn serve_connection(
-    stream: TcpStream,
-    ctx: &SessionCtx<'_>,
-    job_tx: mpsc::Sender<RouteJob>,
-) -> io::Result<()> {
-    stream.set_nodelay(true).ok();
-    stream.set_read_timeout(Some(ctx.cfg.read_timeout))?;
-    if sniff_http(&stream)? {
-        return serve_http(stream, ctx);
-    }
-
-    let mut reader = stream.try_clone()?;
-    let mut writer = stream;
-    writer.set_write_timeout(Some(Duration::from_secs(5))).ok();
-
-    // Reply buffer: big enough for every frame this connection could have
-    // in flight plus a burst of RETRYs; a client that stops reading
-    // entirely sees drops counted in `responses_dropped`, never unbounded
-    // server-side buffering.
-    let (reply_tx, reply_rx) =
-        mpsc::sync_channel::<Reply>(ctx.cfg.queue_capacity + ctx.cfg.tenant_quota + 4);
-
-    thread::scope(|s| {
-        let writer_handle = s.spawn(move || {
-            for reply in reply_rx.iter() {
-                if write_message(&mut writer, &reply.msg).is_err() {
-                    break; // drain remaining sends as disconnects
-                }
-                // The request is wire-complete only now: close its
-                // telemetry record here, in the one thread that knows the
-                // write finished, so stage sums and the independently
-                // measured wire latency describe the same request set.
-                if let Some(meta) = reply.meta {
-                    let wire_ns =
-                        meta.arrival.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-                    let write_ns = meta
-                        .queued_at
-                        .elapsed()
-                        .as_nanos()
-                        .min(u128::from(u64::MAX)) as u64;
-                    let t = ctx.telemetry;
-                    t.record_stage(Stage::Decode, meta.decode_ns);
-                    t.record_stage(Stage::Admission, meta.admission_ns);
-                    t.record_stage(Stage::QueueWait, meta.queue_ns);
-                    t.record_stage(Stage::Route, meta.route_ns);
-                    t.record_stage(Stage::Drain, meta.drain_ns);
-                    t.record_stage(Stage::Write, write_ns);
-                    t.record_request(meta.tenant, (meta.records as u64) * 4, wire_ns);
-                    if t.note_if_slow(wire_ns) {
-                        if let Some(rec) = ctx.recorder {
-                            rec.record(Span {
-                                kind: SpanKind::Request,
-                                ts_ns: rec.now_ns(),
-                                dur_ns: wire_ns,
-                                lane: 0,
-                                seq: meta.request_id,
-                                a: u64::from(meta.tenant),
-                                b: meta.records as u64,
-                                c: 0,
-                                ok: true,
-                            });
-                        }
-                    }
-                }
-            }
-            let _ = writer.flush();
-        });
-
-        let result = reader_loop(&mut reader, ctx, &job_tx, &reply_tx);
-
-        // Let the writer finish any responses still flowing from the
-        // dispatcher (its sender clones live inside Pending entries).
-        drop(reply_tx);
-        drop(job_tx);
-        let _ = writer_handle.join();
-        result
-    })
-}
-
-fn reader_loop(
-    reader: &mut TcpStream,
-    ctx: &SessionCtx<'_>,
-    job_tx: &mpsc::Sender<RouteJob>,
-    reply_tx: &mpsc::SyncSender<Reply>,
-) -> io::Result<()> {
-    loop {
-        let (msg, decode_ns) = match read_message_timed(reader) {
-            Ok(Some(timed)) => timed,
-            Ok(None) => return Ok(()), // clean hangup
-            Err(RecvError::IdleTimeout) => {
-                if ctx.control.shutdown_requested() {
-                    return Ok(());
-                }
-                continue;
-            }
-            Err(RecvError::Wire(e)) => {
-                SessionStats::bump(&ctx.stats.protocol_errors);
-                let _ = reply_tx.try_send(Reply::bare(Message::Error {
-                    tenant: 0,
-                    request_id: 0,
-                    code: ErrorCode::Protocol,
-                    message: e.to_string(),
-                }));
-                return Ok(());
-            }
-            Err(RecvError::Io(e)) => return Err(e),
-        };
-        match msg {
-            Message::Submit {
-                tenant,
-                request_id,
-                dests,
-            } => {
-                // Arrival ≈ read completion minus the timed body read, so
-                // idle time between frames never counts against a request.
-                let received_at = Instant::now();
-                let arrival = received_at
-                    .checked_sub(Duration::from_nanos(decode_ns))
-                    .unwrap_or(received_at);
-                SessionStats::bump(&ctx.stats.frames_submitted);
-                admit(
-                    tenant,
-                    request_id,
-                    dests,
-                    received_at,
-                    decode_ns,
-                    arrival,
-                    ctx,
-                    job_tx,
-                    reply_tx,
-                );
-            }
-            Message::Status { tenant, request_id } => {
-                // Answered from the reader; never enters the frame ledger.
-                let json = serde_json::to_string(&build_status(ctx))
-                    .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
-                let _ = reply_tx.try_send(Reply::bare(Message::StatusReport {
-                    tenant,
-                    request_id,
-                    json,
-                }));
-            }
-            Message::Shutdown { .. } => ctx.control.trigger_shutdown(),
-            // Server-to-client opcodes arriving at the server are a
-            // protocol violation.
-            Message::Routed { .. }
-            | Message::Retry { .. }
-            | Message::Error { .. }
-            | Message::StatusReport { .. } => {
-                SessionStats::bump(&ctx.stats.protocol_errors);
-                let _ = reply_tx.try_send(Reply::bare(Message::Error {
-                    tenant: msg.tenant(),
-                    request_id: msg.request_id(),
-                    code: ErrorCode::Protocol,
-                    message: format!("client sent server-only opcode 0x{:02x}", msg.opcode()),
-                }));
-                return Ok(());
-            }
-        }
-    }
-}
-
-/// Admission control for one SUBMIT: draining check, per-tenant quota,
-/// then the global in-flight cap. Refusals answer with a *blocking* send
-/// of RETRY — TCP backpressure is the flow control for rejections.
-#[allow(clippy::too_many_arguments)]
-fn admit(
-    tenant: u16,
-    request_id: u64,
-    dests: Vec<u32>,
-    received_at: Instant,
-    decode_ns: u64,
-    arrival: Instant,
-    ctx: &SessionCtx<'_>,
-    job_tx: &mpsc::Sender<RouteJob>,
-    reply_tx: &mpsc::SyncSender<Reply>,
-) {
-    let retry = |reason: RetryReason| {
-        SessionStats::bump(&ctx.stats.retries_issued);
-        ctx.counters.retry_issued(ThrottleEvent {
-            tenant,
-            reason: reason.as_u8(),
-        });
-        ctx.telemetry.record_retry(tenant);
-        let _ = reply_tx.send(Reply::bare(Message::Retry {
-            tenant,
-            request_id,
-            reason,
-        }));
-    };
-
-    if ctx.control.shutdown_requested() {
-        retry(RetryReason::Draining);
-        return;
-    }
-    let tenant_slot = ctx.admission.tenant_slot(tenant);
-    if tenant_slot.fetch_add(1, Ordering::AcqRel) >= ctx.cfg.tenant_quota {
-        tenant_slot.fetch_sub(1, Ordering::AcqRel);
-        retry(RetryReason::TenantQuota);
-        return;
-    }
-    if ctx.admission.inflight.fetch_add(1, Ordering::AcqRel) >= ctx.cfg.queue_capacity {
-        ctx.admission.inflight.fetch_sub(1, Ordering::AcqRel);
-        tenant_slot.fetch_sub(1, Ordering::AcqRel);
-        retry(RetryReason::QueueFull);
-        return;
-    }
-
-    let lines: Vec<Record> = dests
-        .iter()
-        .enumerate()
-        .map(|(i, &d)| Record::new(d as usize, i as u64))
-        .collect();
-    let admission_ns = received_at.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-    let job = RouteJob {
-        tenant,
-        request_id,
-        arrival,
-        decode_ns,
-        admission_ns,
-        admitted_at: Instant::now(),
-        lines,
-        reply: reply_tx.clone(),
-        tenant_slot,
-    };
-    if let Err(mpsc::SendError(job)) = job_tx.send(job) {
-        // Dispatcher already gone: the session is past its drain point.
-        ctx.admission.inflight.fetch_sub(1, Ordering::AcqRel);
-        job.tenant_slot.fetch_sub(1, Ordering::AcqRel);
-        retry(RetryReason::Draining);
-    }
-}
-
-/// True when the connection's first bytes look like an HTTP GET.
-fn sniff_http(stream: &TcpStream) -> io::Result<bool> {
-    let mut first = [0u8; 4];
-    let deadline = Instant::now() + Duration::from_secs(2);
-    loop {
-        match stream.peek(&mut first) {
-            Ok(4) => return Ok(&first == b"GET "),
-            Ok(_) => {
-                if Instant::now() >= deadline {
-                    return Ok(false);
-                }
-                thread::sleep(Duration::from_millis(1));
-            }
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                if Instant::now() >= deadline {
-                    return Ok(false);
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-}
-
-/// Answers one HTTP operator request, then closes: `/status` with the
-/// JSON [`StatusSnapshot`], any other path with the Prometheus 0.0.4
-/// exposition of the shared counters plus the telemetry families.
-fn serve_http(mut stream: TcpStream, ctx: &SessionCtx<'_>) -> io::Result<()> {
-    // Consume the request head (bounded) so the peer sees a clean close.
-    let mut buf = [0u8; 1024];
-    let mut head = Vec::new();
-    while head.len() < 8192 {
-        match stream.read(&mut buf) {
-            Ok(0) => break,
-            Ok(n) => {
-                head.extend_from_slice(&buf[..n]);
-                if head.windows(4).any(|w| w == b"\r\n\r\n") {
-                    break;
-                }
-            }
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                break;
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-    let path = http_path(&head);
+/// Renders one HTTP operator response from a buffered request head:
+/// `/status` with the JSON [`StatusSnapshot`], any other path with the
+/// Prometheus 0.0.4 exposition of the shared counters plus the
+/// telemetry families.
+pub(crate) fn render_http(head: &[u8], ctx: &SessionCtx<'_>) -> String {
+    let path = http_path(head);
     let (content_type, body) = if path.starts_with("/status") {
         let json = serde_json::to_string(&build_status(ctx))
             .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
@@ -1057,14 +899,12 @@ fn serve_http(mut stream: TcpStream, ctx: &SessionCtx<'_>) -> io::Result<()> {
         body.push_str(&render_prometheus_telemetry(&ctx.telemetry.snapshot()));
         ("text/plain; version=0.0.4", body)
     };
-    let response = format!(
+    format!(
         "HTTP/1.1 200 OK\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
         content_type,
         body.len(),
         body
-    );
-    stream.write_all(response.as_bytes())?;
-    stream.flush()
+    )
 }
 
 /// The request path from an HTTP request head (`GET <path> HTTP/1.1`);

@@ -157,6 +157,8 @@ fn chaos_through_a_live_server_keeps_the_wire_ledger_balanced() {
                 drain_window: Duration::from_millis(4000),
                 shutdown_when_done: false,
                 max_resubmits: 0,
+                connections: 0,
+                keys: None,
             })
             .expect("loadgen run");
 

@@ -131,6 +131,8 @@ fn concurrent_tenants_route_correctly_with_forced_backpressure() {
         max_connections: 16,
         read_timeout: Duration::from_millis(20),
         slow_ms: 0,
+        reactor_threads: 1,
+        window: 32,
     };
     let (report, load) = serve_scope(config, |addr, _control| {
         run_loadgen(&LoadgenConfig {
@@ -144,6 +146,8 @@ fn concurrent_tenants_route_correctly_with_forced_backpressure() {
             drain_window: Duration::from_secs(2),
             shutdown_when_done: false,
             max_resubmits: 0,
+            connections: 0,
+            keys: None,
         })
         .expect("loadgen run")
     });
@@ -186,6 +190,8 @@ fn metrics_endpoint_speaks_prometheus_and_balances_the_ledger() {
         max_connections: 8,
         read_timeout: Duration::from_millis(20),
         slow_ms: 0,
+        reactor_threads: 1,
+        window: 32,
     };
     let (report, (load, metrics)) = serve_scope(config, |addr, _control| {
         let load = run_loadgen(&LoadgenConfig {
@@ -198,6 +204,8 @@ fn metrics_endpoint_speaks_prometheus_and_balances_the_ledger() {
             drain_window: Duration::from_secs(2),
             shutdown_when_done: false,
             max_resubmits: 0,
+            connections: 0,
+            keys: None,
         })
         .expect("loadgen run");
         let metrics = scrape_metrics(addr);
@@ -248,6 +256,8 @@ fn wire_shutdown_drains_the_session_gracefully() {
         max_connections: 8,
         read_timeout: Duration::from_millis(20),
         slow_ms: 0,
+        reactor_threads: 1,
+        window: 32,
     };
     let (report, load) = serve_scope(config, |addr, _control| {
         // shutdown_when_done sends the wire SHUTDOWN opcode; the server
@@ -264,6 +274,8 @@ fn wire_shutdown_drains_the_session_gracefully() {
             drain_window: Duration::from_secs(2),
             shutdown_when_done: true,
             max_resubmits: 0,
+            connections: 0,
+            keys: None,
         })
         .expect("loadgen run")
     });
@@ -311,6 +323,8 @@ fn status_endpoint_reconciles_stage_sums_with_wire_latency() {
         // Threshold so high nothing trips it; the snapshot must still
         // report it faithfully.
         slow_ms: 60_000,
+        reactor_threads: 1,
+        window: 32,
     };
     let (report, (load, status)) = serve_scope(config, |addr, _control| {
         let load = run_loadgen(&LoadgenConfig {
@@ -323,6 +337,8 @@ fn status_endpoint_reconciles_stage_sums_with_wire_latency() {
             drain_window: Duration::from_secs(2),
             shutdown_when_done: false,
             max_resubmits: 0,
+            connections: 0,
+            keys: None,
         })
         .expect("loadgen run");
         let status = scrape_status(addr);
@@ -400,6 +416,8 @@ fn operator_surfaces_stay_live_under_traffic_and_during_drain() {
         max_connections: 16,
         read_timeout: Duration::from_millis(20),
         slow_ms: 0,
+        reactor_threads: 1,
+        window: 32,
     };
     let (report, (load, scrapes)) = serve_scope(config, |addr, control| {
         let stop = AtomicBool::new(false);
@@ -428,6 +446,8 @@ fn operator_surfaces_stay_live_under_traffic_and_during_drain() {
                 drain_window: Duration::from_secs(2),
                 shutdown_when_done: false,
                 max_resubmits: 0,
+                connections: 0,
+                keys: None,
             })
             .expect("loadgen run");
             stop.store(true, Ordering::Release);
@@ -503,6 +523,8 @@ fn loadgen_resubmits_retried_frames_and_both_ledgers_balance() {
         max_connections: 16,
         read_timeout: Duration::from_millis(20),
         slow_ms: 0,
+        reactor_threads: 1,
+        window: 32,
     };
     let (report, load) = serve_scope(config, |addr, _control| {
         run_loadgen(&LoadgenConfig {
@@ -515,6 +537,8 @@ fn loadgen_resubmits_retried_frames_and_both_ledgers_balance() {
             drain_window: Duration::from_secs(5),
             shutdown_when_done: false,
             max_resubmits: 16,
+            connections: 0,
+            keys: None,
         })
         .expect("loadgen run")
     });
